@@ -1,0 +1,247 @@
+(* Bechamel benchmarks: one Test.make per table/figure of the paper, plus
+   the ablation micro-benchmarks DESIGN.md calls out.
+
+   Each [table1/*] iteration is one complete crash test (boot, workload,
+   inject 20 faults, crash, recover, compare) on the named system; each
+   [table2/*] iteration is a scaled-down Table 2 workload cell on the named
+   file-system configuration. The [ablation/*] and [micro/*] groups time
+   the primitive operations whose costs the paper's prose claims are about.
+
+   After the timings, the harness prints scaled-down reproductions of the
+   paper's tables so `dune exec bench/main.exe` shows the shape of the
+   results by itself. Use bin/riobench for the full-scale runs. *)
+
+open Bechamel
+open Toolkit
+module Campaign = Rio_fault.Campaign
+module Fault_type = Rio_fault.Fault_type
+module Performance = Rio_harness.Performance
+module Reliability = Rio_harness.Reliability
+module Ablation = Rio_harness.Ablation
+module Kernel = Rio_kernel.Kernel
+module Engine = Rio_sim.Engine
+module Costs = Rio_sim.Costs
+module Fs = Rio_fs.Fs
+module Fsck = Rio_fs.Fsck
+module Checksum = Rio_util.Checksum
+module Pattern = Rio_util.Pattern
+
+(* ---------------- table 1: one crash test per iteration ---------------- *)
+
+let campaign_config =
+  {
+    Campaign.default_config with
+    Campaign.warmup_steps = 10;
+    max_steps = 60;
+    memtest_files = 10;
+    memtest_file_bytes = 16 * 1024;
+    background_andrew = 1;
+    andrew_scale = 0.02;
+  }
+
+let crash_test system =
+  let seed = ref 0 in
+  Staged.stage (fun () ->
+      incr seed;
+      ignore (Campaign.run_one campaign_config system Fault_type.Kernel_text ~seed:!seed))
+
+let table1_tests =
+  Test.make_grouped ~name:"table1" ~fmt:"%s/%s"
+    [
+      Test.make ~name:"disk-based" (crash_test Campaign.Disk_based);
+      Test.make ~name:"rio-noprot" (crash_test Campaign.Rio_without_protection);
+      Test.make ~name:"rio-prot" (crash_test Campaign.Rio_with_protection);
+    ]
+
+(* ---------------- table 2: one workload cell per iteration ---------------- *)
+
+let table2_cell label workload =
+  let config = List.find (fun c -> c.Performance.label = label) Performance.configurations in
+  let seed = ref 0 in
+  Staged.stage (fun () ->
+      incr seed;
+      ignore (Performance.measure_workload config ~scale:0.02 ~seed:!seed workload))
+
+let table2_tests =
+  Test.make_grouped ~name:"table2" ~fmt:"%s/%s"
+    [
+      Test.make ~name:"mfs-cp-rm" (table2_cell "memory-fs" `Cp_rm);
+      Test.make ~name:"ufs-cp-rm" (table2_cell "ufs" `Cp_rm);
+      Test.make ~name:"wt-write-cp-rm" (table2_cell "wt-write" `Cp_rm);
+      Test.make ~name:"rio-cp-rm" (table2_cell "rio-prot" `Cp_rm);
+      Test.make ~name:"rio-sdet" (table2_cell "rio-prot" `Sdet);
+      Test.make ~name:"rio-andrew" (table2_cell "rio-prot" `Andrew);
+    ]
+
+(* ---------------- ablations ---------------- *)
+
+let protection_iter protection =
+  let seed = ref 0 in
+  Staged.stage (fun () ->
+      incr seed;
+      (* The protection-overhead unit: a Rio write-path burst. *)
+      let engine = Engine.create () in
+      let kernel = Kernel.boot ~engine ~costs:Costs.default (Kernel.config_with_seed !seed) in
+      Kernel.format kernel;
+      ignore
+        (Rio_core.Rio_cache.create ~mem:(Kernel.mem kernel) ~layout:(Kernel.layout kernel)
+           ~mmu:(Kernel.mmu kernel) ~engine ~costs:Costs.default ~hooks:(Kernel.hooks kernel)
+           ~pool_alloc:(Kernel.pool_alloc kernel) ~protection ~dev:1);
+      let fs = Kernel.mount kernel ~policy:Fs.Rio_policy in
+      for i = 0 to 19 do
+        Fs.write_file fs (Printf.sprintf "/f%d" i) (Pattern.fill ~seed:i ~len:16_384)
+      done)
+
+let ablation_tests =
+  let delay_point =
+    let seed = ref 0 in
+    Staged.stage (fun () ->
+        incr seed;
+        ignore (Ablation.delay_sweep ~steps:40 ~seed:!seed ()))
+  in
+  let registry_iter =
+    let seed = ref 0 in
+    Staged.stage (fun () ->
+        incr seed;
+        ignore (Ablation.registry_cost ~steps:60 ~seed:!seed ()))
+  in
+  Test.make_grouped ~name:"ablation" ~fmt:"%s/%s"
+    [
+      Test.make ~name:"protection-on" (protection_iter true);
+      Test.make ~name:"protection-off" (protection_iter false);
+      Test.make ~name:"registry" registry_iter;
+      Test.make ~name:"delay-sweep" delay_point;
+    ]
+
+(* ---------------- micro ---------------- *)
+
+let micro_tests =
+  let page = Pattern.fill ~seed:1 ~len:8192 in
+  let crc_bench = Staged.stage (fun () -> ignore (Checksum.crc32 page ~pos:0 ~len:8192)) in
+  let interpreter_bench =
+    let engine = Engine.create () in
+    let kernel = Kernel.boot ~engine ~costs:Costs.default (Kernel.config_with_seed 1) in
+    Staged.stage (fun () -> Kernel.run_activity kernel)
+  in
+  let warm_reboot_bench =
+    let seed = ref 100 in
+    Staged.stage (fun () ->
+        incr seed;
+        let engine = Engine.create () in
+        let kernel = Kernel.boot ~engine ~costs:Costs.default (Kernel.config_with_seed !seed) in
+        Kernel.format kernel;
+        ignore
+          (Rio_core.Rio_cache.create ~mem:(Kernel.mem kernel) ~layout:(Kernel.layout kernel)
+             ~mmu:(Kernel.mmu kernel) ~engine ~costs:Costs.default ~hooks:(Kernel.hooks kernel)
+             ~pool_alloc:(Kernel.pool_alloc kernel) ~protection:true ~dev:1);
+        let fs = Kernel.mount kernel ~policy:Fs.Rio_policy in
+        Fs.write_file fs "/f" page;
+        Fs.crash fs;
+        ignore
+          (Rio_core.Warm_reboot.perform ~mem:(Kernel.mem kernel) ~disk:(Kernel.disk kernel)
+             ~layout:(Kernel.layout kernel) ~engine
+             ~reboot:(fun () ->
+               let kernel2 =
+                 Kernel.boot_warm ~engine ~costs:Costs.default (Kernel.config_with_seed !seed)
+                   ~mem:(Kernel.mem kernel) ~disk:(Kernel.disk kernel)
+               in
+               ignore
+                 (Rio_core.Rio_cache.create ~mem:(Kernel.mem kernel2)
+                    ~layout:(Kernel.layout kernel2) ~mmu:(Kernel.mmu kernel2) ~engine
+                    ~costs:Costs.default ~hooks:(Kernel.hooks kernel2)
+                    ~pool_alloc:(Kernel.pool_alloc kernel2) ~protection:true ~dev:1);
+               Kernel.mount kernel2 ~policy:Fs.Rio_policy)))
+  in
+  let fsck_bench =
+    let seed = ref 200 in
+    Staged.stage (fun () ->
+        incr seed;
+        let engine = Engine.create () in
+        let kernel = Kernel.boot ~engine ~costs:Costs.default (Kernel.config_with_seed !seed) in
+        Kernel.format kernel;
+        let fs = Kernel.mount kernel ~policy:Fs.Wt_write in
+        for i = 0 to 9 do
+          Fs.write_file fs (Printf.sprintf "/f%d" i) (Bytes.of_string "data")
+        done;
+        Fs.unmount fs;
+        ignore (Fsck.run ~disk:(Kernel.disk kernel)))
+  in
+  Test.make_grouped ~name:"micro" ~fmt:"%s/%s"
+    [
+      Test.make ~name:"crc32-8k" crc_bench;
+      Test.make ~name:"kernel-activity-burst" interpreter_bench;
+      Test.make ~name:"warm-reboot-cycle" warm_reboot_bench;
+      Test.make ~name:"fsck" fsck_bench;
+    ]
+
+(* ---------------- vista transactions ---------------- *)
+
+let vista_tests =
+  let engine = Engine.create () in
+  let kernel = Kernel.boot ~engine ~costs:Costs.default (Kernel.config_with_seed 9) in
+  Kernel.format kernel;
+  ignore
+    (Rio_core.Rio_cache.create ~mem:(Kernel.mem kernel) ~layout:(Kernel.layout kernel)
+       ~mmu:(Kernel.mmu kernel) ~engine ~costs:Costs.default ~hooks:(Kernel.hooks kernel)
+       ~pool_alloc:(Kernel.pool_alloc kernel) ~protection:true ~dev:1);
+  let fs = Kernel.mount kernel ~policy:Fs.Rio_policy in
+  let store = Rio_txn.Vista.create fs ~path:"/bench-store" ~size:65536 in
+  let i = ref 0 in
+  let txn_bench =
+    Staged.stage (fun () ->
+        incr i;
+        let t = Rio_txn.Vista.begin_txn store in
+        Rio_txn.Vista.write t ~offset:(!i * 64 mod 65000) (Bytes.make 64 'v');
+        Rio_txn.Vista.commit t)
+  in
+  Test.make_grouped ~name:"vista" ~fmt:"%s/%s"
+    [ Test.make ~name:"txn-commit-64B" txn_bench ]
+
+(* ---------------- driver ---------------- *)
+
+let run_benchmarks () =
+  let all_tests =
+    Test.make_grouped ~name:"rio" ~fmt:"%s/%s"
+      [ table1_tests; table2_tests; ablation_tests; micro_tests; vista_tests ]
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) ~kde:None () in
+  let raw = Benchmark.all cfg instances all_tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Printf.printf "%-42s %14s\n" "benchmark" "time/iter";
+  Printf.printf "%s\n" (String.make 58 '-');
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      let ns =
+        match Analyze.OLS.estimates ols with Some (e :: _) -> e | Some [] | None -> nan
+      in
+      let human =
+        if Float.is_nan ns then "n/a"
+        else if ns > 1e9 then Printf.sprintf "%8.2f s" (ns /. 1e9)
+        else if ns > 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+        else Printf.sprintf "%8.0f ns" ns
+      in
+      Printf.printf "%-42s %14s\n" name human)
+    (List.sort compare rows)
+
+(* Scaled-down reproductions of the paper's tables, so this executable
+   shows the result shape on its own. *)
+let print_mini_tables () =
+  Printf.printf "\nMini Table 1 (2 crash tests/cell, 3 fault types; see riobench table1):\n";
+  let results =
+    Reliability.run ~config:campaign_config
+      ~faults:[ Fault_type.Kernel_text; Fault_type.Copy_overrun; Fault_type.Pointer ]
+      ~crashes_per_cell:2 ~seed_base:1 ()
+  in
+  print_string (Rio_util.Table.render (Reliability.to_table results));
+  Printf.printf "\nMini Table 2 (4%% scale; see riobench table2 for full scale):\n";
+  let ms = Performance.run ~scale:0.04 ~seed:1 () in
+  print_string (Rio_util.Table.render (Performance.to_table ms))
+
+let () =
+  Printf.printf "Rio reproduction benchmarks (bechamel)\n\n%!";
+  run_benchmarks ();
+  print_mini_tables ()

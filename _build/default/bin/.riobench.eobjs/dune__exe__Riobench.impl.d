@@ -1,0 +1,1 @@
+bin/riobench.ml: Arg Cmd Cmdliner Format List Printf Rio_fault Rio_harness Rio_util Rio_workload Term

@@ -1,0 +1,1 @@
+bin/riodump.ml: Arg Cmd Cmdliner Format List Printf Rio_core Rio_cpu Rio_fault Rio_fs Rio_kasm Rio_kernel Rio_mem Rio_sim Rio_util Rio_workload Term

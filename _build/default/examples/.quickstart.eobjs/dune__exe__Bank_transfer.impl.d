@@ -1,0 +1,1 @@
+examples/bank_transfer.ml: Array Bytes Int64 Option Printf Rio_core Rio_fs Rio_kernel Rio_sim Rio_txn

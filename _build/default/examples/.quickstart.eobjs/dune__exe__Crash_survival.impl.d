@@ -1,0 +1,1 @@
+examples/crash_survival.ml: List Printf Rio_fault

@@ -1,0 +1,1 @@
+examples/database_commit.ml: Bytes Char Printf Rio_core Rio_fs Rio_kernel Rio_sim Rio_util

@@ -1,0 +1,1 @@
+examples/fault_anatomy.ml: Format List Printf Rio_fault Rio_kernel Rio_util

@@ -1,0 +1,1 @@
+examples/file_server.ml: Bytes Format List Printf Rio_core Rio_fs Rio_kernel Rio_sim Rio_util Rio_workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Format Option Printf Rio_core Rio_disk Rio_fs Rio_kernel Rio_sim Rio_util

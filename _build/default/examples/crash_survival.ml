@@ -1,0 +1,59 @@
+(* Crash survival under fault injection: the paper's §3 experiment in
+   miniature. We inject the most dangerous fault type — kernel bcopy copy
+   overruns — into three systems and watch who saves the data.
+
+   Run with: dune exec examples/crash_survival.exe *)
+
+module Campaign = Rio_fault.Campaign
+module Fault_type = Rio_fault.Fault_type
+
+let say fmt = Printf.printf (fmt ^^ "\n%!")
+
+let config =
+  {
+    Campaign.default_config with
+    Campaign.warmup_steps = 30;
+    max_steps = 300;
+    memtest_files = 16;
+    memtest_file_bytes = 24 * 1024;
+  }
+
+(* Run crash tests until [target] of them actually crash (discarded runs —
+   where the faults never manifested — do not count, §3.1). *)
+let run_system system ~target =
+  let crashes = ref 0 and corrupt = ref 0 and traps = ref 0 and discarded = ref 0 in
+  let seed = ref 0 in
+  while !crashes < target && !seed < 150 do
+    incr seed;
+    let o = Campaign.run_one config system Fault_type.Copy_overrun ~seed:!seed in
+    if o.Campaign.discarded then incr discarded
+    else begin
+      incr crashes;
+      if o.Campaign.corrupted then incr corrupt;
+      if o.Campaign.protection_trap then incr traps
+    end
+  done;
+  (!crashes, !corrupt, !traps, !discarded)
+
+let () =
+  say "== Crash survival under copy-overrun fault injection ==";
+  say "";
+  say "Each run: boot, run memTest + background Andrew, inject 20 copy-overrun";
+  say "faults into the kernel bcopy path, run until the system crashes (or";
+  say "discard), recover, and compare every byte against the reconstructed";
+  say "expected state (the paper's §3 methodology).";
+  say "";
+  List.iter
+    (fun system ->
+      let crashes, corrupt, traps, discarded = run_system system ~target:8 in
+      say "%-28s: %2d crashes, %2d discarded | corrupted runs: %d | protection traps: %d"
+        (Campaign.system_name system) crashes discarded corrupt traps)
+    Campaign.all_systems;
+  say "";
+  say "What to look for (cf. Table 1):";
+  say "  - the write-through disk system corrupts rarely (its data is on disk);";
+  say "  - Rio WITHOUT protection corrupts a little more often: wild stores";
+  say "    land in the file cache and the warm reboot faithfully restores the";
+  say "    corrupted bytes (checksums catch most of it);";
+  say "  - Rio WITH protection usually converts the overrun into an immediate";
+  say "    protection trap: the system halts before the damage is done."

@@ -1,0 +1,79 @@
+(* The anatomy of a crash: how each fault type kills the system.
+
+   The paper treated the crashed OS as a black box ("We plan to trace how
+   faults propagate to corrupt files and crash the system ... this is
+   beyond the scope of this paper", footnote 2). A simulator has no such
+   limitation: here we run one crash test per fault type on Rio without
+   protection and report, for each crash, what the console said, how long
+   the system survived after injection, and how many wild stores landed in
+   file-cache pages along the way.
+
+   Run with: dune exec examples/fault_anatomy.exe *)
+
+module Campaign = Rio_fault.Campaign
+module Fault_type = Rio_fault.Fault_type
+module Units = Rio_util.Units
+
+let config =
+  {
+    Campaign.default_config with
+    Campaign.warmup_steps = 25;
+    max_steps = 300;
+  }
+
+(* First crashing seed for this fault type, so every row shows a real crash. *)
+let first_crash fault =
+  let rec hunt seed =
+    if seed > 120 then None
+    else begin
+      let o = Campaign.run_one config Campaign.Rio_without_protection fault ~seed in
+      if o.Campaign.discarded then hunt (seed + 1) else Some o
+    end
+  in
+  hunt 1
+
+let () =
+  Printf.printf "== The anatomy of a crash, by fault type ==\n\n";
+  let table =
+    Rio_util.Table.create
+      ~columns:
+        [
+          ("Fault type", Rio_util.Table.Left);
+          ("Console message at crash", Rio_util.Table.Left);
+          ("Survived", Rio_util.Table.Right);
+          ("Wild cache stores", Rio_util.Table.Right);
+          ("Corrupted?", Rio_util.Table.Left);
+        ]
+  in
+  List.iter
+    (fun fault ->
+      match first_crash fault with
+      | None ->
+        Rio_util.Table.add_row table
+          [ Fault_type.name fault; "(no crash in 120 attempts)"; ""; ""; "" ]
+      | Some o ->
+        let survived =
+          match o.Campaign.crash with
+          | Some info ->
+            Format.asprintf "%a" Units.pp_usec (info.Rio_kernel.Kcrash.at_us - o.Campaign.injected_at_us)
+          | None -> "?"
+        in
+        Rio_util.Table.add_row table
+          [
+            Fault_type.name fault;
+            (match o.Campaign.crash_message with Some m -> m | None -> "?");
+            survived;
+            string_of_int o.Campaign.wild_filecache_stores;
+            (if o.Campaign.corrupted then "YES" else "no");
+          ])
+    Fault_type.all;
+  print_string (Rio_util.Table.render table);
+  Printf.printf
+    "\nReadings:\n\
+    \  - most faults die quickly on an illegal address or a kernel consistency\n\
+    \    check, before any store reaches the file cache (the paper's \"multitude\n\
+    \    of consistency checks ... stop the system very soon\", 3.3);\n\
+    \  - \"wild cache stores\" > 0 with no corruption verdict means the wild\n\
+    \    store hit a page whose contents memTest later overwrote or deleted;\n\
+    \  - copy overruns are the outlier: they write straight into the file\n\
+    \    cache, which is exactly why protection matters for them.\n"

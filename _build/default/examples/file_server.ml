@@ -1,0 +1,117 @@
+(* The departmental file server from the paper's conclusions: "we have
+   installed a departmental file server using the Rio file cache ... this
+   file server stores our kernel source tree, this paper, and the authors'
+   mail."
+
+   This example runs that server through a week of simulated activity with
+   repeated operating-system crashes (one every simulated "day"), doing a
+   warm reboot each time, and audits the full file set after every
+   recovery.
+
+   Run with: dune exec examples/file_server.exe *)
+
+module Engine = Rio_sim.Engine
+module Costs = Rio_sim.Costs
+module Kernel = Rio_kernel.Kernel
+module Fs = Rio_fs.Fs
+module Rio_cache = Rio_core.Rio_cache
+module Warm_reboot = Rio_core.Warm_reboot
+module Memtest = Rio_workload.Memtest
+module Units = Rio_util.Units
+
+let say fmt = Printf.printf (fmt ^^ "\n%!")
+
+type server = {
+  engine : Engine.t;
+  mutable kernel : Kernel.t;
+  mutable fs : Fs.t;
+  mutable crashes_survived : int;
+}
+
+let boot_server () =
+  let engine = Engine.create () in
+  let kernel = Kernel.boot ~engine ~costs:Costs.default (Kernel.config_with_seed 2026) in
+  Kernel.format kernel;
+  ignore
+    (Rio_cache.create ~mem:(Kernel.mem kernel) ~layout:(Kernel.layout kernel)
+       ~mmu:(Kernel.mmu kernel) ~engine ~costs:Costs.default ~hooks:(Kernel.hooks kernel)
+       ~pool_alloc:(Kernel.pool_alloc kernel) ~protection:true ~dev:1);
+  let fs = Kernel.mount kernel ~policy:Fs.Rio_policy in
+  { engine; kernel; fs; crashes_survived = 0 }
+
+let crash_and_recover server =
+  Fs.crash server.fs;
+  let report =
+    Warm_reboot.perform ~mem:(Kernel.mem server.kernel) ~disk:(Kernel.disk server.kernel)
+      ~layout:(Kernel.layout server.kernel) ~engine:server.engine
+      ~reboot:(fun () ->
+        let kernel2 =
+          Kernel.boot_warm ~engine:server.engine ~costs:Costs.default
+            (Kernel.config_with_seed 2026) ~mem:(Kernel.mem server.kernel)
+            ~disk:(Kernel.disk server.kernel)
+        in
+        ignore
+          (Rio_cache.create ~mem:(Kernel.mem kernel2) ~layout:(Kernel.layout kernel2)
+             ~mmu:(Kernel.mmu kernel2) ~engine:server.engine ~costs:Costs.default
+             ~hooks:(Kernel.hooks kernel2) ~pool_alloc:(Kernel.pool_alloc kernel2)
+             ~protection:true ~dev:1);
+        let fs2 = Kernel.mount kernel2 ~policy:Fs.Rio_policy in
+        server.kernel <- kernel2;
+        server.fs <- fs2;
+        fs2)
+  in
+  server.crashes_survived <- server.crashes_survived + 1;
+  report
+
+let () =
+  say "== Departmental file server on Rio: a week with daily OS crashes ==";
+  say "";
+  let server = boot_server () in
+  (* The server's precious long-term contents. *)
+  Fs.mkdir server.fs "/server";
+  Fs.mkdir server.fs "/server/kernel-src";
+  Fs.mkdir server.fs "/server/mail";
+  let precious =
+    [
+      ("/server/kernel-src/vfs.c", Rio_util.Pattern.fill ~seed:1 ~len:60_000);
+      ("/server/kernel-src/ufs.c", Rio_util.Pattern.fill ~seed:2 ~len:48_000);
+      ("/server/rio-paper.tex", Rio_util.Pattern.fill ~seed:3 ~len:90_000);
+      ("/server/mail/inbox", Rio_util.Pattern.fill ~seed:4 ~len:30_000);
+    ]
+  in
+  List.iter (fun (p, d) -> Fs.write_file server.fs p d) precious;
+  say "stored %d long-term files (%d KB total)" (List.length precious)
+    (List.fold_left (fun a (_, d) -> a + Bytes.length d) 0 precious / 1024);
+  say "";
+  (* Day-to-day churn is a memTest-style stream in its own directory. *)
+  let mt =
+    Memtest.create
+      { Memtest.default_config with Memtest.seed = 31; dir = "/server/scratch"; max_files = 20 }
+  in
+  for day = 1 to 7 do
+    (* A day of user activity... *)
+    for _ = 1 to 120 do
+      Memtest.step mt ~fs:server.fs ();
+      Kernel.run_activity server.kernel
+    done;
+    Engine.advance_by server.engine (Units.minutes 10);
+    (* ...then the OS crashes (buggy driver, say). *)
+    let report = crash_and_recover server in
+    (* Audit everything. *)
+    let precious_ok =
+      List.for_all (fun (p, d) -> Bytes.equal d (Fs.read_file server.fs p)) precious
+    in
+    let scratch_discrepancies =
+      Memtest.compare_with_fs mt server.fs ~exempt:(Memtest.touched_by_next_step mt)
+    in
+    say "day %d: crash #%d | restored %4d buffers in %s | long-term files: %s | scratch: %s"
+      day server.crashes_survived
+      (report.Warm_reboot.meta_restored + report.Warm_reboot.data_restored)
+      (Format.asprintf "%a" Units.pp_usec report.Warm_reboot.duration_us)
+      (if precious_ok then "all intact" else "CORRUPTED")
+      (if scratch_discrepancies = [] then "intact" else "CORRUPTED")
+  done;
+  say "";
+  say "%d crashes, zero data loss, zero fsync calls. \"Among other things," server.crashes_survived;
+  say "this file server stores our kernel source tree, this paper, and the";
+  say "authors' mail.\" (paper, conclusions)"

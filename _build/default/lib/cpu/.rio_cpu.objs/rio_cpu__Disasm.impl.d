@@ -1,0 +1,1 @@
+lib/cpu/disasm.ml: Bytes Format Int32 Isa List Rio_mem

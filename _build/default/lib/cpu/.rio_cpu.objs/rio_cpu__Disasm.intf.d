@@ -1,0 +1,1 @@
+lib/cpu/disasm.mli: Format Isa Rio_mem

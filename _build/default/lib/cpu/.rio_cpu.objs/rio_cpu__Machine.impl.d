@@ -1,0 +1,1 @@
+lib/cpu/machine.ml: Array Format Isa Printf Rio_mem Rio_vm

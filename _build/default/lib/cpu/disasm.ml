@@ -1,0 +1,31 @@
+module Phys_mem = Rio_mem.Phys_mem
+
+type line = {
+  addr : int;
+  word : int;
+  instr : Isa.t option;
+}
+
+let disassemble mem ~addr ~words =
+  List.init words (fun i ->
+      let a = addr + (i * Isa.word_bytes) in
+      let word = Phys_mem.read_u32 mem a in
+      { addr = a; word; instr = Isa.decode word })
+
+let pp_line ppf l =
+  Format.fprintf ppf "%06x: %08x  %s" l.addr l.word
+    (match l.instr with Some i -> Isa.to_string i | None -> "<illegal>")
+
+let pp_range ppf lines =
+  List.iter (fun l -> Format.fprintf ppf "%a@." pp_line l) lines
+
+let diff ~before ~after ~base ~words =
+  let changed = ref [] in
+  for i = words - 1 downto 0 do
+    let a = base + (i * Isa.word_bytes) in
+    let old_word = Int32.to_int (Bytes.get_int32_le before (i * Isa.word_bytes)) land 0xFFFF_FFFF in
+    let new_word = Phys_mem.read_u32 after a in
+    if old_word <> new_word then
+      changed := { addr = a; word = new_word; instr = Isa.decode new_word } :: !changed
+  done;
+  !changed

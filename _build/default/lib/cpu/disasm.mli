@@ -1,0 +1,26 @@
+(** A small disassembler over simulated memory.
+
+    Used by the crash-dump inspector to render kernel text — including the
+    mutations fault injection left behind — and by tests to eyeball
+    assembled routines. *)
+
+type line = {
+  addr : int;
+  word : int;
+  instr : Isa.t option;  (** [None] = undecodable word. *)
+}
+
+val disassemble :
+  Rio_mem.Phys_mem.t -> addr:int -> words:int -> line list
+(** Decode [words] consecutive instruction words starting at [addr]. *)
+
+val pp_line : Format.formatter -> line -> unit
+(** ["0001a0: 00442083  add r1, r2, r3"] style. *)
+
+val pp_range : Format.formatter -> line list -> unit
+
+val diff :
+  before:bytes -> after:Rio_mem.Phys_mem.t -> base:int -> words:int -> line list
+(** Lines whose instruction word differs between a pristine text image and
+    current memory — the injected mutations. [before] is the byte image of
+    the text region; [base] its load address. *)

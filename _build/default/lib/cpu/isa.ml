@@ -1,0 +1,270 @@
+type reg = int
+
+type t =
+  | Nop
+  | Halt
+  | Add of reg * reg * reg
+  | Sub of reg * reg * reg
+  | And of reg * reg * reg
+  | Or of reg * reg * reg
+  | Xor of reg * reg * reg
+  | Sll of reg * reg * reg
+  | Srl of reg * reg * reg
+  | Mul of reg * reg * reg
+  | Slt of reg * reg * reg
+  | Addi of reg * reg * int
+  | Andi of reg * reg * int
+  | Ori of reg * reg * int
+  | Xori of reg * reg * int
+  | Slti of reg * reg * int
+  | Lui of reg * int
+  | Kseg of reg * reg
+  | Ld of reg * reg * int
+  | St of reg * reg * int
+  | Ldw of reg * reg * int
+  | Stw of reg * reg * int
+  | Ldb of reg * reg * int
+  | Stb of reg * reg * int
+  | Beq of reg * reg * int
+  | Bne of reg * reg * int
+  | Blt of reg * reg * int
+  | Bge of reg * reg * int
+  | Jmp of int
+  | Jal of reg * int
+  | Jr of reg
+  | Assert_nz of reg * int
+
+let word_bytes = 4
+
+(* Field packing: op:0-5, rd:6-10, rs1:11-15, rs2:16-20, imm11:21-31.
+   I-format immediates occupy bits 16-31 (16 bits, signed except Assert). *)
+
+let pack_r op rd rs1 rs2 = op lor (rd lsl 6) lor (rs1 lsl 11) lor (rs2 lsl 16)
+
+let pack_i op rd rs1 imm = op lor (rd lsl 6) lor (rs1 lsl 11) lor ((imm land 0xFFFF) lsl 16)
+
+let encode = function
+  | Nop -> pack_r 0 0 0 0
+  | Halt -> pack_r 1 0 0 0
+  | Add (rd, rs1, rs2) -> pack_r 2 rd rs1 rs2
+  | Sub (rd, rs1, rs2) -> pack_r 3 rd rs1 rs2
+  | And (rd, rs1, rs2) -> pack_r 4 rd rs1 rs2
+  | Or (rd, rs1, rs2) -> pack_r 5 rd rs1 rs2
+  | Xor (rd, rs1, rs2) -> pack_r 6 rd rs1 rs2
+  | Sll (rd, rs1, rs2) -> pack_r 7 rd rs1 rs2
+  | Srl (rd, rs1, rs2) -> pack_r 8 rd rs1 rs2
+  | Mul (rd, rs1, rs2) -> pack_r 9 rd rs1 rs2
+  | Slt (rd, rs1, rs2) -> pack_r 10 rd rs1 rs2
+  | Addi (rd, rs1, imm) -> pack_i 11 rd rs1 imm
+  | Andi (rd, rs1, imm) -> pack_i 12 rd rs1 imm
+  | Ori (rd, rs1, imm) -> pack_i 13 rd rs1 imm
+  | Xori (rd, rs1, imm) -> pack_i 14 rd rs1 imm
+  | Slti (rd, rs1, imm) -> pack_i 15 rd rs1 imm
+  | Lui (rd, imm) -> pack_i 16 rd 0 imm
+  | Kseg (rd, rs1) -> pack_r 17 rd rs1 0
+  | Ld (rd, rs1, imm) -> pack_i 18 rd rs1 imm
+  | St (rd, rs1, imm) -> pack_i 19 rd rs1 imm
+  | Ldw (rd, rs1, imm) -> pack_i 20 rd rs1 imm
+  | Stw (rd, rs1, imm) -> pack_i 21 rd rs1 imm
+  | Ldb (rd, rs1, imm) -> pack_i 22 rd rs1 imm
+  | Stb (rd, rs1, imm) -> pack_i 23 rd rs1 imm
+  | Beq (ra, rb, off) -> pack_i 24 ra rb off
+  | Bne (ra, rb, off) -> pack_i 25 ra rb off
+  | Blt (ra, rb, off) -> pack_i 26 ra rb off
+  | Bge (ra, rb, off) -> pack_i 27 ra rb off
+  | Jmp off -> pack_i 28 0 0 off
+  | Jal (rd, off) -> pack_i 29 rd 0 off
+  | Jr rs1 -> pack_r 30 0 rs1 0
+  | Assert_nz (rs1, msg) -> pack_i 31 0 rs1 msg
+
+let sign16 v = if v land 0x8000 <> 0 then v - 0x10000 else v
+
+let decode word =
+  if word < 0 || word > 0xFFFF_FFFF then None
+  else begin
+    let op = word land 0x3F in
+    let rd = (word lsr 6) land 0x1F in
+    let rs1 = (word lsr 11) land 0x1F in
+    let rs2 = (word lsr 16) land 0x1F in
+    let imm11 = (word lsr 21) land 0x7FF in
+    let imm = sign16 ((word lsr 16) land 0xFFFF) in
+    let uimm = (word lsr 16) land 0xFFFF in
+    let r_type make =
+      (* R-format requires the unused immediate bits to be zero, like real
+         ISAs' function-code fields: a flipped high bit is illegal. *)
+      if imm11 = 0 then Some (make ()) else None
+    in
+    match op with
+    | 0 -> if rd = 0 && rs1 = 0 && rs2 = 0 && imm11 = 0 then Some Nop else None
+    | 1 -> if rd = 0 && rs1 = 0 && rs2 = 0 && imm11 = 0 then Some Halt else None
+    | 2 -> r_type (fun () -> Add (rd, rs1, rs2))
+    | 3 -> r_type (fun () -> Sub (rd, rs1, rs2))
+    | 4 -> r_type (fun () -> And (rd, rs1, rs2))
+    | 5 -> r_type (fun () -> Or (rd, rs1, rs2))
+    | 6 -> r_type (fun () -> Xor (rd, rs1, rs2))
+    | 7 -> r_type (fun () -> Sll (rd, rs1, rs2))
+    | 8 -> r_type (fun () -> Srl (rd, rs1, rs2))
+    | 9 -> r_type (fun () -> Mul (rd, rs1, rs2))
+    | 10 -> r_type (fun () -> Slt (rd, rs1, rs2))
+    | 11 -> Some (Addi (rd, rs1, imm))
+    | 12 -> Some (Andi (rd, rs1, imm))
+    | 13 -> Some (Ori (rd, rs1, imm))
+    | 14 -> Some (Xori (rd, rs1, imm))
+    | 15 -> Some (Slti (rd, rs1, imm))
+    | 16 -> if rs1 = 0 then Some (Lui (rd, imm)) else None
+    | 17 -> r_type (fun () -> Kseg (rd, rs1))
+    | 18 -> Some (Ld (rd, rs1, imm))
+    | 19 -> Some (St (rd, rs1, imm))
+    | 20 -> Some (Ldw (rd, rs1, imm))
+    | 21 -> Some (Stw (rd, rs1, imm))
+    | 22 -> Some (Ldb (rd, rs1, imm))
+    | 23 -> Some (Stb (rd, rs1, imm))
+    | 24 -> Some (Beq (rd, rs1, imm))
+    | 25 -> Some (Bne (rd, rs1, imm))
+    | 26 -> Some (Blt (rd, rs1, imm))
+    | 27 -> Some (Bge (rd, rs1, imm))
+    | 28 -> if rd = 0 && rs1 = 0 then Some (Jmp imm) else None
+    | 29 -> if rs1 = 0 then Some (Jal (rd, imm)) else None
+    | 30 -> if rd = 0 && rs2 = 0 && imm11 = 0 then Some (Jr rs1) else None
+    | 31 -> if rd = 0 then Some (Assert_nz (rs1, uimm)) else None
+    | _ -> None
+  end
+
+let is_store = function
+  | St (_, _, _) | Stw (_, _, _) | Stb (_, _, _) -> true
+  | Nop | Halt
+  | Add (_, _, _) | Sub (_, _, _) | And (_, _, _) | Or (_, _, _) | Xor (_, _, _)
+  | Sll (_, _, _) | Srl (_, _, _) | Mul (_, _, _) | Slt (_, _, _)
+  | Addi (_, _, _) | Andi (_, _, _) | Ori (_, _, _) | Xori (_, _, _) | Slti (_, _, _)
+  | Lui (_, _) | Kseg (_, _)
+  | Ld (_, _, _) | Ldw (_, _, _) | Ldb (_, _, _)
+  | Beq (_, _, _) | Bne (_, _, _) | Blt (_, _, _) | Bge (_, _, _)
+  | Jmp _ | Jal (_, _) | Jr _ | Assert_nz (_, _) -> false
+
+let is_branch = function
+  | Beq (_, _, _) | Bne (_, _, _) | Blt (_, _, _) | Bge (_, _, _) | Jmp _ | Jal (_, _) | Jr _ ->
+    true
+  | Nop | Halt
+  | Add (_, _, _) | Sub (_, _, _) | And (_, _, _) | Or (_, _, _) | Xor (_, _, _)
+  | Sll (_, _, _) | Srl (_, _, _) | Mul (_, _, _) | Slt (_, _, _)
+  | Addi (_, _, _) | Andi (_, _, _) | Ori (_, _, _) | Xori (_, _, _) | Slti (_, _, _)
+  | Lui (_, _) | Kseg (_, _)
+  | Ld (_, _, _) | St (_, _, _) | Ldw (_, _, _) | Stw (_, _, _) | Ldb (_, _, _) | Stb (_, _, _)
+  | Assert_nz (_, _) -> false
+
+let reads = function
+  | Nop | Halt | Lui (_, _) | Jmp _ | Jal (_, _) -> []
+  | Add (_, a, b) | Sub (_, a, b) | And (_, a, b) | Or (_, a, b) | Xor (_, a, b)
+  | Sll (_, a, b) | Srl (_, a, b) | Mul (_, a, b) | Slt (_, a, b) -> [ a; b ]
+  | Addi (_, a, _) | Andi (_, a, _) | Ori (_, a, _) | Xori (_, a, _) | Slti (_, a, _)
+  | Kseg (_, a) | Ld (_, a, _) | Ldw (_, a, _) | Ldb (_, a, _) -> [ a ]
+  | St (v, a, _) | Stw (v, a, _) | Stb (v, a, _) -> [ v; a ]
+  | Beq (a, b, _) | Bne (a, b, _) | Blt (a, b, _) | Bge (a, b, _) -> [ a; b ]
+  | Jr a | Assert_nz (a, _) -> [ a ]
+
+let writes = function
+  | Nop | Halt | Jmp _ | Jr _ | Assert_nz (_, _)
+  | St (_, _, _) | Stw (_, _, _) | Stb (_, _, _)
+  | Beq (_, _, _) | Bne (_, _, _) | Blt (_, _, _) | Bge (_, _, _) -> None
+  | Add (rd, _, _) | Sub (rd, _, _) | And (rd, _, _) | Or (rd, _, _) | Xor (rd, _, _)
+  | Sll (rd, _, _) | Srl (rd, _, _) | Mul (rd, _, _) | Slt (rd, _, _)
+  | Addi (rd, _, _) | Andi (rd, _, _) | Ori (rd, _, _) | Xori (rd, _, _) | Slti (rd, _, _)
+  | Lui (rd, _) | Kseg (rd, _) | Ld (rd, _, _) | Ldw (rd, _, _) | Ldb (rd, _, _)
+  | Jal (rd, _) -> Some rd
+
+let with_rd instr rd =
+  match instr with
+  | Add (_, a, b) -> Add (rd, a, b)
+  | Sub (_, a, b) -> Sub (rd, a, b)
+  | And (_, a, b) -> And (rd, a, b)
+  | Or (_, a, b) -> Or (rd, a, b)
+  | Xor (_, a, b) -> Xor (rd, a, b)
+  | Sll (_, a, b) -> Sll (rd, a, b)
+  | Srl (_, a, b) -> Srl (rd, a, b)
+  | Mul (_, a, b) -> Mul (rd, a, b)
+  | Slt (_, a, b) -> Slt (rd, a, b)
+  | Addi (_, a, i) -> Addi (rd, a, i)
+  | Andi (_, a, i) -> Andi (rd, a, i)
+  | Ori (_, a, i) -> Ori (rd, a, i)
+  | Xori (_, a, i) -> Xori (rd, a, i)
+  | Slti (_, a, i) -> Slti (rd, a, i)
+  | Lui (_, i) -> Lui (rd, i)
+  | Kseg (_, a) -> Kseg (rd, a)
+  | Ld (_, a, i) -> Ld (rd, a, i)
+  | Ldw (_, a, i) -> Ldw (rd, a, i)
+  | Ldb (_, a, i) -> Ldb (rd, a, i)
+  | Jal (_, i) -> Jal (rd, i)
+  | St (_, a, i) -> St (rd, a, i) (* store: rd is the value source *)
+  | Stw (_, a, i) -> Stw (rd, a, i)
+  | Stb (_, a, i) -> Stb (rd, a, i)
+  | (Nop | Halt | Jmp _ | Jr _ | Assert_nz (_, _)
+    | Beq (_, _, _) | Bne (_, _, _) | Blt (_, _, _) | Bge (_, _, _)) as i -> i
+
+let with_rs1 instr rs1 =
+  match instr with
+  | Add (d, _, b) -> Add (d, rs1, b)
+  | Sub (d, _, b) -> Sub (d, rs1, b)
+  | And (d, _, b) -> And (d, rs1, b)
+  | Or (d, _, b) -> Or (d, rs1, b)
+  | Xor (d, _, b) -> Xor (d, rs1, b)
+  | Sll (d, _, b) -> Sll (d, rs1, b)
+  | Srl (d, _, b) -> Srl (d, rs1, b)
+  | Mul (d, _, b) -> Mul (d, rs1, b)
+  | Slt (d, _, b) -> Slt (d, rs1, b)
+  | Addi (d, _, i) -> Addi (d, rs1, i)
+  | Andi (d, _, i) -> Andi (d, rs1, i)
+  | Ori (d, _, i) -> Ori (d, rs1, i)
+  | Xori (d, _, i) -> Xori (d, rs1, i)
+  | Slti (d, _, i) -> Slti (d, rs1, i)
+  | Kseg (d, _) -> Kseg (d, rs1)
+  | Ld (d, _, i) -> Ld (d, rs1, i)
+  | St (v, _, i) -> St (v, rs1, i)
+  | Ldw (d, _, i) -> Ldw (d, rs1, i)
+  | Stw (v, _, i) -> Stw (v, rs1, i)
+  | Ldb (d, _, i) -> Ldb (d, rs1, i)
+  | Stb (v, _, i) -> Stb (v, rs1, i)
+  | Beq (a, _, i) -> Beq (a, rs1, i)
+  | Bne (a, _, i) -> Bne (a, rs1, i)
+  | Blt (a, _, i) -> Blt (a, rs1, i)
+  | Bge (a, _, i) -> Bge (a, rs1, i)
+  | Jr _ -> Jr rs1
+  | Assert_nz (_, m) -> Assert_nz (rs1, m)
+  | (Nop | Halt | Lui (_, _) | Jmp _ | Jal (_, _)) as i -> i
+
+let to_string instr =
+  let r n = Printf.sprintf "r%d" n in
+  match instr with
+  | Nop -> "nop"
+  | Halt -> "halt"
+  | Add (d, a, b) -> Printf.sprintf "add %s, %s, %s" (r d) (r a) (r b)
+  | Sub (d, a, b) -> Printf.sprintf "sub %s, %s, %s" (r d) (r a) (r b)
+  | And (d, a, b) -> Printf.sprintf "and %s, %s, %s" (r d) (r a) (r b)
+  | Or (d, a, b) -> Printf.sprintf "or %s, %s, %s" (r d) (r a) (r b)
+  | Xor (d, a, b) -> Printf.sprintf "xor %s, %s, %s" (r d) (r a) (r b)
+  | Sll (d, a, b) -> Printf.sprintf "sll %s, %s, %s" (r d) (r a) (r b)
+  | Srl (d, a, b) -> Printf.sprintf "srl %s, %s, %s" (r d) (r a) (r b)
+  | Mul (d, a, b) -> Printf.sprintf "mul %s, %s, %s" (r d) (r a) (r b)
+  | Slt (d, a, b) -> Printf.sprintf "slt %s, %s, %s" (r d) (r a) (r b)
+  | Addi (d, a, i) -> Printf.sprintf "addi %s, %s, %d" (r d) (r a) i
+  | Andi (d, a, i) -> Printf.sprintf "andi %s, %s, %d" (r d) (r a) i
+  | Ori (d, a, i) -> Printf.sprintf "ori %s, %s, %d" (r d) (r a) i
+  | Xori (d, a, i) -> Printf.sprintf "xori %s, %s, %d" (r d) (r a) i
+  | Slti (d, a, i) -> Printf.sprintf "slti %s, %s, %d" (r d) (r a) i
+  | Lui (d, i) -> Printf.sprintf "lui %s, %d" (r d) i
+  | Kseg (d, a) -> Printf.sprintf "kseg %s, %s" (r d) (r a)
+  | Ld (d, a, i) -> Printf.sprintf "ld %s, %d(%s)" (r d) i (r a)
+  | St (v, a, i) -> Printf.sprintf "st %s, %d(%s)" (r v) i (r a)
+  | Ldw (d, a, i) -> Printf.sprintf "ldw %s, %d(%s)" (r d) i (r a)
+  | Stw (v, a, i) -> Printf.sprintf "stw %s, %d(%s)" (r v) i (r a)
+  | Ldb (d, a, i) -> Printf.sprintf "ldb %s, %d(%s)" (r d) i (r a)
+  | Stb (v, a, i) -> Printf.sprintf "stb %s, %d(%s)" (r v) i (r a)
+  | Beq (a, b, o) -> Printf.sprintf "beq %s, %s, %d" (r a) (r b) o
+  | Bne (a, b, o) -> Printf.sprintf "bne %s, %s, %d" (r a) (r b) o
+  | Blt (a, b, o) -> Printf.sprintf "blt %s, %s, %d" (r a) (r b) o
+  | Bge (a, b, o) -> Printf.sprintf "bge %s, %s, %d" (r a) (r b) o
+  | Jmp o -> Printf.sprintf "jmp %d" o
+  | Jal (d, o) -> Printf.sprintf "jal %s, %d" (r d) o
+  | Jr a -> Printf.sprintf "jr %s" (r a)
+  | Assert_nz (a, m) -> Printf.sprintf "assert %s, #%d" (r a) m
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,91 @@
+(** The simulated kernel's instruction set.
+
+    A small 64-bit RISC with fixed 32-bit instruction words. The encoding
+    matters: the paper's fault injection flips bits in kernel text and
+    mutates instruction fields (change source/destination register, delete a
+    branch, delete a random instruction — §3.1), so instructions must
+    round-trip through a binary format in which a single flipped bit yields
+    either a different well-formed instruction or an illegal one, exactly as
+    on the Alpha.
+
+    Encoding (little-endian word): [op:6 | rd:5 | rs1:5 | rs2:5 | imm11:11].
+    I-format instructions read a 16-bit signed immediate from the low 16
+    bits ([rs2:5|imm11:11] combined).
+
+    Register conventions: [r0] is hard-wired zero; [r30] is the stack
+    pointer; [r31] is the link register. *)
+
+type reg = int
+(** Register number in [\[0, 31\]]. *)
+
+type t =
+  | Nop
+  | Halt
+  | Add of reg * reg * reg  (** [Add (rd, rs1, rs2)]: rd <- rs1 + rs2 *)
+  | Sub of reg * reg * reg
+  | And of reg * reg * reg
+  | Or of reg * reg * reg
+  | Xor of reg * reg * reg
+  | Sll of reg * reg * reg  (** shift amount = low 6 bits of rs2's value *)
+  | Srl of reg * reg * reg
+  | Mul of reg * reg * reg
+  | Slt of reg * reg * reg  (** rd <- rs1 < rs2 (signed) *)
+  | Addi of reg * reg * int  (** [Addi (rd, rs1, imm16)] *)
+  | Andi of reg * reg * int
+  | Ori of reg * reg * int
+  | Xori of reg * reg * int
+  | Slti of reg * reg * int
+  | Lui of reg * int  (** rd <- imm16 lsl 16 *)
+  | Kseg of reg * reg
+      (** rd <- kseg_base + rs1: materialize a physical (TLB-bypassing)
+          alias, the Alpha KSEG addressing mode. *)
+  | Ld of reg * reg * int  (** [Ld (rd, rs1, imm)]: rd <- mem64\[rs1+imm\] *)
+  | St of reg * reg * int  (** [St (rd, rs1, imm)]: mem64\[rs1+imm\] <- rd *)
+  | Ldw of reg * reg * int  (** 32-bit load, zero-extended *)
+  | Stw of reg * reg * int
+  | Ldb of reg * reg * int  (** byte load, zero-extended *)
+  | Stb of reg * reg * int
+  | Beq of reg * reg * int
+      (** [Beq (ra, rb, off)]: branch to pc + 4*off when equal. *)
+  | Bne of reg * reg * int
+  | Blt of reg * reg * int
+  | Bge of reg * reg * int
+  | Jmp of int  (** pc-relative unconditional jump, word offset. *)
+  | Jal of reg * int  (** rd <- return address; jump pc-relative. *)
+  | Jr of reg  (** pc <- rs1 *)
+  | Assert_nz of reg * int
+      (** [Assert_nz (rs1, msg)]: kernel consistency check — panic with
+          message id [msg] when rs1 = 0. These model the "multitude of
+          consistency checks present in a production operating system"
+          (§3.3). *)
+
+val encode : t -> int
+(** 32-bit instruction word. *)
+
+val decode : int -> t option
+(** [None] for illegal instruction words. *)
+
+val word_bytes : int
+(** 4. *)
+
+val is_store : t -> bool
+val is_branch : t -> bool
+(** Branches and jumps (used by the delete-branch fault). *)
+
+val reads : t -> reg list
+(** Source registers (used by pointer/register-corruption faults). *)
+
+val writes : t -> reg option
+(** Destination register, if any. *)
+
+val with_rd : t -> reg -> t
+(** Replace the destination register where the instruction has one
+    (identity otherwise) — the "destination reg" fault. *)
+
+val with_rs1 : t -> reg -> t
+(** Replace the first source register where present — the "source reg"
+    fault. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

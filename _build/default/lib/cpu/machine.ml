@@ -1,0 +1,212 @@
+module Mmu = Rio_vm.Mmu
+module Phys_mem = Rio_mem.Phys_mem
+
+type trap =
+  | Illegal_address of int
+  | Protection_violation of int
+  | Illegal_instruction of int
+  | Consistency_panic of int
+
+type state = Running | Halted | Trapped of trap
+
+type t = {
+  mem : Phys_mem.t;
+  mmu : Mmu.t;
+  regs : int array;
+  mutable pc : int;
+  mutable state : state;
+  mutable instructions : int;
+  mutable stores : int;
+  mutable on_store : (paddr:int -> width:int -> unit) option;
+}
+
+let create ~mem ~mmu =
+  {
+    mem;
+    mmu;
+    regs = Array.make 32 0;
+    pc = 0;
+    state = Running;
+    instructions = 0;
+    stores = 0;
+    on_store = None;
+  }
+
+let mem t = t.mem
+let mmu t = t.mmu
+let pc t = t.pc
+let set_pc t pc = t.pc <- pc
+
+let reg t n =
+  assert (n >= 0 && n < 32);
+  if n = 0 then 0 else t.regs.(n)
+
+let set_reg t n v =
+  assert (n >= 0 && n < 32);
+  if n <> 0 then t.regs.(n) <- v
+
+let sp_reg = 30
+let ra_reg = 31
+
+let state t = t.state
+let instructions_retired t = t.instructions
+let stores_retired t = t.stores
+
+let set_on_store t f = t.on_store <- Some f
+let clear_on_store t = t.on_store <- None
+
+let trap t trap_value =
+  t.state <- Trapped trap_value;
+  t.state
+
+(* Translate an access of [width] bytes starting at [vaddr]. Both end bytes
+   must translate; identity mapping keeps the physical range contiguous. *)
+let translate_span t vaddr width access =
+  match Mmu.translate t.mmu ~vaddr ~access with
+  | Mmu.Fault (Mmu.Unmapped a) -> Error (Illegal_address a)
+  | Mmu.Fault (Mmu.Write_protected a) -> Error (Protection_violation a)
+  | Mmu.Ok paddr ->
+    if width = 1 || (vaddr mod Phys_mem.page_size) + width <= Phys_mem.page_size then Ok paddr
+    else begin
+      match Mmu.translate t.mmu ~vaddr:(vaddr + width - 1) ~access with
+      | Mmu.Fault (Mmu.Unmapped a) -> Error (Illegal_address a)
+      | Mmu.Fault (Mmu.Write_protected a) -> Error (Protection_violation a)
+      | Mmu.Ok _ -> Ok paddr
+    end
+
+let load t vaddr width =
+  match translate_span t vaddr width Mmu.Read with
+  | Error e -> Error e
+  | Ok paddr ->
+    if not (Phys_mem.in_range t.mem paddr ~len:width) then Error (Illegal_address vaddr)
+    else
+      Ok
+        (match width with
+        | 1 -> Phys_mem.read_u8 t.mem paddr
+        | 4 -> Phys_mem.read_u32 t.mem paddr
+        | 8 -> Phys_mem.read_u64 t.mem paddr
+        | _ -> assert false)
+
+let store t vaddr width v =
+  match translate_span t vaddr width Mmu.Write with
+  | Error e -> Error e
+  | Ok paddr ->
+    if not (Phys_mem.in_range t.mem paddr ~len:width) then Error (Illegal_address vaddr)
+    else begin
+      (match width with
+      | 1 -> Phys_mem.write_u8 t.mem paddr v
+      | 4 -> Phys_mem.write_u32 t.mem paddr v
+      | 8 -> Phys_mem.write_u64 t.mem paddr v
+      | _ -> assert false);
+      t.stores <- t.stores + 1;
+      (match t.on_store with Some f -> f ~paddr ~width | None -> ());
+      Ok ()
+    end
+
+let step t =
+  match t.state with
+  | Halted | Trapped _ -> t.state
+  | Running ->
+    let pc = t.pc in
+    (match translate_span t pc Isa.word_bytes Mmu.Exec with
+    | Error e -> trap t e
+    | Ok paddr ->
+      if not (Phys_mem.in_range t.mem paddr ~len:4) then trap t (Illegal_address pc)
+      else begin
+        let word = Phys_mem.read_u32 t.mem paddr in
+        match Isa.decode word with
+        | None -> trap t (Illegal_instruction word)
+        | Some instr ->
+          t.instructions <- t.instructions + 1;
+          let next = pc + Isa.word_bytes in
+          let rr = reg t in
+          let continue_at target =
+            t.pc <- target;
+            t.state
+          in
+          let alu rd v =
+            set_reg t rd v;
+            continue_at next
+          in
+          let do_load rd addr width =
+            match load t addr width with
+            | Error e -> trap t e
+            | Ok v ->
+              set_reg t rd v;
+              continue_at next
+          in
+          let do_store v addr width =
+            match store t addr width v with
+            | Error e -> trap t e
+            | Ok () -> continue_at next
+          in
+          let branch cond off =
+            if cond then continue_at (pc + (off * Isa.word_bytes)) else continue_at next
+          in
+          (match instr with
+          | Isa.Nop -> continue_at next
+          | Isa.Halt ->
+            t.state <- Halted;
+            t.state
+          | Isa.Add (d, a, b) -> alu d (rr a + rr b)
+          | Isa.Sub (d, a, b) -> alu d (rr a - rr b)
+          | Isa.And (d, a, b) -> alu d (rr a land rr b)
+          | Isa.Or (d, a, b) -> alu d (rr a lor rr b)
+          | Isa.Xor (d, a, b) -> alu d (rr a lxor rr b)
+          | Isa.Sll (d, a, b) -> alu d (rr a lsl (rr b land 0x3F))
+          | Isa.Srl (d, a, b) -> alu d (rr a lsr (rr b land 0x3F))
+          | Isa.Mul (d, a, b) -> alu d (rr a * rr b)
+          | Isa.Slt (d, a, b) -> alu d (if rr a < rr b then 1 else 0)
+          | Isa.Addi (d, a, i) -> alu d (rr a + i)
+          | Isa.Andi (d, a, i) -> alu d (rr a land (i land 0xFFFF))
+          | Isa.Ori (d, a, i) -> alu d (rr a lor (i land 0xFFFF))
+          | Isa.Xori (d, a, i) -> alu d (rr a lxor (i land 0xFFFF))
+          | Isa.Slti (d, a, i) -> alu d (if rr a < i then 1 else 0)
+          | Isa.Lui (d, i) -> alu d ((i land 0xFFFF) lsl 16)
+          | Isa.Kseg (d, a) -> alu d (Mmu.kseg_addr (rr a))
+          | Isa.Ld (d, a, i) -> do_load d (rr a + i) 8
+          | Isa.Ldw (d, a, i) -> do_load d (rr a + i) 4
+          | Isa.Ldb (d, a, i) -> do_load d (rr a + i) 1
+          | Isa.St (v, a, i) -> do_store (rr v) (rr a + i) 8
+          | Isa.Stw (v, a, i) -> do_store (rr v) (rr a + i) 4
+          | Isa.Stb (v, a, i) -> do_store (rr v) (rr a + i) 1
+          | Isa.Beq (a, b, o) -> branch (rr a = rr b) o
+          | Isa.Bne (a, b, o) -> branch (rr a <> rr b) o
+          | Isa.Blt (a, b, o) -> branch (rr a < rr b) o
+          | Isa.Bge (a, b, o) -> branch (rr a >= rr b) o
+          | Isa.Jmp o -> continue_at (pc + (o * Isa.word_bytes))
+          | Isa.Jal (d, o) ->
+            set_reg t d next;
+            continue_at (pc + (o * Isa.word_bytes))
+          | Isa.Jr a -> continue_at (rr a)
+          | Isa.Assert_nz (a, msg) ->
+            if rr a = 0 then trap t (Consistency_panic msg) else continue_at next)
+      end)
+
+let run t ~max_instructions =
+  let budget = t.instructions + max_instructions in
+  let rec loop () =
+    match t.state with
+    | Running when t.instructions < budget ->
+      ignore (step t);
+      loop ()
+    | s -> s
+  in
+  loop ()
+
+let resume t = t.state <- Running
+
+let reset t =
+  Array.fill t.regs 0 32 0;
+  t.pc <- 0;
+  t.state <- Running;
+  t.instructions <- 0;
+  t.stores <- 0
+
+let trap_to_string = function
+  | Illegal_address a -> Printf.sprintf "illegal address %#x" a
+  | Protection_violation a -> Printf.sprintf "protection violation at %#x" a
+  | Illegal_instruction w -> Printf.sprintf "illegal instruction %#010x" w
+  | Consistency_panic m -> Printf.sprintf "kernel consistency check #%d failed" m
+
+let pp_trap ppf t = Format.pp_print_string ppf (trap_to_string t)

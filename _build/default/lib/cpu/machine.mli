@@ -1,0 +1,77 @@
+(** The interpreted CPU.
+
+    Executes kernel code (assembled {!Isa} instructions living in simulated
+    physical memory) against the MMU and physical memory. All the crash
+    behaviour Table 1 depends on comes out of this loop:
+
+    - a mutated instruction that forms a wild address faults in the MMU
+      ("most errors are first detected by issuing an illegal address",
+      §3.3);
+    - a wild store that happens to land in a *writable* page silently
+      corrupts memory — possibly the file cache;
+    - with Rio protection on, a wild store into the file cache raises a
+      protection trap instead;
+    - a failed [Assert_nz] models the kernel's own consistency checks
+      panicking. *)
+
+type trap =
+  | Illegal_address of int  (** Unmapped fetch, load, or store address. *)
+  | Protection_violation of int
+      (** Store hit a write-protected page — Rio's protection mechanism. *)
+  | Illegal_instruction of int  (** Undecodable instruction word. *)
+  | Consistency_panic of int  (** A kernel [Assert_nz] failed; payload is the message id. *)
+
+type state = Running | Halted | Trapped of trap
+
+type t
+
+val create : mem:Rio_mem.Phys_mem.t -> mmu:Rio_vm.Mmu.t -> t
+
+val mem : t -> Rio_mem.Phys_mem.t
+val mmu : t -> Rio_vm.Mmu.t
+
+val pc : t -> int
+val set_pc : t -> int -> unit
+
+val reg : t -> int -> int
+(** Read register [\[0,31\]]; r0 always reads 0. *)
+
+val set_reg : t -> int -> int -> unit
+(** Write a register; writes to r0 are ignored. *)
+
+val sp_reg : int
+(** 30 *)
+
+val ra_reg : int
+(** 31 *)
+
+val state : t -> state
+
+val instructions_retired : t -> int
+
+val stores_retired : t -> int
+
+val set_on_store : t -> (paddr:int -> width:int -> unit) -> unit
+(** Instrumentation hook invoked after every successful store with the
+    physical address written (used by corruption tracing and the
+    code-patching cost model). *)
+
+val clear_on_store : t -> unit
+
+val step : t -> state
+(** Execute one instruction (no-op unless [Running]). *)
+
+val run : t -> max_instructions:int -> state
+(** Step until halt, trap, or the instruction budget is exhausted (the
+    caller treats budget exhaustion with [Running] still set as a hang). *)
+
+val resume : t -> unit
+(** Clear a halt/trap and mark the machine runnable again (used when the
+    kernel model handles a trap or reboots). *)
+
+val reset : t -> unit
+(** Zero registers and pc, clear state to [Running], reset counters. *)
+
+val pp_trap : Format.formatter -> trap -> unit
+
+val trap_to_string : trap -> string

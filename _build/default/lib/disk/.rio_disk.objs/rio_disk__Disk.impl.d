@@ -1,0 +1,1 @@
+lib/disk/disk.ml: Bytes Format Hashtbl Lazy List Printf Rio_sim Rio_util

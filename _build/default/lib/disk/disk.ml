@@ -1,0 +1,239 @@
+module Engine = Rio_sim.Engine
+module Costs = Rio_sim.Costs
+
+let sector_bytes = 512
+
+type stats = {
+  reads : int;
+  writes : int;
+  sectors_read : int;
+  sectors_written : int;
+  seeks : int;
+  busy_us : int;
+}
+
+type request = {
+  req_sector : int;
+  data : bytes; (* whole sectors *)
+  start_time : int;
+  completion_time : int;
+  handle : Engine.handle;
+}
+
+type t = {
+  engine : Engine.t;
+  costs : Costs.t;
+  sectors : int;
+  store : (int, bytes) Hashtbl.t;
+  prng : Rio_util.Prng.t;
+  mutable head : int; (* next sector position of the head *)
+  mutable busy_until : int;
+  mutable pending : request list; (* FIFO order: oldest first *)
+  mutable reads : int;
+  mutable writes : int;
+  mutable sectors_read : int;
+  mutable sectors_written : int;
+  mutable seeks : int;
+  mutable busy_us : int;
+}
+
+let create ~engine ~costs ~sectors ~seed =
+  {
+    engine;
+    costs;
+    sectors;
+    store = Hashtbl.create 4096;
+    prng = Rio_util.Prng.create ~seed;
+    head = 0;
+    busy_until = 0;
+    pending = [];
+    reads = 0;
+    writes = 0;
+    sectors_read = 0;
+    sectors_written = 0;
+    seeks = 0;
+    busy_us = 0;
+  }
+
+let capacity_sectors t = t.sectors
+
+let engine t = t.engine
+
+let check_range t sector count =
+  if sector < 0 || count < 0 || sector + count > t.sectors then
+    invalid_arg
+      (Printf.sprintf "Disk: sectors [%d,+%d) outside capacity %d" sector count t.sectors)
+
+let peek t ~sector =
+  check_range t sector 1;
+  match Hashtbl.find_opt t.store sector with
+  | Some b -> Bytes.copy b
+  | None -> Bytes.make sector_bytes '\000'
+
+let commit_sector t sector (b : bytes) =
+  assert (Bytes.length b = sector_bytes);
+  Hashtbl.replace t.store sector (Bytes.copy b)
+
+let poke t ~sector b =
+  check_range t sector 1;
+  if Bytes.length b > sector_bytes then invalid_arg "Disk.poke: more than one sector";
+  let padded = Bytes.make sector_bytes '\000' in
+  Bytes.blit b 0 padded 0 (Bytes.length b);
+  commit_sector t sector padded
+
+let pad_to_sectors data =
+  let n = (Bytes.length data + sector_bytes - 1) / sector_bytes in
+  if Bytes.length data = n * sector_bytes then (data, n)
+  else begin
+    let padded = Bytes.make (n * sector_bytes) '\000' in
+    Bytes.blit data 0 padded 0 (Bytes.length data);
+    (padded, n)
+  end
+
+(* Service time for a request at [sector] given the head position: seek plus
+   rotation unless the request continues where the head stopped. *)
+let service_time t sector count =
+  let positioning =
+    if sector = t.head then 0 (* sequential: the head is already there *)
+    else if sector >= t.head - count && sector < t.head then begin
+      (* Rewriting a sector just written: wait one full revolution. *)
+      2 * t.costs.Costs.disk_rotation_us
+    end
+    else begin
+      t.seeks <- t.seeks + 1;
+      t.costs.Costs.disk_seek_us + t.costs.Costs.disk_rotation_us
+    end
+  in
+  positioning + Costs.transfer_time t.costs (count * sector_bytes)
+
+let commit_request t r =
+  let count = Bytes.length r.data / sector_bytes in
+  for i = 0 to count - 1 do
+    commit_sector t (r.req_sector + i) (Bytes.sub r.data (i * sector_bytes) sector_bytes)
+  done;
+  t.pending <- List.filter (fun p -> p != r) t.pending
+
+(* Begin a request: compute its service window and move the head/busy
+   markers. Returns (start, completion). *)
+let schedule_request t sector count =
+  let start = max (Engine.now t.engine) t.busy_until in
+  let service = service_time t sector count in
+  let completion = start + service in
+  t.busy_until <- completion;
+  t.head <- sector + count;
+  t.busy_us <- t.busy_us + service;
+  (start, completion)
+
+let read_sync t ~sector ~count =
+  check_range t sector count;
+  let _, completion = schedule_request t sector count in
+  Engine.advance_to t.engine completion;
+  t.reads <- t.reads + 1;
+  t.sectors_read <- t.sectors_read + count;
+  let out = Bytes.create (count * sector_bytes) in
+  for i = 0 to count - 1 do
+    let b =
+      match Hashtbl.find_opt t.store (sector + i) with
+      | Some b -> b
+      | None -> Bytes.make sector_bytes '\000'
+    in
+    Bytes.blit b 0 out (i * sector_bytes) sector_bytes
+  done;
+  out
+
+let write_sync t ~sector data =
+  let data, count = pad_to_sectors data in
+  check_range t sector count;
+  let _, completion = schedule_request t sector count in
+  Engine.advance_to t.engine completion;
+  t.writes <- t.writes + 1;
+  t.sectors_written <- t.sectors_written + count;
+  for i = 0 to count - 1 do
+    commit_sector t (sector + i) (Bytes.sub data (i * sector_bytes) sector_bytes)
+  done
+
+let max_queue_depth = 32
+
+let write_async t ~sector data =
+  let data, count = pad_to_sectors data in
+  check_range t sector count;
+  (* A bounded queue: a heavy asynchronous writer eventually runs at disk
+     speed, as on a real system. *)
+  while List.length t.pending >= max_queue_depth do
+    match t.pending with
+    | oldest :: _ -> Engine.advance_to t.engine oldest.completion_time
+    | [] -> ()
+  done;
+  let start, completion = schedule_request t sector count in
+  t.writes <- t.writes + 1;
+  t.sectors_written <- t.sectors_written + count;
+  let rec request =
+    lazy
+      {
+        req_sector = sector;
+        data;
+        start_time = start;
+        completion_time = completion;
+        handle =
+          Engine.schedule_at t.engine ~time:completion (fun _ ->
+              commit_request t (Lazy.force request));
+      }
+  in
+  t.pending <- t.pending @ [ Lazy.force request ]
+
+let drain t =
+  Engine.advance_to t.engine t.busy_until;
+  (* Events at exactly [busy_until] have fired; a non-empty pending list
+     would mean a commit event landed beyond busy_until, which cannot
+     happen. *)
+  assert (t.pending = [])
+
+let pending_writes t = List.length t.pending
+
+let crash t =
+  let now = Engine.now t.engine in
+  List.iter
+    (fun r ->
+      Engine.cancel t.engine r.handle;
+      if r.start_time <= now then begin
+        (* In-flight: commit the sectors already behind the head, tear the
+           one under it. *)
+        let count = Bytes.length r.data / sector_bytes in
+        let window = r.completion_time - r.start_time in
+        let frac =
+          if window <= 0 then 0.
+          else float_of_int (now - r.start_time) /. float_of_int window
+        in
+        let committed = int_of_float (frac *. float_of_int count) in
+        for i = 0 to min committed count - 1 do
+          commit_sector t (r.req_sector + i) (Bytes.sub r.data (i * sector_bytes) sector_bytes)
+        done;
+        if committed < count then
+          commit_sector t (r.req_sector + committed)
+            (Rio_util.Prng.bytes t.prng sector_bytes)
+      end)
+    t.pending;
+  t.pending <- [];
+  t.busy_until <- Engine.now t.engine
+
+let stats t =
+  {
+    reads = t.reads;
+    writes = t.writes;
+    sectors_read = t.sectors_read;
+    sectors_written = t.sectors_written;
+    seeks = t.seeks;
+    busy_us = t.busy_us;
+  }
+
+let reset_stats t =
+  t.reads <- 0;
+  t.writes <- 0;
+  t.sectors_read <- 0;
+  t.sectors_written <- 0;
+  t.seeks <- 0;
+  t.busy_us <- 0
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf "reads=%d (%d sect) writes=%d (%d sect) seeks=%d busy=%a" s.reads
+    s.sectors_read s.writes s.sectors_written s.seeks Rio_util.Units.pp_usec s.busy_us

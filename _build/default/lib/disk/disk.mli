@@ -1,0 +1,78 @@
+(** The simulated disk: a sector store with an early-90s SCSI timing model.
+
+    Requests are serviced FIFO against the {!Rio_sim.Engine} clock.
+    Synchronous operations advance the clock until their completion (this is
+    what makes write-through file systems slow); asynchronous writes occupy
+    the disk in the background and only *commit to the platter* at their
+    completion time — a crash before that point loses them, and tears the
+    sector that was under the head (paper §2.1: disks share the
+    being-written vulnerability). *)
+
+type t
+
+type stats = {
+  reads : int;
+  writes : int;
+  sectors_read : int;
+  sectors_written : int;
+  seeks : int;
+  busy_us : int;
+}
+
+val sector_bytes : int
+(** 512. *)
+
+val create :
+  engine:Rio_sim.Engine.t ->
+  costs:Rio_sim.Costs.t ->
+  sectors:int ->
+  seed:int ->
+  t
+(** A zero-filled disk of [sectors] sectors. The seed drives torn-write
+    garbage so crash tests replay deterministically. *)
+
+val capacity_sectors : t -> int
+
+val engine : t -> Rio_sim.Engine.t
+
+(** {1 Immediate (un-timed) access}
+
+    Used by boot-time loading and by the test harness to inspect the
+    platter; charges no simulated time and bypasses the queue. *)
+
+val peek : t -> sector:int -> bytes
+(** Copy of one sector's committed contents. *)
+
+val poke : t -> sector:int -> bytes -> unit
+(** Write one sector directly (length <= 512; padded with zeros). *)
+
+(** {1 Timed access} *)
+
+val read_sync : t -> sector:int -> count:int -> bytes
+(** Read [count] contiguous sectors, advancing the clock by queueing plus
+    service time. *)
+
+val write_sync : t -> sector:int -> bytes -> unit
+(** Write contiguous sectors synchronously (length padded to a whole number
+    of sectors); the clock advances to completion — data is then
+    crash-safe. *)
+
+val write_async : t -> sector:int -> bytes -> unit
+(** Queue a write and return immediately. The data commits to the platter
+    when the disk gets to it; until then a crash discards it. *)
+
+val drain : t -> unit
+(** Advance the clock until all queued writes have committed ([sync]'s
+    disk-side half). *)
+
+val pending_writes : t -> int
+
+val crash : t -> unit
+(** Lose all uncommitted queued writes. The request under the head (if any)
+    commits a prefix of its sectors and tears the sector it was writing. *)
+
+val stats : t -> stats
+
+val reset_stats : t -> unit
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,1 @@
+lib/fault/campaign.ml: Bytes Format Injector List Printf Rio_core Rio_cpu Rio_fs Rio_kernel Rio_mem Rio_sim Rio_util Rio_workload

@@ -1,0 +1,1 @@
+lib/fault/campaign.mli: Fault_type Format Rio_kernel

@@ -1,0 +1,1 @@
+lib/fault/injector.ml: Fault_type List Rio_cpu Rio_kasm Rio_kernel Rio_mem Rio_util

@@ -1,0 +1,1 @@
+lib/fault/injector.mli: Fault_type Rio_cpu Rio_kernel Rio_util

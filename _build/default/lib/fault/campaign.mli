@@ -1,0 +1,65 @@
+(** One crash test, end to end (§3): boot, warm up the workload, inject 20
+    faults, run until the system crashes (or discard), recover, and measure
+    corruption.
+
+    Three systems are compared, as in Table 1:
+
+    - {b Disk_based}: default UFS with memTest calling fsync after every
+      write — write-through reliability, no Rio.
+    - {b Rio_without_protection}: reliability disk writes off, warm reboot
+      only.
+    - {b Rio_with_protection}: plus VM write-protection of the file cache
+      and KSEG-through-TLB. *)
+
+type system =
+  | Disk_based
+  | Rio_without_protection
+  | Rio_with_protection
+
+val all_systems : system list
+
+val system_name : system -> string
+
+type config = {
+  warmup_steps : int;  (** memTest steps before injection. *)
+  max_steps : int;  (** memTest steps after injection before discarding. *)
+  faults_per_run : int;  (** 20, as in the paper. *)
+  activity_per_step : int;  (** Kernel activity bursts interleaved per step. *)
+  memtest_files : int;
+  memtest_file_bytes : int;
+  background_andrew : int;  (** Concurrent Andrew instances (paper: 4). *)
+  andrew_scale : float;
+  kernel_config : Rio_kernel.Kernel.config;
+}
+
+val default_config : config
+(** Scaled for thousands of runs: 40 warmup steps, 260-step watchdog
+    window, 2 activity bursts per step, 2 background Andrews at 3% scale. *)
+
+type outcome = {
+  discarded : bool;  (** Never crashed inside the watchdog window. *)
+  crash : Rio_kernel.Kcrash.info option;
+  crash_message : string option;  (** Console-message string (diversity counting). *)
+  protection_trap : bool;
+      (** The crash {e was} Rio's protection stopping an illegal store. *)
+  corrupted : bool;  (** Any post-recovery discrepancy — Table 1's cell. *)
+  corrupt_paths : int;  (** Distinct files/directories affected. *)
+  discrepancies : string list;
+  checksum_detected : bool;  (** Rio's checksums flagged direct corruption. *)
+  changing_buffers : int;  (** Buffers unverifiable because mid-write. *)
+  static_files_ok : bool;  (** The untouched twin files still match. *)
+  memtest_steps : int;
+  sim_time_us : int;
+  registry_corrupt_slots : int;
+  wild_filecache_stores : int;
+      (** Post-injection stores by interpreted kernel code into file-cache
+          pages the kernel does not own — direct corruption observed in the
+          act. The paper treated the system as a black box (footnote 2);
+          the simulator can watch the propagation directly. *)
+  injected_at_us : int;  (** Simulated time of fault injection. *)
+}
+
+val run_one : config -> system -> Fault_type.t -> seed:int -> outcome
+(** Fully deterministic in [seed]. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,61 @@
+type t =
+  | Kernel_text
+  | Kernel_heap
+  | Kernel_stack
+  | Destination_reg
+  | Source_reg
+  | Delete_branch
+  | Delete_instruction
+  | Initialization
+  | Pointer
+  | Allocation
+  | Copy_overrun
+  | Off_by_one
+  | Synchronization
+
+let all =
+  [
+    Kernel_text;
+    Kernel_heap;
+    Kernel_stack;
+    Destination_reg;
+    Source_reg;
+    Delete_branch;
+    Delete_instruction;
+    Initialization;
+    Pointer;
+    Allocation;
+    Copy_overrun;
+    Off_by_one;
+    Synchronization;
+  ]
+
+type category = Bit_flip | Low_level | High_level
+
+let category = function
+  | Kernel_text | Kernel_heap | Kernel_stack -> Bit_flip
+  | Destination_reg | Source_reg | Delete_branch | Delete_instruction -> Low_level
+  | Initialization | Pointer | Allocation | Copy_overrun | Off_by_one | Synchronization ->
+    High_level
+
+let name = function
+  | Kernel_text -> "kernel text"
+  | Kernel_heap -> "kernel heap"
+  | Kernel_stack -> "kernel stack"
+  | Destination_reg -> "destination reg."
+  | Source_reg -> "source reg."
+  | Delete_branch -> "delete branch"
+  | Delete_instruction -> "delete random inst."
+  | Initialization -> "initialization"
+  | Pointer -> "pointer"
+  | Allocation -> "allocation"
+  | Copy_overrun -> "copy overrun"
+  | Off_by_one -> "off-by-one"
+  | Synchronization -> "synchronization"
+
+let of_name s = List.find_opt (fun t -> name t = s) all
+
+let category_name = function
+  | Bit_flip -> "bit flips"
+  | Low_level -> "low-level software"
+  | High_level -> "high-level software"

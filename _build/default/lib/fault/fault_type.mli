@@ -1,0 +1,35 @@
+(** The thirteen fault types of §3.1, in the paper's three categories. *)
+
+type t =
+  (* bit flips *)
+  | Kernel_text  (** Flip a bit in kernel code. *)
+  | Kernel_heap  (** Flip a bit in the kernel heap. *)
+  | Kernel_stack  (** Flip a bit in the kernel stack. *)
+  (* low-level software faults: instruction mutations *)
+  | Destination_reg  (** Change an instruction's destination register. *)
+  | Source_reg  (** Change an instruction's source register. *)
+  | Delete_branch  (** Remove a branch/jump. *)
+  | Delete_instruction  (** Remove a random instruction. *)
+  (* high-level software faults: programming-error mimics *)
+  | Initialization  (** Delete a variable initialization at procedure entry. *)
+  | Pointer
+      (** Corrupt a pointer: delete the most recent instruction that
+          computed a load/store base register. *)
+  | Allocation  (** Premature free of an in-use allocation. *)
+  | Copy_overrun  (** bcopy copies too many bytes. *)
+  | Off_by_one  (** > becomes >=, < becomes <=, boundary constants shift. *)
+  | Synchronization  (** Lock acquire/release silently skipped. *)
+
+val all : t list
+(** The 13, in Table 1's row order. *)
+
+type category = Bit_flip | Low_level | High_level
+
+val category : t -> category
+
+val name : t -> string
+(** Table 1's row label. *)
+
+val of_name : string -> t option
+
+val category_name : category -> string

@@ -1,0 +1,203 @@
+module Kernel = Rio_kernel.Kernel
+module Isa = Rio_cpu.Isa
+module Phys_mem = Rio_mem.Phys_mem
+module Layout = Rio_mem.Layout
+module Asm = Rio_kasm.Asm
+module Kprogs = Rio_kasm.Kprogs
+module Prng = Rio_util.Prng
+
+(* ---------------- pure instruction mutation rules ---------------- *)
+
+let mutate_instruction prng instr (fault : Fault_type.t) =
+  match fault with
+  | Fault_type.Destination_reg ->
+    (match Isa.writes instr with
+    | None -> None
+    | Some _ -> Some (Isa.with_rd instr (Prng.int prng 32)))
+  | Fault_type.Source_reg ->
+    (match Isa.reads instr with
+    | [] -> None
+    | _ :: _ -> Some (Isa.with_rs1 instr (Prng.int prng 32)))
+  | Fault_type.Delete_branch -> if Isa.is_branch instr then Some Isa.Nop else None
+  | Fault_type.Delete_instruction ->
+    (match instr with Isa.Halt -> None | _ -> Some Isa.Nop)
+  | Fault_type.Off_by_one ->
+    (* Boundary-condition slips: comparison sense or constant off by one. *)
+    (match instr with
+    | Isa.Blt (a, b, o) -> Some (Isa.Bge (a, b, o))
+    | Isa.Bge (a, b, o) -> Some (Isa.Blt (a, b, o))
+    | Isa.Beq (a, b, o) -> Some (Isa.Bne (a, b, o))
+    | Isa.Bne (a, b, o) -> Some (Isa.Beq (a, b, o))
+    | Isa.Slti (d, a, i) -> Some (Isa.Slti (d, a, i + if Prng.bool prng then 1 else -1))
+    | Isa.Addi (d, a, i) -> Some (Isa.Addi (d, a, i + if Prng.bool prng then 1 else -1))
+    | Isa.Nop | Isa.Halt
+    | Isa.Add (_, _, _) | Isa.Sub (_, _, _) | Isa.And (_, _, _) | Isa.Or (_, _, _)
+    | Isa.Xor (_, _, _) | Isa.Sll (_, _, _) | Isa.Srl (_, _, _) | Isa.Mul (_, _, _)
+    | Isa.Slt (_, _, _) | Isa.Andi (_, _, _) | Isa.Ori (_, _, _) | Isa.Xori (_, _, _)
+    | Isa.Lui (_, _) | Isa.Kseg (_, _) | Isa.Ld (_, _, _) | Isa.St (_, _, _)
+    | Isa.Ldw (_, _, _) | Isa.Stw (_, _, _) | Isa.Ldb (_, _, _) | Isa.Stb (_, _, _)
+    | Isa.Jmp _ | Isa.Jal (_, _) | Isa.Jr _ | Isa.Assert_nz (_, _) -> None)
+  | Fault_type.Kernel_text | Fault_type.Kernel_heap | Fault_type.Kernel_stack
+  | Fault_type.Initialization | Fault_type.Pointer | Fault_type.Allocation
+  | Fault_type.Copy_overrun | Fault_type.Synchronization -> None
+
+(* ---------------- text-region helpers ---------------- *)
+
+let text_geometry kernel =
+  let text = Layout.region (Kernel.layout kernel) Layout.Kernel_text in
+  let program = (Kernel.kprogs kernel).Kprogs.program in
+  (text.Layout.base, Asm.instruction_count program)
+
+let read_instr kernel idx =
+  let base, _ = text_geometry kernel in
+  Isa.decode (Phys_mem.read_u32 (Kernel.mem kernel) (base + (idx * Isa.word_bytes)))
+
+let write_instr kernel idx instr =
+  let base, _ = text_geometry kernel in
+  Phys_mem.write_u32 (Kernel.mem kernel) (base + (idx * Isa.word_bytes)) (Isa.encode instr)
+
+(* Routine boundaries from the symbol table, sorted by address. *)
+let routine_ranges kernel =
+  let base, count = text_geometry kernel in
+  let program = (Kernel.kprogs kernel).Kprogs.program in
+  let entries =
+    List.sort compare (List.map (fun (_, addr) -> (addr - base) / Isa.word_bytes)
+                         program.Asm.symbols)
+  in
+  let rec ranges = function
+    | a :: (b :: _ as rest) -> (a, b) :: ranges rest
+    | [ a ] -> [ (a, count) ]
+    | [] -> []
+  in
+  ranges entries
+
+(* Retry a probabilistic mutation until a target site accepts it. *)
+let rec try_sites kernel prng fault ~attempts =
+  if attempts = 0 then ()
+  else begin
+    let _, count = text_geometry kernel in
+    let idx = Prng.int prng count in
+    match read_instr kernel idx with
+    | None -> try_sites kernel prng fault ~attempts:(attempts - 1)
+    | Some instr ->
+      (match mutate_instruction prng instr fault with
+      | Some mutated -> write_instr kernel idx mutated
+      | None -> try_sites kernel prng fault ~attempts:(attempts - 1))
+  end
+
+let flip_random_bit kernel prng ~base ~bytes =
+  let addr = base + Prng.int prng bytes in
+  Phys_mem.flip_bit (Kernel.mem kernel) addr ~bit:(Prng.int prng 8)
+
+(* Initialization fault: delete an early register-writing instruction of a
+   routine (§3.1, Kao93/Lee93). *)
+let inject_initialization kernel prng =
+  let ranges = routine_ranges kernel in
+  let rec attempt n =
+    if n > 0 then begin
+      let lo, hi = List.nth ranges (Prng.int prng (List.length ranges)) in
+      let prologue = min (lo + 6) hi in
+      let candidates = ref [] in
+      for idx = lo to prologue - 1 do
+        match read_instr kernel idx with
+        | Some instr when Isa.writes instr <> None && not (Isa.is_branch instr) ->
+          candidates := idx :: !candidates
+        | Some _ | None -> ()
+      done;
+      match !candidates with
+      | [] -> attempt (n - 1)
+      | c -> write_instr kernel (List.nth c (Prng.int prng (List.length c))) Isa.Nop
+    end
+  in
+  attempt 20
+
+(* Pointer fault: find a load/store, then delete the most recent earlier
+   instruction that modifies its base register (§3.1, Sullivan91b). The
+   stack pointer is excluded, as in the paper. *)
+let inject_pointer kernel prng =
+  let _, count = text_geometry kernel in
+  let is_mem_access = function
+    | Isa.Ld (_, b, _) | Isa.St (_, b, _) | Isa.Ldw (_, b, _) | Isa.Stw (_, b, _)
+    | Isa.Ldb (_, b, _) | Isa.Stb (_, b, _) ->
+      if b = Rio_cpu.Machine.sp_reg then None else Some b
+    | Isa.Nop | Isa.Halt
+    | Isa.Add (_, _, _) | Isa.Sub (_, _, _) | Isa.And (_, _, _) | Isa.Or (_, _, _)
+    | Isa.Xor (_, _, _) | Isa.Sll (_, _, _) | Isa.Srl (_, _, _) | Isa.Mul (_, _, _)
+    | Isa.Slt (_, _, _) | Isa.Addi (_, _, _) | Isa.Andi (_, _, _) | Isa.Ori (_, _, _)
+    | Isa.Xori (_, _, _) | Isa.Slti (_, _, _) | Isa.Lui (_, _) | Isa.Kseg (_, _)
+    | Isa.Beq (_, _, _) | Isa.Bne (_, _, _) | Isa.Blt (_, _, _) | Isa.Bge (_, _, _)
+    | Isa.Jmp _ | Isa.Jal (_, _) | Isa.Jr _ | Isa.Assert_nz (_, _) -> None
+  in
+  let rec attempt n =
+    if n > 0 then begin
+      let idx = Prng.int prng count in
+      match read_instr kernel idx with
+      | Some instr ->
+        (match is_mem_access instr with
+        | Some base_reg ->
+          (* scan backwards for the defining instruction *)
+          let rec back j =
+            if j < 0 || idx - j > 16 then attempt (n - 1)
+            else
+              match read_instr kernel j with
+              | Some def when Isa.writes def = Some base_reg -> write_instr kernel j Isa.Nop
+              | Some _ | None -> back (j - 1)
+          in
+          back (idx - 1)
+        | None -> attempt (n - 1))
+      | None -> attempt (n - 1)
+    end
+  in
+  attempt 40
+
+let behavioral_period = 120
+(* The paper triggers behavioral faults every 1000-4000 calls, i.e. roughly
+   every 15 seconds, and crashes arrive within ~15 seconds of injection —
+   so a typical run sees only a few triggers. The period is scaled so our
+   runs see a comparably small number of triggers inside the watchdog
+   window. *)
+
+let inject kernel ~prng (fault : Fault_type.t) =
+  let layout = Kernel.layout kernel in
+  match fault with
+  | Fault_type.Kernel_text ->
+    let base, count = text_geometry kernel in
+    flip_random_bit kernel prng ~base ~bytes:(count * Isa.word_bytes)
+  | Fault_type.Kernel_heap ->
+    let region = Layout.region layout Layout.Kernel_heap in
+    let heap = Kernel.heap kernel in
+    (* Bias toward the live structures: the header words and the node and
+       chase arenas (most of a real heap holds live allocations; most of
+       this region is unused model slack). *)
+    if Prng.chance prng 0.35 then
+      flip_random_bit kernel prng ~base:region.Layout.base ~bytes:1024
+    else if Prng.chance prng 0.8 then begin
+      let arena = Rio_kernel.Kheap.node_addr heap 0 in
+      let span =
+        (Rio_kernel.Kheap.node_count + Rio_kernel.Kheap.chase_count)
+        * Rio_kernel.Kheap.node_size
+      in
+      flip_random_bit kernel prng ~base:arena ~bytes:span
+    end
+    else flip_random_bit kernel prng ~base:region.Layout.base ~bytes:region.Layout.bytes
+  | Fault_type.Kernel_stack ->
+    let region = Layout.region layout Layout.Kernel_stack in
+    (* The active frames sit at the top of the stack. *)
+    if Prng.chance prng 0.8 then
+      flip_random_bit kernel prng
+        ~base:(region.Layout.base + region.Layout.bytes - 256)
+        ~bytes:256
+    else flip_random_bit kernel prng ~base:region.Layout.base ~bytes:region.Layout.bytes
+  | Fault_type.Destination_reg | Fault_type.Source_reg | Fault_type.Delete_branch
+  | Fault_type.Delete_instruction | Fault_type.Off_by_one ->
+    try_sites kernel prng fault ~attempts:60
+  | Fault_type.Initialization -> inject_initialization kernel prng
+  | Fault_type.Pointer -> inject_pointer kernel prng
+  | Fault_type.Allocation -> Kernel.arm_allocation_fault kernel ~period:behavioral_period
+  | Fault_type.Copy_overrun -> Kernel.arm_copy_overrun kernel ~period:behavioral_period
+  | Fault_type.Synchronization -> Kernel.arm_sync_fault kernel ~period:behavioral_period
+
+let inject_many kernel ~prng fault ~count =
+  for _ = 1 to count do
+    inject kernel ~prng fault
+  done

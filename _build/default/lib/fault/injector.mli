@@ -1,0 +1,23 @@
+(** Applies fault instances to a booted kernel (§3.1).
+
+    Text faults mutate the kernel-text instruction words in simulated
+    memory through {!Rio_cpu.Isa}'s binary encoding — a mutated word may
+    decode to a different well-formed instruction or to an illegal one,
+    exactly as on real hardware. Heap/stack faults flip bits in those
+    regions. The behavioral faults (allocation, copy overrun,
+    synchronization) arm the kernel's periodic triggers. *)
+
+val inject : Rio_kernel.Kernel.t -> prng:Rio_util.Prng.t -> Fault_type.t -> unit
+(** Apply one fault instance. Idempotent arming for the behavioral types
+    (repeated injection shortens the period, as more call sites are
+    infected). *)
+
+val inject_many : Rio_kernel.Kernel.t -> prng:Rio_util.Prng.t -> Fault_type.t -> count:int -> unit
+(** The paper's "20 faults for each run". *)
+
+(** {1 Exposed for tests} *)
+
+val mutate_instruction :
+  Rio_util.Prng.t -> Rio_cpu.Isa.t -> Fault_type.t -> Rio_cpu.Isa.t option
+(** The pure instruction-mutation rules: what a given fault type does to a
+    given instruction; [None] if the instruction is not a valid target. *)

@@ -1,0 +1,1 @@
+lib/fs/block_cache.ml: Format Fs_types Hashtbl Hooks List Rio_disk Rio_mem

@@ -1,0 +1,1 @@
+lib/fs/block_cache.mli: Format Fs_types Hooks Rio_disk Rio_mem

@@ -1,0 +1,1 @@
+lib/fs/fs.ml: Array Block_cache Bytes Fs_types Hashtbl Hooks Journal List Ondisk Rio_disk Rio_mem Rio_sim String

@@ -1,0 +1,1 @@
+lib/fs/fs.mli: Block_cache Fs_types Hooks Ondisk Rio_disk Rio_mem Rio_sim

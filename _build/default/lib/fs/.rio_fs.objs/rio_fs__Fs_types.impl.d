@@ -1,0 +1,1 @@
+lib/fs/fs_types.ml: Printf

@@ -1,0 +1,1 @@
+lib/fs/fsck.ml: Array Bytes Char Format Fs_types Hashtbl List Ondisk Option Printf Rio_disk

@@ -1,0 +1,1 @@
+lib/fs/hooks.ml: Bytes Fs_types Rio_mem

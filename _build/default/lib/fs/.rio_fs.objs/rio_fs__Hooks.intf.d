@@ -1,0 +1,1 @@
+lib/fs/hooks.mli: Fs_types Rio_mem

@@ -1,0 +1,1 @@
+lib/fs/journal.ml: Buffer Bytes Fs_types Int32 Rio_disk Rio_util

@@ -1,0 +1,1 @@
+lib/fs/journal.mli: Rio_disk

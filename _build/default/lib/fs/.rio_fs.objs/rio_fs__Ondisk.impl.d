@@ -1,0 +1,1 @@
+lib/fs/ondisk.ml: Array Bytes Char Fs_types Int32 Int64 List String

@@ -1,0 +1,1 @@
+lib/fs/ondisk.mli: Fs_types

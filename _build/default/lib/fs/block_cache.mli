@@ -1,0 +1,79 @@
+(** A write-back cache of file-system blocks over physical pages.
+
+    Instantiated twice, as on the paper's platform (§2): once over the
+    buffer-cache region for metadata (the traditional Unix buffer cache) and
+    once over the shared page pool for regular file data (the UBC). Each
+    cached block occupies one physical page; the page's bytes are the
+    authoritative copy while cached, which is exactly why crashes can
+    corrupt them and why Rio must protect them.
+
+    Eviction is LRU and writes dirty victims synchronously first — the
+    "only when the cache overflows" write that even Rio performs (§2.3). *)
+
+type entry = {
+  blkno : int;  (** Data-area block number, or a negative meta key. *)
+  paddr : int;  (** Backing physical page. *)
+  mutable dirty : bool;
+  mutable owner : Fs_types.owner;
+  mutable valid : int;  (** Meaningful bytes in the page. *)
+  mutable tick : int;  (** LRU clock. *)
+  mutable pinned : bool;  (** Exempt from eviction (superblock, bitmaps). *)
+}
+
+type fill = Zero | From_disk
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  writebacks : int;
+  fills : int;
+}
+
+type t
+
+val create :
+  name:string ->
+  mem:Rio_mem.Phys_mem.t ->
+  disk:Rio_disk.Disk.t ->
+  alloc:Rio_mem.Page_alloc.t ->
+  hooks:Hooks.t ->
+  sector_of_blkno:(int -> int) ->
+  backed:bool ->
+  t
+(** [backed:false] (the Memory File System) never touches the disk: dirty
+    pages are not written back and eviction of dirty pages reports
+    out-of-space instead. *)
+
+val get : t -> blkno:int -> owner:Fs_types.owner -> fill:fill -> entry
+(** Find or install the block. A miss allocates a page (evicting if
+    necessary) and fills it per [fill]. Raises {!Fs_types.Fs_error} when no
+    page can be obtained. *)
+
+val lookup : t -> blkno:int -> entry option
+
+val mark_dirty : t -> entry -> unit
+
+val set_valid : t -> entry -> int -> unit
+(** Update the meaningful-byte count (re-announces the mapping). *)
+
+val write_back : t -> entry -> sync:bool -> unit
+(** Write the page to its disk block ([sync] advances the clock to
+    completion; async queues it). Clears [dirty]. No-op when unbacked. *)
+
+val flush_dirty : t -> sync:bool -> ?only:(entry -> bool) -> unit -> int
+(** Write back all dirty (matching) entries; returns how many. *)
+
+val invalidate : t -> blkno:int -> unit
+(** Drop a block (deleted file), freeing its page without write-back. *)
+
+val drop_all : t -> unit
+(** Discard everything (unmount without sync — crash path). *)
+
+val iter : t -> (entry -> unit) -> unit
+
+val dirty_count : t -> int
+
+val stats : t -> stats
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,1074 @@
+open Fs_types
+module Engine = Rio_sim.Engine
+module Costs = Rio_sim.Costs
+module Phys_mem = Rio_mem.Phys_mem
+module Page_alloc = Rio_mem.Page_alloc
+module Disk = Rio_disk.Disk
+
+type policy =
+  | Mfs
+  | Ufs_default
+  | Ufs_delayed
+  | Wt_close
+  | Wt_write
+  | Advfs
+  | Rio_policy
+  | Rio_idle
+
+let policy_name = function
+  | Mfs -> "memory-fs"
+  | Ufs_default -> "ufs"
+  | Ufs_delayed -> "ufs-delayed"
+  | Wt_close -> "wt-close"
+  | Wt_write -> "wt-write"
+  | Advfs -> "advfs"
+  | Rio_policy -> "rio"
+  | Rio_idle -> "rio-idle"
+
+let all_policies =
+  [ Mfs; Ufs_delayed; Advfs; Ufs_default; Wt_close; Wt_write; Rio_policy; Rio_idle ]
+
+type geometry = {
+  total_sectors : int;
+  inode_count : int;
+  swap_sectors : int;
+  journal_sectors : int;
+}
+
+let align16 n = (n + 15) / 16 * 16
+
+let default_geometry ~disk_sectors ~mem_bytes =
+  let swap_sectors = align16 ((mem_bytes + 511) / 512) in
+  let journal_sectors = align16 2048 in
+  (* One inode per data block: source trees are mostly small files. *)
+  let data_guess = max 1 ((disk_sectors - swap_sectors - journal_sectors) / sectors_per_block) in
+  { total_sectors = disk_sectors; inode_count = max 64 data_guess; swap_sectors;
+    journal_sectors }
+
+(* Compute the full on-disk layout from a geometry. *)
+let layout_of_geometry g =
+  let bitmap_sectors_for bits = (bits + (8 * 512) - 1) / (8 * 512) in
+  let swap_start = 16 in
+  let journal_start = swap_start + g.swap_sectors in
+  let ibitmap_start = journal_start + g.journal_sectors in
+  let ibitmap_sectors = bitmap_sectors_for g.inode_count in
+  let bbitmap_start = ibitmap_start + ibitmap_sectors in
+  (* Pessimistic bitmap sizing: every remaining sector could be data. *)
+  let bbitmap_sectors = bitmap_sectors_for (g.total_sectors / sectors_per_block) in
+  let itable_start = bbitmap_start + bbitmap_sectors in
+  let data_start = align16 (itable_start + g.inode_count) in
+  if data_start >= g.total_sectors then err "mkfs: disk too small for geometry";
+  let data_blocks = (g.total_sectors - data_start) / sectors_per_block in
+  if data_blocks < 1 then err "mkfs: no room for data blocks";
+  {
+    Ondisk.total_sectors = g.total_sectors;
+    inode_count = g.inode_count;
+    swap_start;
+    swap_sectors = g.swap_sectors;
+    journal_start;
+    journal_sectors = g.journal_sectors;
+    ibitmap_start;
+    ibitmap_sectors;
+    bbitmap_start;
+    bbitmap_sectors;
+    itable_start;
+    data_start;
+    data_blocks;
+    clean = true;
+  }
+
+let mkfs ~disk g =
+  let sb = layout_of_geometry g in
+  if sb.Ondisk.total_sectors > Disk.capacity_sectors disk then
+    err "mkfs: geometry exceeds disk capacity";
+  Disk.poke disk ~sector:Ondisk.superblock_sector (Ondisk.write_superblock sb);
+  let zero = Bytes.make Disk.sector_bytes '\000' in
+  for s = sb.Ondisk.ibitmap_start to sb.Ondisk.itable_start + sb.Ondisk.inode_count - 1 do
+    Disk.poke disk ~sector:s zero
+  done;
+  (* Root: inode 1, an empty directory. *)
+  let ibm = Bytes.make Disk.sector_bytes '\000' in
+  Bytes.set ibm 0 '\001';
+  Disk.poke disk ~sector:sb.Ondisk.ibitmap_start ibm;
+  let root = Ondisk.empty_inode Directory in
+  root.Ondisk.nlink <- 1;
+  let img = Bytes.make Ondisk.inode_bytes '\000' in
+  Ondisk.write_inode root img ~pos:0;
+  Disk.poke disk ~sector:(Ondisk.inode_sector sb root_ino) img
+
+(* ------------------------------------------------------------------ *)
+
+type fd = int
+
+type fd_state = {
+  fd_ino : int;
+  mutable pos : int;
+  mutable last_end : int; (* end offset of the previous write (sequentiality) *)
+  mutable pending : int; (* dirty bytes since the last cluster flush *)
+}
+
+type stat = {
+  st_ino : int;
+  st_ftype : Fs_types.ftype;
+  st_size : int;
+  st_nlink : int;
+  st_mtime : int;
+}
+
+type meta_class = Class_inode | Class_dir | Class_bitmap | Class_super
+
+type t = {
+  engine : Engine.t;
+  costs : Costs.t;
+  mem : Phys_mem.t;
+  disk : Disk.t;
+  policy : policy;
+  hooks : Hooks.t;
+  sb : Ondisk.superblock;
+  meta : Block_cache.t;
+  data : Block_cache.t;
+  journal : Journal.t option;
+  icache : (int, Ondisk.inode) Hashtbl.t;
+  fds : (int, fd_state) Hashtbl.t;
+  mutable next_fd : int;
+  mutable ialloc_hint : int;
+  mutable balloc_hint : int;
+  mutable daemon : Engine.handle option;
+  mutable alive : bool;
+}
+
+let engine t = t.engine
+let policy t = t.policy
+let hooks t = t.hooks
+let superblock t = t.sb
+let disk t = t.disk
+let meta_cache t = t.meta
+let data_cache t = t.data
+
+let charge t us = Engine.advance_by t.engine us
+let charge_syscall t = charge t t.costs.Costs.syscall_overhead
+let charge_copy t bytes = charge t (Costs.copy_time t.costs bytes)
+
+(* ---------------- metadata access ---------------- *)
+
+let sector_page_base sector = sector - (sector mod sectors_per_block)
+
+let meta_get t ~sector ~pin =
+  let base = sector_page_base sector in
+  let entry = Block_cache.get t.meta ~blkno:base ~owner:Meta ~fill:Block_cache.From_disk in
+  if pin then entry.Block_cache.pinned <- true;
+  entry
+
+(* Address of [sector]'s bytes inside its cached page. *)
+let meta_addr (entry : Block_cache.entry) sector =
+  entry.Block_cache.paddr + ((sector mod sectors_per_block) * Disk.sector_bytes)
+
+let journal_payload t ~sector ~len =
+  let entry = meta_get t ~sector ~pin:false in
+  Phys_mem.blit_out t.mem (meta_addr entry sector) ~len
+
+(* Apply the policy's durability rule after a metadata mutation covering
+   [len] bytes starting at [sector] (within one page). *)
+let policy_meta_write t ~cls ~sector ~len =
+  let entry = meta_get t ~sector ~pin:false in
+  match t.policy with
+  | Mfs | Rio_policy | Rio_idle | Ufs_delayed -> ()
+  | Ufs_default | Wt_close | Wt_write ->
+    (match cls with
+    | Class_inode | Class_dir ->
+      (* The synchronous metadata updates that dominate UFS's cost. *)
+      Block_cache.write_back t.meta entry ~sync:true
+    | Class_bitmap | Class_super -> ())
+  | Advfs ->
+    (match (t.journal, cls) with
+    | Some j, (Class_inode | Class_dir | Class_super) ->
+      Journal.append j ~sector (journal_payload t ~sector ~len)
+    | Some _, Class_bitmap | None, _ -> ())
+
+(* Mutate [len] metadata bytes at [sector]. [mutate] receives the physical
+   address of the sector's bytes. *)
+let meta_update t ~cls ~sector ~len mutate =
+  let entry = meta_get t ~sector ~pin:(cls = Class_bitmap || cls = Class_super) in
+  let addr = meta_addr entry sector in
+  t.hooks.Hooks.open_write ~paddr:entry.Block_cache.paddr;
+  (* Only critical metadata (inodes, directories, the superblock) gets the
+     atomicity wrapper; allocation bitmaps are rebuilt by fsck anyway. *)
+  (match cls with
+  | Class_inode | Class_dir | Class_super ->
+    t.hooks.Hooks.metadata_update ~paddr:entry.Block_cache.paddr (fun () -> mutate addr)
+  | Class_bitmap -> mutate addr);
+  t.hooks.Hooks.close_write ~paddr:entry.Block_cache.paddr;
+  Block_cache.mark_dirty t.meta entry;
+  policy_meta_write t ~cls ~sector ~len
+
+(* ---------------- bitmaps ---------------- *)
+
+let bitmap_sector ~start idx = start + (idx / (8 * 512))
+
+let bitmap_get t ~start idx =
+  let sector = bitmap_sector ~start idx in
+  let entry = meta_get t ~sector ~pin:true in
+  let byte = Phys_mem.read_u8 t.mem (meta_addr entry sector + (idx / 8 mod 512)) in
+  byte land (1 lsl (idx mod 8)) <> 0
+
+let bitmap_set t ~start idx v =
+  let sector = bitmap_sector ~start idx in
+  meta_update t ~cls:Class_bitmap ~sector ~len:Disk.sector_bytes (fun addr ->
+      let pos = addr + (idx / 8 mod 512) in
+      let byte = Phys_mem.read_u8 t.mem pos in
+      let mask = 1 lsl (idx mod 8) in
+      Phys_mem.write_u8 t.mem pos (if v then byte lor mask else byte land lnot mask))
+
+let ialloc t =
+  let n = t.sb.Ondisk.inode_count in
+  let rec scan tried idx =
+    if tried >= n then err "out of inodes"
+    else if not (bitmap_get t ~start:t.sb.Ondisk.ibitmap_start idx) then begin
+      bitmap_set t ~start:t.sb.Ondisk.ibitmap_start idx true;
+      t.ialloc_hint <- (idx + 1) mod n;
+      idx + 1
+    end
+    else scan (tried + 1) ((idx + 1) mod n)
+  in
+  scan 0 t.ialloc_hint
+
+let ifree t ino = bitmap_set t ~start:t.sb.Ondisk.ibitmap_start (ino - 1) false
+
+let balloc t =
+  let n = t.sb.Ondisk.data_blocks in
+  let rec scan tried idx =
+    if tried >= n then err "disk full: no free data blocks"
+    else if not (bitmap_get t ~start:t.sb.Ondisk.bbitmap_start idx) then begin
+      bitmap_set t ~start:t.sb.Ondisk.bbitmap_start idx true;
+      t.balloc_hint <- (idx + 1) mod n;
+      idx
+    end
+    else scan (tried + 1) ((idx + 1) mod n)
+  in
+  scan 0 t.balloc_hint
+
+let bfree t blkno = bitmap_set t ~start:t.sb.Ondisk.bbitmap_start blkno false
+
+(* ---------------- inodes ---------------- *)
+
+let iget t ino =
+  match Hashtbl.find_opt t.icache ino with
+  | Some inode -> inode
+  | None ->
+    let sector = Ondisk.inode_sector t.sb ino in
+    let entry = meta_get t ~sector ~pin:false in
+    let raw = Phys_mem.blit_out t.mem (meta_addr entry sector) ~len:Ondisk.inode_bytes in
+    if Ondisk.inode_is_free raw ~pos:0 then err "inode %d is free" ino;
+    let inode = Ondisk.read_inode raw ~pos:0 in
+    Hashtbl.replace t.icache ino inode;
+    inode
+
+(* Serialize an in-core inode into its metadata page. [structural] selects
+   the synchronous-update class; pure timestamp/size bumps are delayed even
+   under UFS. *)
+let iupdate t ino inode ~structural =
+  let sector = Ondisk.inode_sector t.sb ino in
+  let cls = if structural then Class_inode else Class_bitmap in
+  meta_update t ~cls ~sector ~len:Ondisk.inode_bytes (fun addr ->
+      let img = Bytes.make Ondisk.inode_bytes '\000' in
+      Ondisk.write_inode inode img ~pos:0;
+      Phys_mem.blit_in t.mem addr img)
+
+let iclear t ino =
+  (* Scrubbing the freed inode slot is deferred like the bitmaps; the
+     directory-entry removal is the synchronous commit point of a delete. *)
+  let sector = Ondisk.inode_sector t.sb ino in
+  Hashtbl.remove t.icache ino;
+  meta_update t ~cls:Class_bitmap ~sector ~len:Ondisk.inode_bytes (fun addr ->
+      Phys_mem.blit_in t.mem addr (Ondisk.free_inode_image ()))
+
+(* ---------------- directories ---------------- *)
+
+(* Directory data blocks live in the data area but are cached in the buffer
+   cache (keyed by absolute sector base), as on the paper's platform. *)
+let dir_block_sector t blkno = Ondisk.data_sector t.sb blkno
+
+let dir_read_block t blkno =
+  let sector = dir_block_sector t blkno in
+  let entry = meta_get t ~sector ~pin:false in
+  let raw = Phys_mem.blit_out t.mem entry.Block_cache.paddr ~len:block_bytes in
+  Ondisk.dir_unpack raw ~pos:0 ~len:block_bytes
+
+let dir_write_block t blkno entries =
+  let sector = dir_block_sector t blkno in
+  meta_update t ~cls:Class_dir ~sector ~len:block_bytes (fun addr ->
+      Phys_mem.blit_in t.mem addr (Ondisk.dir_pack entries))
+
+let dir_blocks inode =
+  let nblocks = (inode.Ondisk.size + block_bytes - 1) / block_bytes in
+  let rec collect bi acc =
+    if bi >= nblocks || bi >= ndirect then List.rev acc
+    else begin
+      let ptr = inode.Ondisk.blocks.(bi) in
+      collect (bi + 1) (if ptr = 0 then acc else (bi, ptr - 1) :: acc)
+    end
+  in
+  collect 0 []
+
+let dir_entries t inode =
+  List.concat_map (fun (_, blkno) -> dir_read_block t blkno) (dir_blocks inode)
+
+let dir_find t inode name =
+  let rec scan = function
+    | [] -> None
+    | (_, blkno) :: rest ->
+      (match List.assoc_opt name (dir_read_block t blkno) with
+      | Some ino -> Some ino
+      | None -> scan rest)
+  in
+  scan (dir_blocks inode)
+
+let dir_add t dirino name ino =
+  let dir = iget t dirino in
+  let fits entries =
+    List.fold_left (fun acc (n, _) -> acc + Ondisk.dir_entry_bytes n) 0 entries
+    + Ondisk.dir_entry_bytes name
+    <= Ondisk.dir_block_capacity
+  in
+  let rec place = function
+    | (_, blkno) :: rest ->
+      let entries = dir_read_block t blkno in
+      if fits entries then dir_write_block t blkno (entries @ [ (name, ino) ]) else place rest
+    | [] ->
+      (* Grow the directory by one block. *)
+      let bi = dir.Ondisk.size / block_bytes in
+      if bi >= ndirect then err "directory full";
+      let blkno = balloc t in
+      dir.Ondisk.blocks.(bi) <- blkno + 1;
+      dir.Ondisk.size <- dir.Ondisk.size + block_bytes;
+      dir.Ondisk.mtime <- Engine.now t.engine;
+      iupdate t dirino dir ~structural:true;
+      dir_write_block t blkno [ (name, ino) ]
+  in
+  place (dir_blocks dir)
+
+let dir_remove t dirino name =
+  let dir = iget t dirino in
+  let rec scan = function
+    | [] -> err "no such directory entry %S" name
+    | (_, blkno) :: rest ->
+      let entries = dir_read_block t blkno in
+      if List.mem_assoc name entries then
+        dir_write_block t blkno (List.remove_assoc name entries)
+      else scan rest
+  in
+  scan (dir_blocks dir)
+
+(* ---------------- data blocks ---------------- *)
+
+let data_owner ino bi = Data { ino; offset = bi * block_bytes }
+
+(* Fetch the cache page for file block [bi], allocating a disk block if
+   [alloc]. Returns [None] for a hole when not allocating. *)
+let data_block t ino inode bi ~alloc ~fill =
+  if bi >= ndirect then err "file too large (inode %d)" ino;
+  let ptr = inode.Ondisk.blocks.(bi) in
+  if ptr = 0 then begin
+    if not alloc then None
+    else begin
+      let blkno = balloc t in
+      inode.Ondisk.blocks.(bi) <- blkno + 1;
+      Some
+        (Block_cache.get t.data ~blkno ~owner:(data_owner ino bi) ~fill:Block_cache.Zero, true)
+    end
+  end
+  else
+    Some (Block_cache.get t.data ~blkno:(ptr - 1) ~owner:(data_owner ino bi) ~fill, false)
+
+let flush_file_data t ino ~sync =
+  let only (e : Block_cache.entry) =
+    match e.Block_cache.owner with Data d -> d.ino = ino | Meta -> false
+  in
+  ignore (Block_cache.flush_dirty t.data ~sync ~only ())
+
+let fsync_inode t ino =
+  let sector = Ondisk.inode_sector t.sb ino in
+  let entry = meta_get t ~sector ~pin:false in
+  if entry.Block_cache.dirty then Block_cache.write_back t.meta entry ~sync:true
+
+let read_ino_data t ino ~offset ~len =
+  let inode = iget t ino in
+  let size = inode.Ondisk.size in
+  let len = max 0 (min len (size - offset)) in
+  let out = Bytes.make len '\000' in
+  if len > 0 then begin
+    charge_copy t len;
+    let pos = ref 0 in
+    while !pos < len do
+      let off = offset + !pos in
+      let bi = off / block_bytes in
+      let in_block = off mod block_bytes in
+      let chunk = min (len - !pos) (block_bytes - in_block) in
+      (match data_block t ino inode bi ~alloc:false ~fill:Block_cache.From_disk with
+      | Some (entry, _) ->
+        t.hooks.Hooks.copy_out ~paddr:(entry.Block_cache.paddr + in_block) out !pos ~len:chunk
+      | None -> () (* hole reads as zeros *));
+      pos := !pos + chunk
+    done
+  end;
+  out
+
+(* ---------------- path resolution ---------------- *)
+
+let split_path path =
+  List.filter (fun c -> c <> "") (String.split_on_char '/' path)
+
+let max_symlink_depth = 8
+
+(* Walk path components from [ino], following symbolic links (absolute
+   targets restart at the root; relative targets resolve against the
+   symlink's directory). *)
+let rec namei_walk t ~path ~depth ino components =
+  match components with
+  | [] -> ino
+  | name :: rest ->
+    let inode = iget t ino in
+    if inode.Ondisk.ftype <> Directory then err "%s: not a directory" path
+    else begin
+      match dir_find t inode name with
+      | None -> err "%s: no such file or directory" path
+      | Some child ->
+        let cinode = iget t child in
+        (match cinode.Ondisk.ftype with
+        | Symlink ->
+          if depth >= max_symlink_depth then
+            err "%s: too many levels of symbolic links" path;
+          let target =
+            Bytes.to_string (read_ino_data t child ~offset:0 ~len:cinode.Ondisk.size)
+          in
+          charge t t.costs.Costs.namei_cost;
+          let tcomps = split_path target in
+          let start =
+            if String.length target > 0 && target.[0] = '/' then root_ino else ino
+          in
+          namei_walk t ~path ~depth:(depth + 1) start (tcomps @ rest)
+        | Regular | Directory -> namei_walk t ~path ~depth child rest)
+    end
+
+let namei t path =
+  let components = split_path path in
+  charge t (t.costs.Costs.namei_cost * max 1 (List.length components));
+  namei_walk t ~path ~depth:0 root_ino components
+
+let namei_parent t path =
+  match List.rev (split_path path) with
+  | [] -> err "%s: invalid path" path
+  | base :: rev_dir ->
+    let dir_path = "/" ^ String.concat "/" (List.rev rev_dir) in
+    (namei t dir_path, base)
+
+(* ---------------- fd bookkeeping ---------------- *)
+
+let get_fd t fd =
+  match Hashtbl.find_opt t.fds fd with
+  | Some state -> state
+  | None -> err "bad file descriptor %d" fd
+
+let fresh_fd t ino =
+  let fd = t.next_fd in
+  t.next_fd <- fd + 1;
+  Hashtbl.replace t.fds fd { fd_ino = ino; pos = 0; last_end = 0; pending = 0 };
+  fd
+
+(* ---------------- update daemon ---------------- *)
+
+let update_daemon_flush t =
+  let flushed = ref 0 in
+  (match t.policy with
+  | Mfs | Rio_policy -> ()
+  | Ufs_default | Ufs_delayed | Wt_close | Wt_write | Rio_idle ->
+    (* Rio_idle: the paper's future-work variant — reliability does not
+       need these writes (memory is safe), but trickling dirty blocks out
+       during idle periods keeps later evictions from stalling. *)
+    flushed := Block_cache.flush_dirty t.data ~sync:false ();
+    flushed := !flushed + Block_cache.flush_dirty t.meta ~sync:false ()
+  | Advfs ->
+    flushed := Block_cache.flush_dirty t.data ~sync:false ();
+    (match t.journal with Some j -> Journal.checkpoint j | None -> ()));
+  !flushed
+
+let rec schedule_daemon t =
+  t.daemon <-
+    Some
+      (Engine.schedule_after t.engine ~delay:t.costs.Costs.update_interval (fun _ ->
+           if t.alive then begin
+             ignore (update_daemon_flush t);
+             schedule_daemon t
+           end))
+
+(* ---------------- mount / unmount / crash ---------------- *)
+
+let mount ~engine ~costs ~mem ~meta_alloc ~pool_alloc ~disk ~policy ~hooks =
+  let sb =
+    let raw = Disk.read_sync disk ~sector:Ondisk.superblock_sector ~count:1 in
+    Ondisk.read_superblock raw
+  in
+  let backed = policy <> Mfs in
+  let meta =
+    Block_cache.create ~name:"buffer-cache" ~mem ~disk ~alloc:meta_alloc ~hooks
+      ~sector_of_blkno:(fun base -> base)
+      ~backed
+  in
+  let data =
+    Block_cache.create ~name:"ubc" ~mem ~disk ~alloc:pool_alloc ~hooks
+      ~sector_of_blkno:(fun blkno -> Ondisk.data_sector sb blkno)
+      ~backed
+  in
+  let journal =
+    if policy = Advfs then
+      Some
+        (Journal.create ~disk ~start_sector:sb.Ondisk.journal_start
+           ~sectors:sb.Ondisk.journal_sectors)
+    else None
+  in
+  let t =
+    {
+      engine;
+      costs;
+      mem;
+      disk;
+      policy;
+      hooks;
+      sb;
+      meta;
+      data;
+      journal;
+      icache = Hashtbl.create 64;
+      fds = Hashtbl.create 16;
+      next_fd = 3;
+      ialloc_hint = 0;
+      balloc_hint = 0;
+      daemon = None;
+      alive = true;
+    }
+  in
+  (match journal with
+  | Some j ->
+    Journal.set_on_checkpoint j (fun () -> ignore (Block_cache.flush_dirty t.meta ~sync:false ()))
+  | None -> ());
+  if policy = Mfs then begin
+    (* A memory file system starts empty: materialize the inode bitmap and
+       an empty root directory in the (disk-less) cache. *)
+    bitmap_set t ~start:sb.Ondisk.ibitmap_start (root_ino - 1) true;
+    let root = Ondisk.empty_inode Directory in
+    root.Ondisk.nlink <- 1;
+    Hashtbl.replace t.icache root_ino root;
+    iupdate t root_ino root ~structural:true
+  end;
+  (match policy with
+  | Mfs | Rio_policy -> ()
+  | Ufs_default | Ufs_delayed | Wt_close | Wt_write | Advfs | Rio_idle -> schedule_daemon t);
+  (* Mark the volume dirty-mounted so an unclean shutdown is detectable. *)
+  meta_update t ~cls:Class_super ~sector:Ondisk.superblock_sector ~len:Disk.sector_bytes
+    (fun addr ->
+      Phys_mem.blit_in t.mem addr (Ondisk.write_superblock { sb with Ondisk.clean = false }));
+  (match policy with
+  | Mfs -> ()
+  | Ufs_default | Ufs_delayed | Wt_close | Wt_write | Advfs | Rio_policy | Rio_idle ->
+    let entry = meta_get t ~sector:Ondisk.superblock_sector ~pin:true in
+    Block_cache.write_back t.meta entry ~sync:true);
+  t
+
+let stop_daemon t =
+  (match t.daemon with Some h -> Engine.cancel t.engine h | None -> ());
+  t.daemon <- None;
+  t.alive <- false
+
+let remount_cold t =
+  (* Flush everything, then drop the caches — the state after unmount +
+     mount, without tearing down the daemon. *)
+  ignore (Block_cache.flush_dirty t.data ~sync:false ());
+  ignore (Block_cache.flush_dirty t.meta ~sync:false ());
+  if t.policy <> Mfs then Disk.drain t.disk;
+  Block_cache.drop_all t.data;
+  Block_cache.drop_all t.meta;
+  Hashtbl.reset t.icache
+
+let sync t =
+  charge_syscall t;
+  match t.policy with
+  | Rio_policy | Rio_idle | Mfs -> () (* Rio: sync returns immediately (§2.3). *)
+  | Ufs_default | Ufs_delayed | Wt_close | Wt_write | Advfs ->
+    ignore (Block_cache.flush_dirty t.data ~sync:false ());
+    ignore (Block_cache.flush_dirty t.meta ~sync:false ());
+    Disk.drain t.disk
+
+let unmount t =
+  (* Administrative shutdown: even Rio writes everything back (§2.3 provides
+     an administrator switch for exactly this). *)
+  ignore (Block_cache.flush_dirty t.data ~sync:false ());
+  ignore (Block_cache.flush_dirty t.meta ~sync:false ());
+  if t.policy <> Mfs then Disk.drain t.disk;
+  if t.policy <> Mfs then
+    Disk.poke t.disk ~sector:Ondisk.superblock_sector
+      (Ondisk.write_superblock { t.sb with Ondisk.clean = true });
+  stop_daemon t
+
+let crash t =
+  Disk.crash t.disk;
+  stop_daemon t
+
+(* ---------------- file operations ---------------- *)
+
+let do_creat t path =
+  let dirino, base = namei_parent t path in
+  let dir = iget t dirino in
+  if dir.Ondisk.ftype <> Directory then err "%s: parent not a directory" path;
+  match dir_find t dir base with
+  | Some existing ->
+    let inode = iget t existing in
+    if inode.Ondisk.ftype <> Regular then err "%s: exists and is a directory" path;
+    (* Truncate. *)
+    Array.iteri
+      (fun i ptr ->
+        if ptr <> 0 then begin
+          Block_cache.invalidate t.data ~blkno:(ptr - 1);
+          bfree t (ptr - 1);
+          inode.Ondisk.blocks.(i) <- 0
+        end)
+      inode.Ondisk.blocks;
+    inode.Ondisk.size <- 0;
+    inode.Ondisk.mtime <- Engine.now t.engine;
+    iupdate t existing inode ~structural:true;
+    existing
+  | None ->
+    let ino = ialloc t in
+    let inode = Ondisk.empty_inode Regular in
+    inode.Ondisk.nlink <- 1;
+    inode.Ondisk.mtime <- Engine.now t.engine;
+    Hashtbl.replace t.icache ino inode;
+    iupdate t ino inode ~structural:true;
+    dir_add t dirino base ino;
+    ino
+
+let create t path =
+  charge_syscall t;
+  fresh_fd t (do_creat t path)
+
+let open_file t path =
+  charge_syscall t;
+  let ino = namei t path in
+  let inode = iget t ino in
+  if inode.Ondisk.ftype <> Regular then err "%s: not a regular file" path;
+  fresh_fd t ino
+
+let fd_size t fd =
+  let state = get_fd t fd in
+  (iget t state.fd_ino).Ondisk.size
+
+let fd_ino t fd = (get_fd t fd).fd_ino
+
+let seek t fd pos =
+  let state = get_fd t fd in
+  if pos < 0 then err "seek: negative offset";
+  state.pos <- pos
+
+let do_pwrite t state ~offset data =
+  let ino = state.fd_ino in
+  let inode = iget t ino in
+  (* Symlink targets are written through this path by [symlink]; public
+     file descriptors can only reach regular files. *)
+  if inode.Ondisk.ftype = Directory then err "write: not a regular file";
+  let len = Bytes.length data in
+  if len = 0 then ()
+  else begin
+    if offset + len > ndirect * block_bytes then err "write: file would exceed maximum size";
+    charge_copy t len;
+    let old_size = inode.Ondisk.size in
+    let new_size = max old_size (offset + len) in
+    let structural = ref false in
+    let pos = ref 0 in
+    while !pos < len do
+      let off = offset + !pos in
+      let bi = off / block_bytes in
+      let in_block = off mod block_bytes in
+      let chunk = min (len - !pos) (block_bytes - in_block) in
+      let whole = in_block = 0 && (chunk = block_bytes || off + chunk >= old_size) in
+      let fill = if whole then Block_cache.Zero else Block_cache.From_disk in
+      (match data_block t ino inode bi ~alloc:true ~fill with
+      | Some (entry, fresh) ->
+        if fresh then structural := true;
+        let paddr = entry.Block_cache.paddr + in_block in
+        t.hooks.Hooks.open_write ~paddr:entry.Block_cache.paddr;
+        t.hooks.Hooks.copy_in data !pos ~paddr ~len:chunk;
+        t.hooks.Hooks.close_write ~paddr:entry.Block_cache.paddr;
+        Block_cache.mark_dirty t.data entry;
+        let valid = min block_bytes (new_size - (bi * block_bytes)) in
+        Block_cache.set_valid t.data entry valid
+      | None -> assert false);
+      pos := !pos + chunk
+    done;
+    inode.Ondisk.size <- new_size;
+    inode.Ondisk.mtime <- Engine.now t.engine;
+    (* Block-allocation pointer updates are asynchronous in UFS (only
+       namespace operations are synchronous, Ganger94); [structural] is
+       noted but does not force a synchronous inode write here. *)
+    ignore !structural;
+    iupdate t ino inode ~structural:false;
+    (* Per-policy data durability. *)
+    (match t.policy with
+    | Wt_write ->
+      flush_file_data t ino ~sync:true;
+      fsync_inode t ino
+    | Ufs_default | Wt_close | Advfs ->
+      let sequential = offset = state.last_end in
+      state.pending <- state.pending + len;
+      if (not sequential) || state.pending >= 64 * 1024 then begin
+        flush_file_data t ino ~sync:false;
+        state.pending <- 0
+      end
+    | Mfs | Ufs_delayed | Rio_policy | Rio_idle -> ());
+    state.last_end <- offset + len
+  end
+
+let pwrite t fd ~offset data =
+  charge_syscall t;
+  do_pwrite t (get_fd t fd) ~offset data
+
+let write t fd data =
+  charge_syscall t;
+  let state = get_fd t fd in
+  do_pwrite t state ~offset:state.pos data;
+  state.pos <- state.pos + Bytes.length data
+
+let do_pread t state ~offset ~len = read_ino_data t state.fd_ino ~offset ~len
+
+let pread t fd ~offset ~len =
+  charge_syscall t;
+  do_pread t (get_fd t fd) ~offset ~len
+
+let read t fd ~len =
+  charge_syscall t;
+  let state = get_fd t fd in
+  let out = do_pread t state ~offset:state.pos ~len in
+  state.pos <- state.pos + Bytes.length out;
+  out
+
+let fsync t fd =
+  charge_syscall t;
+  let state = get_fd t fd in
+  match t.policy with
+  | Rio_policy | Rio_idle | Mfs -> () (* fsync returns immediately (§2.3). *)
+  | Ufs_default | Ufs_delayed | Wt_close | Wt_write | Advfs ->
+    flush_file_data t state.fd_ino ~sync:true;
+    fsync_inode t state.fd_ino
+
+let close t fd =
+  charge_syscall t;
+  let state = get_fd t fd in
+  (match t.policy with
+  | Wt_close ->
+    flush_file_data t state.fd_ino ~sync:true;
+    fsync_inode t state.fd_ino
+  | Ufs_default | Advfs ->
+    (* BSD-style: delayed partial blocks go out (asynchronously) at close. *)
+    flush_file_data t state.fd_ino ~sync:false
+  | Mfs | Ufs_delayed | Wt_write | Rio_policy | Rio_idle -> ());
+  Hashtbl.remove t.fds fd
+
+(* ---------------- namespace operations ---------------- *)
+
+let mkdir t path =
+  charge_syscall t;
+  let dirino, base = namei_parent t path in
+  let dir = iget t dirino in
+  if dir.Ondisk.ftype <> Directory then err "%s: parent not a directory" path;
+  if dir_find t dir base <> None then err "%s: already exists" path;
+  let ino = ialloc t in
+  let inode = Ondisk.empty_inode Directory in
+  inode.Ondisk.nlink <- 1;
+  inode.Ondisk.mtime <- Engine.now t.engine;
+  Hashtbl.replace t.icache ino inode;
+  iupdate t ino inode ~structural:true;
+  dir_add t dirino base ino
+
+let free_file_blocks t inode =
+  Array.iteri
+    (fun i ptr ->
+      if ptr <> 0 then begin
+        Block_cache.invalidate t.data ~blkno:(ptr - 1);
+        bfree t (ptr - 1);
+        inode.Ondisk.blocks.(i) <- 0
+      end)
+    inode.Ondisk.blocks
+
+let free_dir_blocks t inode =
+  Array.iteri
+    (fun i ptr ->
+      if ptr <> 0 then begin
+        Block_cache.invalidate t.meta ~blkno:(sector_page_base (dir_block_sector t (ptr - 1)));
+        bfree t (ptr - 1);
+        inode.Ondisk.blocks.(i) <- 0
+      end)
+    inode.Ondisk.blocks
+
+let link t existing path =
+  charge_syscall t;
+  let ino = namei t existing in
+  let inode = iget t ino in
+  if inode.Ondisk.ftype = Directory then err "%s: hard links to directories are not allowed" path;
+  let dirino, base = namei_parent t path in
+  let dir = iget t dirino in
+  if dir.Ondisk.ftype <> Directory then err "%s: parent not a directory" path;
+  if dir_find t dir base <> None then err "%s: already exists" path;
+  inode.Ondisk.nlink <- inode.Ondisk.nlink + 1;
+  iupdate t ino inode ~structural:true;
+  dir_add t dirino base ino
+
+let unlink t path =
+  charge_syscall t;
+  let dirino, base = namei_parent t path in
+  let dir = iget t dirino in
+  let ino =
+    match dir_find t dir base with
+    | Some ino -> ino
+    | None -> err "%s: no such file" path
+  in
+  let inode = iget t ino in
+  if inode.Ondisk.ftype = Directory then err "%s: is a directory (use rmdir)" path;
+  dir_remove t dirino base;
+  if inode.Ondisk.nlink > 1 then begin
+    (* Other links remain: just drop the reference. *)
+    inode.Ondisk.nlink <- inode.Ondisk.nlink - 1;
+    iupdate t ino inode ~structural:true
+  end
+  else begin
+    free_file_blocks t inode;
+    iclear t ino;
+    ifree t ino
+  end
+
+let rmdir t path =
+  charge_syscall t;
+  let dirino, base = namei_parent t path in
+  let dir = iget t dirino in
+  let ino =
+    match dir_find t dir base with
+    | Some ino -> ino
+    | None -> err "%s: no such directory" path
+  in
+  let inode = iget t ino in
+  if inode.Ondisk.ftype <> Directory then err "%s: not a directory" path;
+  if dir_entries t inode <> [] then err "%s: directory not empty" path;
+  dir_remove t dirino base;
+  free_dir_blocks t inode;
+  iclear t ino;
+  ifree t ino
+
+let rename t src dst =
+  charge_syscall t;
+  let sdir, sbase = namei_parent t src in
+  let ino =
+    match dir_find t (iget t sdir) sbase with
+    | Some ino -> ino
+    | None -> err "%s: no such file" src
+  in
+  let ddir, dbase = namei_parent t dst in
+  (match dir_find t (iget t ddir) dbase with
+  | Some existing ->
+    let einode = iget t existing in
+    if einode.Ondisk.ftype = Directory then err "%s: target exists and is a directory" dst;
+    dir_remove t ddir dbase;
+    if einode.Ondisk.nlink > 1 then begin
+      einode.Ondisk.nlink <- einode.Ondisk.nlink - 1;
+      iupdate t existing einode ~structural:true
+    end
+    else begin
+      free_file_blocks t einode;
+      iclear t existing;
+      ifree t existing
+    end
+  | None -> ());
+  dir_remove t sdir sbase;
+  dir_add t ddir dbase ino
+
+let readdir t path =
+  charge_syscall t;
+  let ino = namei t path in
+  let inode = iget t ino in
+  if inode.Ondisk.ftype <> Directory then err "%s: not a directory" path;
+  List.sort compare (List.map fst (dir_entries t inode))
+
+let stat t path =
+  charge_syscall t;
+  let ino = namei t path in
+  let inode = iget t ino in
+  {
+    st_ino = ino;
+    st_ftype = inode.Ondisk.ftype;
+    st_size = inode.Ondisk.size;
+    st_nlink = inode.Ondisk.nlink;
+    st_mtime = inode.Ondisk.mtime;
+  }
+
+let exists t path =
+  match namei t path with
+  | _ -> true
+  | exception Fs_error _ -> false
+
+let read_file t path =
+  let fd = open_file t path in
+  let size = fd_size t fd in
+  let data = pread t fd ~offset:0 ~len:size in
+  close t fd;
+  data
+
+let write_file t path data =
+  let fd = create t path in
+  write t fd data;
+  close t fd
+
+(* ---------------- statfs ---------------- *)
+
+type fs_stats = {
+  blocks_total : int;
+  blocks_free : int;
+  inodes_total : int;
+  inodes_free : int;
+}
+
+let statfs t =
+  charge_syscall t;
+  let free_bits ~start n =
+    let free = ref 0 in
+    for i = 0 to n - 1 do
+      if not (bitmap_get t ~start i) then incr free
+    done;
+    !free
+  in
+  {
+    blocks_total = t.sb.Ondisk.data_blocks;
+    blocks_free = free_bits ~start:t.sb.Ondisk.bbitmap_start t.sb.Ondisk.data_blocks;
+    inodes_total = t.sb.Ondisk.inode_count;
+    inodes_free = free_bits ~start:t.sb.Ondisk.ibitmap_start t.sb.Ondisk.inode_count;
+  }
+
+(* ---------------- symbolic links ---------------- *)
+
+let symlink t ~target path =
+  charge_syscall t;
+  if String.length target = 0 || String.length target > ndirect * block_bytes then
+    err "symlink: invalid target length";
+  let dirino, base = namei_parent t path in
+  let dir = iget t dirino in
+  if dir.Ondisk.ftype <> Directory then err "%s: parent not a directory" path;
+  if dir_find t dir base <> None then err "%s: already exists" path;
+  let ino = ialloc t in
+  let inode = Ondisk.empty_inode Symlink in
+  inode.Ondisk.nlink <- 1;
+  inode.Ondisk.mtime <- Engine.now t.engine;
+  Hashtbl.replace t.icache ino inode;
+  iupdate t ino inode ~structural:true;
+  dir_add t dirino base ino;
+  (* The target string is the link's data (stored like file content, read
+     through the cache as the paper's symlinks are). *)
+  let state = { fd_ino = ino; pos = 0; last_end = 0; pending = 0 } in
+  do_pwrite t state ~offset:0 (Bytes.of_string target)
+
+let readlink t path =
+  charge_syscall t;
+  let dirino, base = namei_parent t path in
+  match dir_find t (iget t dirino) base with
+  | None -> err "%s: no such file or directory" path
+  | Some ino ->
+    let inode = iget t ino in
+    if inode.Ondisk.ftype <> Symlink then err "%s: not a symbolic link" path;
+    Bytes.to_string (read_ino_data t ino ~offset:0 ~len:inode.Ondisk.size)
+
+let lstat t path =
+  charge_syscall t;
+  let dirino, base = namei_parent t path in
+  match dir_find t (iget t dirino) base with
+  | None -> err "%s: no such file or directory" path
+  | Some ino ->
+    let inode = iget t ino in
+    {
+      st_ino = ino;
+      st_ftype = inode.Ondisk.ftype;
+      st_size = inode.Ondisk.size;
+      st_nlink = inode.Ondisk.nlink;
+      st_mtime = inode.Ondisk.mtime;
+    }
+
+(* ---------------- truncate ---------------- *)
+
+let truncate t path new_size =
+  charge_syscall t;
+  let ino = namei t path in
+  let inode = iget t ino in
+  if inode.Ondisk.ftype <> Regular then err "%s: not a regular file" path;
+  if new_size < 0 || new_size > ndirect * block_bytes then err "truncate: size out of range";
+  let old_size = inode.Ondisk.size in
+  if new_size <> old_size then begin
+    let structural = ref false in
+    if new_size < old_size then begin
+      (* Free whole blocks beyond the new end. *)
+      let keep_blocks = (new_size + block_bytes - 1) / block_bytes in
+      Array.iteri
+        (fun i ptr ->
+          if i >= keep_blocks && ptr <> 0 then begin
+            Block_cache.invalidate t.data ~blkno:(ptr - 1);
+            bfree t (ptr - 1);
+            inode.Ondisk.blocks.(i) <- 0;
+            structural := true
+          end)
+        inode.Ondisk.blocks
+    end;
+    (* Zero the boundary block's bytes past the kept size so later growth
+       reveals zeros, not stale data. *)
+    let keep = min new_size old_size in
+    let bi = keep / block_bytes in
+    let in_block = keep mod block_bytes in
+    if in_block > 0 && bi < ndirect && inode.Ondisk.blocks.(bi) <> 0 then begin
+      match data_block t ino inode bi ~alloc:false ~fill:Block_cache.From_disk with
+      | Some (entry, _) ->
+        t.hooks.Hooks.open_write ~paddr:entry.Block_cache.paddr;
+        Phys_mem.fill t.mem
+          (entry.Block_cache.paddr + in_block)
+          ~len:(block_bytes - in_block) '\000';
+        t.hooks.Hooks.close_write ~paddr:entry.Block_cache.paddr;
+        Block_cache.mark_dirty t.data entry;
+        Block_cache.set_valid t.data entry (min block_bytes (new_size - (bi * block_bytes)))
+      | None -> ()
+    end;
+    inode.Ondisk.size <- new_size;
+    inode.Ondisk.mtime <- Engine.now t.engine;
+    iupdate t ino inode ~structural:!structural;
+    match t.policy with
+    | Wt_write | Wt_close ->
+      flush_file_data t ino ~sync:true;
+      fsync_inode t ino
+    | Mfs | Ufs_default | Ufs_delayed | Advfs | Rio_policy | Rio_idle -> ()
+  end
+
+(* ---------------- warm-reboot restore ---------------- *)
+
+let write_by_ino t ~ino ~offset data =
+  let inode = iget t ino in
+  if inode.Ondisk.ftype <> Regular then err "write_by_ino: inode %d not a regular file" ino;
+  let len = min (Bytes.length data) (max 0 (inode.Ondisk.size - offset)) in
+  if len > 0 then begin
+    let pos = ref 0 in
+    while !pos < len do
+      let off = offset + !pos in
+      let bi = off / block_bytes in
+      let in_block = off mod block_bytes in
+      let chunk = min (len - !pos) (block_bytes - in_block) in
+      (match data_block t ino inode bi ~alloc:false ~fill:Block_cache.Zero with
+      | Some (entry, _) ->
+        let paddr = entry.Block_cache.paddr + in_block in
+        t.hooks.Hooks.open_write ~paddr:entry.Block_cache.paddr;
+        t.hooks.Hooks.copy_in data !pos ~paddr ~len:chunk;
+        t.hooks.Hooks.close_write ~paddr:entry.Block_cache.paddr;
+        Block_cache.mark_dirty t.data entry;
+        let valid = min block_bytes (inode.Ondisk.size - (bi * block_bytes)) in
+        Block_cache.set_valid t.data entry valid
+      | None -> () (* hole: nothing to restore *));
+      pos := !pos + chunk
+    done
+  end

@@ -1,0 +1,196 @@
+(** The file system: a Unix-like FS over the simulated disk and memory,
+    parameterized by the write policies of Table 2.
+
+    Metadata (superblock, bitmaps, inodes, directory blocks) is cached in
+    the buffer-cache region; regular file data in UBC pages drawn from the
+    shared page pool. The cached page bytes are authoritative — after a
+    crash, recovery re-reads everything from disk (plus, for Rio, from the
+    memory image via the warm reboot).
+
+    Every operation charges simulated time: system-call overhead, pathname
+    lookup, memory copies, and whatever disk traffic the policy incurs. *)
+
+type policy =
+  | Mfs  (** Memory File System: no disk I/O at all (the speed ceiling). *)
+  | Ufs_default
+      (** Digital Unix UFS: asynchronous data after 64 KB clusters /
+          non-sequential writes / the update daemon; {e synchronous}
+          metadata (inodes, directories). *)
+  | Ufs_delayed
+      (** The "no-order" optimization: all data and metadata delayed until
+          the next update run — risks 30 s of both. *)
+  | Wt_close  (** UFS + fsync on every close. *)
+  | Wt_write  (** UFS + synchronous data on every write (Rio's reliability peer). *)
+  | Advfs  (** Asynchronous data; metadata journaled sequentially. *)
+  | Rio_policy
+      (** No reliability-induced writes: disk traffic only on cache
+          overflow. fsync and sync return immediately (§2.3). *)
+  | Rio_idle
+      (** The paper's future-work variant (§2.3): reliability-wise
+          identical to {!Rio_policy}, but the update daemon trickles dirty
+          blocks to disk during idle periods so later evictions rarely
+          stall on a synchronous write-back. *)
+
+val policy_name : policy -> string
+
+val all_policies : policy list
+
+(** {1 Formatting and mounting} *)
+
+type geometry = {
+  total_sectors : int;
+  inode_count : int;
+  swap_sectors : int;
+  journal_sectors : int;
+}
+
+val default_geometry : disk_sectors:int -> mem_bytes:int -> geometry
+(** Swap sized to hold all of physical memory (for the warm-reboot dump),
+    1 MB of journal, 1 inode per 4 data blocks. *)
+
+val mkfs : disk:Rio_disk.Disk.t -> geometry -> unit
+(** Format: superblock, empty bitmaps, free inode table, empty root
+    directory. Untimed (happens before the experiment clock starts). *)
+
+type t
+
+val mount :
+  engine:Rio_sim.Engine.t ->
+  costs:Rio_sim.Costs.t ->
+  mem:Rio_mem.Phys_mem.t ->
+  meta_alloc:Rio_mem.Page_alloc.t ->
+  pool_alloc:Rio_mem.Page_alloc.t ->
+  disk:Rio_disk.Disk.t ->
+  policy:policy ->
+  hooks:Hooks.t ->
+  t
+(** Read the superblock and start the update daemon (for the policies that
+    have one). Raises {!Fs_types.Fs_error} on a bad superblock. *)
+
+val unmount : t -> unit
+(** Flush everything, drain the disk, mark the volume clean, stop the
+    daemon. *)
+
+val crash : t -> unit
+(** The system just crashed: lose queued disk writes (tearing the in-flight
+    sector), stop the daemon. Memory is left exactly as it was — that is
+    Rio's whole point. The [t] must not be used afterwards; recovery
+    remounts. *)
+
+(** {1 Introspection} *)
+
+val engine : t -> Rio_sim.Engine.t
+val policy : t -> policy
+val hooks : t -> Hooks.t
+val superblock : t -> Ondisk.superblock
+val disk : t -> Rio_disk.Disk.t
+val meta_cache : t -> Block_cache.t
+val data_cache : t -> Block_cache.t
+
+(** {1 Files} *)
+
+type fd
+
+type stat = {
+  st_ino : int;
+  st_ftype : Fs_types.ftype;
+  st_size : int;
+  st_nlink : int;
+  st_mtime : int;
+}
+
+val create : t -> string -> fd
+(** Create (or truncate) a regular file and open it. *)
+
+val open_file : t -> string -> fd
+(** Open an existing regular file. *)
+
+val close : t -> fd -> unit
+
+val read : t -> fd -> len:int -> bytes
+(** Read at the cursor, advancing it; short reads at EOF. *)
+
+val write : t -> fd -> bytes -> unit
+(** Write at the cursor, advancing it. *)
+
+val pread : t -> fd -> offset:int -> len:int -> bytes
+
+val pwrite : t -> fd -> offset:int -> bytes -> unit
+
+val seek : t -> fd -> int -> unit
+
+val fsync : t -> fd -> unit
+
+val fd_size : t -> fd -> int
+
+val fd_ino : t -> fd -> int
+
+(** {1 Namespace} *)
+
+val mkdir : t -> string -> unit
+val rmdir : t -> string -> unit
+(** Directory must be empty. *)
+
+val link : t -> string -> string -> unit
+(** [link t existing path] creates a hard link: a second directory entry
+    for the same inode. Not allowed on directories. *)
+
+val unlink : t -> string -> unit
+(** Drops one link; the inode and its blocks are freed when the last link
+    goes. *)
+
+val rename : t -> string -> string -> unit
+(** An existing regular-file target is replaced. *)
+
+val readdir : t -> string -> string list
+(** Sorted names. *)
+
+val stat : t -> string -> stat
+(** Follows symbolic links. *)
+
+val lstat : t -> string -> stat
+(** Does not follow a final symbolic link. *)
+
+val exists : t -> string -> bool
+val sync : t -> unit
+
+val symlink : t -> target:string -> string -> unit
+(** Create a symbolic link at the path pointing at [target] (absolute or
+    relative to the link's directory). Stored through the cache like the
+    paper's symlinks (§2). *)
+
+val readlink : t -> string -> string
+
+val truncate : t -> string -> int -> unit
+(** Shrink (freeing blocks, zeroing the boundary tail) or extend (creating
+    a hole) a regular file. *)
+
+(** {1 Convenience} *)
+
+val read_file : t -> string -> bytes
+val write_file : t -> string -> bytes -> unit
+(** create + write + close. *)
+
+type fs_stats = {
+  blocks_total : int;
+  blocks_free : int;
+  inodes_total : int;
+  inodes_free : int;
+}
+
+val statfs : t -> fs_stats
+(** Block and inode usage from the allocation bitmaps. *)
+
+(** {1 Warm-reboot support} *)
+
+val write_by_ino : t -> ino:int -> offset:int -> bytes -> unit
+(** Restore file-page contents by inode number without touching metadata:
+    clamped to the inode's current size; holes are skipped. Used by Rio's
+    user-level UBC restore sweep (§2.2). *)
+
+val update_daemon_flush : t -> int
+(** Run one update-daemon pass now; returns blocks flushed. *)
+
+val remount_cold : t -> unit
+(** Flush everything and drop both caches — equivalent to unmount + mount.
+    Used to measure cold-cache workloads. *)

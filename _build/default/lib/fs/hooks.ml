@@ -1,0 +1,26 @@
+type t = {
+  mutable note_map :
+    paddr:int -> blkno:int -> owner:Fs_types.owner -> valid:int -> unit;
+  mutable note_unmap : paddr:int -> unit;
+  mutable open_write : paddr:int -> unit;
+  mutable close_write : paddr:int -> unit;
+  mutable metadata_update : paddr:int -> (unit -> unit) -> unit;
+  mutable copy_in : bytes -> int -> paddr:int -> len:int -> unit;
+  mutable copy_out : paddr:int -> bytes -> int -> len:int -> unit;
+}
+
+let defaults ~mem =
+  {
+    note_map = (fun ~paddr:_ ~blkno:_ ~owner:_ ~valid:_ -> ());
+    note_unmap = (fun ~paddr:_ -> ());
+    open_write = (fun ~paddr:_ -> ());
+    close_write = (fun ~paddr:_ -> ());
+    metadata_update = (fun ~paddr:_ f -> f ());
+    copy_in =
+      (fun src srcpos ~paddr ~len ->
+        Rio_mem.Phys_mem.blit_in mem paddr (Bytes.sub src srcpos len));
+    copy_out =
+      (fun ~paddr dst dstpos ~len ->
+        let b = Rio_mem.Phys_mem.blit_out mem paddr ~len in
+        Bytes.blit b 0 dst dstpos len);
+  }

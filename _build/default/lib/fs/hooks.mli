@@ -1,0 +1,34 @@
+(** Instrumentation points where Rio (and the kernel model) plug into the
+    file system.
+
+    The file system is written against these hooks with no knowledge of Rio:
+    [open_write]/[close_write] bracket every legitimate modification of a
+    file-cache page (Rio unprotects/reprotects and maintains checksums and
+    the registry's "changing" flag); [note_map]/[note_unmap] track which
+    physical page holds which block (Rio's registry, §2.2);
+    [metadata_update] wraps metadata mutations (Rio makes them atomic via a
+    shadow page, §2.3); [copy_in]/[copy_out] are the kernel bcopy data path
+    (the fault injector arms copy overruns there). *)
+
+type t = {
+  mutable note_map :
+    paddr:int -> blkno:int -> owner:Fs_types.owner -> valid:int -> unit;
+      (** A physical page now holds block [blkno]; [valid] bytes are
+          meaningful. Called again on owner/valid changes. *)
+  mutable note_unmap : paddr:int -> unit;
+      (** The page no longer caches a block (eviction, file deletion). *)
+  mutable open_write : paddr:int -> unit;
+      (** The kernel is about to write this page legitimately. *)
+  mutable close_write : paddr:int -> unit;
+      (** The legitimate write completed. *)
+  mutable metadata_update : paddr:int -> (unit -> unit) -> unit;
+      (** Run a metadata mutation against the page ([open_write]/[close_write]
+          are the caller's job; this hook only adds atomicity). *)
+  mutable copy_in : bytes -> int -> paddr:int -> len:int -> unit;
+      (** Kernel bcopy: user buffer slice into physical memory. *)
+  mutable copy_out : paddr:int -> bytes -> int -> len:int -> unit;
+      (** Kernel bcopy: physical memory into a user buffer prefix. *)
+}
+
+val defaults : mem:Rio_mem.Phys_mem.t -> t
+(** No-op instrumentation; copies go straight to memory. *)

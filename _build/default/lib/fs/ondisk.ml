@@ -1,0 +1,168 @@
+open Fs_types
+
+let magic = 0x52494F46 (* "RIOF" *)
+
+let superblock_sector = 0
+
+type superblock = {
+  total_sectors : int;
+  inode_count : int;
+  swap_start : int;
+  swap_sectors : int;
+  journal_start : int;
+  journal_sectors : int;
+  ibitmap_start : int;
+  ibitmap_sectors : int;
+  bbitmap_start : int;
+  bbitmap_sectors : int;
+  itable_start : int;
+  data_start : int;
+  data_blocks : int;
+  clean : bool;
+}
+
+let put_u32 b pos v = Bytes.set_int32_le b pos (Int32.of_int v)
+let get_u32 b pos = Int32.to_int (Bytes.get_int32_le b pos) land 0xFFFF_FFFF
+let put_u64 b pos v = Bytes.set_int64_le b pos (Int64.of_int v)
+let get_u64 b pos = Int64.to_int (Bytes.get_int64_le b pos)
+
+let write_superblock sb =
+  let b = Bytes.make 512 '\000' in
+  put_u32 b 0 magic;
+  put_u32 b 4 sb.total_sectors;
+  put_u32 b 8 sb.inode_count;
+  put_u32 b 12 sb.swap_start;
+  put_u32 b 16 sb.swap_sectors;
+  put_u32 b 20 sb.journal_start;
+  put_u32 b 24 sb.journal_sectors;
+  put_u32 b 28 sb.ibitmap_start;
+  put_u32 b 32 sb.ibitmap_sectors;
+  put_u32 b 36 sb.bbitmap_start;
+  put_u32 b 40 sb.bbitmap_sectors;
+  put_u32 b 44 sb.itable_start;
+  put_u32 b 48 sb.data_start;
+  put_u32 b 52 sb.data_blocks;
+  put_u32 b 56 (if sb.clean then 1 else 0);
+  b
+
+let read_superblock b =
+  if Bytes.length b < 512 then err "superblock: short sector";
+  if get_u32 b 0 <> magic then err "superblock: bad magic %#x" (get_u32 b 0);
+  let sb =
+    {
+      total_sectors = get_u32 b 4;
+      inode_count = get_u32 b 8;
+      swap_start = get_u32 b 12;
+      swap_sectors = get_u32 b 16;
+      journal_start = get_u32 b 20;
+      journal_sectors = get_u32 b 24;
+      ibitmap_start = get_u32 b 28;
+      ibitmap_sectors = get_u32 b 32;
+      bbitmap_start = get_u32 b 36;
+      bbitmap_sectors = get_u32 b 40;
+      itable_start = get_u32 b 44;
+      data_start = get_u32 b 48;
+      data_blocks = get_u32 b 52;
+      clean = get_u32 b 56 = 1;
+    }
+  in
+  if sb.inode_count <= 0 || sb.data_blocks <= 0 || sb.data_start <= 0 then
+    err "superblock: nonsensical geometry";
+  if sb.data_start + (sb.data_blocks * sectors_per_block) > sb.total_sectors then
+    err "superblock: data region exceeds device";
+  sb
+
+let data_sector sb blkno =
+  if blkno < 0 || blkno >= sb.data_blocks then err "data block %d out of range" blkno;
+  sb.data_start + (blkno * sectors_per_block)
+
+type inode = {
+  mutable ftype : Fs_types.ftype;
+  mutable nlink : int;
+  mutable size : int;
+  mutable mtime : int;
+  blocks : int array;
+}
+
+let empty_inode ftype = { ftype; nlink = 0; size = 0; mtime = 0; blocks = Array.make ndirect 0 }
+
+let inode_bytes = 512
+
+let inode_sector sb ino =
+  if ino < 1 || ino > sb.inode_count then err "inode %d out of range" ino;
+  sb.itable_start + (ino - 1)
+
+let type_tag = function Regular -> 1 | Directory -> 2 | Symlink -> 3
+
+let write_inode inode b ~pos =
+  Bytes.fill b pos inode_bytes '\000';
+  put_u32 b pos (type_tag inode.ftype);
+  put_u32 b (pos + 4) inode.nlink;
+  put_u64 b (pos + 8) inode.size;
+  put_u64 b (pos + 16) inode.mtime;
+  Array.iteri (fun i blk -> put_u32 b (pos + 24 + (i * 4)) blk) inode.blocks
+
+let read_inode b ~pos =
+  let tag = get_u32 b pos in
+  let ftype =
+    match tag with
+    | 1 -> Regular
+    | 2 -> Directory
+    | 3 -> Symlink
+    | t -> err "inode: invalid type tag %d" t
+  in
+  let nlink = get_u32 b (pos + 4) in
+  let size = get_u64 b (pos + 8) in
+  let mtime = get_u64 b (pos + 16) in
+  if size < 0 || size > ndirect * block_bytes then err "inode: size %d out of range" size;
+  if nlink < 0 || nlink > 0xFFFF then err "inode: nlink %d out of range" nlink;
+  let blocks = Array.init ndirect (fun i -> get_u32 b (pos + 24 + (i * 4))) in
+  { ftype; nlink; size; mtime; blocks }
+
+let inode_is_free b ~pos = get_u32 b pos = 0
+
+let free_inode_image () = Bytes.make inode_bytes '\000'
+
+let dir_entry_bytes name = 4 + 1 + String.length name
+
+let dir_block_capacity = block_bytes - 4 (* room for the terminator *)
+
+let dir_pack entries =
+  let b = Bytes.make block_bytes '\000' in
+  let pos = ref 0 in
+  List.iter
+    (fun (name, ino) ->
+      let len = String.length name in
+      if len = 0 || len > name_max then err "dir_pack: bad name length %d" len;
+      if ino <= 0 then err "dir_pack: bad inode %d" ino;
+      if !pos + dir_entry_bytes name > dir_block_capacity then err "dir_pack: block overflow";
+      put_u32 b !pos ino;
+      Bytes.set b (!pos + 4) (Char.chr len);
+      Bytes.blit_string name 0 b (!pos + 5) len;
+      pos := !pos + dir_entry_bytes name)
+    entries;
+  b
+
+let dir_unpack b ~pos ~len =
+  let stop = pos + len in
+  let rec scan p acc =
+    if p + 5 > stop then List.rev acc
+    else begin
+      let ino = get_u32 b p in
+      if ino = 0 then List.rev acc
+      else begin
+        let namelen = Char.code (Bytes.get b (p + 4)) in
+        if namelen = 0 || namelen > name_max then err "directory entry: bad name length %d" namelen;
+        if p + 5 + namelen > stop then err "directory entry: runs past block end";
+        let name = Bytes.sub_string b (p + 5) namelen in
+        String.iter
+          (fun c ->
+            let code = Char.code c in
+            if code < 0x20 || code > 0x7E || c = '/' then
+              err "directory entry: invalid character %#x in name" code)
+          name;
+        scan (p + 5 + namelen) ((name, ino) :: acc)
+      end
+    end
+  in
+  scan pos []

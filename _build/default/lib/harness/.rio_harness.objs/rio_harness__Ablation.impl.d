@@ -1,0 +1,1 @@
+lib/harness/ablation.ml: Format List Printf Rio_core Rio_cpu Rio_fs Rio_kernel Rio_mem Rio_sim Rio_txn Rio_util Rio_workload

@@ -1,0 +1,1 @@
+lib/harness/performance.ml: Array List Paper_data Printf Rio_core Rio_fs Rio_kernel Rio_mem Rio_sim Rio_util Rio_workload

@@ -1,0 +1,1 @@
+lib/harness/performance.mli: Rio_fs Rio_util

@@ -1,0 +1,1 @@
+lib/harness/reliability.ml: Array Float Hashtbl List Option Paper_data Printf Rio_fault Rio_util String

@@ -1,0 +1,1 @@
+lib/harness/reliability.mli: Rio_fault Rio_util

@@ -1,0 +1,1 @@
+lib/harness/vista_experiment.ml: Bytes Int64 List Rio_core Rio_fault Rio_fs Rio_kernel Rio_sim Rio_txn Rio_util

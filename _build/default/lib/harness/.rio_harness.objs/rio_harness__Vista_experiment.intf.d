@@ -1,0 +1,1 @@
+lib/harness/vista_experiment.mli: Rio_fault Rio_util

@@ -1,0 +1,118 @@
+(** Ablations for the design choices the paper discusses in prose.
+
+    - {b Protection overhead} (§4): Rio with vs without protection on a
+      write-heavy workload, plus the raw toggle counts — the paper's
+      "essentially no overhead" claim.
+    - {b Code patching} (§2.1): the software-only alternative for CPUs that
+      cannot map KSEG through the TLB, which the paper measured at 20-50%
+      slower. We measure the store density of the interpreted kernel corpus
+      and model one inserted check sequence per (unproven-safe) store.
+    - {b Registry cost} (§2.2): bytes and time spent maintaining the
+      registry under memTest.
+    - {b Delay-period sweep} (§1): the delayed-write spectrum — longer
+      delays buy performance and lose more data in a crash; Rio sits at
+      (fast, zero loss). *)
+
+type protection_result = {
+  noprot_s : float;
+  prot_s : float;
+  overhead_pct : float;
+  toggles : int;
+  checksum_updates : int;
+  shadow_updates : int;
+}
+
+val protection_overhead : ?scale:float -> seed:int -> unit -> protection_result
+(** cp+rm (write-heavy, worst case for protection) under both Rio modes. *)
+
+type code_patching_result = {
+  store_density : float;  (** Stores per instruction in the kernel corpus. *)
+  checked_fraction : float;  (** Stores still checked after optimization. *)
+  check_instructions : int;  (** Inserted instructions per checked store. *)
+  slowdown_pct : float;
+}
+
+val code_patching : seed:int -> unit -> code_patching_result
+(** Executes the kernel-activity corpus to measure store density, then
+    applies the check-cost model. The paper's band is 20-50%. *)
+
+type registry_result = {
+  registry_updates : int;
+  bytes_per_page : int;  (** 40. *)
+  space_overhead_pct : float;  (** 40/8192. *)
+  time_overhead_pct : float;  (** Registry time / total run time. *)
+}
+
+val registry_cost : ?steps:int -> seed:int -> unit -> registry_result
+
+type idle_writeback_result = {
+  rio_s : float;
+  rio_idle_s : float;
+  rio_evictions : int;
+  rio_idle_evictions : int;
+  rio_idle_daemon_writes : int;
+}
+
+val idle_writeback : seed:int -> unit -> idle_writeback_result
+(** The paper's §2.3 future-work variant: Rio with idle-period write-back.
+    A churn workload bigger than the page pool forces evictions; with idle
+    write-back the victims are already clean, so the run does not stall on
+    synchronous eviction writes. *)
+
+type debit_credit_result = {
+  noprot_txn_us : float;
+  prot_txn_us : float;
+  overhead_pct : float;
+}
+
+val debit_credit : ?transactions:int -> seed:int -> unit -> debit_credit_result
+(** §6's comparison with Sullivan-Stonebraker's "expose page" (7% overhead
+    on debit/credit): Rio's in-kernel, per-page protection toggles cost far
+    less on the same transaction shape (run on Vista transactions). *)
+
+type phoenix_point = {
+  scheme : string;
+  run_s : float;
+  lost_bytes : int;
+  lost_files : int;
+  checkpoints : int;
+}
+
+val phoenix_comparison : ?steps:int -> seed:int -> unit -> phoenix_point list
+(** Related-work comparison (§6): Phoenix-style periodic in-memory
+    checkpointing loses the writes since the last checkpoint and pays a
+    copy pass per checkpoint; Rio makes every write permanent for free. *)
+
+type disk_sensitivity = {
+  era : string;
+  wt_write_s : float;
+  rio_s : float;
+  ratio : float;
+}
+
+val modern_disk_sensitivity : seed:int -> unit -> disk_sensitivity list
+(** Re-run the Rio-vs-write-through comparison with a modern disk's
+    parameters: the gap shrinks but does not close (seek+rotation still
+    dwarf memory latency). *)
+
+type delay_point = {
+  delay : Rio_util.Units.usec option;  (** [None] = Rio (never). *)
+  label : string;
+  run_s : float;  (** Workload runtime. *)
+  lost_bytes : int;  (** Data missing after crash + recovery. *)
+  lost_files : int;
+}
+
+val delay_sweep : ?steps:int -> seed:int -> unit -> delay_point list
+(** Sweep the update-daemon interval for UFS-delayed, crash at the end of
+    the workload, recover, and count what was lost. Includes a Rio point
+    (warm reboot: nothing lost). *)
+
+val protection_table : protection_result -> Rio_util.Table.t
+val idle_writeback_table : idle_writeback_result -> Rio_util.Table.t
+val disk_sensitivity_table : disk_sensitivity list -> Rio_util.Table.t
+val phoenix_table : phoenix_point list -> Rio_util.Table.t
+val debit_credit_table : debit_credit_result -> Rio_util.Table.t
+val code_patching_table : code_patching_result -> Rio_util.Table.t
+val registry_table : registry_result -> Rio_util.Table.t
+val delay_table : delay_point list -> Rio_util.Table.t

@@ -1,0 +1,53 @@
+let table1_total_crashes_per_system = 650
+
+(* Row-level cells reconstructed from a degraded copy of Table 1; the
+   column totals (7 / 10 / 4 of 650) and the qualitative facts — copy
+   overrun is the dominant corruptor without protection; most cells are
+   blank — are exact from the text. *)
+let table1_corruptions =
+  [
+    ("kernel text", (2, 1, 0));
+    ("kernel heap", (1, 1, 0));
+    ("kernel stack", (0, 1, 1));
+    ("destination reg.", (0, 0, 0));
+    ("source reg.", (2, 0, 0));
+    ("delete branch", (0, 1, 0));
+    ("delete random inst.", (0, 0, 1));
+    ("initialization", (1, 0, 0));
+    ("pointer", (0, 1, 0));
+    ("allocation", (0, 0, 1));
+    ("copy overrun", (1, 4, 1));
+    ("off-by-one", (0, 1, 0));
+    ("synchronization", (0, 0, 0));
+  ]
+
+let table1_totals = (7, 10, 4)
+
+let protection_trap_invocations = (6, 2)
+
+type perf_row = {
+  label : string;
+  cp_rm : float;
+  cp : float;
+  rm : float;
+  sdet : float;
+  andrew : float;
+}
+
+let table2 =
+  [
+    { label = "memory-fs"; cp_rm = 21.; cp = 15.; rm = 6.; sdet = 43.; andrew = 13. };
+    { label = "ufs-delayed"; cp_rm = 81.; cp = 76.; rm = 5.; sdet = 47.; andrew = 13. };
+    { label = "advfs"; cp_rm = 125.; cp = 110.; rm = 15.; sdet = 132.; andrew = 16. };
+    { label = "ufs"; cp_rm = 332.; cp = 245.; rm = 87.; sdet = 401.; andrew = 23. };
+    { label = "wt-close"; cp_rm = 394.; cp = 274.; rm = 120.; sdet = 699.; andrew = 49. };
+    { label = "wt-write"; cp_rm = 539.; cp = 419.; rm = 120.; sdet = 910.; andrew = 178. };
+    { label = "rio-noprot"; cp_rm = 24.; cp = 18.; rm = 6.; sdet = 42.; andrew = 12. };
+    { label = "rio-prot"; cp_rm = 25.; cp = 18.; rm = 7.; sdet = 42.; andrew = 13. };
+  ]
+
+let table2_row label = List.find_opt (fun r -> r.label = label) table2
+
+let mttf_disk_years = 15.
+let mttf_rio_noprot_years = 11.
+let crash_interval_months = 2.

@@ -1,0 +1,44 @@
+(** The paper's published numbers, for paper-vs-measured reports. *)
+
+(** {1 Table 1 (reliability)} *)
+
+val table1_total_crashes_per_system : int
+(** 650. *)
+
+val table1_corruptions : (string * (int * int * int)) list
+(** Fault-type row label -> (disk-based, rio w/o protection, rio w/
+    protection) corruption counts out of 50 runs each. Reconstructed from
+    Table 1; rows the paper leaves blank are 0. *)
+
+val table1_totals : int * int * int
+(** (7, 10, 4) of 650 each. *)
+
+val protection_trap_invocations : int * int
+(** 8 total: (6 copy overrun, 2 initialization) — §3.3. *)
+
+(** {1 Table 2 (performance, seconds)} *)
+
+type perf_row = {
+  label : string;
+  cp_rm : float;  (** total seconds *)
+  cp : float;
+  rm : float;
+  sdet : float;
+  andrew : float;
+}
+
+val table2 : perf_row list
+(** All eight systems, in the paper's order. *)
+
+val table2_row : string -> perf_row option
+
+(** {1 §3.3 MTTF projection} *)
+
+val mttf_disk_years : float
+(** 15. *)
+
+val mttf_rio_noprot_years : float
+(** 11. *)
+
+val crash_interval_months : float
+(** 2 — "a system that crashes once every two months". *)

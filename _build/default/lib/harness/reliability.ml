@@ -1,0 +1,242 @@
+module Campaign = Rio_fault.Campaign
+module Fault_type = Rio_fault.Fault_type
+module Table = Rio_util.Table
+
+type cell = {
+  crashes : int;
+  attempts : int;
+  corruptions : int;
+  corrupt_paths : int;
+  protection_traps : int;
+  checksum_detections : int;
+}
+
+type results = {
+  crashes_per_cell : int;
+  cells : (Campaign.system * Fault_type.t * cell) list;
+  unique_messages : int;
+  unique_consistency_messages : int;
+}
+
+let cell_seed ~seed_base system fault =
+  let sys_id =
+    match system with
+    | Campaign.Disk_based -> 1
+    | Campaign.Rio_without_protection -> 2
+    | Campaign.Rio_with_protection -> 3
+  in
+  let fault_id =
+    match List.mapi (fun i f -> (f, i)) Fault_type.all |> List.assoc_opt fault with
+    | Some i -> i
+    | None -> 0
+  in
+  seed_base + (sys_id * 1_000_000) + (fault_id * 10_000)
+
+let run ?(config = Campaign.default_config) ?(systems = Campaign.all_systems)
+    ?(faults = Fault_type.all) ?(progress = fun _ -> ()) ~crashes_per_cell ~seed_base () =
+  let messages = Hashtbl.create 64 in
+  let cells =
+    List.concat_map
+      (fun system ->
+        List.map
+          (fun fault ->
+            let crashes = ref 0
+            and attempts = ref 0
+            and corruptions = ref 0
+            and paths = ref 0
+            and traps = ref 0
+            and cksum = ref 0 in
+            let base = cell_seed ~seed_base system fault in
+            (* Cap attempts so a pathological non-crashing cell terminates. *)
+            let max_attempts = crashes_per_cell * 25 in
+            while !crashes < crashes_per_cell && !attempts < max_attempts do
+              incr attempts;
+              let o = Campaign.run_one config system fault ~seed:(base + !attempts) in
+              if not o.Campaign.discarded then begin
+                incr crashes;
+                (match o.Campaign.crash_message with
+                | Some m -> Hashtbl.replace messages m ()
+                | None -> ());
+                if o.Campaign.corrupted then begin
+                  incr corruptions;
+                  paths := !paths + o.Campaign.corrupt_paths
+                end;
+                if o.Campaign.protection_trap then incr traps;
+                if o.Campaign.checksum_detected then incr cksum
+              end
+            done;
+            progress
+              (Printf.sprintf "%s / %s: %d crashes in %d attempts, %d corruptions"
+                 (Campaign.system_name system) (Fault_type.name fault) !crashes !attempts
+                 !corruptions);
+            ( system,
+              fault,
+              {
+                crashes = !crashes;
+                attempts = !attempts;
+                corruptions = !corruptions;
+                corrupt_paths = !paths;
+                protection_traps = !traps;
+                checksum_detections = !cksum;
+              } ))
+          faults)
+      systems
+  in
+  let consistency =
+    Hashtbl.fold
+      (fun m () acc -> if String.length m >= 6 && String.sub m 0 6 = "panic:" then acc + 1 else acc)
+      messages 0
+  in
+  {
+    crashes_per_cell;
+    cells;
+    unique_messages = Hashtbl.length messages;
+    unique_consistency_messages = consistency;
+  }
+
+(* Crash-message census: run mixed fault types until [crashes] crashes and
+   tally the distinct console messages — the paper's "74 unique error
+   messages, including 59 different kernel consistency error messages". *)
+let message_census ?(config = Campaign.default_config) ~crashes ~seed_base () =
+  let tally = Hashtbl.create 64 in
+  let seen = ref 0 in
+  let attempt = ref 0 in
+  let faults = Array.of_list Fault_type.all in
+  while !seen < crashes && !attempt < crashes * 30 do
+    incr attempt;
+    let fault = faults.(!attempt mod Array.length faults) in
+    let o =
+      Campaign.run_one config Campaign.Rio_without_protection fault ~seed:(seed_base + !attempt)
+    in
+    match o.Campaign.crash_message with
+    | Some m when not o.Campaign.discarded ->
+      incr seen;
+      Hashtbl.replace tally m (1 + Option.value ~default:0 (Hashtbl.find_opt tally m))
+    | Some _ | None -> ()
+  done;
+  List.sort
+    (fun (_, a) (_, b) -> compare b a)
+    (Hashtbl.fold (fun m c acc -> (m, c) :: acc) tally [])
+
+let cell results system fault =
+  match
+    List.find_opt (fun (s, f, _) -> s = system && f = fault) results.cells
+  with
+  | Some (_, _, c) -> c
+  | None ->
+    { crashes = 0; attempts = 0; corruptions = 0; corrupt_paths = 0; protection_traps = 0;
+      checksum_detections = 0 }
+
+let system_total results system =
+  List.fold_left
+    (fun (corr, crashes) (s, _, c) ->
+      if s = system then (corr + c.corruptions, crashes + c.crashes) else (corr, crashes))
+    (0, 0) results.cells
+
+let corruption_rate results system =
+  let corr, crashes = system_total results system in
+  Rio_util.Stats.binomial_rate corr crashes
+
+let mttf_years ~corruption_rate =
+  if corruption_rate <= 0. then Float.infinity
+  else Paper_data.crash_interval_months /. 12. /. corruption_rate
+
+let systems_of results =
+  List.sort_uniq compare (List.map (fun (s, _, _) -> s) results.cells)
+
+let faults_of results =
+  let faults = List.sort_uniq compare (List.map (fun (_, f, _) -> f) results.cells) in
+  (* Preserve Table 1 row order. *)
+  List.filter (fun f -> List.mem f faults) Fault_type.all
+
+let to_table results =
+  let systems = systems_of results in
+  let columns =
+    ("Fault Type", Table.Left)
+    :: List.map (fun s -> (Campaign.system_name s, Table.Right)) systems
+  in
+  let table = Table.create ~columns in
+  List.iter
+    (fun fault ->
+      Table.add_row table
+        (Fault_type.name fault
+        :: List.map (fun s -> Table.cell_int (cell results s fault).corruptions) systems))
+    (faults_of results);
+  Table.add_separator table;
+  Table.add_row table
+    ("Total"
+    :: List.map
+         (fun s ->
+           let corr, crashes = system_total results s in
+           Printf.sprintf "%d of %d (%.1f%%)" corr crashes
+             (100. *. Rio_util.Stats.binomial_rate corr crashes))
+         systems);
+  table
+
+let comparison_table results =
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("Quantity", Table.Left);
+          ("Paper", Table.Right);
+          ("Measured", Table.Right);
+        ]
+  in
+  let p_disk, p_noprot, p_prot = Paper_data.table1_totals in
+  let n = Paper_data.table1_total_crashes_per_system in
+  let add_system label system paper_corr =
+    let corr, crashes = system_total results system in
+    let lo, hi = Rio_util.Stats.wilson_interval corr crashes in
+    Table.add_row table
+      [
+        label ^ " corruption rate";
+        Printf.sprintf "%d/%d (%.1f%%)" paper_corr n (100. *. float_of_int paper_corr /. float_of_int n);
+        Printf.sprintf "%d/%d (%.1f%%, CI %.1f-%.1f%%)" corr crashes
+          (100. *. Rio_util.Stats.binomial_rate corr crashes)
+          (100. *. lo) (100. *. hi);
+      ]
+  in
+  let systems = systems_of results in
+  if List.mem Campaign.Disk_based systems then
+    add_system "disk-based" Campaign.Disk_based p_disk;
+  if List.mem Campaign.Rio_without_protection systems then
+    add_system "rio w/o protection" Campaign.Rio_without_protection p_noprot;
+  if List.mem Campaign.Rio_with_protection systems then
+    add_system "rio w/ protection" Campaign.Rio_with_protection p_prot;
+  if List.mem Campaign.Disk_based systems then
+    Table.add_row table
+      [
+        "MTTF disk-based (years)";
+        Printf.sprintf "%.0f" Paper_data.mttf_disk_years;
+        Printf.sprintf "%.1f" (mttf_years ~corruption_rate:(corruption_rate results Campaign.Disk_based));
+      ];
+  if List.mem Campaign.Rio_without_protection systems then
+    Table.add_row table
+      [
+        "MTTF rio w/o protection (years)";
+        Printf.sprintf "%.0f" Paper_data.mttf_rio_noprot_years;
+        Printf.sprintf "%.1f"
+          (mttf_years ~corruption_rate:(corruption_rate results Campaign.Rio_without_protection));
+      ];
+  let p_or, p_init = Paper_data.protection_trap_invocations in
+  let measured_traps =
+    List.fold_left
+      (fun acc (s, _, c) ->
+        if s = Campaign.Rio_with_protection then acc + c.protection_traps else acc)
+      0 results.cells
+  in
+  Table.add_row table
+    [
+      "protection traps invoked";
+      Printf.sprintf "%d (%d overrun + %d init)" (p_or + p_init) p_or p_init;
+      string_of_int measured_traps;
+    ];
+  Table.add_row table
+    [
+      "unique crash messages";
+      "74 (59 consistency)";
+      Printf.sprintf "%d (%d consistency)" results.unique_messages
+        results.unique_consistency_messages;
+    ];
+  table

@@ -1,0 +1,55 @@
+(** The conclusions' promised experiment: fault injection against a
+    database system.
+
+    "We plan to redo this study on a different operating system and to
+    perform a similar fault-injection experiment on a database system. We
+    believe these will show that our conclusions about memory's resistance
+    to software crashes apply to other large software systems."
+
+    Each run banks a fixed sum in a Vista store, runs transfer transactions
+    interleaved with kernel activity, injects 20 faults of a chosen type,
+    runs to the crash, warm-reboots, runs Vista recovery, and audits the
+    ACID ledger: the money total must equal the initial funding (committed
+    transfers move money around; an interrupted transfer must vanish
+    atomically). A violated total is the database-level corruption
+    measurement.
+
+    The experiment also exposes the vulnerability the paper concedes in
+    §2.1: a copy overrun that fires {e during} the database's own tiny
+    record write corrupts the rest of the ledger page inside the open
+    write window, where protection cannot help (disks share this window).
+    Wild-store fault types, by contrast, are stopped cold by protection. *)
+
+type outcome = {
+  discarded : bool;
+  crashed_during_txn : bool;
+  transfers_committed : int;
+  undo_records_recovered : int;
+  total_expected : int;
+  total_found : int;
+  atomic : bool;  (** Money conserved. *)
+}
+
+type summary = {
+  crashes : int;
+  attempts : int;
+  violations : int;  (** Runs where the ledger total was wrong. *)
+  recovered_transactions : int;
+      (** Runs where recovery had to roll back an in-flight transfer. *)
+}
+
+val run_one :
+  Rio_fault.Fault_type.t -> protection:bool -> seed:int -> outcome
+
+val run :
+  ?fault:Rio_fault.Fault_type.t ->
+  protection:bool ->
+  crashes:int ->
+  seed_base:int ->
+  unit ->
+  summary
+(** Crash tests until [crashes] of them crash (default fault: copy
+    overrun, the file cache's worst enemy). *)
+
+val summary_table : (string * summary) list -> Rio_util.Table.t
+(** Render labelled summaries (e.g. per fault type and protection mode). *)

@@ -1,0 +1,1 @@
+lib/kasm/asm.ml: Array Bytes Int32 List Printf Rio_cpu Rio_mem

@@ -1,0 +1,1 @@
+lib/kasm/asm.mli: Rio_cpu Rio_mem

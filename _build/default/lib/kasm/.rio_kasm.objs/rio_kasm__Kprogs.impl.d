@@ -1,0 +1,1 @@
+lib/kasm/kprogs.ml: Array Asm List Printf Rio_cpu

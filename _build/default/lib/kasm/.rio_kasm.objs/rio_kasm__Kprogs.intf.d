@@ -1,0 +1,1 @@
+lib/kasm/kprogs.mli: Asm

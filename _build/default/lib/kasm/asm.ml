@@ -1,0 +1,113 @@
+module Isa = Rio_cpu.Isa
+
+type item =
+  | Fixed of Isa.t
+  | Branch_to of (int -> Isa.t) * int (* build from word offset; label id *)
+
+type t = {
+  mutable items : item list; (* reversed *)
+  mutable count : int;
+  mutable labels : (int * string * int option) list; (* id, name, bound word index *)
+  mutable next_label : int;
+  mutable globals : (string * int) list; (* name, word index *)
+}
+
+type label = int
+
+let create () = { items = []; count = 0; labels = []; next_label = 0; globals = [] }
+
+let fresh_label t name =
+  let id = t.next_label in
+  t.next_label <- id + 1;
+  t.labels <- (id, name, None) :: t.labels;
+  id
+
+let label_info t id =
+  match List.find_opt (fun (i, _, _) -> i = id) t.labels with
+  | Some info -> info
+  | None -> failwith "Asm: unknown label"
+
+let bind t id =
+  let _, name, bound = label_info t id in
+  (match bound with
+  | Some _ -> failwith (Printf.sprintf "Asm: label %s bound twice" name)
+  | None -> ());
+  t.labels <- List.map (fun (i, n, b) -> if i = id then (i, n, Some t.count) else (i, n, b)) t.labels
+
+let here t = t.count * Isa.word_bytes
+
+let push t item =
+  t.items <- item :: t.items;
+  t.count <- t.count + 1
+
+let emit t instr = push t (Fixed instr)
+
+let beq t a b lbl = push t (Branch_to ((fun off -> Isa.Beq (a, b, off)), lbl))
+let bne t a b lbl = push t (Branch_to ((fun off -> Isa.Bne (a, b, off)), lbl))
+let blt t a b lbl = push t (Branch_to ((fun off -> Isa.Blt (a, b, off)), lbl))
+let bge t a b lbl = push t (Branch_to ((fun off -> Isa.Bge (a, b, off)), lbl))
+let jmp t lbl = push t (Branch_to ((fun off -> Isa.Jmp off), lbl))
+let jal t lbl = push t (Branch_to ((fun off -> Isa.Jal (Rio_cpu.Machine.ra_reg, off)), lbl))
+
+let li t rd v =
+  if v < 0 then begin
+    if v < -32768 then failwith "Asm.li: negative immediate out of range";
+    emit t (Isa.Addi (rd, 0, v))
+  end
+  else if v <= 0xFFFF then
+    (* Ori with r0 keeps 16-bit constants to one instruction. *)
+    emit t (Isa.Ori (rd, 0, v))
+  else if v <= 0xFFFF_FFFF then begin
+    emit t (Isa.Lui (rd, (v lsr 16) land 0xFFFF));
+    if v land 0xFFFF <> 0 then emit t (Isa.Ori (rd, rd, v land 0xFFFF))
+  end
+  else failwith "Asm.li: immediate wider than 32 bits"
+
+let mv t rd rs = emit t (Isa.Or (rd, rs, 0))
+
+let ret t = emit t (Isa.Jr Rio_cpu.Machine.ra_reg)
+
+let halt t = emit t Isa.Halt
+
+let nop t = emit t Isa.Nop
+
+let global t name = t.globals <- (name, t.count) :: t.globals
+
+type program = {
+  origin : int;
+  code : bytes;
+  symbols : (string * int) list;
+}
+
+let assemble t ~origin =
+  let items = Array.of_list (List.rev t.items) in
+  let resolve id =
+    let _, name, bound = label_info t id in
+    match bound with
+    | Some idx -> idx
+    | None -> failwith (Printf.sprintf "Asm: unbound label %s" name)
+  in
+  let code = Bytes.create (Array.length items * Isa.word_bytes) in
+  Array.iteri
+    (fun idx item ->
+      let instr =
+        match item with
+        | Fixed i -> i
+        | Branch_to (build, lbl) ->
+          let target = resolve lbl in
+          let off = target - idx in
+          if off < -32768 || off > 32767 then failwith "Asm: branch offset overflow";
+          build off
+      in
+      Bytes.set_int32_le code (idx * Isa.word_bytes) (Int32.of_int (Isa.encode instr)))
+    items;
+  let symbols =
+    List.rev_map (fun (name, idx) -> (name, origin + (idx * Isa.word_bytes))) t.globals
+  in
+  { origin; code; symbols }
+
+let load program mem = Rio_mem.Phys_mem.blit_in mem program.origin program.code
+
+let symbol program name = List.assoc name program.symbols
+
+let instruction_count program = Bytes.length program.code / Isa.word_bytes

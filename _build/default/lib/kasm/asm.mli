@@ -1,0 +1,76 @@
+(** An assembler eDSL for {!Rio_cpu.Isa} programs.
+
+    Kernel routines are written as OCaml functions emitting instructions
+    into a buffer; labels support forward references and are patched at
+    [assemble] time. The result is a binary image the kernel loader copies
+    into the kernel-text region — which is precisely what the text-targeting
+    faults then mutate. *)
+
+type t
+(** An assembler buffer. *)
+
+type label
+
+val create : unit -> t
+
+val fresh_label : t -> string -> label
+(** A new, unbound label (name used in error messages only). *)
+
+val bind : t -> label -> unit
+(** Bind a label to the current position. Binding twice is an error. *)
+
+val here : t -> int
+(** Current offset in bytes from the program origin. *)
+
+val emit : t -> Rio_cpu.Isa.t -> unit
+(** Append one instruction. Branch/jump instructions emitted this way use
+    their raw numeric offsets; prefer the label-based helpers. *)
+
+(** {1 Label-based control flow} *)
+
+val beq : t -> int -> int -> label -> unit
+val bne : t -> int -> int -> label -> unit
+val blt : t -> int -> int -> label -> unit
+val bge : t -> int -> int -> label -> unit
+val jmp : t -> label -> unit
+val jal : t -> label -> unit
+(** Call: link register is r31. *)
+
+(** {1 Pseudo-instructions} *)
+
+val li : t -> int -> int -> unit
+(** [li t rd v] materializes a constant up to 32 bits (lui/ori or addi). *)
+
+val mv : t -> int -> int -> unit
+(** Register move. *)
+
+val ret : t -> unit
+(** [jr r31]. *)
+
+val halt : t -> unit
+
+val nop : t -> unit
+
+(** {1 Subroutines} *)
+
+val global : t -> string -> unit
+(** Mark the current position as a named entry point. *)
+
+type program = {
+  origin : int;  (** Virtual (mapped) load address. *)
+  code : bytes;  (** Encoded instructions. *)
+  symbols : (string * int) list;  (** Entry-point name -> virtual address. *)
+}
+
+val assemble : t -> origin:int -> program
+(** Resolve labels and produce the image. Raises [Failure] on unbound labels
+    or immediate/offset overflow. *)
+
+val load : program -> Rio_mem.Phys_mem.t -> unit
+(** Copy the image into simulated memory at its origin (identity-mapped, so
+    the origin is also the physical address). *)
+
+val symbol : program -> string -> int
+(** Entry-point address. Raises [Not_found]. *)
+
+val instruction_count : program -> int

@@ -1,0 +1,465 @@
+module Isa = Rio_cpu.Isa
+
+type arg_spec =
+  | Copy
+  | Zero
+  | Checksum
+  | List_insert
+  | List_remove
+  | Bitmap_alloc
+  | Lock_acquire
+  | Lock_release
+  | Counter_bump
+  | Ptr_chase
+  | Queue_put
+  | Mem_scan
+  | Word_copy
+  | Compound
+  | Dlist_insert
+  | Hash_insert
+
+type routine = {
+  name : string;
+  entry : int;
+  spec : arg_spec;
+}
+
+type t = {
+  program : Asm.program;
+  routines : routine list;
+  halt_pad : int;
+}
+
+let halt_pad_symbol = "k_halt_pad"
+
+(* Consistency messages, in the spirit of the 59 distinct kernel messages the
+   paper observed. Ids are stable: tests and crash classification key on
+   them. *)
+let messages =
+  [|
+    "unused";
+    "free list head is null";
+    "free list next pointer is null";
+    "inserting null node into free list";
+    "inserting node that is already list head";
+    "lock word out of range";
+    "releasing lock that is not held";
+    "counter exceeded sanity bound";
+    "pointer chase step budget exhausted (cycle?)";
+    "ring buffer index out of range";
+    "bitmap scan found no free slot";
+    "buffer length is negative";
+    "copy source is null";
+    "copy destination is null";
+    "scan address is null";
+    "checksum source is null";
+    "queue value is null";
+    "list node points to itself";
+    "doubly-linked node has a bad back pointer";
+    "hash bucket index out of range";
+  |]
+
+let message_count = Array.length messages - 1
+
+let message_text id =
+  if id >= 1 && id < Array.length messages then messages.(id)
+  else Printf.sprintf "unknown consistency check #%d" id
+
+(* message ids *)
+let msg_free_head_null = 1
+let msg_free_next_null = 2
+let msg_insert_null = 3
+let msg_insert_head = 4
+let msg_lock_range = 5
+let msg_release_unheld = 6
+let msg_counter_bound = 7
+let msg_chase_budget = 8
+let msg_ring_range = 9
+let _msg_bitmap_full = 10
+let msg_len_negative = 11
+let msg_copy_src_null = 12
+let msg_copy_dst_null = 13
+let msg_scan_null = 14
+let msg_cksum_null = 15
+let msg_queue_val_null = 16
+let msg_self_loop = 17
+let msg_dlist_bad_back = 18
+let msg_hash_bucket_range = 19
+
+(* Emit an in-loop backstop: panic if the countdown register [r] has gone
+   negative — the overrun guard production loops carry, and one of the
+   "multitude of consistency checks" that stop a mutated kernel quickly
+   (§3.3). Uses r14/r15 as scratch. *)
+let emit_negative_guard a r =
+  Asm.emit a (Isa.Slti (14, r, 0));
+  Asm.emit a (Isa.Xori (14, 14, 1));
+  Asm.emit a (Isa.Assert_nz (14, msg_len_negative))
+
+(* Registers: args r1..r5, temps r6..r15. *)
+let r1 = 1
+let r2 = 2
+let r3 = 3
+let r4 = 4
+let r6 = 6
+let r7 = 7
+let r8 = 8
+let r9 = 9
+
+let emit_bcopy a ~entry =
+  Asm.bind a entry;
+  Asm.global a "k_bcopy";
+  (* (src=r1, dst=r2, len=r3): byte copy with null/negative checks. *)
+  Asm.emit a (Isa.Assert_nz (r1, msg_copy_src_null));
+  Asm.emit a (Isa.Assert_nz (r2, msg_copy_dst_null));
+  Asm.emit a (Isa.Slti (r6, r3, 0));
+  Asm.emit a (Isa.Xori (r6, r6, 1));
+  Asm.emit a (Isa.Assert_nz (r6, msg_len_negative));
+  let loop = Asm.fresh_label a "bcopy_loop" in
+  let done_ = Asm.fresh_label a "bcopy_done" in
+  Asm.bind a loop;
+  Asm.beq a r3 0 done_;
+  emit_negative_guard a r3;
+  Asm.emit a (Isa.Ldb (r6, r1, 0));
+  Asm.emit a (Isa.Stb (r6, r2, 0));
+  Asm.emit a (Isa.Addi (r1, r1, 1));
+  Asm.emit a (Isa.Addi (r2, r2, 1));
+  Asm.emit a (Isa.Addi (r3, r3, -1));
+  Asm.jmp a loop;
+  Asm.bind a done_;
+  Asm.ret a
+
+let emit_word_copy a =
+  Asm.global a "k_word_copy";
+  (* (src=r1, dst=r2, words=r3): the hot 8-bytes-at-a-time bcopy. *)
+  Asm.emit a (Isa.Assert_nz (r1, msg_copy_src_null));
+  Asm.emit a (Isa.Assert_nz (r2, msg_copy_dst_null));
+  let loop = Asm.fresh_label a "wcopy_loop" in
+  let done_ = Asm.fresh_label a "wcopy_done" in
+  Asm.bind a loop;
+  Asm.beq a r3 0 done_;
+  emit_negative_guard a r3;
+  Asm.emit a (Isa.Ld (r6, r1, 0));
+  Asm.emit a (Isa.St (r6, r2, 0));
+  Asm.emit a (Isa.Addi (r1, r1, 8));
+  Asm.emit a (Isa.Addi (r2, r2, 8));
+  Asm.emit a (Isa.Addi (r3, r3, -1));
+  Asm.jmp a loop;
+  Asm.bind a done_;
+  Asm.ret a
+
+let emit_bzero a =
+  Asm.global a "k_bzero";
+  (* (dst=r1, len=r2) *)
+  Asm.emit a (Isa.Assert_nz (r1, msg_copy_dst_null));
+  let loop = Asm.fresh_label a "bzero_loop" in
+  let done_ = Asm.fresh_label a "bzero_done" in
+  Asm.bind a loop;
+  Asm.beq a r2 0 done_;
+  emit_negative_guard a r2;
+  Asm.emit a (Isa.Stb (0, r1, 0));
+  Asm.emit a (Isa.Addi (r1, r1, 1));
+  Asm.emit a (Isa.Addi (r2, r2, -1));
+  Asm.jmp a loop;
+  Asm.bind a done_;
+  Asm.ret a
+
+let emit_checksum a ~entry =
+  Asm.bind a entry;
+  Asm.global a "k_checksum";
+  (* (src=r1, len=r2) -> r1: additive byte checksum. *)
+  Asm.emit a (Isa.Assert_nz (r1, msg_cksum_null));
+  Asm.emit a (Isa.Or (r6, 0, 0));
+  let loop = Asm.fresh_label a "cksum_loop" in
+  let done_ = Asm.fresh_label a "cksum_done" in
+  Asm.bind a loop;
+  Asm.beq a r2 0 done_;
+  emit_negative_guard a r2;
+  Asm.emit a (Isa.Ldb (r7, r1, 0));
+  Asm.emit a (Isa.Add (r6, r6, r7));
+  Asm.emit a (Isa.Addi (r1, r1, 1));
+  Asm.emit a (Isa.Addi (r2, r2, -1));
+  Asm.jmp a loop;
+  Asm.bind a done_;
+  Asm.mv a r1 r6;
+  Asm.ret a
+
+let emit_list_insert a =
+  Asm.global a "k_list_insert";
+  (* (head_addr=r1, node=r2): push node on an intrusive singly linked list
+     whose next pointer is at offset 0. *)
+  Asm.emit a (Isa.Assert_nz (r2, msg_insert_null));
+  Asm.emit a (Isa.Ld (r6, r1, 0));
+  (* node must not already be the head (double insert) *)
+  Asm.emit a (Isa.Sub (r7, r6, r2));
+  Asm.emit a (Isa.Assert_nz (r7, msg_insert_head));
+  Asm.emit a (Isa.St (r6, r2, 0));
+  Asm.emit a (Isa.St (r2, r1, 0));
+  Asm.ret a
+
+let emit_list_remove a =
+  Asm.global a "k_list_remove";
+  (* (head_addr=r1) -> r1 = removed node. *)
+  Asm.emit a (Isa.Ld (r6, r1, 0));
+  Asm.emit a (Isa.Assert_nz (r6, msg_free_head_null));
+  Asm.emit a (Isa.Ld (r7, r6, 0));
+  (* a node pointing to itself means a corrupt list *)
+  Asm.emit a (Isa.Sub (r8, r7, r6));
+  Asm.emit a (Isa.Assert_nz (r8, msg_self_loop));
+  Asm.emit a (Isa.St (r7, r1, 0));
+  (* scrub the removed node's next field, and require it was not null when
+     the list claimed more nodes *)
+  Asm.emit a (Isa.St (0, r6, 0));
+  Asm.emit a (Isa.Ori (r9, 0, 1));
+  Asm.emit a (Isa.Assert_nz (r9, msg_free_next_null));
+  Asm.mv a r1 r6;
+  Asm.ret a
+
+let emit_bitmap_alloc a =
+  Asm.global a "k_bitmap_alloc";
+  (* (bitmap=r1, nbytes=r2) -> r1 = index of claimed slot, or -1. *)
+  Asm.emit a (Isa.Or (r6, 0, 0));
+  let loop = Asm.fresh_label a "bm_loop" in
+  let found = Asm.fresh_label a "bm_found" in
+  let full = Asm.fresh_label a "bm_full" in
+  Asm.bind a loop;
+  Asm.beq a r6 r2 full;
+  Asm.emit a (Isa.Add (r7, r1, r6));
+  Asm.emit a (Isa.Ldb (r8, r7, 0));
+  Asm.beq a r8 0 found;
+  Asm.emit a (Isa.Addi (r6, r6, 1));
+  Asm.jmp a loop;
+  Asm.bind a found;
+  Asm.emit a (Isa.Ori (r8, 0, 1));
+  Asm.emit a (Isa.Stb (r8, r7, 0));
+  Asm.mv a r1 r6;
+  Asm.ret a;
+  Asm.bind a full;
+  Asm.emit a (Isa.Addi (r1, 0, -1));
+  Asm.ret a
+
+let emit_lock_acquire a =
+  Asm.global a "k_lock_acquire";
+  (* (lock=r1): sanity-check the lock word and take it. *)
+  Asm.emit a (Isa.Ldb (r6, r1, 0));
+  Asm.emit a (Isa.Slti (r7, r6, 2));
+  Asm.emit a (Isa.Assert_nz (r7, msg_lock_range));
+  Asm.emit a (Isa.Ori (r8, 0, 1));
+  Asm.emit a (Isa.Stb (r8, r1, 0));
+  Asm.ret a
+
+let emit_lock_release a =
+  Asm.global a "k_lock_release";
+  (* (lock=r1): must currently be held. *)
+  Asm.emit a (Isa.Ldb (r6, r1, 0));
+  Asm.emit a (Isa.Assert_nz (r6, msg_release_unheld));
+  Asm.emit a (Isa.Slti (r7, r6, 2));
+  Asm.emit a (Isa.Assert_nz (r7, msg_lock_range));
+  Asm.emit a (Isa.Stb (0, r1, 0));
+  Asm.ret a
+
+let emit_counter_bump a =
+  Asm.global a "k_counter_bump";
+  (* (counter=r1, limit=r2) *)
+  Asm.emit a (Isa.Ld (r6, r1, 0));
+  Asm.emit a (Isa.Slt (r7, r6, r2));
+  Asm.emit a (Isa.Assert_nz (r7, msg_counter_bound));
+  Asm.emit a (Isa.Addi (r6, r6, 1));
+  Asm.emit a (Isa.St (r6, r1, 0));
+  Asm.ret a
+
+let emit_ptr_chase a =
+  Asm.global a "k_ptr_chase";
+  (* (head=r1, budget=r2): walk next pointers to the null terminator. *)
+  let loop = Asm.fresh_label a "chase_loop" in
+  let done_ = Asm.fresh_label a "chase_done" in
+  Asm.bind a loop;
+  Asm.beq a r1 0 done_;
+  Asm.emit a (Isa.Assert_nz (r2, msg_chase_budget));
+  Asm.emit a (Isa.Ld (r1, r1, 0));
+  Asm.emit a (Isa.Addi (r2, r2, -1));
+  Asm.jmp a loop;
+  Asm.bind a done_;
+  Asm.ret a
+
+let emit_queue_put a =
+  Asm.global a "k_queue_put";
+  (* (base=r1, idx_addr=r2, value=r3, capacity=r4): ring-buffer put. *)
+  Asm.emit a (Isa.Assert_nz (r3, msg_queue_val_null));
+  Asm.emit a (Isa.Ld (r6, r2, 0));
+  Asm.emit a (Isa.Slt (r7, r6, r4));
+  Asm.emit a (Isa.Assert_nz (r7, msg_ring_range));
+  Asm.emit a (Isa.Ori (r8, 0, 3));
+  Asm.emit a (Isa.Sll (r9, r6, r8));
+  Asm.emit a (Isa.Add (r9, r1, r9));
+  Asm.emit a (Isa.St (r3, r9, 0));
+  (* advance index modulo capacity *)
+  Asm.emit a (Isa.Addi (r6, r6, 1));
+  let wrap = Asm.fresh_label a "qp_wrap" in
+  let store = Asm.fresh_label a "qp_store" in
+  Asm.beq a r6 r4 wrap;
+  Asm.jmp a store;
+  Asm.bind a wrap;
+  Asm.emit a (Isa.Or (r6, 0, 0));
+  Asm.bind a store;
+  Asm.emit a (Isa.St (r6, r2, 0));
+  Asm.ret a
+
+let emit_compound a ~bcopy_entry ~checksum_entry =
+  Asm.global a "k_compound";
+  (* (src=r1, dst=r2, len=r3): copy then verify — a call-tree routine that
+     spills to the kernel stack, so stack bit-flips corrupt saved state. *)
+  let sp = Rio_cpu.Machine.sp_reg and ra = Rio_cpu.Machine.ra_reg in
+  Asm.emit a (Isa.Addi (sp, sp, -32));
+  Asm.emit a (Isa.St (ra, sp, 0));
+  Asm.emit a (Isa.St (r2, sp, 8));
+  Asm.emit a (Isa.St (r3, sp, 16));
+  Asm.jal a bcopy_entry;
+  Asm.emit a (Isa.Ld (r1, sp, 8));
+  Asm.emit a (Isa.Ld (r2, sp, 16));
+  Asm.jal a checksum_entry;
+  Asm.emit a (Isa.Ld (ra, sp, 0));
+  Asm.emit a (Isa.Addi (sp, sp, 32));
+  Asm.emit a (Isa.Jr ra)
+
+let emit_dlist_insert a =
+  Asm.global a "k_dlist_insert";
+  (* (head_addr=r1, node=r2): push onto a doubly-linked list; next at
+     offset 0, prev at offset 8. Checks the head's back pointer first — a
+     classic place where corruption shows. *)
+  Asm.emit a (Isa.Assert_nz (r2, msg_insert_null));
+  Asm.emit a (Isa.Ld (r6, r1, 0));
+  let empty = Asm.fresh_label a "dl_empty" in
+  Asm.beq a r6 0 empty;
+  (* old head's prev must point back at the head anchor *)
+  Asm.emit a (Isa.Ld (r7, r6, 8));
+  Asm.emit a (Isa.Sub (r8, r7, r1));
+  Asm.emit a (Isa.Beq (r8, 0, 2));
+  Asm.emit a (Isa.Assert_nz (0, msg_dlist_bad_back));
+  (* link old head's prev to the new node *)
+  Asm.emit a (Isa.St (r2, r6, 8));
+  Asm.bind a empty;
+  Asm.emit a (Isa.St (r6, r2, 0));
+  Asm.emit a (Isa.St (r1, r2, 8));
+  Asm.emit a (Isa.St (r2, r1, 0));
+  Asm.ret a
+
+let emit_hash_insert a =
+  Asm.global a "k_hash_insert";
+  (* (table=r1, key=r2, buckets=r3): chain [key] into bucket
+     [key mod buckets] (buckets must be a power of two, passed as mask+1).
+     Table slots are 8-byte heads; nodes are keys' own addresses. *)
+  Asm.emit a (Isa.Assert_nz (r2, msg_insert_null));
+  Asm.emit a (Isa.Addi (r6, r3, -1));
+  Asm.emit a (Isa.And (r7, r2, r6));
+  (* bucket index must be < buckets *)
+  Asm.emit a (Isa.Slt (r8, r7, r3));
+  Asm.emit a (Isa.Assert_nz (r8, msg_hash_bucket_range));
+  Asm.emit a (Isa.Ori (r9, 0, 3));
+  Asm.emit a (Isa.Sll (r9, r7, r9));
+  Asm.emit a (Isa.Add (r9, r1, r9));
+  (* push node onto the chain *)
+  Asm.emit a (Isa.Ld (r6, r9, 0));
+  Asm.emit a (Isa.St (r6, r2, 0));
+  Asm.emit a (Isa.St (r2, r9, 0));
+  Asm.ret a
+
+let emit_mem_scan a =
+  Asm.global a "k_mem_scan";
+  (* (addr=r1, len=r2): read-only sweep, e.g. page-list aging. *)
+  Asm.emit a (Isa.Assert_nz (r1, msg_scan_null));
+  let loop = Asm.fresh_label a "scan_loop" in
+  let done_ = Asm.fresh_label a "scan_done" in
+  Asm.bind a loop;
+  Asm.beq a r2 0 done_;
+  emit_negative_guard a r2;
+  Asm.emit a (Isa.Ldb (r6, r1, 0));
+  Asm.emit a (Isa.Addi (r1, r1, 1));
+  Asm.emit a (Isa.Addi (r2, r2, -1));
+  Asm.jmp a loop;
+  Asm.bind a done_;
+  Asm.ret a
+
+let specs =
+  [
+    ("k_bcopy", Copy);
+    ("k_word_copy", Word_copy);
+    ("k_bzero", Zero);
+    ("k_checksum", Checksum);
+    ("k_list_insert", List_insert);
+    ("k_list_remove", List_remove);
+    ("k_bitmap_alloc", Bitmap_alloc);
+    ("k_lock_acquire", Lock_acquire);
+    ("k_lock_release", Lock_release);
+    ("k_counter_bump", Counter_bump);
+    ("k_ptr_chase", Ptr_chase);
+    ("k_queue_put", Queue_put);
+    ("k_mem_scan", Mem_scan);
+    ("k_compound", Compound);
+    ("k_dlist_insert", Dlist_insert);
+    ("k_hash_insert", Hash_insert);
+  ]
+
+(* Cold filler: plausible routine bodies that are never dispatched. They
+   give the kernel text realistic bulk so that randomly-placed faults mostly
+   land in code that does not run before the crash — as in a real
+   multi-megabyte kernel, where 20 faults rarely all hit the hot path. *)
+let emit_filler a ~index =
+  let base = 16 + (index mod 8) in
+  Asm.emit a (Isa.Addi (base, 0, index land 0x7FF));
+  Asm.emit a (Isa.Ori ((base + 1) mod 24 + 4, 0, (index * 7) land 0xFFF));
+  Asm.emit a (Isa.Add (base, base, (base + 1) mod 24 + 4));
+  Asm.emit a (Isa.Ld (6, 30, -8));
+  Asm.emit a (Isa.Slt (7, 6, base));
+  Asm.emit a (Isa.Assert_nz (7, msg_counter_bound));
+  let loop = Asm.fresh_label a (Printf.sprintf "fill%d_loop" index) in
+  let done_ = Asm.fresh_label a (Printf.sprintf "fill%d_done" index) in
+  Asm.emit a (Isa.Ori (8, 0, (index land 15) + 2));
+  Asm.bind a loop;
+  Asm.beq a 8 0 done_;
+  Asm.emit a (Isa.Ldb (9, 30, -16));
+  Asm.emit a (Isa.Stb (9, 30, -24));
+  Asm.emit a (Isa.Addi (8, 8, -1));
+  Asm.jmp a loop;
+  Asm.bind a done_;
+  Asm.emit a (Isa.Xor (6, 6, 7));
+  Asm.emit a (Isa.Srl (6, 6, 8));
+  Asm.ret a
+
+let filler_count = 400
+
+let build ~origin =
+  let a = Asm.create () in
+  (* The halt pad comes first so its address is stable across corpus edits. *)
+  Asm.global a halt_pad_symbol;
+  Asm.halt a;
+  let bcopy_entry = Asm.fresh_label a "k_bcopy" in
+  let checksum_entry = Asm.fresh_label a "k_checksum" in
+  emit_bcopy a ~entry:bcopy_entry;
+  emit_word_copy a;
+  emit_bzero a;
+  emit_checksum a ~entry:checksum_entry;
+  emit_list_insert a;
+  emit_list_remove a;
+  emit_bitmap_alloc a;
+  emit_lock_acquire a;
+  emit_lock_release a;
+  emit_counter_bump a;
+  emit_ptr_chase a;
+  emit_queue_put a;
+  emit_mem_scan a;
+  emit_compound a ~bcopy_entry ~checksum_entry;
+  emit_dlist_insert a;
+  emit_hash_insert a;
+  for i = 1 to filler_count do
+    emit_filler a ~index:i
+  done;
+  let program = Asm.assemble a ~origin in
+  let routines =
+    List.map (fun (name, spec) -> { name; entry = Asm.symbol program name; spec }) specs
+  in
+  { program; routines; halt_pad = Asm.symbol program halt_pad_symbol }
+
+let find t name =
+  match List.find_opt (fun r -> r.name = name) t.routines with
+  | Some r -> r
+  | None -> raise Not_found

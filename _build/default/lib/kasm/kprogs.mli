@@ -1,0 +1,61 @@
+(** The synthetic kernel-routine corpus.
+
+    These routines are the interpreted "kernel activity" of the crash tests:
+    short procedures doing representative monolithic-kernel work — buffer
+    copies, free-list surgery, allocation bitmaps, lock words, counters,
+    pointer chasing, ring buffers — peppered with [Assert_nz] consistency
+    checks, mirroring the sanity checks that made the paper's Digital Unix
+    stop soon after an injected fault (§3.3: 59 distinct consistency
+    messages). Fault injection mutates this text; the routines then execute
+    over the same physical memory that holds the file cache.
+
+    Calling convention: arguments in r1..r5, result in r1, temporaries
+    r6..r15, stack pointer r30, link register r31. The kernel dispatcher
+    sets r31 to {!halt_pad_symbol} so a routine's return halts the machine
+    cleanly. *)
+
+type arg_spec =
+  | Copy  (** (src, dst, len-bytes) *)
+  | Zero  (** (dst, len) *)
+  | Checksum  (** (src, len) *)
+  | List_insert  (** (head-addr, node-addr) *)
+  | List_remove  (** (head-addr) *)
+  | Bitmap_alloc  (** (bitmap-addr, nbytes) *)
+  | Lock_acquire  (** (lock-addr) *)
+  | Lock_release  (** (lock-addr) *)
+  | Counter_bump  (** (counter-addr, limit) *)
+  | Ptr_chase  (** (head-addr, max-steps) *)
+  | Queue_put  (** (ring-base, index-addr, value, capacity) *)
+  | Mem_scan  (** (addr, len) *)
+  | Word_copy  (** (src, dst, len-words) — the kernel's hot bcopy path *)
+  | Compound
+      (** (src, dst, len-bytes) — copy-then-checksum through nested calls,
+          spilling to the kernel stack (the stack-fault target). *)
+  | Dlist_insert  (** (head-addr, node-addr) — doubly-linked push with back-pointer check. *)
+  | Hash_insert  (** (table, key-node, buckets) — chain into a hash bucket. *)
+
+type routine = {
+  name : string;
+  entry : int;  (** Virtual address of the entry point. *)
+  spec : arg_spec;
+}
+
+type t = {
+  program : Asm.program;
+  routines : routine list;
+  halt_pad : int;  (** Address of the return pad ([Halt]). *)
+}
+
+val build : origin:int -> t
+(** Assemble the corpus at [origin] (the base of the kernel-text region). *)
+
+val halt_pad_symbol : string
+
+val message_text : int -> string
+(** Human-readable text for a consistency-panic message id. *)
+
+val message_count : int
+(** Number of distinct consistency messages in the corpus. *)
+
+val find : t -> string -> routine
+(** Lookup by name. Raises [Not_found]. *)

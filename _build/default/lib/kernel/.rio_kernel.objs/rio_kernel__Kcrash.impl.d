@@ -1,0 +1,1 @@
+lib/kernel/kcrash.ml: Format Printexc Printf Rio_cpu Rio_kasm Rio_util

@@ -1,0 +1,1 @@
+lib/kernel/kcrash.mli: Format Rio_cpu

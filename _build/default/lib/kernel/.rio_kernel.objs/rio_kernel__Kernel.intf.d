@@ -1,0 +1,1 @@
+lib/kernel/kernel.mli: Kcrash Kheap Rio_cpu Rio_disk Rio_fs Rio_kasm Rio_mem Rio_sim Rio_util Rio_vm

@@ -1,0 +1,1 @@
+lib/kernel/kheap.ml: Rio_mem

@@ -1,0 +1,1 @@
+lib/kernel/kheap.mli: Rio_mem

@@ -1,0 +1,43 @@
+type cause =
+  | Trap of Rio_cpu.Machine.trap
+  | Hang
+  | Panic of string
+
+type info = {
+  cause : cause;
+  during : string;
+  at_us : int;
+}
+
+exception Crashed of info
+
+let crash cause ~during ~at_us = raise (Crashed { cause; during; at_us })
+
+let cause_to_string = function
+  | Trap t -> Rio_cpu.Machine.trap_to_string t
+  | Hang -> "system hang (watchdog)"
+  | Panic msg -> Printf.sprintf "kernel panic: %s" msg
+
+let pp_info ppf i =
+  Format.fprintf ppf "crash at %a during %s: %s" Rio_util.Units.pp_usec i.at_us i.during
+    (cause_to_string i.cause)
+
+let message_of i =
+  (* The "console message": trap kind plus the faulting context, but not the
+     exact address — two wild stores to different addresses print the same
+     message, as on a real console. *)
+  match i.cause with
+  | Trap (Rio_cpu.Machine.Illegal_address _) -> Printf.sprintf "unable to handle kernel paging request in %s" i.during
+  | Trap (Rio_cpu.Machine.Protection_violation _) ->
+    Printf.sprintf "rio: blocked illegal store to file cache in %s" i.during
+  | Trap (Rio_cpu.Machine.Illegal_instruction _) ->
+    Printf.sprintf "illegal instruction in %s" i.during
+  | Trap (Rio_cpu.Machine.Consistency_panic m) ->
+    Printf.sprintf "panic: %s" (Rio_kasm.Kprogs.message_text m)
+  | Hang -> "watchdog: system hung"
+  | Panic msg -> Printf.sprintf "panic: %s" msg
+
+let () =
+  Printexc.register_printer (function
+    | Crashed i -> Some (Format.asprintf "Kcrash.Crashed(%a)" pp_info i)
+    | _ -> None)

@@ -1,0 +1,34 @@
+(** Crash signalling.
+
+    A system crash in the model is an OCaml exception that unwinds out of
+    whatever the kernel was doing — mid-file-operation included, leaving the
+    file system exactly as inconsistent as a real crash would. The crash
+    campaign catches it at top level. *)
+
+type cause =
+  | Trap of Rio_cpu.Machine.trap
+      (** The interpreted CPU trapped (illegal address, protection
+          violation, illegal instruction, consistency panic). *)
+  | Hang  (** The machine exhausted its instruction budget (hard hang). *)
+  | Panic of string
+      (** Native kernel code detected an inconsistency (a file-system sanity
+          check fired on fault-corrupted state) and panicked. *)
+
+type info = {
+  cause : cause;
+  during : string;  (** What the kernel was doing ("activity:k_bcopy", ...). *)
+  at_us : int;  (** Simulated time of death. *)
+}
+
+exception Crashed of info
+
+val crash : cause -> during:string -> at_us:int -> 'a
+(** Raise {!Crashed}. *)
+
+val cause_to_string : cause -> string
+
+val pp_info : Format.formatter -> info -> unit
+
+val message_of : info -> string
+(** A stable one-line "console message" for the crash — the analogue of the
+    paper's 74 unique error messages, used to count crash diversity. *)

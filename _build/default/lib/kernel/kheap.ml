@@ -1,0 +1,112 @@
+module Phys_mem = Rio_mem.Phys_mem
+
+type t = {
+  mem : Phys_mem.t;
+  base : int;
+}
+
+let node_size = 64
+let node_count = 256
+let chase_count = 128
+let bitmap_bytes = 256
+let ring_capacity = 64
+
+let free_head_addr t = t.base
+let chase_head_addr t = t.base + 8
+let ring_index_addr t = t.base + 16
+let lock_addr t i =
+  assert (i >= 0 && i < 8);
+  t.base + 24 + i
+let counter_addr t i =
+  assert (i >= 0 && i < 8);
+  t.base + 64 + (i * 8)
+let bitmap_addr t = t.base + 128
+let ring_base_addr t = t.base + 512
+let dlist_head_addr t = t.base + 384
+let dlist_count = 32
+let hash_buckets = 64
+
+let scratch_bytes = 8192
+
+(* The copy scratch area sits immediately below the node arena so that a
+   bcopy overrun starting in scratch spills into live free-list nodes —
+   the adjacency that makes copy overruns dangerous in real kernels. *)
+let scratch_addr t = t.base + 1024
+let node_arena t = scratch_addr t + scratch_bytes
+let node_addr t i =
+  assert (i >= 0 && i < node_count);
+  node_arena t + (i * node_size)
+let chase_arena t = node_arena t + (node_count * node_size)
+let chase_addr t i =
+  assert (i >= 0 && i < chase_count);
+  chase_arena t + (i * node_size)
+
+let hash_table_addr t = chase_arena t + (chase_count * node_size)
+let hash_key_addr t i =
+  assert (i >= 0 && i < hash_buckets);
+  hash_table_addr t + (hash_buckets * 8) + (i * node_size)
+let dlist_node_addr t i =
+  assert (i >= 0 && i < dlist_count);
+  hash_key_addr t 0 + (hash_buckets * node_size) + (i * node_size)
+
+let read_word t addr = Phys_mem.read_u64 t.mem addr
+let write_word t addr v = Phys_mem.write_u64 t.mem addr v
+
+let reset_dlist t =
+  write_word t (dlist_head_addr t) 0;
+  for i = 0 to dlist_count - 1 do
+    write_word t (dlist_node_addr t i) 0;
+    write_word t (dlist_node_addr t i + 8) 0
+  done
+
+let reinit t =
+  (* Free list: nodes linked 0 -> 1 -> ... -> n-1 -> null. *)
+  for i = 0 to node_count - 1 do
+    let next = if i = node_count - 1 then 0 else node_addr t (i + 1) in
+    write_word t (node_addr t i) next
+  done;
+  write_word t (free_head_addr t) (node_addr t 0);
+  (* Chase chain: a second arena of linked nodes ending in null. *)
+  for i = 0 to chase_count - 1 do
+    let next = if i = chase_count - 1 then 0 else chase_addr t (i + 1) in
+    write_word t (chase_addr t i) next
+  done;
+  write_word t (chase_head_addr t) (chase_addr t 0);
+  write_word t (ring_index_addr t) 0;
+  for i = 0 to 7 do
+    Phys_mem.write_u8 t.mem (lock_addr t i) 0
+  done;
+  for i = 0 to 7 do
+    write_word t (counter_addr t i) 0
+  done;
+  Phys_mem.fill t.mem (bitmap_addr t) ~len:bitmap_bytes '\000';
+  Phys_mem.fill t.mem (ring_base_addr t) ~len:(ring_capacity * 8) '\000';
+  reset_dlist t;
+  Phys_mem.fill t.mem (hash_table_addr t) ~len:(hash_buckets * 8) '\000';
+  for i = 0 to hash_buckets - 1 do
+    write_word t (hash_key_addr t i) 0
+  done
+
+let init ~mem ~region =
+  let needed =
+    1024 + scratch_bytes
+    + ((node_count + chase_count + hash_buckets + dlist_count) * node_size)
+    + (hash_buckets * 8)
+  in
+  if region.Rio_mem.Layout.bytes < needed then
+    invalid_arg "Kheap.init: kernel heap region too small";
+  let t = { mem; base = region.Rio_mem.Layout.base } in
+  reinit t;
+  t
+
+let native_list_insert t ~node =
+  let head = read_word t (free_head_addr t) in
+  write_word t node head;
+  write_word t (free_head_addr t) node
+
+let reset_bitmap t = Phys_mem.fill t.mem (bitmap_addr t) ~len:bitmap_bytes '\000'
+
+let reset_counters t =
+  for i = 0 to 7 do
+    write_word t (counter_addr t i) 0
+  done

@@ -1,0 +1,76 @@
+(** The kernel heap's data structures.
+
+    A fixed arrangement of the structures the synthetic kernel activity
+    operates on — a free list of nodes, a pointer-chase chain, lock words,
+    counters, an allocation bitmap, and a ring buffer — living at stable
+    offsets inside the kernel-heap region of simulated memory, where the
+    heap bit-flip faults can hit them. *)
+
+type t
+
+val node_size : int
+(** 64 bytes; the intrusive next pointer is the first word. *)
+
+val init : mem:Rio_mem.Phys_mem.t -> region:Rio_mem.Layout.region -> t
+(** Lay out and initialize all structures. *)
+
+val reinit : t -> unit
+(** Rebuild pristine structures (kernel reboot). *)
+
+(** {1 Addresses (mapped virtual = physical, identity)} *)
+
+val free_head_addr : t -> int
+val chase_head_addr : t -> int
+val ring_index_addr : t -> int
+val lock_addr : t -> int -> int
+(** 8 locks, index 0-7. *)
+
+val counter_addr : t -> int -> int
+(** 8 counters, index 0-7. *)
+
+val bitmap_addr : t -> int
+val bitmap_bytes : int
+val ring_base_addr : t -> int
+val ring_capacity : int
+val node_count : int
+val chase_count : int
+
+val node_addr : t -> int -> int
+(** Address of free-list node [i]. *)
+
+val dlist_head_addr : t -> int
+(** Anchor of the doubly-linked list (next at +0, prev at +8 in nodes). *)
+
+val dlist_node_addr : t -> int -> int
+val dlist_count : int
+
+val hash_table_addr : t -> int
+(** 64 bucket heads of 8 bytes each. *)
+
+val hash_key_addr : t -> int -> int
+val hash_buckets : int
+
+val reset_dlist : t -> unit
+(** Re-zero the doubly-linked list (periodic recycle by the dispatcher). *)
+
+val scratch_addr : t -> int
+(** A [scratch_bytes]-byte scratch area for kernel copies staged in the
+    heap. *)
+
+val scratch_bytes : int
+(** 8192. *)
+
+(** {1 Native accessors (fault injection and bookkeeping)} *)
+
+val read_word : t -> int -> int
+val write_word : t -> int -> int -> unit
+
+val native_list_insert : t -> node:int -> unit
+(** Push a node onto the free list natively — the premature free of the
+    allocation-fault model (§3.1). No consistency checks: the fault is the
+    point. *)
+
+val reset_bitmap : t -> unit
+(** Clear the allocation bitmap (the kernel's periodic recycle). *)
+
+val reset_counters : t -> unit

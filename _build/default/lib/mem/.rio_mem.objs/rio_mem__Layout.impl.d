@@ -1,0 +1,1 @@
+lib/mem/layout.ml: Format List Phys_mem Rio_util

@@ -1,0 +1,1 @@
+lib/mem/page_alloc.ml: Bytes Layout Phys_mem

@@ -1,0 +1,1 @@
+lib/mem/page_alloc.mli: Layout Phys_mem

@@ -1,0 +1,121 @@
+type region_kind =
+  | Kernel_text
+  | Kernel_heap
+  | Kernel_stack
+  | Page_tables
+  | Registry
+  | Buffer_cache
+  | Page_pool
+
+type region = {
+  kind : region_kind;
+  base : Phys_mem.paddr;
+  bytes : int;
+}
+
+type config = {
+  total_bytes : int;
+  text_bytes : int;
+  heap_bytes : int;
+  stack_bytes : int;
+  page_table_bytes : int;
+  buffer_cache_bytes : int;
+}
+
+type t = {
+  config : config;
+  ordered : region list;
+}
+
+let kb n = n * 1024
+let mb n = n * 1024 * 1024
+
+let default_config =
+  {
+    total_bytes = mb 16;
+    text_bytes = kb 256;
+    heap_bytes = mb 1;
+    stack_bytes = kb 64;
+    page_table_bytes = kb 256;
+    buffer_cache_bytes = mb 1;
+  }
+
+let paper_config =
+  {
+    total_bytes = mb 128;
+    text_bytes = mb 2;
+    heap_bytes = mb 8;
+    stack_bytes = kb 256;
+    page_table_bytes = mb 2;
+    buffer_cache_bytes = mb 16;
+  }
+
+let page_size = Phys_mem.page_size
+
+let round_up_page n = (n + page_size - 1) / page_size * page_size
+
+let registry_entry_bytes = 40
+
+let create config =
+  let cursor = ref 0 in
+  let place kind bytes =
+    let bytes = round_up_page bytes in
+    let r = { kind; base = !cursor; bytes } in
+    cursor := !cursor + bytes;
+    r
+  in
+  let text = place Kernel_text config.text_bytes in
+  let heap = place Kernel_heap config.heap_bytes in
+  let stack = place Kernel_stack config.stack_bytes in
+  let page_tables = place Page_tables config.page_table_bytes in
+  (* Registry capacity must cover every buffer-cache and page-pool page.
+     Size it against the pessimistic assumption that everything after it is
+     file cache -- a slight over-allocation, never an under-allocation. *)
+  let after_registry =
+    config.total_bytes - !cursor - round_up_page config.buffer_cache_bytes
+  in
+  let fc_pages_max =
+    (round_up_page config.buffer_cache_bytes / page_size) + (max 0 after_registry / page_size)
+  in
+  let registry = place Registry (max page_size (fc_pages_max * registry_entry_bytes)) in
+  let buffer_cache = place Buffer_cache config.buffer_cache_bytes in
+  let pool_bytes = (config.total_bytes - !cursor) / page_size * page_size in
+  if pool_bytes < page_size then
+    invalid_arg "Layout.create: fixed regions leave no room for the UBC";
+  let pool = place Page_pool pool_bytes in
+  { config; ordered = [ text; heap; stack; page_tables; registry; buffer_cache; pool ] }
+
+let region t kind =
+  match List.find_opt (fun r -> r.kind = kind) t.ordered with
+  | Some r -> r
+  | None -> assert false
+
+let regions t = t.ordered
+
+let contains r addr = addr >= r.base && addr < r.base + r.bytes
+
+let kind_of_addr t addr =
+  match List.find_opt (fun r -> contains r addr) t.ordered with
+  | Some r -> Some r.kind
+  | None -> None
+
+let file_cache_pages t =
+  ((region t Buffer_cache).bytes + (region t Page_pool).bytes) / page_size
+
+let region_kind_name = function
+  | Kernel_text -> "kernel-text"
+  | Kernel_heap -> "kernel-heap"
+  | Kernel_stack -> "kernel-stack"
+  | Page_tables -> "page-tables"
+  | Registry -> "registry"
+  | Buffer_cache -> "buffer-cache"
+  | Page_pool -> "page-pool"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-12s %#10x .. %#10x (%a)@ " (region_kind_name r.kind) r.base
+        (r.base + r.bytes) Rio_util.Units.pp_bytes r.bytes)
+    t.ordered;
+  Format.fprintf ppf "@]"

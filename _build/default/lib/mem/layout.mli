@@ -1,0 +1,68 @@
+(** Physical memory layout of the simulated machine.
+
+    Mirrors the paper's platform: kernel text / heap / stack (the three
+    bit-flip fault targets, §3.1), the traditional buffer cache holding
+    metadata (wired, a few MB), the shared {e page pool} holding the Unified
+    Buffer Cache's file pages interleaved with large kernel buffers (in a
+    real kernel the VM system and UBC trade pages dynamically, §2 — the
+    interleaving is what lets a kernel-buffer copy overrun spill into a
+    file-cache page), the Rio registry (§2.2), and a page-table area.
+    Regions are laid out contiguously from address 0 and the page pool takes
+    all remaining space, like the VM/UBC split on the I/O-intensive
+    workloads in §2 (80 MB of 128 MB). *)
+
+type region_kind =
+  | Kernel_text
+  | Kernel_heap
+  | Kernel_stack
+  | Page_tables
+  | Registry
+  | Buffer_cache
+  | Page_pool
+
+type region = {
+  kind : region_kind;
+  base : Phys_mem.paddr;
+  bytes : int;
+}
+
+type config = {
+  total_bytes : int;
+  text_bytes : int;
+  heap_bytes : int;
+  stack_bytes : int;
+  page_table_bytes : int;
+  buffer_cache_bytes : int;
+}
+
+type t
+
+val default_config : config
+(** A 16 MB machine (scaled from the paper's 128 MB; see DESIGN.md). *)
+
+val paper_config : config
+(** The 128 MB DEC 3000/600 with an 80 MB UBC. *)
+
+val create : config -> t
+(** Compute the layout. Raises [Invalid_argument] if the fixed regions do
+    not leave at least one page for the UBC. The registry is sized
+    automatically at 40 bytes per potential file-cache page (buffer cache +
+    UBC), rounded up to whole pages. *)
+
+val region : t -> region_kind -> region
+
+val regions : t -> region list
+(** In address order. *)
+
+val kind_of_addr : t -> Phys_mem.paddr -> region_kind option
+(** Which region an address falls in; [None] past the end of memory. *)
+
+val contains : region -> Phys_mem.paddr -> bool
+
+val file_cache_pages : t -> int
+(** Number of 8 KB pages in buffer cache + page pool (the registry's
+    capacity). *)
+
+val region_kind_name : region_kind -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,61 @@
+type t = {
+  base : Phys_mem.paddr;
+  pages : int;
+  used : Bytes.t; (* one byte per page: '\000' free, '\001' used *)
+  mutable free_count : int;
+  mutable hint : int; (* lowest index that might be free *)
+}
+
+let create ~region:(r : Layout.region) =
+  let pages = r.bytes / Phys_mem.page_size in
+  { base = r.base; pages; used = Bytes.make pages '\000'; free_count = pages; hint = 0 }
+
+let total_pages t = t.pages
+
+let free_pages t = t.free_count
+
+let index_of t addr =
+  if addr < t.base || addr >= t.base + (t.pages * Phys_mem.page_size) then
+    invalid_arg "Page_alloc: address outside region";
+  if (addr - t.base) mod Phys_mem.page_size <> 0 then
+    invalid_arg "Page_alloc: address not page-aligned";
+  (addr - t.base) / Phys_mem.page_size
+
+let alloc t =
+  if t.free_count = 0 then None
+  else begin
+    let i = ref t.hint in
+    while !i < t.pages && Bytes.get t.used !i = '\001' do
+      incr i
+    done;
+    if !i >= t.pages then begin
+      (* hint overshot: rescan from 0 *)
+      i := 0;
+      while Bytes.get t.used !i = '\001' do
+        incr i
+      done
+    end;
+    Bytes.set t.used !i '\001';
+    t.free_count <- t.free_count - 1;
+    t.hint <- !i + 1;
+    Some (t.base + (!i * Phys_mem.page_size))
+  end
+
+let free t addr =
+  let i = index_of t addr in
+  if Bytes.get t.used i = '\000' then invalid_arg "Page_alloc.free: double free";
+  Bytes.set t.used i '\000';
+  t.free_count <- t.free_count + 1;
+  if i < t.hint then t.hint <- i
+
+let is_allocated t addr = Bytes.get t.used (index_of t addr) = '\001'
+
+let iter_allocated t f =
+  for i = 0 to t.pages - 1 do
+    if Bytes.get t.used i = '\001' then f (t.base + (i * Phys_mem.page_size))
+  done
+
+let reset t =
+  Bytes.fill t.used 0 t.pages '\000';
+  t.free_count <- t.pages;
+  t.hint <- 0

@@ -1,0 +1,30 @@
+(** Bitmap allocator for whole physical pages within one region.
+
+    Used by the UBC to hand out file-cache pages and by the kernel heap's
+    page-grained backing. Deterministic: pages are handed out lowest-address
+    first so crash tests replay identically. *)
+
+type t
+
+val create : region:Layout.region -> t
+(** All pages initially free. *)
+
+val total_pages : t -> int
+
+val free_pages : t -> int
+
+val alloc : t -> Phys_mem.paddr option
+(** Allocate one page; [None] when the region is exhausted. *)
+
+val free : t -> Phys_mem.paddr -> unit
+(** Return a page. Raises [Invalid_argument] if the address is not a page
+    base inside the region or the page is already free (double free — a real
+    kernel bug class, so we fail loudly). *)
+
+val is_allocated : t -> Phys_mem.paddr -> bool
+
+val iter_allocated : t -> (Phys_mem.paddr -> unit) -> unit
+(** Visit allocated page bases in address order. *)
+
+val reset : t -> unit
+(** Free everything (reboot of the owning subsystem). *)

@@ -1,0 +1,85 @@
+type t = { data : bytes }
+
+type paddr = int
+
+let page_size = 8192
+
+let create ~bytes_total =
+  let pages = (bytes_total + page_size - 1) / page_size in
+  { data = Bytes.make (max 1 pages * page_size) '\000' }
+
+let size t = Bytes.length t.data
+
+let page_count t = size t / page_size
+
+let page_base pfn = pfn * page_size
+
+let pfn_of_addr addr = addr / page_size
+
+let in_range t addr ~len = addr >= 0 && len >= 0 && addr + len <= size t
+
+let check t addr len =
+  if not (in_range t addr ~len) then
+    invalid_arg (Printf.sprintf "Phys_mem: access [%#x,+%d) outside %#x bytes" addr len (size t))
+
+let read_u8 t addr =
+  check t addr 1;
+  Char.code (Bytes.unsafe_get t.data addr)
+
+let write_u8 t addr v =
+  check t addr 1;
+  Bytes.unsafe_set t.data addr (Char.unsafe_chr (v land 0xFF))
+
+let read_u32 t addr =
+  check t addr 4;
+  Int32.to_int (Bytes.get_int32_le t.data addr) land 0xFFFF_FFFF
+
+let write_u32 t addr v =
+  check t addr 4;
+  Bytes.set_int32_le t.data addr (Int32.of_int v)
+
+let read_u64 t addr =
+  check t addr 8;
+  Int64.to_int (Bytes.get_int64_le t.data addr)
+
+let write_u64 t addr v =
+  check t addr 8;
+  Bytes.set_int64_le t.data addr (Int64.of_int v)
+
+let blit_in t addr b =
+  check t addr (Bytes.length b);
+  Bytes.blit b 0 t.data addr (Bytes.length b)
+
+let blit_out t addr ~len =
+  check t addr len;
+  Bytes.sub t.data addr len
+
+let blit_within t ~src ~dst ~len =
+  check t src len;
+  check t dst len;
+  Bytes.blit t.data src t.data dst len
+
+let fill t addr ~len c =
+  check t addr len;
+  Bytes.fill t.data addr len c
+
+let checksum_range t addr ~len =
+  check t addr len;
+  Rio_util.Checksum.crc32 t.data ~pos:addr ~len
+
+let flip_bit t addr ~bit =
+  assert (bit >= 0 && bit < 8);
+  write_u8 t addr (read_u8 t addr lxor (1 lsl bit))
+
+let reset _t = ()
+
+let power_cycle t = Bytes.fill t.data 0 (Bytes.length t.data) '\000'
+
+let dump t = Bytes.copy t.data
+
+let restore_dump t d =
+  if Bytes.length d <> Bytes.length t.data then
+    invalid_arg "Phys_mem.restore_dump: size mismatch";
+  Bytes.blit d 0 t.data 0 (Bytes.length d)
+
+let unsafe_raw t = t.data

@@ -1,0 +1,95 @@
+(** Simulated physical memory.
+
+    One flat byte array divided into 8 KB pages (the Digital Unix page size
+    the paper's registry is keyed to). Physical addresses are byte offsets.
+
+    Crash semantics are the heart of Rio: [reset] models a warm reboot (the
+    machine resets but DRAM keeps its contents, as the DEC Alpha allows,
+    paper §5) and is a no-op on the data; [power_cycle] models a cold boot
+    and scrubs everything. [dump] / [restore_dump] support the warm-reboot
+    crash dump to the swap partition (§2.2). *)
+
+type t
+
+type paddr = int
+(** A physical byte address. *)
+
+val page_size : int
+(** 8192 bytes. *)
+
+val create : bytes_total:int -> t
+(** [create ~bytes_total] makes zeroed memory; the size is rounded up to a
+    whole number of pages. *)
+
+val size : t -> int
+(** Total bytes. *)
+
+val page_count : t -> int
+
+val page_base : int -> paddr
+(** [page_base pfn] is the first address of physical frame [pfn]. *)
+
+val pfn_of_addr : paddr -> int
+(** Physical frame number containing an address. *)
+
+val in_range : t -> paddr -> len:int -> bool
+(** Whether [\[addr, addr+len)] lies inside memory. *)
+
+(** {1 Access}
+
+    All accessors raise [Invalid_argument] on out-of-range addresses —
+    callers (the MMU) are expected to have validated addresses; the kernel
+    model maps such violations to machine checks. *)
+
+val read_u8 : t -> paddr -> int
+val write_u8 : t -> paddr -> int -> unit
+
+val read_u32 : t -> paddr -> int
+(** Little-endian, result in [\[0, 2^32)]. *)
+
+val write_u32 : t -> paddr -> int -> unit
+
+val read_u64 : t -> paddr -> int
+(** Little-endian, truncated to OCaml's 63-bit int (addresses and kernel
+    integers in this model all fit). *)
+
+val write_u64 : t -> paddr -> int -> unit
+
+val blit_in : t -> paddr -> bytes -> unit
+(** Copy bytes into memory at an address. *)
+
+val blit_out : t -> paddr -> len:int -> bytes
+(** Copy a range of memory out. *)
+
+val blit_within : t -> src:paddr -> dst:paddr -> len:int -> unit
+(** memmove semantics within simulated memory. *)
+
+val fill : t -> paddr -> len:int -> char -> unit
+
+val checksum_range : t -> paddr -> len:int -> int
+(** CRC-32 of the range, used by the Rio checksum guard. *)
+
+(** {1 Fault-injection hooks} *)
+
+val flip_bit : t -> paddr -> bit:int -> unit
+(** Flip bit [bit] (0-7) of the byte at [addr]. *)
+
+(** {1 Crash and reboot semantics} *)
+
+val reset : t -> unit
+(** Warm reset: contents survive (no-op on data). *)
+
+val power_cycle : t -> unit
+(** Cold boot: all bytes zeroed. *)
+
+val dump : t -> bytes
+(** A full copy of memory — the §2.2 crash dump taken early in the warm
+    reboot, before VM initialization can touch anything. *)
+
+val restore_dump : t -> bytes -> unit
+(** Overwrite memory from a dump of the same size. *)
+
+val unsafe_raw : t -> bytes
+(** The underlying storage, exposed for the interpreted CPU's hot path and
+    for checksumming; mutating it bypasses nothing (there is nothing to
+    bypass at this layer). *)

@@ -1,0 +1,1 @@
+lib/rio/protect.ml: Rio_mem Rio_sim Rio_util Rio_vm

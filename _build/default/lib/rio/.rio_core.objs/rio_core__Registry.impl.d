@@ -1,0 +1,1 @@
+lib/rio/registry.ml: Bytes Char Hashtbl Int32 Int64 List Rio_fs Rio_mem

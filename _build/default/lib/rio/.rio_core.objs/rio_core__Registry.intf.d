@@ -1,0 +1,1 @@
+lib/rio/registry.mli: Rio_mem

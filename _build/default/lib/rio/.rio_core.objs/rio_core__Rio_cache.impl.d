@@ -1,0 +1,1 @@
+lib/rio/rio_cache.ml: Fun Protect Registry Rio_fs Rio_mem Rio_sim Rio_util

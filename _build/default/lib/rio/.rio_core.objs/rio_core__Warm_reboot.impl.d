@@ -1,0 +1,1 @@
+lib/rio/warm_reboot.ml: Bytes List Registry Rio_disk Rio_fs Rio_mem Rio_sim Rio_util

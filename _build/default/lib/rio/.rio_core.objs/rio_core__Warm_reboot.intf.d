@@ -1,0 +1,1 @@
+lib/rio/warm_reboot.mli: Registry Rio_disk Rio_fs Rio_mem Rio_sim

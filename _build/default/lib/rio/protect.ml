@@ -1,0 +1,47 @@
+module Mmu = Rio_vm.Mmu
+module Page_table = Rio_vm.Page_table
+module Tlb = Rio_vm.Tlb
+module Phys_mem = Rio_mem.Phys_mem
+module Engine = Rio_sim.Engine
+module Costs = Rio_sim.Costs
+
+type t = {
+  mmu : Mmu.t;
+  engine : Engine.t;
+  costs : Costs.t;
+  enabled : bool;
+  mutable toggles : int;
+}
+
+let create ~mmu ~engine ~costs ~enabled =
+  if enabled then Mmu.set_kseg_through_tlb mmu true;
+  { mmu; engine; costs; enabled; toggles = 0 }
+
+let enabled t = t.enabled
+
+let charge t =
+  t.toggles <- t.toggles + 1;
+  Engine.advance_by t.engine
+    (Rio_util.Units.usec_of_sec_f (t.costs.Costs.protection_toggle_us_per_page /. 1e6))
+
+let set_writable t ~paddr w =
+  if t.enabled then begin
+    let vpn = Phys_mem.pfn_of_addr paddr in
+    Page_table.set_writable (Mmu.page_table t.mmu) ~vpn w;
+    Tlb.shootdown (Mmu.tlb t.mmu) ~vpn;
+    charge t
+  end
+
+let protect_page t ~paddr = set_writable t ~paddr false
+
+let unprotect_page t ~paddr = set_writable t ~paddr true
+
+let protect_region t ~region =
+  let pages = region.Rio_mem.Layout.bytes / Phys_mem.page_size in
+  for i = 0 to pages - 1 do
+    protect_page t ~paddr:(region.Rio_mem.Layout.base + (i * Phys_mem.page_size))
+  done
+
+let toggles t = t.toggles
+
+let code_patching_overhead ~costs ~stores = stores * costs.Costs.code_patch_check_ns / 1000

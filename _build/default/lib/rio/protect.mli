@@ -1,0 +1,42 @@
+(** Rio's protection mechanism (§2.1).
+
+    Write-protects file-cache pages through the page table, and — crucially
+    on the Alpha — sets the ABOX control-register bit so KSEG physical
+    addresses are mapped {e through} the TLB instead of bypassing it.
+    Without that bit, the bulk of the file cache (the physically-addressed
+    UBC) would be wide open to wild stores no matter what the PTEs say.
+
+    Each protect/unprotect charges the PTE flip + TLB shootdown cost; the
+    counters feed the protection-overhead ablation, and
+    [code_patching_overhead] models the §2.1 alternative for CPUs that
+    cannot force KSEG through the TLB (measured at 20–50% slower in the
+    paper). *)
+
+type t
+
+val create :
+  mmu:Rio_vm.Mmu.t ->
+  engine:Rio_sim.Engine.t ->
+  costs:Rio_sim.Costs.t ->
+  enabled:bool ->
+  t
+(** When [enabled], flips the ABOX bit immediately. *)
+
+val enabled : t -> bool
+
+val protect_page : t -> paddr:int -> unit
+(** Clear the page's write bit and shoot down its TLB entry. No-op when
+    disabled. *)
+
+val unprotect_page : t -> paddr:int -> unit
+
+val protect_region : t -> region:Rio_mem.Layout.region -> unit
+(** Protect every page of a region (the registry at startup). *)
+
+val toggles : t -> int
+(** Number of protect/unprotect operations performed. *)
+
+val code_patching_overhead : costs:Rio_sim.Costs.t -> stores:int -> Rio_util.Units.usec
+(** CPU time the code-patching alternative would add for a run that
+    executed [stores] kernel store instructions: one inserted check per
+    store. *)

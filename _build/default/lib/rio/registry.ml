@@ -1,0 +1,191 @@
+module Phys_mem = Rio_mem.Phys_mem
+module Layout = Rio_mem.Layout
+
+type kind = Meta_buffer | Data_buffer
+
+type entry = {
+  paddr : int;
+  home_paddr : int;
+  dev : int;
+  ino : int;
+  offset : int;
+  size : int;
+  blkno : int;
+  kind : kind;
+  changing : bool;
+  checksum : int;
+}
+
+let entry_bytes = 40
+
+(* Slot layout: paddr u64 @0, home u64 @8, ino u32 @16, offset u32 @20,
+   size u32 @24, blkno u32 @28, dev u16 @32, kind u8 @34 (0 free / 1 meta /
+   2 data), changing u8 @35, checksum u32 @36. *)
+
+type t = {
+  mem : Phys_mem.t;
+  base : int;
+  capacity : int;
+  index : (int, int) Hashtbl.t; (* home_paddr -> slot *)
+  mutable free : int list;
+  mutable live : int;
+}
+
+let create ~mem ~region =
+  let capacity = region.Layout.bytes / entry_bytes in
+  Phys_mem.fill mem region.Layout.base ~len:(capacity * entry_bytes) '\000';
+  {
+    mem;
+    base = region.Layout.base;
+    capacity;
+    index = Hashtbl.create 256;
+    free = List.init capacity (fun i -> i);
+    live = 0;
+  }
+
+let capacity t = t.capacity
+let live_entries t = t.live
+
+let slot_addr t slot = t.base + (slot * entry_bytes)
+
+let kind_tag = function Meta_buffer -> 1 | Data_buffer -> 2
+
+let write_slot t slot e =
+  let a = slot_addr t slot in
+  Phys_mem.write_u64 t.mem a e.paddr;
+  Phys_mem.write_u64 t.mem (a + 8) e.home_paddr;
+  Phys_mem.write_u32 t.mem (a + 16) e.ino;
+  Phys_mem.write_u32 t.mem (a + 20) e.offset;
+  Phys_mem.write_u32 t.mem (a + 24) e.size;
+  Phys_mem.write_u32 t.mem (a + 28) e.blkno;
+  Phys_mem.write_u8 t.mem (a + 32) (e.dev land 0xFF);
+  Phys_mem.write_u8 t.mem (a + 33) ((e.dev lsr 8) land 0xFF);
+  Phys_mem.write_u8 t.mem (a + 34) (kind_tag e.kind);
+  Phys_mem.write_u8 t.mem (a + 35) (if e.changing then 1 else 0);
+  Phys_mem.write_u32 t.mem (a + 36) e.checksum
+
+let clear_slot t slot =
+  Phys_mem.fill t.mem (slot_addr t slot) ~len:entry_bytes '\000'
+
+let read_field_u64 img pos = Int64.to_int (Bytes.get_int64_le img pos)
+let read_field_u32 img pos = Int32.to_int (Bytes.get_int32_le img pos) land 0xFFFF_FFFF
+
+let read_slot_image img base slot =
+  let pos = base + (slot * entry_bytes) in
+  let kind_byte = Char.code (Bytes.get img (pos + 34)) in
+  let all_zero =
+    let rec check i = i >= entry_bytes || (Bytes.get img (pos + i) = '\000' && check (i + 1)) in
+    check 0
+  in
+  if all_zero then `Free
+  else if kind_byte <> 1 && kind_byte <> 2 then `Corrupt
+  else
+    `Entry
+      {
+        paddr = read_field_u64 img pos;
+        home_paddr = read_field_u64 img (pos + 8);
+        ino = read_field_u32 img (pos + 16);
+        offset = read_field_u32 img (pos + 20);
+        size = read_field_u32 img (pos + 24);
+        blkno = read_field_u32 img (pos + 28);
+        dev = Char.code (Bytes.get img (pos + 32)) lor (Char.code (Bytes.get img (pos + 33)) lsl 8);
+        kind = (if kind_byte = 1 then Meta_buffer else Data_buffer);
+        changing = Char.code (Bytes.get img (pos + 35)) <> 0;
+        checksum = read_field_u32 img (pos + 36);
+      }
+
+(* Read a live slot back from simulated memory (normal operation; trusted
+   because normal operation only reads slots it wrote). *)
+let read_slot t slot =
+  let a = slot_addr t slot in
+  let img = Phys_mem.blit_out t.mem a ~len:entry_bytes in
+  match read_slot_image img 0 0 with
+  | `Entry e -> Some e
+  | `Free | `Corrupt -> None
+
+let find t ~home_paddr =
+  match Hashtbl.find_opt t.index home_paddr with
+  | None -> None
+  | Some slot -> read_slot t slot
+
+let register t ~home_paddr ~dev ~ino ~offset ~size ~blkno ~kind ~checksum =
+  let entry =
+    { paddr = home_paddr; home_paddr; dev; ino; offset; size; blkno; kind;
+      changing = false; checksum }
+  in
+  match Hashtbl.find_opt t.index home_paddr with
+  | Some slot ->
+    (* Keep the current paddr (a shadow redirect may be in flight). *)
+    let paddr = match read_slot t slot with Some e -> e.paddr | None -> home_paddr in
+    write_slot t slot { entry with paddr }
+  | None ->
+    (match t.free with
+    | [] -> Rio_fs.Fs_types.err "registry full"
+    | slot :: rest ->
+      t.free <- rest;
+      Hashtbl.replace t.index home_paddr slot;
+      t.live <- t.live + 1;
+      write_slot t slot entry)
+
+let unregister t ~home_paddr =
+  match Hashtbl.find_opt t.index home_paddr with
+  | None -> ()
+  | Some slot ->
+    Hashtbl.remove t.index home_paddr;
+    t.free <- slot :: t.free;
+    t.live <- t.live - 1;
+    clear_slot t slot
+
+let update_slot t ~home_paddr f =
+  match Hashtbl.find_opt t.index home_paddr with
+  | None -> ()
+  | Some slot ->
+    (match read_slot t slot with
+    | Some e -> write_slot t slot (f e)
+    | None -> ())
+
+let set_changing t ~home_paddr changing =
+  update_slot t ~home_paddr (fun e -> { e with changing })
+
+let set_checksum t ~home_paddr checksum =
+  update_slot t ~home_paddr (fun e -> { e with checksum })
+
+let redirect t ~home_paddr ~paddr = update_slot t ~home_paddr (fun e -> { e with paddr })
+
+let iter t f =
+  (* Only slots the index owns: free slots may hold stale bytes. *)
+  let slots = Hashtbl.fold (fun _ slot acc -> slot :: acc) t.index [] in
+  List.iter
+    (fun slot ->
+      match read_slot t slot with
+      | Some e -> f e
+      | None -> ())
+    (List.sort compare slots)
+
+type parse_result = {
+  entries : entry list;
+  corrupt_slots : int;
+}
+
+let plausible ~mem_bytes e =
+  let page_ok p = p >= 0 && p + Phys_mem.page_size <= mem_bytes && p mod Phys_mem.page_size = 0 in
+  page_ok e.home_paddr && page_ok e.paddr
+  && e.size >= 0
+  && e.size <= Phys_mem.page_size
+  && e.ino >= 0 && e.ino < 1 lsl 24
+  && e.offset >= 0
+  && e.offset < 1 lsl 30
+  && e.blkno >= 0
+  && e.blkno < 1 lsl 28
+
+let parse_image ~image ~region ~mem_bytes =
+  let capacity = region.Layout.bytes / entry_bytes in
+  let entries = ref [] in
+  let corrupt = ref 0 in
+  for slot = 0 to capacity - 1 do
+    match read_slot_image image region.Layout.base slot with
+    | `Free -> ()
+    | `Corrupt -> incr corrupt
+    | `Entry e -> if plausible ~mem_bytes e then entries := e :: !entries else incr corrupt
+  done;
+  { entries = List.rev !entries; corrupt_slots = !corrupt }

@@ -1,0 +1,87 @@
+(** The Rio registry (§2.2).
+
+    "Instead of understanding and protecting all intermediate data
+    structures, we keep and protect a separate area of memory ... that
+    contains all information needed to find, identify, and restore files in
+    memory. For each buffer in the file cache, the registry contains the
+    physical memory address, file id (device number and inode number), file
+    offset, and size."
+
+    Entries are serialized into the registry region of simulated memory —
+    they live there, not in OCaml, so kernel faults can corrupt them and
+    Rio's protection must cover them. Each entry is 40 bytes per 8 KB page,
+    matching the paper. The warm reboot parses entries back out of a raw
+    memory image, defensively. *)
+
+type kind = Meta_buffer | Data_buffer
+
+type entry = {
+  paddr : int;
+      (** Where the buffer's current authoritative bytes live. During a
+          shadow-paged metadata update this points at the shadow. *)
+  home_paddr : int;  (** The buffer's permanent page (hash key). *)
+  dev : int;
+  ino : int;
+  offset : int;  (** Byte offset of this buffer within the file. *)
+  size : int;  (** Meaningful bytes in the buffer. *)
+  blkno : int;  (** Disk block (data-area number, or sector base for metadata). *)
+  kind : kind;
+  changing : bool;  (** Mid-write: checksum cannot be trusted (§3.2). *)
+  checksum : int;  (** CRC-32 of the buffer's first [size] bytes. *)
+}
+
+val entry_bytes : int
+(** 40. *)
+
+type t
+
+val create : mem:Rio_mem.Phys_mem.t -> region:Rio_mem.Layout.region -> t
+(** Manage entries within the registry region. Slots are zeroed. *)
+
+val capacity : t -> int
+
+val live_entries : t -> int
+
+(** {1 Normal-operation updates}
+
+    All of these serialize through to simulated memory immediately. *)
+
+val register :
+  t ->
+  home_paddr:int ->
+  dev:int ->
+  ino:int ->
+  offset:int ->
+  size:int ->
+  blkno:int ->
+  kind:kind ->
+  checksum:int ->
+  unit
+(** Add or update the entry for a page. *)
+
+val unregister : t -> home_paddr:int -> unit
+(** Remove the entry for a page (no-op if absent). *)
+
+val find : t -> home_paddr:int -> entry option
+
+val set_changing : t -> home_paddr:int -> bool -> unit
+
+val set_checksum : t -> home_paddr:int -> int -> unit
+
+val redirect : t -> home_paddr:int -> paddr:int -> unit
+(** Point the entry at a shadow page (or back) — the atomic flip of §2.3. *)
+
+val iter : t -> (entry -> unit) -> unit
+(** Live entries, in slot order. *)
+
+(** {1 Warm-reboot parsing} *)
+
+type parse_result = {
+  entries : entry list;
+  corrupt_slots : int;
+      (** Slots that were neither free nor parseable — registry corruption. *)
+}
+
+val parse_image : image:bytes -> region:Rio_mem.Layout.region -> mem_bytes:int -> parse_result
+(** Recover entries from a raw memory dump, validating every field against
+    the machine's geometry. *)

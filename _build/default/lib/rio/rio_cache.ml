@@ -1,0 +1,150 @@
+module Phys_mem = Rio_mem.Phys_mem
+module Layout = Rio_mem.Layout
+module Page_alloc = Rio_mem.Page_alloc
+module Engine = Rio_sim.Engine
+module Costs = Rio_sim.Costs
+module Hooks = Rio_fs.Hooks
+module Fs_types = Rio_fs.Fs_types
+
+type stats = {
+  checksum_updates : int;
+  shadow_updates : int;
+  protection_toggles : int;
+  registered_pages : int;
+  registry_updates : int;
+}
+
+type t = {
+  mem : Phys_mem.t;
+  engine : Engine.t;
+  costs : Costs.t;
+  registry : Registry.t;
+  protect : Protect.t;
+  shadow_page : int;
+  mutable shadow_busy : bool;
+  dev : int;
+  mutable checksum_updates : int;
+  mutable shadow_updates : int;
+  mutable registry_updates : int;
+}
+
+let checksum_of t ~paddr ~size =
+  t.checksum_updates <- t.checksum_updates + 1;
+  Engine.advance_by t.engine (Costs.checksum_time t.costs size);
+  Phys_mem.checksum_range t.mem paddr ~len:size
+
+let page_of paddr = paddr - (paddr mod Phys_mem.page_size)
+
+let install_hooks t (hooks : Hooks.t) =
+  hooks.Hooks.note_map <-
+    (fun ~paddr ~blkno ~owner ~valid ->
+      let kind, ino, offset =
+        match owner with
+        | Fs_types.Meta -> (Registry.Meta_buffer, 0, 0)
+        | Fs_types.Data { ino; offset } -> (Registry.Data_buffer, ino, offset)
+      in
+      let size = max 0 (min valid Phys_mem.page_size) in
+      (* Recompute the checksum only when the coverage changed; close_write
+         refreshes it after every content change anyway. *)
+      let checksum =
+        match Registry.find t.registry ~home_paddr:paddr with
+        | Some e when e.Registry.size = size && not e.Registry.changing -> e.Registry.checksum
+        | Some _ | None -> checksum_of t ~paddr ~size
+      in
+      Registry.register t.registry ~home_paddr:paddr ~dev:t.dev ~ino ~offset ~size ~blkno ~kind
+        ~checksum;
+      t.registry_updates <- t.registry_updates + 1;
+      (* Registry bookkeeping: ~40 bytes touched (§2.2, "overhead ... low"). *)
+      Engine.advance_by t.engine
+        (Rio_util.Units.usec_of_sec_f (t.costs.Costs.registry_update_us /. 1e6));
+      Protect.protect_page t.protect ~paddr);
+  hooks.Hooks.note_unmap <-
+    (fun ~paddr ->
+      Registry.unregister t.registry ~home_paddr:paddr;
+      Protect.unprotect_page t.protect ~paddr);
+  hooks.Hooks.open_write <-
+    (fun ~paddr ->
+      let page = page_of paddr in
+      match Registry.find t.registry ~home_paddr:page with
+      | None -> ()
+      | Some _ ->
+        Registry.set_changing t.registry ~home_paddr:page true;
+        Protect.unprotect_page t.protect ~paddr:page);
+  hooks.Hooks.close_write <-
+    (fun ~paddr ->
+      let page = page_of paddr in
+      match Registry.find t.registry ~home_paddr:page with
+      | None -> ()
+      | Some e ->
+        Registry.set_checksum t.registry ~home_paddr:page
+          (checksum_of t ~paddr:page ~size:e.Registry.size);
+        Registry.set_changing t.registry ~home_paddr:page false;
+        Protect.protect_page t.protect ~paddr:page);
+  hooks.Hooks.metadata_update <-
+    (fun ~paddr f ->
+      let page = page_of paddr in
+      match Registry.find t.registry ~home_paddr:page with
+      | Some _ when not t.shadow_busy ->
+        (* §2.3: copy to a shadow, point the registry at it, mutate the
+           original, atomically point back. A crash mid-update restores the
+           consistent pre-image. *)
+        t.shadow_busy <- true;
+        t.shadow_updates <- t.shadow_updates + 1;
+        Phys_mem.blit_within t.mem ~src:page ~dst:t.shadow_page ~len:Phys_mem.page_size;
+        Engine.advance_by t.engine (Costs.page_copy_time t.costs Phys_mem.page_size);
+        Registry.redirect t.registry ~home_paddr:page ~paddr:t.shadow_page;
+        Fun.protect
+          ~finally:(fun () ->
+            Registry.redirect t.registry ~home_paddr:page ~paddr:page;
+            t.shadow_busy <- false)
+          f
+      | Some _ | None -> f ())
+
+let create ~mem ~layout ~mmu ~engine ~costs ~hooks ~pool_alloc ~protection ~dev =
+  let registry = Registry.create ~mem ~region:(Layout.region layout Layout.Registry) in
+  let protect = Protect.create ~mmu ~engine ~costs ~enabled:protection in
+  let shadow_page =
+    match Page_alloc.alloc pool_alloc with
+    | Some p -> p
+    | None -> Fs_types.err "rio: no page available for the metadata shadow"
+  in
+  let t =
+    {
+      mem;
+      engine;
+      costs;
+      registry;
+      protect;
+      shadow_page;
+      shadow_busy = false;
+      dev;
+      checksum_updates = 0;
+      shadow_updates = 0;
+      registry_updates = 0;
+    }
+  in
+  if protection then Protect.protect_region protect ~region:(Layout.region layout Layout.Registry);
+  install_hooks t hooks;
+  t
+
+let registry t = t.registry
+let protect t = t.protect
+let protection_enabled t = Protect.enabled t.protect
+
+let stats t =
+  {
+    checksum_updates = t.checksum_updates;
+    shadow_updates = t.shadow_updates;
+    protection_toggles = Protect.toggles t.protect;
+    registered_pages = Registry.live_entries t.registry;
+    registry_updates = t.registry_updates;
+  }
+
+let verify_all_checksums t =
+  let mismatches = ref 0 in
+  Registry.iter t.registry (fun e ->
+      if not e.Registry.changing then begin
+        let actual = Phys_mem.checksum_range t.mem e.Registry.paddr ~len:e.Registry.size in
+        if actual <> e.Registry.checksum then incr mismatches
+      end);
+  !mismatches

@@ -1,0 +1,47 @@
+(** The Rio file cache: hook-level integration of registry, protection,
+    checksums, and shadow-paged metadata atomicity.
+
+    Create one of these against a mounted-to-be file system's {!Rio_fs.Hooks}
+    record and every file-cache page becomes registered, checksummed, and
+    (when protection is on) write-protected except inside legitimate write
+    windows — §2.1–§2.3 of the paper. *)
+
+type t
+
+type stats = {
+  checksum_updates : int;
+  shadow_updates : int;
+  protection_toggles : int;
+  registered_pages : int;
+  registry_updates : int;
+}
+
+val create :
+  mem:Rio_mem.Phys_mem.t ->
+  layout:Rio_mem.Layout.t ->
+  mmu:Rio_vm.Mmu.t ->
+  engine:Rio_sim.Engine.t ->
+  costs:Rio_sim.Costs.t ->
+  hooks:Rio_fs.Hooks.t ->
+  pool_alloc:Rio_mem.Page_alloc.t ->
+  protection:bool ->
+  dev:int ->
+  t
+(** Zeroes and takes ownership of the registry region, reserves a shadow
+    page from the pool, installs the five instrumentation hooks (leaving
+    [copy_in]/[copy_out] — the kernel's — untouched), and, when
+    [protection] is on, maps KSEG through the TLB and write-protects the
+    registry itself. *)
+
+val registry : t -> Registry.t
+
+val protect : t -> Protect.t
+
+val protection_enabled : t -> bool
+
+val stats : t -> stats
+
+val verify_all_checksums : t -> int
+(** Recompute and compare every registered buffer's checksum right now;
+    returns the number of mismatches (0 in a healthy system — used by
+    tests and the online scrubber example). *)

@@ -1,0 +1,141 @@
+module Phys_mem = Rio_mem.Phys_mem
+module Layout = Rio_mem.Layout
+module Disk = Rio_disk.Disk
+module Engine = Rio_sim.Engine
+module Fs = Rio_fs.Fs
+module Fsck = Rio_fs.Fsck
+module Ondisk = Rio_fs.Ondisk
+
+type verify = {
+  intact : int;
+  mismatched : int;
+  changing : int;
+}
+
+type report = {
+  registry_entries : int;
+  corrupt_registry_slots : int;
+  meta_restored : int;
+  meta_skipped : int;
+  data_restored : int;
+  data_failed : int;
+  meta_verify : verify;
+  data_verify : verify;
+  fsck : Fsck.report;
+  duration_us : int;
+}
+
+let capture mem = Phys_mem.dump mem
+
+let read_superblock_opt disk =
+  match Ondisk.read_superblock (Disk.peek disk ~sector:Ondisk.superblock_sector) with
+  | sb -> Some sb
+  | exception Rio_fs.Fs_types.Fs_error _ -> None
+
+let dump_to_swap ~disk ~image =
+  match read_superblock_opt disk with
+  | None -> ()
+  | Some sb ->
+    let swap_bytes = sb.Ondisk.swap_sectors * Disk.sector_bytes in
+    let len = min (Bytes.length image) swap_bytes in
+    (* Stream in 128 KB synchronous chunks — one long sequential write. *)
+    let chunk = 128 * 1024 in
+    let pos = ref 0 in
+    while !pos < len do
+      let n = min chunk (len - !pos) in
+      Disk.write_sync disk
+        ~sector:(sb.Ondisk.swap_start + (!pos / Disk.sector_bytes))
+        (Bytes.sub image !pos n);
+      pos := !pos + n
+    done
+
+let parse_registry ~image ~layout =
+  Registry.parse_image ~image ~region:(Layout.region layout Layout.Registry)
+    ~mem_bytes:(Bytes.length image)
+
+let entry_image image (e : Registry.entry) =
+  (* Read from the entry's current pointer: mid-shadow-update entries point
+     at the consistent pre-image (§2.3). *)
+  if e.Registry.paddr + e.Registry.size <= Bytes.length image then
+    Some (Bytes.sub image e.Registry.paddr e.Registry.size)
+  else None
+
+let verify_entries ~image entries =
+  List.fold_left
+    (fun acc (e : Registry.entry) ->
+      if e.Registry.changing then { acc with changing = acc.changing + 1 }
+      else
+        match entry_image image e with
+        | None -> { acc with mismatched = acc.mismatched + 1 }
+        | Some bytes ->
+          let actual = Rio_util.Checksum.crc32 bytes ~pos:0 ~len:(Bytes.length bytes) in
+          if actual = e.Registry.checksum then { acc with intact = acc.intact + 1 }
+          else { acc with mismatched = acc.mismatched + 1 })
+    { intact = 0; mismatched = 0; changing = 0 }
+    entries
+
+let split_entries entries =
+  List.partition (fun (e : Registry.entry) -> e.Registry.kind = Registry.Meta_buffer) entries
+
+let restore_metadata ~disk ~image entries =
+  let sb = read_superblock_opt disk in
+  let restored = ref 0 and skipped = ref 0 in
+  List.iter
+    (fun (e : Registry.entry) ->
+      (* Metadata blkno is an absolute sector base; validate it against the
+         device and keep it away from the superblock itself. *)
+      let plausible =
+        e.Registry.blkno > 0
+        && e.Registry.blkno + Rio_fs.Fs_types.sectors_per_block <= Disk.capacity_sectors disk
+        && (match sb with
+           | Some sb -> e.Registry.blkno >= sb.Ondisk.ibitmap_start
+           | None -> true)
+      in
+      match entry_image image e with
+      | Some bytes when plausible ->
+        Disk.write_sync disk ~sector:e.Registry.blkno bytes;
+        incr restored
+      | Some _ | None -> incr skipped)
+    entries;
+  (!restored, !skipped)
+
+let restore_data ~fs ~image entries =
+  let restored = ref 0 and failed = ref 0 in
+  List.iter
+    (fun (e : Registry.entry) ->
+      match entry_image image e with
+      | None -> incr failed
+      | Some bytes ->
+        (match Fs.write_by_ino fs ~ino:e.Registry.ino ~offset:e.Registry.offset bytes with
+        | () -> incr restored
+        | exception Rio_fs.Fs_types.Fs_error _ -> incr failed))
+    entries;
+  (!restored, !failed)
+
+let perform ~mem ~disk ~layout ~engine ~reboot =
+  let t0 = Engine.now engine in
+  let image = capture mem in
+  dump_to_swap ~disk ~image;
+  let parsed = parse_registry ~image ~layout in
+  let meta_entries, data_entries = split_entries parsed.Registry.entries in
+  let meta_verify = verify_entries ~image meta_entries in
+  let data_verify = verify_entries ~image data_entries in
+  let meta_restored, meta_skipped = restore_metadata ~disk ~image meta_entries in
+  let fsck = Fsck.run ~disk in
+  let fs = reboot () in
+  let data_restored, data_failed =
+    if fsck.Fsck.unrecoverable then (0, List.length data_entries)
+    else restore_data ~fs ~image data_entries
+  in
+  {
+    registry_entries = List.length parsed.Registry.entries;
+    corrupt_registry_slots = parsed.Registry.corrupt_slots;
+    meta_restored;
+    meta_skipped;
+    data_restored;
+    data_failed;
+    meta_verify;
+    data_verify;
+    fsck;
+    duration_us = Engine.now engine - t0;
+  }

@@ -1,0 +1,57 @@
+type t = {
+  syscall_overhead : Rio_util.Units.usec;
+  cpu_byte_copy_ns : int;
+  namei_cost : Rio_util.Units.usec;
+  disk_seek_us : Rio_util.Units.usec;
+  disk_rotation_us : Rio_util.Units.usec;
+  disk_transfer_bytes_per_us : int;
+  disk_sector_bytes : int;
+  disk_track_sectors : int;
+  protection_toggle_us_per_page : float;
+  registry_update_us : float;
+  checksum_byte_ns : int;
+  page_copy_ns : int;
+  code_patch_check_ns : int;
+  update_interval : Rio_util.Units.usec;
+}
+
+let default =
+  {
+    syscall_overhead = 120;
+    cpu_byte_copy_ns = 20; (* ~50 MB/s kernel bcopy of user data *)
+    namei_cost = 40;
+    disk_seek_us = 9_000;
+    disk_rotation_us = 5_500; (* 5400 rpm, half rotation *)
+    disk_transfer_bytes_per_us = 4; (* 4 MB/s media rate *)
+    disk_sector_bytes = 512;
+    disk_track_sectors = 64;
+    protection_toggle_us_per_page = 1.0;
+    registry_update_us = 0.5;
+    checksum_byte_ns = 2; (* word-additive checksum, in-cache *)
+    page_copy_ns = 3; (* in-cache page-to-page copy (shadowing) *)
+    code_patch_check_ns = 4;
+    update_interval = Rio_util.Units.sec 30;
+  }
+
+let fast_disk =
+  {
+    default with
+    disk_seek_us = 4_000;
+    disk_rotation_us = 2_000;
+    disk_transfer_bytes_per_us = 150;
+  }
+
+let transfer_time t bytes =
+  (bytes + t.disk_transfer_bytes_per_us - 1) / t.disk_transfer_bytes_per_us
+
+let copy_time t bytes = bytes * t.cpu_byte_copy_ns / 1000
+
+let checksum_time t bytes = bytes * t.checksum_byte_ns / 1000
+
+let page_copy_time t bytes = bytes * t.page_copy_ns / 1000
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>syscall=%dus copy=%dns/B seek=%dus rot=%dus xfer=%dB/us update=%a@]" t.syscall_overhead
+    t.cpu_byte_copy_ns t.disk_seek_us t.disk_rotation_us t.disk_transfer_bytes_per_us
+    Rio_util.Units.pp_usec t.update_interval

@@ -1,0 +1,56 @@
+(** Cost-model constants for the performance experiments (Table 2).
+
+    Calibrated against the paper's platform: a DEC 3000/600 (Alpha 21064,
+    175 MHz, 128 MB) with an early-1990s SCSI disk. We claim shape, not
+    absolute numbers; every constant can be overridden to test sensitivity. *)
+
+type t = {
+  syscall_overhead : Rio_util.Units.usec;
+      (** Fixed cost to enter/exit the kernel for one file operation. *)
+  cpu_byte_copy_ns : int;
+      (** CPU cost to move one byte memory-to-memory, in nanoseconds
+          (kernel bcopy, ~50 MB/s on the 21064). *)
+  namei_cost : Rio_util.Units.usec;
+      (** Pathname lookup over in-core directories. *)
+  disk_seek_us : Rio_util.Units.usec;  (** Average seek. *)
+  disk_rotation_us : Rio_util.Units.usec;  (** Average rotational delay. *)
+  disk_transfer_bytes_per_us : int;
+      (** Media transfer rate (bytes per µs; 5 = 5 MB/s). *)
+  disk_sector_bytes : int;
+  disk_track_sectors : int;
+      (** Sectors per track: contiguous requests within a track pay transfer
+          only. *)
+  protection_toggle_us_per_page : float;
+      (** Cost to flip a page's write-permission PTE bit and shoot the TLB
+          entry (Rio is in-kernel: no system call, paper §6). *)
+  registry_update_us : float;
+      (** Cost to update one registry entry (40 bytes, paper §2.2). *)
+  checksum_byte_ns : int;
+      (** Per-byte cost of the file-cache checksum maintenance (a
+          word-additive checksum over cache-resident data). *)
+  page_copy_ns : int;
+      (** Per-byte cost of an in-cache page-to-page copy (Rio's shadow
+          paging). *)
+  code_patch_check_ns : int;
+      (** Cost of one inserted address check (code-patching protection). *)
+  update_interval : Rio_util.Units.usec;
+      (** Period of the update daemon (30 s in Digital Unix). *)
+}
+
+val default : t
+(** DEC 3000/600-flavoured calibration. *)
+
+val fast_disk : t
+(** A modern-disk variant used by sensitivity ablations. *)
+
+val transfer_time : t -> int -> Rio_util.Units.usec
+(** [transfer_time t bytes] is media transfer time for [bytes]. *)
+
+val copy_time : t -> int -> Rio_util.Units.usec
+(** [copy_time t bytes] is CPU time to copy [bytes] memory-to-memory. *)
+
+val checksum_time : t -> int -> Rio_util.Units.usec
+
+val page_copy_time : t -> int -> Rio_util.Units.usec
+
+val pp : Format.formatter -> t -> unit

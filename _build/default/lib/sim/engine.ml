@@ -1,0 +1,51 @@
+type t = {
+  mutable clock : int;
+  queue : (t -> unit) Event_queue.t;
+}
+
+type handle = Event_queue.handle
+
+let create () = { clock = 0; queue = Event_queue.create () }
+
+let now t = t.clock
+
+let schedule_at t ~time f = Event_queue.push t.queue ~time:(max time t.clock) f
+
+let schedule_after t ~delay f =
+  assert (delay >= 0);
+  Event_queue.push t.queue ~time:(t.clock + delay) f
+
+let cancel t handle = Event_queue.cancel t.queue handle
+
+let fire_due t target =
+  let rec loop () =
+    match Event_queue.pop_until t.queue ~time:target with
+    | None -> ()
+    | Some (time, f) ->
+      t.clock <- max t.clock time;
+      f t;
+      loop ()
+  in
+  loop ()
+
+let advance_to t target =
+  if target > t.clock then begin
+    fire_due t target;
+    t.clock <- max t.clock target
+  end
+
+let advance_by t delta =
+  assert (delta >= 0);
+  advance_to t (t.clock + delta)
+
+let run_next t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+    t.clock <- max t.clock time;
+    f t;
+    true
+
+let run_until_idle t = while run_next t do () done
+
+let pending t = Event_queue.length t.queue

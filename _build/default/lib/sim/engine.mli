@@ -1,0 +1,41 @@
+(** Discrete-event simulation engine.
+
+    The clock counts microseconds of simulated time. Workload code runs
+    synchronously and charges elapsed time with [advance_by]; timed callbacks
+    (the 30-second update daemon, asynchronous disk completions, the fault
+    watchdog) are scheduled with [schedule_*] and fire whenever the clock
+    passes their deadline. *)
+
+type t
+
+type handle = Event_queue.handle
+
+val create : unit -> t
+
+val now : t -> Rio_util.Units.usec
+(** Current simulated time. *)
+
+val schedule_at : t -> time:Rio_util.Units.usec -> (t -> unit) -> handle
+(** Run the callback when the clock reaches [time]. Scheduling in the past
+    fires at the current time. *)
+
+val schedule_after : t -> delay:Rio_util.Units.usec -> (t -> unit) -> handle
+
+val cancel : t -> handle -> unit
+
+val advance_by : t -> Rio_util.Units.usec -> unit
+(** Move the clock forward, firing any events that become due (in timestamp
+    order, each seeing the clock set to its own due time). *)
+
+val advance_to : t -> Rio_util.Units.usec -> unit
+(** Like [advance_by] with an absolute target; no-op if in the past. *)
+
+val run_next : t -> bool
+(** Jump the clock to the next pending event and fire it. Returns [false] if
+    no event is pending. *)
+
+val run_until_idle : t -> unit
+(** Fire all pending events in order, jumping the clock along. *)
+
+val pending : t -> int
+(** Number of live scheduled events. *)

@@ -1,0 +1,122 @@
+type 'a entry = {
+  time : int;
+  seq : int;
+  id : int;
+  payload : 'a;
+}
+
+type handle = int
+
+type 'a t = {
+  mutable heap : 'a entry array; (* heap.(0) unused when size = 0 *)
+  mutable size : int;
+  mutable next_seq : int;
+  mutable next_id : int;
+  cancelled : (int, unit) Hashtbl.t;
+  mutable live : int;
+}
+
+let create () =
+  { heap = [||]; size = 0; next_seq = 0; next_id = 0; cancelled = Hashtbl.create 16; live = 0 }
+
+let is_empty t = t.live = 0
+
+let length t = t.live
+
+let entry_lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_lt t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && entry_lt t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && entry_lt t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let grow t =
+  let cap = Array.length t.heap in
+  if t.size = cap then begin
+    let new_cap = max 16 (cap * 2) in
+    (* The dummy element is never read: size guards all accesses. *)
+    let dummy = t.heap.(0) in
+    let heap = Array.make new_cap dummy in
+    Array.blit t.heap 0 heap 0 t.size;
+    t.heap <- heap
+  end
+
+let push t ~time payload =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let entry = { time; seq = t.next_seq; id; payload } in
+  t.next_seq <- t.next_seq + 1;
+  if Array.length t.heap = 0 then t.heap <- Array.make 16 entry;
+  grow t;
+  t.heap.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1);
+  t.live <- t.live + 1;
+  id
+
+let cancel t handle =
+  if not (Hashtbl.mem t.cancelled handle) then begin
+    Hashtbl.replace t.cancelled handle ();
+    t.live <- max 0 (t.live - 1)
+  end
+
+let remove_min t =
+  let top = t.heap.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.heap.(0) <- t.heap.(t.size);
+    sift_down t 0
+  end;
+  top
+
+(* Drop cancelled entries sitting at the top of the heap. *)
+let rec skim t =
+  if t.size > 0 then begin
+    let top = t.heap.(0) in
+    if Hashtbl.mem t.cancelled top.id then begin
+      ignore (remove_min t);
+      Hashtbl.remove t.cancelled top.id;
+      skim t
+    end
+  end
+
+let peek_time t =
+  skim t;
+  if t.size = 0 then None else Some t.heap.(0).time
+
+let pop t =
+  skim t;
+  if t.size = 0 then None
+  else begin
+    let e = remove_min t in
+    t.live <- t.live - 1;
+    Some (e.time, e.payload)
+  end
+
+let pop_until t ~time =
+  skim t;
+  if t.size = 0 || t.heap.(0).time > time then None else pop t
+
+let clear t =
+  t.size <- 0;
+  t.live <- 0;
+  Hashtbl.reset t.cancelled

@@ -1,0 +1,32 @@
+(** A cancellable priority queue of timed events (binary min-heap).
+
+    Ties are broken by insertion order so simulations are deterministic. *)
+
+type 'a t
+
+type handle
+(** Identifies a scheduled event so it can be cancelled. *)
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+(** Number of live (non-cancelled) events. *)
+
+val push : 'a t -> time:int -> 'a -> handle
+(** Schedule a payload at an absolute time. *)
+
+val cancel : 'a t -> handle -> unit
+(** Cancel the event; a no-op if it already fired or was cancelled. *)
+
+val peek_time : 'a t -> int option
+(** Time of the earliest live event. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the earliest live event as [(time, payload)]. *)
+
+val pop_until : 'a t -> time:int -> (int * 'a) option
+(** Like [pop] but only if the earliest event's time is [<= time]. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,1 @@
+lib/txn/vista.ml: Bytes Int32 List Rio_fs Rio_util

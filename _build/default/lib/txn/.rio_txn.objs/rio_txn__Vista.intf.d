@@ -1,0 +1,1 @@
+lib/txn/vista.mli: Rio_fs

@@ -1,0 +1,174 @@
+module Fs = Rio_fs.Fs
+open Rio_fs.Fs_types
+
+let record_magic = 0x554E444F (* "UNDO" *)
+
+type t = {
+  fs : Fs.t;
+  path : string;
+  log_path : string;
+  data_fd : Fs.fd;
+  log_fd : Fs.fd;
+  size : int;
+  mutable log_pos : int;
+  mutable open_txn : bool;
+  mutable records_logged : int;
+}
+
+type txn = {
+  store : t;
+  mutable undo : (int * bytes) list; (* newest first *)
+  mutable live : bool;
+}
+
+let log_path_of path = path ^ ".undo"
+
+let size t = t.size
+let path t = t.path
+let in_txn t = t.open_txn
+let undo_records_logged t = t.records_logged
+
+let create fs ~path ~size =
+  if size <= 0 then err "vista: store size must be positive";
+  let data_fd = Fs.create fs path in
+  (* Zero-fill by writing the last byte: everything before is a hole that
+     reads as zeros. *)
+  Fs.pwrite fs data_fd ~offset:(size - 1) (Bytes.make 1 '\000');
+  let log_fd = Fs.create fs (log_path_of path) in
+  {
+    fs;
+    path;
+    log_path = log_path_of path;
+    data_fd;
+    log_fd;
+    size;
+    log_pos = 0;
+    open_txn = false;
+    records_logged = 0;
+  }
+
+let open_existing fs ~path =
+  let data_fd = Fs.open_file fs path in
+  let size = Fs.fd_size fs data_fd in
+  let log_fd =
+    if Fs.exists fs (log_path_of path) then Fs.open_file fs (log_path_of path)
+    else Fs.create fs (log_path_of path)
+  in
+  {
+    fs;
+    path;
+    log_path = log_path_of path;
+    data_fd;
+    log_fd;
+    size;
+    log_pos = Fs.fd_size fs log_fd;
+    open_txn = false;
+    records_logged = 0;
+  }
+
+let read t ~offset ~len =
+  if offset < 0 || len < 0 || offset + len > t.size then err "vista: read out of range";
+  Fs.pread t.fs t.data_fd ~offset ~len
+
+(* ---------------- undo log records ---------------- *)
+
+let encode_record ~offset old =
+  let len = Bytes.length old in
+  let b = Bytes.create (12 + len + 4) in
+  Bytes.set_int32_le b 0 (Int32.of_int record_magic);
+  Bytes.set_int32_le b 4 (Int32.of_int offset);
+  Bytes.set_int32_le b 8 (Int32.of_int len);
+  Bytes.blit old 0 b 12 len;
+  let crc = Rio_util.Checksum.crc32 b ~pos:0 ~len:(12 + len) in
+  Bytes.set_int32_le b (12 + len) (Int32.of_int crc);
+  b
+
+(* Parse all complete, checksummed records; a torn tail ends the scan. *)
+let parse_records log =
+  let total = Bytes.length log in
+  let u32 pos = Int32.to_int (Bytes.get_int32_le log pos) land 0xFFFF_FFFF in
+  let rec scan pos acc =
+    if pos + 16 > total then List.rev acc
+    else if u32 pos <> record_magic then List.rev acc
+    else begin
+      let offset = u32 (pos + 4) in
+      let len = u32 (pos + 8) in
+      if len < 0 || pos + 12 + len + 4 > total then List.rev acc
+      else begin
+        let crc = Rio_util.Checksum.crc32 log ~pos ~len:(12 + len) in
+        if crc <> u32 (pos + 12 + len) then List.rev acc
+        else scan (pos + 16 + len) ((offset, Bytes.sub log (pos + 12) len) :: acc)
+      end
+    end
+  in
+  scan 0 []
+
+(* ---------------- transactions ---------------- *)
+
+let begin_txn t =
+  if t.open_txn then err "vista: a transaction is already open";
+  t.open_txn <- true;
+  { store = t; undo = []; live = true }
+
+let require_live txn = if not txn.live then err "vista: transaction is finished"
+
+let write txn ~offset data =
+  require_live txn;
+  let t = txn.store in
+  let len = Bytes.length data in
+  if offset < 0 || offset + len > t.size then err "vista: write out of range";
+  if len > 0 then begin
+    (* Write-ahead: the old image goes to the (instantly permanent) undo
+       log before the data changes. *)
+    let old = Fs.pread t.fs t.data_fd ~offset ~len in
+    let record = encode_record ~offset old in
+    Fs.pwrite t.fs t.log_fd ~offset:t.log_pos record;
+    t.log_pos <- t.log_pos + Bytes.length record;
+    t.records_logged <- t.records_logged + 1;
+    txn.undo <- (offset, old) :: txn.undo;
+    Fs.pwrite t.fs t.data_fd ~offset data
+  end
+
+let read_txn txn ~offset ~len =
+  require_live txn;
+  read txn.store ~offset ~len
+
+let clear_log t =
+  Fs.truncate t.fs t.log_path 0;
+  t.log_pos <- 0
+
+let commit txn =
+  require_live txn;
+  (* The data writes are already permanent; discarding the undo log IS the
+     commit point. *)
+  clear_log txn.store;
+  txn.live <- false;
+  txn.store.open_txn <- false
+
+let abort txn =
+  require_live txn;
+  let t = txn.store in
+  List.iter (fun (offset, old) -> Fs.pwrite t.fs t.data_fd ~offset old) txn.undo;
+  clear_log t;
+  txn.live <- false;
+  t.open_txn <- false
+
+(* ---------------- recovery ---------------- *)
+
+let recover fs ~path =
+  let log_path = log_path_of path in
+  if not (Fs.exists fs log_path) then 0
+  else begin
+    let log = Fs.read_file fs log_path in
+    let records = parse_records log in
+    if records <> [] then begin
+      let data_fd = Fs.open_file fs path in
+      (* Newest record last in the log; undo must apply newest-first. *)
+      List.iter
+        (fun (offset, old) -> Fs.pwrite fs data_fd ~offset old)
+        (List.rev records);
+      Fs.close fs data_fd
+    end;
+    Fs.truncate fs log_path 0;
+    List.length records
+  end

@@ -1,0 +1,79 @@
+(** Vista: free transactions over the Rio file cache.
+
+    The paper closes by promising "a similar fault-injection experiment on a
+    database system"; the authors' follow-up was Rio Vista (Lowell & Chen,
+    SOSP 1997), a 720-line transaction library whose entire recoverability
+    story is Rio's: because every memory write to the file cache is already
+    as permanent as disk, a transaction system needs {e no redo log, no
+    flushes, no forces} — only a small undo log to roll back uncommitted
+    transactions after a crash.
+
+    This module is that design over our [Rio_fs]: a fixed-size persistent
+    region backed by a file, plus an undo log in a sibling file. The
+    write-ahead discipline is the whole protocol:
+
+    + [write] first appends the {e old} bytes to the undo log (instantly
+      permanent under the Rio policy), then updates the data in place;
+    + [commit] clears the undo log — one tiny write is the commit point;
+    + [abort] rolls back from the in-memory undo list and clears the log;
+    + {!recover} (after a warm reboot) replays any surviving undo records
+      {e backwards}, erasing every half-done transaction.
+
+    Each undo record carries a CRC: a record torn by the crash is by
+    construction one whose data write never happened, so it is skipped.
+
+    One transaction may be open at a time (Vista was single-threaded too). *)
+
+type t
+(** An open persistent store. *)
+
+type txn
+(** An open transaction on a store. *)
+
+val create : Rio_fs.Fs.t -> path:string -> size:int -> t
+(** Create (or truncate) the store's data file (zero-filled, [size] bytes)
+    and an empty undo log at [path ^ ".undo"]. *)
+
+val open_existing : Rio_fs.Fs.t -> path:string -> t
+(** Open a store created earlier. Raises {!Rio_fs.Fs_types.Fs_error} if
+    absent. Call {!recover} first after a crash. *)
+
+val recover : Rio_fs.Fs.t -> path:string -> int
+(** Roll back any uncommitted transaction left by a crash: apply surviving
+    undo records newest-first, then clear the log. Returns the number of
+    records applied (0 = the crash did not interrupt a transaction). *)
+
+val size : t -> int
+
+val path : t -> string
+
+(** {1 Reads (always allowed)} *)
+
+val read : t -> offset:int -> len:int -> bytes
+
+(** {1 Transactions} *)
+
+val begin_txn : t -> txn
+(** Raises {!Rio_fs.Fs_types.Fs_error} if a transaction is already open. *)
+
+val write : txn -> offset:int -> bytes -> unit
+(** Transactional update: logs the old contents, then writes the new. *)
+
+val read_txn : txn -> offset:int -> len:int -> bytes
+(** Read through the transaction (sees its own writes — they are in
+    place). *)
+
+val commit : txn -> unit
+(** Make the transaction's effects permanent (they already are, in Rio's
+    sense — this just discards the undo information). *)
+
+val abort : txn -> unit
+(** Undo every [write] of this transaction and discard it. *)
+
+val in_txn : t -> bool
+
+(** {1 Introspection} *)
+
+val undo_records_logged : t -> int
+(** Total undo records appended over the store's lifetime (cost metric:
+    this is ALL the logging a Rio transaction needs). *)

@@ -1,0 +1,1 @@
+lib/util/checksum.ml: Array Bytes Char Lazy

@@ -1,0 +1,1 @@
+lib/util/pattern.ml: Bytes Char

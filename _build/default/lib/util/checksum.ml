@@ -1,0 +1,44 @@
+let crc_table =
+  lazy
+    (let table = Array.make 256 0 in
+     for n = 0 to 255 do
+       let c = ref n in
+       for _ = 0 to 7 do
+         if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1) else c := !c lsr 1
+       done;
+       table.(n) <- !c
+     done;
+     table)
+
+let crc32 ?(init = 0) b ~pos ~len =
+  assert (pos >= 0 && len >= 0 && pos + len <= Bytes.length b);
+  let table = Lazy.force crc_table in
+  let c = ref (init lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code (Bytes.unsafe_get b i)) land 0xFF) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let crc32_string s =
+  let b = Bytes.unsafe_of_string s in
+  crc32 b ~pos:0 ~len:(Bytes.length b)
+
+let fletcher32 b ~pos ~len =
+  assert (pos >= 0 && len >= 0 && pos + len <= Bytes.length b);
+  let sum1 = ref 0xFFFF and sum2 = ref 0xFFFF in
+  for i = pos to pos + len - 1 do
+    sum1 := !sum1 + Char.code (Bytes.unsafe_get b i);
+    sum2 := !sum2 + !sum1;
+    if !sum1 >= 65535 then sum1 := !sum1 - 65535;
+    if !sum2 >= 65535 then sum2 := !sum2 - 65535
+  done;
+  (!sum2 lsl 16) lor !sum1
+
+type algorithm = Crc32 | Fletcher32
+
+let compute algo b ~pos ~len =
+  match algo with
+  | Crc32 -> crc32 b ~pos ~len
+  | Fletcher32 -> fletcher32 b ~pos ~len
+
+let algorithm_name = function Crc32 -> "crc32" | Fletcher32 -> "fletcher32"

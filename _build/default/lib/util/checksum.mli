@@ -1,0 +1,24 @@
+(** Block checksums used by the Rio corruption detector.
+
+    The paper (§3.2) maintains a checksum of each memory block in the file
+    cache; unintentional stores leave the checksum inconsistent. We provide
+    CRC-32 (IEEE 802.3 polynomial, table-driven) as the primary detector and
+    Fletcher-32 as a cheaper alternative for the cost ablation. *)
+
+val crc32 : ?init:int -> bytes -> pos:int -> len:int -> int
+(** [crc32 b ~pos ~len] is the CRC-32 of the slice. [init] continues a prior
+    checksum (default the standard [0] seed, pre/post-inverted
+    internally). Result fits in 32 bits. *)
+
+val crc32_string : string -> int
+(** CRC-32 of a whole string. *)
+
+val fletcher32 : bytes -> pos:int -> len:int -> int
+(** Fletcher-32 over the slice, treating bytes as 8-bit words. *)
+
+type algorithm = Crc32 | Fletcher32
+
+val compute : algorithm -> bytes -> pos:int -> len:int -> int
+(** Dispatch on the algorithm. *)
+
+val algorithm_name : algorithm -> string

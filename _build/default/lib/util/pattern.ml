@@ -1,0 +1,16 @@
+let mix seed i =
+  let x = (seed * 0x9E3779B1) lxor (i * 0x85EBCA77) in
+  let x = x lxor (x lsr 13) in
+  let x = x * 0xC2B2AE35 in
+  (x lsr 7) land 0xFF
+
+let byte_at ~seed i = Char.unsafe_chr (mix seed i)
+
+let fill_at ~seed ~offset ~len =
+  let b = Bytes.create len in
+  for i = 0 to len - 1 do
+    Bytes.unsafe_set b i (byte_at ~seed (offset + i))
+  done;
+  b
+
+let fill ~seed ~len = fill_at ~seed ~offset:0 ~len

@@ -1,0 +1,17 @@
+(** Deterministic, cheap file-content patterns.
+
+    Workloads need megabytes of file data whose every byte is predictable
+    from a small seed — memTest reconstructs expected contents after a crash
+    by regenerating them (§3.2). A multiplicative byte mix is far cheaper
+    than running a PRNG per byte and just as checkable. *)
+
+val fill : seed:int -> len:int -> bytes
+(** [fill ~seed ~len]: byte [i] is a mix of [seed] and [i]. *)
+
+val fill_at : seed:int -> offset:int -> len:int -> bytes
+(** The slice [\[offset, offset+len)] of the infinite pattern stream for
+    [seed] — so partial reads can be checked without materializing the whole
+    file. [fill ~seed ~len = fill_at ~seed ~offset:0 ~len]. *)
+
+val byte_at : seed:int -> int -> char
+(** Single byte of the stream. *)

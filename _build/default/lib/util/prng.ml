@@ -1,0 +1,76 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* SplitMix64 finalizer (Steele, Lea, Flood 2014). *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let next t =
+  (* Mask to 62 bits so the result is a non-negative OCaml int on 64-bit. *)
+  Int64.to_int (Int64.logand (next64 t) 0x3FFF_FFFF_FFFF_FFFFL)
+
+let int t bound =
+  assert (bound > 0);
+  next t mod bound
+
+let int_in t lo hi =
+  assert (lo <= hi);
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+
+let float t bound =
+  let x = next t in
+  bound *. (float_of_int x /. 0x4000_0000_0000_0000.)
+
+let chance t p =
+  if p <= 0. then false
+  else if p >= 1. then true
+  else float t 1.0 < p
+
+let choose t arr =
+  assert (Array.length arr > 0);
+  arr.(int t (Array.length arr))
+
+let choose_weighted t arr =
+  let total = Array.fold_left (fun acc (_, w) -> acc +. Float.max w 0.) 0. arr in
+  assert (total > 0.);
+  let target = float t total in
+  let n = Array.length arr in
+  let rec scan i acc =
+    if i = n - 1 then fst arr.(i)
+    else
+      let acc = acc +. Float.max (snd arr.(i)) 0. in
+      if target < acc then fst arr.(i) else scan (i + 1) acc
+  in
+  scan 0 0.
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let bytes t n =
+  let b = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.unsafe_set b i (Char.unsafe_chr (int t 256))
+  done;
+  b
+
+let split t =
+  let seed = next t in
+  { state = mix (Int64.of_int seed) }

@@ -1,0 +1,55 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    Every experiment in this repository is seeded, so any crash test or
+    workload run can be replayed bit-for-bit — the property memTest relies on
+    to reconstruct the expected file-system contents after a crash
+    (paper §3.2). The generator is self-contained (no dependence on the
+    stdlib [Random] state) so library users cannot perturb experiments. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int -> t
+(** [create ~seed] makes a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator that will produce the same future
+    stream as [t]. *)
+
+val next : t -> int
+(** [next t] returns a uniformly distributed non-negative 62-bit integer. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive.
+    Requires [lo <= hi]. *)
+
+val bool : t -> bool
+(** A fair coin flip. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val chance : t -> float -> bool
+(** [chance t p] is [true] with probability [p] (clamped to [\[0,1\]]). *)
+
+val choose : t -> 'a array -> 'a
+(** [choose t arr] picks a uniform element. Requires [arr] non-empty. *)
+
+val choose_weighted : t -> ('a * float) array -> 'a
+(** [choose_weighted t arr] picks an element with probability proportional to
+    its weight. Requires at least one strictly positive weight. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val bytes : t -> int -> bytes
+(** [bytes t n] is [n] random bytes. *)
+
+val split : t -> t
+(** [split t] derives a statistically independent generator from [t],
+    advancing [t]. Used to give each subsystem its own stream so adding
+    draws in one subsystem does not shift another's. *)

@@ -1,0 +1,69 @@
+let mean xs =
+  assert (Array.length xs > 0);
+  Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then 0.
+  else
+    let m = mean xs in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs in
+    sqrt (ss /. float_of_int (n - 1))
+
+let percentile xs p =
+  assert (Array.length xs > 0);
+  assert (p >= 0. && p <= 100.);
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.of_int (int_of_float rank)) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let median xs = percentile xs 50.
+
+let min_max xs =
+  assert (Array.length xs > 0);
+  Array.fold_left
+    (fun (mn, mx) x -> (Float.min mn x, Float.max mx x))
+    (xs.(0), xs.(0))
+    xs
+
+let ratio a b = if b = 0. then Float.nan else a /. b
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+let summarize xs =
+  let mn, mx = min_max xs in
+  { n = Array.length xs; mean = mean xs; stddev = stddev xs; min = mn; max = mx; median = median xs }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.4g sd=%.4g min=%.4g med=%.4g max=%.4g" s.n s.mean s.stddev s.min
+    s.median s.max
+
+let binomial_rate k n = if n = 0 then 0. else float_of_int k /. float_of_int n
+
+let wilson_interval k n =
+  if n = 0 then (0., 1.)
+  else
+    let z = 1.96 in
+    let nf = float_of_int n in
+    let p = float_of_int k /. nf in
+    let z2 = z *. z in
+    let denom = 1. +. (z2 /. nf) in
+    let center = (p +. (z2 /. (2. *. nf))) /. denom in
+    let half =
+      z /. denom *. sqrt ((p *. (1. -. p) /. nf) +. (z2 /. (4. *. nf *. nf)))
+    in
+    (Float.max 0. (center -. half), Float.min 1. (center +. half))

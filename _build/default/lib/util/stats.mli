@@ -1,0 +1,41 @@
+(** Small descriptive-statistics helpers for experiment reports. *)
+
+val mean : float array -> float
+(** Arithmetic mean. Requires a non-empty array. *)
+
+val stddev : float array -> float
+(** Sample standard deviation (n-1 denominator); 0 for arrays of length < 2. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]], linear interpolation between
+    order statistics. Requires a non-empty array. Does not mutate [xs]. *)
+
+val median : float array -> float
+
+val min_max : float array -> float * float
+(** Requires a non-empty array. *)
+
+val ratio : float -> float -> float
+(** [ratio a b] is [a /. b], or [nan] when [b = 0]. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+val summarize : float array -> summary
+(** Requires a non-empty array. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+
+val binomial_rate : int -> int -> float
+(** [binomial_rate k n] is the observed rate [k/n] (0 when [n=0]). *)
+
+val wilson_interval : int -> int -> float * float
+(** [wilson_interval k n] is the 95% Wilson score interval for a binomial
+    proportion with [k] successes out of [n] trials — used to put error bars
+    on the corruption rates of Table 1. Returns [(0., 1.)] when [n = 0]. *)

@@ -1,0 +1,68 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = {
+  columns : (string * align) list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ~columns = { columns; rows = [] }
+
+let add_row t cells =
+  let n_cols = List.length t.columns in
+  let n = List.length cells in
+  if n > n_cols then invalid_arg "Table.add_row: too many cells";
+  let padded = cells @ List.init (n_cols - n) (fun _ -> "") in
+  t.rows <- Cells padded :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let render t =
+  let headers = List.map fst t.columns in
+  let aligns = Array.of_list (List.map snd t.columns) in
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length headers) in
+  let note_row cells =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  List.iter (function Cells cells -> note_row cells | Separator -> ()) rows;
+  let buf = Buffer.create 1024 in
+  let pad i s =
+    let w = widths.(i) in
+    let gap = w - String.length s in
+    match aligns.(i) with
+    | Left -> s ^ String.make gap ' '
+    | Right -> String.make gap ' ' ^ s
+  in
+  let hline () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let emit cells =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i c ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (pad i c);
+        Buffer.add_string buf " |")
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  hline ();
+  emit headers;
+  hline ();
+  List.iter (function Cells cells -> emit cells | Separator -> hline ()) rows;
+  hline ();
+  Buffer.contents buf
+
+let pp ppf t = Format.pp_print_string ppf (render t)
+
+let cell_int n = if n = 0 then "" else string_of_int n
+
+let cell_float ?(decimals = 1) x = Printf.sprintf "%.*f" decimals x

@@ -1,0 +1,27 @@
+(** ASCII table rendering for experiment reports (Table 1, Table 2, ...). *)
+
+type align = Left | Right
+
+type t
+(** A table under construction. *)
+
+val create : columns:(string * align) list -> t
+(** [create ~columns] starts a table with the given headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a data row. Rows shorter than the header are padded with empty
+    cells; longer rows are an error. *)
+
+val add_separator : t -> unit
+(** Append a horizontal rule between row groups. *)
+
+val render : t -> string
+(** Render with box-drawing in plain ASCII. *)
+
+val pp : Format.formatter -> t -> unit
+
+val cell_int : int -> string
+(** An integer cell; 0 renders as an empty cell (matching the paper's blank
+    entries for fault types with no corruptions). *)
+
+val cell_float : ?decimals:int -> float -> string

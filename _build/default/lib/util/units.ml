@@ -1,0 +1,24 @@
+let kib = 1024
+let mib = 1024 * 1024
+let kb n = n * kib
+let mb n = n * mib
+
+type usec = int
+
+let usec n = n
+let msec n = n * 1000
+let sec n = n * 1_000_000
+let minutes n = n * 60_000_000
+let usec_of_sec_f s = int_of_float (Float.round (s *. 1e6))
+let sec_of_usec u = float_of_int u /. 1e6
+
+let pp_usec ppf u =
+  if u < 1000 then Format.fprintf ppf "%dus" u
+  else if u < 1_000_000 then Format.fprintf ppf "%.2fms" (float_of_int u /. 1e3)
+  else if u < 60_000_000 then Format.fprintf ppf "%.2fs" (float_of_int u /. 1e6)
+  else Format.fprintf ppf "%.1fmin" (float_of_int u /. 6e7)
+
+let pp_bytes ppf n =
+  if n < kib then Format.fprintf ppf "%dB" n
+  else if n < mib then Format.fprintf ppf "%.4gKB" (float_of_int n /. float_of_int kib)
+  else Format.fprintf ppf "%.4gMB" (float_of_int n /. float_of_int mib)

@@ -1,0 +1,33 @@
+(** Size and simulated-time units.
+
+    Simulated time is an [int] count of microseconds; at 2^62 µs the clock
+    covers ~146 millennia, so overflow is not a concern. *)
+
+val kib : int
+val mib : int
+
+val kb : int -> int
+(** [kb n] is [n * 1024] bytes. *)
+
+val mb : int -> int
+(** [mb n] is [n * 1024 * 1024] bytes. *)
+
+type usec = int
+(** Microseconds of simulated time. *)
+
+val usec : int -> usec
+val msec : int -> usec
+val sec : int -> usec
+val minutes : int -> usec
+
+val usec_of_sec_f : float -> usec
+(** Fractional seconds to µs, rounded. *)
+
+val sec_of_usec : usec -> float
+(** µs to fractional seconds. *)
+
+val pp_usec : Format.formatter -> usec -> unit
+(** Human-readable duration: "12.3ms", "4.56s", ... *)
+
+val pp_bytes : Format.formatter -> int -> unit
+(** Human-readable size: "8KB", "1.5MB", ... *)

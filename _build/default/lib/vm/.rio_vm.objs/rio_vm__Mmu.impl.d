@@ -1,0 +1,1 @@
+lib/vm/mmu.ml: Format Page_table Pte Rio_mem Tlb

@@ -1,0 +1,1 @@
+lib/vm/mmu.mli: Format Page_table Rio_mem Tlb

@@ -1,0 +1,1 @@
+lib/vm/pte.ml: Format

@@ -1,0 +1,83 @@
+module Phys_mem = Rio_mem.Phys_mem
+
+type t = {
+  page_table : Page_table.t;
+  tlb : Tlb.t;
+  mutable kseg_through_tlb : bool;
+  mutable protection_faults : int;
+  mutable unmapped_faults : int;
+}
+
+type access = Read | Write | Exec
+
+type fault =
+  | Unmapped of int
+  | Write_protected of int
+
+type result = Ok of Phys_mem.paddr | Fault of fault
+
+let kseg_base = 1 lsl 40
+
+let kseg_addr paddr = kseg_base + paddr
+
+let is_kseg vaddr = vaddr >= kseg_base
+
+let create ~mem_pages ~tlb_entries =
+  {
+    page_table = Page_table.create ~pages:mem_pages;
+    tlb = Tlb.create ~entries:tlb_entries;
+    kseg_through_tlb = false;
+    protection_faults = 0;
+    unmapped_faults = 0;
+  }
+
+let page_table t = t.page_table
+let tlb t = t.tlb
+let kseg_through_tlb t = t.kseg_through_tlb
+let set_kseg_through_tlb t b = t.kseg_through_tlb <- b
+
+let fault_unmapped t vaddr =
+  t.unmapped_faults <- t.unmapped_faults + 1;
+  Fault (Unmapped vaddr)
+
+let fault_protected t vaddr =
+  t.protection_faults <- t.protection_faults + 1;
+  Fault (Write_protected vaddr)
+
+let translate_mapped t ~vaddr ~access =
+  if vaddr < 0 then fault_unmapped t vaddr
+  else begin
+    let vpn = vaddr / Phys_mem.page_size in
+    match Page_table.lookup t.page_table ~vpn with
+    | None -> fault_unmapped t vaddr
+    | Some pte ->
+      if not pte.Pte.valid then fault_unmapped t vaddr
+      else begin
+        Tlb.access t.tlb ~vpn pte;
+        match access with
+        | Write when not pte.Pte.writable -> fault_protected t vaddr
+        | Read | Write | Exec ->
+          Ok (Phys_mem.page_base pte.Pte.pfn + (vaddr mod Phys_mem.page_size))
+      end
+  end
+
+let translate t ~vaddr ~access =
+  if is_kseg vaddr then begin
+    let paddr = vaddr - kseg_base in
+    if t.kseg_through_tlb then translate_mapped t ~vaddr:paddr ~access
+    else if paddr / Phys_mem.page_size < Page_table.pages t.page_table then Ok paddr
+    else fault_unmapped t vaddr
+  end
+  else translate_mapped t ~vaddr ~access
+
+let protection_faults t = t.protection_faults
+let unmapped_faults t = t.unmapped_faults
+
+let reset_stats t =
+  t.protection_faults <- 0;
+  t.unmapped_faults <- 0;
+  Tlb.reset_stats t.tlb
+
+let pp_fault ppf = function
+  | Unmapped a -> Format.fprintf ppf "unmapped address %#x" a
+  | Write_protected a -> Format.fprintf ppf "write to protected address %#x" a

@@ -1,0 +1,57 @@
+(** The memory-management unit: address translation with KSEG semantics.
+
+    Two classes of kernel addresses exist, as on the DEC Alpha (§2.1):
+
+    - {b Mapped} addresses (below [kseg_base]) are translated through the
+      page table; invalid pages fault and write-protected pages trap on
+      stores. Identity mapping: virtual page n = physical frame n.
+    - {b KSEG} addresses ([kseg_base + phys]) address physical memory
+      directly. By default they {e bypass} the TLB and all protection — the
+      hole that makes the UBC corruptible. Rio's protection flips the ABOX
+      control-register bit ([set_kseg_through_tlb true]) so KSEG accesses are
+      mapped through the page table and respect write-protection, at
+      essentially no cost. *)
+
+type t
+
+type access = Read | Write | Exec
+
+type fault =
+  | Unmapped of int  (** Invalid or out-of-range translation (illegal address). *)
+  | Write_protected of int
+      (** Store to a page whose PTE denies writes — Rio's protection trap. *)
+
+type result = Ok of Rio_mem.Phys_mem.paddr | Fault of fault
+
+val kseg_base : int
+(** 2^40 — well above any mapped virtual address in this model. *)
+
+val kseg_addr : Rio_mem.Phys_mem.paddr -> int
+(** The KSEG alias of a physical address. *)
+
+val is_kseg : int -> bool
+
+val create : mem_pages:int -> tlb_entries:int -> t
+
+val page_table : t -> Page_table.t
+
+val tlb : t -> Tlb.t
+
+val kseg_through_tlb : t -> bool
+
+val set_kseg_through_tlb : t -> bool -> unit
+(** The ABOX CPU-control-register bit: when on, KSEG addresses translate
+    through the page table (protection applies); when off, they bypass it. *)
+
+val translate : t -> vaddr:int -> access:access -> result
+(** Translate one byte address. Accesses that span pages must be translated
+    per page by the caller (the CPU splits them). *)
+
+val protection_faults : t -> int
+(** Count of [Write_protected] faults returned so far. *)
+
+val unmapped_faults : t -> int
+
+val reset_stats : t -> unit
+
+val pp_fault : Format.formatter -> fault -> unit

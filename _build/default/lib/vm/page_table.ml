@@ -1,0 +1,29 @@
+type t = { entries : Pte.t array }
+
+let create ~pages =
+  { entries = Array.init pages (fun pfn -> Pte.make ~pfn ~valid:true ~writable:true) }
+
+let pages t = Array.length t.entries
+
+let lookup t ~vpn =
+  if vpn >= 0 && vpn < Array.length t.entries then Some t.entries.(vpn) else None
+
+let set_valid t ~vpn v =
+  match lookup t ~vpn with
+  | Some pte -> pte.Pte.valid <- v
+  | None -> invalid_arg "Page_table.set_valid: vpn out of range"
+
+let set_writable t ~vpn w =
+  match lookup t ~vpn with
+  | Some pte -> pte.Pte.writable <- w
+  | None -> invalid_arg "Page_table.set_writable: vpn out of range"
+
+let is_writable t ~vpn =
+  match lookup t ~vpn with
+  | Some pte -> pte.Pte.valid && pte.Pte.writable
+  | None -> false
+
+let protected_count t =
+  Array.fold_left
+    (fun acc (pte : Pte.t) -> if pte.valid && not pte.writable then acc + 1 else acc)
+    0 t.entries

@@ -1,0 +1,26 @@
+(** The kernel's page table.
+
+    The simulated kernel runs identity-mapped: virtual page [n] maps to
+    physical frame [n] when valid. What matters for Rio is not fancy address
+    spaces but the per-page [valid] and [writable] bits — they are what turn
+    wild stores into traps (paper §2.1). *)
+
+type t
+
+val create : pages:int -> t
+(** All entries valid and writable initially (a permissive monolithic
+    kernel), identity-mapped. *)
+
+val pages : t -> int
+
+val lookup : t -> vpn:int -> Pte.t option
+(** [None] when [vpn] is outside the table — an illegal address. *)
+
+val set_valid : t -> vpn:int -> bool -> unit
+val set_writable : t -> vpn:int -> bool -> unit
+
+val is_writable : t -> vpn:int -> bool
+(** [false] also when invalid or out of range. *)
+
+val protected_count : t -> int
+(** Number of valid, non-writable entries (for tests and reports). *)

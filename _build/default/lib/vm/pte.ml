@@ -1,0 +1,12 @@
+type t = {
+  pfn : int;
+  mutable valid : bool;
+  mutable writable : bool;
+}
+
+let make ~pfn ~valid ~writable = { pfn; valid; writable }
+
+let pp ppf t =
+  Format.fprintf ppf "pfn=%d%s%s" t.pfn
+    (if t.valid then " V" else " -")
+    (if t.writable then "W" else "-")

@@ -1,0 +1,11 @@
+(** A page-table entry. *)
+
+type t = {
+  pfn : int;  (** Physical frame this entry maps to. *)
+  mutable valid : bool;
+  mutable writable : bool;
+}
+
+val make : pfn:int -> valid:bool -> writable:bool -> t
+
+val pp : Format.formatter -> t -> unit

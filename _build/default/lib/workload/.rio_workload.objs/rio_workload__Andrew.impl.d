@@ -1,0 +1,1 @@
+lib/workload/andrew.ml: File_tree List Script

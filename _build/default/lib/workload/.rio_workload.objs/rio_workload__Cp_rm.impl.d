@@ -1,0 +1,1 @@
+lib/workload/cp_rm.ml: File_tree List Rio_fs Script

@@ -1,0 +1,1 @@
+lib/workload/cp_rm.mli: Rio_fs

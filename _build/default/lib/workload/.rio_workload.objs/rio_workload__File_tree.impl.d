@@ -1,0 +1,1 @@
+lib/workload/file_tree.ml: List Printf Rio_util Script String

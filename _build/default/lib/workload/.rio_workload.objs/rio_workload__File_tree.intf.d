@@ -1,0 +1,1 @@
+lib/workload/file_tree.mli: Script

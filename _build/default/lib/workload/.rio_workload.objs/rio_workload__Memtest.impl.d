@@ -1,0 +1,1 @@
+lib/workload/memtest.ml: Bytes Hashtbl List Printf Rio_fs Rio_util String

@@ -1,0 +1,1 @@
+lib/workload/memtest.mli: Rio_fs

@@ -1,0 +1,1 @@
+lib/workload/script.ml: Array Bytes Format List Rio_fs Rio_sim Rio_util

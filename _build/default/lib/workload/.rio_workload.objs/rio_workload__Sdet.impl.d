@@ -1,0 +1,1 @@
+lib/workload/sdet.ml: List Printf Rio_util Script

@@ -1,0 +1,1 @@
+lib/workload/sdet.mli: Rio_fs Script

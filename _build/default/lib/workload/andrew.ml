@@ -1,0 +1,63 @@
+type t = {
+  tree : File_tree.t;
+  root : string;
+  scale : float;
+}
+
+let create ?(scale = 1.0) ?(seed = 21) ?(root = "/andrew") () =
+  let total_bytes = int_of_float (scale *. 1_100_000.) in
+  let spec =
+    {
+      (File_tree.default ~root:(root ^ "/src") ~total_bytes) with
+      File_tree.seed;
+      files_per_dir = 6;
+      dirs_per_level = 2;
+      depth = 2;
+    }
+  in
+  { tree = File_tree.generate spec; root; scale }
+
+let bytes t = File_tree.total_bytes t.tree
+
+let ops t =
+  let src_root = t.root ^ "/src" in
+  let copy_root = t.root ^ "/copy" in
+  let copy_tree = File_tree.rebase t.tree ~src_root ~dst_root:copy_root in
+  (* Phase 1+2: MakeDir + Copy (the source is created here: the benchmark
+     starts from a pristine tree each run). *)
+  let make_phase = (Script.Mkdir t.root :: File_tree.create_ops t.tree) in
+  let copy_phase = File_tree.copy_ops t.tree ~src_root ~dst_root:copy_root in
+  (* Phase 3: ScanDir — stat every file and directory (find/ls/du). *)
+  let scan_phase =
+    List.map (fun d -> Script.Stat d) copy_tree.File_tree.dirs
+    @ List.map (fun (p, _, _) -> Script.Stat p) copy_tree.File_tree.files
+  in
+  (* Phase 4: ReadAll — grep and wc read every byte. *)
+  let read_phase =
+    List.concat_map
+      (fun (p, _, _) -> [ Script.Read_whole p; Script.Cpu 800 ])
+      copy_tree.File_tree.files
+  in
+  (* Phase 5: Make — compile each source file (CPU-dominated), write its
+     object, then "link" an executable. *)
+  let compile_us_per_file =
+    (* ~11 s of compilation at scale 1 spread over the tree. *)
+    let files = max 1 (List.length t.tree.File_tree.files) in
+    int_of_float (t.scale *. 11_000_000.) / files
+  in
+  let compile_phase =
+    List.concat_map
+      (fun (p, seed, size) ->
+        let obj = p ^ ".o" in
+        Script.Cpu compile_us_per_file
+        :: Script.write_file_ops obj ~seed:(seed lxor 0xABCD) ~len:((size / 2) + 256))
+      copy_tree.File_tree.files
+    @ (Script.Cpu 500_000
+      :: Script.write_file_ops (t.root ^ "/a.out") ~seed:0xBEEF
+           ~len:(min 400_000 (File_tree.total_bytes t.tree / 4)))
+  in
+  make_phase @ copy_phase @ scan_phase @ read_phase @ compile_phase
+
+let runner t = Script.runner (ops t)
+
+let run t fs = Script.run_all (runner t) fs

@@ -1,0 +1,22 @@
+(** The Andrew benchmark model (§4): "creates and copies a source hierarchy;
+    examines the hierarchy using find, ls, du, grep, and wc; and compiles
+    the source hierarchy" — dominated by CPU-intensive compilation.
+
+    Five phases: MakeDir, Copy, ScanDir (stat), ReadAll (grep/wc), Make
+    (compile: CPU burn plus object-file writes). *)
+
+type t
+
+val create : ?scale:float -> ?seed:int -> ?root:string -> unit -> t
+(** [scale] multiplies the source-tree size and compile time (1.0 ≈ the
+    classic benchmark's ~2 MB tree and ~11 s of compilation). [root] lets
+    several concurrent instances run in disjoint directories. *)
+
+val ops : t -> Script.op list
+(** The full five-phase operation stream (one runnable instance). *)
+
+val run : t -> Rio_fs.Fs.t -> unit
+
+val runner : t -> Script.runner
+
+val bytes : t -> int

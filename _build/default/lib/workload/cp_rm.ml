@@ -1,0 +1,29 @@
+type t = {
+  tree : File_tree.t;
+  src : string;
+  dst : string;
+}
+
+let create ?(total_bytes = 40 * 1024 * 1024) ?(seed = 7) () =
+  let src = "/usr/src" in
+  let spec = { (File_tree.default ~root:src ~total_bytes) with File_tree.seed } in
+  { tree = File_tree.generate spec; src; dst = "/tmp/src-copy" }
+
+let source_root t = t.src
+let dest_root t = t.dst
+
+let run_ops ops fs = Script.run_all (Script.runner ops) fs
+
+let setup t fs =
+  Rio_fs.Fs.mkdir fs "/usr";
+  Rio_fs.Fs.mkdir fs "/tmp";
+  run_ops (File_tree.create_ops t.tree) fs
+
+let run_cp t fs = run_ops (File_tree.copy_ops t.tree ~src_root:t.src ~dst_root:t.dst) fs
+
+let run_rm t fs =
+  let copy = File_tree.rebase t.tree ~src_root:t.src ~dst_root:t.dst in
+  run_ops (File_tree.remove_ops copy) fs
+
+let bytes t = File_tree.total_bytes t.tree
+let file_count t = List.length t.tree.File_tree.files

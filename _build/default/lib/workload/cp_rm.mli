@@ -1,0 +1,23 @@
+(** cp+rm: "recursively copies then recursively removes the Digital Unix
+    source tree (40 MB)" (§4). The source tree is synthetic
+    ({!File_tree}); the timed portion is the copy and the remove, reported
+    separately as in Table 2's "(cp+rm)" split. *)
+
+type t
+
+val create : ?total_bytes:int -> ?seed:int -> unit -> t
+(** Default 40 MB, as in the paper. *)
+
+val source_root : t -> string
+val dest_root : t -> string
+
+val setup : t -> Rio_fs.Fs.t -> unit
+(** Materialize the source tree (untimed by the harness convention: measure
+    deltas around {!run_cp}/{!run_rm}). *)
+
+val run_cp : t -> Rio_fs.Fs.t -> unit
+val run_rm : t -> Rio_fs.Fs.t -> unit
+(** Removes the copy (not the source). *)
+
+val bytes : t -> int
+val file_count : t -> int

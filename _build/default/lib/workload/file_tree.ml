@@ -1,0 +1,99 @@
+module Prng = Rio_util.Prng
+
+type spec = {
+  seed : int;
+  root : string;
+  total_bytes : int;
+  files_per_dir : int;
+  dirs_per_level : int;
+  depth : int;
+}
+
+let default ~root ~total_bytes =
+  { seed = 7; root; total_bytes; files_per_dir = 12; dirs_per_level = 4; depth = 3 }
+
+type t = {
+  dirs : string list;
+  files : (string * int * int) list;
+}
+
+(* Source-file size: mostly a few KB, occasional large file — a clipped
+   geometric mix resembling measured source trees. *)
+let file_size prng =
+  let roll = Prng.int prng 100 in
+  if roll < 60 then Prng.int_in prng 512 4096
+  else if roll < 90 then Prng.int_in prng 4096 10_240
+  else Prng.int_in prng 10_240 40_960
+
+(* Budget by 8 KB-block footprint (what du reports), since the simulated
+   FS has no sub-block fragments. *)
+let footprint size = (size + 8191) / 8192 * 8192
+
+let generate spec =
+  let prng = Prng.create ~seed:spec.seed in
+  let dirs = ref [] and files = ref [] in
+  let budget = ref spec.total_bytes in
+  let rec build dir level =
+    dirs := dir :: !dirs;
+    let n_files = spec.files_per_dir + Prng.int prng (max 1 (spec.files_per_dir / 2)) in
+    for i = 0 to n_files - 1 do
+      if !budget > 0 then begin
+        let size = max 1 (min (file_size prng) !budget) in
+        budget := !budget - footprint size;
+        let name = Printf.sprintf "%s/f%02d.c" dir i in
+        files := (name, Prng.int prng 1_000_000, size) :: !files
+      end
+    done;
+    if level < spec.depth && !budget > 0 then
+      for d = 0 to spec.dirs_per_level - 1 do
+        if !budget > 0 then build (Printf.sprintf "%s/d%d" dir d) (level + 1)
+      done
+  in
+  build spec.root 0;
+  (* Keep generating wider trees until the byte budget is met. *)
+  let extra = ref 0 in
+  while !budget > 0 do
+    let dir = Printf.sprintf "%s/x%d" spec.root !extra in
+    incr extra;
+    dirs := dir :: !dirs;
+    let n = 16 in
+    for i = 0 to n - 1 do
+      if !budget > 0 then begin
+        let size = max 1 (min (file_size prng) !budget) in
+        budget := !budget - footprint size;
+        files := (Printf.sprintf "%s/f%02d.c" dir i, Prng.int prng 1_000_000, size) :: !files
+      end
+    done
+  done;
+  { dirs = List.rev !dirs; files = List.rev !files }
+
+let total_bytes t = List.fold_left (fun acc (_, _, size) -> acc + size) 0 t.files
+
+let create_ops t =
+  List.map (fun d -> Script.Mkdir d) t.dirs
+  @ List.concat_map (fun (path, seed, len) -> Script.write_file_ops path ~seed ~len) t.files
+
+let swap_root path ~src_root ~dst_root =
+  if String.length path >= String.length src_root
+     && String.sub path 0 (String.length src_root) = src_root
+  then dst_root ^ String.sub path (String.length src_root) (String.length path - String.length src_root)
+  else path
+
+let rebase t ~src_root ~dst_root =
+  {
+    dirs = List.map (fun d -> swap_root d ~src_root ~dst_root) t.dirs;
+    files = List.map (fun (p, s, n) -> (swap_root p ~src_root ~dst_root, s, n)) t.files;
+  }
+
+let copy_ops t ~src_root ~dst_root =
+  let dst = rebase t ~src_root ~dst_root in
+  List.map (fun d -> Script.Mkdir d) dst.dirs
+  @ List.concat_map
+      (fun ((src_path, _, len), (dst_path, seed, _)) ->
+        (* cp reads the source then writes the destination in chunks. *)
+        (Script.Read_whole src_path :: Script.write_file_ops dst_path ~seed ~len))
+      (List.combine t.files dst.files)
+
+let remove_ops t =
+  List.map (fun (path, _, _) -> Script.Unlink path) t.files
+  @ List.rev_map (fun d -> Script.Rmdir d) t.dirs

@@ -1,0 +1,40 @@
+(** Synthetic source-tree generator.
+
+    Stands in for the Digital Unix source tree (cp+rm's 40 MB) and the
+    Andrew benchmark's source hierarchy, which we cannot ship. Shapes match
+    early-90s source trees: a few levels of nested directories, many small
+    files with a long tail (sizes drawn from a clipped geometric mix). *)
+
+type spec = {
+  seed : int;
+  root : string;
+  total_bytes : int;  (** Target aggregate file size. *)
+  files_per_dir : int;
+  dirs_per_level : int;
+  depth : int;
+}
+
+val default : root:string -> total_bytes:int -> spec
+
+type t = {
+  dirs : string list;  (** Creation order (parents first). *)
+  files : (string * int * int) list;  (** (path, content seed, size). *)
+}
+
+val generate : spec -> t
+
+val total_bytes : t -> int
+
+val create_ops : t -> Script.op list
+(** mkdir + write every file (the untimed setup, or the timed copy
+    destination). *)
+
+val copy_ops : t -> src_root:string -> dst_root:string -> Script.op list
+(** Read each file from under [src_root] and write it under [dst_root] —
+    the timed half of cp+rm. *)
+
+val remove_ops : t -> Script.op list
+(** Unlink every file, rmdir every directory (leaves first). *)
+
+val rebase : t -> src_root:string -> dst_root:string -> t
+(** The same tree rooted elsewhere. *)

@@ -1,0 +1,347 @@
+module Fs = Rio_fs.Fs
+module Prng = Rio_util.Prng
+module Pattern = Rio_util.Pattern
+
+type config = {
+  seed : int;
+  dir : string;
+  max_files : int;
+  max_file_bytes : int;
+  fsync_every_write : bool;
+}
+
+let default_config =
+  { seed = 11; dir = "/memtest"; max_files = 48; max_file_bytes = 64 * 1024;
+    fsync_every_write = false }
+
+type t = {
+  config : config;
+  prng : Prng.t;
+  files : (string, bytes ref) Hashtbl.t;
+  mutable dirs : string list; (* creation order; config.dir first *)
+  mutable counter : int;
+  mutable steps : int;
+  mutable live_mismatches : int;
+}
+
+let create config =
+  {
+    config;
+    prng = Prng.create ~seed:config.seed;
+    files = Hashtbl.create 64;
+    dirs = [ config.dir ];
+    counter = 0;
+    steps = 0;
+    live_mismatches = 0;
+  }
+
+let steps_done t = t.steps
+let live_mismatches t = t.live_mismatches
+let file_count t = Hashtbl.length t.files
+let total_model_bytes t = Hashtbl.fold (fun _ b acc -> acc + Bytes.length !b) t.files 0
+
+let file_list t = List.sort compare (Hashtbl.fold (fun p _ acc -> p :: acc) t.files [])
+
+let pick_file t =
+  match file_list t with
+  | [] -> None
+  | files -> Some (List.nth files (Prng.int t.prng (List.length files)))
+
+let pick_dir t = List.nth t.dirs (Prng.int t.prng (List.length t.dirs))
+
+let fresh_name t prefix parent =
+  t.counter <- t.counter + 1;
+  Printf.sprintf "%s/%s%d" parent prefix t.counter
+
+(* The operation plan for one step: drawn from the PRNG and the model only,
+   never from file-system results, so replay is exact. *)
+type plan =
+  | P_create of string * int * int (* path, pattern seed, len *)
+  | P_overwrite of string * int * int * int (* path, offset, seed, len *)
+  | P_append of string * int * int
+  | P_delete of string
+  | P_mkdir of string
+  | P_rmdir of string
+  | P_verify of string * int * int (* path, offset, len *)
+  | P_rename of string * string
+  | P_noop
+
+let plan_step t =
+  let roll = Prng.int t.prng 100 in
+  let want_create = Hashtbl.length t.files < 3 in
+  if want_create || roll < 18 then begin
+    if Hashtbl.length t.files >= t.config.max_files then
+      (* At the cap, recycle: delete instead. *)
+      match pick_file t with Some p -> P_delete p | None -> P_noop
+    else begin
+      let parent = pick_dir t in
+      let path = fresh_name t "f" parent in
+      let len = Prng.int_in t.prng 1 t.config.max_file_bytes in
+      P_create (path, Prng.int t.prng 1_000_000, len)
+    end
+  end
+  else if roll < 36 then begin
+    match pick_file t with
+    | None -> P_noop
+    | Some path ->
+      let cur = Bytes.length !(Hashtbl.find t.files path) in
+      if cur = 0 then P_noop
+      else begin
+        let offset = Prng.int t.prng cur in
+        let len = 1 + Prng.int t.prng (max 1 (cur - offset)) in
+        P_overwrite (path, offset, Prng.int t.prng 1_000_000, len)
+      end
+  end
+  else if roll < 46 then begin
+    match pick_file t with
+    | None -> P_noop
+    | Some path ->
+      let cur = Bytes.length !(Hashtbl.find t.files path) in
+      let len = Prng.int_in t.prng 1 (max 1 (t.config.max_file_bytes - cur)) in
+      P_append (path, Prng.int t.prng 1_000_000, len)
+  end
+  else if roll < 56 then (match pick_file t with Some p -> P_delete p | None -> P_noop)
+  else if roll < 62 then
+    if List.length t.dirs < 8 then P_mkdir (fresh_name t "d" (List.hd t.dirs)) else P_noop
+  else if roll < 66 then begin
+    (* Remove an empty leaf directory (never the root test dir). *)
+    let empties =
+      List.filter
+        (fun d ->
+          d <> t.config.dir
+          && not
+               (Hashtbl.fold
+                  (fun p _ acc -> acc || String.length p > String.length d
+                                  && String.sub p 0 (String.length d + 1) = d ^ "/")
+                  t.files false))
+        t.dirs
+    in
+    match empties with
+    | [] -> P_noop
+    | ds -> P_rmdir (List.nth ds (Prng.int t.prng (List.length ds)))
+  end
+  else if roll < 88 then begin
+    match pick_file t with
+    | None -> P_noop
+    | Some path ->
+      let cur = Bytes.length !(Hashtbl.find t.files path) in
+      if cur = 0 then P_noop
+      else begin
+        let offset = Prng.int t.prng cur in
+        let len = 1 + Prng.int t.prng (max 1 (cur - offset)) in
+        P_verify (path, offset, len)
+      end
+  end
+  else begin
+    match pick_file t with
+    | None -> P_noop
+    | Some src ->
+      let dst = fresh_name t "r" (pick_dir t) in
+      P_rename (src, dst)
+  end
+
+let plan_touches = function
+  | P_create (p, _, _) | P_delete p | P_verify (p, _, _) -> [ p ]
+  | P_overwrite (p, _, _, _) | P_append (p, _, _) -> [ p ]
+  | P_mkdir d | P_rmdir d -> [ d ]
+  | P_rename (a, b) -> [ a; b ]
+  | P_noop -> []
+
+(* Apply a plan to the model. *)
+let apply_model t = function
+  | P_create (path, seed, len) -> Hashtbl.replace t.files path (ref (Pattern.fill ~seed ~len))
+  | P_overwrite (path, offset, seed, len) ->
+    let content = Hashtbl.find t.files path in
+    Bytes.blit (Pattern.fill ~seed ~len) 0 !content offset len
+  | P_append (path, seed, len) ->
+    let content = Hashtbl.find t.files path in
+    let grown = Bytes.create (Bytes.length !content + len) in
+    Bytes.blit !content 0 grown 0 (Bytes.length !content);
+    Bytes.blit (Pattern.fill ~seed ~len) 0 grown (Bytes.length !content) len;
+    content := grown
+  | P_delete path -> Hashtbl.remove t.files path
+  | P_mkdir d -> t.dirs <- t.dirs @ [ d ]
+  | P_rmdir d -> t.dirs <- List.filter (fun x -> x <> d) t.dirs
+  | P_verify (_, _, _) | P_noop -> ()
+  | P_rename (src, dst) ->
+    let content = Hashtbl.find t.files src in
+    Hashtbl.remove t.files src;
+    Hashtbl.replace t.files dst content
+
+(* Apply a plan to the live file system. *)
+let apply_fs t fs plan =
+  let maybe_fsync fd = if t.config.fsync_every_write then Fs.fsync fs fd in
+  match plan with
+  | P_create (path, seed, len) ->
+    let fd = Fs.create fs path in
+    Fs.write fs fd (Pattern.fill ~seed ~len);
+    maybe_fsync fd;
+    Fs.close fs fd
+  | P_overwrite (path, offset, seed, len) ->
+    let fd = Fs.open_file fs path in
+    Fs.pwrite fs fd ~offset (Pattern.fill ~seed ~len);
+    maybe_fsync fd;
+    Fs.close fs fd
+  | P_append (path, seed, len) ->
+    let fd = Fs.open_file fs path in
+    let size = Fs.fd_size fs fd in
+    Fs.pwrite fs fd ~offset:size (Pattern.fill ~seed ~len);
+    maybe_fsync fd;
+    Fs.close fs fd
+  | P_delete path -> Fs.unlink fs path
+  | P_mkdir d -> Fs.mkdir fs d
+  | P_rmdir d -> Fs.rmdir fs d
+  | P_verify (path, offset, len) ->
+    let fd = Fs.open_file fs path in
+    let got = Fs.pread fs fd ~offset ~len in
+    Fs.close fs fd;
+    let expect = Bytes.sub !(Hashtbl.find t.files path) offset len in
+    if not (Bytes.equal got expect) then t.live_mismatches <- t.live_mismatches + 1
+  | P_rename (src, dst) -> Fs.rename fs src dst
+  | P_noop -> ()
+
+let step t ?fs () =
+  let plan = plan_step t in
+  (* Apply to the file system FIRST: a crash mid-operation must leave the
+     model at the pre-step state (the status file is written after the
+     step completes). *)
+  (match fs with
+  | Some fs ->
+    if t.steps = 0 && not (Fs.exists fs t.config.dir) then Fs.mkdir fs t.config.dir;
+    apply_fs t fs plan
+  | None -> ());
+  apply_model t plan;
+  t.steps <- t.steps + 1
+
+let replay config ~steps =
+  let t = create config in
+  for _ = 1 to steps do
+    step t ()
+  done;
+  t
+
+let touched_by_next_step t =
+  (* Plan on a deep copy so [t]'s PRNG and counters do not advance. *)
+  let copy =
+    {
+      t with
+      prng = Prng.copy t.prng;
+      files = Hashtbl.copy t.files;
+    }
+  in
+  plan_touches (plan_step copy)
+
+let loss_against_fs t fs =
+  let files = ref 0 and bytes = ref 0 in
+  List.iter
+    (fun path ->
+      let expect = !(Hashtbl.find t.files path) in
+      match Fs.read_file fs path with
+      | got ->
+        let lost = ref 0 in
+        let n = max (Bytes.length expect) (Bytes.length got) in
+        for i = 0 to n - 1 do
+          let a = if i < Bytes.length expect then Bytes.get expect i else '\255' in
+          let b = if i < Bytes.length got then Bytes.get got i else '\255' in
+          if a <> b then incr lost
+        done;
+        if !lost > 0 then begin
+          incr files;
+          bytes := !bytes + !lost
+        end
+      | exception Rio_fs.Fs_types.Fs_error _ ->
+        incr files;
+        bytes := !bytes + Bytes.length expect)
+    (file_list t);
+  (!files, !bytes)
+
+(* Rolling back [later] to [earlier] (a checkpoint) loses everything written
+   or created in between; count it. *)
+let loss_between ~earlier ~later =
+  let files = ref 0 and bytes = ref 0 in
+  Hashtbl.iter
+    (fun path content ->
+      match Hashtbl.find_opt earlier.files path with
+      | None ->
+        incr files;
+        bytes := !bytes + Bytes.length !content
+      | Some old ->
+        if not (Bytes.equal !old !content) then begin
+          incr files;
+          let n = max (Bytes.length !old) (Bytes.length !content) in
+          let diff = ref 0 in
+          for i = 0 to n - 1 do
+            let a = if i < Bytes.length !old then Bytes.get !old i else '\255' in
+            let b = if i < Bytes.length !content then Bytes.get !content i else '\255' in
+            if a <> b then incr diff
+          done;
+          bytes := !bytes + !diff
+        end)
+    later.files;
+  (!files, !bytes)
+
+type discrepancy =
+  | Missing_file of string
+  | Extra_file of string
+  | Content_mismatch of string
+  | Missing_dir of string
+  | Extra_dir of string
+  | Unreadable of string * string
+
+let discrepancy_to_string = function
+  | Missing_file p -> Printf.sprintf "missing file %s" p
+  | Extra_file p -> Printf.sprintf "unexpected file %s" p
+  | Content_mismatch p -> Printf.sprintf "content mismatch in %s" p
+  | Missing_dir p -> Printf.sprintf "missing directory %s" p
+  | Extra_dir p -> Printf.sprintf "unexpected directory %s" p
+  | Unreadable (p, e) -> Printf.sprintf "unreadable %s (%s)" p e
+
+(* Recursively list the file system under [dir]. *)
+let rec walk_fs fs dir acc_files acc_dirs =
+  match Fs.readdir fs dir with
+  | exception Rio_fs.Fs_types.Fs_error _ -> (acc_files, acc_dirs)
+  | names ->
+    List.fold_left
+      (fun (fa, da) name ->
+        let path = if dir = "/" then "/" ^ name else dir ^ "/" ^ name in
+        match Fs.stat fs path with
+        | exception Rio_fs.Fs_types.Fs_error _ -> (fa, da)
+        | st ->
+          (match st.Fs.st_ftype with
+          | Rio_fs.Fs_types.Regular | Rio_fs.Fs_types.Symlink -> (path :: fa, da)
+          | Rio_fs.Fs_types.Directory -> walk_fs fs path fa (path :: da)))
+      (acc_files, acc_dirs) names
+
+let compare_with_fs t fs ~exempt =
+  let exempted p = List.mem p exempt in
+  let out = ref [] in
+  let note d = out := d :: !out in
+  (* Model -> fs: every model file must exist with identical contents. *)
+  List.iter
+    (fun path ->
+      if not (exempted path) then begin
+        let expect = !(Hashtbl.find t.files path) in
+        match Fs.read_file fs path with
+        | got -> if not (Bytes.equal got expect) then note (Content_mismatch path)
+        | exception Rio_fs.Fs_types.Fs_error msg ->
+          if Fs.exists fs path then note (Unreadable (path, msg)) else note (Missing_file path)
+      end)
+    (file_list t);
+  List.iter
+    (fun d ->
+      if not (exempted d) then
+        match Fs.stat fs d with
+        | st -> if st.Fs.st_ftype <> Rio_fs.Fs_types.Directory then note (Missing_dir d)
+        | exception Rio_fs.Fs_types.Fs_error _ -> note (Missing_dir d))
+    t.dirs;
+  (* fs -> model: nothing unexpected inside the test directory. *)
+  if Fs.exists fs t.config.dir then begin
+    let fs_files, fs_dirs = walk_fs fs t.config.dir [] [ t.config.dir ] in
+    List.iter
+      (fun p -> if (not (Hashtbl.mem t.files p)) && not (exempted p) then note (Extra_file p))
+      fs_files;
+    List.iter
+      (fun d -> if (not (List.mem d t.dirs)) && not (exempted d) then note (Extra_dir d))
+      fs_dirs
+  end;
+  List.rev !out

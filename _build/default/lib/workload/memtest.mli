@@ -1,0 +1,78 @@
+(** memTest: the repeatable corruption-detecting workload (§3.2).
+
+    "memTest generates a repeatable stream of file and directory creations,
+    deletions, reads, and writes ... Actions and data in memTest are
+    controlled by a pseudo-random number generator. After each step, memTest
+    records its progress in a status file ... After the system crashes, we
+    ... run memTest until it reaches the point when the system crashed. This
+    reconstructs the correct contents of the test directory at the time of
+    the crash, and we then compare."
+
+    Here the generator doubles as the model: every step mutates an in-OCaml
+    model of the directory tree and (when attached) the file system, drawing
+    identical PRNG streams either way. Replaying [steps] steps with no file
+    system reconstructs the expected state exactly. The campaign's record of
+    completed steps is the "status file". *)
+
+type config = {
+  seed : int;
+  dir : string;  (** Test directory (created by {!create} when attached). *)
+  max_files : int;
+  max_file_bytes : int;
+  fsync_every_write : bool;
+      (** The disk-based baseline: fsync after every write, giving
+          write-through semantics (§3.3). *)
+}
+
+val default_config : config
+(** seed 11, "/memtest", 48 files up to 64 KB, no fsync. *)
+
+type t
+
+val create : config -> t
+
+val steps_done : t -> int
+
+val live_mismatches : t -> int
+(** Read-and-verify steps that saw wrong data while the system was still
+    running. *)
+
+val step : t -> ?fs:Rio_fs.Fs.t -> unit -> unit
+(** One workload step. With [fs], applies to both model and file system;
+    without, model only (replay). May raise the file system's errors — a
+    crash mid-step leaves the model at the pre-step state, which is exactly
+    what reconstruction needs. *)
+
+val replay : config -> steps:int -> t
+(** Reconstruct the model after [steps] completed steps. *)
+
+val touched_by_next_step : t -> string list
+(** Paths the {e next} step would touch — the in-flight operation at crash
+    time, exempt from the post-crash comparison. Does not advance [t]. *)
+
+val loss_between : earlier:t -> later:t -> int * int
+(** [(files, bytes)] that rolling the [later] state back to the [earlier]
+    checkpoint would lose — the cost of checkpoint-grained recovery
+    (Phoenix, §6 of the paper). *)
+
+val loss_against_fs : t -> Rio_fs.Fs.t -> int * int
+(** [(files_affected, bytes_lost)] against the model — the delayed-write
+    loss metric of the delay-sweep ablation. *)
+
+type discrepancy =
+  | Missing_file of string
+  | Extra_file of string
+  | Content_mismatch of string
+  | Missing_dir of string
+  | Extra_dir of string
+  | Unreadable of string * string  (** path, error *)
+
+val compare_with_fs : t -> Rio_fs.Fs.t -> exempt:string list -> discrepancy list
+(** Walk the model and the file system and report every difference outside
+    the exempt set. Empty = no corruption. *)
+
+val discrepancy_to_string : discrepancy -> string
+
+val file_count : t -> int
+
+val total_model_bytes : t -> int

@@ -1,0 +1,151 @@
+module Fs = Rio_fs.Fs
+module Engine = Rio_sim.Engine
+
+type op =
+  | Mkdir of string
+  | Open_write of string
+  | Open_read of string
+  | Write_chunk of bytes
+  | Read_chunk of int
+  | Close
+  | Fsync
+  | Unlink of string
+  | Rmdir of string
+  | Stat of string
+  | Rename of string * string
+  | Read_whole of string
+  | Cpu of int
+
+let chunk_size = 8192
+
+let write_file_ops path ~seed ~len =
+  let rec chunks offset acc =
+    if offset >= len then List.rev acc
+    else begin
+      let n = min chunk_size (len - offset) in
+      chunks (offset + n) (Write_chunk (Rio_util.Pattern.fill_at ~seed ~offset ~len:n) :: acc)
+    end
+  in
+  (Open_write path :: chunks 0 []) @ [ Close ]
+
+type runner = {
+  ops : op array;
+  mutable next : int;
+  mutable fd : Fs.fd option;
+}
+
+let runner ops = { ops = Array.of_list ops; next = 0; fd = None }
+
+let finished r = r.next >= Array.length r.ops
+
+let ops_total r = Array.length r.ops
+let ops_done r = r.next
+
+let current_fd r =
+  match r.fd with
+  | Some fd -> fd
+  | None -> Rio_fs.Fs_types.err "script: no open file"
+
+let exec r fs op =
+  match op with
+  | Mkdir path -> Fs.mkdir fs path
+  | Open_write path -> r.fd <- Some (Fs.create fs path)
+  | Open_read path -> r.fd <- Some (Fs.open_file fs path)
+  | Write_chunk data -> Fs.write fs (current_fd r) data
+  | Read_chunk len -> ignore (Fs.read fs (current_fd r) ~len)
+  | Close ->
+    Fs.close fs (current_fd r);
+    r.fd <- None
+  | Fsync -> Fs.fsync fs (current_fd r)
+  | Unlink path -> Fs.unlink fs path
+  | Rmdir path -> Fs.rmdir fs path
+  | Stat path -> ignore (Fs.stat fs path)
+  | Rename (src, dst) -> Fs.rename fs src dst
+  | Read_whole path -> ignore (Fs.read_file fs path)
+  | Cpu us -> Engine.advance_by (Fs.engine fs) us
+
+let step r fs =
+  if finished r then false
+  else begin
+    let op = r.ops.(r.next) in
+    r.next <- r.next + 1;
+    exec r fs op;
+    true
+  end
+
+let run_all r fs = while step r fs do () done
+
+let interleave_with runners fs ~every callback =
+  let count = ref 0 in
+  let progressed = ref true in
+  while !progressed do
+    progressed := false;
+    List.iter
+      (fun r ->
+        if step r fs then begin
+          progressed := true;
+          incr count;
+          if !count mod every = 0 then callback ()
+        end)
+      runners
+  done
+
+let interleave runners fs = interleave_with runners fs ~every:max_int (fun () -> ())
+
+type stats = {
+  operations : int;
+  opens_write : int;
+  opens_read : int;
+  bytes_written : int;
+  bytes_read_chunked : int;
+  whole_file_reads : int;
+  mkdirs : int;
+  unlinks : int;
+  rmdirs : int;
+  stats_calls : int;
+  renames : int;
+  fsyncs : int;
+  cpu_us : int;
+}
+
+let describe ops =
+  List.fold_left
+    (fun acc op ->
+      let acc = { acc with operations = acc.operations + 1 } in
+      match op with
+      | Mkdir _ -> { acc with mkdirs = acc.mkdirs + 1 }
+      | Open_write _ -> { acc with opens_write = acc.opens_write + 1 }
+      | Open_read _ -> { acc with opens_read = acc.opens_read + 1 }
+      | Write_chunk b -> { acc with bytes_written = acc.bytes_written + Bytes.length b }
+      | Read_chunk n -> { acc with bytes_read_chunked = acc.bytes_read_chunked + n }
+      | Read_whole _ -> { acc with whole_file_reads = acc.whole_file_reads + 1 }
+      | Unlink _ -> { acc with unlinks = acc.unlinks + 1 }
+      | Rmdir _ -> { acc with rmdirs = acc.rmdirs + 1 }
+      | Stat _ -> { acc with stats_calls = acc.stats_calls + 1 }
+      | Rename (_, _) -> { acc with renames = acc.renames + 1 }
+      | Fsync -> { acc with fsyncs = acc.fsyncs + 1 }
+      | Cpu us -> { acc with cpu_us = acc.cpu_us + us }
+      | Close -> acc)
+    {
+      operations = 0;
+      opens_write = 0;
+      opens_read = 0;
+      bytes_written = 0;
+      bytes_read_chunked = 0;
+      whole_file_reads = 0;
+      mkdirs = 0;
+      unlinks = 0;
+      rmdirs = 0;
+      stats_calls = 0;
+      renames = 0;
+      fsyncs = 0;
+      cpu_us = 0;
+    }
+    ops
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<v>%d ops: %d creates, %d opens, %a written, %d whole-file reads,@ %d mkdir, %d unlink, %d rmdir, %d stat, %d rename, %a CPU@]"
+    s.operations s.opens_write s.opens_read Rio_util.Units.pp_bytes s.bytes_written
+    s.whole_file_reads s.mkdirs s.unlinks s.rmdirs s.stats_calls s.renames
+    Rio_util.Units.pp_usec s.cpu_us

@@ -1,0 +1,76 @@
+(** Workload scripts: flat operation streams executed against a file
+    system.
+
+    Operations are chunked the way real programs issue them (open, a
+    sequence of 8 KB writes, close) because the write policies of Table 2
+    key off exactly that structure — write-through-on-write pays per chunk,
+    write-through-on-close per file. [Cpu] burns simulated computation time
+    (the Andrew benchmark's compile phase). *)
+
+type op =
+  | Mkdir of string
+  | Open_write of string  (** create/truncate and make current. *)
+  | Open_read of string
+  | Write_chunk of bytes
+  | Read_chunk of int
+  | Close
+  | Fsync
+  | Unlink of string
+  | Rmdir of string
+  | Stat of string
+  | Rename of string * string
+  | Read_whole of string
+  | Cpu of int  (** µs of pure computation. *)
+
+val chunk_size : int
+(** 8192 — the stdio-ish buffer size scripts write in. *)
+
+val write_file_ops : string -> seed:int -> len:int -> op list
+(** open, chunked pattern writes, close. *)
+
+type runner
+(** Execution state for one script (current fd etc.). *)
+
+val runner : op list -> runner
+
+val finished : runner -> bool
+
+val step : runner -> Rio_fs.Fs.t -> bool
+(** Execute the next operation; [false] when the script is done. *)
+
+val run_all : runner -> Rio_fs.Fs.t -> unit
+
+val interleave : runner list -> Rio_fs.Fs.t -> unit
+(** Round-robin the runners until all finish — Sdet's concurrent scripts,
+    the reliability experiment's four Andrew instances. *)
+
+val interleave_with : runner list -> Rio_fs.Fs.t -> every:int -> (unit -> unit) -> unit
+(** Like {!interleave}, calling a callback every [every] operations (the
+    crash campaign interposes kernel activity there). *)
+
+val ops_total : runner -> int
+val ops_done : runner -> int
+
+(** {1 Workload characterization} *)
+
+type stats = {
+  operations : int;
+  opens_write : int;
+  opens_read : int;
+  bytes_written : int;
+  bytes_read_chunked : int;
+  whole_file_reads : int;
+  mkdirs : int;
+  unlinks : int;
+  rmdirs : int;
+  stats_calls : int;
+  renames : int;
+  fsyncs : int;
+  cpu_us : int;
+}
+
+val describe : op list -> stats
+(** Static op-mix summary of a script — what makes Sdet metadata-heavy and
+    Andrew CPU-heavy is visible right here. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,82 @@
+module Prng = Rio_util.Prng
+
+type t = {
+  scripts : Script.op list list;
+}
+
+(* One developer "action": a burst of think/compute time plus a few file
+   operations in the script's own directory. *)
+let action prng dir live counter =
+  let fresh () =
+    incr counter;
+    Printf.sprintf "%s/work%d" dir !counter
+  in
+  let pick () =
+    match !live with
+    | [] -> None
+    | files -> Some (List.nth files (Prng.int prng (List.length files)))
+  in
+  let roll = Prng.int prng 100 in
+  if roll < 30 || !live = [] then begin
+    (* Write a new source file. *)
+    let path = fresh () in
+    live := path :: !live;
+    let len = Prng.int_in prng 1024 16_384 in
+    Script.Cpu (Prng.int_in prng 2_000 7_000) :: Script.write_file_ops path ~seed:!counter ~len
+  end
+  else if roll < 55 then begin
+    (* Edit: read, think, rewrite. *)
+    match pick () with
+    | None -> []
+    | Some path ->
+      let len = Prng.int_in prng 1024 16_384 in
+      (Script.Read_whole path :: Script.Cpu (Prng.int_in prng 3_000 10_000)
+      :: Script.write_file_ops path ~seed:(Prng.int prng 100000) ~len)
+  end
+  else if roll < 70 then begin
+    (* Compile: CPU plus a derived object file. *)
+    match pick () with
+    | None -> []
+    | Some path ->
+      Script.Cpu (Prng.int_in prng 5_000 20_000)
+      :: Script.write_file_ops (path ^ ".o") ~seed:(Prng.int prng 100000)
+           ~len:(Prng.int_in prng 512 8_192)
+  end
+  else if roll < 85 then begin
+    (* Search/list the work directory. *)
+    match pick () with
+    | None -> [ Script.Stat dir ]
+    | Some path -> [ Script.Stat dir; Script.Read_whole path; Script.Cpu 2_000 ]
+  end
+  else begin
+    (* Clean up. *)
+    match pick () with
+    | None -> []
+    | Some path ->
+      live := List.filter (fun p -> p <> path) !live;
+      [ Script.Unlink path ]
+  end
+
+let build_script prng dir n_actions =
+  let live = ref [] and counter = ref 0 in
+  let rec build n acc =
+    if n = 0 then List.concat (List.rev acc)
+    else build (n - 1) (action prng dir live counter :: acc)
+  in
+  Script.Mkdir dir :: build n_actions []
+
+let create ?(scripts = 5) ?(ops_per_script = 1200) ?(seed = 33) () =
+  let prng = Prng.create ~seed in
+  {
+    scripts =
+      List.init scripts (fun i ->
+          build_script (Prng.split prng) (Printf.sprintf "/sdet%d" i) ops_per_script);
+  }
+
+let script_count t = List.length t.scripts
+
+let scripts t = t.scripts
+
+let runners t = List.map Script.runner t.scripts
+
+let run t fs = Script.interleave (runners t) fs

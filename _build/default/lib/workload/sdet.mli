@@ -1,0 +1,21 @@
+(** Sdet: SPEC SDM's multi-user software-development workload (§4), "5
+    scripts" in Table 2. Each script is a simulated developer in its own
+    directory: creating, editing (read-modify-write), compiling, searching,
+    and deleting files — a metadata-heavy mix, which is why synchronous-
+    metadata file systems fare so badly on it. *)
+
+type t
+
+val create : ?scripts:int -> ?ops_per_script:int -> ?seed:int -> unit -> t
+(** Defaults: 5 scripts, 1200 operation groups each. *)
+
+val script_count : t -> int
+
+val runners : t -> Script.runner list
+(** One runner per concurrent script. *)
+
+val scripts : t -> Script.op list list
+(** The raw operation streams (for characterization). *)
+
+val run : t -> Rio_fs.Fs.t -> unit
+(** Interleave all scripts round-robin to completion. *)

@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Format List QCheck QCheck_alcotest Rio_cpu Rio_mem Rio_vm

@@ -1,0 +1,1 @@
+test/test_disk.ml: Alcotest Bytes Char Rio_disk Rio_sim String

@@ -1,0 +1,1 @@
+test/test_fault.ml: Alcotest Bytes List QCheck QCheck_alcotest Rio_cpu Rio_fault Rio_fs Rio_kernel Rio_mem Rio_sim Rio_util

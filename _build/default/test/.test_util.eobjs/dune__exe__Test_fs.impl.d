@@ -1,0 +1,1 @@
+test/test_fs.ml: Alcotest Array Bytes Char List Printf QCheck QCheck_alcotest Rio_disk Rio_fs Rio_mem Rio_sim Rio_util Rio_workload String

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Float List Rio_fault Rio_harness Rio_util String

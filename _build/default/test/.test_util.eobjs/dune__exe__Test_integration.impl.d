@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Bytes Hashtbl List Printf Rio_core Rio_fault Rio_fs Rio_kernel Rio_sim Rio_util Rio_workload

@@ -1,0 +1,1 @@
+test/test_kasm.ml: Alcotest Bytes Char Int32 List Option Rio_cpu Rio_kasm Rio_mem Rio_vm String

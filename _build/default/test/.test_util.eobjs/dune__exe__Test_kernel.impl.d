@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Bytes Option Rio_cpu Rio_disk Rio_fs Rio_kernel Rio_mem Rio_sim Rio_util

@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Bytes Fun List Option Printf QCheck QCheck_alcotest Rio_mem

@@ -1,0 +1,1 @@
+test/test_rio.ml: Alcotest Bytes List Option QCheck QCheck_alcotest Rio_core Rio_cpu Rio_disk Rio_fs Rio_kernel Rio_mem Rio_sim Rio_util Rio_vm

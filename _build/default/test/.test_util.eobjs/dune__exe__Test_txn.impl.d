@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Bytes Int64 List Printf Rio_core Rio_disk Rio_fs Rio_kernel Rio_sim Rio_txn Rio_util

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bytes Char List QCheck QCheck_alcotest Rio_util String

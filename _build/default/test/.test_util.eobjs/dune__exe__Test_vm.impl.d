@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Rio_mem Rio_vm

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Bytes Hashtbl List Printf Rio_disk Rio_fs Rio_kernel Rio_sim Rio_util Rio_workload String

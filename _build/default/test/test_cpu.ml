@@ -1,0 +1,301 @@
+(* Tests for the ISA encoding and the interpreted machine. *)
+
+module Isa = Rio_cpu.Isa
+module Machine = Rio_cpu.Machine
+module Mmu = Rio_vm.Mmu
+module Page_table = Rio_vm.Page_table
+module Phys_mem = Rio_mem.Phys_mem
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---------------- ISA encode/decode ---------------- *)
+
+let sample_instructions =
+  [
+    Isa.Nop;
+    Isa.Halt;
+    Isa.Add (1, 2, 3);
+    Isa.Sub (31, 30, 29);
+    Isa.And (0, 1, 2);
+    Isa.Or (5, 5, 5);
+    Isa.Xor (9, 10, 11);
+    Isa.Sll (1, 2, 3);
+    Isa.Srl (4, 5, 6);
+    Isa.Mul (7, 8, 9);
+    Isa.Slt (1, 2, 3);
+    Isa.Addi (1, 2, -32768);
+    Isa.Addi (1, 2, 32767);
+    Isa.Andi (3, 4, 255);
+    Isa.Ori (5, 6, 0xFFFF - 65536) (* -1 as signed: round trips as sign-extended *);
+    Isa.Xori (7, 8, 1);
+    Isa.Slti (9, 10, -5);
+    Isa.Lui (11, 4096);
+    Isa.Kseg (12, 13);
+    Isa.Ld (1, 2, 8);
+    Isa.St (3, 4, -8);
+    Isa.Ldw (5, 6, 4);
+    Isa.Stw (7, 8, 0);
+    Isa.Ldb (9, 10, 1);
+    Isa.Stb (11, 12, 2);
+    Isa.Beq (1, 2, -4);
+    Isa.Bne (3, 4, 4);
+    Isa.Blt (5, 6, 100);
+    Isa.Bge (7, 8, -100);
+    Isa.Jmp 50;
+    Isa.Jal (31, -50);
+    Isa.Jr 31;
+    Isa.Assert_nz (6, 17);
+  ]
+
+let test_roundtrip_samples () =
+  List.iter
+    (fun instr ->
+      match Isa.decode (Isa.encode instr) with
+      | Some back ->
+        check Alcotest.string "roundtrip" (Isa.to_string instr) (Isa.to_string back)
+      | None -> Alcotest.failf "failed to decode %s" (Isa.to_string instr))
+    sample_instructions
+
+let test_decode_illegal () =
+  (* Opcodes 32-63 are unassigned. *)
+  check Alcotest.bool "high opcode illegal" true (Isa.decode 0x3F = None);
+  (* R-type with junk in the immediate field. *)
+  let add = Isa.encode (Isa.Add (1, 2, 3)) in
+  check Alcotest.bool "R-type junk bits illegal" true (Isa.decode (add lor (1 lsl 21)) = None)
+
+let test_is_store_branch () =
+  check Alcotest.bool "st is store" true (Isa.is_store (Isa.St (1, 2, 0)));
+  check Alcotest.bool "ld is not" false (Isa.is_store (Isa.Ld (1, 2, 0)));
+  check Alcotest.bool "beq is branch" true (Isa.is_branch (Isa.Beq (1, 2, 0)));
+  check Alcotest.bool "jr is branch" true (Isa.is_branch (Isa.Jr 31));
+  check Alcotest.bool "add is not" false (Isa.is_branch (Isa.Add (1, 2, 3)))
+
+let test_reads_writes () =
+  check (Alcotest.list Alcotest.int) "add reads" [ 2; 3 ] (Isa.reads (Isa.Add (1, 2, 3)));
+  check (Alcotest.option Alcotest.int) "add writes" (Some 1) (Isa.writes (Isa.Add (1, 2, 3)));
+  check (Alcotest.list Alcotest.int) "store reads value+base" [ 1; 2 ]
+    (Isa.reads (Isa.St (1, 2, 0)));
+  check (Alcotest.option Alcotest.int) "store writes none" None (Isa.writes (Isa.St (1, 2, 0)))
+
+let test_with_rd_rs1 () =
+  check Alcotest.string "with_rd" (Isa.to_string (Isa.Add (9, 2, 3)))
+    (Isa.to_string (Isa.with_rd (Isa.Add (1, 2, 3)) 9));
+  check Alcotest.string "with_rs1" (Isa.to_string (Isa.Add (1, 9, 3)))
+    (Isa.to_string (Isa.with_rs1 (Isa.Add (1, 2, 3)) 9));
+  check Alcotest.string "with_rd on jmp is identity" (Isa.to_string (Isa.Jmp 5))
+    (Isa.to_string (Isa.with_rd (Isa.Jmp 5) 9))
+
+let arbitrary_word = QCheck.int_range 0 0xFFFF_FFFF
+
+let prop_decode_encode_fixpoint =
+  QCheck.Test.make ~name:"decode-then-encode is a fixpoint" ~count:2000 arbitrary_word
+    (fun word ->
+      match Isa.decode word with
+      | None -> true
+      | Some instr ->
+        (* Encoding may canonicalize (sign bits), but re-decoding must agree. *)
+        Isa.decode (Isa.encode instr) = Some instr)
+
+(* ---------------- machine ---------------- *)
+
+let build_machine () =
+  let mem = Phys_mem.create ~bytes_total:(32 * 8192) in
+  let mmu = Mmu.create ~mem_pages:(Phys_mem.page_count mem) ~tlb_entries:16 in
+  (mem, mmu, Machine.create ~mem ~mmu)
+
+let load_program mem origin instrs =
+  List.iteri
+    (fun i instr -> Phys_mem.write_u32 mem (origin + (i * 4)) (Isa.encode instr))
+    instrs
+
+let run_program ?(origin = 0) instrs =
+  let mem, mmu, m = build_machine () in
+  load_program mem origin instrs;
+  Machine.set_pc m origin;
+  let state = Machine.run m ~max_instructions:10_000 in
+  (mem, mmu, m, state)
+
+let state_testable =
+  Alcotest.testable
+    (fun ppf -> function
+      | Machine.Running -> Format.fprintf ppf "Running"
+      | Machine.Halted -> Format.fprintf ppf "Halted"
+      | Machine.Trapped t -> Format.fprintf ppf "Trapped(%s)" (Machine.trap_to_string t))
+    ( = )
+
+let test_arithmetic () =
+  let _, _, m, state =
+    run_program
+      [ Isa.Ori (1, 0, 20); Isa.Addi (2, 1, 22); Isa.Add (3, 1, 2); Isa.Halt ]
+  in
+  check state_testable "halts" Machine.Halted state;
+  check Alcotest.int "r3 = 62" 62 (Machine.reg m 3)
+
+let test_r0_hardwired () =
+  let _, _, m, state = run_program [ Isa.Ori (0, 0, 99); Isa.Halt ] in
+  check state_testable "halts" Machine.Halted state;
+  check Alcotest.int "r0 stays zero" 0 (Machine.reg m 0)
+
+let test_loop () =
+  (* Sum 1..5 with a countdown loop. *)
+  let _, _, m, state =
+    run_program
+      [
+        Isa.Ori (1, 0, 5);
+        (* loop: *) Isa.Add (2, 2, 1);
+        Isa.Addi (1, 1, -1);
+        Isa.Bne (1, 0, -2);
+        Isa.Halt;
+      ]
+  in
+  check state_testable "halts" Machine.Halted state;
+  check Alcotest.int "sum" 15 (Machine.reg m 2)
+
+let test_memory_ops () =
+  let mem, _, m, state =
+    run_program
+      [
+        Isa.Ori (1, 0, 0x1234);
+        Isa.Ori (2, 0, 4096);
+        Isa.St (1, 2, 0);
+        Isa.Ld (3, 2, 0);
+        Isa.Stb (1, 2, 8);
+        Isa.Ldb (4, 2, 8);
+        Isa.Halt;
+      ]
+  in
+  check state_testable "halts" Machine.Halted state;
+  check Alcotest.int "ld=st" 0x1234 (Machine.reg m 3);
+  check Alcotest.int "byte truncated" 0x34 (Machine.reg m 4);
+  check Alcotest.int "memory updated" 0x1234 (Phys_mem.read_u64 mem 4096)
+
+let test_jal_jr () =
+  (* call a routine at word 4 that doubles r1 *)
+  let _, _, m, state =
+    run_program
+      [
+        Isa.Ori (1, 0, 21);
+        Isa.Jal (31, 3) (* -> word 4 *);
+        Isa.Halt;
+        Isa.Nop;
+        (* sub: *) Isa.Add (1, 1, 1);
+        Isa.Jr 31;
+      ]
+  in
+  check state_testable "halts" Machine.Halted state;
+  check Alcotest.int "doubled" 42 (Machine.reg m 1)
+
+let test_illegal_address_trap () =
+  let _, _, _, state = run_program [ Isa.Lui (1, 0x7FFF); Isa.Ld (2, 1, 0); Isa.Halt ] in
+  match state with
+  | Machine.Trapped (Machine.Illegal_address _) -> ()
+  | Machine.Halted -> Alcotest.fail "expected illegal address, got halt"
+  | Machine.Running -> Alcotest.fail "expected illegal address, still running"
+  | Machine.Trapped t -> Alcotest.failf "expected illegal address, got %s" (Machine.trap_to_string t)
+
+let test_illegal_instruction_trap () =
+  let mem, _, m = build_machine () in
+  Phys_mem.write_u32 mem 0 0xFFFF_FFFF;
+  (match Machine.run m ~max_instructions:10 with
+  | Machine.Trapped (Machine.Illegal_instruction _) -> ()
+  | _ -> Alcotest.fail "expected illegal instruction")
+
+let test_assert_panic () =
+  let _, _, _, state = run_program [ Isa.Assert_nz (5, 7); Isa.Halt ] in
+  check state_testable "panics with message id" (Machine.Trapped (Machine.Consistency_panic 7))
+    state
+
+let test_assert_passes () =
+  let _, _, _, state = run_program [ Isa.Ori (5, 0, 1); Isa.Assert_nz (5, 7); Isa.Halt ] in
+  check state_testable "no panic when nonzero" Machine.Halted state
+
+let test_protection_trap () =
+  let mem, mmu, m = build_machine () in
+  load_program mem 0 [ Isa.Ori (1, 0, 1); Isa.Lui (2, 1) (* 64 KB = page 8 *); Isa.St (1, 2, 0); Isa.Halt ];
+  Page_table.set_writable (Mmu.page_table mmu) ~vpn:8 false;
+  (match Machine.run m ~max_instructions:10 with
+  | Machine.Trapped (Machine.Protection_violation _) -> ()
+  | _ -> Alcotest.fail "expected protection trap");
+  check Alcotest.bool "no store retired" true (Machine.stores_retired m = 0)
+
+let test_kseg_instruction () =
+  let _, _, m, state = run_program [ Isa.Ori (1, 0, 4096); Isa.Kseg (2, 1); Isa.Halt ] in
+  check state_testable "halts" Machine.Halted state;
+  check Alcotest.int "kseg alias" (Mmu.kseg_addr 4096) (Machine.reg m 2)
+
+let test_hang_budget () =
+  let _, _, _, state = run_program [ Isa.Jmp 0 ] in
+  check state_testable "budget exhausted leaves Running" Machine.Running state
+
+let test_on_store_hook () =
+  let mem, _, m = build_machine () in
+  load_program mem 0 [ Isa.Ori (1, 0, 7); Isa.Ori (2, 0, 4096); Isa.St (1, 2, 0); Isa.Halt ];
+  let seen = ref [] in
+  Machine.set_on_store m (fun ~paddr ~width -> seen := (paddr, width) :: !seen);
+  ignore (Machine.run m ~max_instructions:10);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "hook saw the store" [ (4096, 8) ] !seen
+
+let test_disasm () =
+  let mem, _, _ = build_machine () in
+  load_program mem 0 [ Isa.Add (1, 2, 3); Isa.Halt ];
+  Phys_mem.write_u32 mem 8 0xFFFF_FFFF;
+  let lines = Rio_cpu.Disasm.disassemble mem ~addr:0 ~words:3 in
+  (match lines with
+  | [ a; b; c ] ->
+    check Alcotest.string "first" "add r1, r2, r3"
+      (match a.Rio_cpu.Disasm.instr with Some i -> Isa.to_string i | None -> "?");
+    check Alcotest.string "second" "halt"
+      (match b.Rio_cpu.Disasm.instr with Some i -> Isa.to_string i | None -> "?");
+    check Alcotest.bool "third illegal" true (c.Rio_cpu.Disasm.instr = None)
+  | _ -> Alcotest.fail "expected three lines");
+  (* diff finds a mutation *)
+  let pristine = Phys_mem.blit_out mem 0 ~len:12 in
+  Phys_mem.write_u32 mem 0 (Isa.encode (Isa.Sub (1, 2, 3)));
+  (match Rio_cpu.Disasm.diff ~before:pristine ~after:mem ~base:0 ~words:3 with
+  | [ l ] ->
+    check Alcotest.int "mutation address" 0 l.Rio_cpu.Disasm.addr;
+    check Alcotest.string "mutated instr" "sub r1, r2, r3"
+      (match l.Rio_cpu.Disasm.instr with Some i -> Isa.to_string i | None -> "?")
+  | _ -> Alcotest.fail "expected exactly one diff")
+
+let test_reset () =
+  let _, _, m, _ = run_program [ Isa.Ori (1, 0, 9); Isa.Halt ] in
+  Machine.reset m;
+  check Alcotest.int "regs cleared" 0 (Machine.reg m 1);
+  check Alcotest.int "pc cleared" 0 (Machine.pc m);
+  check state_testable "running" Machine.Running (Machine.state m)
+
+let () =
+  Alcotest.run "rio_cpu"
+    [
+      ( "isa",
+        [
+          Alcotest.test_case "roundtrip samples" `Quick test_roundtrip_samples;
+          Alcotest.test_case "illegal decode" `Quick test_decode_illegal;
+          Alcotest.test_case "is_store/is_branch" `Quick test_is_store_branch;
+          Alcotest.test_case "reads/writes" `Quick test_reads_writes;
+          Alcotest.test_case "with_rd/with_rs1" `Quick test_with_rd_rs1;
+          qtest prop_decode_encode_fixpoint;
+        ] );
+      ( "machine",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+          Alcotest.test_case "r0 hardwired" `Quick test_r0_hardwired;
+          Alcotest.test_case "loop" `Quick test_loop;
+          Alcotest.test_case "memory ops" `Quick test_memory_ops;
+          Alcotest.test_case "jal/jr" `Quick test_jal_jr;
+          Alcotest.test_case "illegal address" `Quick test_illegal_address_trap;
+          Alcotest.test_case "illegal instruction" `Quick test_illegal_instruction_trap;
+          Alcotest.test_case "assert panic" `Quick test_assert_panic;
+          Alcotest.test_case "assert passes" `Quick test_assert_passes;
+          Alcotest.test_case "protection trap" `Quick test_protection_trap;
+          Alcotest.test_case "kseg instruction" `Quick test_kseg_instruction;
+          Alcotest.test_case "hang on budget" `Quick test_hang_budget;
+          Alcotest.test_case "on_store hook" `Quick test_on_store_hook;
+          Alcotest.test_case "disassembler" `Quick test_disasm;
+          Alcotest.test_case "reset" `Quick test_reset;
+        ] );
+    ]

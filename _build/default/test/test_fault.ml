@@ -1,0 +1,254 @@
+(* Tests for fault types, the injector's mutation rules, and the crash
+   campaign. *)
+
+module Fault_type = Rio_fault.Fault_type
+module Injector = Rio_fault.Injector
+module Campaign = Rio_fault.Campaign
+module Kernel = Rio_kernel.Kernel
+module Engine = Rio_sim.Engine
+module Costs = Rio_sim.Costs
+module Isa = Rio_cpu.Isa
+module Prng = Rio_util.Prng
+module Phys_mem = Rio_mem.Phys_mem
+module Layout = Rio_mem.Layout
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---------------- fault types ---------------- *)
+
+let test_thirteen_types () =
+  check Alcotest.int "the paper's 13 fault types" 13 (List.length Fault_type.all)
+
+let test_categories () =
+  check Alcotest.int "three bit-flip types" 3
+    (List.length (List.filter (fun f -> Fault_type.category f = Fault_type.Bit_flip) Fault_type.all));
+  check Alcotest.int "four low-level types" 4
+    (List.length (List.filter (fun f -> Fault_type.category f = Fault_type.Low_level) Fault_type.all));
+  check Alcotest.int "six high-level types" 6
+    (List.length
+       (List.filter (fun f -> Fault_type.category f = Fault_type.High_level) Fault_type.all))
+
+let test_names_roundtrip () =
+  List.iter
+    (fun f ->
+      check Alcotest.bool (Fault_type.name f) true (Fault_type.of_name (Fault_type.name f) = Some f))
+    Fault_type.all
+
+(* ---------------- mutation rules ---------------- *)
+
+let test_dest_reg_mutation () =
+  let prng = Prng.create ~seed:1 in
+  match Injector.mutate_instruction prng (Isa.Add (1, 2, 3)) Fault_type.Destination_reg with
+  | Some (Isa.Add (_, 2, 3)) -> ()
+  | Some other -> Alcotest.failf "unexpected mutation %s" (Isa.to_string other)
+  | None -> Alcotest.fail "add has a destination"
+
+let test_dest_reg_skips_branches () =
+  let prng = Prng.create ~seed:1 in
+  check Alcotest.bool "beq has no destination" true
+    (Injector.mutate_instruction prng (Isa.Beq (1, 2, 3)) Fault_type.Destination_reg = None)
+
+let test_delete_branch_only_branches () =
+  let prng = Prng.create ~seed:1 in
+  check Alcotest.bool "branch becomes nop" true
+    (Injector.mutate_instruction prng (Isa.Jmp 5) Fault_type.Delete_branch = Some Isa.Nop);
+  check Alcotest.bool "non-branch untouched" true
+    (Injector.mutate_instruction prng (Isa.Add (1, 2, 3)) Fault_type.Delete_branch = None)
+
+let test_delete_random_not_halt () =
+  let prng = Prng.create ~seed:1 in
+  check Alcotest.bool "halt protected" true
+    (Injector.mutate_instruction prng Isa.Halt Fault_type.Delete_instruction = None);
+  check Alcotest.bool "load deleted" true
+    (Injector.mutate_instruction prng (Isa.Ld (1, 2, 0)) Fault_type.Delete_instruction
+    = Some Isa.Nop)
+
+let test_off_by_one_swaps_comparison () =
+  let prng = Prng.create ~seed:1 in
+  check Alcotest.bool "blt -> bge" true
+    (Injector.mutate_instruction prng (Isa.Blt (1, 2, 3)) Fault_type.Off_by_one
+    = Some (Isa.Bge (1, 2, 3)));
+  match Injector.mutate_instruction prng (Isa.Addi (1, 2, 10)) Fault_type.Off_by_one with
+  | Some (Isa.Addi (1, 2, v)) -> check Alcotest.bool "imm +-1" true (v = 9 || v = 11)
+  | _ -> Alcotest.fail "addi is an off-by-one target"
+
+let prop_mutations_produce_encodable_instructions =
+  QCheck.Test.make ~name:"mutations survive encode/decode" ~count:500
+    QCheck.(pair small_int (int_range 0 4))
+    (fun (seed, which) ->
+      let prng = Prng.create ~seed in
+      let fault =
+        List.nth
+          [ Fault_type.Destination_reg; Fault_type.Source_reg; Fault_type.Delete_branch;
+            Fault_type.Delete_instruction; Fault_type.Off_by_one ]
+          which
+      in
+      let instrs =
+        [ Isa.Add (1, 2, 3); Isa.Ld (4, 5, 8); Isa.St (6, 7, -8); Isa.Blt (1, 2, 3);
+          Isa.Jmp 4; Isa.Addi (1, 2, 100) ]
+      in
+      List.for_all
+        (fun i ->
+          match Injector.mutate_instruction prng i fault with
+          | None -> true
+          | Some m -> Isa.decode (Isa.encode m) = Some m)
+        instrs)
+
+(* ---------------- injection into a kernel ---------------- *)
+
+let booted () =
+  let engine = Engine.create () in
+  let kernel = Kernel.boot ~engine ~costs:Costs.default (Kernel.config_with_seed 4) in
+  Kernel.format kernel;
+  ignore (Kernel.mount kernel ~policy:Rio_fs.Fs.Rio_policy);
+  kernel
+
+let text_image kernel =
+  let text = Layout.region (Kernel.layout kernel) Layout.Kernel_text in
+  Phys_mem.blit_out (Kernel.mem kernel) text.Layout.base ~len:4096
+
+let test_text_faults_change_text () =
+  List.iter
+    (fun fault ->
+      let kernel = booted () in
+      let before = text_image kernel in
+      Injector.inject_many kernel ~prng:(Prng.create ~seed:9) fault ~count:20;
+      check Alcotest.bool (Fault_type.name fault ^ " mutates text") false
+        (Bytes.equal before (text_image kernel)))
+    [
+      Fault_type.Kernel_text; Fault_type.Destination_reg; Fault_type.Source_reg;
+      Fault_type.Delete_branch; Fault_type.Delete_instruction; Fault_type.Initialization;
+      Fault_type.Pointer; Fault_type.Off_by_one;
+    ]
+
+let test_heap_fault_changes_heap_only () =
+  let kernel = booted () in
+  let before_text = text_image kernel in
+  Injector.inject_many kernel ~prng:(Prng.create ~seed:9) Fault_type.Kernel_heap ~count:20;
+  check Alcotest.bool "text untouched" true (Bytes.equal before_text (text_image kernel))
+
+let test_behavioral_faults_do_not_touch_text () =
+  List.iter
+    (fun fault ->
+      let kernel = booted () in
+      let before = text_image kernel in
+      Injector.inject kernel ~prng:(Prng.create ~seed:9) fault;
+      check Alcotest.bool (Fault_type.name fault) true (Bytes.equal before (text_image kernel)))
+    [ Fault_type.Allocation; Fault_type.Copy_overrun; Fault_type.Synchronization ]
+
+(* ---------------- campaign ---------------- *)
+
+(* Scaled-down config so the test suite stays fast. *)
+let quick_config =
+  {
+    Campaign.default_config with
+    Campaign.warmup_steps = 15;
+    max_steps = 80;
+    memtest_files = 12;
+    memtest_file_bytes = 16 * 1024;
+    background_andrew = 1;
+    andrew_scale = 0.02;
+  }
+
+let test_campaign_deterministic () =
+  let run () =
+    Campaign.run_one quick_config Campaign.Rio_without_protection Fault_type.Kernel_text ~seed:3
+  in
+  let a = run () and b = run () in
+  check Alcotest.bool "same crash" true (a.Campaign.crash_message = b.Campaign.crash_message);
+  check Alcotest.bool "same corruption verdict" true (a.Campaign.corrupted = b.Campaign.corrupted);
+  check Alcotest.int "same steps" a.Campaign.memtest_steps b.Campaign.memtest_steps
+
+let test_campaign_text_faults_crash () =
+  (* Most of the kernel text is cold (as in a real kernel), so a fair share
+     of runs are discarded; enough must still crash. *)
+  let cfg = { quick_config with Campaign.max_steps = 200 } in
+  let crashes = ref 0 in
+  for seed = 1 to 20 do
+    let o = Campaign.run_one cfg Campaign.Rio_without_protection Fault_type.Kernel_text ~seed in
+    if not o.Campaign.discarded then incr crashes
+  done;
+  check Alcotest.bool "text faults crash regularly" true (!crashes >= 4)
+
+let test_campaign_overrun_trips_protection () =
+  let cfg = { quick_config with Campaign.max_steps = 300 } in
+  let traps = ref 0 in
+  let seed = ref 0 in
+  while !traps < 2 && !seed < 40 do
+    incr seed;
+    let o =
+      Campaign.run_one cfg Campaign.Rio_with_protection Fault_type.Copy_overrun ~seed:!seed
+    in
+    if o.Campaign.protection_trap then incr traps
+  done;
+  check Alcotest.bool "protection traps fire" true (!traps >= 2)
+
+let test_campaign_disk_system_mostly_intact () =
+  (* Write-through plus fsck: most crashes leave memTest data intact. *)
+  let cfg = { quick_config with Campaign.max_steps = 200 } in
+  let corrupt = ref 0 and crashes = ref 0 in
+  let seed = ref 0 in
+  while !crashes < 6 && !seed < 40 do
+    incr seed;
+    let o = Campaign.run_one cfg Campaign.Disk_based Fault_type.Kernel_text ~seed:!seed in
+    if not o.Campaign.discarded then begin
+      incr crashes;
+      if o.Campaign.corrupted then incr corrupt
+    end
+  done;
+  check Alcotest.bool "some crashes happened" true (!crashes > 0);
+  check Alcotest.bool "corruption is the exception" true (!corrupt * 2 <= !crashes)
+
+let test_campaign_rio_mostly_intact () =
+  let cfg = { quick_config with Campaign.max_steps = 200 } in
+  let corrupt = ref 0 and crashes = ref 0 in
+  let seed = ref 9 in
+  while !crashes < 6 && !seed < 50 do
+    incr seed;
+    let o =
+      Campaign.run_one cfg Campaign.Rio_without_protection Fault_type.Delete_branch ~seed:!seed
+    in
+    if not o.Campaign.discarded then begin
+      incr crashes;
+      if o.Campaign.corrupted then incr corrupt
+    end
+  done;
+  check Alcotest.bool "crashes happened" true (!crashes > 0);
+  check Alcotest.bool "warm reboot usually recovers" true (!corrupt * 2 <= !crashes)
+
+let () =
+  Alcotest.run "rio_fault"
+    [
+      ( "types",
+        [
+          Alcotest.test_case "thirteen" `Quick test_thirteen_types;
+          Alcotest.test_case "categories" `Quick test_categories;
+          Alcotest.test_case "names" `Quick test_names_roundtrip;
+        ] );
+      ( "mutations",
+        [
+          Alcotest.test_case "dest reg" `Quick test_dest_reg_mutation;
+          Alcotest.test_case "dest reg skips branches" `Quick test_dest_reg_skips_branches;
+          Alcotest.test_case "delete branch" `Quick test_delete_branch_only_branches;
+          Alcotest.test_case "delete random spares halt" `Quick test_delete_random_not_halt;
+          Alcotest.test_case "off by one" `Quick test_off_by_one_swaps_comparison;
+          qtest prop_mutations_produce_encodable_instructions;
+        ] );
+      ( "injection",
+        [
+          Alcotest.test_case "text faults mutate text" `Quick test_text_faults_change_text;
+          Alcotest.test_case "heap fault spares text" `Quick test_heap_fault_changes_heap_only;
+          Alcotest.test_case "behavioral faults spare text" `Quick
+            test_behavioral_faults_do_not_touch_text;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "deterministic" `Quick test_campaign_deterministic;
+          Alcotest.test_case "text faults crash" `Quick test_campaign_text_faults_crash;
+          Alcotest.test_case "overrun trips protection" `Quick test_campaign_overrun_trips_protection;
+          Alcotest.test_case "disk system mostly intact" `Quick
+            test_campaign_disk_system_mostly_intact;
+          Alcotest.test_case "rio mostly intact" `Quick test_campaign_rio_mostly_intact;
+        ] );
+    ]

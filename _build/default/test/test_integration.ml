@@ -1,0 +1,256 @@
+(* End-to-end integration tests: the full crash → warm-reboot → verify
+   cycle under many conditions, repeated crashes, and cross-system
+   comparisons — the executable form of the paper's claims. *)
+
+module Engine = Rio_sim.Engine
+module Costs = Rio_sim.Costs
+module Kernel = Rio_kernel.Kernel
+module Kcrash = Rio_kernel.Kcrash
+module Fs = Rio_fs.Fs
+module Fsck = Rio_fs.Fsck
+module Rio_cache = Rio_core.Rio_cache
+module Warm_reboot = Rio_core.Warm_reboot
+module Memtest = Rio_workload.Memtest
+module Campaign = Rio_fault.Campaign
+module Fault_type = Rio_fault.Fault_type
+module Pattern = Rio_util.Pattern
+
+let check = Alcotest.check
+
+(* A Rio world we can crash and warm-reboot repeatedly. *)
+type world = {
+  engine : Engine.t;
+  mutable kernel : Kernel.t;
+  mutable fs : Fs.t;
+  protection : bool;
+}
+
+let make_world ?(seed = 1) ~protection () =
+  let engine = Engine.create () in
+  let kernel = Kernel.boot ~engine ~costs:Costs.default (Kernel.config_with_seed seed) in
+  Kernel.format kernel;
+  ignore
+    (Rio_cache.create ~mem:(Kernel.mem kernel) ~layout:(Kernel.layout kernel)
+       ~mmu:(Kernel.mmu kernel) ~engine ~costs:Costs.default ~hooks:(Kernel.hooks kernel)
+       ~pool_alloc:(Kernel.pool_alloc kernel) ~protection ~dev:1);
+  let fs = Kernel.mount kernel ~policy:Fs.Rio_policy in
+  { engine; kernel; fs; protection }
+
+(* Crash the world and perform the full warm reboot; returns the report. *)
+let crash_and_warm_reboot w =
+  Fs.crash w.fs;
+  let report =
+    Warm_reboot.perform ~mem:(Kernel.mem w.kernel) ~disk:(Kernel.disk w.kernel)
+      ~layout:(Kernel.layout w.kernel) ~engine:w.engine
+      ~reboot:(fun () ->
+        let kernel2 =
+          Kernel.boot_warm ~engine:w.engine ~costs:Costs.default (Kernel.config_with_seed 1)
+            ~mem:(Kernel.mem w.kernel) ~disk:(Kernel.disk w.kernel)
+        in
+        ignore
+          (Rio_cache.create ~mem:(Kernel.mem kernel2) ~layout:(Kernel.layout kernel2)
+             ~mmu:(Kernel.mmu kernel2) ~engine:w.engine ~costs:Costs.default
+             ~hooks:(Kernel.hooks kernel2) ~pool_alloc:(Kernel.pool_alloc kernel2)
+             ~protection:w.protection ~dev:1);
+        let fs2 = Kernel.mount kernel2 ~policy:Fs.Rio_policy in
+        w.kernel <- kernel2;
+        w.fs <- fs2;
+        fs2)
+  in
+  report
+
+let test_every_write_survives_crash () =
+  (* The headline: "all writes are synchronously and instantly permanent".
+     Write, crash with NO sync of any kind, recover, verify. *)
+  let w = make_world ~protection:true () in
+  Fs.mkdir w.fs "/mail";
+  let messages =
+    List.init 25 (fun i -> (Printf.sprintf "/mail/msg%d" i, Pattern.fill ~seed:i ~len:(512 * (i + 1))))
+  in
+  List.iter (fun (p, data) -> Fs.write_file w.fs p data) messages;
+  ignore (crash_and_warm_reboot w);
+  List.iter
+    (fun (p, data) -> check Alcotest.bytes ("survived: " ^ p) data (Fs.read_file w.fs p))
+    messages
+
+let test_repeated_crashes () =
+  (* The departmental-file-server scenario: crash again and again; no data
+     ever lost. *)
+  let w = make_world ~protection:true () in
+  Fs.mkdir w.fs "/server";
+  let expected = Hashtbl.create 16 in
+  for round = 1 to 6 do
+    let path = Printf.sprintf "/server/gen%d" round in
+    let data = Pattern.fill ~seed:(round * 31) ~len:(round * 3000) in
+    Fs.write_file w.fs path data;
+    Hashtbl.replace expected path data;
+    let report = crash_and_warm_reboot w in
+    check Alcotest.bool "fsck recoverable" false report.Warm_reboot.fsck.Fsck.unrecoverable;
+    Hashtbl.iter
+      (fun p d ->
+        check Alcotest.bytes (Printf.sprintf "round %d: %s intact" round p) d
+          (Fs.read_file w.fs p))
+      expected
+  done
+
+let test_crash_mid_memtest () =
+  (* Crash in the middle of a memTest stream, then reconstruct and compare
+     — the paper's actual measurement procedure, minus fault injection. *)
+  let w = make_world ~protection:true ~seed:3 () in
+  let config = { Memtest.default_config with Memtest.seed = 77; max_files = 16 } in
+  let mt = Memtest.create config in
+  for _ = 1 to 150 do
+    Memtest.step mt ~fs:w.fs ()
+  done;
+  ignore (crash_and_warm_reboot w);
+  let replayed = Memtest.replay config ~steps:(Memtest.steps_done mt) in
+  let exempt = Memtest.touched_by_next_step replayed in
+  check (Alcotest.list Alcotest.string) "no corruption without faults" []
+    (List.map Memtest.discrepancy_to_string (Memtest.compare_with_fs replayed w.fs ~exempt))
+
+let test_metadata_heavy_crash () =
+  (* Directories and renames (metadata) survive via the registry's
+     disk-address restore + fsck. *)
+  let w = make_world ~protection:true ~seed:5 () in
+  Fs.mkdir w.fs "/a";
+  Fs.mkdir w.fs "/a/b";
+  Fs.mkdir w.fs "/a/b/c";
+  Fs.write_file w.fs "/a/b/c/deep" (Bytes.of_string "deep file");
+  Fs.rename w.fs "/a/b/c/deep" "/a/renamed";
+  Fs.unlink w.fs "/a/renamed" |> ignore;
+  Fs.write_file w.fs "/a/final" (Bytes.of_string "final state");
+  ignore (crash_and_warm_reboot w);
+  check Alcotest.bytes "final file" (Bytes.of_string "final state") (Fs.read_file w.fs "/a/final");
+  check Alcotest.bool "deleted stays deleted" false (Fs.exists w.fs "/a/renamed");
+  check (Alcotest.list Alcotest.string) "directory structure" [ "b"; "final" ]
+    (Fs.readdir w.fs "/a")
+
+let test_rio_vs_disk_loss_comparison () =
+  (* Rio with no fsync keeps everything; UFS-delayed with no fsync loses
+     the tail. Same workload, same crash point. *)
+  let steps = 120 in
+  (* Rio side. *)
+  let w = make_world ~protection:false ~seed:9 () in
+  let config = { Memtest.default_config with Memtest.seed = 55; max_files = 12 } in
+  let mt_rio = Memtest.create config in
+  for _ = 1 to steps do
+    Memtest.step mt_rio ~fs:w.fs ()
+  done;
+  ignore (crash_and_warm_reboot w);
+  let _, rio_lost = Memtest.loss_against_fs mt_rio w.fs in
+  (* UFS-delayed side. *)
+  let engine = Engine.create () in
+  let kernel = Kernel.boot ~engine ~costs:Costs.default (Kernel.config_with_seed 9) in
+  Kernel.format kernel;
+  let fs = Kernel.mount kernel ~policy:Fs.Ufs_delayed in
+  let mt_ufs = Memtest.create config in
+  for _ = 1 to steps do
+    Memtest.step mt_ufs ~fs ()
+  done;
+  Fs.crash fs;
+  ignore (Fsck.run ~disk:(Kernel.disk kernel));
+  let kernel2 =
+    Kernel.boot_on_disk ~engine ~costs:Costs.default (Kernel.config_with_seed 9)
+      ~disk:(Kernel.disk kernel)
+  in
+  let fs2 = Kernel.mount kernel2 ~policy:Fs.Ufs_delayed in
+  let _, ufs_lost = Memtest.loss_against_fs mt_ufs fs2 in
+  check Alcotest.int "rio loses nothing" 0 rio_lost;
+  check Alcotest.bool "delayed-write system loses data" true (ufs_lost > 0)
+
+let test_cold_boot_loses_rio_cache () =
+  (* Sanity check of the control: WITHOUT warm reboot (power cycle), Rio's
+     unwritten data is gone — memory really was the only copy. *)
+  let w = make_world ~protection:false ~seed:11 () in
+  Fs.write_file w.fs "/only-in-memory" (Bytes.of_string "precious");
+  Fs.crash w.fs;
+  (* Cold boot: fresh memory, no dump/restore. *)
+  ignore (Fsck.run ~disk:(Kernel.disk w.kernel));
+  let kernel2 =
+    Kernel.boot_on_disk ~engine:w.engine ~costs:Costs.default (Kernel.config_with_seed 11)
+      ~disk:(Kernel.disk w.kernel)
+  in
+  let fs2 = Kernel.mount kernel2 ~policy:Fs.Rio_policy in
+  check Alcotest.bool "data lost without warm reboot" false (Fs.exists fs2 "/only-in-memory")
+
+let test_campaign_full_cycle_all_systems () =
+  (* One complete campaign run per system exercises the whole machinery. *)
+  let cfg =
+    {
+      Campaign.default_config with
+      Campaign.warmup_steps = 10;
+      max_steps = 60;
+      memtest_files = 8;
+      memtest_file_bytes = 8 * 1024;
+      background_andrew = 1;
+      andrew_scale = 0.02;
+    }
+  in
+  List.iter
+    (fun system ->
+      let o = Campaign.run_one cfg system Fault_type.Pointer ~seed:21 in
+      (* Whatever happened, the run must terminate with a coherent outcome. *)
+      if o.Campaign.discarded then
+        check Alcotest.bool "discarded runs report no crash" true (o.Campaign.crash = None)
+      else check Alcotest.bool "crashed runs carry a message" true (o.Campaign.crash_message <> None))
+    Campaign.all_systems
+
+(* Crash-point fuzzing: crash at an arbitrary point in the memTest stream
+   (no injected faults) and demand a byte-perfect recovery every time. *)
+let test_crash_point_fuzz () =
+  let prng = Pattern.fill ~seed:0 ~len:0 in
+  ignore prng;
+  List.iter
+    (fun (seed, steps) ->
+      let w = make_world ~protection:(seed mod 2 = 0) ~seed () in
+      let config =
+        { Memtest.default_config with Memtest.seed = seed * 13; max_files = 14;
+          max_file_bytes = 24 * 1024 }
+      in
+      let mt = Memtest.create config in
+      for _ = 1 to steps do
+        Memtest.step mt ~fs:w.fs ()
+      done;
+      ignore (crash_and_warm_reboot w);
+      let replayed = Memtest.replay config ~steps:(Memtest.steps_done mt) in
+      let exempt = Memtest.touched_by_next_step replayed in
+      check
+        (Alcotest.list Alcotest.string)
+        (Printf.sprintf "seed %d, crash after %d steps" seed steps)
+        []
+        (List.map Memtest.discrepancy_to_string
+           (Memtest.compare_with_fs replayed w.fs ~exempt)))
+    [ (1, 3); (2, 17); (3, 55); (4, 89); (5, 140); (6, 211); (7, 1); (8, 333) ]
+
+let test_simulated_time_flows () =
+  let w = make_world ~protection:true () in
+  let t0 = Engine.now w.engine in
+  Fs.write_file w.fs "/timed" (Pattern.fill ~seed:1 ~len:100_000);
+  let t1 = Engine.now w.engine in
+  check Alcotest.bool "writes cost time" true (t1 > t0);
+  ignore (crash_and_warm_reboot w);
+  check Alcotest.bool "warm reboot costs time (memory dump!)" true
+    (Engine.now w.engine - t1 > Rio_util.Units.sec 1)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "warm_reboot",
+        [
+          Alcotest.test_case "every write survives" `Quick test_every_write_survives_crash;
+          Alcotest.test_case "repeated crashes" `Slow test_repeated_crashes;
+          Alcotest.test_case "crash mid-memtest" `Slow test_crash_mid_memtest;
+          Alcotest.test_case "metadata-heavy crash" `Quick test_metadata_heavy_crash;
+        ] );
+      ( "comparisons",
+        [
+          Alcotest.test_case "rio vs delayed-write loss" `Slow test_rio_vs_disk_loss_comparison;
+          Alcotest.test_case "cold boot control" `Quick test_cold_boot_loses_rio_cache;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "full cycle all systems" `Slow test_campaign_full_cycle_all_systems;
+          Alcotest.test_case "time flows" `Quick test_simulated_time_flows;
+          Alcotest.test_case "crash-point fuzz" `Slow test_crash_point_fuzz;
+        ] );
+    ]

@@ -1,0 +1,355 @@
+(* Tests for the assembler and the synthetic kernel-routine corpus: each
+   routine is executed on the interpreted machine and checked functionally. *)
+
+module Asm = Rio_kasm.Asm
+module Kprogs = Rio_kasm.Kprogs
+module Isa = Rio_cpu.Isa
+module Machine = Rio_cpu.Machine
+module Mmu = Rio_vm.Mmu
+module Phys_mem = Rio_mem.Phys_mem
+
+let check = Alcotest.check
+
+(* ---------------- assembler ---------------- *)
+
+let test_forward_label () =
+  let a = Asm.create () in
+  let skip = Asm.fresh_label a "skip" in
+  Asm.jmp a skip;
+  Asm.emit a Isa.Halt;
+  Asm.bind a skip;
+  Asm.emit a Isa.Nop;
+  let program = Asm.assemble a ~origin:0 in
+  check Alcotest.int "three words" 3 (Asm.instruction_count program);
+  check
+    (Alcotest.option Alcotest.string)
+    "forward jump resolved" (Some "jmp 2")
+    (Option.map Isa.to_string
+       (Isa.decode (Int32.to_int (Bytes.get_int32_le program.Asm.code 0) land 0xFFFF_FFFF)))
+
+let test_backward_label () =
+  let a = Asm.create () in
+  let top = Asm.fresh_label a "top" in
+  Asm.bind a top;
+  Asm.emit a Isa.Nop;
+  Asm.jmp a top;
+  let program = Asm.assemble a ~origin:0 in
+  check
+    (Alcotest.option Alcotest.string)
+    "backward jump" (Some "jmp -1")
+    (Option.map Isa.to_string
+       (Isa.decode (Int32.to_int (Bytes.get_int32_le program.Asm.code 4) land 0xFFFF_FFFF)))
+
+let test_unbound_label () =
+  let a = Asm.create () in
+  let dangling = Asm.fresh_label a "dangling" in
+  Asm.jmp a dangling;
+  Alcotest.check_raises "unbound label" (Failure "Asm: unbound label dangling") (fun () ->
+      ignore (Asm.assemble a ~origin:0))
+
+let test_double_bind () =
+  let a = Asm.create () in
+  let l = Asm.fresh_label a "l" in
+  Asm.bind a l;
+  Alcotest.check_raises "double bind" (Failure "Asm: label l bound twice") (fun () -> Asm.bind a l)
+
+let test_li_small_and_large () =
+  let a = Asm.create () in
+  Asm.li a 1 42;
+  Asm.li a 2 0x12345678;
+  Asm.li a 3 (-7);
+  Asm.halt a;
+  let program = Asm.assemble a ~origin:0 in
+  let mem = Phys_mem.create ~bytes_total:8192 in
+  Asm.load program mem;
+  let mmu = Mmu.create ~mem_pages:1 ~tlb_entries:4 in
+  let m = Machine.create ~mem ~mmu in
+  ignore (Machine.run m ~max_instructions:100);
+  check Alcotest.int "small" 42 (Machine.reg m 1);
+  check Alcotest.int "32-bit" 0x12345678 (Machine.reg m 2);
+  check Alcotest.int "negative" (-7) (Machine.reg m 3)
+
+let test_symbols () =
+  let a = Asm.create () in
+  Asm.global a "start";
+  Asm.halt a;
+  Asm.global a "second";
+  Asm.halt a;
+  let program = Asm.assemble a ~origin:4096 in
+  check Alcotest.int "first symbol" 4096 (Asm.symbol program "start");
+  check Alcotest.int "second symbol" 4100 (Asm.symbol program "second")
+
+(* ---------------- kprogs: run each routine ---------------- *)
+
+let setup () =
+  let mem = Phys_mem.create ~bytes_total:(64 * 8192) in
+  let kprogs = Kprogs.build ~origin:0 in
+  Asm.load kprogs.Kprogs.program mem;
+  let mmu = Mmu.create ~mem_pages:(Phys_mem.page_count mem) ~tlb_entries:16 in
+  let m = Machine.create ~mem ~mmu in
+  (mem, m, kprogs)
+
+(* Call convention mirror of the kernel dispatcher. *)
+let call m kprogs name args =
+  Machine.resume m;
+  List.iteri (fun i v -> Machine.set_reg m (i + 1) v) args;
+  Machine.set_reg m Machine.sp_reg (63 * 8192);
+  Machine.set_reg m Machine.ra_reg kprogs.Kprogs.halt_pad;
+  Machine.set_pc m (Kprogs.find kprogs name).Kprogs.entry;
+  match Machine.run m ~max_instructions:100_000 with
+  | Machine.Halted -> Ok (Machine.reg m 1)
+  | Machine.Trapped t -> Error t
+  | Machine.Running -> Alcotest.fail "routine hung"
+
+let expect_ok = function
+  | Ok v -> v
+  | Error t -> Alcotest.failf "unexpected trap: %s" (Machine.trap_to_string t)
+
+let heap_base = 20 * 8192
+
+let test_bcopy () =
+  let mem, m, kprogs = setup () in
+  let src = heap_base and dst = heap_base + 4096 in
+  Phys_mem.blit_in mem src (Bytes.of_string "rio file cache");
+  ignore (expect_ok (call m kprogs "k_bcopy" [ src; dst; 14 ]));
+  check Alcotest.bytes "copied" (Bytes.of_string "rio file cache")
+    (Phys_mem.blit_out mem dst ~len:14)
+
+let test_bcopy_null_asserts () =
+  let _, m, kprogs = setup () in
+  match call m kprogs "k_bcopy" [ 0; heap_base; 4 ] with
+  | Error (Machine.Consistency_panic _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected consistency panic on null source"
+
+let test_word_copy () =
+  let mem, m, kprogs = setup () in
+  let src = heap_base and dst = heap_base + 4096 in
+  Phys_mem.write_u64 mem src 0xDEAD;
+  Phys_mem.write_u64 mem (src + 8) 0xBEEF;
+  ignore (expect_ok (call m kprogs "k_word_copy" [ src; dst; 2 ]));
+  check Alcotest.int "word 0" 0xDEAD (Phys_mem.read_u64 mem dst);
+  check Alcotest.int "word 1" 0xBEEF (Phys_mem.read_u64 mem (dst + 8))
+
+let test_bzero () =
+  let mem, m, kprogs = setup () in
+  Phys_mem.fill mem heap_base ~len:64 'x';
+  ignore (expect_ok (call m kprogs "k_bzero" [ heap_base; 32 ]));
+  check Alcotest.int "zeroed" 0 (Phys_mem.read_u8 mem (heap_base + 31));
+  check Alcotest.int "rest untouched" (Char.code 'x') (Phys_mem.read_u8 mem (heap_base + 32))
+
+let test_checksum () =
+  let mem, m, kprogs = setup () in
+  Phys_mem.write_u8 mem heap_base 10;
+  Phys_mem.write_u8 mem (heap_base + 1) 20;
+  Phys_mem.write_u8 mem (heap_base + 2) 12;
+  let sum = expect_ok (call m kprogs "k_checksum" [ heap_base; 3 ]) in
+  check Alcotest.int "additive checksum" 42 sum
+
+let test_list_insert_remove () =
+  let mem, m, kprogs = setup () in
+  let head = heap_base in
+  let n1 = heap_base + 64 and n2 = heap_base + 128 in
+  Phys_mem.write_u64 mem head 0;
+  ignore (expect_ok (call m kprogs "k_list_insert" [ head; n1 ]));
+  ignore (expect_ok (call m kprogs "k_list_insert" [ head; n2 ]));
+  check Alcotest.int "head is n2" n2 (Phys_mem.read_u64 mem head);
+  let popped = expect_ok (call m kprogs "k_list_remove" [ head ]) in
+  check Alcotest.int "LIFO pop" n2 popped;
+  check Alcotest.int "head back to n1" n1 (Phys_mem.read_u64 mem head)
+
+let test_list_remove_empty_panics () =
+  let mem, m, kprogs = setup () in
+  Phys_mem.write_u64 mem heap_base 0;
+  match call m kprogs "k_list_remove" [ heap_base ] with
+  | Error (Machine.Consistency_panic 1) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected 'free list head is null' panic"
+
+let test_list_double_insert_panics () =
+  let mem, m, kprogs = setup () in
+  let head = heap_base and n1 = heap_base + 64 in
+  Phys_mem.write_u64 mem head 0;
+  ignore (expect_ok (call m kprogs "k_list_insert" [ head; n1 ]));
+  match call m kprogs "k_list_insert" [ head; n1 ] with
+  | Error (Machine.Consistency_panic _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected double-insert panic"
+
+let test_bitmap_alloc () =
+  let mem, m, kprogs = setup () in
+  let bm = heap_base in
+  Phys_mem.fill mem bm ~len:8 '\001';
+  Phys_mem.write_u8 mem (bm + 5) 0;
+  let idx = expect_ok (call m kprogs "k_bitmap_alloc" [ bm; 8 ]) in
+  check Alcotest.int "first free slot" 5 idx;
+  check Alcotest.int "claimed" 1 (Phys_mem.read_u8 mem (bm + 5));
+  let full = expect_ok (call m kprogs "k_bitmap_alloc" [ bm; 8 ]) in
+  check Alcotest.int "full returns -1" (-1) full
+
+let test_locks () =
+  let mem, m, kprogs = setup () in
+  let lock = heap_base in
+  ignore (expect_ok (call m kprogs "k_lock_acquire" [ lock ]));
+  check Alcotest.int "held" 1 (Phys_mem.read_u8 mem lock);
+  ignore (expect_ok (call m kprogs "k_lock_release" [ lock ]));
+  check Alcotest.int "released" 0 (Phys_mem.read_u8 mem lock)
+
+let test_release_unheld_panics () =
+  let mem, m, kprogs = setup () in
+  Phys_mem.write_u8 mem heap_base 0;
+  match call m kprogs "k_lock_release" [ heap_base ] with
+  | Error (Machine.Consistency_panic 6) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected release-unheld panic"
+
+let test_lock_garbage_panics () =
+  let mem, m, kprogs = setup () in
+  Phys_mem.write_u8 mem heap_base 77;
+  match call m kprogs "k_lock_acquire" [ heap_base ] with
+  | Error (Machine.Consistency_panic 5) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected lock-range panic"
+
+let test_counter () =
+  let mem, m, kprogs = setup () in
+  Phys_mem.write_u64 mem heap_base 41;
+  ignore (expect_ok (call m kprogs "k_counter_bump" [ heap_base; 1000 ]));
+  check Alcotest.int "incremented" 42 (Phys_mem.read_u64 mem heap_base)
+
+let test_counter_bound_panics () =
+  let mem, m, kprogs = setup () in
+  Phys_mem.write_u64 mem heap_base 1000;
+  match call m kprogs "k_counter_bump" [ heap_base; 1000 ] with
+  | Error (Machine.Consistency_panic 7) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected counter-bound panic"
+
+let test_ptr_chase () =
+  let mem, m, kprogs = setup () in
+  let n1 = heap_base and n2 = heap_base + 64 and n3 = heap_base + 128 in
+  Phys_mem.write_u64 mem n1 n2;
+  Phys_mem.write_u64 mem n2 n3;
+  Phys_mem.write_u64 mem n3 0;
+  ignore (expect_ok (call m kprogs "k_ptr_chase" [ n1; 10 ]))
+
+let test_ptr_chase_cycle_panics () =
+  let mem, m, kprogs = setup () in
+  let n1 = heap_base and n2 = heap_base + 64 in
+  Phys_mem.write_u64 mem n1 n2;
+  Phys_mem.write_u64 mem n2 n1;
+  match call m kprogs "k_ptr_chase" [ n1; 10 ] with
+  | Error (Machine.Consistency_panic 8) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected chase-budget panic"
+
+let test_queue_put_wraps () =
+  let mem, m, kprogs = setup () in
+  let ring = heap_base and idx = heap_base + 1024 in
+  Phys_mem.write_u64 mem idx 63;
+  ignore (expect_ok (call m kprogs "k_queue_put" [ ring; idx; 777; 64 ]));
+  check Alcotest.int "stored at slot 63" 777 (Phys_mem.read_u64 mem (ring + (63 * 8)));
+  check Alcotest.int "index wrapped" 0 (Phys_mem.read_u64 mem idx)
+
+let test_queue_bad_index_panics () =
+  let mem, m, kprogs = setup () in
+  let ring = heap_base and idx = heap_base + 1024 in
+  Phys_mem.write_u64 mem idx 99;
+  match call m kprogs "k_queue_put" [ ring; idx; 777; 64 ] with
+  | Error (Machine.Consistency_panic 9) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected ring-range panic"
+
+let test_mem_scan () =
+  let _, m, kprogs = setup () in
+  ignore (expect_ok (call m kprogs "k_mem_scan" [ heap_base; 512 ]))
+
+let test_compound () =
+  let mem, m, kprogs = setup () in
+  let src = heap_base and dst = heap_base + 4096 in
+  Phys_mem.write_u8 mem src 5;
+  Phys_mem.write_u8 mem (src + 1) 6;
+  let sum = expect_ok (call m kprogs "k_compound" [ src; dst; 2 ]) in
+  check Alcotest.int "copy then checksum" 11 sum;
+  check Alcotest.int "copied" 5 (Phys_mem.read_u8 mem dst)
+
+let test_dlist_insert () =
+  let mem, m, kprogs = setup () in
+  let head = heap_base and n1 = heap_base + 64 and n2 = heap_base + 128 in
+  Phys_mem.write_u64 mem head 0;
+  ignore (expect_ok (call m kprogs "k_dlist_insert" [ head; n1 ]));
+  check Alcotest.int "head -> n1" n1 (Phys_mem.read_u64 mem head);
+  check Alcotest.int "n1.prev = anchor" head (Phys_mem.read_u64 mem (n1 + 8));
+  ignore (expect_ok (call m kprogs "k_dlist_insert" [ head; n2 ]));
+  check Alcotest.int "head -> n2" n2 (Phys_mem.read_u64 mem head);
+  check Alcotest.int "n2.next = n1" n1 (Phys_mem.read_u64 mem n2);
+  check Alcotest.int "n1.prev = n2" n2 (Phys_mem.read_u64 mem (n1 + 8))
+
+let test_dlist_bad_back_pointer_panics () =
+  let mem, m, kprogs = setup () in
+  let head = heap_base and n1 = heap_base + 64 and n2 = heap_base + 128 in
+  Phys_mem.write_u64 mem head 0;
+  ignore (expect_ok (call m kprogs "k_dlist_insert" [ head; n1 ]));
+  (* Corrupt n1's back pointer: the next insert's consistency check fires. *)
+  Phys_mem.write_u64 mem (n1 + 8) 0xBAD;
+  match call m kprogs "k_dlist_insert" [ head; n2 ] with
+  | Error (Machine.Consistency_panic 18) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected bad-back-pointer panic"
+
+let test_hash_insert () =
+  let mem, m, kprogs = setup () in
+  let table = heap_base in
+  Phys_mem.fill mem table ~len:(64 * 8) '\000';
+  let key = heap_base + 4096 in
+  ignore (expect_ok (call m kprogs "k_hash_insert" [ table; key; 64 ]));
+  let bucket = key land 63 in
+  check Alcotest.int "chained into its bucket" key (Phys_mem.read_u64 mem (table + (bucket * 8)))
+
+let test_message_texts () =
+  check Alcotest.bool "known message" true (Kprogs.message_text 1 = "free list head is null");
+  check Alcotest.bool "unknown message" true (String.length (Kprogs.message_text 9999) > 0);
+  check Alcotest.bool "plenty of distinct checks" true (Kprogs.message_count >= 15)
+
+let test_all_routines_present () =
+  let _, _, kprogs = setup () in
+  List.iter
+    (fun name -> ignore (Kprogs.find kprogs name))
+    [
+      "k_bcopy"; "k_word_copy"; "k_bzero"; "k_checksum"; "k_list_insert"; "k_list_remove";
+      "k_bitmap_alloc"; "k_lock_acquire"; "k_lock_release"; "k_counter_bump"; "k_ptr_chase";
+      "k_queue_put"; "k_mem_scan"; "k_compound"; "k_dlist_insert"; "k_hash_insert";
+    ]
+
+let () =
+  Alcotest.run "rio_kasm"
+    [
+      ( "asm",
+        [
+          Alcotest.test_case "forward label" `Quick test_forward_label;
+          Alcotest.test_case "backward label" `Quick test_backward_label;
+          Alcotest.test_case "unbound label" `Quick test_unbound_label;
+          Alcotest.test_case "double bind" `Quick test_double_bind;
+          Alcotest.test_case "li immediates" `Quick test_li_small_and_large;
+          Alcotest.test_case "symbols" `Quick test_symbols;
+        ] );
+      ( "kprogs",
+        [
+          Alcotest.test_case "bcopy" `Quick test_bcopy;
+          Alcotest.test_case "bcopy null panics" `Quick test_bcopy_null_asserts;
+          Alcotest.test_case "word copy" `Quick test_word_copy;
+          Alcotest.test_case "bzero" `Quick test_bzero;
+          Alcotest.test_case "checksum" `Quick test_checksum;
+          Alcotest.test_case "list insert/remove" `Quick test_list_insert_remove;
+          Alcotest.test_case "list remove empty panics" `Quick test_list_remove_empty_panics;
+          Alcotest.test_case "double insert panics" `Quick test_list_double_insert_panics;
+          Alcotest.test_case "bitmap alloc" `Quick test_bitmap_alloc;
+          Alcotest.test_case "locks" `Quick test_locks;
+          Alcotest.test_case "release unheld panics" `Quick test_release_unheld_panics;
+          Alcotest.test_case "garbage lock word panics" `Quick test_lock_garbage_panics;
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "counter bound panics" `Quick test_counter_bound_panics;
+          Alcotest.test_case "pointer chase" `Quick test_ptr_chase;
+          Alcotest.test_case "chase cycle panics" `Quick test_ptr_chase_cycle_panics;
+          Alcotest.test_case "queue put wraps" `Quick test_queue_put_wraps;
+          Alcotest.test_case "queue bad index panics" `Quick test_queue_bad_index_panics;
+          Alcotest.test_case "mem scan" `Quick test_mem_scan;
+          Alcotest.test_case "compound" `Quick test_compound;
+          Alcotest.test_case "dlist insert" `Quick test_dlist_insert;
+          Alcotest.test_case "dlist bad back panics" `Quick test_dlist_bad_back_pointer_panics;
+          Alcotest.test_case "hash insert" `Quick test_hash_insert;
+          Alcotest.test_case "message texts" `Quick test_message_texts;
+          Alcotest.test_case "all routines present" `Quick test_all_routines_present;
+        ] );
+    ]

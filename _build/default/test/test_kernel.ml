@@ -1,0 +1,249 @@
+(* Tests for the kernel model: boot, activity stability, the bcopy fault
+   envelope, and the crash lifecycle. *)
+
+module Engine = Rio_sim.Engine
+module Costs = Rio_sim.Costs
+module Kernel = Rio_kernel.Kernel
+module Kheap = Rio_kernel.Kheap
+module Kcrash = Rio_kernel.Kcrash
+module Machine = Rio_cpu.Machine
+module Layout = Rio_mem.Layout
+module Phys_mem = Rio_mem.Phys_mem
+module Fs = Rio_fs.Fs
+module Hooks = Rio_fs.Hooks
+module Disk = Rio_disk.Disk
+
+let check = Alcotest.check
+
+let boot ?(seed = 1) () =
+  let engine = Engine.create () in
+  let kernel = Kernel.boot ~engine ~costs:Costs.default (Kernel.config_with_seed seed) in
+  (engine, kernel)
+
+(* ---------------- kheap ---------------- *)
+
+let test_kheap_init () =
+  let mem = Phys_mem.create ~bytes_total:(4 * 1024 * 1024) in
+  let layout = Layout.create Layout.default_config in
+  let heap = Kheap.init ~mem ~region:(Layout.region layout Layout.Kernel_heap) in
+  (* Free list: head points to node 0, chain terminates in null. *)
+  check Alcotest.int "head is node 0" (Kheap.node_addr heap 0)
+    (Kheap.read_word heap (Kheap.free_head_addr heap));
+  let rec walk addr n = if addr = 0 then n else walk (Kheap.read_word heap addr) (n + 1) in
+  check Alcotest.int "full chain" Kheap.node_count (walk (Kheap.read_word heap (Kheap.free_head_addr heap)) 0);
+  check Alcotest.int "ring index zero" 0 (Kheap.read_word heap (Kheap.ring_index_addr heap))
+
+let test_kheap_native_insert () =
+  let mem = Phys_mem.create ~bytes_total:(4 * 1024 * 1024) in
+  let layout = Layout.create Layout.default_config in
+  let heap = Kheap.init ~mem ~region:(Layout.region layout Layout.Kernel_heap) in
+  let head0 = Kheap.read_word heap (Kheap.free_head_addr heap) in
+  let node = Kheap.scratch_addr heap (* any 8-byte slot works *) in
+  Kheap.native_list_insert heap ~node;
+  check Alcotest.int "node is head" node (Kheap.read_word heap (Kheap.free_head_addr heap));
+  check Alcotest.int "links to old head" head0 (Kheap.read_word heap node)
+
+let test_kheap_reinit () =
+  let mem = Phys_mem.create ~bytes_total:(4 * 1024 * 1024) in
+  let layout = Layout.create Layout.default_config in
+  let heap = Kheap.init ~mem ~region:(Layout.region layout Layout.Kernel_heap) in
+  Kheap.write_word heap (Kheap.free_head_addr heap) 0;
+  Kheap.reinit heap;
+  check Alcotest.int "rebuilt" (Kheap.node_addr heap 0)
+    (Kheap.read_word heap (Kheap.free_head_addr heap))
+
+(* ---------------- boot and activity ---------------- *)
+
+let test_boot_loads_text () =
+  let _, kernel = boot () in
+  let text = Layout.region (Kernel.layout kernel) Layout.Kernel_text in
+  (* The first word of kernel text is the halt pad. *)
+  let word = Phys_mem.read_u32 (Kernel.mem kernel) text.Layout.base in
+  check (Alcotest.option Alcotest.string) "halt pad" (Some "halt")
+    (Option.map Rio_cpu.Isa.to_string (Rio_cpu.Isa.decode word))
+
+let test_healthy_activity_never_crashes () =
+  let _, kernel = boot () in
+  (* 2000 bursts with no faults: the kernel model must be self-sustaining. *)
+  for _ = 1 to 2000 do
+    Kernel.run_activity kernel
+  done;
+  check Alcotest.int "all bursts ran" 2000 (Kernel.activity_bursts kernel);
+  check Alcotest.bool "instructions retired" true
+    (Machine.instructions_retired (Kernel.machine kernel) > 10_000)
+
+let test_activity_charges_time () =
+  let engine, kernel = boot () in
+  let t0 = Engine.now engine in
+  for _ = 1 to 50 do
+    Kernel.run_activity kernel
+  done;
+  check Alcotest.bool "time advanced" true (Engine.now engine > t0)
+
+let test_activity_deterministic () =
+  let run seed =
+    let _, kernel = boot ~seed () in
+    for _ = 1 to 300 do
+      Kernel.run_activity kernel
+    done;
+    Machine.instructions_retired (Kernel.machine kernel)
+  in
+  check Alcotest.int "same seed same instruction count" (run 7) (run 7);
+  check Alcotest.bool "different seeds differ" true (run 7 <> run 8)
+
+(* ---------------- fs integration ---------------- *)
+
+let test_format_and_mount () =
+  let _, kernel = boot () in
+  Kernel.format kernel;
+  let fs = Kernel.mount kernel ~policy:Fs.Ufs_default in
+  Fs.write_file fs "/k" (Bytes.of_string "kernel mounted");
+  check Alcotest.bytes "works" (Bytes.of_string "kernel mounted") (Fs.read_file fs "/k");
+  check Alcotest.bool "kernel remembers fs" true (Kernel.fs kernel <> None)
+
+let test_copy_in_hook_copies () =
+  let _, kernel = boot () in
+  Kernel.format kernel;
+  let fs = Kernel.mount kernel ~policy:Fs.Rio_policy in
+  (* Data path goes through the kernel's bcopy hook. *)
+  let data = Rio_util.Pattern.fill ~seed:5 ~len:10_000 in
+  Fs.write_file fs "/d" data;
+  check Alcotest.bytes "hooked copies are correct" data (Fs.read_file fs "/d")
+
+(* ---------------- behavioral faults ---------------- *)
+
+let test_overrun_corrupts_without_protection () =
+  let _, kernel = boot () in
+  Kernel.format kernel;
+  let fs = Kernel.mount kernel ~policy:Fs.Rio_policy in
+  Kernel.arm_copy_overrun kernel ~period:1 (* fire on the first copy *);
+  (* An 8 KB-aligned write: the overrun runs past the page into the
+     neighbouring pool page. Without protection it corrupts silently. *)
+  (try Fs.write_file fs "/victim" (Bytes.make 8192 'v')
+   with Kcrash.Crashed _ -> Alcotest.fail "no protection: overrun must be silent");
+  check Alcotest.bool "file itself intact" true
+    (Bytes.equal (Bytes.make 8192 'v') (Fs.read_file fs "/victim"))
+
+let test_sync_fault_eventually_panics () =
+  let _, kernel = boot () in
+  Kernel.format kernel;
+  ignore (Kernel.mount kernel ~policy:Fs.Rio_policy);
+  (* A period where usually only one of the acquire/release pair is
+     skipped (skipping both is harmless). *)
+  Kernel.arm_sync_fault kernel ~period:24;
+  let crashed = ref false in
+  (try
+     for _ = 1 to 20_000 do
+       Kernel.run_activity kernel
+     done
+   with Kcrash.Crashed info ->
+     crashed := true;
+     (* A skipped acquire makes the release panic. *)
+     (match info.Kcrash.cause with
+     | Kcrash.Trap (Machine.Consistency_panic _) -> ()
+     | _ -> Alcotest.fail "expected consistency panic"));
+  check Alcotest.bool "crashed" true !crashed
+
+let test_alloc_fault_eventually_crashes () =
+  let _, kernel = boot ~seed:5 () in
+  Kernel.format kernel;
+  ignore (Kernel.mount kernel ~policy:Fs.Rio_policy);
+  Kernel.arm_allocation_fault kernel ~period:1;
+  let crashed = ref false in
+  (try
+     for _ = 1 to 5000 do
+       Kernel.run_activity kernel
+     done
+   with Kcrash.Crashed _ -> crashed := true);
+  check Alcotest.bool "premature frees eventually crash" true !crashed
+
+let test_disarm () =
+  let _, kernel = boot () in
+  Kernel.arm_copy_overrun kernel ~period:1;
+  Kernel.disarm_faults kernel;
+  Kernel.format kernel;
+  let fs = Kernel.mount kernel ~policy:Fs.Rio_policy in
+  (* No overrun fires once disarmed. *)
+  Fs.write_file fs "/ok" (Bytes.make 8192 'o');
+  check Alcotest.bool "clean" true (Bytes.equal (Bytes.make 8192 'o') (Fs.read_file fs "/ok"))
+
+(* ---------------- crash lifecycle ---------------- *)
+
+let test_crash_system_records () =
+  let engine, kernel = boot () in
+  Kernel.format kernel;
+  ignore (Kernel.mount kernel ~policy:Fs.Ufs_default);
+  let info =
+    { Kcrash.cause = Kcrash.Hang; during = "test"; at_us = Engine.now engine }
+  in
+  Kernel.crash_system kernel info;
+  check Alcotest.bool "recorded" true (Kernel.crash_info kernel <> None);
+  check Alcotest.bool "fs detached" true (Kernel.fs kernel = None)
+
+let test_warm_boot_preserves_memory () =
+  let engine, kernel = boot () in
+  Kernel.format kernel;
+  let fs = Kernel.mount kernel ~policy:Fs.Rio_policy in
+  Fs.write_file fs "/still-here" (Bytes.of_string "memory survives");
+  let pool = Layout.region (Kernel.layout kernel) Layout.Page_pool in
+  let snapshot = Phys_mem.blit_out (Kernel.mem kernel) pool.Layout.base ~len:65536 in
+  let kernel2 =
+    Kernel.boot_warm ~engine ~costs:Costs.default (Kernel.config_with_seed 1)
+      ~mem:(Kernel.mem kernel) ~disk:(Kernel.disk kernel)
+  in
+  let snapshot2 = Phys_mem.blit_out (Kernel.mem kernel2) pool.Layout.base ~len:65536 in
+  check Alcotest.bytes "pool region untouched by warm boot" snapshot snapshot2
+
+let test_panic_flush_propagates_dirty_data () =
+  (* A UFS-delayed system's panic path pushes dirty buffers out. *)
+  let engine, kernel = boot () in
+  Kernel.format kernel;
+  let fs = Kernel.mount kernel ~policy:Fs.Ufs_delayed in
+  Fs.write_file fs "/flushed-on-panic" (Bytes.of_string "made it");
+  Kernel.crash_system kernel
+    { Kcrash.cause = Kcrash.Hang; during = "test"; at_us = Engine.now engine };
+  (* Remount from disk: the panic flush should have pushed the file out. *)
+  let kernel2 =
+    Kernel.boot_on_disk ~engine ~costs:Costs.default (Kernel.config_with_seed 1)
+      ~disk:(Kernel.disk kernel)
+  in
+  ignore (Rio_fs.Fsck.run ~disk:(Kernel.disk kernel2));
+  let fs2 = Kernel.mount kernel2 ~policy:Fs.Ufs_delayed in
+  check Alcotest.bool "panic-flushed file present" true (Fs.exists fs2 "/flushed-on-panic")
+
+let () =
+  Alcotest.run "rio_kernel"
+    [
+      ( "kheap",
+        [
+          Alcotest.test_case "init" `Quick test_kheap_init;
+          Alcotest.test_case "native insert" `Quick test_kheap_native_insert;
+          Alcotest.test_case "reinit" `Quick test_kheap_reinit;
+        ] );
+      ( "activity",
+        [
+          Alcotest.test_case "boot loads text" `Quick test_boot_loads_text;
+          Alcotest.test_case "healthy activity stable" `Quick test_healthy_activity_never_crashes;
+          Alcotest.test_case "charges time" `Quick test_activity_charges_time;
+          Alcotest.test_case "deterministic" `Quick test_activity_deterministic;
+        ] );
+      ( "fs",
+        [
+          Alcotest.test_case "format + mount" `Quick test_format_and_mount;
+          Alcotest.test_case "copy_in hook" `Quick test_copy_in_hook_copies;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "overrun silent w/o protection" `Quick
+            test_overrun_corrupts_without_protection;
+          Alcotest.test_case "sync fault panics" `Quick test_sync_fault_eventually_panics;
+          Alcotest.test_case "alloc fault crashes" `Quick test_alloc_fault_eventually_crashes;
+          Alcotest.test_case "disarm" `Quick test_disarm;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "crash_system records" `Quick test_crash_system_records;
+          Alcotest.test_case "warm boot preserves memory" `Quick test_warm_boot_preserves_memory;
+          Alcotest.test_case "panic flush" `Quick test_panic_flush_propagates_dirty_data;
+        ] );
+    ]

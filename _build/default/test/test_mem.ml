@@ -1,0 +1,230 @@
+(* Tests for physical memory, the region layout, and the page allocator. *)
+
+module Phys_mem = Rio_mem.Phys_mem
+module Layout = Rio_mem.Layout
+module Page_alloc = Rio_mem.Page_alloc
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let small_mem () = Phys_mem.create ~bytes_total:(64 * 8192)
+
+(* ---------------- phys_mem ---------------- *)
+
+let test_sizes () =
+  let m = Phys_mem.create ~bytes_total:10_000 in
+  check Alcotest.int "rounded to pages" (2 * 8192) (Phys_mem.size m);
+  check Alcotest.int "page count" 2 (Phys_mem.page_count m);
+  check Alcotest.int "page size" 8192 Phys_mem.page_size
+
+let test_rw_roundtrip () =
+  let m = small_mem () in
+  Phys_mem.write_u8 m 100 0xAB;
+  check Alcotest.int "u8" 0xAB (Phys_mem.read_u8 m 100);
+  Phys_mem.write_u32 m 200 0xDEADBEEF;
+  check Alcotest.int "u32" 0xDEADBEEF (Phys_mem.read_u32 m 200);
+  Phys_mem.write_u64 m 300 0x1234_5678_9ABC;
+  check Alcotest.int "u64" 0x1234_5678_9ABC (Phys_mem.read_u64 m 300)
+
+let test_bounds () =
+  let m = small_mem () in
+  Alcotest.check_raises "read past end"
+    (Invalid_argument
+       (Printf.sprintf "Phys_mem: access [%#x,+%d) outside %#x bytes" (Phys_mem.size m) 1
+          (Phys_mem.size m)))
+    (fun () -> ignore (Phys_mem.read_u8 m (Phys_mem.size m)));
+  check Alcotest.bool "in_range true" true (Phys_mem.in_range m 0 ~len:8);
+  check Alcotest.bool "in_range false" false (Phys_mem.in_range m (Phys_mem.size m - 4) ~len:8)
+
+let test_blit () =
+  let m = small_mem () in
+  let data = Bytes.of_string "hello rio" in
+  Phys_mem.blit_in m 4000 data;
+  check Alcotest.bytes "blit roundtrip" data (Phys_mem.blit_out m 4000 ~len:(Bytes.length data));
+  Phys_mem.blit_within m ~src:4000 ~dst:5000 ~len:9;
+  check Alcotest.bytes "blit_within" data (Phys_mem.blit_out m 5000 ~len:9)
+
+let test_fill_and_checksum () =
+  let m = small_mem () in
+  Phys_mem.fill m 0 ~len:100 'z';
+  let c1 = Phys_mem.checksum_range m 0 ~len:100 in
+  Phys_mem.write_u8 m 50 0;
+  check Alcotest.bool "checksum changes" true (c1 <> Phys_mem.checksum_range m 0 ~len:100)
+
+let test_flip_bit () =
+  let m = small_mem () in
+  Phys_mem.write_u8 m 10 0b1010;
+  Phys_mem.flip_bit m 10 ~bit:0;
+  check Alcotest.int "bit flipped" 0b1011 (Phys_mem.read_u8 m 10);
+  Phys_mem.flip_bit m 10 ~bit:0;
+  check Alcotest.int "flipped back" 0b1010 (Phys_mem.read_u8 m 10)
+
+let test_warm_vs_cold () =
+  let m = small_mem () in
+  Phys_mem.write_u8 m 77 42;
+  Phys_mem.reset m;
+  check Alcotest.int "warm reset preserves" 42 (Phys_mem.read_u8 m 77);
+  Phys_mem.power_cycle m;
+  check Alcotest.int "cold boot scrubs" 0 (Phys_mem.read_u8 m 77)
+
+let test_dump_restore () =
+  let m = small_mem () in
+  Phys_mem.write_u32 m 123 999;
+  let dump = Phys_mem.dump m in
+  Phys_mem.write_u32 m 123 0;
+  Phys_mem.restore_dump m dump;
+  check Alcotest.int "restored" 999 (Phys_mem.read_u32 m 123)
+
+let prop_u64_roundtrip =
+  QCheck.Test.make ~name:"u64 write/read roundtrip" ~count:300
+    QCheck.(pair (int_range 0 1000) (int_bound max_int))
+    (fun (off, v) ->
+      let m = small_mem () in
+      Phys_mem.write_u64 m (off * 8) v;
+      Phys_mem.read_u64 m (off * 8) = v)
+
+(* ---------------- layout ---------------- *)
+
+let test_layout_contiguous () =
+  let l = Layout.create Layout.default_config in
+  let rec scan = function
+    | a :: (b :: _ as rest) ->
+      check Alcotest.int "regions abut" (a.Layout.base + a.Layout.bytes) b.Layout.base;
+      scan rest
+    | [ _ ] | [] -> ()
+  in
+  scan (Layout.regions l)
+
+let test_layout_within_memory () =
+  let cfg = Layout.default_config in
+  let l = Layout.create cfg in
+  let last = List.nth (Layout.regions l) (List.length (Layout.regions l) - 1) in
+  check Alcotest.bool "fits in memory" true
+    (last.Layout.base + last.Layout.bytes <= cfg.Layout.total_bytes)
+
+let test_layout_registry_capacity () =
+  let l = Layout.create Layout.default_config in
+  let reg = Layout.region l Layout.Registry in
+  check Alcotest.bool "registry covers all file-cache pages" true
+    (reg.Layout.bytes / 40 >= Layout.file_cache_pages l)
+
+let test_layout_kind_of_addr () =
+  let l = Layout.create Layout.default_config in
+  let text = Layout.region l Layout.Kernel_text in
+  check
+    (Alcotest.option Alcotest.string)
+    "text region" (Some "kernel-text")
+    (Option.map Layout.region_kind_name (Layout.kind_of_addr l text.Layout.base));
+  check
+    (Alcotest.option Alcotest.string)
+    "past end" None
+    (Option.map Layout.region_kind_name
+       (Layout.kind_of_addr l Layout.default_config.Layout.total_bytes))
+
+let test_layout_paper_config () =
+  let l = Layout.create Layout.paper_config in
+  let pool = Layout.region l Layout.Page_pool in
+  (* The paper's machine: 128 MB with the UBC using the bulk of it. *)
+  check Alcotest.bool "pool is most of memory" true
+    (pool.Layout.bytes > 90 * 1024 * 1024)
+
+let test_layout_too_small () =
+  Alcotest.check_raises "no room for pool"
+    (Invalid_argument "Layout.create: fixed regions leave no room for the UBC") (fun () ->
+      ignore
+        (Layout.create
+           { Layout.default_config with Layout.total_bytes = 2 * 1024 * 1024 }))
+
+(* ---------------- page allocator ---------------- *)
+
+let region_of l = Layout.region l Layout.Page_pool
+
+let test_alloc_free () =
+  let l = Layout.create Layout.default_config in
+  let a = Page_alloc.create ~region:(region_of l) in
+  let total = Page_alloc.total_pages a in
+  let p1 = Option.get (Page_alloc.alloc a) in
+  let p2 = Option.get (Page_alloc.alloc a) in
+  check Alcotest.bool "distinct pages" true (p1 <> p2);
+  check Alcotest.int "free count drops" (total - 2) (Page_alloc.free_pages a);
+  Page_alloc.free a p1;
+  check Alcotest.int "free count returns" (total - 1) (Page_alloc.free_pages a);
+  check Alcotest.bool "allocated flag" true (Page_alloc.is_allocated a p2);
+  check Alcotest.bool "freed flag" false (Page_alloc.is_allocated a p1)
+
+let test_alloc_exhaustion () =
+  let l = Layout.create Layout.default_config in
+  let a = Page_alloc.create ~region:(region_of l) in
+  let n = Page_alloc.total_pages a in
+  for _ = 1 to n do
+    check Alcotest.bool "alloc succeeds" true (Page_alloc.alloc a <> None)
+  done;
+  check (Alcotest.option Alcotest.int) "exhausted" None (Page_alloc.alloc a)
+
+let test_double_free () =
+  let l = Layout.create Layout.default_config in
+  let a = Page_alloc.create ~region:(region_of l) in
+  let p = Option.get (Page_alloc.alloc a) in
+  Page_alloc.free a p;
+  Alcotest.check_raises "double free rejected" (Invalid_argument "Page_alloc.free: double free")
+    (fun () -> Page_alloc.free a p)
+
+let test_misaligned_free () =
+  let l = Layout.create Layout.default_config in
+  let a = Page_alloc.create ~region:(region_of l) in
+  let p = Option.get (Page_alloc.alloc a) in
+  Alcotest.check_raises "misaligned rejected"
+    (Invalid_argument "Page_alloc: address not page-aligned") (fun () ->
+      Page_alloc.free a (p + 1))
+
+let test_alloc_reuse_lowest () =
+  let l = Layout.create Layout.default_config in
+  let a = Page_alloc.create ~region:(region_of l) in
+  let p1 = Option.get (Page_alloc.alloc a) in
+  let _p2 = Option.get (Page_alloc.alloc a) in
+  Page_alloc.free a p1;
+  check Alcotest.int "lowest page reused" p1 (Option.get (Page_alloc.alloc a))
+
+let prop_alloc_unique =
+  QCheck.Test.make ~name:"allocations are unique until freed" ~count:50
+    QCheck.(int_range 1 100)
+    (fun n ->
+      let l = Layout.create Layout.default_config in
+      let a = Page_alloc.create ~region:(region_of l) in
+      let pages = List.filter_map (fun _ -> Page_alloc.alloc a) (List.init n Fun.id) in
+      List.length (List.sort_uniq compare pages) = List.length pages)
+
+let () =
+  Alcotest.run "rio_mem"
+    [
+      ( "phys_mem",
+        [
+          Alcotest.test_case "sizes" `Quick test_sizes;
+          Alcotest.test_case "rw roundtrip" `Quick test_rw_roundtrip;
+          Alcotest.test_case "bounds" `Quick test_bounds;
+          Alcotest.test_case "blit" `Quick test_blit;
+          Alcotest.test_case "fill + checksum" `Quick test_fill_and_checksum;
+          Alcotest.test_case "flip_bit" `Quick test_flip_bit;
+          Alcotest.test_case "warm vs cold boot" `Quick test_warm_vs_cold;
+          Alcotest.test_case "dump/restore" `Quick test_dump_restore;
+          qtest prop_u64_roundtrip;
+        ] );
+      ( "layout",
+        [
+          Alcotest.test_case "contiguous" `Quick test_layout_contiguous;
+          Alcotest.test_case "fits memory" `Quick test_layout_within_memory;
+          Alcotest.test_case "registry capacity" `Quick test_layout_registry_capacity;
+          Alcotest.test_case "kind_of_addr" `Quick test_layout_kind_of_addr;
+          Alcotest.test_case "paper config" `Quick test_layout_paper_config;
+          Alcotest.test_case "too small" `Quick test_layout_too_small;
+        ] );
+      ( "page_alloc",
+        [
+          Alcotest.test_case "alloc/free" `Quick test_alloc_free;
+          Alcotest.test_case "exhaustion" `Quick test_alloc_exhaustion;
+          Alcotest.test_case "double free" `Quick test_double_free;
+          Alcotest.test_case "misaligned free" `Quick test_misaligned_free;
+          Alcotest.test_case "lowest-first reuse" `Quick test_alloc_reuse_lowest;
+          qtest prop_alloc_unique;
+        ] );
+    ]

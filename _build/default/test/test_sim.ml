@@ -1,0 +1,182 @@
+(* Tests for the discrete-event engine and event queue. *)
+
+module Event_queue = Rio_sim.Event_queue
+module Engine = Rio_sim.Engine
+module Costs = Rio_sim.Costs
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---------------- event queue ---------------- *)
+
+let test_queue_order () =
+  let q = Event_queue.create () in
+  ignore (Event_queue.push q ~time:30 "c");
+  ignore (Event_queue.push q ~time:10 "a");
+  ignore (Event_queue.push q ~time:20 "b");
+  check (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.string)) "first" (Some (10, "a"))
+    (Event_queue.pop q);
+  check (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.string)) "second" (Some (20, "b"))
+    (Event_queue.pop q);
+  check (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.string)) "third" (Some (30, "c"))
+    (Event_queue.pop q);
+  check Alcotest.bool "empty" true (Event_queue.is_empty q)
+
+let test_queue_fifo_ties () =
+  let q = Event_queue.create () in
+  ignore (Event_queue.push q ~time:5 "first");
+  ignore (Event_queue.push q ~time:5 "second");
+  check (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.string)) "insertion order"
+    (Some (5, "first")) (Event_queue.pop q);
+  check (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.string)) "then second"
+    (Some (5, "second")) (Event_queue.pop q)
+
+let test_queue_cancel () =
+  let q = Event_queue.create () in
+  let h = Event_queue.push q ~time:1 "dead" in
+  ignore (Event_queue.push q ~time:2 "alive");
+  Event_queue.cancel q h;
+  check Alcotest.int "length counts live" 1 (Event_queue.length q);
+  check (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.string)) "skips cancelled"
+    (Some (2, "alive")) (Event_queue.pop q)
+
+let test_queue_cancel_idempotent () =
+  let q = Event_queue.create () in
+  let h = Event_queue.push q ~time:1 () in
+  Event_queue.cancel q h;
+  Event_queue.cancel q h;
+  check Alcotest.int "not double counted" 0 (Event_queue.length q)
+
+let test_queue_pop_until () =
+  let q = Event_queue.create () in
+  ignore (Event_queue.push q ~time:10 "early");
+  ignore (Event_queue.push q ~time:100 "late");
+  check (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.string)) "due event"
+    (Some (10, "early"))
+    (Event_queue.pop_until q ~time:50);
+  check (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.string)) "future stays" None
+    (Event_queue.pop_until q ~time:50)
+
+let prop_queue_sorted =
+  QCheck.Test.make ~name:"pops come out time-sorted" ~count:200
+    QCheck.(list (int_range 0 1000))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iter (fun t -> ignore (Event_queue.push q ~time:t ())) times;
+      let rec drain acc =
+        match Event_queue.pop q with
+        | None -> List.rev acc
+        | Some (t, ()) -> drain (t :: acc)
+      in
+      let popped = drain [] in
+      popped = List.sort compare times)
+
+(* ---------------- engine ---------------- *)
+
+let test_engine_advance_fires () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  ignore (Engine.schedule_at e ~time:50 (fun _ -> fired := 50 :: !fired));
+  ignore (Engine.schedule_at e ~time:150 (fun _ -> fired := 150 :: !fired));
+  Engine.advance_by e 100;
+  check (Alcotest.list Alcotest.int) "only due events" [ 50 ] (List.rev !fired);
+  check Alcotest.int "clock" 100 (Engine.now e);
+  Engine.advance_to e 200;
+  check (Alcotest.list Alcotest.int) "all events" [ 50; 150 ] (List.rev !fired)
+
+let test_engine_event_sees_own_time () =
+  let e = Engine.create () in
+  let seen = ref (-1) in
+  ignore (Engine.schedule_at e ~time:42 (fun e -> seen := Engine.now e));
+  Engine.advance_by e 100;
+  check Alcotest.int "clock at event time inside callback" 42 !seen
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule_after e ~delay:10 (fun _ -> fired := true) in
+  Engine.cancel e h;
+  Engine.advance_by e 100;
+  check Alcotest.bool "cancelled never fires" false !fired
+
+let test_engine_reschedule_inside_event () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec tick engine =
+    incr count;
+    if !count < 5 then ignore (Engine.schedule_after engine ~delay:10 tick)
+  in
+  ignore (Engine.schedule_after e ~delay:10 tick);
+  Engine.advance_by e 1000;
+  check Alcotest.int "periodic self-rescheduling" 5 !count
+
+let test_engine_past_schedule_fires_now () =
+  let e = Engine.create () in
+  Engine.advance_by e 100;
+  let fired = ref false in
+  ignore (Engine.schedule_at e ~time:10 (fun _ -> fired := true));
+  Engine.advance_by e 1;
+  check Alcotest.bool "past event fires on next advance" true !fired
+
+let test_engine_run_until_idle () =
+  let e = Engine.create () in
+  ignore (Engine.schedule_at e ~time:500 (fun _ -> ()));
+  ignore (Engine.schedule_at e ~time:900 (fun _ -> ()));
+  Engine.run_until_idle e;
+  check Alcotest.int "clock jumped to last event" 900 (Engine.now e);
+  check Alcotest.int "no pending" 0 (Engine.pending e)
+
+let prop_advance_monotonic =
+  QCheck.Test.make ~name:"clock is monotonic under advances" ~count:100
+    QCheck.(list (int_range 0 100))
+    (fun deltas ->
+      let e = Engine.create () in
+      List.for_all
+        (fun d ->
+          let before = Engine.now e in
+          Engine.advance_by e d;
+          Engine.now e = before + d)
+        deltas)
+
+(* ---------------- costs ---------------- *)
+
+let test_costs_transfer () =
+  let c = Costs.default in
+  check Alcotest.bool "transfer time positive" true (Costs.transfer_time c 8192 > 0);
+  check Alcotest.int "zero bytes zero time" 0 (Costs.transfer_time c 0);
+  check Alcotest.bool "copy slower than page copy" true
+    (Costs.copy_time c 8192 > Costs.page_copy_time c 8192)
+
+let test_costs_checksum_linear () =
+  let c = Costs.default in
+  check Alcotest.int "double bytes double time" (2 * Costs.checksum_time c 10_000)
+    (Costs.checksum_time c 20_000)
+
+let () =
+  Alcotest.run "rio_sim"
+    [
+      ( "event_queue",
+        [
+          Alcotest.test_case "ordering" `Quick test_queue_order;
+          Alcotest.test_case "FIFO on ties" `Quick test_queue_fifo_ties;
+          Alcotest.test_case "cancel" `Quick test_queue_cancel;
+          Alcotest.test_case "cancel idempotent" `Quick test_queue_cancel_idempotent;
+          Alcotest.test_case "pop_until" `Quick test_queue_pop_until;
+          qtest prop_queue_sorted;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "advance fires due events" `Quick test_engine_advance_fires;
+          Alcotest.test_case "event sees own time" `Quick test_engine_event_sees_own_time;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "reschedule inside event" `Quick test_engine_reschedule_inside_event;
+          Alcotest.test_case "past schedule" `Quick test_engine_past_schedule_fires_now;
+          Alcotest.test_case "run_until_idle" `Quick test_engine_run_until_idle;
+          qtest prop_advance_monotonic;
+        ] );
+      ( "costs",
+        [
+          Alcotest.test_case "transfer and copy" `Quick test_costs_transfer;
+          Alcotest.test_case "checksum linear" `Quick test_costs_checksum_linear;
+        ] );
+    ]

@@ -1,0 +1,265 @@
+(* Tests for Vista: free transactions over the Rio file cache, including
+   crash atomicity across warm reboots at arbitrary interruption points. *)
+
+module Engine = Rio_sim.Engine
+module Costs = Rio_sim.Costs
+module Kernel = Rio_kernel.Kernel
+module Fs = Rio_fs.Fs
+module Rio_cache = Rio_core.Rio_cache
+module Warm_reboot = Rio_core.Warm_reboot
+module Vista = Rio_txn.Vista
+module Pattern = Rio_util.Pattern
+
+let check = Alcotest.check
+
+type world = {
+  engine : Engine.t;
+  mutable kernel : Kernel.t;
+  mutable fs : Fs.t;
+}
+
+let make_world ?(seed = 1) () =
+  let engine = Engine.create () in
+  let kernel = Kernel.boot ~engine ~costs:Costs.default (Kernel.config_with_seed seed) in
+  Kernel.format kernel;
+  ignore
+    (Rio_cache.create ~mem:(Kernel.mem kernel) ~layout:(Kernel.layout kernel)
+       ~mmu:(Kernel.mmu kernel) ~engine ~costs:Costs.default ~hooks:(Kernel.hooks kernel)
+       ~pool_alloc:(Kernel.pool_alloc kernel) ~protection:true ~dev:1);
+  let fs = Kernel.mount kernel ~policy:Fs.Rio_policy in
+  { engine; kernel; fs }
+
+let crash_and_warm_reboot w =
+  Fs.crash w.fs;
+  ignore
+    (Warm_reboot.perform ~mem:(Kernel.mem w.kernel) ~disk:(Kernel.disk w.kernel)
+       ~layout:(Kernel.layout w.kernel) ~engine:w.engine
+       ~reboot:(fun () ->
+         let kernel2 =
+           Kernel.boot_warm ~engine:w.engine ~costs:Costs.default (Kernel.config_with_seed 1)
+             ~mem:(Kernel.mem w.kernel) ~disk:(Kernel.disk w.kernel)
+         in
+         ignore
+           (Rio_cache.create ~mem:(Kernel.mem kernel2) ~layout:(Kernel.layout kernel2)
+              ~mmu:(Kernel.mmu kernel2) ~engine:w.engine ~costs:Costs.default
+              ~hooks:(Kernel.hooks kernel2) ~pool_alloc:(Kernel.pool_alloc kernel2)
+              ~protection:true ~dev:1);
+         let fs2 = Kernel.mount kernel2 ~policy:Fs.Rio_policy in
+         w.kernel <- kernel2;
+         w.fs <- fs2;
+         fs2))
+
+(* ---------------- basics (no crash) ---------------- *)
+
+let test_create_read () =
+  let w = make_world () in
+  let store = Vista.create w.fs ~path:"/store" ~size:4096 in
+  check Alcotest.int "size" 4096 (Vista.size store);
+  check Alcotest.bytes "zero-filled" (Bytes.make 64 '\000') (Vista.read store ~offset:100 ~len:64)
+
+let test_commit_applies () =
+  let w = make_world () in
+  let store = Vista.create w.fs ~path:"/store" ~size:4096 in
+  let txn = Vista.begin_txn store in
+  Vista.write txn ~offset:10 (Bytes.of_string "hello");
+  check Alcotest.bytes "visible inside txn" (Bytes.of_string "hello")
+    (Vista.read_txn txn ~offset:10 ~len:5);
+  Vista.commit txn;
+  check Alcotest.bytes "visible after commit" (Bytes.of_string "hello")
+    (Vista.read store ~offset:10 ~len:5);
+  check Alcotest.bool "no open txn" false (Vista.in_txn store)
+
+let test_abort_rolls_back () =
+  let w = make_world () in
+  let store = Vista.create w.fs ~path:"/store" ~size:4096 in
+  let t1 = Vista.begin_txn store in
+  Vista.write t1 ~offset:0 (Bytes.of_string "baseline");
+  Vista.commit t1;
+  let t2 = Vista.begin_txn store in
+  Vista.write t2 ~offset:0 (Bytes.of_string "scribble");
+  Vista.write t2 ~offset:100 (Bytes.of_string "more");
+  Vista.abort t2;
+  check Alcotest.bytes "first write restored" (Bytes.of_string "baseline")
+    (Vista.read store ~offset:0 ~len:8);
+  check Alcotest.bytes "second write restored" (Bytes.make 4 '\000')
+    (Vista.read store ~offset:100 ~len:4)
+
+let test_abort_overlapping_writes () =
+  let w = make_world () in
+  let store = Vista.create w.fs ~path:"/store" ~size:4096 in
+  let t1 = Vista.begin_txn store in
+  Vista.write t1 ~offset:0 (Bytes.of_string "AAAAAAAA");
+  Vista.commit t1;
+  let t2 = Vista.begin_txn store in
+  Vista.write t2 ~offset:0 (Bytes.of_string "BBBB");
+  Vista.write t2 ~offset:2 (Bytes.of_string "CCCC");
+  Vista.abort t2;
+  check Alcotest.bytes "overlaps undone newest-first" (Bytes.of_string "AAAAAAAA")
+    (Vista.read store ~offset:0 ~len:8)
+
+let test_one_txn_at_a_time () =
+  let w = make_world () in
+  let store = Vista.create w.fs ~path:"/store" ~size:4096 in
+  let _t = Vista.begin_txn store in
+  Alcotest.check_raises "second txn rejected"
+    (Rio_fs.Fs_types.Fs_error "vista: a transaction is already open") (fun () ->
+      ignore (Vista.begin_txn store))
+
+let test_finished_txn_rejected () =
+  let w = make_world () in
+  let store = Vista.create w.fs ~path:"/store" ~size:4096 in
+  let t = Vista.begin_txn store in
+  Vista.commit t;
+  Alcotest.check_raises "write after commit"
+    (Rio_fs.Fs_types.Fs_error "vista: transaction is finished") (fun () ->
+      Vista.write t ~offset:0 (Bytes.of_string "x"))
+
+let test_out_of_range () =
+  let w = make_world () in
+  let store = Vista.create w.fs ~path:"/store" ~size:128 in
+  let t = Vista.begin_txn store in
+  Alcotest.check_raises "write past end" (Rio_fs.Fs_types.Fs_error "vista: write out of range")
+    (fun () -> Vista.write t ~offset:120 (Bytes.of_string "0123456789"))
+
+(* ---------------- crash atomicity ---------------- *)
+
+let test_committed_txn_survives_crash () =
+  let w = make_world () in
+  let store = Vista.create w.fs ~path:"/store" ~size:4096 in
+  let t = Vista.begin_txn store in
+  Vista.write t ~offset:0 (Bytes.of_string "durable");
+  Vista.commit t;
+  crash_and_warm_reboot w;
+  check Alcotest.int "nothing to roll back" 0 (Vista.recover w.fs ~path:"/store");
+  let store2 = Vista.open_existing w.fs ~path:"/store" in
+  check Alcotest.bytes "committed data survived" (Bytes.of_string "durable")
+    (Vista.read store2 ~offset:0 ~len:7)
+
+let test_uncommitted_txn_rolled_back () =
+  let w = make_world () in
+  let store = Vista.create w.fs ~path:"/store" ~size:4096 in
+  let t0 = Vista.begin_txn store in
+  Vista.write t0 ~offset:0 (Bytes.of_string "committed state!");
+  Vista.commit t0;
+  (* A transaction in flight when the OS dies. *)
+  let t = Vista.begin_txn store in
+  Vista.write t ~offset:0 (Bytes.of_string "half");
+  Vista.write t ~offset:8 (Bytes.of_string "done");
+  crash_and_warm_reboot w;
+  let rolled = Vista.recover w.fs ~path:"/store" in
+  check Alcotest.bool "undo records applied" true (rolled >= 2);
+  let store2 = Vista.open_existing w.fs ~path:"/store" in
+  check Alcotest.bytes "pre-transaction state restored" (Bytes.of_string "committed state!")
+    (Vista.read store2 ~offset:0 ~len:16)
+
+let test_recover_idempotent () =
+  let w = make_world () in
+  let store = Vista.create w.fs ~path:"/store" ~size:4096 in
+  let t = Vista.begin_txn store in
+  Vista.write t ~offset:0 (Bytes.of_string "x");
+  crash_and_warm_reboot w;
+  ignore (Vista.recover w.fs ~path:"/store");
+  check Alcotest.int "second recover is a no-op" 0 (Vista.recover w.fs ~path:"/store")
+
+let test_crash_atomicity_fuzz () =
+  (* A money-conservation invariant under crashes at every interruption
+     point: N accounts, transfers move money between them inside
+     transactions; whenever we crash-and-recover, the total must be exactly
+     what committed transfers left. *)
+  let accounts = 8 in
+  let slot i = i * 8 in
+  let read_balance store i =
+    let b = Vista.read store ~offset:(slot i) ~len:8 in
+    Int64.to_int (Bytes.get_int64_le b 0)
+  in
+  let write_balance txn i v =
+    let b = Bytes.create 8 in
+    Bytes.set_int64_le b 0 (Int64.of_int v);
+    Vista.write txn ~offset:(slot i) b
+  in
+  let total store =
+    let sum = ref 0 in
+    for i = 0 to accounts - 1 do
+      sum := !sum + read_balance store i
+    done;
+    !sum
+  in
+  List.iter
+    (fun (seed, crash_after_writes) ->
+      let w = make_world ~seed () in
+      let store = Vista.create w.fs ~path:"/bank" ~size:4096 in
+      (* Fund account 0 with 1000 units inside a committed transaction. *)
+      let t0 = Vista.begin_txn store in
+      write_balance t0 0 1000;
+      Vista.commit t0;
+      (* Run transfers; crash after [crash_after_writes] single writes. *)
+      let prng = Rio_util.Prng.create ~seed in
+      let writes_done = ref 0 in
+      let crashed = ref false in
+      (try
+         while not !crashed do
+           let t = Vista.begin_txn store in
+           let a = Rio_util.Prng.int prng accounts and b = Rio_util.Prng.int prng accounts in
+           let amount = 1 + Rio_util.Prng.int prng 50 in
+           let balance_a = read_balance store a in
+           write_balance t a (balance_a - amount);
+           incr writes_done;
+           if !writes_done >= crash_after_writes then begin
+             crashed := true;
+             raise Exit (* crash mid-transaction: debit without credit *)
+           end;
+           let balance_b = read_balance store b in
+           write_balance t b (balance_b + amount);
+           incr writes_done;
+           if !writes_done >= crash_after_writes then begin
+             crashed := true;
+             Vista.commit t;
+             raise Exit (* crash right after commit *)
+           end;
+           Vista.commit t
+         done
+       with Exit -> ());
+      crash_and_warm_reboot w;
+      ignore (Vista.recover w.fs ~path:"/bank");
+      let store2 = Vista.open_existing w.fs ~path:"/bank" in
+      check Alcotest.int
+        (Printf.sprintf "money conserved (seed %d, crash@%d)" seed crash_after_writes)
+        1000 (total store2))
+    [ (1, 1); (2, 2); (3, 3); (4, 7); (5, 10); (6, 15); (7, 24); (8, 33) ]
+
+let test_undo_log_is_the_only_cost () =
+  (* "Free transactions": no fsync, no redo log — count the disk writes. *)
+  let w = make_world () in
+  let store = Vista.create w.fs ~path:"/store" ~size:8192 in
+  Rio_disk.Disk.reset_stats (Kernel.disk w.kernel);
+  for i = 0 to 19 do
+    let t = Vista.begin_txn store in
+    Vista.write t ~offset:(i * 16) (Pattern.fill ~seed:i ~len:16);
+    Vista.commit t
+  done;
+  check Alcotest.int "zero disk writes for 20 transactions" 0
+    (Rio_disk.Disk.stats (Kernel.disk w.kernel)).Rio_disk.Disk.writes;
+  check Alcotest.int "one undo record per write" 20 (Vista.undo_records_logged store)
+
+let () =
+  Alcotest.run "rio_txn"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "create/read" `Quick test_create_read;
+          Alcotest.test_case "commit applies" `Quick test_commit_applies;
+          Alcotest.test_case "abort rolls back" `Quick test_abort_rolls_back;
+          Alcotest.test_case "abort overlapping" `Quick test_abort_overlapping_writes;
+          Alcotest.test_case "one txn at a time" `Quick test_one_txn_at_a_time;
+          Alcotest.test_case "finished txn rejected" `Quick test_finished_txn_rejected;
+          Alcotest.test_case "out of range" `Quick test_out_of_range;
+        ] );
+      ( "crash_atomicity",
+        [
+          Alcotest.test_case "committed survives" `Quick test_committed_txn_survives_crash;
+          Alcotest.test_case "uncommitted rolled back" `Quick test_uncommitted_txn_rolled_back;
+          Alcotest.test_case "recover idempotent" `Quick test_recover_idempotent;
+          Alcotest.test_case "atomicity fuzz" `Slow test_crash_atomicity_fuzz;
+          Alcotest.test_case "free transactions" `Quick test_undo_log_is_the_only_cost;
+        ] );
+    ]
