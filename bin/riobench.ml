@@ -8,6 +8,7 @@ module Reliability = Rio_harness.Reliability
 module Performance = Rio_harness.Performance
 module Ablation = Rio_harness.Ablation
 module Table = Rio_util.Table
+module Pool = Rio_parallel.Pool
 open Cmdliner
 
 let progress verbose = if verbose then fun s -> Printf.eprintf "  %s\n%!" s else fun _ -> ()
@@ -18,16 +19,92 @@ let verbose_arg =
 let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Base seed (runs are deterministic).")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Pool.default_domains ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the campaign executor (default: the number of \
+           cores). Results are merged in seed order, so any N produces \
+           byte-identical tables; -j 1 runs today's serial path.")
+
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Also write machine-readable timings and results to $(docv).")
+
+(* Minimal JSON emitter (no external deps). *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_table1_json (file, oc) ~crashes ~seed ~jobs ~wall_s results =
+  let cell_json (system, fault, c) =
+    Printf.sprintf
+      "    {\"system\": \"%s\", \"fault\": \"%s\", \"crashes\": %d, \"attempts\": %d, \
+       \"corruptions\": %d, \"corrupt_paths\": %d, \"protection_traps\": %d, \
+       \"checksum_detections\": %d}"
+      (json_escape (Rio_fault.Campaign.system_name system))
+      (json_escape (Rio_fault.Fault_type.name fault))
+      c.Reliability.crashes c.Reliability.attempts c.Reliability.corruptions
+      c.Reliability.corrupt_paths c.Reliability.protection_traps c.Reliability.checksum_detections
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"table1\",\n\
+    \  \"crashes_per_cell\": %d,\n\
+    \  \"seed\": %d,\n\
+    \  \"jobs\": %d,\n\
+    \  \"wall_s\": %.3f,\n\
+    \  \"unique_messages\": %d,\n\
+    \  \"unique_consistency_messages\": %d,\n\
+    \  \"cells\": [\n%s\n  ]\n\
+     }\n"
+    crashes seed jobs wall_s results.Reliability.unique_messages
+    results.Reliability.unique_consistency_messages
+    (String.concat ",\n" (List.map cell_json results.Reliability.cells));
+  close_out oc;
+  Printf.eprintf "wrote %s\n%!" file
+
 (* ---------------- table1 ---------------- *)
 
-let run_table1 crashes seed verbose =
-  Printf.printf "Table 1: corruption per fault type (%d crash tests per cell)\n\n%!" crashes;
-  let results =
-    Reliability.run ~progress:(progress verbose) ~crashes_per_cell:crashes ~seed_base:seed ()
+let run_table1 crashes seed jobs json verbose =
+  (* Open the JSON sink before the campaign: a bad path must fail in
+     milliseconds, not after a 30-minute run. *)
+  let json_out =
+    Option.map
+      (fun file ->
+        try (file, open_out file)
+        with Sys_error msg ->
+          Printf.eprintf "riobench: cannot open --json output: %s\n%!" msg;
+          exit 1)
+      json
   in
+  Printf.printf "Table 1: corruption per fault type (%d crash tests per cell)\n\n%!" crashes;
+  let t0 = Unix.gettimeofday () in
+  let results =
+    Reliability.run ~progress:(progress verbose) ~domains:jobs ~crashes_per_cell:crashes
+      ~seed_base:seed ()
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
   print_string (Table.render (Reliability.to_table results));
   print_newline ();
-  print_string (Table.render (Reliability.comparison_table results))
+  print_string (Table.render (Reliability.comparison_table results));
+  match json_out with
+  | Some out -> write_table1_json out ~crashes ~seed ~jobs ~wall_s results
+  | None -> ()
 
 let crashes_arg =
   Arg.(
@@ -40,13 +117,13 @@ let table1_cmd =
   let doc = "Reproduce Table 1: how often crashes corrupt file data." in
   Cmd.v
     (Cmd.info "table1" ~doc)
-    Term.(const run_table1 $ crashes_arg $ seed_arg $ verbose_arg)
+    Term.(const run_table1 $ crashes_arg $ seed_arg $ jobs_arg $ json_arg $ verbose_arg)
 
 (* ---------------- table2 ---------------- *)
 
-let run_table2 scale seed verbose =
+let run_table2 scale seed jobs verbose =
   Printf.printf "Table 2: running time by file-system configuration (scale %.2f)\n\n%!" scale;
-  let ms = Performance.run ~scale ~seed ~progress:(progress verbose) () in
+  let ms = Performance.run ~scale ~seed ~progress:(progress verbose) ~domains:jobs () in
   print_string (Table.render (Performance.to_table ms));
   print_newline ();
   print_string (Table.render (Performance.comparison_table ms))
@@ -60,14 +137,16 @@ let scale_arg =
 
 let table2_cmd =
   let doc = "Reproduce Table 2: performance of the eight file-system configurations." in
-  Cmd.v (Cmd.info "table2" ~doc) Term.(const run_table2 $ scale_arg $ seed_arg $ verbose_arg)
+  Cmd.v (Cmd.info "table2" ~doc)
+    Term.(const run_table2 $ scale_arg $ seed_arg $ jobs_arg $ verbose_arg)
 
 (* ---------------- mttf ---------------- *)
 
-let run_mttf crashes seed verbose =
+let run_mttf crashes seed jobs verbose =
   Printf.printf "MTTF projection (a crash every two months, as in the paper)\n\n%!";
   let results =
-    Reliability.run ~progress:(progress verbose) ~crashes_per_cell:crashes ~seed_base:seed
+    Reliability.run ~progress:(progress verbose) ~domains:jobs ~crashes_per_cell:crashes
+      ~seed_base:seed
       ~systems:
         [ Rio_fault.Campaign.Disk_based; Rio_fault.Campaign.Rio_without_protection;
           Rio_fault.Campaign.Rio_with_protection ]
@@ -77,37 +156,46 @@ let run_mttf crashes seed verbose =
 
 let mttf_cmd =
   let doc = "Project MTTF from measured corruption rates (paper: disk 15y, Rio 11y)." in
-  Cmd.v (Cmd.info "mttf" ~doc) Term.(const run_mttf $ crashes_arg $ seed_arg $ verbose_arg)
+  Cmd.v (Cmd.info "mttf" ~doc)
+    Term.(const run_mttf $ crashes_arg $ seed_arg $ jobs_arg $ verbose_arg)
 
 (* ---------------- ablation ---------------- *)
 
-let run_ablation seed _verbose =
+let run_ablation seed jobs _verbose =
   Printf.printf "Ablation: protection overhead (Table 2's last two rows)\n";
   print_string
-    (Table.render (Ablation.protection_table (Ablation.protection_overhead ~seed ())));
+    (Table.render (Ablation.protection_table (Ablation.protection_overhead ~domains:jobs ~seed ())));
   Printf.printf "\nAblation: code-patching alternative (paper prose: 20-50%% slower)\n";
   print_string (Table.render (Ablation.code_patching_table (Ablation.code_patching ~seed ())));
   Printf.printf "\nAblation: registry cost (paper: 40 bytes per 8 KB page)\n";
   print_string (Table.render (Ablation.registry_table (Ablation.registry_cost ~seed ())));
   Printf.printf "\nAblation: delayed-write window vs data loss (paper \194\1671)\n";
-  print_string (Table.render (Ablation.delay_table (Ablation.delay_sweep ~seed ())));
+  print_string (Table.render (Ablation.delay_table (Ablation.delay_sweep ~domains:jobs ~seed ())));
   Printf.printf "\nExtension: Rio with idle-period write-back (paper \194\1672.3 future work)\n";
-  print_string (Table.render (Ablation.idle_writeback_table (Ablation.idle_writeback ~seed ())));
+  print_string
+    (Table.render (Ablation.idle_writeback_table (Ablation.idle_writeback ~domains:jobs ~seed ())));
   Printf.printf "\nExtension: sensitivity to disk speed (1996 vs modern)\n";
   print_string
-    (Table.render (Ablation.disk_sensitivity_table (Ablation.modern_disk_sensitivity ~seed ())));
+    (Table.render
+       (Ablation.disk_sensitivity_table (Ablation.modern_disk_sensitivity ~domains:jobs ~seed ())));
   Printf.printf "\nRelated work: Phoenix-style checkpointing vs Rio (paper \194\1676)\n";
-  print_string (Table.render (Ablation.phoenix_table (Ablation.phoenix_comparison ~seed ())));
+  print_string
+    (Table.render (Ablation.phoenix_table (Ablation.phoenix_comparison ~domains:jobs ~seed ())));
   Printf.printf "\nRelated work: protection overhead on debit/credit (paper \194\1676)\n";
-  print_string (Table.render (Ablation.debit_credit_table (Ablation.debit_credit ~seed ())))
+  print_string
+    (Table.render (Ablation.debit_credit_table (Ablation.debit_credit ~domains:jobs ~seed ())))
 
 let ablation_cmd =
   let doc = "Run the design-choice ablations from the paper's prose claims." in
-  Cmd.v (Cmd.info "ablation" ~doc) Term.(const run_ablation $ seed_arg $ verbose_arg)
+  Cmd.v (Cmd.info "ablation" ~doc)
+    Term.(const run_ablation $ seed_arg $ jobs_arg $ verbose_arg)
 
 (* ---------------- messages ---------------- *)
 
-let run_messages crashes seed _verbose =
+let run_messages crashes seed _jobs _verbose =
+  (* The census's stopping rule is inherently sequential (stop after the
+     N-th crash over one interleaved fault cycle), so it stays serial;
+     [-j] is accepted for CLI uniformity. *)
   Printf.printf
     "Crash-message census over %d crashes (mixed fault types, rio w/o protection)\n\n%!" crashes;
   let census = Reliability.message_census ~crashes ~seed_base:seed () in
@@ -118,24 +206,26 @@ let run_messages crashes seed _verbose =
 let messages_cmd =
   let doc = "Census of distinct crash console messages (crash diversity, \194\1673.1)." in
   Cmd.v (Cmd.info "messages" ~doc)
-    Term.(const run_messages $ crashes_arg $ seed_arg $ verbose_arg)
+    Term.(const run_messages $ crashes_arg $ seed_arg $ jobs_arg $ verbose_arg)
 
 (* ---------------- vista ---------------- *)
 
-let run_vista crashes seed _verbose =
+let run_vista crashes seed jobs _verbose =
   let module V = Rio_harness.Vista_experiment in
   let module F = Rio_fault.Fault_type in
   Printf.printf
     "Fault injection against a database on Rio (the conclusions' promised experiment)\n\n%!";
-  let rows =
+  let tasks =
     List.concat_map
-      (fun fault ->
-        List.map
-          (fun prot ->
-            ( Printf.sprintf "%s, protection %s" (F.name fault) (if prot then "on" else "off"),
-              V.run ~fault ~protection:prot ~crashes ~seed_base:seed () ))
-          [ true; false ])
+      (fun fault -> List.map (fun prot -> (fault, prot)) [ true; false ])
       [ F.Kernel_text; F.Pointer; F.Copy_overrun ]
+  in
+  let rows =
+    Pool.map_list ~domains:jobs
+      (fun (fault, prot) ->
+        ( Printf.sprintf "%s, protection %s" (F.name fault) (if prot then "on" else "off"),
+          V.run ~fault ~protection:prot ~crashes ~seed_base:seed () ))
+      tasks
   in
   print_string (Table.render (Rio_harness.Vista_experiment.summary_table rows));
   Printf.printf
@@ -146,11 +236,12 @@ let run_vista crashes seed _verbose =
 
 let vista_cmd =
   let doc = "Fault-inject a Vista database on Rio and audit transaction atomicity." in
-  Cmd.v (Cmd.info "vista" ~doc) Term.(const run_vista $ crashes_arg $ seed_arg $ verbose_arg)
+  Cmd.v (Cmd.info "vista" ~doc)
+    Term.(const run_vista $ crashes_arg $ seed_arg $ jobs_arg $ verbose_arg)
 
 (* ---------------- workloads ---------------- *)
 
-let run_workloads scale _seed _verbose =
+let run_workloads scale _seed _jobs _verbose =
   let module Script = Rio_workload.Script in
   let module Andrew = Rio_workload.Andrew in
   let module Sdet = Rio_workload.Sdet in
@@ -177,22 +268,22 @@ let run_workloads scale _seed _verbose =
 let workloads_cmd =
   let doc = "Describe the synthetic workloads' operation mixes." in
   Cmd.v (Cmd.info "workloads" ~doc)
-    Term.(const run_workloads $ scale_arg $ seed_arg $ verbose_arg)
+    Term.(const run_workloads $ scale_arg $ seed_arg $ jobs_arg $ verbose_arg)
 
 (* ---------------- all ---------------- *)
 
-let run_all crashes scale seed verbose =
-  run_table1 crashes seed verbose;
+let run_all crashes scale seed jobs verbose =
+  run_table1 crashes seed jobs None verbose;
   print_newline ();
-  run_table2 scale seed verbose;
+  run_table2 scale seed jobs verbose;
   print_newline ();
-  run_ablation seed verbose
+  run_ablation seed jobs verbose
 
 let all_cmd =
   let doc = "Run every experiment (table1, table2, ablations)." in
   Cmd.v
     (Cmd.info "all" ~doc)
-    Term.(const run_all $ crashes_arg $ scale_arg $ seed_arg $ verbose_arg)
+    Term.(const run_all $ crashes_arg $ scale_arg $ seed_arg $ jobs_arg $ verbose_arg)
 
 let main_cmd =
   let doc = "Reproduce the experiments of 'The Rio File Cache' (ASPLOS 1996)." in

@@ -30,6 +30,24 @@ let all =
     Synchronization;
   ]
 
+(* Stable 0-based Table 1 index. Seed derivation depends on these values
+   (Reliability.cell_seed), so they must never be renumbered — append new
+   fault types at the end. *)
+let id = function
+  | Kernel_text -> 0
+  | Kernel_heap -> 1
+  | Kernel_stack -> 2
+  | Destination_reg -> 3
+  | Source_reg -> 4
+  | Delete_branch -> 5
+  | Delete_instruction -> 6
+  | Initialization -> 7
+  | Pointer -> 8
+  | Allocation -> 9
+  | Copy_overrun -> 10
+  | Off_by_one -> 11
+  | Synchronization -> 12
+
 type category = Bit_flip | Low_level | High_level
 
 let category = function

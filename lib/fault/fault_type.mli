@@ -23,6 +23,11 @@ type t =
 val all : t list
 (** The 13, in Table 1's row order. *)
 
+val id : t -> int
+(** Stable 0-based index in [all]'s (Table 1's) order. Campaign seed
+    derivation is built on these values, so they are frozen: new fault
+    types must take fresh ids at the end, never renumber. *)
+
 type category = Bit_flip | Low_level | High_level
 
 val category : t -> category

@@ -11,6 +11,12 @@ module Memtest = Rio_workload.Memtest
 module Machine = Rio_cpu.Machine
 module Table = Rio_util.Table
 module Units = Rio_util.Units
+module Pool = Rio_parallel.Pool
+
+(* Each ablation point boots its own engine and kernel from its seed, so
+   a sweep's points are independent tasks for the domain pool; [domains]
+   defaults to 1 (today's serial path) and merged results keep the sweep's
+   presentation order, making parallel output byte-identical. *)
 
 (* ---------------- protection overhead ---------------- *)
 
@@ -52,9 +58,9 @@ let cp_rm_time ~protection ~scale ~seed =
   Cp_rm.run_rm w fs;
   (Units.sec_of_usec (Engine.now engine - t0), Rio_cache.stats rio)
 
-let protection_overhead ?(scale = 0.5) ~seed () =
-  let noprot_s, _ = cp_rm_time ~protection:false ~scale ~seed in
-  let prot_s, stats = cp_rm_time ~protection:true ~scale ~seed in
+let protection_overhead ?(scale = 0.5) ?(domains = 1) ~seed () =
+  match Pool.map_list ~domains (fun protection -> cp_rm_time ~protection ~scale ~seed) [ false; true ] with
+  | [ (noprot_s, _); (prot_s, stats) ] ->
   {
     noprot_s;
     prot_s;
@@ -63,6 +69,7 @@ let protection_overhead ?(scale = 0.5) ~seed () =
     checksum_updates = stats.Rio_cache.checksum_updates;
     shadow_updates = stats.Rio_cache.shadow_updates;
   }
+  | _ -> assert false
 
 let protection_table r =
   let t = Table.create ~columns:[ ("Quantity", Table.Left); ("Value", Table.Right) ] in
@@ -181,7 +188,7 @@ type idle_writeback_result = {
 (* Churn far more data than the page pool holds: plain Rio must write dirty
    victims synchronously at eviction time; Rio_idle trickled them out
    already and evicts clean pages. *)
-let idle_writeback ~seed () =
+let idle_writeback ?(domains = 1) ~seed () =
   let run policy =
     let costs = { Costs.default with Costs.update_interval = Units.sec 1 } in
     let engine = Engine.create () in
@@ -205,15 +212,16 @@ let idle_writeback ~seed () =
     let stats = Rio_fs.Block_cache.stats (Fs.data_cache fs) in
     (Units.sec_of_usec (Engine.now engine - t0), stats)
   in
-  let rio_s, rio_stats = run Fs.Rio_policy in
-  let rio_idle_s, idle_stats = run Fs.Rio_idle in
-  {
-    rio_s;
-    rio_idle_s;
-    rio_evictions = rio_stats.Rio_fs.Block_cache.evictions;
-    rio_idle_evictions = idle_stats.Rio_fs.Block_cache.evictions;
-    rio_idle_daemon_writes = idle_stats.Rio_fs.Block_cache.writebacks;
-  }
+  match Pool.map_list ~domains run [ Fs.Rio_policy; Fs.Rio_idle ] with
+  | [ (rio_s, rio_stats); (rio_idle_s, idle_stats) ] ->
+    {
+      rio_s;
+      rio_idle_s;
+      rio_evictions = rio_stats.Rio_fs.Block_cache.evictions;
+      rio_idle_evictions = idle_stats.Rio_fs.Block_cache.evictions;
+      rio_idle_daemon_writes = idle_stats.Rio_fs.Block_cache.writebacks;
+    }
+  | _ -> assert false
 
 let idle_writeback_table r =
   let t = Table.create ~columns:[ ("Quantity", Table.Left); ("Value", Table.Right) ] in
@@ -236,7 +244,7 @@ type debit_credit_result = {
    overhead on a debit/credit benchmark; the paper argues Rio's is lower
    because protection toggles happen in-kernel and are amortized over
    8 KB writes. Reproduce the comparison on Vista transactions. *)
-let debit_credit ?(transactions = 600) ~seed () =
+let debit_credit ?(transactions = 600) ?(domains = 1) ~seed () =
   let run protection =
     let engine = Engine.create () in
     let kernel = Kernel.boot ~engine ~costs:Costs.default (Kernel.config_with_seed seed) in
@@ -259,9 +267,10 @@ let debit_credit ?(transactions = 600) ~seed () =
     done;
     float_of_int (Engine.now engine - t0) /. float_of_int transactions
   in
-  let noprot_txn_us = run false in
-  let prot_txn_us = run true in
-  { noprot_txn_us; prot_txn_us; overhead_pct = 100. *. ((prot_txn_us /. noprot_txn_us) -. 1.) }
+  match Pool.map_list ~domains run [ false; true ] with
+  | [ noprot_txn_us; prot_txn_us ] ->
+    { noprot_txn_us; prot_txn_us; overhead_pct = 100. *. ((prot_txn_us /. noprot_txn_us) -. 1.) }
+  | _ -> assert false
 
 let debit_credit_table r =
   let t = Table.create ~columns:[ ("Quantity", Table.Left); ("Value", Table.Right) ] in
@@ -286,7 +295,7 @@ type phoenix_point = {
    lost, and each checkpoint pays a copy-on-write pass over the pages
    dirtied in the interval. Rio makes every write permanent. Same
    editing-session workload for both. *)
-let phoenix_comparison ?(steps = 283) ~seed () =
+let phoenix_comparison ?(steps = 283) ?(domains = 1) ~seed () =
   let session interval_opt =
     let costs = Costs.default in
     let engine = Engine.create () in
@@ -331,15 +340,16 @@ let phoenix_comparison ?(steps = 283) ~seed () =
       let files, bytes = Memtest.loss_between ~earlier:at_checkpoint ~later:mt in
       (run_s, files, bytes, !checkpoints)
   in
-  let mk scheme interval =
+  let mk (scheme, interval) =
     let run_s, lost_files, lost_bytes, checkpoints = session interval in
     { scheme; run_s; lost_bytes; lost_files; checkpoints }
   in
-  [
-    mk "phoenix, 5s checkpoints" (Some (Units.sec 5));
-    mk "phoenix, 30s checkpoints" (Some (Units.sec 30));
-    mk "rio (every write permanent)" None;
-  ]
+  Pool.map_list ~domains mk
+    [
+      ("phoenix, 5s checkpoints", Some (Units.sec 5));
+      ("phoenix, 30s checkpoints", Some (Units.sec 30));
+      ("rio (every write permanent)", None);
+    ]
 
 let phoenix_table points =
   let t =
@@ -377,8 +387,8 @@ type disk_sensitivity = {
 
 (* How much of Rio's performance win is the 1990s disk? Rerun the
    write-through comparison with a modern drive's parameters. *)
-let modern_disk_sensitivity ~seed () =
-  let cell costs label =
+let modern_disk_sensitivity ?(domains = 1) ~seed () =
+  let cell (costs, label) =
     let run policy rio =
       let engine = Engine.create () in
       let kcfg =
@@ -409,7 +419,8 @@ let modern_disk_sensitivity ~seed () =
     let rio = run Fs.Rio_policy true in
     { era = label; wt_write_s = wt; rio_s = rio; ratio = wt /. rio }
   in
-  [ cell Costs.default "1996 SCSI disk"; cell Costs.fast_disk "modern disk" ]
+  Pool.map_list ~domains cell
+    [ (Costs.default, "1996 SCSI disk"); (Costs.fast_disk, "modern disk") ]
 
 let disk_sensitivity_table points =
   let t =
@@ -510,16 +521,15 @@ let rio_point ~steps ~seed =
   let lost_files, lost_bytes = Memtest.loss_against_fs mt fs2 in
   { delay = None; label = "rio (warm reboot)"; run_s; lost_bytes; lost_files }
 
-let delay_sweep ?(steps = 400) ~seed () =
+let delay_sweep ?(steps = 400) ?(domains = 1) ~seed () =
   let intervals = [ Units.sec 1; Units.sec 5; Units.sec 15; Units.sec 30; Units.sec 120 ] in
-  let points =
-    List.map
-      (fun interval ->
+  Pool.map_list ~domains
+    (function
+      | Some interval ->
         let p = delayed_point ~interval ~steps ~seed in
-        { p with label = Format.asprintf "delay %a" Units.pp_usec interval })
-      intervals
-  in
-  points @ [ rio_point ~steps ~seed ]
+        { p with label = Format.asprintf "delay %a" Units.pp_usec interval }
+      | None -> rio_point ~steps ~seed)
+    (List.map (fun i -> Some i) intervals @ [ None ])
 
 let delay_table points =
   let t =

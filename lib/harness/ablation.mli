@@ -11,7 +11,12 @@
       registry under memTest.
     - {b Delay-period sweep} (§1): the delayed-write spectrum — longer
       delays buy performance and lose more data in a crash; Rio sits at
-      (fast, zero loss). *)
+      (fast, zero loss).
+
+    Every ablation boots fresh machines from its seed, so the multi-point
+    sweeps accept [?domains] and run their points on a domain pool
+    ({!Rio_parallel.Pool}); results keep presentation order and are
+    byte-identical to the serial ([domains = 1], default) run. *)
 
 type protection_result = {
   noprot_s : float;
@@ -22,7 +27,7 @@ type protection_result = {
   shadow_updates : int;
 }
 
-val protection_overhead : ?scale:float -> seed:int -> unit -> protection_result
+val protection_overhead : ?scale:float -> ?domains:int -> seed:int -> unit -> protection_result
 (** cp+rm (write-heavy, worst case for protection) under both Rio modes. *)
 
 type code_patching_result = {
@@ -53,7 +58,7 @@ type idle_writeback_result = {
   rio_idle_daemon_writes : int;
 }
 
-val idle_writeback : seed:int -> unit -> idle_writeback_result
+val idle_writeback : ?domains:int -> seed:int -> unit -> idle_writeback_result
 (** The paper's §2.3 future-work variant: Rio with idle-period write-back.
     A churn workload bigger than the page pool forces evictions; with idle
     write-back the victims are already clean, so the run does not stall on
@@ -65,7 +70,7 @@ type debit_credit_result = {
   overhead_pct : float;
 }
 
-val debit_credit : ?transactions:int -> seed:int -> unit -> debit_credit_result
+val debit_credit : ?transactions:int -> ?domains:int -> seed:int -> unit -> debit_credit_result
 (** §6's comparison with Sullivan-Stonebraker's "expose page" (7% overhead
     on debit/credit): Rio's in-kernel, per-page protection toggles cost far
     less on the same transaction shape (run on Vista transactions). *)
@@ -78,7 +83,7 @@ type phoenix_point = {
   checkpoints : int;
 }
 
-val phoenix_comparison : ?steps:int -> seed:int -> unit -> phoenix_point list
+val phoenix_comparison : ?steps:int -> ?domains:int -> seed:int -> unit -> phoenix_point list
 (** Related-work comparison (§6): Phoenix-style periodic in-memory
     checkpointing loses the writes since the last checkpoint and pays a
     copy pass per checkpoint; Rio makes every write permanent for free. *)
@@ -90,7 +95,7 @@ type disk_sensitivity = {
   ratio : float;
 }
 
-val modern_disk_sensitivity : seed:int -> unit -> disk_sensitivity list
+val modern_disk_sensitivity : ?domains:int -> seed:int -> unit -> disk_sensitivity list
 (** Re-run the Rio-vs-write-through comparison with a modern disk's
     parameters: the gap shrinks but does not close (seek+rotation still
     dwarf memory latency). *)
@@ -103,7 +108,7 @@ type delay_point = {
   lost_files : int;
 }
 
-val delay_sweep : ?steps:int -> seed:int -> unit -> delay_point list
+val delay_sweep : ?steps:int -> ?domains:int -> seed:int -> unit -> delay_point list
 (** Sweep the update-daemon interval for UFS-delayed, crash at the end of
     the workload, recover, and count what was lost. Includes a Rio point
     (warm reboot: nothing lost). *)

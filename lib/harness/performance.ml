@@ -9,6 +9,7 @@ module Sdet = Rio_workload.Sdet
 module Andrew = Rio_workload.Andrew
 module Table = Rio_util.Table
 module Units = Rio_util.Units
+module Pool = Rio_parallel.Pool
 
 type configuration = {
   label : string;
@@ -96,13 +97,17 @@ let measure_workload config ~scale ~seed workload =
     Andrew.run w fs;
     (seconds engine t0, 0.)
 
-let run ?(scale = 1.0) ?only ?(progress = fun _ -> ()) ~seed () =
+let run ?(scale = 1.0) ?only ?(progress = fun _ -> ()) ?(domains = 1) ~seed () =
   let selected =
     match only with
     | None -> configurations
     | Some labels -> List.filter (fun c -> List.mem c.label labels) configurations
   in
-  List.map
+  let progress = if domains > 1 then Pool.sink progress else progress in
+  (* Each (configuration, workload) cell boots a fresh machine from [seed]
+     alone, so a configuration's three measurements form one independent
+     task; results come back in Table 2 row order either way. *)
+  Pool.map_list ~domains
     (fun config ->
       let cp_s, rm_s = measure_workload config ~scale ~seed `Cp_rm in
       let sdet_s, _ = measure_workload config ~scale ~seed `Sdet in

@@ -28,11 +28,15 @@ val run :
   ?scale:float ->
   ?only:string list ->
   ?progress:(string -> unit) ->
+  ?domains:int ->
   seed:int ->
   unit ->
   measurement list
 (** [scale] shrinks the workloads (1.0 = the paper's 40 MB cp+rm tree, 5
-    Sdet scripts, full Andrew). [only] filters configuration labels. *)
+    Sdet scripts, full Andrew). [only] filters configuration labels.
+    [domains] > 1 measures configurations on a domain pool (each cell
+    boots its own machine from [seed]); results stay in Table 2 row order
+    and are byte-identical to the serial run. *)
 
 val measure_workload :
   configuration -> scale:float -> seed:int -> [ `Cp_rm | `Sdet | `Andrew ] -> float * float

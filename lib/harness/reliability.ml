@@ -1,6 +1,7 @@
 module Campaign = Rio_fault.Campaign
 module Fault_type = Rio_fault.Fault_type
 module Table = Rio_util.Table
+module Pool = Rio_parallel.Pool
 
 type cell = {
   crashes : int;
@@ -25,63 +26,73 @@ let cell_seed ~seed_base system fault =
     | Campaign.Rio_without_protection -> 2
     | Campaign.Rio_with_protection -> 3
   in
-  let fault_id =
-    match List.mapi (fun i f -> (f, i)) Fault_type.all |> List.assoc_opt fault with
-    | Some i -> i
-    | None -> 0
-  in
-  seed_base + (sys_id * 1_000_000) + (fault_id * 10_000)
+  seed_base + (sys_id * 1_000_000) + (Fault_type.id fault * 10_000)
+
+(* One (system, fault) cell: run crash tests until [crashes_per_cell] of
+   them crash. Every trial builds its own engine, kernel, disk, and PRNG
+   from the cell's deterministic seed, so a cell is an isolated unit of
+   work — this is the task the domain pool schedules. The cell's crash
+   messages are returned (in attempt order) rather than written into a
+   shared table, so workers never touch common mutable state. *)
+let run_cell config ~crashes_per_cell ~seed_base ~progress (system, fault) =
+  let crashes = ref 0
+  and attempts = ref 0
+  and corruptions = ref 0
+  and paths = ref 0
+  and traps = ref 0
+  and cksum = ref 0
+  and messages = ref [] in
+  let base = cell_seed ~seed_base system fault in
+  (* Cap attempts so a pathological non-crashing cell terminates. *)
+  let max_attempts = crashes_per_cell * 25 in
+  while !crashes < crashes_per_cell && !attempts < max_attempts do
+    incr attempts;
+    let o = Campaign.run_one config system fault ~seed:(base + !attempts) in
+    if not o.Campaign.discarded then begin
+      incr crashes;
+      (match o.Campaign.crash_message with
+      | Some m -> messages := m :: !messages
+      | None -> ());
+      if o.Campaign.corrupted then begin
+        incr corruptions;
+        paths := !paths + o.Campaign.corrupt_paths
+      end;
+      if o.Campaign.protection_trap then incr traps;
+      if o.Campaign.checksum_detected then incr cksum
+    end
+  done;
+  progress
+    (Printf.sprintf "%s / %s: %d crashes in %d attempts, %d corruptions"
+       (Campaign.system_name system) (Fault_type.name fault) !crashes !attempts !corruptions);
+  ( system,
+    fault,
+    {
+      crashes = !crashes;
+      attempts = !attempts;
+      corruptions = !corruptions;
+      corrupt_paths = !paths;
+      protection_traps = !traps;
+      checksum_detections = !cksum;
+    },
+    List.rev !messages )
 
 let run ?(config = Campaign.default_config) ?(systems = Campaign.all_systems)
-    ?(faults = Fault_type.all) ?(progress = fun _ -> ()) ~crashes_per_cell ~seed_base () =
-  let messages = Hashtbl.create 64 in
-  let cells =
-    List.concat_map
-      (fun system ->
-        List.map
-          (fun fault ->
-            let crashes = ref 0
-            and attempts = ref 0
-            and corruptions = ref 0
-            and paths = ref 0
-            and traps = ref 0
-            and cksum = ref 0 in
-            let base = cell_seed ~seed_base system fault in
-            (* Cap attempts so a pathological non-crashing cell terminates. *)
-            let max_attempts = crashes_per_cell * 25 in
-            while !crashes < crashes_per_cell && !attempts < max_attempts do
-              incr attempts;
-              let o = Campaign.run_one config system fault ~seed:(base + !attempts) in
-              if not o.Campaign.discarded then begin
-                incr crashes;
-                (match o.Campaign.crash_message with
-                | Some m -> Hashtbl.replace messages m ()
-                | None -> ());
-                if o.Campaign.corrupted then begin
-                  incr corruptions;
-                  paths := !paths + o.Campaign.corrupt_paths
-                end;
-                if o.Campaign.protection_trap then incr traps;
-                if o.Campaign.checksum_detected then incr cksum
-              end
-            done;
-            progress
-              (Printf.sprintf "%s / %s: %d crashes in %d attempts, %d corruptions"
-                 (Campaign.system_name system) (Fault_type.name fault) !crashes !attempts
-                 !corruptions);
-            ( system,
-              fault,
-              {
-                crashes = !crashes;
-                attempts = !attempts;
-                corruptions = !corruptions;
-                corrupt_paths = !paths;
-                protection_traps = !traps;
-                checksum_detections = !cksum;
-              } ))
-          faults)
-      systems
+    ?(faults = Fault_type.all) ?(progress = fun _ -> ()) ?(domains = 1) ~crashes_per_cell
+    ~seed_base () =
+  let tasks =
+    List.concat_map (fun system -> List.map (fun fault -> (system, fault)) faults) systems
   in
+  let progress = if domains > 1 then Pool.sink progress else progress in
+  let with_messages =
+    Pool.map_list ~domains (run_cell config ~crashes_per_cell ~seed_base ~progress) tasks
+  in
+  (* Merge per-cell message lists in seed order; the table is a set, so
+     the totals match the serial run exactly. *)
+  let messages = Hashtbl.create 64 in
+  List.iter
+    (fun (_, _, _, ms) -> List.iter (fun m -> Hashtbl.replace messages m ()) ms)
+    with_messages;
+  let cells = List.map (fun (s, f, c, _) -> (s, f, c)) with_messages in
   let consistency =
     Hashtbl.fold
       (fun m () acc -> if String.length m >= 6 && String.sub m 0 6 = "panic:" then acc + 1 else acc)

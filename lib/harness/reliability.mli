@@ -27,10 +27,17 @@ val run :
   ?systems:Rio_fault.Campaign.system list ->
   ?faults:Rio_fault.Fault_type.t list ->
   ?progress:(string -> unit) ->
+  ?domains:int ->
   crashes_per_cell:int ->
   seed_base:int ->
   unit ->
   results
+(** Each (system, fault) cell derives its seeds from [seed_base] alone,
+    so cells are independent tasks: [domains] > 1 runs them on a domain
+    pool and merges the results back in seed order, byte-identical to the
+    serial run. [domains = 1] (default) is today's sequential path.
+    [progress] is called under a mutex when [domains] > 1; completion
+    order (and thus progress order) may differ from serial. *)
 
 val message_census :
   ?config:Rio_fault.Campaign.config ->

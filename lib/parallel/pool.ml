@@ -1,0 +1,49 @@
+let default_domains () = Domain.recommended_domain_count ()
+
+let map ?(domains = 1) ?(chunk = 1) f items =
+  let n = Array.length items in
+  let domains = max 1 (min domains n) in
+  let chunk = max 1 chunk in
+  if domains <= 1 then Array.map f items
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    (* First failure wins; set once, checked by every worker between
+       chunks so the pool drains quickly after an error. *)
+    let error = Atomic.make None in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let start = Atomic.fetch_and_add next chunk in
+        if start >= n || Atomic.get error <> None then continue := false
+        else
+          let stop = min n (start + chunk) in
+          let i = ref start in
+          while !continue && !i < stop do
+            (match f items.(!i) with
+            | v -> results.(!i) <- Some v
+            | exception e ->
+              let bt = Printexc.get_raw_backtrace () in
+              ignore (Atomic.compare_and_set error None (Some (e, bt)));
+              continue := false);
+            incr i
+          done
+      done
+    in
+    let spawned = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned;
+    (match Atomic.get error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map_list ?domains ?chunk f items =
+  Array.to_list (map ?domains ?chunk f (Array.of_list items))
+
+let sink f =
+  let m = Mutex.create () in
+  fun x ->
+    Mutex.lock m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) (fun () -> f x)

@@ -1,0 +1,37 @@
+(** A fixed-size domain pool for embarrassingly parallel campaign work.
+
+    Every harness trial (one crash test, one Table 2 cell, one ablation
+    point) builds its own engine, kernel, disk, and PRNG from a
+    deterministic seed, so trials share no mutable state and can run on
+    separate domains. The pool hands out chunks of an indexed task array
+    to [domains] workers and writes each result back at its input index,
+    so the merged output is always in input (seed) order — parallel runs
+    are byte-identical to serial ones.
+
+    No external dependencies: OCaml 5's [Domain], [Atomic], and [Mutex]
+    only (domainslib is deliberately not used). *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()] — what [-j] defaults to. *)
+
+val map : ?domains:int -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~domains f items] applies [f] to every element, using up to
+    [domains] worker domains (clamped to the task count), and returns the
+    results in input order.
+
+    [domains = 1] (the default) runs the plain sequential [Array.map] —
+    today's serial code path, no domains spawned. [chunk] (default 1)
+    controls how many consecutive tasks a worker claims at once; campaign
+    trials are heavy, so fine-grained claiming is the right default.
+
+    If any [f] raises, the first exception (in claim order) is re-raised
+    in the calling domain with its original backtrace, after all workers
+    have stopped; remaining unclaimed tasks are abandoned. *)
+
+val map_list : ?domains:int -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map] for lists, preserving order. *)
+
+val sink : ('a -> unit) -> 'a -> unit
+(** [sink f] wraps an output callback (progress printing, accumulation
+    into a list) in a fresh mutex so workers on different domains never
+    interleave inside [f]. *)

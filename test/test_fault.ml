@@ -20,6 +20,12 @@ let qtest = QCheck_alcotest.to_alcotest
 let test_thirteen_types () =
   check Alcotest.int "the paper's 13 fault types" 13 (List.length Fault_type.all)
 
+let test_stable_ids () =
+  (* Seed derivation depends on id = position in [all]; both are frozen. *)
+  List.iteri
+    (fun i f -> check Alcotest.int (Fault_type.name f ^ " id") i (Fault_type.id f))
+    Fault_type.all
+
 let test_categories () =
   check Alcotest.int "three bit-flip types" 3
     (List.length (List.filter (fun f -> Fault_type.category f = Fault_type.Bit_flip) Fault_type.all));
@@ -223,6 +229,7 @@ let () =
       ( "types",
         [
           Alcotest.test_case "thirteen" `Quick test_thirteen_types;
+          Alcotest.test_case "stable ids" `Quick test_stable_ids;
           Alcotest.test_case "categories" `Quick test_categories;
           Alcotest.test_case "names" `Quick test_names_roundtrip;
         ] );

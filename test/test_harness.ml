@@ -100,6 +100,22 @@ let test_reliability_tables_render () =
     !found);
   ignore (Rio_util.Table.render (Reliability.comparison_table results))
 
+let test_parallel_run_matches_serial () =
+  (* The tentpole guarantee: a campaign on a 4-domain pool produces a
+     [results] value structurally equal to the serial run — same cells in
+     the same order, same counts, same unique-message totals. *)
+  let run domains =
+    Reliability.run ~config:quick_config ~domains
+      ~systems:[ Campaign.Disk_based; Campaign.Rio_without_protection ]
+      ~faults:[ Fault_type.Kernel_text; Fault_type.Pointer ]
+      ~crashes_per_cell:2 ~seed_base:77 ()
+  in
+  let serial = run 1 and parallel = run 4 in
+  check Alcotest.bool "parallel results equal serial results" true (serial = parallel);
+  check Alcotest.string "rendered tables byte-identical"
+    (Rio_util.Table.render (Reliability.to_table serial))
+    (Rio_util.Table.render (Reliability.to_table parallel))
+
 (* ---------------- performance harness (scaled down) ---------------- *)
 
 let test_performance_ordering () =
@@ -214,6 +230,7 @@ let () =
         [
           Alcotest.test_case "collects crashes" `Slow test_reliability_collects_requested_crashes;
           Alcotest.test_case "tables render" `Slow test_reliability_tables_render;
+          Alcotest.test_case "parallel matches serial" `Slow test_parallel_run_matches_serial;
         ] );
       ( "performance",
         [

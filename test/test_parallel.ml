@@ -1,0 +1,106 @@
+(* Tests for the domain pool behind the parallel campaign executor:
+   result ordering, exception propagation, the -j 1 serial fallback, and
+   the mutex-protected sink. *)
+
+module Pool = Rio_parallel.Pool
+
+let check = Alcotest.check
+
+let test_map_matches_serial () =
+  let input = Array.init 100 (fun i -> i) in
+  let f x = (x * x) + 7 in
+  let serial = Array.map f input in
+  List.iter
+    (fun domains ->
+      check
+        Alcotest.(array int)
+        (Printf.sprintf "domains=%d preserves order" domains)
+        serial
+        (Pool.map ~domains f input))
+    [ 1; 2; 4; 8 ]
+
+let test_map_list_matches_serial () =
+  let input = List.init 33 (fun i -> string_of_int i) in
+  check
+    Alcotest.(list string)
+    "list order preserved" input
+    (Pool.map_list ~domains:4 (fun s -> s) input)
+
+let test_chunked_claiming () =
+  let input = Array.init 57 (fun i -> i) in
+  check
+    Alcotest.(array int)
+    "chunk > 1 preserves order" input
+    (Pool.map ~domains:3 ~chunk:8 (fun x -> x) input)
+
+let test_empty_and_tiny_inputs () =
+  check Alcotest.(array int) "empty input" [||] (Pool.map ~domains:4 (fun x -> x) [||]);
+  (* More domains than tasks: clamped, no worker starves the result. *)
+  check Alcotest.(array int) "one task, many domains" [| 42 |]
+    (Pool.map ~domains:8 (fun x -> x * 2) [| 21 |])
+
+let test_exception_propagates () =
+  List.iter
+    (fun domains ->
+      Alcotest.check_raises
+        (Printf.sprintf "failure re-raised at domains=%d" domains)
+        (Failure "task 13 exploded")
+        (fun () ->
+          ignore
+            (Pool.map ~domains
+               (fun x -> if x = 13 then failwith "task 13 exploded" else x)
+               (Array.init 40 (fun i -> i)))))
+    [ 1; 4 ]
+
+let test_serial_fallback_runs_in_order () =
+  (* -j 1 must be today's code path: tasks executed sequentially, in
+     input order, on the calling domain. *)
+  let trace = ref [] in
+  let caller = Domain.self () in
+  let out =
+    Pool.map ~domains:1
+      (fun x ->
+        check Alcotest.bool "runs on the calling domain" true (Domain.self () = caller);
+        trace := x :: !trace;
+        x)
+      (Array.init 20 (fun i -> i))
+  in
+  check Alcotest.(list int) "sequential execution order" (List.init 20 (fun i -> i))
+    (List.rev !trace);
+  check Alcotest.(array int) "results intact" (Array.init 20 (fun i -> i)) out
+
+let test_sink_serializes_writers () =
+  (* Hammer a list-accumulating sink from several domains; without the
+     mutex this write-write races. Every message must arrive exactly once. *)
+  let acc = ref [] in
+  let sink = Pool.sink (fun m -> acc := m :: !acc) in
+  let n = 400 in
+  ignore
+    (Pool.map ~domains:4
+       (fun i ->
+         sink i;
+         i)
+       (Array.init n (fun i -> i)));
+  check Alcotest.int "no lost updates" n (List.length !acc);
+  check Alcotest.(list int) "every message arrived once"
+    (List.init n (fun i -> i))
+    (List.sort compare !acc)
+
+let test_default_domains_positive () =
+  check Alcotest.bool "at least one domain" true (Pool.default_domains () >= 1)
+
+let () =
+  Alcotest.run "rio_parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map matches serial" `Quick test_map_matches_serial;
+          Alcotest.test_case "map_list matches serial" `Quick test_map_list_matches_serial;
+          Alcotest.test_case "chunked claiming" `Quick test_chunked_claiming;
+          Alcotest.test_case "empty and tiny inputs" `Quick test_empty_and_tiny_inputs;
+          Alcotest.test_case "exception propagation" `Quick test_exception_propagates;
+          Alcotest.test_case "-j 1 fallback order" `Quick test_serial_fallback_runs_in_order;
+          Alcotest.test_case "sink serializes writers" `Quick test_sink_serializes_writers;
+          Alcotest.test_case "default domains" `Quick test_default_domains_positive;
+        ] );
+    ]
