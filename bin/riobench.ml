@@ -2,16 +2,40 @@
 
    Subcommands: table1 (reliability), table2 (performance), mttf
    (projection), ablation (protection / code-patching / registry / delay
-   sweep), all. *)
+   sweep), trace (flight-recorder forensics of one crash trial), all. *)
 
 module Reliability = Rio_harness.Reliability
 module Performance = Rio_harness.Performance
 module Ablation = Rio_harness.Ablation
+module Progress = Rio_harness.Progress
+module Campaign = Rio_fault.Campaign
+module Fault_type = Rio_fault.Fault_type
 module Table = Rio_util.Table
+module Json = Rio_util.Json
 module Pool = Rio_parallel.Pool
+module Trace = Rio_obs.Trace
+module Export = Rio_obs.Export
+module Forensics = Rio_obs.Forensics
 open Cmdliner
 
-let progress verbose = if verbose then fun s -> Printf.eprintf "  %s\n%!" s else fun _ -> ()
+(* Per-cell progress with an ETA extrapolated from completed cells. *)
+let progress verbose =
+  if not verbose then fun (_ : Progress.t) -> ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    fun (p : Progress.t) ->
+      let elapsed = Unix.gettimeofday () -. t0 in
+      let line =
+        if p.Progress.completed > 0 && p.Progress.completed < p.Progress.total then
+          Progress.render
+            ~eta_s:
+              (elapsed /. float_of_int p.Progress.completed
+              *. float_of_int (p.Progress.total - p.Progress.completed))
+            p
+        else Progress.render p
+      in
+      Printf.eprintf "  %s\n%!" line
+  end
 
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print per-cell progress on stderr.")
@@ -36,51 +60,56 @@ let json_arg =
     & info [ "json" ] ~docv:"FILE"
         ~doc:"Also write machine-readable timings and results to $(docv).")
 
-(* Minimal JSON emitter (no external deps). *)
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
 let write_table1_json (file, oc) ~crashes ~seed ~jobs ~wall_s results =
   let cell_json (system, fault, c) =
-    Printf.sprintf
-      "    {\"system\": \"%s\", \"fault\": \"%s\", \"crashes\": %d, \"attempts\": %d, \
-       \"corruptions\": %d, \"corrupt_paths\": %d, \"protection_traps\": %d, \
-       \"checksum_detections\": %d}"
-      (json_escape (Rio_fault.Campaign.system_name system))
-      (json_escape (Rio_fault.Fault_type.name fault))
-      c.Reliability.crashes c.Reliability.attempts c.Reliability.corruptions
-      c.Reliability.corrupt_paths c.Reliability.protection_traps c.Reliability.checksum_detections
+    Json.Obj
+      [
+        ("system", Json.Str (Campaign.system_name system));
+        ("fault", Json.Str (Fault_type.name fault));
+        ("crashes", Json.Int c.Reliability.crashes);
+        ("attempts", Json.Int c.Reliability.attempts);
+        ("corruptions", Json.Int c.Reliability.corruptions);
+        ("corrupt_paths", Json.Int c.Reliability.corrupt_paths);
+        ("protection_traps", Json.Int c.Reliability.protection_traps);
+        ("checksum_detections", Json.Int c.Reliability.checksum_detections);
+      ]
   in
-  Printf.fprintf oc
-    "{\n\
-    \  \"benchmark\": \"table1\",\n\
-    \  \"crashes_per_cell\": %d,\n\
-    \  \"seed\": %d,\n\
-    \  \"jobs\": %d,\n\
-    \  \"wall_s\": %.3f,\n\
-    \  \"unique_messages\": %d,\n\
-    \  \"unique_consistency_messages\": %d,\n\
-    \  \"cells\": [\n%s\n  ]\n\
-     }\n"
-    crashes seed jobs wall_s results.Reliability.unique_messages
-    results.Reliability.unique_consistency_messages
-    (String.concat ",\n" (List.map cell_json results.Reliability.cells));
+  let doc =
+    Json.Obj
+      ([
+         ("benchmark", Json.Str "table1");
+         ("crashes_per_cell", Json.Int crashes);
+         ("seed", Json.Int seed);
+         ("jobs", Json.Int jobs);
+         ("wall_s", Json.Float wall_s);
+         ("unique_messages", Json.Int results.Reliability.unique_messages);
+         ( "unique_consistency_messages",
+           Json.Int results.Reliability.unique_consistency_messages );
+         ("cells", Json.Arr (List.map cell_json results.Reliability.cells));
+       ]
+      @
+      match results.Reliability.metrics with
+      | Some snap -> [ ("metrics", Trace.snapshot_json snap) ]
+      | None -> [])
+  in
+  output_string oc (Json.pretty doc);
+  output_char oc '\n';
   close_out oc;
   Printf.eprintf "wrote %s\n%!" file
 
 (* ---------------- table1 ---------------- *)
 
-let run_table1 crashes seed jobs json verbose =
+let trace_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-dir" ] ~docv:"DIR"
+        ~doc:
+          "Turn the flight recorder on: write one JSONL trace per crashed \
+           trial into $(docv) (created if missing) and aggregate per-trial \
+           metrics into --json output. Off by default (zero overhead).")
+
+let run_table1 crashes seed jobs json trace_dir verbose =
   (* Open the JSON sink before the campaign: a bad path must fail in
      milliseconds, not after a 30-minute run. *)
   let json_out =
@@ -95,8 +124,8 @@ let run_table1 crashes seed jobs json verbose =
   Printf.printf "Table 1: corruption per fault type (%d crash tests per cell)\n\n%!" crashes;
   let t0 = Unix.gettimeofday () in
   let results =
-    Reliability.run ~progress:(progress verbose) ~domains:jobs ~crashes_per_cell:crashes
-      ~seed_base:seed ()
+    Reliability.run ~progress:(progress verbose) ~domains:jobs ?trace_dir
+      ~crashes_per_cell:crashes ~seed_base:seed ()
   in
   let wall_s = Unix.gettimeofday () -. t0 in
   print_string (Table.render (Reliability.to_table results));
@@ -117,7 +146,9 @@ let table1_cmd =
   let doc = "Reproduce Table 1: how often crashes corrupt file data." in
   Cmd.v
     (Cmd.info "table1" ~doc)
-    Term.(const run_table1 $ crashes_arg $ seed_arg $ jobs_arg $ json_arg $ verbose_arg)
+    Term.(
+      const run_table1 $ crashes_arg $ seed_arg $ jobs_arg $ json_arg $ trace_dir_arg
+      $ verbose_arg)
 
 (* ---------------- table2 ---------------- *)
 
@@ -208,6 +239,108 @@ let messages_cmd =
   Cmd.v (Cmd.info "messages" ~doc)
     Term.(const run_messages $ crashes_arg $ seed_arg $ jobs_arg $ verbose_arg)
 
+(* ---------------- trace ---------------- *)
+
+let fault_arg =
+  Arg.(
+    value
+    & opt string "copy-overrun"
+    & info [ "fault" ] ~docv:"SLUG"
+        ~doc:
+          (Printf.sprintf "Fault type to inject: one of %s."
+             (String.concat ", " (List.map Fault_type.slug Fault_type.all))))
+
+let system_arg =
+  Arg.(
+    value
+    & opt string "rio-noprot"
+    & info [ "system" ] ~docv:"SLUG"
+        ~doc:
+          (Printf.sprintf "System under test: one of %s."
+             (String.concat ", " (List.map Campaign.system_slug Campaign.all_systems))))
+
+let out_arg =
+  Arg.(
+    value
+    & opt string "trace.json"
+    & info [ "out" ] ~docv:"FILE"
+        ~doc:"Chrome trace_event output (load in Perfetto or chrome://tracing).")
+
+let jsonl_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "jsonl" ] ~docv:"FILE" ~doc:"Also dump the raw event stream as JSON Lines.")
+
+let run_trace seed fault_slug system_slug out jsonl _verbose =
+  let fault =
+    match Fault_type.of_slug fault_slug with
+    | Some f -> f
+    | None ->
+      Printf.eprintf "riobench: unknown fault type %S (see riobench trace --help)\n%!"
+        fault_slug;
+      exit 1
+  in
+  let system =
+    match
+      List.find_opt (fun s -> Campaign.system_slug s = system_slug) Campaign.all_systems
+    with
+    | Some s -> s
+    | None ->
+      Printf.eprintf "riobench: unknown system %S (see riobench trace --help)\n%!"
+        system_slug;
+      exit 1
+  in
+  let cfg = Campaign.default_config in
+  (* Like the campaign's cells, seeds that never crash inside the watchdog
+     window are discarded; walk forward from [seed] until a trial crashes.
+     A generous ring keeps the injection event in the recorder even on
+     long trials. *)
+  let max_attempts = 50 in
+  let rec attempt i =
+    if i >= max_attempts then begin
+      Printf.eprintf
+        "riobench: no crashing trial in %d attempts from seed %d (try another seed)\n%!"
+        max_attempts seed;
+      exit 1
+    end;
+    let obs = Trace.create ~capacity:(1 lsl 20) () in
+    let o = Campaign.run_one ~obs cfg system fault ~seed:(seed + i) in
+    if o.Campaign.discarded then attempt (i + 1) else (obs, o, seed + i)
+  in
+  let obs, outcome, used_seed = attempt 0 in
+  Printf.printf "crash trial: %s, %s, seed %d%s\n\n" (Campaign.system_name system)
+    (Fault_type.name fault) used_seed
+    (if used_seed = seed then ""
+     else Printf.sprintf " (seeds %d..%d discarded: no crash in window)" seed (used_seed - 1));
+  (match outcome.Campaign.forensics with
+  | Some f -> List.iter print_endline (Forensics.narrative f)
+  | None -> ());
+  Printf.printf "\noutcome: %s\n\n" (Format.asprintf "%a" Campaign.pp_outcome outcome);
+  let meta =
+    [
+      ("system", Json.Str (Campaign.system_slug system));
+      ("fault", Json.Str (Fault_type.slug fault));
+      ("seed", Json.Int used_seed);
+    ]
+  in
+  Export.write_chrome ~file:out ~meta obs;
+  Printf.printf "wrote %s (open in Perfetto / chrome://tracing)\n" out;
+  match jsonl with
+  | Some file ->
+    Export.write_jsonl ~file ~header:(Json.Obj meta) obs;
+    Printf.printf "wrote %s\n" file
+  | None -> ()
+
+let trace_cmd =
+  let doc =
+    "Flight-record one seeded crash trial: print the forensic narrative \
+     (injection, wild stores, crash, recovery) and dump a Chrome trace."
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(
+      const run_trace $ seed_arg $ fault_arg $ system_arg $ out_arg $ jsonl_arg $ verbose_arg)
+
 (* ---------------- vista ---------------- *)
 
 let run_vista crashes seed jobs _verbose =
@@ -273,7 +406,7 @@ let workloads_cmd =
 (* ---------------- all ---------------- *)
 
 let run_all crashes scale seed jobs verbose =
-  run_table1 crashes seed jobs None verbose;
+  run_table1 crashes seed jobs None None verbose;
   print_newline ();
   run_table2 scale seed jobs verbose;
   print_newline ();
@@ -290,8 +423,8 @@ let main_cmd =
   let info = Cmd.info "riobench" ~version:"1.0" ~doc in
   Cmd.group info
     [
-      table1_cmd; table2_cmd; mttf_cmd; ablation_cmd; messages_cmd; workloads_cmd; vista_cmd;
-      all_cmd;
+      table1_cmd; table2_cmd; mttf_cmd; ablation_cmd; messages_cmd; trace_cmd;
+      workloads_cmd; vista_cmd; all_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

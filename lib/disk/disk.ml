@@ -1,5 +1,6 @@
 module Engine = Rio_sim.Engine
 module Costs = Rio_sim.Costs
+module Trace = Rio_obs.Trace
 
 let sector_bytes = 512
 
@@ -22,6 +23,9 @@ type request = {
 
 type t = {
   engine : Engine.t;
+  obs : Trace.t;
+  c_requests : Trace.counter;
+  h_latency : Trace.histogram;
   costs : Costs.t;
   sectors : int;
   store : (int, bytes) Hashtbl.t;
@@ -38,8 +42,12 @@ type t = {
 }
 
 let create ~engine ~costs ~sectors ~seed =
+  let obs = Engine.obs engine in
   {
     engine;
+    obs;
+    c_requests = Trace.counter obs "disk.requests";
+    h_latency = Trace.histogram obs "disk.request_latency_us";
     costs;
     sectors;
     store = Hashtbl.create 4096;
@@ -124,9 +132,21 @@ let schedule_request t sector count =
   t.busy_us <- t.busy_us + service;
   (start, completion)
 
+(* Latency as seen by the issuer: queueing delay plus service time. *)
+let note_request t ~sector ~count ~write ~sync ~issued ~completion =
+  if Trace.enabled t.obs then begin
+    Trace.incr t.c_requests;
+    Trace.observe t.h_latency (completion - issued);
+    Trace.emit t.obs Trace.Disk
+      (Trace.Disk_request
+         { sector; sectors = count; write; sync; issued_us = issued; done_us = completion })
+  end
+
 let read_sync t ~sector ~count =
   check_range t sector count;
+  let issued = Engine.now t.engine in
   let _, completion = schedule_request t sector count in
+  note_request t ~sector ~count ~write:false ~sync:true ~issued ~completion;
   Engine.advance_to t.engine completion;
   t.reads <- t.reads + 1;
   t.sectors_read <- t.sectors_read + count;
@@ -144,7 +164,9 @@ let read_sync t ~sector ~count =
 let write_sync t ~sector data =
   let data, count = pad_to_sectors data in
   check_range t sector count;
+  let issued = Engine.now t.engine in
   let _, completion = schedule_request t sector count in
+  note_request t ~sector ~count ~write:true ~sync:true ~issued ~completion;
   Engine.advance_to t.engine completion;
   t.writes <- t.writes + 1;
   t.sectors_written <- t.sectors_written + count;
@@ -164,7 +186,9 @@ let write_async t ~sector data =
     | oldest :: _ -> Engine.advance_to t.engine oldest.completion_time
     | [] -> ()
   done;
+  let issued = Engine.now t.engine in
   let start, completion = schedule_request t sector count in
+  note_request t ~sector ~count ~write:true ~sync:false ~issued ~completion;
   t.writes <- t.writes + 1;
   t.sectors_written <- t.sectors_written + count;
   let rec request =

@@ -12,6 +12,8 @@ module Andrew = Rio_workload.Andrew
 module Script = Rio_workload.Script
 module Prng = Rio_util.Prng
 module Pattern = Rio_util.Pattern
+module Trace = Rio_obs.Trace
+module Forensics = Rio_obs.Forensics
 
 type system =
   | Disk_based
@@ -24,6 +26,11 @@ let system_name = function
   | Disk_based -> "disk-based (write-through)"
   | Rio_without_protection -> "rio without protection"
   | Rio_with_protection -> "rio with protection"
+
+let system_slug = function
+  | Disk_based -> "disk-based"
+  | Rio_without_protection -> "rio-noprot"
+  | Rio_with_protection -> "rio-prot"
 
 type config = {
   warmup_steps : int;
@@ -69,6 +76,9 @@ type outcome = {
           pages the kernel does not own — direct corruption in the act
           (the propagation tracing the paper's footnote 2 left open). *)
   injected_at_us : int;  (** When the faults went in. *)
+  forensics : Forensics.t option;
+      (** Present when the trial ran with a live recorder: the distilled
+          injection → wild store → crash → recovery chain. *)
 }
 
 let static_seed = 0x57A7
@@ -94,8 +104,8 @@ let is_protection_trap = function
   | Some { Kcrash.cause = Kcrash.Trap (Machine.Protection_violation _); _ } -> true
   | Some _ | None -> false
 
-let run_one cfg system fault ~seed =
-  let engine = Engine.create () in
+let run_one ?(obs = Trace.null) cfg system fault ~seed =
+  let engine = Engine.create ~obs () in
   let costs = Costs.default in
   let kcfg = { cfg.kernel_config with Kernel.seed } in
   let kernel = Kernel.boot ~engine ~costs kcfg in
@@ -148,12 +158,18 @@ let run_one cfg system fault ~seed =
   let injected_at = Engine.now engine in
   let wild_stores = ref 0 in
   let layout = Kernel.layout kernel in
-  Rio_cpu.Machine.set_on_store (Kernel.machine kernel) (fun ~paddr ~width:_ ->
+  let note_wild ~paddr ~width region =
+    incr wild_stores;
+    if Trace.enabled obs then
+      Trace.emit obs Trace.Kernel (Trace.Wild_store { paddr; width; region })
+  in
+  Rio_cpu.Machine.set_on_store (Kernel.machine kernel) (fun ~paddr ~width ->
       match Rio_mem.Layout.kind_of_addr layout paddr with
-      | Some Rio_mem.Layout.Buffer_cache -> incr wild_stores
+      | Some Rio_mem.Layout.Buffer_cache -> note_wild ~paddr ~width "buffer_cache"
       | Some Rio_mem.Layout.Page_pool ->
         let page = paddr - (paddr mod Rio_mem.Phys_mem.page_size) in
-        if not (List.mem page (Kernel.owned_pool_pages kernel)) then incr wild_stores
+        if not (List.mem page (Kernel.owned_pool_pages kernel)) then
+          note_wild ~paddr ~width "page_pool"
       | Some
           ( Rio_mem.Layout.Kernel_text | Rio_mem.Layout.Kernel_heap
           | Rio_mem.Layout.Kernel_stack | Rio_mem.Layout.Page_tables
@@ -199,6 +215,7 @@ let run_one cfg system fault ~seed =
       registry_corrupt_slots = 0;
       wild_filecache_stores = !wild_stores + Kernel.overrun_filecache_bytes kernel;
       injected_at_us = injected_at;
+      forensics = (if Trace.enabled obs then Some (Forensics.summarize obs) else None);
     }
   | Some info ->
     Kernel.crash_system kernel info;
@@ -267,6 +284,7 @@ let run_one cfg system fault ~seed =
       registry_corrupt_slots = !registry_corrupt;
       wild_filecache_stores = !wild_stores + Kernel.overrun_filecache_bytes kernel;
       injected_at_us = injected_at;
+      forensics = (if Trace.enabled obs then Some (Forensics.summarize obs) else None);
     }
 
 let pp_outcome ppf o =

@@ -20,6 +20,9 @@ val all_systems : system list
 
 val system_name : system -> string
 
+val system_slug : system -> string
+(** Filename-friendly identifier ("rio-prot"), used for trace files. *)
+
 type config = {
   warmup_steps : int;  (** memTest steps before injection. *)
   max_steps : int;  (** memTest steps after injection before discarding. *)
@@ -57,9 +60,14 @@ type outcome = {
           act. The paper treated the system as a black box (footnote 2);
           the simulator can watch the propagation directly. *)
   injected_at_us : int;  (** Simulated time of fault injection. *)
+  forensics : Rio_obs.Forensics.t option;
+      (** Present when the trial ran with a live recorder ([?obs]): the
+          distilled injection → wild store → crash → recovery chain. *)
 }
 
-val run_one : config -> system -> Fault_type.t -> seed:int -> outcome
-(** Fully deterministic in [seed]. *)
+val run_one : ?obs:Rio_obs.Trace.t -> config -> system -> Fault_type.t -> seed:int -> outcome
+(** Fully deterministic in [seed]. When [obs] is a live recorder (one per
+    trial — recorders are single-trial, not thread-safe), every subsystem
+    traces into it and the outcome carries a forensic summary. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -73,6 +73,24 @@ let name = function
 
 let of_name s = List.find_opt (fun t -> name t = s) all
 
+(* Filename- and JSON-friendly identifier. *)
+let slug = function
+  | Kernel_text -> "kernel-text"
+  | Kernel_heap -> "kernel-heap"
+  | Kernel_stack -> "kernel-stack"
+  | Destination_reg -> "destination-reg"
+  | Source_reg -> "source-reg"
+  | Delete_branch -> "delete-branch"
+  | Delete_instruction -> "delete-instruction"
+  | Initialization -> "initialization"
+  | Pointer -> "pointer"
+  | Allocation -> "allocation"
+  | Copy_overrun -> "copy-overrun"
+  | Off_by_one -> "off-by-one"
+  | Synchronization -> "synchronization"
+
+let of_slug s = List.find_opt (fun t -> slug t = s) all
+
 let category_name = function
   | Bit_flip -> "bit flips"
   | Low_level -> "low-level software"

@@ -37,4 +37,10 @@ val name : t -> string
 
 val of_name : string -> t option
 
+val slug : t -> string
+(** Lowercase, hyphenated identifier ("copy-overrun") — stable, used in
+    trace output and trace filenames. *)
+
+val of_slug : string -> t option
+
 val category_name : category -> string

@@ -5,6 +5,7 @@ module Layout = Rio_mem.Layout
 module Asm = Rio_kasm.Asm
 module Kprogs = Rio_kasm.Kprogs
 module Prng = Rio_util.Prng
+module Trace = Rio_obs.Trace
 
 (* ---------------- pure instruction mutation rules ---------------- *)
 
@@ -56,6 +57,27 @@ let write_instr kernel idx instr =
   let base, _ = text_geometry kernel in
   Phys_mem.write_u32 (Kernel.mem kernel) (base + (idx * Isa.word_bytes)) (Isa.encode instr)
 
+(* "k_bcopy+3"-style site label for a text address, from the symbol table. *)
+let site_of_addr kernel addr =
+  let program = (Kernel.kprogs kernel).Kprogs.program in
+  let best =
+    List.fold_left
+      (fun acc (name, saddr) ->
+        if saddr <= addr then
+          match acc with
+          | Some (_, prev) when prev >= saddr -> acc
+          | Some _ | None -> Some (name, saddr)
+        else acc)
+      None program.Asm.symbols
+  in
+  match best with
+  | Some (name, saddr) -> Printf.sprintf "%s+%d" name ((addr - saddr) / Isa.word_bytes)
+  | None -> Printf.sprintf "text@%#x" addr
+
+let site_of_index kernel idx =
+  let base, _ = text_geometry kernel in
+  site_of_addr kernel (base + (idx * Isa.word_bytes))
+
 (* Routine boundaries from the symbol table, sorted by address. *)
 let routine_ranges kernel =
   let base, count = text_geometry kernel in
@@ -71,9 +93,10 @@ let routine_ranges kernel =
   in
   ranges entries
 
-(* Retry a probabilistic mutation until a target site accepts it. *)
+(* Retry a probabilistic mutation until a target site accepts it. Returns
+   the site label of the mutated instruction. *)
 let rec try_sites kernel prng fault ~attempts =
-  if attempts = 0 then ()
+  if attempts = 0 then "no eligible site"
   else begin
     let _, count = text_geometry kernel in
     let idx = Prng.int prng count in
@@ -81,20 +104,25 @@ let rec try_sites kernel prng fault ~attempts =
     | None -> try_sites kernel prng fault ~attempts:(attempts - 1)
     | Some instr ->
       (match mutate_instruction prng instr fault with
-      | Some mutated -> write_instr kernel idx mutated
+      | Some mutated ->
+        write_instr kernel idx mutated;
+        site_of_index kernel idx
       | None -> try_sites kernel prng fault ~attempts:(attempts - 1))
   end
 
 let flip_random_bit kernel prng ~base ~bytes =
   let addr = base + Prng.int prng bytes in
-  Phys_mem.flip_bit (Kernel.mem kernel) addr ~bit:(Prng.int prng 8)
+  let bit = Prng.int prng 8 in
+  Phys_mem.flip_bit (Kernel.mem kernel) addr ~bit;
+  (addr, bit)
 
 (* Initialization fault: delete an early register-writing instruction of a
    routine (§3.1, Kao93/Lee93). *)
 let inject_initialization kernel prng =
   let ranges = routine_ranges kernel in
   let rec attempt n =
-    if n > 0 then begin
+    if n = 0 then "no eligible site"
+    else begin
       let lo, hi = List.nth ranges (Prng.int prng (List.length ranges)) in
       let prologue = min (lo + 6) hi in
       let candidates = ref [] in
@@ -106,7 +134,10 @@ let inject_initialization kernel prng =
       done;
       match !candidates with
       | [] -> attempt (n - 1)
-      | c -> write_instr kernel (List.nth c (Prng.int prng (List.length c))) Isa.Nop
+      | c ->
+        let idx = List.nth c (Prng.int prng (List.length c)) in
+        write_instr kernel idx Isa.Nop;
+        site_of_index kernel idx
     end
   in
   attempt 20
@@ -129,7 +160,8 @@ let inject_pointer kernel prng =
     | Isa.Jmp _ | Isa.Jal (_, _) | Isa.Jr _ | Isa.Assert_nz (_, _) -> None
   in
   let rec attempt n =
-    if n > 0 then begin
+    if n = 0 then "no eligible site"
+    else begin
       let idx = Prng.int prng count in
       match read_instr kernel idx with
       | Some instr ->
@@ -140,7 +172,9 @@ let inject_pointer kernel prng =
             if j < 0 || idx - j > 16 then attempt (n - 1)
             else
               match read_instr kernel j with
-              | Some def when Isa.writes def = Some base_reg -> write_instr kernel j Isa.Nop
+              | Some def when Isa.writes def = Some base_reg ->
+                write_instr kernel j Isa.Nop;
+                site_of_index kernel j
               | Some _ | None -> back (j - 1)
           in
           back (idx - 1)
@@ -157,45 +191,65 @@ let behavioral_period = 120
    runs see a comparably small number of triggers inside the watchdog
    window. *)
 
+let bit_site name (addr, bit) = Printf.sprintf "%s: bit %d of byte %#x" name bit addr
+
 let inject kernel ~prng (fault : Fault_type.t) =
   let layout = Kernel.layout kernel in
-  match fault with
-  | Fault_type.Kernel_text ->
-    let base, count = text_geometry kernel in
-    flip_random_bit kernel prng ~base ~bytes:(count * Isa.word_bytes)
-  | Fault_type.Kernel_heap ->
-    let region = Layout.region layout Layout.Kernel_heap in
-    let heap = Kernel.heap kernel in
-    (* Bias toward the live structures: the header words and the node and
-       chase arenas (most of a real heap holds live allocations; most of
-       this region is unused model slack). *)
-    if Prng.chance prng 0.35 then
-      flip_random_bit kernel prng ~base:region.Layout.base ~bytes:1024
-    else if Prng.chance prng 0.8 then begin
-      let arena = Rio_kernel.Kheap.node_addr heap 0 in
-      let span =
-        (Rio_kernel.Kheap.node_count + Rio_kernel.Kheap.chase_count)
-        * Rio_kernel.Kheap.node_size
-      in
-      flip_random_bit kernel prng ~base:arena ~bytes:span
-    end
-    else flip_random_bit kernel prng ~base:region.Layout.base ~bytes:region.Layout.bytes
-  | Fault_type.Kernel_stack ->
-    let region = Layout.region layout Layout.Kernel_stack in
-    (* The active frames sit at the top of the stack. *)
-    if Prng.chance prng 0.8 then
-      flip_random_bit kernel prng
-        ~base:(region.Layout.base + region.Layout.bytes - 256)
-        ~bytes:256
-    else flip_random_bit kernel prng ~base:region.Layout.base ~bytes:region.Layout.bytes
-  | Fault_type.Destination_reg | Fault_type.Source_reg | Fault_type.Delete_branch
-  | Fault_type.Delete_instruction | Fault_type.Off_by_one ->
-    try_sites kernel prng fault ~attempts:60
-  | Fault_type.Initialization -> inject_initialization kernel prng
-  | Fault_type.Pointer -> inject_pointer kernel prng
-  | Fault_type.Allocation -> Kernel.arm_allocation_fault kernel ~period:behavioral_period
-  | Fault_type.Copy_overrun -> Kernel.arm_copy_overrun kernel ~period:behavioral_period
-  | Fault_type.Synchronization -> Kernel.arm_sync_fault kernel ~period:behavioral_period
+  let site =
+    match fault with
+    | Fault_type.Kernel_text ->
+      let base, count = text_geometry kernel in
+      let addr, bit = flip_random_bit kernel prng ~base ~bytes:(count * Isa.word_bytes) in
+      Printf.sprintf "bit %d of instruction word at %s" bit (site_of_addr kernel addr)
+    | Fault_type.Kernel_heap ->
+      let region = Layout.region layout Layout.Kernel_heap in
+      let heap = Kernel.heap kernel in
+      (* Bias toward the live structures: the header words and the node and
+         chase arenas (most of a real heap holds live allocations; most of
+         this region is unused model slack). *)
+      if Prng.chance prng 0.35 then
+        bit_site "heap header" (flip_random_bit kernel prng ~base:region.Layout.base ~bytes:1024)
+      else if Prng.chance prng 0.8 then begin
+        let arena = Rio_kernel.Kheap.node_addr heap 0 in
+        let span =
+          (Rio_kernel.Kheap.node_count + Rio_kernel.Kheap.chase_count)
+          * Rio_kernel.Kheap.node_size
+        in
+        bit_site "heap node arena" (flip_random_bit kernel prng ~base:arena ~bytes:span)
+      end
+      else
+        bit_site "heap"
+          (flip_random_bit kernel prng ~base:region.Layout.base ~bytes:region.Layout.bytes)
+    | Fault_type.Kernel_stack ->
+      let region = Layout.region layout Layout.Kernel_stack in
+      (* The active frames sit at the top of the stack. *)
+      if Prng.chance prng 0.8 then
+        bit_site "stack (active frames)"
+          (flip_random_bit kernel prng
+             ~base:(region.Layout.base + region.Layout.bytes - 256)
+             ~bytes:256)
+      else
+        bit_site "stack"
+          (flip_random_bit kernel prng ~base:region.Layout.base ~bytes:region.Layout.bytes)
+    | Fault_type.Destination_reg | Fault_type.Source_reg | Fault_type.Delete_branch
+    | Fault_type.Delete_instruction | Fault_type.Off_by_one ->
+      try_sites kernel prng fault ~attempts:60
+    | Fault_type.Initialization -> inject_initialization kernel prng
+    | Fault_type.Pointer -> inject_pointer kernel prng
+    | Fault_type.Allocation ->
+      Kernel.arm_allocation_fault kernel ~period:behavioral_period;
+      Printf.sprintf "armed premature free every ~%d allocations" behavioral_period
+    | Fault_type.Copy_overrun ->
+      Kernel.arm_copy_overrun kernel ~period:behavioral_period;
+      Printf.sprintf "armed bcopy length overrun every ~%d copies" behavioral_period
+    | Fault_type.Synchronization ->
+      Kernel.arm_sync_fault kernel ~period:behavioral_period;
+      Printf.sprintf "armed skipped lock acquire/release every ~%d lock ops" behavioral_period
+  in
+  let obs = Kernel.obs kernel in
+  if Trace.enabled obs then
+    Trace.emit obs Trace.Fault
+      (Trace.Fault_injected { fault = Fault_type.slug fault; site })
 
 let inject_many kernel ~prng fault ~count =
   for _ = 1 to count do

@@ -97,12 +97,15 @@ let measure_workload config ~scale ~seed workload =
     Andrew.run w fs;
     (seconds engine t0, 0.)
 
-let run ?(scale = 1.0) ?only ?(progress = fun _ -> ()) ?(domains = 1) ~seed () =
+let run ?(scale = 1.0) ?only ?(progress = fun (_ : Progress.t) -> ()) ?(domains = 1) ~seed ()
+    =
   let selected =
     match only with
     | None -> configurations
     | Some labels -> List.filter (fun c -> List.mem c.label labels) configurations
   in
+  let total = List.length selected in
+  let completed = Atomic.make 0 in
   let progress = if domains > 1 then Pool.sink progress else progress in
   (* Each (configuration, workload) cell boots a fresh machine from [seed]
      alone, so a configuration's three measurements form one independent
@@ -112,9 +115,16 @@ let run ?(scale = 1.0) ?only ?(progress = fun _ -> ()) ?(domains = 1) ~seed () =
       let cp_s, rm_s = measure_workload config ~scale ~seed `Cp_rm in
       let sdet_s, _ = measure_workload config ~scale ~seed `Sdet in
       let andrew_s, _ = measure_workload config ~scale ~seed `Andrew in
+      let c = 1 + Atomic.fetch_and_add completed 1 in
       progress
-        (Printf.sprintf "%-12s cp+rm %.0fs (%.0f+%.0f)  sdet %.0fs  andrew %.0fs" config.label
-           (cp_s +. rm_s) cp_s rm_s sdet_s andrew_s);
+        {
+          Progress.completed = c;
+          total;
+          label = config.label;
+          detail =
+            Printf.sprintf "cp+rm %.0fs (%.0f+%.0f)  sdet %.0fs  andrew %.0fs" (cp_s +. rm_s)
+              cp_s rm_s sdet_s andrew_s;
+        };
       { config_label = config.label; cp_s; rm_s; sdet_s; andrew_s })
     selected
 

@@ -27,7 +27,7 @@ type measurement = {
 val run :
   ?scale:float ->
   ?only:string list ->
-  ?progress:(string -> unit) ->
+  ?progress:(Progress.t -> unit) ->
   ?domains:int ->
   seed:int ->
   unit ->

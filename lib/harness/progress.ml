@@ -1,0 +1,15 @@
+type t = {
+  completed : int;
+  total : int;
+  label : string;
+  detail : string;
+}
+
+let render ?eta_s t =
+  let eta =
+    match eta_s with
+    | Some e when t.completed < t.total && e >= 0.5 -> Printf.sprintf " eta %.0fs" e
+    | Some _ | None -> ""
+  in
+  let detail = if t.detail = "" then "" else " | " ^ t.detail in
+  Printf.sprintf "[%d/%d] %s%s%s" t.completed t.total t.label eta detail

@@ -1,0 +1,19 @@
+(** Structured progress reports from the long-running harness experiments.
+
+    Each completed cell (one (system, fault) reliability cell, one Table 2
+    configuration) produces one report. [completed] counts cells finished so
+    far across the whole run — under a domain pool the counter is shared, so
+    reports arrive in completion order with a monotonically increasing
+    [completed]. *)
+
+type t = {
+  completed : int;  (** Cells finished so far, including this one. *)
+  total : int;  (** Cells in the whole run. *)
+  label : string;  (** Short cell identifier, e.g. ["rio-prot/kernel-text"]. *)
+  detail : string;  (** Free-form completion summary for verbose output. *)
+}
+
+val render : ?eta_s:float -> t -> string
+(** ["[12/39] rio-prot/kernel-text eta 41s | 5 crashes in 23 attempts"].
+    The ETA is omitted when absent, on the last cell, or under half a
+    second. *)

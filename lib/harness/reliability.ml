@@ -2,6 +2,9 @@ module Campaign = Rio_fault.Campaign
 module Fault_type = Rio_fault.Fault_type
 module Table = Rio_util.Table
 module Pool = Rio_parallel.Pool
+module Trace = Rio_obs.Trace
+module Export = Rio_obs.Export
+module Json = Rio_util.Json
 
 type cell = {
   crashes : int;
@@ -17,6 +20,7 @@ type results = {
   cells : (Campaign.system * Fault_type.t * cell) list;
   unique_messages : int;
   unique_consistency_messages : int;
+  metrics : Trace.snapshot option;
 }
 
 let cell_seed ~seed_base system fault =
@@ -34,20 +38,48 @@ let cell_seed ~seed_base system fault =
    work — this is the task the domain pool schedules. The cell's crash
    messages are returned (in attempt order) rather than written into a
    shared table, so workers never touch common mutable state. *)
-let run_cell config ~crashes_per_cell ~seed_base ~progress (system, fault) =
+let cell_label system fault =
+  Printf.sprintf "%s/%s" (Campaign.system_slug system) (Fault_type.slug fault)
+
+(* Per-trial JSONL header: enough to replay the trial by hand. *)
+let trial_header system fault ~seed =
+  Json.Obj
+    [
+      ("system", Json.Str (Campaign.system_slug system));
+      ("fault", Json.Str (Fault_type.slug fault));
+      ("seed", Json.Int seed);
+    ]
+
+let run_cell config ~crashes_per_cell ~seed_base ~trace_dir ~report (system, fault) =
   let crashes = ref 0
   and attempts = ref 0
   and corruptions = ref 0
   and paths = ref 0
   and traps = ref 0
   and cksum = ref 0
-  and messages = ref [] in
+  and messages = ref []
+  and snapshots = ref [] in
   let base = cell_seed ~seed_base system fault in
   (* Cap attempts so a pathological non-crashing cell terminates. *)
   let max_attempts = crashes_per_cell * 25 in
   while !crashes < crashes_per_cell && !attempts < max_attempts do
     incr attempts;
-    let o = Campaign.run_one config system fault ~seed:(base + !attempts) in
+    let seed = base + !attempts in
+    (* One recorder per trial: trials stay isolated, so traces and metric
+       snapshots are identical at any [-j]. *)
+    let obs = match trace_dir with None -> Trace.null | Some _ -> Trace.create () in
+    let o = Campaign.run_one ~obs config system fault ~seed in
+    (match trace_dir with
+    | Some dir ->
+      snapshots := Trace.snapshot obs :: !snapshots;
+      if not o.Campaign.discarded then
+        Export.write_jsonl
+          ~file:
+            (Filename.concat dir
+               (Printf.sprintf "%s__%s__seed%d.jsonl" (Campaign.system_slug system)
+                  (Fault_type.slug fault) seed))
+          ~header:(trial_header system fault ~seed) obs
+    | None -> ());
     if not o.Campaign.discarded then begin
       incr crashes;
       (match o.Campaign.crash_message with
@@ -61,9 +93,10 @@ let run_cell config ~crashes_per_cell ~seed_base ~progress (system, fault) =
       if o.Campaign.checksum_detected then incr cksum
     end
   done;
-  progress
-    (Printf.sprintf "%s / %s: %d crashes in %d attempts, %d corruptions"
-       (Campaign.system_name system) (Fault_type.name fault) !crashes !attempts !corruptions);
+  report ~label:(cell_label system fault)
+    ~detail:
+      (Printf.sprintf "%d crashes in %d attempts, %d corruptions" !crashes !attempts
+         !corruptions);
   ( system,
     fault,
     {
@@ -74,35 +107,59 @@ let run_cell config ~crashes_per_cell ~seed_base ~progress (system, fault) =
       protection_traps = !traps;
       checksum_detections = !cksum;
     },
-    List.rev !messages )
+    List.rev !messages,
+    (match trace_dir with
+    | None -> None
+    | Some _ -> Some (Trace.merge_snapshots (List.rev !snapshots))) )
 
 let run ?(config = Campaign.default_config) ?(systems = Campaign.all_systems)
-    ?(faults = Fault_type.all) ?(progress = fun _ -> ()) ?(domains = 1) ~crashes_per_cell
-    ~seed_base () =
+    ?(faults = Fault_type.all) ?(progress = fun (_ : Progress.t) -> ()) ?(domains = 1)
+    ?trace_dir ~crashes_per_cell ~seed_base () =
   let tasks =
     List.concat_map (fun system -> List.map (fun fault -> (system, fault)) faults) systems
   in
+  (match trace_dir with
+  | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+  | Some _ | None -> ());
+  let total = List.length tasks in
+  let completed = Atomic.make 0 in
   let progress = if domains > 1 then Pool.sink progress else progress in
+  let report ~label ~detail =
+    let c = 1 + Atomic.fetch_and_add completed 1 in
+    progress { Progress.completed = c; total; label; detail }
+  in
   let with_messages =
-    Pool.map_list ~domains (run_cell config ~crashes_per_cell ~seed_base ~progress) tasks
+    Pool.map_list ~domains (run_cell config ~crashes_per_cell ~seed_base ~trace_dir ~report)
+      tasks
   in
   (* Merge per-cell message lists in seed order; the table is a set, so
      the totals match the serial run exactly. *)
   let messages = Hashtbl.create 64 in
   List.iter
-    (fun (_, _, _, ms) -> List.iter (fun m -> Hashtbl.replace messages m ()) ms)
+    (fun (_, _, _, ms, _) -> List.iter (fun m -> Hashtbl.replace messages m ()) ms)
     with_messages;
-  let cells = List.map (fun (s, f, c, _) -> (s, f, c)) with_messages in
+  let cells = List.map (fun (s, f, c, _, _) -> (s, f, c)) with_messages in
   let consistency =
     Hashtbl.fold
       (fun m () acc -> if String.length m >= 6 && String.sub m 0 6 = "panic:" then acc + 1 else acc)
       messages 0
+  in
+  let metrics =
+    match trace_dir with
+    | None -> None
+    | Some _ ->
+      (* Cell snapshots merge in task (seed) order, so the aggregate is
+         deterministic at any [-j]. *)
+      Some
+        (Trace.merge_snapshots
+           (List.filter_map (fun (_, _, _, _, snap) -> snap) with_messages))
   in
   {
     crashes_per_cell;
     cells;
     unique_messages = Hashtbl.length messages;
     unique_consistency_messages = consistency;
+    metrics;
   }
 
 (* Crash-message census: run mixed fault types until [crashes] crashes and

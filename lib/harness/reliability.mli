@@ -20,14 +20,19 @@ type results = {
   unique_messages : int;  (** Distinct crash console messages across all runs. *)
   unique_consistency_messages : int;
       (** Distinct kernel consistency-check messages among them. *)
+  metrics : Rio_obs.Trace.snapshot option;
+      (** Aggregated per-trial metrics (counters summed, histogram
+          observations concatenated, in seed order); [Some] only when the
+          run traced ([trace_dir]). *)
 }
 
 val run :
   ?config:Rio_fault.Campaign.config ->
   ?systems:Rio_fault.Campaign.system list ->
   ?faults:Rio_fault.Fault_type.t list ->
-  ?progress:(string -> unit) ->
+  ?progress:(Progress.t -> unit) ->
   ?domains:int ->
+  ?trace_dir:string ->
   crashes_per_cell:int ->
   seed_base:int ->
   unit ->
@@ -37,7 +42,15 @@ val run :
     pool and merges the results back in seed order, byte-identical to the
     serial run. [domains = 1] (default) is today's sequential path.
     [progress] is called under a mutex when [domains] > 1; completion
-    order (and thus progress order) may differ from serial. *)
+    order (and thus progress order) may differ from serial, but
+    [Progress.completed] is globally monotonic.
+
+    [trace_dir] turns the flight recorder on: every trial runs with its
+    own recorder, every non-discarded (crashed) trial writes a
+    [sys__fault__seedN.jsonl] trace into the directory (created if
+    missing), and [results.metrics] carries the aggregated metric
+    snapshot. Trace files and metrics are byte-identical at any
+    [domains]. Without it, tracing is fully off — no overhead. *)
 
 val message_census :
   ?config:Rio_fault.Campaign.config ->

@@ -11,6 +11,7 @@ module Disk = Rio_disk.Disk
 module Fs = Rio_fs.Fs
 module Hooks = Rio_fs.Hooks
 module Prng = Rio_util.Prng
+module Trace = Rio_obs.Trace
 
 type config = {
   layout_config : Layout.config;
@@ -38,6 +39,9 @@ type armed = { mutable period : int; mutable countdown : int }
 type t = {
   config : config;
   engine : Engine.t;
+  obs : Trace.t;
+  c_activities : Trace.counter;
+  c_wild_stores : Trace.counter;
   costs : Costs.t;
   mem : Phys_mem.t;
   layout : Layout.t;
@@ -71,6 +75,7 @@ type t = {
 }
 
 let engine t = t.engine
+let obs t = t.obs
 let costs t = t.costs
 let mem t = t.mem
 let layout t = t.layout
@@ -139,8 +144,21 @@ let do_overrun t ~paddr ~src ~srcpos ~len =
         if p < Bytes.length src then Char.code (Bytes.get src p) else Prng.int t.prng 256
       in
       (match Layout.kind_of_addr t.layout pa with
-      | Some (Layout.Buffer_cache | Layout.Page_pool) ->
-        t.overrun_filecache_bytes <- t.overrun_filecache_bytes + 1
+      | Some ((Layout.Buffer_cache | Layout.Page_pool) as region) ->
+        t.overrun_filecache_bytes <- t.overrun_filecache_bytes + 1;
+        if Trace.enabled t.obs then begin
+          Trace.incr t.c_wild_stores;
+          Trace.emit t.obs Trace.Kernel
+            (Trace.Wild_store
+               {
+                 paddr = pa;
+                 width = 1;
+                 region =
+                   (match region with
+                   | Layout.Buffer_cache -> "buffer_cache"
+                   | _ -> "page_pool");
+               })
+        end
       | Some
           ( Layout.Kernel_text | Layout.Kernel_heap | Layout.Kernel_stack
           | Layout.Page_tables | Layout.Registry )
@@ -155,8 +173,11 @@ let do_overrun t ~paddr ~src ~srcpos ~len =
 (* ---------------- boot ---------------- *)
 
 let boot_with_mem ~engine ~costs config ~disk ~mem =
+  let obs = Engine.obs engine in
   let layout = Layout.create config.layout_config in
-  let mmu = Mmu.create ~mem_pages:(Phys_mem.page_count mem) ~tlb_entries:config.tlb_entries in
+  let mmu =
+    Mmu.create ~obs ~mem_pages:(Phys_mem.page_count mem) ~tlb_entries:config.tlb_entries ()
+  in
   let machine = Machine.create ~mem ~mmu in
   let text = Layout.region layout Layout.Kernel_text in
   let kprogs = Kprogs.build ~origin:text.Layout.base in
@@ -173,6 +194,9 @@ let boot_with_mem ~engine ~costs config ~disk ~mem =
     {
       config;
       engine;
+      obs;
+      c_activities = Trace.counter obs "kernel.activity_routines";
+      c_wild_stores = Trace.counter obs "kernel.wild_filecache_stores";
       costs;
       mem;
       layout;
@@ -272,6 +296,7 @@ let kseg = Mmu.kseg_addr
 let run_routine t ~name ~entry ~args =
   let m = t.machine in
   Machine.resume m;
+  let start_us = Engine.now t.engine in
   let before = Machine.instructions_retired m in
   List.iteri (fun i v -> Machine.set_reg m (i + 1) v) args;
   let stack = Layout.region t.layout Layout.Kernel_stack in
@@ -281,6 +306,11 @@ let run_routine t ~name ~entry ~args =
   let result = Machine.run m ~max_instructions:t.config.activity_budget in
   let retired = Machine.instructions_retired m - before in
   Engine.advance_by t.engine (retired * t.config.instr_ns / 1000);
+  if Trace.enabled t.obs then begin
+    Trace.incr t.c_activities;
+    Trace.emit t.obs Trace.Kernel
+      (Trace.Activity { name; start_us; end_us = Engine.now t.engine })
+  end;
   match result with
   | Machine.Halted -> Machine.reg m 1
   | Machine.Trapped trap -> crash_now t (Kcrash.Trap trap) ~during:("activity:" ^ name)
@@ -557,6 +587,9 @@ let run_activity t =
 
 let crash_system t info =
   t.crash <- Some info;
+  if Trace.enabled t.obs then
+    Trace.emit t.obs Trace.Kernel
+      (Trace.Crash { message = Kcrash.message_of info; during = info.Kcrash.during });
   (match t.fs with
   | Some fs ->
     (match Fs.policy fs with

@@ -59,6 +59,10 @@ val boot_warm :
 (** {1 Accessors} *)
 
 val engine : t -> Rio_sim.Engine.t
+
+(** The flight recorder inherited from the engine at boot
+    ({!Rio_obs.Trace.null} when tracing is off). *)
+val obs : t -> Rio_obs.Trace.t
 val costs : t -> Rio_sim.Costs.t
 val mem : t -> Rio_mem.Phys_mem.t
 val layout : t -> Rio_mem.Layout.t

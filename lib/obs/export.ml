@@ -1,0 +1,180 @@
+module Json = Rio_util.Json
+
+let args_of_kind (kind : Trace.kind) =
+  match kind with
+  | Trace.Dispatch { due_us; end_us; queue_depth } ->
+    [ ("due_us", Json.Int due_us); ("end_us", Json.Int end_us);
+      ("queue_depth", Json.Int queue_depth) ]
+  | Trace.Clock { advances } -> [ ("advances", Json.Int advances) ]
+  | Trace.Disk_request { sector; sectors; write; sync; issued_us; done_us } ->
+    [
+      ("sector", Json.Int sector);
+      ("sectors", Json.Int sectors);
+      ("op", Json.Str (if write then "write" else "read"));
+      ("sync", Json.Bool sync);
+      ("issued_us", Json.Int issued_us);
+      ("done_us", Json.Int done_us);
+      ("latency_us", Json.Int (done_us - issued_us));
+    ]
+  | Trace.Protection_trap { paddr } -> [ ("paddr", Json.Int paddr) ]
+  | Trace.Protection_toggle { paddr; writable } ->
+    [ ("paddr", Json.Int paddr); ("writable", Json.Bool writable) ]
+  | Trace.Fault_injected { fault; site } ->
+    [ ("fault", Json.Str fault); ("site", Json.Str site) ]
+  | Trace.Wild_store { paddr; width; region } ->
+    [ ("paddr", Json.Int paddr); ("width", Json.Int width); ("region", Json.Str region) ]
+  | Trace.Registry_update { paddr; ino; size } ->
+    [ ("paddr", Json.Int paddr); ("ino", Json.Int ino); ("size", Json.Int size) ]
+  | Trace.Checksum_mismatch { paddr; expected; actual } ->
+    [ ("paddr", Json.Int paddr); ("expected", Json.Int expected); ("actual", Json.Int actual) ]
+  | Trace.Shadow_flip { paddr; engaged } ->
+    [ ("paddr", Json.Int paddr); ("engaged", Json.Bool engaged) ]
+  | Trace.Activity { name; start_us; end_us } ->
+    [ ("name", Json.Str name); ("start_us", Json.Int start_us); ("end_us", Json.Int end_us) ]
+  | Trace.Crash { message; during } ->
+    [ ("message", Json.Str message); ("during", Json.Str during) ]
+  | Trace.Phase { name; start_us; end_us } ->
+    [ ("name", Json.Str name); ("start_us", Json.Int start_us); ("end_us", Json.Int end_us) ]
+  | Trace.Mark note -> [ ("note", Json.Str note) ]
+
+let event_json (e : Trace.event) =
+  Json.Obj
+    (("ts_us", Json.Int e.Trace.ts_us)
+    :: ("sub", Json.Str (Trace.subsystem_name e.Trace.sub))
+    :: ("kind", Json.Str (Trace.kind_label e.Trace.kind))
+    :: args_of_kind e.Trace.kind)
+
+let jsonl_lines ?header t =
+  let header_lines = match header with None -> [] | Some h -> [ Json.to_string h ] in
+  let event_lines = List.map (fun e -> Json.to_string (event_json e)) (Trace.events t) in
+  let metrics_line =
+    Json.to_string (Json.Obj [ ("metrics", Trace.snapshot_json (Trace.snapshot t)) ])
+  in
+  let recorder_line =
+    Json.to_string
+      (Json.Obj
+         [
+           ( "recorder",
+             Json.Obj
+               [
+                 ("total_events", Json.Int (Trace.total t));
+                 ("dropped_events", Json.Int (Trace.dropped t));
+                 ("capacity", Json.Int (Trace.capacity t));
+               ] );
+         ])
+  in
+  header_lines @ event_lines @ [ metrics_line; recorder_line ]
+
+let write_jsonl ~file ?header t =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun line ->
+          output_string oc line;
+          output_char oc '\n')
+        (jsonl_lines ?header t))
+
+(* ---------------- Chrome trace_event ---------------- *)
+
+let tid_of_sub (s : Trace.subsystem) =
+  match s with
+  | Trace.Engine -> 1
+  | Trace.Disk -> 2
+  | Trace.Vm -> 3
+  | Trace.Rio -> 4
+  | Trace.Fault -> 5
+  | Trace.Kernel -> 6
+  | Trace.Fs -> 7
+  | Trace.Harness -> 8
+
+let all_subsystems =
+  [
+    Trace.Engine; Trace.Disk; Trace.Vm; Trace.Rio; Trace.Fault; Trace.Kernel; Trace.Fs;
+    Trace.Harness;
+  ]
+
+let base ~name ~ph (e : Trace.event) extra =
+  Json.Obj
+    ([
+       ("name", Json.Str name);
+       ("cat", Json.Str (Trace.subsystem_name e.Trace.sub));
+       ("ph", Json.Str ph);
+       ("pid", Json.Int 1);
+       ("tid", Json.Int (tid_of_sub e.Trace.sub));
+     ]
+    @ extra
+    @ [ ("args", Json.Obj (args_of_kind e.Trace.kind)) ])
+
+let chrome_event (e : Trace.event) =
+  let span name start_us end_us =
+    base ~name ~ph:"X" e
+      [ ("ts", Json.Int start_us); ("dur", Json.Int (max 0 (end_us - start_us))) ]
+  in
+  let instant name =
+    base ~name ~ph:"i" e [ ("ts", Json.Int e.Trace.ts_us); ("s", Json.Str "t") ]
+  in
+  match e.Trace.kind with
+  | Trace.Dispatch { due_us; end_us; _ } -> span "dispatch" due_us end_us
+  | Trace.Clock { advances } ->
+    (* A counter track: the value lives in args. *)
+    Json.Obj
+      [
+        ("name", Json.Str "clock advances");
+        ("cat", Json.Str (Trace.subsystem_name e.Trace.sub));
+        ("ph", Json.Str "C");
+        ("pid", Json.Int 1);
+        ("tid", Json.Int (tid_of_sub e.Trace.sub));
+        ("ts", Json.Int e.Trace.ts_us);
+        ("args", Json.Obj [ ("advances", Json.Int advances) ]);
+      ]
+  | Trace.Disk_request { issued_us; done_us; write; _ } ->
+    span (if write then "disk write" else "disk read") issued_us done_us
+  | Trace.Protection_trap _ -> instant "protection trap"
+  | Trace.Protection_toggle { writable; _ } ->
+    instant (if writable then "unprotect page" else "protect page")
+  | Trace.Fault_injected { fault; _ } -> instant ("inject: " ^ fault)
+  | Trace.Wild_store _ -> instant "wild store"
+  | Trace.Registry_update _ -> instant "registry update"
+  | Trace.Checksum_mismatch _ -> instant "checksum mismatch"
+  | Trace.Shadow_flip { engaged; _ } ->
+    instant (if engaged then "shadow engage" else "shadow flip back")
+  | Trace.Activity { name; start_us; end_us } -> span name start_us end_us
+  | Trace.Crash { message; _ } -> instant ("CRASH: " ^ message)
+  | Trace.Phase { name; start_us; end_us } -> span name start_us end_us
+  | Trace.Mark note -> instant note
+
+let thread_metadata sub =
+  Json.Obj
+    [
+      ("name", Json.Str "thread_name");
+      ("ph", Json.Str "M");
+      ("pid", Json.Int 1);
+      ("tid", Json.Int (tid_of_sub sub));
+      ("args", Json.Obj [ ("name", Json.Str (Trace.subsystem_name sub)) ]);
+    ]
+
+let chrome_json ?(meta = []) t =
+  let events = List.map chrome_event (Trace.events t) in
+  Json.Obj
+    ([
+       ("displayTimeUnit", Json.Str "ms");
+       ("traceEvents", Json.Arr (List.map thread_metadata all_subsystems @ events));
+       ( "recorder",
+         Json.Obj
+           [
+             ("total_events", Json.Int (Trace.total t));
+             ("dropped_events", Json.Int (Trace.dropped t));
+           ] );
+       ("metrics", Trace.snapshot_json (Trace.snapshot t));
+     ]
+    @ meta)
+
+let write_chrome ~file ?meta t =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.pretty (chrome_json ?meta t));
+      output_char oc '\n')

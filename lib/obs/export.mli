@@ -1,0 +1,30 @@
+(** Trace exporters.
+
+    Two formats, both deterministic (byte-identical for the same trial
+    seed at any [-j N]):
+
+    - {b JSONL}: one JSON object per line — a header, one line per
+      retained event, a final metrics line. Greppable per-trial artifact.
+    - {b Chrome [trace_event]}: a JSON object loadable in Perfetto /
+      [chrome://tracing], with simulated microseconds as the timeline and
+      one named "thread" per subsystem. *)
+
+val event_json : Trace.event -> Rio_util.Json.t
+(** The JSONL representation of one event. *)
+
+val jsonl_lines : ?header:Rio_util.Json.t -> Trace.t -> string list
+(** Header line (if given), then events oldest-first, then a
+    [{"metrics": ...}] line and a [{"recorder": ...}] line with
+    total/dropped counts. *)
+
+val write_jsonl : file:string -> ?header:Rio_util.Json.t -> Trace.t -> unit
+
+val chrome_json : ?meta:(string * Rio_util.Json.t) list -> Trace.t -> Rio_util.Json.t
+(** The full [{"traceEvents": [...], ...}] document. Spans become ["X"]
+    (complete) events at their own start time, instants become ["i"],
+    the clock sample becomes a ["C"] counter track, and each subsystem
+    gets a thread-name metadata record. [meta] fields are appended to the
+    top-level object (seed, system, fault, ...). *)
+
+val write_chrome :
+  file:string -> ?meta:(string * Rio_util.Json.t) list -> Trace.t -> unit

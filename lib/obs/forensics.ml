@@ -1,0 +1,89 @@
+type t = {
+  injections : (int * string * string) list;
+  first_wild_store : (int * int * string) option;
+  wild_stores : int;
+  first_protection_trap : (int * int) option;
+  protection_traps : int;
+  checksum_mismatches : int;
+  crash : (int * string * string) option;
+  phases : (string * int * int) list;
+  snapshot : Trace.snapshot;
+}
+
+let summarize recorder =
+  let injections = ref [] in
+  let first_wild = ref None in
+  let wild = ref 0 in
+  let first_trap = ref None in
+  let traps = ref 0 in
+  let mismatches = ref 0 in
+  let crash = ref None in
+  let phases = ref [] in
+  List.iter
+    (fun (e : Trace.event) ->
+      match e.Trace.kind with
+      | Trace.Fault_injected { fault; site } ->
+        injections := (e.Trace.ts_us, fault, site) :: !injections
+      | Trace.Wild_store { paddr; region; _ } ->
+        incr wild;
+        if !first_wild = None then first_wild := Some (e.Trace.ts_us, paddr, region)
+      | Trace.Protection_trap { paddr } ->
+        incr traps;
+        if !first_trap = None then first_trap := Some (e.Trace.ts_us, paddr)
+      | Trace.Checksum_mismatch _ -> incr mismatches
+      | Trace.Crash { message; during } ->
+        if !crash = None then crash := Some (e.Trace.ts_us, message, during)
+      | Trace.Phase { name; start_us; end_us } -> phases := (name, start_us, end_us) :: !phases
+      | Trace.Dispatch _ | Trace.Clock _ | Trace.Disk_request _ | Trace.Protection_toggle _
+      | Trace.Registry_update _ | Trace.Shadow_flip _ | Trace.Activity _ | Trace.Mark _ -> ())
+    (Trace.events recorder);
+  {
+    injections = List.rev !injections;
+    first_wild_store = !first_wild;
+    wild_stores = !wild;
+    first_protection_trap = !first_trap;
+    protection_traps = !traps;
+    checksum_mismatches = !mismatches;
+    crash = !crash;
+    phases = List.rev !phases;
+    snapshot = Trace.snapshot recorder;
+  }
+
+let us ts = Format.asprintf "%a" Rio_util.Units.pp_usec ts
+
+let narrative t =
+  let lines = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> lines := s :: !lines) fmt in
+  (match t.injections with
+  | [] -> add "no fault injections recorded"
+  | (ts0, fault, site) :: rest ->
+    add "t=%s  injected %d x '%s' fault(s); first site: %s" (us ts0)
+      (1 + List.length rest) fault site;
+    (match rest with
+    | [] -> ()
+    | _ ->
+      let sites = List.filteri (fun i _ -> i < 3) rest in
+      List.iter (fun (ts, _, s) -> add "t=%s    ... then %s" (us ts) s) sites;
+      if List.length rest > 3 then add "          ... and %d more site(s)" (List.length rest - 3)));
+  (match t.first_wild_store with
+  | Some (ts, paddr, region) ->
+    add "t=%s  FIRST WILD STORE into the file cache: paddr %#x (%s); %d wild store(s) total"
+      (us ts) paddr region t.wild_stores
+  | None ->
+    if t.wild_stores > 0 then add "%d wild store(s) (first not retained in ring)" t.wild_stores
+    else add "no wild stores reached the file cache");
+  (match t.first_protection_trap with
+  | Some (ts, paddr) ->
+    add "t=%s  rio protection TRAPPED an illegal store at paddr %#x (%d trap(s) total)" (us ts)
+      paddr t.protection_traps
+  | None -> ());
+  (match t.crash with
+  | Some (ts, message, during) -> add "t=%s  CRASH during %s: %s" (us ts) during message
+  | None -> add "no crash recorded (run discarded)");
+  List.iter
+    (fun (name, start_us, end_us) ->
+      add "t=%s  recovery phase '%s' (%s)" (us start_us) name (us (end_us - start_us)))
+    t.phases;
+  if t.checksum_mismatches > 0 then
+    add "checksums caught %d corrupted buffer(s) during verification" t.checksum_mismatches;
+  List.rev !lines

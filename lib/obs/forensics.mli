@@ -1,0 +1,27 @@
+(** Crash forensics: distill a trial's flight-recorder contents into the
+    propagation chain the paper could not see (footnote 2) — which fault
+    went in, which wild store hit the file cache first, what the checksums
+    caught, and when the system died. *)
+
+type t = {
+  injections : (int * string * string) list;
+      (** (sim µs, fault type, site) — every fault instance applied. *)
+  first_wild_store : (int * int * string) option;
+      (** (sim µs, paddr, region) of the first post-injection store into a
+          file-cache page the kernel did not own. *)
+  wild_stores : int;
+  first_protection_trap : (int * int) option;  (** (sim µs, paddr). *)
+  protection_traps : int;
+  checksum_mismatches : int;
+  crash : (int * string * string) option;  (** (sim µs, message, during). *)
+  phases : (string * int * int) list;  (** Warm-reboot spans (name, start, end). *)
+  snapshot : Trace.snapshot;
+}
+
+val summarize : Trace.t -> t
+(** One pass over the retained events. If the ring dropped early events
+    (tight capacity, long trial), "first" means first {e retained}. *)
+
+val narrative : t -> string list
+(** Human-readable chain, one line per step:
+    injection → wild store → trap/crash → recovery phases → verdict. *)

@@ -4,18 +4,30 @@ module Tlb = Rio_vm.Tlb
 module Phys_mem = Rio_mem.Phys_mem
 module Engine = Rio_sim.Engine
 module Costs = Rio_sim.Costs
+module Trace = Rio_obs.Trace
 
 type t = {
   mmu : Mmu.t;
   engine : Engine.t;
   costs : Costs.t;
+  obs : Trace.t;
+  c_toggles : Trace.counter;
   enabled : bool;
   mutable toggles : int;
 }
 
 let create ~mmu ~engine ~costs ~enabled =
   if enabled then Mmu.set_kseg_through_tlb mmu true;
-  { mmu; engine; costs; enabled; toggles = 0 }
+  let obs = Engine.obs engine in
+  {
+    mmu;
+    engine;
+    costs;
+    obs;
+    c_toggles = Trace.counter obs "rio.protection_toggles";
+    enabled;
+    toggles = 0;
+  }
 
 let enabled t = t.enabled
 
@@ -29,7 +41,11 @@ let set_writable t ~paddr w =
     let vpn = Phys_mem.pfn_of_addr paddr in
     Page_table.set_writable (Mmu.page_table t.mmu) ~vpn w;
     Tlb.shootdown (Mmu.tlb t.mmu) ~vpn;
-    charge t
+    charge t;
+    if Trace.enabled t.obs then begin
+      Trace.incr t.c_toggles;
+      Trace.emit t.obs Trace.Rio (Trace.Protection_toggle { paddr; writable = w })
+    end
   end
 
 let protect_page t ~paddr = set_writable t ~paddr false

@@ -5,19 +5,24 @@ module Engine = Rio_sim.Engine
 module Costs = Rio_sim.Costs
 module Hooks = Rio_fs.Hooks
 module Fs_types = Rio_fs.Fs_types
+module Trace = Rio_obs.Trace
 
 type stats = {
   checksum_updates : int;
   shadow_updates : int;
   protection_toggles : int;
+  protection_traps : int;
   registered_pages : int;
   registry_updates : int;
+  checksum_mismatches : int;
 }
 
 type t = {
   mem : Phys_mem.t;
   engine : Engine.t;
   costs : Costs.t;
+  mmu : Rio_vm.Mmu.t;
+  obs : Trace.t;
   registry : Registry.t;
   protect : Protect.t;
   shadow_page : int;
@@ -26,6 +31,7 @@ type t = {
   mutable checksum_updates : int;
   mutable shadow_updates : int;
   mutable registry_updates : int;
+  mutable checksum_mismatches : int;
 }
 
 let checksum_of t ~paddr ~size =
@@ -54,6 +60,8 @@ let install_hooks t (hooks : Hooks.t) =
       Registry.register t.registry ~home_paddr:paddr ~dev:t.dev ~ino ~offset ~size ~blkno ~kind
         ~checksum;
       t.registry_updates <- t.registry_updates + 1;
+      if Trace.enabled t.obs then
+        Trace.emit t.obs Trace.Rio (Trace.Registry_update { paddr; ino; size });
       (* Registry bookkeeping: ~40 bytes touched (§2.2, "overhead ... low"). *)
       Engine.advance_by t.engine
         (Rio_util.Units.usec_of_sec_f (t.costs.Costs.registry_update_us /. 1e6));
@@ -93,10 +101,14 @@ let install_hooks t (hooks : Hooks.t) =
         Phys_mem.blit_within t.mem ~src:page ~dst:t.shadow_page ~len:Phys_mem.page_size;
         Engine.advance_by t.engine (Costs.page_copy_time t.costs Phys_mem.page_size);
         Registry.redirect t.registry ~home_paddr:page ~paddr:t.shadow_page;
+        if Trace.enabled t.obs then
+          Trace.emit t.obs Trace.Rio (Trace.Shadow_flip { paddr = page; engaged = true });
         Fun.protect
           ~finally:(fun () ->
             Registry.redirect t.registry ~home_paddr:page ~paddr:page;
-            t.shadow_busy <- false)
+            t.shadow_busy <- false;
+            if Trace.enabled t.obs then
+              Trace.emit t.obs Trace.Rio (Trace.Shadow_flip { paddr = page; engaged = false }))
           f
       | Some _ | None -> f ())
 
@@ -113,6 +125,8 @@ let create ~mem ~layout ~mmu ~engine ~costs ~hooks ~pool_alloc ~protection ~dev 
       mem;
       engine;
       costs;
+      mmu;
+      obs = Engine.obs engine;
       registry;
       protect;
       shadow_page;
@@ -121,6 +135,7 @@ let create ~mem ~layout ~mmu ~engine ~costs ~hooks ~pool_alloc ~protection ~dev 
       checksum_updates = 0;
       shadow_updates = 0;
       registry_updates = 0;
+      checksum_mismatches = 0;
     }
   in
   if protection then Protect.protect_region protect ~region:(Layout.region layout Layout.Registry);
@@ -136,8 +151,10 @@ let stats t =
     checksum_updates = t.checksum_updates;
     shadow_updates = t.shadow_updates;
     protection_toggles = Protect.toggles t.protect;
+    protection_traps = Rio_vm.Mmu.protection_faults t.mmu;
     registered_pages = Registry.live_entries t.registry;
     registry_updates = t.registry_updates;
+    checksum_mismatches = t.checksum_mismatches;
   }
 
 let verify_all_checksums t =
@@ -145,6 +162,13 @@ let verify_all_checksums t =
   Registry.iter t.registry (fun e ->
       if not e.Registry.changing then begin
         let actual = Phys_mem.checksum_range t.mem e.Registry.paddr ~len:e.Registry.size in
-        if actual <> e.Registry.checksum then incr mismatches
+        if actual <> e.Registry.checksum then begin
+          incr mismatches;
+          if Trace.enabled t.obs then
+            Trace.emit t.obs Trace.Rio
+              (Trace.Checksum_mismatch
+                 { paddr = e.Registry.paddr; expected = e.Registry.checksum; actual })
+        end
       end);
+  t.checksum_mismatches <- t.checksum_mismatches + !mismatches;
   !mismatches

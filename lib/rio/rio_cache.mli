@@ -12,8 +12,13 @@ type stats = {
   checksum_updates : int;
   shadow_updates : int;
   protection_toggles : int;
+  protection_traps : int;
+      (** Write-protection faults the MMU raised — illegal stores that Rio's
+          protection actually stopped. *)
   registered_pages : int;
   registry_updates : int;
+  checksum_mismatches : int;
+      (** Cumulative mismatches found by {!verify_all_checksums}. *)
 }
 
 val create :

@@ -113,19 +113,36 @@ let restore_data ~fs ~image entries =
   (!restored, !failed)
 
 let perform ~mem ~disk ~layout ~engine ~reboot =
+  let module Trace = Rio_obs.Trace in
+  let obs = Engine.obs engine in
+  let phase name f =
+    if Trace.enabled obs then begin
+      let start_us = Engine.now engine in
+      let r = f () in
+      Trace.emit obs Trace.Rio
+        (Trace.Phase { name; start_us; end_us = Engine.now engine });
+      r
+    end
+    else f ()
+  in
   let t0 = Engine.now engine in
-  let image = capture mem in
-  dump_to_swap ~disk ~image;
-  let parsed = parse_registry ~image ~layout in
+  let image = phase "warm-reboot: capture" (fun () -> capture mem) in
+  phase "warm-reboot: dump to swap" (fun () -> dump_to_swap ~disk ~image);
+  let parsed = phase "warm-reboot: parse registry" (fun () -> parse_registry ~image ~layout) in
   let meta_entries, data_entries = split_entries parsed.Registry.entries in
-  let meta_verify = verify_entries ~image meta_entries in
-  let data_verify = verify_entries ~image data_entries in
-  let meta_restored, meta_skipped = restore_metadata ~disk ~image meta_entries in
-  let fsck = Fsck.run ~disk in
-  let fs = reboot () in
+  let meta_verify, data_verify =
+    phase "warm-reboot: verify checksums" (fun () ->
+        (verify_entries ~image meta_entries, verify_entries ~image data_entries))
+  in
+  let meta_restored, meta_skipped =
+    phase "warm-reboot: restore metadata" (fun () -> restore_metadata ~disk ~image meta_entries)
+  in
+  let fsck = phase "warm-reboot: fsck" (fun () -> Fsck.run ~disk) in
+  let fs = phase "warm-reboot: reboot" (fun () -> reboot ()) in
   let data_restored, data_failed =
-    if fsck.Fsck.unrecoverable then (0, List.length data_entries)
-    else restore_data ~fs ~image data_entries
+    phase "warm-reboot: restore data" (fun () ->
+        if fsck.Fsck.unrecoverable then (0, List.length data_entries)
+        else restore_data ~fs ~image data_entries)
   in
   {
     registry_entries = List.length parsed.Registry.entries;

@@ -1,11 +1,34 @@
+module Trace = Rio_obs.Trace
+
 type t = {
   mutable clock : int;
   queue : (t -> unit) Event_queue.t;
+  obs : Trace.t;
+  c_dispatches : Trace.counter;
+  c_advances : Trace.counter;
+  h_queue_depth : Trace.histogram;
+  mutable advances : int;
 }
 
 type handle = Event_queue.handle
 
-let create () = { clock = 0; queue = Event_queue.create () }
+let create ?(obs = Trace.null) () =
+  let t =
+    {
+      clock = 0;
+      queue = Event_queue.create ();
+      obs;
+      c_dispatches = Trace.counter obs "engine.dispatches";
+      c_advances = Trace.counter obs "engine.clock_advances";
+      h_queue_depth = Trace.histogram obs "engine.queue_depth";
+      advances = 0;
+    }
+  in
+  (* The engine's clock is the recorder's time base. *)
+  Trace.set_clock obs (fun () -> t.clock);
+  t
+
+let obs t = t.obs
 
 let now t = t.clock
 
@@ -17,13 +40,36 @@ let schedule_after t ~delay f =
 
 let cancel t handle = Event_queue.cancel t.queue handle
 
+(* Sample the clock-advance counter sparsely: one event per 4096 advances
+   (and one on the very first), so a trace always carries engine events
+   without recording every advance. *)
+let note_advance t =
+  if Trace.enabled t.obs then begin
+    t.advances <- t.advances + 1;
+    Trace.incr t.c_advances;
+    if t.advances land 4095 = 1 then
+      Trace.emit t.obs Trace.Engine (Trace.Clock { advances = t.advances })
+  end
+
+let dispatch t time f =
+  t.clock <- max t.clock time;
+  if Trace.enabled t.obs then begin
+    let depth = Event_queue.length t.queue in
+    let start = t.clock in
+    f t;
+    Trace.incr t.c_dispatches;
+    Trace.observe t.h_queue_depth depth;
+    Trace.emit t.obs Trace.Engine
+      (Trace.Dispatch { due_us = start; end_us = t.clock; queue_depth = depth })
+  end
+  else f t
+
 let fire_due t target =
   let rec loop () =
     match Event_queue.pop_until t.queue ~time:target with
     | None -> ()
     | Some (time, f) ->
-      t.clock <- max t.clock time;
-      f t;
+      dispatch t time f;
       loop ()
   in
   loop ()
@@ -31,7 +77,8 @@ let fire_due t target =
 let advance_to t target =
   if target > t.clock then begin
     fire_due t target;
-    t.clock <- max t.clock target
+    t.clock <- max t.clock target;
+    note_advance t
   end
 
 let advance_by t delta =
@@ -42,8 +89,7 @@ let run_next t =
   match Event_queue.pop t.queue with
   | None -> false
   | Some (time, f) ->
-    t.clock <- max t.clock time;
-    f t;
+    dispatch t time f;
     true
 
 let run_until_idle t = while run_next t do () done

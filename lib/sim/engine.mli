@@ -10,7 +10,14 @@ type t
 
 type handle = Event_queue.handle
 
-val create : unit -> t
+val create : ?obs:Rio_obs.Trace.t -> unit -> t
+(** [obs] defaults to {!Rio_obs.Trace.null} (tracing off, zero overhead).
+    When a live recorder is supplied, the engine installs its clock as the
+    recorder's time base and emits dispatch spans and sampled clock-advance
+    counters. *)
+
+val obs : t -> Rio_obs.Trace.t
+(** The recorder wired in at {!create}; {!Rio_obs.Trace.null} when off. *)
 
 val now : t -> Rio_util.Units.usec
 (** Current simulated time. *)

@@ -1,0 +1,44 @@
+(** A minimal JSON representation (no external deps).
+
+    One shared emitter for every machine-readable artifact the repo
+    produces — [riobench --json], the flight-recorder JSONL and Chrome
+    [trace_event] exports — plus a small strict parser so tests and smoke
+    checks can assert that those artifacts actually parse. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** Escape a string's content for inclusion between double quotes. *)
+
+val to_buffer : Buffer.t -> t -> unit
+(** Compact (single-line) serialization. *)
+
+val to_string : t -> string
+(** Compact serialization. Deterministic: fields print in construction
+    order. *)
+
+val pretty : ?indent:int -> t -> string
+(** Multi-line serialization with [indent] spaces (default 2) per level.
+    Scalars-only arrays and empty containers stay on one line. *)
+
+(** {1 Parsing} *)
+
+val parse : string -> (t, string) result
+(** Strict recursive-descent parse of a complete JSON document. Numbers
+    without [.]/[e] parse as [Int]. [Error] carries a message with the
+    offending byte offset. *)
+
+(** {1 Accessors (for tests and smoke checks)} *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] otherwise. *)
+
+val to_list : t -> t list
+(** Elements of an [Arr]; [[]] otherwise. *)

@@ -1,8 +1,11 @@
 module Phys_mem = Rio_mem.Phys_mem
+module Trace = Rio_obs.Trace
 
 type t = {
   page_table : Page_table.t;
   tlb : Tlb.t;
+  obs : Trace.t;
+  c_traps : Trace.counter;
   mutable kseg_through_tlb : bool;
   mutable protection_faults : int;
   mutable unmapped_faults : int;
@@ -22,10 +25,12 @@ let kseg_addr paddr = kseg_base + paddr
 
 let is_kseg vaddr = vaddr >= kseg_base
 
-let create ~mem_pages ~tlb_entries =
+let create ?(obs = Trace.null) ~mem_pages ~tlb_entries () =
   {
     page_table = Page_table.create ~pages:mem_pages;
     tlb = Tlb.create ~entries:tlb_entries;
+    obs;
+    c_traps = Trace.counter obs "vm.protection_traps";
     kseg_through_tlb = false;
     protection_faults = 0;
     unmapped_faults = 0;
@@ -42,6 +47,12 @@ let fault_unmapped t vaddr =
 
 let fault_protected t vaddr =
   t.protection_faults <- t.protection_faults + 1;
+  if Trace.enabled t.obs then begin
+    Trace.incr t.c_traps;
+    (* In the mapped (and KSEG-through-TLB) identity layout, the faulting
+       virtual address is the physical address. *)
+    Trace.emit t.obs Trace.Vm (Trace.Protection_trap { paddr = vaddr })
+  end;
   Fault (Write_protected vaddr)
 
 let translate_mapped t ~vaddr ~access =

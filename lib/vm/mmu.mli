@@ -31,7 +31,10 @@ val kseg_addr : Rio_mem.Phys_mem.paddr -> int
 
 val is_kseg : int -> bool
 
-val create : mem_pages:int -> tlb_entries:int -> t
+val create : ?obs:Rio_obs.Trace.t -> mem_pages:int -> tlb_entries:int -> unit -> t
+(** [obs] (default {!Rio_obs.Trace.null}) receives a [Protection_trap] event
+    and a ["vm.protection_traps"] counter tick for every write-protection
+    fault. *)
 
 val page_table : t -> Page_table.t
 

@@ -101,7 +101,7 @@ let prop_decode_encode_fixpoint =
 
 let build_machine () =
   let mem = Phys_mem.create ~bytes_total:(32 * 8192) in
-  let mmu = Mmu.create ~mem_pages:(Phys_mem.page_count mem) ~tlb_entries:16 in
+  let mmu = Mmu.create ~mem_pages:(Phys_mem.page_count mem) ~tlb_entries:16 () in
   (mem, mmu, Machine.create ~mem ~mmu)
 
 let load_program mem origin instrs =

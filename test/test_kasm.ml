@@ -62,7 +62,7 @@ let test_li_small_and_large () =
   let program = Asm.assemble a ~origin:0 in
   let mem = Phys_mem.create ~bytes_total:8192 in
   Asm.load program mem;
-  let mmu = Mmu.create ~mem_pages:1 ~tlb_entries:4 in
+  let mmu = Mmu.create ~mem_pages:1 ~tlb_entries:4 () in
   let m = Machine.create ~mem ~mmu in
   ignore (Machine.run m ~max_instructions:100);
   check Alcotest.int "small" 42 (Machine.reg m 1);
@@ -85,7 +85,7 @@ let setup () =
   let mem = Phys_mem.create ~bytes_total:(64 * 8192) in
   let kprogs = Kprogs.build ~origin:0 in
   Asm.load kprogs.Kprogs.program mem;
-  let mmu = Mmu.create ~mem_pages:(Phys_mem.page_count mem) ~tlb_entries:16 in
+  let mmu = Mmu.create ~mem_pages:(Phys_mem.page_count mem) ~tlb_entries:16 () in
   let m = Machine.create ~mem ~mmu in
   (mem, m, kprogs)
 

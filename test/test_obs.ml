@@ -1,0 +1,290 @@
+(* Tests for the flight recorder (Rio_obs): ring semantics, metrics,
+   exporters, forensics, and campaign determinism of the trace output. *)
+
+module Trace = Rio_obs.Trace
+module Export = Rio_obs.Export
+module Forensics = Rio_obs.Forensics
+module Json = Rio_util.Json
+module Stats = Rio_util.Stats
+module Campaign = Rio_fault.Campaign
+module Fault_type = Rio_fault.Fault_type
+module Reliability = Rio_harness.Reliability
+
+let check = Alcotest.check
+
+(* ---------------- ring buffer ---------------- *)
+
+let test_ring_wraparound () =
+  let t = Trace.create ~capacity:4 () in
+  for i = 1 to 10 do
+    Trace.emit t Trace.Harness (Trace.Mark (string_of_int i))
+  done;
+  check Alcotest.int "total" 10 (Trace.total t);
+  check Alcotest.int "dropped" 6 (Trace.dropped t);
+  let marks =
+    List.map
+      (fun e -> match e.Trace.kind with Trace.Mark s -> s | _ -> "?")
+      (Trace.events t)
+  in
+  check Alcotest.(list string) "oldest-first, last 4 retained" [ "7"; "8"; "9"; "10" ]
+    marks
+
+let test_ring_capacity_zero () =
+  let t = Trace.create ~capacity:0 () in
+  let c = Trace.counter t "c" in
+  for _ = 1 to 5 do
+    Trace.emit t Trace.Rio (Trace.Mark "x");
+    Trace.incr c
+  done;
+  check Alcotest.int "no events retained" 0 (List.length (Trace.events t));
+  check Alcotest.int "all counted as dropped" 5 (Trace.dropped t);
+  check Alcotest.int "metrics still live" 5 (Trace.counter_value c)
+
+let test_null_recorder () =
+  check Alcotest.bool "null disabled" false (Trace.enabled Trace.null);
+  let c = Trace.counter Trace.null "dead" in
+  Trace.incr c;
+  Trace.emit Trace.null Trace.Kernel (Trace.Mark "ignored");
+  check Alcotest.int "dead counter" 0 (Trace.counter_value c);
+  check Alcotest.int "no events" 0 (Trace.total Trace.null);
+  let s = Trace.snapshot Trace.null in
+  check Alcotest.bool "empty snapshot" true
+    (s.Trace.counters = [] && s.Trace.histograms = [])
+
+let test_clock_stamps () =
+  let t = Trace.create () in
+  let now = ref 0 in
+  Trace.set_clock t (fun () -> !now);
+  now := 42;
+  Trace.emit t Trace.Disk (Trace.Mark "a");
+  now := 99;
+  Trace.emit t Trace.Disk (Trace.Mark "b");
+  match Trace.events t with
+  | [ a; b ] ->
+    check Alcotest.int "first stamp" 42 a.Trace.ts_us;
+    check Alcotest.int "second stamp" 99 b.Trace.ts_us
+  | _ -> Alcotest.fail "expected two events"
+
+(* ---------------- metrics ---------------- *)
+
+let test_histogram_percentile_matches_stats () =
+  let t = Trace.create () in
+  let h = Trace.histogram t "lat" in
+  let values = [ 12; 5; 99; 41; 7; 63; 28; 3; 77; 50 ] in
+  List.iter (Trace.observe h) values;
+  let ints = Trace.histogram_values h in
+  let floats = Array.map float_of_int ints in
+  List.iter
+    (fun p ->
+      check (Alcotest.float 1e-9)
+        (Printf.sprintf "p%.0f" p)
+        (Stats.percentile floats p) (Trace.percentile ints p))
+    [ 0.; 25.; 50.; 90.; 99.; 100. ]
+
+let test_merge_snapshots () =
+  let mk cs hs = { Trace.counters = cs; histograms = hs } in
+  let merged =
+    Trace.merge_snapshots
+      [
+        mk [ ("a", 1); ("b", 2) ] [ ("h", [| 1; 2 |]) ];
+        mk [ ("b", 3); ("c", 4) ] [ ("h", [| 3 |]); ("g", [| 9 |]) ];
+      ]
+  in
+  check
+    Alcotest.(list (pair string int))
+    "counters summed, first-seen order"
+    [ ("a", 1); ("b", 5); ("c", 4) ]
+    merged.Trace.counters;
+  check
+    Alcotest.(list (pair string (array int)))
+    "histograms concatenated"
+    [ ("h", [| 1; 2; 3 |]); ("g", [| 9 |]) ]
+    merged.Trace.histograms
+
+(* ---------------- JSON emitter / parser ---------------- *)
+
+let test_json_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("s", Json.Str "quote \" backslash \\ newline \n tab \t");
+        ("i", Json.Int (-42));
+        ("f", Json.Float 1.5);
+        ("b", Json.Bool true);
+        ("n", Json.Null);
+        ("a", Json.Arr [ Json.Int 1; Json.Str "x"; Json.Arr [] ]);
+        ("o", Json.Obj [ ("nested", Json.Bool false) ]);
+      ]
+  in
+  (match Json.parse (Json.to_string doc) with
+  | Ok parsed -> check Alcotest.bool "compact roundtrip" true (parsed = doc)
+  | Error e -> Alcotest.fail e);
+  match Json.parse (Json.pretty doc) with
+  | Ok parsed -> check Alcotest.bool "pretty roundtrip" true (parsed = doc)
+  | Error e -> Alcotest.fail e
+
+let test_json_parse_errors () =
+  let bad = [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2" ] in
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error _ -> ())
+    bad
+
+(* ---------------- exporters ---------------- *)
+
+let populated_recorder () =
+  let t = Trace.create () in
+  let now = ref 0 in
+  Trace.set_clock t (fun () -> !now);
+  Trace.emit t Trace.Fault (Trace.Fault_injected { fault = "pointer"; site = "k_bcopy+3" });
+  now := 10;
+  Trace.emit t Trace.Kernel (Trace.Wild_store { paddr = 0x1000; width = 8; region = "buffer_cache" });
+  now := 20;
+  Trace.emit t Trace.Disk
+    (Trace.Disk_request { sector = 4; sectors = 16; write = true; sync = false; issued_us = 12; done_us = 20 });
+  Trace.emit t Trace.Rio (Trace.Phase { name = "warm-reboot: fsck"; start_us = 20; end_us = 30 });
+  Trace.incr (Trace.counter t "k");
+  Trace.observe (Trace.histogram t "h") 7;
+  t
+
+let test_chrome_export_parses () =
+  let t = populated_recorder () in
+  let doc = Export.chrome_json ~meta:[ ("seed", Json.Int 7) ] t in
+  match Json.parse (Json.pretty doc) with
+  | Error e -> Alcotest.fail e
+  | Ok parsed ->
+    check Alcotest.bool "roundtrip" true (parsed = doc);
+    let events = Option.value ~default:Json.Null (Json.member "traceEvents" parsed) in
+    let cats =
+      List.filter_map (fun e ->
+          match Json.member "cat" e with Some (Json.Str c) -> Some c | _ -> None)
+        (Json.to_list events)
+    in
+    List.iter
+      (fun c -> check Alcotest.bool ("has cat " ^ c) true (List.mem c cats))
+      [ "fault"; "kernel"; "disk"; "rio" ];
+    check Alcotest.bool "meta passed through" true
+      (Json.member "seed" parsed = Some (Json.Int 7))
+
+let test_jsonl_lines_all_parse () =
+  let t = populated_recorder () in
+  let lines = Export.jsonl_lines ~header:(Json.Obj [ ("seed", Json.Int 7) ]) t in
+  check Alcotest.bool "header + 4 events + metrics + recorder" true
+    (List.length lines = 7);
+  List.iter
+    (fun l -> match Json.parse l with Ok _ -> () | Error e -> Alcotest.failf "%s: %s" l e)
+    lines
+
+(* ---------------- forensics ---------------- *)
+
+let test_forensics_summary () =
+  let t = populated_recorder () in
+  let f = Forensics.summarize t in
+  check Alcotest.int "injections" 1 (List.length f.Forensics.injections);
+  (match f.Forensics.first_wild_store with
+  | Some (ts, paddr, region) ->
+    check Alcotest.int "wild ts" 10 ts;
+    check Alcotest.int "wild paddr" 0x1000 paddr;
+    check Alcotest.string "wild region" "buffer_cache" region
+  | None -> Alcotest.fail "expected a wild store");
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let text = String.concat "\n" (Forensics.narrative f) in
+  check Alcotest.bool "narrative names fault" true
+    (contains text "pointer" && contains text "k_bcopy")
+
+(* ---------------- campaign trace determinism ---------------- *)
+
+let quick_config =
+  {
+    Campaign.default_config with
+    Campaign.warmup_steps = 6;
+    max_steps = 60;
+    memtest_files = 4;
+    memtest_file_bytes = 6 * 1024;
+    background_andrew = 1;
+    andrew_scale = 0.02;
+  }
+
+let test_same_seed_same_trace () =
+  let run () =
+    let obs = Trace.create () in
+    let o =
+      Campaign.run_one ~obs quick_config Campaign.Rio_without_protection
+        Fault_type.Kernel_text ~seed:3
+    in
+    (o.Campaign.discarded, Export.jsonl_lines obs)
+  in
+  let d1, l1 = run () and d2, l2 = run () in
+  check Alcotest.bool "same verdict" d1 d2;
+  check Alcotest.(list string) "byte-identical trace" l1 l2
+
+let test_trace_dir_parallel_identical () =
+  let dir jobs =
+    let d = Filename.temp_file "riotrace" "" in
+    Sys.remove d;
+    let _ =
+      Reliability.run ~config:quick_config
+        ~systems:[ Campaign.Rio_without_protection ]
+        ~faults:[ Fault_type.Kernel_text; Fault_type.Pointer ]
+        ~domains:jobs ~trace_dir:d ~crashes_per_cell:1 ~seed_base:5 ()
+    in
+    let files = Array.to_list (Sys.readdir d) in
+    let contents =
+      List.map
+        (fun f ->
+          let ic = open_in_bin (Filename.concat d f) in
+          let n = in_channel_length ic in
+          let s = really_input_string ic n in
+          close_in ic;
+          (f, s))
+        (List.sort compare files)
+    in
+    Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d);
+    Sys.rmdir d;
+    contents
+  in
+  let serial = dir 1 and parallel = dir 4 in
+  check Alcotest.(list (pair string string)) "trace files byte-identical -j1 vs -j4"
+    serial parallel
+
+let () =
+  Alcotest.run "rio_obs"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "wraparound keeps newest" `Quick test_ring_wraparound;
+          Alcotest.test_case "capacity 0 is metrics-only" `Quick test_ring_capacity_zero;
+          Alcotest.test_case "null recorder is inert" `Quick test_null_recorder;
+          Alcotest.test_case "events stamped from clock" `Quick test_clock_stamps;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "percentile matches Stats" `Quick
+            test_histogram_percentile_matches_stats;
+          Alcotest.test_case "merge sums and concatenates" `Quick test_merge_snapshots;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "rejects malformed input" `Quick test_json_parse_errors;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome trace parses" `Quick test_chrome_export_parses;
+          Alcotest.test_case "jsonl lines parse" `Quick test_jsonl_lines_all_parse;
+        ] );
+      ( "forensics",
+        [ Alcotest.test_case "summary finds the chain" `Quick test_forensics_summary ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "same seed, same trace" `Slow test_same_seed_same_trace;
+          Alcotest.test_case "trace dir identical at -j1/-j4" `Slow
+            test_trace_dir_parallel_identical;
+        ] );
+    ]

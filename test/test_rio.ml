@@ -148,7 +148,7 @@ let prop_registry_parse_never_crashes =
 
 let test_protect_disabled_is_noop () =
   let engine = Engine.create () in
-  let mmu = Mmu.create ~mem_pages:16 ~tlb_entries:4 in
+  let mmu = Mmu.create ~mem_pages:16 ~tlb_entries:4 () in
   let p = Protect.create ~mmu ~engine ~costs:Costs.default ~enabled:false in
   Protect.protect_page p ~paddr:8192;
   check Alcotest.bool "kseg still bypasses" false (Mmu.kseg_through_tlb mmu);
@@ -158,7 +158,7 @@ let test_protect_disabled_is_noop () =
 
 let test_protect_enabled () =
   let engine = Engine.create () in
-  let mmu = Mmu.create ~mem_pages:16 ~tlb_entries:4 in
+  let mmu = Mmu.create ~mem_pages:16 ~tlb_entries:4 () in
   let p = Protect.create ~mmu ~engine ~costs:Costs.default ~enabled:true in
   check Alcotest.bool "abox bit set" true (Mmu.kseg_through_tlb mmu);
   Protect.protect_page p ~paddr:8192;

@@ -9,7 +9,7 @@ module Phys_mem = Rio_mem.Phys_mem
 
 let check = Alcotest.check
 
-let fresh_mmu () = Mmu.create ~mem_pages:64 ~tlb_entries:16
+let fresh_mmu () = Mmu.create ~mem_pages:64 ~tlb_entries:16 ()
 
 (* ---------------- page table ---------------- *)
 
