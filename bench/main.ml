@@ -17,6 +17,7 @@ module Campaign = Rio_fault.Campaign
 module Fault_type = Rio_fault.Fault_type
 module Performance = Rio_harness.Performance
 module Reliability = Rio_harness.Reliability
+module Run = Rio_harness.Run
 module Ablation = Rio_harness.Ablation
 module Kernel = Rio_kernel.Kernel
 module Engine = Rio_sim.Engine
@@ -86,7 +87,7 @@ let protection_iter protection =
       ignore
         (Rio_core.Rio_cache.create ~mem:(Kernel.mem kernel) ~layout:(Kernel.layout kernel)
            ~mmu:(Kernel.mmu kernel) ~engine ~costs:Costs.default ~hooks:(Kernel.hooks kernel)
-           ~pool_alloc:(Kernel.pool_alloc kernel) ~protection ~dev:1);
+           ~pool_alloc:(Kernel.pool_alloc kernel) ~protection ~dev:1 ());
       let fs = Kernel.mount kernel ~policy:Fs.Rio_policy in
       for i = 0 to 19 do
         Fs.write_file fs (Printf.sprintf "/f%d" i) (Pattern.fill ~seed:i ~len:16_384)
@@ -133,7 +134,7 @@ let micro_tests =
         ignore
           (Rio_core.Rio_cache.create ~mem:(Kernel.mem kernel) ~layout:(Kernel.layout kernel)
              ~mmu:(Kernel.mmu kernel) ~engine ~costs:Costs.default ~hooks:(Kernel.hooks kernel)
-             ~pool_alloc:(Kernel.pool_alloc kernel) ~protection:true ~dev:1);
+             ~pool_alloc:(Kernel.pool_alloc kernel) ~protection:true ~dev:1 ());
         let fs = Kernel.mount kernel ~policy:Fs.Rio_policy in
         Fs.write_file fs "/f" page;
         Fs.crash fs;
@@ -149,7 +150,7 @@ let micro_tests =
                  (Rio_core.Rio_cache.create ~mem:(Kernel.mem kernel2)
                     ~layout:(Kernel.layout kernel2) ~mmu:(Kernel.mmu kernel2) ~engine
                     ~costs:Costs.default ~hooks:(Kernel.hooks kernel2)
-                    ~pool_alloc:(Kernel.pool_alloc kernel2) ~protection:true ~dev:1);
+                    ~pool_alloc:(Kernel.pool_alloc kernel2) ~protection:true ~dev:1 ());
                Kernel.mount kernel2 ~policy:Fs.Rio_policy)))
   in
   let fsck_bench =
@@ -183,7 +184,7 @@ let vista_tests =
   ignore
     (Rio_core.Rio_cache.create ~mem:(Kernel.mem kernel) ~layout:(Kernel.layout kernel)
        ~mmu:(Kernel.mmu kernel) ~engine ~costs:Costs.default ~hooks:(Kernel.hooks kernel)
-       ~pool_alloc:(Kernel.pool_alloc kernel) ~protection:true ~dev:1);
+       ~pool_alloc:(Kernel.pool_alloc kernel) ~protection:true ~dev:1 ());
   let fs = Kernel.mount kernel ~policy:Fs.Rio_policy in
   let store = Rio_txn.Vista.create fs ~path:"/bench-store" ~size:65536 in
   let i = ref 0 in
@@ -232,13 +233,13 @@ let run_benchmarks () =
 let print_mini_tables () =
   Printf.printf "\nMini Table 1 (2 crash tests/cell, 3 fault types; see riobench table1):\n";
   let results =
-    Reliability.run ~config:campaign_config
+    Reliability.run ~campaign:campaign_config
       ~faults:[ Fault_type.Kernel_text; Fault_type.Copy_overrun; Fault_type.Pointer ]
-      ~crashes_per_cell:2 ~seed_base:1 ()
+      { Run.default with Run.trials = 2; seed = 1 }
   in
   print_string (Rio_util.Table.render (Reliability.to_table results));
   Printf.printf "\nMini Table 2 (4%% scale; see riobench table2 for full scale):\n";
-  let ms = Performance.run ~scale:0.04 ~seed:1 () in
+  let ms = Performance.run { Run.default with Run.scale = 0.04; seed = 1 } in
   print_string (Rio_util.Table.render (Performance.to_table ms))
 
 let () =

@@ -5,6 +5,8 @@
    sweep), trace (flight-recorder forensics of one crash trial), all. *)
 
 module Reliability = Rio_harness.Reliability
+module Run = Rio_harness.Run
+module Explorer = Rio_check.Explorer
 module Performance = Rio_harness.Performance
 module Ablation = Rio_harness.Ablation
 module Progress = Rio_harness.Progress
@@ -124,8 +126,15 @@ let run_table1 crashes seed jobs json trace_dir verbose =
   Printf.printf "Table 1: corruption per fault type (%d crash tests per cell)\n\n%!" crashes;
   let t0 = Unix.gettimeofday () in
   let results =
-    Reliability.run ~progress:(progress verbose) ~domains:jobs ?trace_dir
-      ~crashes_per_cell:crashes ~seed_base:seed ()
+    Reliability.run
+      {
+        Run.default with
+        Run.seed = seed;
+        trials = crashes;
+        domains = jobs;
+        trace_dir;
+        progress = progress verbose;
+      }
   in
   let wall_s = Unix.gettimeofday () -. t0 in
   print_string (Table.render (Reliability.to_table results));
@@ -154,7 +163,10 @@ let table1_cmd =
 
 let run_table2 scale seed jobs verbose =
   Printf.printf "Table 2: running time by file-system configuration (scale %.2f)\n\n%!" scale;
-  let ms = Performance.run ~scale ~seed ~progress:(progress verbose) ~domains:jobs () in
+  let ms =
+    Performance.run
+      { Run.default with Run.seed = seed; scale; domains = jobs; progress = progress verbose }
+  in
   print_string (Table.render (Performance.to_table ms));
   print_newline ();
   print_string (Table.render (Performance.comparison_table ms))
@@ -176,12 +188,17 @@ let table2_cmd =
 let run_mttf crashes seed jobs verbose =
   Printf.printf "MTTF projection (a crash every two months, as in the paper)\n\n%!";
   let results =
-    Reliability.run ~progress:(progress verbose) ~domains:jobs ~crashes_per_cell:crashes
-      ~seed_base:seed
+    Reliability.run
       ~systems:
         [ Rio_fault.Campaign.Disk_based; Rio_fault.Campaign.Rio_without_protection;
           Rio_fault.Campaign.Rio_with_protection ]
-      ()
+      {
+        Run.default with
+        Run.seed = seed;
+        trials = crashes;
+        domains = jobs;
+        progress = progress verbose;
+      }
   in
   print_string (Table.render (Reliability.comparison_table results))
 
@@ -192,29 +209,27 @@ let mttf_cmd =
 
 (* ---------------- ablation ---------------- *)
 
-let run_ablation seed jobs _verbose =
+let run_ablation seed jobs verbose =
+  let r =
+    Ablation.run
+      { Run.default with Run.seed = seed; domains = jobs; progress = progress verbose }
+  in
   Printf.printf "Ablation: protection overhead (Table 2's last two rows)\n";
-  print_string
-    (Table.render (Ablation.protection_table (Ablation.protection_overhead ~domains:jobs ~seed ())));
+  print_string (Table.render (Ablation.protection_table r.Ablation.protection));
   Printf.printf "\nAblation: code-patching alternative (paper prose: 20-50%% slower)\n";
-  print_string (Table.render (Ablation.code_patching_table (Ablation.code_patching ~seed ())));
+  print_string (Table.render (Ablation.code_patching_table r.Ablation.patching));
   Printf.printf "\nAblation: registry cost (paper: 40 bytes per 8 KB page)\n";
-  print_string (Table.render (Ablation.registry_table (Ablation.registry_cost ~seed ())));
+  print_string (Table.render (Ablation.registry_table r.Ablation.registry));
   Printf.printf "\nAblation: delayed-write window vs data loss (paper \194\1671)\n";
-  print_string (Table.render (Ablation.delay_table (Ablation.delay_sweep ~domains:jobs ~seed ())));
+  print_string (Table.render (Ablation.delay_table r.Ablation.delay));
   Printf.printf "\nExtension: Rio with idle-period write-back (paper \194\1672.3 future work)\n";
-  print_string
-    (Table.render (Ablation.idle_writeback_table (Ablation.idle_writeback ~domains:jobs ~seed ())));
+  print_string (Table.render (Ablation.idle_writeback_table r.Ablation.idle));
   Printf.printf "\nExtension: sensitivity to disk speed (1996 vs modern)\n";
-  print_string
-    (Table.render
-       (Ablation.disk_sensitivity_table (Ablation.modern_disk_sensitivity ~domains:jobs ~seed ())));
+  print_string (Table.render (Ablation.disk_sensitivity_table r.Ablation.disk));
   Printf.printf "\nRelated work: Phoenix-style checkpointing vs Rio (paper \194\1676)\n";
-  print_string
-    (Table.render (Ablation.phoenix_table (Ablation.phoenix_comparison ~domains:jobs ~seed ())));
+  print_string (Table.render (Ablation.phoenix_table r.Ablation.phoenix));
   Printf.printf "\nRelated work: protection overhead on debit/credit (paper \194\1676)\n";
-  print_string
-    (Table.render (Ablation.debit_credit_table (Ablation.debit_credit ~domains:jobs ~seed ())))
+  print_string (Table.render (Ablation.debit_credit_table r.Ablation.debit))
 
 let ablation_cmd =
   let doc = "Run the design-choice ablations from the paper's prose claims." in
@@ -357,7 +372,8 @@ let run_vista crashes seed jobs _verbose =
     Pool.map_list ~domains:jobs
       (fun (fault, prot) ->
         ( Printf.sprintf "%s, protection %s" (F.name fault) (if prot then "on" else "off"),
-          V.run ~fault ~protection:prot ~crashes ~seed_base:seed () ))
+          V.run ~fault ~protection:prot
+            { Run.default with Run.seed = seed; trials = crashes } ))
       tasks
   in
   print_string (Table.render (Rio_harness.Vista_experiment.summary_table rows));
@@ -403,6 +419,66 @@ let workloads_cmd =
   Cmd.v (Cmd.info "workloads" ~doc)
     Term.(const run_workloads $ scale_arg $ seed_arg $ jobs_arg $ verbose_arg)
 
+(* ---------------- check ---------------- *)
+
+let scenario_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "scenario" ] ~docv:"SLUG"
+        ~doc:
+          (Printf.sprintf
+             "Restrict to one scenario (repeatable): %s. Default: all of them."
+             (String.concat ", "
+                (List.map (fun s -> s.Rio_check.Scenario.slug) Rio_check.Scenario.all))))
+
+let matrix_arg =
+  Arg.(
+    value & flag
+    & info [ "matrix" ]
+        ~doc:
+          "Run the configuration matrix: rio with and without protection must \
+           survive every crash point; the shadow-copies-off and registry-off \
+           ablations must be flagged. Exit status reflects whether every \
+           verdict matched.")
+
+let run_check seed jobs scenarios matrix verbose =
+  let only = match scenarios with [] -> None | slugs -> Some slugs in
+  let cfg =
+    { Run.default with Run.seed; domains = jobs; progress = progress verbose }
+  in
+  match
+    if matrix then begin
+      Printf.printf "Exhaustive crash-schedule check, configuration matrix (seed %d)\n\n%!"
+        seed;
+      let entries = Explorer.run_matrix ?only cfg in
+      print_string (Explorer.render_matrix entries);
+      if Explorer.matrix_ok entries then `Ok else `Violations
+    end
+    else begin
+      Printf.printf "Exhaustive crash-schedule check (seed %d)\n\n%!" seed;
+      let report = Explorer.run ?only cfg in
+      print_string (Explorer.render report);
+      if Explorer.violation_count report = 0 then `Ok else `Violations
+    end
+  with
+  | `Ok -> ()
+  | `Violations -> exit 1
+  | exception Invalid_argument msg ->
+    Printf.eprintf "riobench: %s (see riobench check --help)\n%!" msg;
+    exit 2
+
+let check_cmd =
+  let doc =
+    "Check every crash schedule of scripted operations: enumerate each crash \
+     boundary (store windows, registry updates, shadow flips, disk \
+     completions, Vista undo-log steps), crash exactly there, warm-reboot, \
+     and verify the recovered file system. Zero violations is exhaustive over \
+     the enumeration, not sampled."
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(const run_check $ seed_arg $ jobs_arg $ scenario_arg $ matrix_arg $ verbose_arg)
+
 (* ---------------- all ---------------- *)
 
 let run_all crashes scale seed jobs verbose =
@@ -424,7 +500,7 @@ let main_cmd =
   Cmd.group info
     [
       table1_cmd; table2_cmd; mttf_cmd; ablation_cmd; messages_cmd; trace_cmd;
-      workloads_cmd; vista_cmd; all_cmd;
+      workloads_cmd; vista_cmd; check_cmd; all_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

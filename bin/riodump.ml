@@ -41,7 +41,7 @@ let run fault_name seed protection =
   ignore
     (Rio_cache.create ~mem:(Kernel.mem kernel) ~layout:(Kernel.layout kernel)
        ~mmu:(Kernel.mmu kernel) ~engine ~costs:Costs.default ~hooks:(Kernel.hooks kernel)
-       ~pool_alloc:(Kernel.pool_alloc kernel) ~protection ~dev:1);
+       ~pool_alloc:(Kernel.pool_alloc kernel) ~protection ~dev:1 ());
   let fs = Kernel.mount kernel ~policy:Fs.Rio_policy in
   let layout = Kernel.layout kernel in
   let text = Layout.region layout Layout.Kernel_text in

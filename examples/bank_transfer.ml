@@ -45,7 +45,7 @@ let () =
   ignore
     (Rio_cache.create ~mem:(Kernel.mem kernel) ~layout:(Kernel.layout kernel)
        ~mmu:(Kernel.mmu kernel) ~engine ~costs:Costs.default ~hooks:(Kernel.hooks kernel)
-       ~pool_alloc:(Kernel.pool_alloc kernel) ~protection:true ~dev:1);
+       ~pool_alloc:(Kernel.pool_alloc kernel) ~protection:true ~dev:1 ());
   let fs = Kernel.mount kernel ~policy:Fs.Rio_policy in
   let store = Vista.create fs ~path:"/bank" ~size:4096 in
 
@@ -88,7 +88,7 @@ let () =
            (Rio_cache.create ~mem:(Kernel.mem kernel2) ~layout:(Kernel.layout kernel2)
               ~mmu:(Kernel.mmu kernel2) ~engine ~costs:Costs.default
               ~hooks:(Kernel.hooks kernel2) ~pool_alloc:(Kernel.pool_alloc kernel2)
-              ~protection:true ~dev:1);
+              ~protection:true ~dev:1 ());
          let fs2 = Kernel.mount kernel2 ~policy:Fs.Rio_policy in
          fs_ref := Some fs2;
          fs2));

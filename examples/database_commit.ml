@@ -64,7 +64,7 @@ let run_config label ~policy ~rio ~fsync_on_commit ~transactions =
     ignore
       (Rio_cache.create ~mem:(Kernel.mem kernel) ~layout:(Kernel.layout kernel)
          ~mmu:(Kernel.mmu kernel) ~engine ~costs:Costs.default ~hooks:(Kernel.hooks kernel)
-         ~pool_alloc:(Kernel.pool_alloc kernel) ~protection:true ~dev:1);
+         ~pool_alloc:(Kernel.pool_alloc kernel) ~protection:true ~dev:1 ());
   let fs = Kernel.mount kernel ~policy in
   Fs.mkdir fs "/db";
   let db = open_db fs ~fsync_on_commit in

@@ -35,7 +35,7 @@ let boot_server () =
   ignore
     (Rio_cache.create ~mem:(Kernel.mem kernel) ~layout:(Kernel.layout kernel)
        ~mmu:(Kernel.mmu kernel) ~engine ~costs:Costs.default ~hooks:(Kernel.hooks kernel)
-       ~pool_alloc:(Kernel.pool_alloc kernel) ~protection:true ~dev:1);
+       ~pool_alloc:(Kernel.pool_alloc kernel) ~protection:true ~dev:1 ());
   let fs = Kernel.mount kernel ~policy:Fs.Rio_policy in
   { engine; kernel; fs; crashes_survived = 0 }
 
@@ -54,7 +54,7 @@ let crash_and_recover server =
           (Rio_cache.create ~mem:(Kernel.mem kernel2) ~layout:(Kernel.layout kernel2)
              ~mmu:(Kernel.mmu kernel2) ~engine:server.engine ~costs:Costs.default
              ~hooks:(Kernel.hooks kernel2) ~pool_alloc:(Kernel.pool_alloc kernel2)
-             ~protection:true ~dev:1);
+             ~protection:true ~dev:1 ());
         let fs2 = Kernel.mount kernel2 ~policy:Fs.Rio_policy in
         server.kernel <- kernel2;
         server.fs <- fs2;

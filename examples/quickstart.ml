@@ -23,7 +23,7 @@ let build_rio_system ~seed =
   let rio =
     Rio_cache.create ~mem:(Kernel.mem kernel) ~layout:(Kernel.layout kernel)
       ~mmu:(Kernel.mmu kernel) ~engine ~costs:Costs.default ~hooks:(Kernel.hooks kernel)
-      ~pool_alloc:(Kernel.pool_alloc kernel) ~protection:true ~dev:1
+      ~pool_alloc:(Kernel.pool_alloc kernel) ~protection:true ~dev:1 ()
   in
   let fs = Kernel.mount kernel ~policy:Fs.Rio_policy in
   (engine, kernel, rio, fs)
@@ -70,7 +70,7 @@ let () =
           (Rio_cache.create ~mem:(Kernel.mem kernel2) ~layout:(Kernel.layout kernel2)
              ~mmu:(Kernel.mmu kernel2) ~engine ~costs:Costs.default
              ~hooks:(Kernel.hooks kernel2) ~pool_alloc:(Kernel.pool_alloc kernel2)
-             ~protection:true ~dev:1);
+             ~protection:true ~dev:1 ());
         let fs2 = Kernel.mount kernel2 ~policy:Fs.Rio_policy in
         fs_after := Some fs2;
         fs2)

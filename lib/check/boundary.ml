@@ -1,0 +1,163 @@
+module Phys_mem = Rio_mem.Phys_mem
+module Hooks = Rio_fs.Hooks
+module Trace = Rio_obs.Trace
+module Vista = Rio_txn.Vista
+
+exception Crash_here
+
+type t = {
+  mem : Phys_mem.t;
+  obs : Trace.t;
+  mutable armed : bool;
+  mutable next : int;
+  mutable trip_at : int;
+  mutable labels_rev : string list;
+  mutable image : bytes option;
+  mutable tripped : string option;
+  (* Page pre-images captured at open_write, for torn-store composition. *)
+  pre_images : (int, bytes) Hashtbl.t;
+  (* Pages written through copy_in since their open_write (data pages;
+     metadata mutates via blit_in and gets its torn variants from the
+     shadow window instead). *)
+  copied : (int, unit) Hashtbl.t;
+}
+
+let create ~mem ~obs =
+  {
+    mem;
+    obs;
+    armed = false;
+    next = 0;
+    trip_at = -1;
+    labels_rev = [];
+    image = None;
+    tripped = None;
+    pre_images = Hashtbl.create 16;
+    copied = Hashtbl.create 16;
+  }
+
+let arm t ~trip_at =
+  t.armed <- true;
+  t.next <- 0;
+  t.trip_at <- trip_at;
+  t.labels_rev <- [];
+  t.image <- None;
+  t.tripped <- None;
+  Hashtbl.reset t.pre_images;
+  Hashtbl.reset t.copied
+
+let disarm t = t.armed <- false
+let labels t = List.rev t.labels_rev
+let crash_image t = t.image
+let tripped_label t = t.tripped
+
+(* One boundary. [compose] edits the captured image (torn pages); the dump
+   happens before the raise so unwind-path cleanup (Rio's shadow
+   disengage) cannot launder the crash state. *)
+let emit t label compose =
+  if t.armed then begin
+    let i = t.next in
+    t.next <- i + 1;
+    t.labels_rev <- label :: t.labels_rev;
+    if Trace.enabled t.obs then
+      Trace.emit t.obs Trace.Harness (Trace.Mark (Printf.sprintf "crashpoint %d %s" i label));
+    if i = t.trip_at then begin
+      let image = Phys_mem.dump t.mem in
+      compose image;
+      t.image <- Some image;
+      t.tripped <- Some label;
+      raise Crash_here
+    end
+  end
+
+let intact _image = ()
+let hit t label = emit t label intact
+
+(* Half-apply the page's pending stores: of the bytes that differ between
+   the pre-image and the current content, [/lo] keeps the first half new
+   (reverting the rest), [/hi] keeps the second half. *)
+let torn_compose ~page ~pre ~keep_first image =
+  let changed = ref [] in
+  for i = Phys_mem.page_size - 1 downto 0 do
+    if Bytes.get pre i <> Bytes.get image (page + i) then changed := i :: !changed
+  done;
+  let changed = Array.of_list !changed in
+  let half = (Array.length changed + 1) / 2 in
+  Array.iteri
+    (fun k idx ->
+      let revert = if keep_first then k >= half else k < half in
+      if revert then Bytes.set image (page + idx) (Bytes.get pre idx))
+    changed
+
+let hit_torn t label ~page ~pre =
+  emit t (label ^ "/lo") (torn_compose ~page ~pre ~keep_first:true);
+  emit t (label ^ "/hi") (torn_compose ~page ~pre ~keep_first:false)
+
+let page_of paddr = paddr - (paddr mod Phys_mem.page_size)
+
+let instrument_hooks t (hooks : Hooks.t) =
+  let rio_note_map = hooks.Hooks.note_map in
+  let rio_open = hooks.Hooks.open_write in
+  let rio_close = hooks.Hooks.close_write in
+  let rio_meta = hooks.Hooks.metadata_update in
+  let kernel_copy_in = hooks.Hooks.copy_in in
+  hooks.Hooks.note_map <-
+    (fun ~paddr ~blkno ~owner ~valid ->
+      rio_note_map ~paddr ~blkno ~owner ~valid;
+      hit t (Printf.sprintf "registry-update p0x%x" (page_of paddr)));
+  hooks.Hooks.open_write <-
+    (fun ~paddr ->
+      rio_open ~paddr;
+      let page = page_of paddr in
+      if t.armed && not (Hashtbl.mem t.pre_images page) then
+        Hashtbl.replace t.pre_images page (Phys_mem.blit_out t.mem page ~len:Phys_mem.page_size);
+      hit t (Printf.sprintf "store-open p0x%x" page));
+  hooks.Hooks.copy_in <-
+    (fun src pos ~paddr ~len ->
+      kernel_copy_in src pos ~paddr ~len;
+      let page = page_of paddr in
+      if t.armed then Hashtbl.replace t.copied page ();
+      hit t (Printf.sprintf "store-copy p0x%x+%d" page len));
+  hooks.Hooks.close_write <-
+    (fun ~paddr ->
+      let page = page_of paddr in
+      (* Torn variants first: the stores are still "in flight" until the
+         close refreshes the checksum. Only for pages the data path wrote
+         via copy_in — metadata stores physically happen inside the shadow
+         window and get their torn variants there. *)
+      (if t.armed && Hashtbl.mem t.copied page then
+         match Hashtbl.find_opt t.pre_images page with
+         | Some pre -> hit_torn t (Printf.sprintf "store-torn p0x%x" page) ~page ~pre
+         | None -> ());
+      rio_close ~paddr;
+      Hashtbl.remove t.pre_images page;
+      Hashtbl.remove t.copied page;
+      hit t (Printf.sprintf "store-close p0x%x" page));
+  hooks.Hooks.metadata_update <-
+    (fun ~paddr f ->
+      let page = page_of paddr in
+      hit t (Printf.sprintf "meta-begin p0x%x" page);
+      let pre =
+        if t.armed then Some (Phys_mem.blit_out t.mem page ~len:Phys_mem.page_size) else None
+      in
+      rio_meta ~paddr (fun () ->
+          f ();
+          (* Inside the (possible) shadow window: the home page has been
+             mutated, the registry may still point at the shadow. *)
+          (match pre with
+          | Some pre -> hit_torn t (Printf.sprintf "meta-torn p0x%x" page) ~page ~pre
+          | None -> ());
+          hit t (Printf.sprintf "meta-mutated p0x%x" page));
+      hit t (Printf.sprintf "meta-done p0x%x" page))
+
+let instrument_disk t disk =
+  Rio_disk.Disk.set_on_complete disk (fun ~sector ~count ~write ->
+      hit t (Printf.sprintf "disk-complete %s s%d x%d" (if write then "w" else "r") sector count))
+
+let vista_event t = function
+  | Vista.Undo_append { offset; len } ->
+    hit t (Printf.sprintf "vista-undo-append @%d+%d" offset len)
+  | Vista.Data_write { offset; len } ->
+    hit t (Printf.sprintf "vista-data-write @%d+%d" offset len)
+  | Vista.Commit_start -> hit t "vista-commit-start"
+  | Vista.Committed -> hit t "vista-committed"

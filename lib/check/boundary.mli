@@ -1,0 +1,62 @@
+(** Crash boundaries: the persistence points the checker enumerates.
+
+    The paper's campaign (§3.1) {e samples} crash times; the probe instead
+    names every boundary a crash could land on during one scripted
+    operation — each buffer-cache store window, each registry update, each
+    shadow-page flip, each disk-request completion, and each Vista
+    undo-log step — and can deterministically crash {e at} boundary [i].
+
+    A probe is armed only around the scripted operation. While armed,
+    every boundary gets an ordinal (0, 1, 2, ...) and a stable label; the
+    counting pass records them all, and a trip pass re-runs the identical
+    seed and raises {!Crash_here} at the chosen ordinal, after capturing
+    the physical-memory image {e as the crash would leave it}. The capture
+    happens before the exception unwinds, so cleanup code on the unwind
+    path (Rio's shadow-disengage [Fun.protect], for one) cannot launder
+    the crash state: the explorer restores the captured image over memory
+    before running warm reboot + fsck.
+
+    Torn boundaries model a power loss in the middle of the store
+    sequence: the captured image gets the target page's changed bytes
+    half-applied (the [/lo] variant keeps the first half of the changes,
+    [/hi] the second half). Metadata pages get torn variants inside the
+    shadow window (where the home page is really being mutated); data
+    pages get them at the close of a [copy_in] write window. *)
+
+exception Crash_here
+(** The modelled crash. Raised by an armed probe at its trip ordinal;
+    the machine state of record is {!crash_image}, not live memory. *)
+
+type t
+
+val create : mem:Rio_mem.Phys_mem.t -> obs:Rio_obs.Trace.t -> t
+(** A disarmed probe. When [obs] is live, every boundary hit while armed
+    is also emitted as a [Mark] event (for counterexample narratives). *)
+
+val arm : t -> trip_at:int -> unit
+(** Start numbering boundaries from 0. [trip_at = -1] counts without ever
+    crashing; [trip_at = i] captures and raises at ordinal [i]. *)
+
+val disarm : t -> unit
+(** Stop emitting boundaries (recovery and checking run disarmed). *)
+
+val labels : t -> string list
+(** Labels of the boundaries seen while armed, in ordinal order. *)
+
+val crash_image : t -> bytes option
+(** The physical-memory image captured at the tripped boundary (with any
+    torn-page composition already applied); [None] if nothing tripped. *)
+
+val tripped_label : t -> string option
+
+val instrument_hooks : t -> Rio_fs.Hooks.t -> unit
+(** Wrap the (already Rio-installed) file-system hooks so that store
+    windows, registry updates, and shadow-wrapped metadata mutations emit
+    boundaries. Call after {!Rio_core.Rio_cache.create}. *)
+
+val instrument_disk : t -> Rio_disk.Disk.t -> unit
+(** Emit a boundary at every disk-request completion. *)
+
+val vista_event : t -> Rio_txn.Vista.event -> unit
+(** A {!Rio_txn.Vista.set_observer} observer that turns each transaction
+    protocol step into a boundary. *)

@@ -1,0 +1,284 @@
+module Engine = Rio_sim.Engine
+module Costs = Rio_sim.Costs
+module Kernel = Rio_kernel.Kernel
+module Fs = Rio_fs.Fs
+module Fs_types = Rio_fs.Fs_types
+module Phys_mem = Rio_mem.Phys_mem
+module Rio_cache = Rio_core.Rio_cache
+module Warm_reboot = Rio_core.Warm_reboot
+module Trace = Rio_obs.Trace
+module Forensics = Rio_obs.Forensics
+module Pool = Rio_parallel.Pool
+module Run = Rio_harness.Run
+
+type spec = {
+  label : string;
+  protection : bool;
+  shadow : bool;
+  registry : bool;
+  expect_safe : bool;
+}
+
+let rio_prot =
+  { label = "rio-prot"; protection = true; shadow = true; registry = true; expect_safe = true }
+
+let rio_noprot =
+  { label = "rio-noprot"; protection = false; shadow = true; registry = true; expect_safe = true }
+
+let shadow_off =
+  { label = "shadow-off"; protection = true; shadow = false; registry = true; expect_safe = false }
+
+let registry_off =
+  {
+    label = "registry-off";
+    protection = true;
+    shadow = true;
+    registry = false;
+    expect_safe = false;
+  }
+
+let matrix_specs = [ rio_prot; rio_noprot; shadow_off; registry_off ]
+
+type violation = {
+  ordinal : int;
+  label : string;
+  problems : string list;
+  narrative : string list;
+}
+
+type scenario_result = {
+  slug : string;
+  name : string;
+  crash_points : int;
+  violations : violation list;
+}
+
+type report = { spec : spec; scenarios : scenario_result list }
+
+(* ---------------- one trial ---------------- *)
+
+let make_rio ~spec kernel =
+  ignore
+    (Rio_cache.create ~shadow:spec.shadow ~registry:spec.registry ~mem:(Kernel.mem kernel)
+       ~layout:(Kernel.layout kernel) ~mmu:(Kernel.mmu kernel) ~engine:(Kernel.engine kernel)
+       ~costs:(Kernel.costs kernel) ~hooks:(Kernel.hooks kernel)
+       ~pool_alloc:(Kernel.pool_alloc kernel) ~protection:spec.protection ~dev:1 ()
+      : Rio_cache.t)
+
+type outcome = Completed | Crashed of string list
+
+type trial = { trial_labels : string list; outcome : outcome }
+
+(* Build a fresh world from the seed, run [scenario] with the probe armed
+   at [trip] ([-1] = count only), and — if the probe fired — restore the
+   captured crash image over memory, warm-reboot, and audit. Every trial
+   is a pure function of (spec, seed, scenario, trip), which is what lets
+   the schedule shard across domains. *)
+let run_trial ?(obs = Trace.null) ~spec ~seed scenario ~trip =
+  let engine = Engine.create ~obs () in
+  let costs = Costs.default in
+  let kcfg = Kernel.config_with_seed seed in
+  let kernel = Kernel.boot ~engine ~costs kcfg in
+  Kernel.format kernel;
+  make_rio ~spec kernel;
+  let fs = Kernel.mount kernel ~policy:Fs.Rio_policy in
+  let probe = Boundary.create ~mem:(Kernel.mem kernel) ~obs in
+  Boundary.instrument_hooks probe (Kernel.hooks kernel);
+  Boundary.instrument_disk probe (Kernel.disk kernel);
+  scenario.Scenario.setup fs;
+  Boundary.arm probe ~trip_at:trip;
+  let crashed =
+    match scenario.Scenario.op ~vista_hook:(Boundary.vista_event probe) fs with
+    | () -> false
+    | exception Boundary.Crash_here -> true
+  in
+  Boundary.disarm probe;
+  let trial_labels = Boundary.labels probe in
+  if not crashed then { trial_labels; outcome = Completed }
+  else begin
+    let image =
+      match Boundary.crash_image probe with Some i -> i | None -> assert false
+    in
+    Fs.crash fs;
+    Phys_mem.restore_dump (Kernel.mem kernel) image;
+    let recovered = ref None in
+    ignore
+      (Warm_reboot.perform ~mem:(Kernel.mem kernel) ~disk:(Kernel.disk kernel)
+         ~layout:(Kernel.layout kernel) ~engine
+         ~reboot:(fun () ->
+           let kernel2 =
+             Kernel.boot_warm ~engine ~costs kcfg ~mem:(Kernel.mem kernel)
+               ~disk:(Kernel.disk kernel)
+           in
+           make_rio ~spec kernel2;
+           let fs2 = Kernel.mount kernel2 ~policy:Fs.Rio_policy in
+           recovered := Some fs2;
+           fs2)
+        : Warm_reboot.report);
+    let fs2 = match !recovered with Some f -> f | None -> assert false in
+    let problems =
+      try scenario.Scenario.check fs2
+      with Fs_types.Fs_error m -> [ "recovery check raised: " ^ m ]
+    in
+    { trial_labels; outcome = Crashed problems }
+  end
+
+(* ---------------- the exhaustive run ---------------- *)
+
+let resolve_scenarios only =
+  match only with
+  | None -> Scenario.all
+  | Some slugs ->
+    List.map
+      (fun slug ->
+        match Scenario.find slug with
+        | Some s -> s
+        | None -> invalid_arg ("rio_check: unknown scenario slug " ^ slug))
+      slugs
+
+let run ?(spec = rio_prot) ?only (cfg : Run.config) =
+  let scenarios = resolve_scenarios only in
+  (* Counting pass: same seed, never trips — yields the boundary order the
+     trip passes then replay point by point. *)
+  let counted =
+    List.map
+      (fun sc -> (sc, (run_trial ~spec ~seed:cfg.Run.seed sc ~trip:(-1)).trial_labels))
+      scenarios
+  in
+  let tasks =
+    List.concat_map (fun (sc, labels) -> List.mapi (fun i l -> (sc, i, l)) labels) counted
+  in
+  let report_done = Run.reporter cfg ~total:(List.length tasks) in
+  let results =
+    Pool.map_list ~domains:cfg.Run.domains
+      (fun (sc, trip, label) ->
+        let t = run_trial ~spec ~seed:cfg.Run.seed sc ~trip in
+        let problems =
+          match t.outcome with
+          | Crashed problems -> problems
+          | Completed ->
+            [ Printf.sprintf "crash point %d (%s) was not reached on replay" trip label ]
+        in
+        let narrative =
+          if problems = [] then []
+          else begin
+            (* Counterexample: replay the identical trial with the flight
+               recorder live and distill the narrative. *)
+            let obs = Trace.create () in
+            ignore (run_trial ~obs ~spec ~seed:cfg.Run.seed sc ~trip : trial);
+            Forensics.narrative (Forensics.summarize obs)
+          end
+        in
+        report_done ~label:sc.Scenario.slug ~detail:label;
+        (sc.Scenario.slug, { ordinal = trip; label; problems; narrative }))
+      tasks
+  in
+  let scenarios =
+    List.map
+      (fun (sc, labels) ->
+        {
+          slug = sc.Scenario.slug;
+          name = sc.Scenario.name;
+          crash_points = List.length labels;
+          violations =
+            List.filter_map
+              (fun (slug, v) ->
+                if slug = sc.Scenario.slug && v.problems <> [] then Some v else None)
+              results;
+        })
+      counted
+  in
+  { spec; scenarios }
+
+let crash_points r = List.fold_left (fun acc s -> acc + s.crash_points) 0 r.scenarios
+
+let violation_count r =
+  List.fold_left (fun acc s -> acc + List.length s.violations) 0 r.scenarios
+
+(* ---------------- rendering ---------------- *)
+
+let spec_line (spec : spec) =
+  Printf.sprintf "%s (protection %s, shadow %s, registry %s)" spec.label
+    (if spec.protection then "on" else "off")
+    (if spec.shadow then "on" else "off")
+    (if spec.registry then "on" else "off")
+
+let render_violation buf ~slug v =
+  Buffer.add_string buf
+    (Printf.sprintf "\ncounterexample: %s @ crash point %d (%s)\n" slug v.ordinal v.label);
+  List.iter (fun p -> Buffer.add_string buf ("  problem: " ^ p ^ "\n")) v.problems;
+  if v.narrative <> [] then begin
+    Buffer.add_string buf "  trace:\n";
+    List.iter (fun l -> Buffer.add_string buf ("    | " ^ l ^ "\n")) v.narrative
+  end
+
+let render r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf ("crash-schedule check: " ^ spec_line r.spec ^ "\n");
+  Buffer.add_string buf (Printf.sprintf "  %-10s %12s  %s\n" "scenario" "crash points" "violations");
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-10s %12d  %d\n" s.slug s.crash_points (List.length s.violations)))
+    r.scenarios;
+  Buffer.add_string buf
+    (Printf.sprintf "  %-10s %12d  %d\n" "total" (crash_points r) (violation_count r));
+  List.iter
+    (fun s -> List.iter (fun v -> render_violation buf ~slug:s.slug v) s.violations)
+    r.scenarios;
+  Buffer.contents buf
+
+(* ---------------- the ablation matrix ---------------- *)
+
+type matrix_entry = { entry_report : report; ok : bool }
+
+let run_matrix ?(specs = matrix_specs) ?only (cfg : Run.config) =
+  List.map
+    (fun spec ->
+      let entry_report = run ~spec ?only cfg in
+      let safe = violation_count entry_report = 0 in
+      { entry_report; ok = safe = spec.expect_safe })
+    specs
+
+let matrix_ok entries = List.for_all (fun e -> e.ok) entries
+
+let render_matrix entries =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "crash-schedule matrix: the checker must catch the unsafe ablations\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  %-14s %12s %11s  %-9s %s\n" "configuration" "crash points" "violations"
+       "expected" "verdict");
+  List.iter
+    (fun e ->
+      let r = e.entry_report in
+      let expected = if r.spec.expect_safe then "safe" else "unsafe" in
+      let verdict =
+        match (e.ok, r.spec.expect_safe) with
+        | true, true -> "ok"
+        | true, false -> "ok (caught)"
+        | false, true -> "MISMATCH: violations in a safe configuration"
+        | false, false -> "MISMATCH: known-unsafe configuration not flagged"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %-14s %12d %11d  %-9s %s\n" r.spec.label (crash_points r)
+           (violation_count r) expected verdict))
+    entries;
+  (* One counterexample per caught-unsafe configuration: the narrative is
+     the evidence that the catch is real. *)
+  List.iter
+    (fun e ->
+      let r = e.entry_report in
+      if not r.spec.expect_safe then
+        let first =
+          List.find_map
+            (fun s ->
+              match s.violations with [] -> None | v :: _ -> Some (s.slug, v))
+            r.scenarios
+        in
+        match first with
+        | Some (slug, v) ->
+          Buffer.add_string buf (Printf.sprintf "\n[%s]" r.spec.label);
+          render_violation buf ~slug v
+        | None -> ())
+    entries;
+  Buffer.contents buf

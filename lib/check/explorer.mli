@@ -1,0 +1,78 @@
+(** The crash-schedule explorer: checking instead of sampling.
+
+    The paper's reliability numbers come from {e sampling} crash times
+    (§3.1). The explorer instead runs each {!Scenario} once to {e count}
+    its crash boundaries, then re-runs it once per boundary — identical
+    seed, fresh world — crashing exactly there, warm-rebooting (memory
+    restore + fsck), and auditing the recovered file system. Every
+    reachable crash schedule of the scripted operation is checked; zero
+    violations is a proof over the enumeration, not a statistical
+    estimate.
+
+    Trials shard across domains via {!Rio_parallel.Pool} and merge in
+    boundary order, so {!render} output is byte-identical at any
+    [domains]. Violations are re-run with the flight recorder live and
+    reported as minimal counterexample narratives
+    ({!Rio_obs.Forensics}). *)
+
+(** The Rio configuration under test. The two unsafe configurations exist
+    to validate the checker itself: a checker that cannot catch a known
+    hole proves nothing by finding no violations. *)
+type spec = {
+  label : string;
+  protection : bool;  (** MMU write protection (orthogonal to atomicity). *)
+  shadow : bool;  (** §2.3 shadow-paged metadata updates. *)
+  registry : bool;  (** §2.2 registry maintenance. *)
+  expect_safe : bool;  (** What the matrix asserts about this config. *)
+}
+
+val rio_prot : spec
+val rio_noprot : spec
+val shadow_off : spec
+val registry_off : spec
+
+val matrix_specs : spec list
+(** The four above, in report order. *)
+
+type violation = {
+  ordinal : int;  (** Which crash point (index into the boundary order). *)
+  label : string;  (** The boundary's stable label. *)
+  problems : string list;  (** What {!Scenario.check} found. *)
+  narrative : string list;  (** Forensics counterexample (re-run, traced). *)
+}
+
+type scenario_result = {
+  slug : string;
+  name : string;
+  crash_points : int;
+  violations : violation list;
+}
+
+type report = { spec : spec; scenarios : scenario_result list }
+
+val run : ?spec:spec -> ?only:string list -> Rio_harness.Run.config -> report
+(** Explore every crash point of every scenario (or just the [only]
+    slugs). Uses [config.seed] and [config.domains]; [trials] and [scale]
+    are ignored — the schedule is exhaustive, not sampled. Raises
+    [Invalid_argument] on an unknown slug. *)
+
+val crash_points : report -> int
+val violation_count : report -> int
+
+val render : report -> string
+(** Deterministic plain-text report: per-scenario table plus one
+    counterexample block per violation. *)
+
+type matrix_entry = {
+  entry_report : report;
+  ok : bool;  (** The verdict matched the spec's [expect_safe]. *)
+}
+
+val run_matrix :
+  ?specs:spec list -> ?only:string list -> Rio_harness.Run.config -> matrix_entry list
+
+val matrix_ok : matrix_entry list -> bool
+
+val render_matrix : matrix_entry list -> string
+(** Verdict table plus, for each unsafe configuration that was caught,
+    its first counterexample narrative. *)

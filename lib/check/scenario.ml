@@ -1,0 +1,219 @@
+module Fs = Rio_fs.Fs
+module Fs_types = Rio_fs.Fs_types
+module Vista = Rio_txn.Vista
+module Pattern = Rio_util.Pattern
+
+type t = {
+  name : string;
+  slug : string;
+  setup : Rio_fs.Fs.t -> unit;
+  op : vista_hook:(Rio_txn.Vista.event -> unit) -> Rio_fs.Fs.t -> unit;
+  check : Rio_fs.Fs.t -> string list;
+}
+
+(* ---------------- shared pre-state ---------------- *)
+
+(* An innocent bystander in the same directory (and so, for the rename
+   scenario, the same directory block) as the files under test: crash
+   recovery must never touch it. *)
+let keep_path = "/check/keep"
+let keep_seed = 0x5eed
+let keep_len = 2000
+
+let setup_base fs =
+  Fs.mkdir fs "/check";
+  Fs.write_file fs keep_path (Pattern.fill ~seed:keep_seed ~len:keep_len)
+
+let check_keep fs acc =
+  if not (Fs.exists fs keep_path) then (keep_path ^ " (bystander) vanished") :: acc
+  else
+    let b = Fs.read_file fs keep_path in
+    if Bytes.equal b (Pattern.fill ~seed:keep_seed ~len:keep_len) then acc
+    else (keep_path ^ " (bystander) corrupted") :: acc
+
+let check_listable fs acc =
+  match Fs.readdir fs "/check" with
+  | (_ : string list) -> acc
+  | exception Fs_types.Fs_error m -> ("/check unreadable after recovery: " ^ m) :: acc
+
+(* Bytes must come from [expect] or be zero (an unwritten hole). *)
+let check_prefix_or_zero fs path ~expect acc =
+  let b = Fs.read_file fs path in
+  let n = Bytes.length b in
+  if n > Bytes.length expect then
+    Printf.sprintf "%s has impossible size %d (wrote %d)" path n (Bytes.length expect) :: acc
+  else begin
+    let bad = ref None in
+    for i = n - 1 downto 0 do
+      let c = Bytes.get b i in
+      if c <> Bytes.get expect i && c <> '\000' then bad := Some i
+    done;
+    match !bad with
+    | Some i -> Printf.sprintf "%s byte %d is neither the written pattern nor zero" path i :: acc
+    | None -> acc
+  end
+
+(* ---------------- creat ---------------- *)
+
+let creat_seed = 0xc4ea
+let creat_len = 600
+
+let creat =
+  {
+    name = "create a file and write 600 bytes";
+    slug = "creat";
+    setup = setup_base;
+    op =
+      (fun ~vista_hook:_ fs ->
+        let fd = Fs.create fs "/check/f" in
+        Fs.write fs fd (Pattern.fill ~seed:creat_seed ~len:creat_len);
+        Fs.close fs fd);
+    check =
+      (fun fs ->
+        let acc = check_keep fs (check_listable fs []) in
+        let acc =
+          if not (Fs.exists fs "/check/f") then acc
+          else
+            check_prefix_or_zero fs "/check/f"
+              ~expect:(Pattern.fill ~seed:creat_seed ~len:creat_len)
+              acc
+        in
+        List.rev acc);
+  }
+
+(* ---------------- write (overwrite in place) ---------------- *)
+
+let write_old_seed = 0xa11c
+let write_new_seed = 0xb0b5
+let write_len = 12000 (* two blocks, so per-block store windows interleave *)
+
+let write =
+  {
+    name = "overwrite 12000 bytes of an existing file";
+    slug = "write";
+    setup =
+      (fun fs ->
+        setup_base fs;
+        Fs.write_file fs "/check/g" (Pattern.fill ~seed:write_old_seed ~len:write_len));
+    op =
+      (fun ~vista_hook:_ fs ->
+        let fd = Fs.open_file fs "/check/g" in
+        Fs.pwrite fs fd ~offset:0 (Pattern.fill ~seed:write_new_seed ~len:write_len);
+        Fs.close fs fd);
+    check =
+      (fun fs ->
+        let acc = check_keep fs (check_listable fs []) in
+        let acc =
+          if not (Fs.exists fs "/check/g") then "/check/g vanished (was never removed)" :: acc
+          else begin
+            let b = Fs.read_file fs "/check/g" in
+            if Bytes.length b <> write_len then
+              Printf.sprintf "/check/g size %d, expected %d" (Bytes.length b) write_len :: acc
+            else begin
+              let old_b = Pattern.fill ~seed:write_old_seed ~len:write_len in
+              let new_b = Pattern.fill ~seed:write_new_seed ~len:write_len in
+              let bad = ref None in
+              for i = write_len - 1 downto 0 do
+                let c = Bytes.get b i in
+                if c <> Bytes.get old_b i && c <> Bytes.get new_b i then bad := Some i
+              done;
+              match !bad with
+              | Some i ->
+                Printf.sprintf "/check/g byte %d is neither the old nor the new pattern" i
+                :: acc
+              | None -> acc
+            end
+          end
+        in
+        List.rev acc);
+  }
+
+(* ---------------- rename ---------------- *)
+
+let rename_seed = 0x5c5c
+let rename_len = 800
+
+let rename =
+  {
+    name = "rename within one directory";
+    slug = "rename";
+    setup =
+      (fun fs ->
+        setup_base fs;
+        Fs.write_file fs "/check/src" (Pattern.fill ~seed:rename_seed ~len:rename_len));
+    op = (fun ~vista_hook:_ fs -> Fs.rename fs "/check/src" "/check/dst");
+    check =
+      (fun fs ->
+        let acc = check_keep fs (check_listable fs []) in
+        let s = Fs.exists fs "/check/src" and d = Fs.exists fs "/check/dst" in
+        let acc =
+          if (not s) && not d then
+            "rename victim lost: neither /check/src nor /check/dst resolves" :: acc
+          else if s && d then
+            "rename intermediate state exposed: both /check/src and /check/dst exist" :: acc
+          else acc
+        in
+        let expect = Pattern.fill ~seed:rename_seed ~len:rename_len in
+        let check_content path acc =
+          if not (Fs.exists fs path) then acc
+          else
+            let b = Fs.read_file fs path in
+            if Bytes.equal b expect then acc else (path ^ " contents corrupted by rename") :: acc
+        in
+        List.rev (check_content "/check/dst" (check_content "/check/src" acc)));
+  }
+
+(* ---------------- vista ---------------- *)
+
+let ledger_path = "/check/ledger"
+let vista_old_seed = 0x01d0
+let vista_new_seed = 0x0e11
+let vista_len = 512
+
+let vista =
+  {
+    name = "Vista transaction: two writes and a commit";
+    slug = "vista";
+    setup =
+      (fun fs ->
+        setup_base fs;
+        let store = Vista.create fs ~path:ledger_path ~size:4096 in
+        let txn = Vista.begin_txn store in
+        Vista.write txn ~offset:0 (Pattern.fill ~seed:vista_old_seed ~len:vista_len);
+        Vista.commit txn);
+    op =
+      (fun ~vista_hook fs ->
+        let store = Vista.open_existing fs ~path:ledger_path in
+        Vista.set_observer store vista_hook;
+        let txn = Vista.begin_txn store in
+        let half = vista_len / 2 in
+        Vista.write txn ~offset:0 (Pattern.fill_at ~seed:vista_new_seed ~offset:0 ~len:half);
+        Vista.write txn ~offset:half
+          (Pattern.fill_at ~seed:vista_new_seed ~offset:half ~len:(vista_len - half));
+        Vista.commit txn);
+    check =
+      (fun fs ->
+        let acc = check_keep fs (check_listable fs []) in
+        let acc =
+          if not (Fs.exists fs ledger_path) then (ledger_path ^ " vanished") :: acc
+          else begin
+            ignore (Vista.recover fs ~path:ledger_path);
+            let store = Vista.open_existing fs ~path:ledger_path in
+            let b = Vista.read store ~offset:0 ~len:vista_len in
+            let old_b = Pattern.fill ~seed:vista_old_seed ~len:vista_len in
+            let new_b = Pattern.fill ~seed:vista_new_seed ~len:vista_len in
+            let acc =
+              if Bytes.equal b old_b || Bytes.equal b new_b then acc
+              else "vista atomicity violated: ledger is neither old nor new state" :: acc
+            in
+            let log = ledger_path ^ ".undo" in
+            if Fs.exists fs log && (Fs.stat fs log).Fs.st_size <> 0 then
+              "vista recover left a non-empty undo log" :: acc
+            else acc
+          end
+        in
+        List.rev acc);
+  }
+
+let all = [ creat; write; rename; vista ]
+let find slug = List.find_opt (fun s -> s.slug = slug) all

@@ -1,0 +1,30 @@
+(** The scripted operations the checker crashes at every boundary of.
+
+    Each scenario is a tiny three-act script against a freshly formatted
+    Rio file system: [setup] builds the pre-state (always including an
+    innocent-bystander file whose corruption any scenario flags), [op] is
+    the operation under test — the only part run with the probe armed —
+    and [check] audits the recovered file system and returns violation
+    messages (empty = this crash point is safe).
+
+    Checks encode the crash-consistency contract, not exact outcomes: a
+    created file may exist or not, but its bytes must come from the write
+    (or be zero); a renamed file must be reachable under exactly one of
+    its names with intact contents; a Vista ledger must be entirely the
+    old or entirely the new committed state with an empty undo log. *)
+
+type t = {
+  name : string;  (** Human description for reports. *)
+  slug : string;  (** Stable id used by [--scenario] and test output. *)
+  setup : Rio_fs.Fs.t -> unit;
+  op : vista_hook:(Rio_txn.Vista.event -> unit) -> Rio_fs.Fs.t -> unit;
+      (** The probed operation. [vista_hook] must be installed as the
+          observer on any Vista store the scenario opens. *)
+  check : Rio_fs.Fs.t -> string list;  (** Violations found post-recovery. *)
+}
+
+val all : t list
+(** creat, write, rename, vista — in that (report) order. *)
+
+val find : string -> t option
+(** Look up by slug. *)

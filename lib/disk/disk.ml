@@ -39,7 +39,10 @@ type t = {
   mutable sectors_written : int;
   mutable seeks : int;
   mutable busy_us : int;
+  mutable on_complete : sector:int -> count:int -> write:bool -> unit;
 }
+
+let no_complete ~sector:(_ : int) ~count:(_ : int) ~write:(_ : bool) = ()
 
 let create ~engine ~costs ~sectors ~seed =
   let obs = Engine.obs engine in
@@ -61,7 +64,10 @@ let create ~engine ~costs ~sectors ~seed =
     sectors_written = 0;
     seeks = 0;
     busy_us = 0;
+    on_complete = no_complete;
   }
+
+let set_on_complete t f = t.on_complete <- f
 
 let capacity_sectors t = t.sectors
 
@@ -119,7 +125,8 @@ let commit_request t r =
   for i = 0 to count - 1 do
     commit_sector t (r.req_sector + i) (Bytes.sub r.data (i * sector_bytes) sector_bytes)
   done;
-  t.pending <- List.filter (fun p -> p != r) t.pending
+  t.pending <- List.filter (fun p -> p != r) t.pending;
+  t.on_complete ~sector:r.req_sector ~count ~write:true
 
 (* Begin a request: compute its service window and move the head/busy
    markers. Returns (start, completion). *)
@@ -150,6 +157,7 @@ let read_sync t ~sector ~count =
   Engine.advance_to t.engine completion;
   t.reads <- t.reads + 1;
   t.sectors_read <- t.sectors_read + count;
+  t.on_complete ~sector ~count ~write:false;
   let out = Bytes.create (count * sector_bytes) in
   for i = 0 to count - 1 do
     let b =
@@ -172,7 +180,8 @@ let write_sync t ~sector data =
   t.sectors_written <- t.sectors_written + count;
   for i = 0 to count - 1 do
     commit_sector t (sector + i) (Bytes.sub data (i * sector_bytes) sector_bytes)
-  done
+  done;
+  t.on_complete ~sector ~count ~write:true
 
 let max_queue_depth = 32
 

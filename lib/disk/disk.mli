@@ -35,6 +35,13 @@ val capacity_sectors : t -> int
 
 val engine : t -> Rio_sim.Engine.t
 
+val set_on_complete : t -> (sector:int -> count:int -> write:bool -> unit) -> unit
+(** Install a request-completion callback (default: ignore). It fires when
+    a request's data is committed to the platter: at the completion event
+    of an asynchronous write, and at the blocking return of a synchronous
+    read or write. The crash-schedule checker crashes at each completion
+    by raising from here; {!peek}/{!poke} never trigger it. *)
+
 (** {1 Immediate (un-timed) access}
 
     Used by boot-time loading and by the test harness to inspect the

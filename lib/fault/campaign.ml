@@ -98,7 +98,7 @@ let static_files_match fs =
 let make_rio kernel ~protection =
   Rio_cache.create ~mem:(Kernel.mem kernel) ~layout:(Kernel.layout kernel)
     ~mmu:(Kernel.mmu kernel) ~engine:(Kernel.engine kernel) ~costs:(Kernel.costs kernel)
-    ~hooks:(Kernel.hooks kernel) ~pool_alloc:(Kernel.pool_alloc kernel) ~protection ~dev:1
+    ~hooks:(Kernel.hooks kernel) ~pool_alloc:(Kernel.pool_alloc kernel) ~protection ~dev:1 ()
 
 let is_protection_trap = function
   | Some { Kcrash.cause = Kcrash.Trap (Machine.Protection_violation _); _ } -> true

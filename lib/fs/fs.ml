@@ -884,8 +884,38 @@ let rename t src dst =
       ifree t existing
     end
   | None -> ());
-  dir_remove t sdir sbase;
-  dir_add t ddir dbase ino
+  (* Crash atomicity: when source and destination share a directory and the
+     renamed entry's block can absorb the name change, removal and insertion
+     collapse into ONE block rewrite — a single shadow-wrapped metadata
+     update, so a crash anywhere leaves either the old name or the new one.
+     Otherwise insert before removing, so the file is reachable under at
+     least one name at every intermediate point. *)
+  let combined =
+    sdir = ddir
+    &&
+    let rec try_blocks = function
+      | [] -> false
+      | (_, blkno) :: rest ->
+        let entries = dir_read_block t blkno in
+        if not (List.mem_assoc sbase entries) then try_blocks rest
+        else begin
+          let kept = List.remove_assoc sbase entries in
+          let used =
+            List.fold_left (fun acc (n, _) -> acc + Ondisk.dir_entry_bytes n) 0 kept
+          in
+          used + Ondisk.dir_entry_bytes dbase <= Ondisk.dir_block_capacity
+          && begin
+               dir_write_block t blkno (kept @ [ (dbase, ino) ]);
+               true
+             end
+        end
+    in
+    try_blocks (dir_blocks (iget t sdir))
+  in
+  if not combined then begin
+    dir_add t ddir dbase ino;
+    dir_remove t sdir sbase
+  end
 
 let readdir t path =
   charge_syscall t;

@@ -140,7 +140,11 @@ val unlink : t -> string -> unit
     goes. *)
 
 val rename : t -> string -> string -> unit
-(** An existing regular-file target is replaced. *)
+(** An existing regular-file target is replaced. Within one directory the
+    removal and insertion collapse into a single atomic metadata update
+    whenever the entry's block can absorb the name change; across
+    directories the new entry is inserted before the old one is removed,
+    so a crash never makes the file unreachable. *)
 
 val readdir : t -> string -> string list
 (** Sorted names. *)

@@ -44,7 +44,7 @@ let rio_system ~costs ~protection ~seed =
   let rio =
     Rio_cache.create ~mem:(Kernel.mem kernel) ~layout:(Kernel.layout kernel)
       ~mmu:(Kernel.mmu kernel) ~engine ~costs ~hooks:(Kernel.hooks kernel)
-      ~pool_alloc:(Kernel.pool_alloc kernel) ~protection ~dev:1
+      ~pool_alloc:(Kernel.pool_alloc kernel) ~protection ~dev:1 ()
   in
   let fs = Kernel.mount kernel ~policy:Fs.Rio_policy in
   (engine, fs, rio)
@@ -145,7 +145,7 @@ let registry_cost ?(steps = 400) ~seed () =
   let rio =
     Rio_cache.create ~mem:(Kernel.mem kernel) ~layout:(Kernel.layout kernel)
       ~mmu:(Kernel.mmu kernel) ~engine ~costs ~hooks:(Kernel.hooks kernel)
-      ~pool_alloc:(Kernel.pool_alloc kernel) ~protection:true ~dev:1
+      ~pool_alloc:(Kernel.pool_alloc kernel) ~protection:true ~dev:1 ()
   in
   let fs = Kernel.mount kernel ~policy:Fs.Rio_policy in
   let mt = Memtest.create { Memtest.default_config with Memtest.seed } in
@@ -198,7 +198,7 @@ let idle_writeback ?(domains = 1) ~seed () =
     ignore
       (Rio_cache.create ~mem:(Kernel.mem kernel) ~layout:(Kernel.layout kernel)
          ~mmu:(Kernel.mmu kernel) ~engine ~costs ~hooks:(Kernel.hooks kernel)
-         ~pool_alloc:(Kernel.pool_alloc kernel) ~protection:true ~dev:1);
+         ~pool_alloc:(Kernel.pool_alloc kernel) ~protection:true ~dev:1 ());
     let fs = Kernel.mount kernel ~policy in
     let t0 = Engine.now engine in
     let chunk = Rio_util.Pattern.fill ~seed ~len:(256 * 1024) in
@@ -252,7 +252,7 @@ let debit_credit ?(transactions = 600) ?(domains = 1) ~seed () =
     ignore
       (Rio_cache.create ~mem:(Kernel.mem kernel) ~layout:(Kernel.layout kernel)
          ~mmu:(Kernel.mmu kernel) ~engine ~costs:Costs.default ~hooks:(Kernel.hooks kernel)
-         ~pool_alloc:(Kernel.pool_alloc kernel) ~protection ~dev:1);
+         ~pool_alloc:(Kernel.pool_alloc kernel) ~protection ~dev:1 ());
     let fs = Kernel.mount kernel ~policy:Fs.Rio_policy in
     let store = Rio_txn.Vista.create fs ~path:"/tpc" ~size:(64 * 1024) in
     let prng = Rio_util.Prng.create ~seed in
@@ -304,7 +304,7 @@ let phoenix_comparison ?(steps = 283) ?(domains = 1) ~seed () =
     ignore
       (Rio_cache.create ~mem:(Kernel.mem kernel) ~layout:(Kernel.layout kernel)
          ~mmu:(Kernel.mmu kernel) ~engine ~costs ~hooks:(Kernel.hooks kernel)
-         ~pool_alloc:(Kernel.pool_alloc kernel) ~protection:true ~dev:1);
+         ~pool_alloc:(Kernel.pool_alloc kernel) ~protection:true ~dev:1 ());
     let fs = Kernel.mount kernel ~policy:Fs.Rio_policy in
     let config = { Memtest.default_config with Memtest.seed } in
     let mt = Memtest.create config in
@@ -405,7 +405,7 @@ let modern_disk_sensitivity ?(domains = 1) ~seed () =
         ignore
           (Rio_cache.create ~mem:(Kernel.mem kernel) ~layout:(Kernel.layout kernel)
              ~mmu:(Kernel.mmu kernel) ~engine ~costs ~hooks:(Kernel.hooks kernel)
-             ~pool_alloc:(Kernel.pool_alloc kernel) ~protection:true ~dev:1);
+             ~pool_alloc:(Kernel.pool_alloc kernel) ~protection:true ~dev:1 ());
       let fs = Kernel.mount kernel ~policy in
       let w = Cp_rm.create ~total_bytes:(int_of_float (0.15 *. 40e6)) () in
       Cp_rm.setup w fs;
@@ -489,7 +489,7 @@ let rio_point ~steps ~seed =
   ignore
     (Rio_cache.create ~mem:(Kernel.mem kernel) ~layout:(Kernel.layout kernel)
        ~mmu:(Kernel.mmu kernel) ~engine ~costs ~hooks:(Kernel.hooks kernel)
-       ~pool_alloc:(Kernel.pool_alloc kernel) ~protection:true ~dev:1);
+       ~pool_alloc:(Kernel.pool_alloc kernel) ~protection:true ~dev:1 ());
   let fs = Kernel.mount kernel ~policy:Fs.Rio_policy in
   let mt = Memtest.create { Memtest.default_config with Memtest.seed } in
   let t0 = Engine.now engine in
@@ -512,7 +512,7 @@ let rio_point ~steps ~seed =
         ignore
           (Rio_cache.create ~mem:(Kernel.mem kernel2) ~layout:(Kernel.layout kernel2)
              ~mmu:(Kernel.mmu kernel2) ~engine ~costs ~hooks:(Kernel.hooks kernel2)
-             ~pool_alloc:(Kernel.pool_alloc kernel2) ~protection:true ~dev:1);
+             ~pool_alloc:(Kernel.pool_alloc kernel2) ~protection:true ~dev:1 ());
         let fs2 = Kernel.mount kernel2 ~policy:Fs.Rio_policy in
         fs_ref := Some fs2;
         fs2)
@@ -553,3 +553,43 @@ let delay_table points =
         ])
     points;
   t
+
+(* ---------------- the bundled entry point ---------------- *)
+
+type results = {
+  protection : protection_result;
+  patching : code_patching_result;
+  registry : registry_result;
+  delay : delay_point list;
+  idle : idle_writeback_result;
+  disk : disk_sensitivity list;
+  phoenix : phoenix_point list;
+  debit : debit_credit_result;
+}
+
+let run (cfg : Run.config) =
+  let seed = cfg.Run.seed in
+  let domains = cfg.Run.domains in
+  let report = Run.reporter cfg ~total:8 in
+  let step label detail v =
+    report ~label ~detail;
+    v
+  in
+  (* The write-heavy protection ablation keeps its historical half-size
+     workload; config.scale multiplies it. *)
+  let protection =
+    step "protection" "cp+rm under both Rio modes"
+      (protection_overhead ~scale:(0.5 *. cfg.Run.scale) ~domains ~seed ())
+  in
+  let patching = step "code-patching" "store density model" (code_patching ~seed ()) in
+  let registry = step "registry" "memTest bookkeeping" (registry_cost ~seed ()) in
+  let delay = step "delay-sweep" "delayed-write spectrum" (delay_sweep ~domains ~seed ()) in
+  let idle = step "idle-writeback" "§2.3 future work" (idle_writeback ~domains ~seed ()) in
+  let disk =
+    step "disk-speed" "1996 vs modern" (modern_disk_sensitivity ~domains ~seed ())
+  in
+  let phoenix =
+    step "phoenix" "checkpointing comparison" (phoenix_comparison ~domains ~seed ())
+  in
+  let debit = step "debit-credit" "§6 comparison" (debit_credit ~domains ~seed ()) in
+  { protection; patching; registry; delay; idle; disk; phoenix; debit }

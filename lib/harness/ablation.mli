@@ -121,3 +121,23 @@ val debit_credit_table : debit_credit_result -> Rio_util.Table.t
 val code_patching_table : code_patching_result -> Rio_util.Table.t
 val registry_table : registry_result -> Rio_util.Table.t
 val delay_table : delay_point list -> Rio_util.Table.t
+
+(** {1 The bundled entry point} *)
+
+type results = {
+  protection : protection_result;
+  patching : code_patching_result;
+  registry : registry_result;
+  delay : delay_point list;
+  idle : idle_writeback_result;
+  disk : disk_sensitivity list;
+  phoenix : phoenix_point list;
+  debit : debit_credit_result;
+}
+
+val run : Run.config -> results
+(** All eight ablations with their historical workload sizes, seeded and
+    parallelized from the {!Run.config} ([seed], [domains], [progress];
+    [scale] multiplies the protection ablation's workload, [trials] and
+    [trace_dir] are unused). Equivalent to calling the eight functions
+    above with their defaults. *)

@@ -57,7 +57,7 @@ let fresh_system config ~seed =
     ignore
       (Rio_cache.create ~mem:(Kernel.mem kernel) ~layout:(Kernel.layout kernel)
          ~mmu:(Kernel.mmu kernel) ~engine ~costs ~hooks:(Kernel.hooks kernel)
-         ~pool_alloc:(Kernel.pool_alloc kernel) ~protection ~dev:1)
+         ~pool_alloc:(Kernel.pool_alloc kernel) ~protection ~dev:1 ())
   | None -> ());
   let fs = Kernel.mount kernel ~policy:config.policy in
   (engine, fs)
@@ -97,36 +97,36 @@ let measure_workload config ~scale ~seed workload =
     Andrew.run w fs;
     (seconds engine t0, 0.)
 
-let run ?(scale = 1.0) ?only ?(progress = fun (_ : Progress.t) -> ()) ?(domains = 1) ~seed ()
-    =
+let run ?only (cfg : Run.config) =
+  let scale = cfg.Run.scale in
+  let seed = cfg.Run.seed in
   let selected =
     match only with
     | None -> configurations
     | Some labels -> List.filter (fun c -> List.mem c.label labels) configurations
   in
-  let total = List.length selected in
-  let completed = Atomic.make 0 in
-  let progress = if domains > 1 then Pool.sink progress else progress in
+  let report = Run.reporter cfg ~total:(List.length selected) in
   (* Each (configuration, workload) cell boots a fresh machine from [seed]
      alone, so a configuration's three measurements form one independent
      task; results come back in Table 2 row order either way. *)
-  Pool.map_list ~domains
+  Pool.map_list ~domains:cfg.Run.domains
     (fun config ->
       let cp_s, rm_s = measure_workload config ~scale ~seed `Cp_rm in
       let sdet_s, _ = measure_workload config ~scale ~seed `Sdet in
       let andrew_s, _ = measure_workload config ~scale ~seed `Andrew in
-      let c = 1 + Atomic.fetch_and_add completed 1 in
-      progress
-        {
-          Progress.completed = c;
-          total;
-          label = config.label;
-          detail =
-            Printf.sprintf "cp+rm %.0fs (%.0f+%.0f)  sdet %.0fs  andrew %.0fs" (cp_s +. rm_s)
-              cp_s rm_s sdet_s andrew_s;
-        };
+      report ~label:config.label
+        ~detail:
+          (Printf.sprintf "cp+rm %.0fs (%.0f+%.0f)  sdet %.0fs  andrew %.0fs" (cp_s +. rm_s)
+             cp_s rm_s sdet_s andrew_s);
       { config_label = config.label; cp_s; rm_s; sdet_s; andrew_s })
     selected
+
+(* Deprecated spread-argument entry point, kept one release. *)
+module Legacy = struct
+  let run ?(scale = 1.0) ?only ?(progress = fun (_ : Progress.t) -> ()) ?(domains = 1) ~seed
+      () =
+    run ?only { Run.default with Run.seed = seed; scale; domains; progress }
+end
 
 let to_table measurements =
   let table =

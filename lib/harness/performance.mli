@@ -24,19 +24,27 @@ type measurement = {
   andrew_s : float;
 }
 
-val run :
-  ?scale:float ->
-  ?only:string list ->
-  ?progress:(Progress.t -> unit) ->
-  ?domains:int ->
-  seed:int ->
-  unit ->
-  measurement list
-(** [scale] shrinks the workloads (1.0 = the paper's 40 MB cp+rm tree, 5
-    Sdet scripts, full Andrew). [only] filters configuration labels.
-    [domains] > 1 measures configurations on a domain pool (each cell
-    boots its own machine from [seed]); results stay in Table 2 row order
-    and are byte-identical to the serial run. *)
+val run : ?only:string list -> Run.config -> measurement list
+(** The {!Run.config} fields map as: [scale] shrinks the workloads (1.0 =
+    the paper's 40 MB cp+rm tree, 5 Sdet scripts, full Andrew), [seed]
+    seeds every machine, and [domains]/[progress] as documented on
+    {!Run.config} ([trials] and [trace_dir] are unused here). [only]
+    filters configuration labels. Results stay in Table 2 row order and
+    are byte-identical to the serial run at any [domains]. *)
+
+(** The previous spread-argument signature; delegates to {!run}. Kept for
+    one release. *)
+module Legacy : sig
+  val run :
+    ?scale:float ->
+    ?only:string list ->
+    ?progress:(Progress.t -> unit) ->
+    ?domains:int ->
+    seed:int ->
+    unit ->
+    measurement list
+  [@@ocaml.deprecated "Use Performance.run with a Run.config record."]
+end
 
 val measure_workload :
   configuration -> scale:float -> seed:int -> [ `Cp_rm | `Sdet | `Andrew ] -> float * float

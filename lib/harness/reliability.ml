@@ -112,24 +112,21 @@ let run_cell config ~crashes_per_cell ~seed_base ~trace_dir ~report (system, fau
     | None -> None
     | Some _ -> Some (Trace.merge_snapshots (List.rev !snapshots))) )
 
-let run ?(config = Campaign.default_config) ?(systems = Campaign.all_systems)
-    ?(faults = Fault_type.all) ?(progress = fun (_ : Progress.t) -> ()) ?(domains = 1)
-    ?trace_dir ~crashes_per_cell ~seed_base () =
+let run ?(campaign = Campaign.default_config) ?(systems = Campaign.all_systems)
+    ?(faults = Fault_type.all) (cfg : Run.config) =
+  let crashes_per_cell = cfg.Run.trials in
+  let seed_base = cfg.Run.seed in
+  let trace_dir = cfg.Run.trace_dir in
   let tasks =
     List.concat_map (fun system -> List.map (fun fault -> (system, fault)) faults) systems
   in
   (match trace_dir with
   | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
   | Some _ | None -> ());
-  let total = List.length tasks in
-  let completed = Atomic.make 0 in
-  let progress = if domains > 1 then Pool.sink progress else progress in
-  let report ~label ~detail =
-    let c = 1 + Atomic.fetch_and_add completed 1 in
-    progress { Progress.completed = c; total; label; detail }
-  in
+  let report = Run.reporter cfg ~total:(List.length tasks) in
   let with_messages =
-    Pool.map_list ~domains (run_cell config ~crashes_per_cell ~seed_base ~trace_dir ~report)
+    Pool.map_list ~domains:cfg.Run.domains
+      (run_cell campaign ~crashes_per_cell ~seed_base ~trace_dir ~report)
       tasks
   in
   (* Merge per-cell message lists in seed order; the table is a set, so
@@ -308,3 +305,18 @@ let comparison_table results =
         results.unique_consistency_messages;
     ];
   table
+
+(* Deprecated spread-argument entry point, kept one release. *)
+module Legacy = struct
+  let run ?config ?systems ?faults ?(progress = fun (_ : Progress.t) -> ()) ?(domains = 1)
+      ?trace_dir ~crashes_per_cell ~seed_base () =
+    run ?campaign:config ?systems ?faults
+      {
+        Run.default with
+        Run.seed = seed_base;
+        trials = crashes_per_cell;
+        domains;
+        trace_dir;
+        progress;
+      }
+end

@@ -27,23 +27,18 @@ type results = {
 }
 
 val run :
-  ?config:Rio_fault.Campaign.config ->
+  ?campaign:Rio_fault.Campaign.config ->
   ?systems:Rio_fault.Campaign.system list ->
   ?faults:Rio_fault.Fault_type.t list ->
-  ?progress:(Progress.t -> unit) ->
-  ?domains:int ->
-  ?trace_dir:string ->
-  crashes_per_cell:int ->
-  seed_base:int ->
-  unit ->
+  Run.config ->
   results
-(** Each (system, fault) cell derives its seeds from [seed_base] alone,
-    so cells are independent tasks: [domains] > 1 runs them on a domain
-    pool and merges the results back in seed order, byte-identical to the
-    serial run. [domains = 1] (default) is today's sequential path.
-    [progress] is called under a mutex when [domains] > 1; completion
-    order (and thus progress order) may differ from serial, but
-    [Progress.completed] is globally monotonic.
+(** The {!Run.config} fields map as: [trials] = crash tests per cell (the
+    paper's 50), [seed] = the campaign's base seed, and [domains],
+    [trace_dir], [progress] as documented on {!Run.config} ([scale] is
+    unused here). Each (system, fault) cell derives its seeds from the
+    base seed alone, so cells are independent tasks: [domains] > 1 runs
+    them on a domain pool and merges the results back in seed order,
+    byte-identical to the serial run.
 
     [trace_dir] turns the flight recorder on: every trial runs with its
     own recorder, every non-discarded (crashed) trial writes a
@@ -51,6 +46,23 @@ val run :
     missing), and [results.metrics] carries the aggregated metric
     snapshot. Trace files and metrics are byte-identical at any
     [domains]. Without it, tracing is fully off — no overhead. *)
+
+(** The previous spread-argument signature; delegates to {!run}. Kept for
+    one release. *)
+module Legacy : sig
+  val run :
+    ?config:Rio_fault.Campaign.config ->
+    ?systems:Rio_fault.Campaign.system list ->
+    ?faults:Rio_fault.Fault_type.t list ->
+    ?progress:(Progress.t -> unit) ->
+    ?domains:int ->
+    ?trace_dir:string ->
+    crashes_per_cell:int ->
+    seed_base:int ->
+    unit ->
+    results
+  [@@ocaml.deprecated "Use Reliability.run with a Run.config record."]
+end
 
 val message_census :
   ?config:Rio_fault.Campaign.config ->

@@ -1,0 +1,28 @@
+type config = {
+  seed : int;
+  trials : int;
+  scale : float;
+  domains : int;
+  trace_dir : string option;
+  progress : Progress.t -> unit;
+}
+
+let default =
+  {
+    seed = 1;
+    trials = 50;
+    scale = 1.0;
+    domains = 1;
+    trace_dir = None;
+    progress = (fun (_ : Progress.t) -> ());
+  }
+
+let progress_sink cfg =
+  if cfg.domains > 1 then Rio_parallel.Pool.sink cfg.progress else cfg.progress
+
+let reporter cfg ~total =
+  let completed = Atomic.make 0 in
+  let sink = progress_sink cfg in
+  fun ~label ~detail ->
+    let c = 1 + Atomic.fetch_and_add completed 1 in
+    sink { Progress.completed = c; total; label; detail }

@@ -1,0 +1,43 @@
+(** The unified harness Run API.
+
+    Every harness entry point ({!Reliability.run}, {!Performance.run},
+    {!Ablation.run}, {!Vista_experiment.run}, and {!Rio_check}'s explorer)
+    takes one {!config} record instead of a per-function spread of optional
+    arguments. The fields mean the same thing everywhere:
+
+    - [seed] — base seed; every run is a pure function of it.
+    - [trials] — how many completed crash tests (or transactions, sweep
+      steps, ...) each cell needs. Exhaustive experiments ignore it.
+    - [scale] — workload scale factor (1.0 = the paper's sizes).
+    - [domains] — worker domains for {!Rio_parallel.Pool}; results are
+      merged in seed order, so any value yields byte-identical output.
+    - [trace_dir] — when set, the flight recorder is on and per-trial
+      traces land here; [None] means zero-overhead tracing-off.
+    - [progress] — per-cell progress callback (wrapped in a mutex sink
+      when [domains > 1]).
+
+    The previous per-function signatures survive one release as thin
+    deprecated wrappers in each module's [Legacy] submodule. *)
+
+type config = {
+  seed : int;
+  trials : int;
+  scale : float;
+  domains : int;
+  trace_dir : string option;
+  progress : Progress.t -> unit;
+}
+
+val default : config
+(** [seed 1; trials 50; scale 1.0; domains 1; trace_dir None;
+    progress ignore]. Build variations with functional update:
+    [{ Run.default with seed = 7; domains = 4 }]. *)
+
+val progress_sink : config -> Progress.t -> unit
+(** The config's progress callback, wrapped in {!Rio_parallel.Pool.sink}
+    when [domains > 1] so worker domains may call it concurrently. *)
+
+val reporter : config -> total:int -> (label:string -> detail:string -> unit)
+(** A ready-made per-cell completion reporter: counts completions with an
+    atomic (globally monotonic at any [domains]) and forwards to the
+    progress sink. *)

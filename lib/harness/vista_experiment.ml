@@ -50,7 +50,7 @@ let make_rio kernel ~protection =
   ignore
     (Rio_cache.create ~mem:(Kernel.mem kernel) ~layout:(Kernel.layout kernel)
        ~mmu:(Kernel.mmu kernel) ~engine:(Kernel.engine kernel) ~costs:(Kernel.costs kernel)
-       ~hooks:(Kernel.hooks kernel) ~pool_alloc:(Kernel.pool_alloc kernel) ~protection ~dev:1)
+       ~hooks:(Kernel.hooks kernel) ~pool_alloc:(Kernel.pool_alloc kernel) ~protection ~dev:1 ())
 
 let run_one fault ~protection ~seed =
   let engine = Engine.create () in
@@ -149,7 +149,9 @@ let run_one fault ~protection ~seed =
         atomic = false;
       })
 
-let run ?(fault = Fault_type.Copy_overrun) ~protection ~crashes ~seed_base () =
+let run ?(fault = Fault_type.Copy_overrun) ~protection (cfg : Run.config) =
+  let crashes = cfg.Run.trials in
+  let seed_base = cfg.Run.seed in
   let done_ = ref 0
   and attempts = ref 0
   and violations = ref 0
@@ -165,6 +167,12 @@ let run ?(fault = Fault_type.Copy_overrun) ~protection ~crashes ~seed_base () =
   done;
   { crashes = !done_; attempts = !attempts; violations = !violations;
     recovered_transactions = !recovered }
+
+(* Deprecated spread-argument entry point, kept one release. *)
+module Legacy = struct
+  let run ?fault ~protection ~crashes ~seed_base () =
+    run ?fault ~protection { Run.default with Run.seed = seed_base; trials = crashes }
+end
 
 let summary_table rows =
   let t =

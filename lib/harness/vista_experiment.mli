@@ -41,15 +41,25 @@ type summary = {
 val run_one :
   Rio_fault.Fault_type.t -> protection:bool -> seed:int -> outcome
 
-val run :
-  ?fault:Rio_fault.Fault_type.t ->
-  protection:bool ->
-  crashes:int ->
-  seed_base:int ->
-  unit ->
-  summary
-(** Crash tests until [crashes] of them crash (default fault: copy
-    overrun, the file cache's worst enemy). *)
+val run : ?fault:Rio_fault.Fault_type.t -> protection:bool -> Run.config -> summary
+(** Crash tests until [config.trials] of them crash, seeding from
+    [config.seed] (default fault: copy overrun, the file cache's worst
+    enemy). The run is a sequential stopping rule, so [domains] is
+    unused; parallelize across (fault, protection) combinations
+    instead. *)
+
+(** The previous spread-argument signature; delegates to {!run}. Kept for
+    one release. *)
+module Legacy : sig
+  val run :
+    ?fault:Rio_fault.Fault_type.t ->
+    protection:bool ->
+    crashes:int ->
+    seed_base:int ->
+    unit ->
+    summary
+  [@@ocaml.deprecated "Use Vista_experiment.run with a Run.config record."]
+end
 
 val summary_table : (string * summary) list -> Rio_util.Table.t
 (** Render labelled summaries (e.g. per fault type and protection mode). *)

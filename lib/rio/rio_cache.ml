@@ -27,6 +27,8 @@ type t = {
   protect : Protect.t;
   shadow_page : int;
   mutable shadow_busy : bool;
+  shadow_enabled : bool;
+  registry_enabled : bool;
   dev : int;
   mutable checksum_updates : int;
   mutable shadow_updates : int;
@@ -44,6 +46,8 @@ let page_of paddr = paddr - (paddr mod Phys_mem.page_size)
 let install_hooks t (hooks : Hooks.t) =
   hooks.Hooks.note_map <-
     (fun ~paddr ~blkno ~owner ~valid ->
+      if not t.registry_enabled then ()
+      else
       let kind, ino, offset =
         match owner with
         | Fs_types.Meta -> (Registry.Meta_buffer, 0, 0)
@@ -92,7 +96,7 @@ let install_hooks t (hooks : Hooks.t) =
     (fun ~paddr f ->
       let page = page_of paddr in
       match Registry.find t.registry ~home_paddr:page with
-      | Some _ when not t.shadow_busy ->
+      | Some _ when t.shadow_enabled && not t.shadow_busy ->
         (* §2.3: copy to a shadow, point the registry at it, mutate the
            original, atomically point back. A crash mid-update restores the
            consistent pre-image. *)
@@ -112,7 +116,9 @@ let install_hooks t (hooks : Hooks.t) =
           f
       | Some _ | None -> f ())
 
-let create ~mem ~layout ~mmu ~engine ~costs ~hooks ~pool_alloc ~protection ~dev =
+let create ?(shadow = true) ?(registry = true) ~mem ~layout ~mmu ~engine ~costs ~hooks
+    ~pool_alloc ~protection ~dev () =
+  let registry_enabled = registry in
   let registry = Registry.create ~mem ~region:(Layout.region layout Layout.Registry) in
   let protect = Protect.create ~mmu ~engine ~costs ~enabled:protection in
   let shadow_page =
@@ -131,6 +137,8 @@ let create ~mem ~layout ~mmu ~engine ~costs ~hooks ~pool_alloc ~protection ~dev 
       protect;
       shadow_page;
       shadow_busy = false;
+      shadow_enabled = shadow;
+      registry_enabled;
       dev;
       checksum_updates = 0;
       shadow_updates = 0;

@@ -22,6 +22,8 @@ type stats = {
 }
 
 val create :
+  ?shadow:bool ->
+  ?registry:bool ->
   mem:Rio_mem.Phys_mem.t ->
   layout:Rio_mem.Layout.t ->
   mmu:Rio_vm.Mmu.t ->
@@ -31,12 +33,20 @@ val create :
   pool_alloc:Rio_mem.Page_alloc.t ->
   protection:bool ->
   dev:int ->
+  unit ->
   t
 (** Zeroes and takes ownership of the registry region, reserves a shadow
     page from the pool, installs the five instrumentation hooks (leaving
     [copy_in]/[copy_out] — the kernel's — untouched), and, when
     [protection] is on, maps KSEG through the TLB and write-protects the
-    registry itself. *)
+    registry itself.
+
+    The two ablation knobs exist for {!Rio_check}'s self-test (the checker
+    must catch known-unsafe configurations): [shadow = false] disables the
+    §2.3 shadow copy, so metadata mutations run in place and a mid-update
+    crash can leave (or tear) a half-written page; [registry = false]
+    disables registry maintenance entirely, so a warm reboot finds nothing
+    to restore. Both default to [true] — the real Rio. *)
 
 val registry : t -> Registry.t
 

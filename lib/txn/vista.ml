@@ -3,6 +3,12 @@ open Rio_fs.Fs_types
 
 let record_magic = 0x554E444F (* "UNDO" *)
 
+type event =
+  | Undo_append of { offset : int; len : int }
+  | Data_write of { offset : int; len : int }
+  | Commit_start
+  | Committed
+
 type t = {
   fs : Fs.t;
   path : string;
@@ -13,6 +19,7 @@ type t = {
   mutable log_pos : int;
   mutable open_txn : bool;
   mutable records_logged : int;
+  mutable observer : event -> unit;
 }
 
 type txn = {
@@ -27,6 +34,7 @@ let size t = t.size
 let path t = t.path
 let in_txn t = t.open_txn
 let undo_records_logged t = t.records_logged
+let set_observer t f = t.observer <- f
 
 let create fs ~path ~size =
   if size <= 0 then err "vista: store size must be positive";
@@ -45,6 +53,7 @@ let create fs ~path ~size =
     log_pos = 0;
     open_txn = false;
     records_logged = 0;
+    observer = (fun (_ : event) -> ());
   }
 
 let open_existing fs ~path =
@@ -64,6 +73,7 @@ let open_existing fs ~path =
     log_pos = Fs.fd_size fs log_fd;
     open_txn = false;
     records_logged = 0;
+    observer = (fun (_ : event) -> ());
   }
 
 let read t ~offset ~len =
@@ -126,7 +136,11 @@ let write txn ~offset data =
     t.log_pos <- t.log_pos + Bytes.length record;
     t.records_logged <- t.records_logged + 1;
     txn.undo <- (offset, old) :: txn.undo;
-    Fs.pwrite t.fs t.data_fd ~offset data
+    (* The write-ahead window: the old image is logged, the data is not yet
+       written. A crash signalled here must recover to the old state. *)
+    t.observer (Undo_append { offset; len });
+    Fs.pwrite t.fs t.data_fd ~offset data;
+    t.observer (Data_write { offset; len })
   end
 
 let read_txn txn ~offset ~len =
@@ -141,9 +155,11 @@ let commit txn =
   require_live txn;
   (* The data writes are already permanent; discarding the undo log IS the
      commit point. *)
+  txn.store.observer Commit_start;
   clear_log txn.store;
   txn.live <- false;
-  txn.store.open_txn <- false
+  txn.store.open_txn <- false;
+  txn.store.observer Committed
 
 let abort txn =
   require_live txn;

@@ -30,6 +30,23 @@ type t
 type txn
 (** An open transaction on a store. *)
 
+(** Protocol boundaries, in the order they occur inside {!write} and
+    {!commit}. {!Rio_check} crashes at each of them; the mid-commit and
+    write-ahead-window tests interrupt specific ones. *)
+type event =
+  | Undo_append of { offset : int; len : int }
+      (** The old image reached the undo log; the data write has {e not}
+          happened yet (the write-ahead window). *)
+  | Data_write of { offset : int; len : int }
+      (** The in-place data write completed (transaction still open). *)
+  | Commit_start  (** About to clear the undo log — the commit point. *)
+  | Committed  (** The log is cleared; the transaction is durable. *)
+
+val set_observer : t -> (event -> unit) -> unit
+(** Install a protocol observer (default: ignore). The observer runs
+    synchronously at each boundary and may raise — that is exactly how the
+    crash-schedule checker models a crash {e at} the boundary. *)
+
 val create : Rio_fs.Fs.t -> path:string -> size:int -> t
 (** Create (or truncate) the store's data file (zero-filled, [size] bytes)
     and an empty undo log at [path ^ ".undo"]. *)

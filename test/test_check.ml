@@ -1,0 +1,104 @@
+(* Tests for Rio_check: the exhaustive crash-schedule explorer. The key
+   properties are (a) rio-prot survives every enumerated crash point, (b)
+   the report is byte-identical at any domain count, and (c) the checker
+   catches the known-unsafe ablations — a checker that cannot catch a
+   planted hole proves nothing by finding no violations. *)
+
+module Boundary = Rio_check.Boundary
+module Scenario = Rio_check.Scenario
+module Explorer = Rio_check.Explorer
+module Run = Rio_harness.Run
+
+let check = Alcotest.check
+
+let cfg ~domains = { Run.default with Run.seed = 7; domains }
+
+(* ---------------- boundary enumeration ---------------- *)
+
+let test_enumeration_classes () =
+  let scenarios = Scenario.all in
+  check Alcotest.int "four scenarios" 4 (List.length scenarios);
+  let r = Explorer.run ~spec:Explorer.rio_prot (cfg ~domains:1) in
+  List.iter
+    (fun (s : Explorer.scenario_result) ->
+      (* The same-directory rename collapses to one atomic metadata update,
+         so its schedule is short — but never trivial. *)
+      if s.Explorer.crash_points < 5 then
+        Alcotest.failf "scenario %s enumerated only %d crash points" s.Explorer.slug
+          s.Explorer.crash_points)
+    r.Explorer.scenarios
+
+let test_rio_prot_safe () =
+  let r = Explorer.run ~spec:Explorer.rio_prot (cfg ~domains:1) in
+  (match
+     List.concat_map
+       (fun (s : Explorer.scenario_result) -> s.Explorer.violations)
+       r.Explorer.scenarios
+   with
+  | [] -> ()
+  | v :: _ ->
+    Alcotest.failf "rio-prot violated at crash point %d (%s): %s" v.Explorer.ordinal
+      v.Explorer.label
+      (String.concat "; " v.Explorer.problems));
+  check Alcotest.int "zero violations" 0 (Explorer.violation_count r)
+
+let test_parallel_determinism () =
+  (* One scenario is enough to prove the merge is in boundary order. *)
+  let only = Some [ "creat" ] in
+  let r1 = Explorer.run ~spec:Explorer.rio_prot ?only (cfg ~domains:1) in
+  let r2 = Explorer.run ~spec:Explorer.rio_prot ?only (cfg ~domains:2) in
+  check Alcotest.string "byte-identical render at -j 1 and -j 2" (Explorer.render r1)
+    (Explorer.render r2)
+
+let test_shadow_off_flagged () =
+  let r = Explorer.run ~spec:Explorer.shadow_off (cfg ~domains:1) in
+  if Explorer.violation_count r = 0 then
+    Alcotest.fail "shadow-off produced no violations: the checker cannot catch a planted hole";
+  (* Violations must come with a forensics counterexample narrative. *)
+  let v =
+    List.concat_map
+      (fun (s : Explorer.scenario_result) -> s.Explorer.violations)
+      r.Explorer.scenarios
+    |> List.hd
+  in
+  if v.Explorer.narrative = [] then Alcotest.fail "violation lacks a counterexample narrative"
+
+let test_registry_off_flagged () =
+  let r =
+    Explorer.run ~spec:Explorer.registry_off ~only:[ "creat" ] (cfg ~domains:1)
+  in
+  if Explorer.violation_count r = 0 then
+    Alcotest.fail "registry-off produced no violations"
+
+let test_matrix_verdicts () =
+  let entries =
+    Explorer.run_matrix ~only:[ "rename" ] (cfg ~domains:1)
+  in
+  check Alcotest.int "four configurations" 4 (List.length entries);
+  List.iter
+    (fun (e : Explorer.matrix_entry) ->
+      let spec = e.Explorer.entry_report.Explorer.spec in
+      if not e.Explorer.ok then
+        Alcotest.failf "matrix verdict mismatch for %s" spec.Explorer.label)
+    entries;
+  Alcotest.(check bool) "matrix_ok" true (Explorer.matrix_ok entries)
+
+let test_unknown_scenario_rejected () =
+  match Explorer.run ~only:[ "no-such" ] (cfg ~domains:1) with
+  | (_ : Explorer.report) -> Alcotest.fail "unknown slug accepted"
+  | exception Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "explorer",
+        [
+          Alcotest.test_case "enumeration covers each scenario" `Slow test_enumeration_classes;
+          Alcotest.test_case "rio-prot survives every crash point" `Slow test_rio_prot_safe;
+          Alcotest.test_case "parallel run is byte-identical" `Slow test_parallel_determinism;
+          Alcotest.test_case "shadow-off is flagged with a narrative" `Slow test_shadow_off_flagged;
+          Alcotest.test_case "registry-off is flagged" `Slow test_registry_off_flagged;
+          Alcotest.test_case "matrix verdicts all hold" `Slow test_matrix_verdicts;
+          Alcotest.test_case "unknown scenario slug rejected" `Quick test_unknown_scenario_rejected;
+        ] );
+    ]

@@ -41,6 +41,18 @@ let test_names_roundtrip () =
       check Alcotest.bool (Fault_type.name f) true (Fault_type.of_name (Fault_type.name f) = Some f))
     Fault_type.all
 
+let test_slugs_roundtrip () =
+  (* Slugs are the stable CLI/trace vocabulary: distinct, exhaustive, and
+     invertible for every fault type. *)
+  List.iter
+    (fun f ->
+      check Alcotest.bool (Fault_type.slug f) true
+        (Fault_type.of_slug (Fault_type.slug f) = Some f))
+    Fault_type.all;
+  check Alcotest.int "slugs are distinct" (List.length Fault_type.all)
+    (List.length (List.sort_uniq compare (List.map Fault_type.slug Fault_type.all)));
+  check Alcotest.bool "unknown slug rejected" true (Fault_type.of_slug "no-such-fault" = None)
+
 (* ---------------- mutation rules ---------------- *)
 
 let test_dest_reg_mutation () =
@@ -232,6 +244,7 @@ let () =
           Alcotest.test_case "stable ids" `Quick test_stable_ids;
           Alcotest.test_case "categories" `Quick test_categories;
           Alcotest.test_case "names" `Quick test_names_roundtrip;
+          Alcotest.test_case "slugs" `Quick test_slugs_roundtrip;
         ] );
       ( "mutations",
         [

@@ -5,6 +5,7 @@ module Reliability = Rio_harness.Reliability
 module Performance = Rio_harness.Performance
 module Ablation = Rio_harness.Ablation
 module Paper_data = Rio_harness.Paper_data
+module Run = Rio_harness.Run
 module Campaign = Rio_fault.Campaign
 module Fault_type = Rio_fault.Fault_type
 
@@ -68,10 +69,10 @@ let quick_config =
 
 let test_reliability_collects_requested_crashes () =
   let results =
-    Reliability.run ~config:quick_config
+    Reliability.run ~campaign:quick_config
       ~systems:[ Campaign.Rio_without_protection ]
       ~faults:[ Fault_type.Kernel_text; Fault_type.Delete_branch ]
-      ~crashes_per_cell:3 ~seed_base:100 ()
+      { Run.default with Run.trials = 3; seed = 100 }
   in
   check Alcotest.int "two cells" 2 (List.length results.Reliability.cells);
   List.iter
@@ -85,8 +86,9 @@ let test_reliability_collects_requested_crashes () =
 
 let test_reliability_tables_render () =
   let results =
-    Reliability.run ~config:quick_config ~systems:[ Campaign.Rio_with_protection ]
-      ~faults:[ Fault_type.Copy_overrun ] ~crashes_per_cell:2 ~seed_base:200 ()
+    Reliability.run ~campaign:quick_config ~systems:[ Campaign.Rio_with_protection ]
+      ~faults:[ Fault_type.Copy_overrun ]
+      { Run.default with Run.trials = 2; seed = 200 }
   in
   let s = Rio_util.Table.render (Reliability.to_table results) in
   check Alcotest.bool "table mentions the fault" true
@@ -105,10 +107,10 @@ let test_parallel_run_matches_serial () =
      [results] value structurally equal to the serial run — same cells in
      the same order, same counts, same unique-message totals. *)
   let run domains =
-    Reliability.run ~config:quick_config ~domains
+    Reliability.run ~campaign:quick_config
       ~systems:[ Campaign.Disk_based; Campaign.Rio_without_protection ]
       ~faults:[ Fault_type.Kernel_text; Fault_type.Pointer ]
-      ~crashes_per_cell:2 ~seed_base:77 ()
+      { Run.default with Run.trials = 2; seed = 77; domains }
   in
   let serial = run 1 and parallel = run 4 in
   check Alcotest.bool "parallel results equal serial results" true (serial = parallel);
@@ -120,7 +122,9 @@ let test_parallel_run_matches_serial () =
 
 let test_performance_ordering () =
   let ms =
-    Performance.run ~scale:0.04 ~seed:1 ~only:[ "memory-fs"; "ufs"; "wt-write"; "rio-prot" ] ()
+    Performance.run
+      ~only:[ "memory-fs"; "ufs"; "wt-write"; "rio-prot" ]
+      { Run.default with Run.scale = 0.04; seed = 1 }
   in
   let time label =
     match List.find_opt (fun m -> m.Performance.config_label = label) ms with
@@ -133,7 +137,10 @@ let test_performance_ordering () =
   check Alcotest.bool "ufs <= wt-write" true (time "ufs" <= time "wt-write")
 
 let test_performance_rio_beats_writethrough_on_sdet () =
-  let ms = Performance.run ~scale:0.04 ~seed:1 ~only:[ "wt-write"; "rio-prot" ] () in
+  let ms =
+    Performance.run ~only:[ "wt-write"; "rio-prot" ]
+      { Run.default with Run.scale = 0.04; seed = 1 }
+  in
   match Performance.speedup ms ~num:"wt-write" ~den:"rio-prot" with
   | [ _; sdet_ratio; _ ] -> check Alcotest.bool "substantially faster" true (sdet_ratio > 2.)
   | _ -> Alcotest.fail "expected three ratios"
@@ -196,12 +203,45 @@ let test_phoenix_loses_rio_does_not () =
 
 let test_vista_experiment_atomic_under_wild_stores () =
   let s =
-    Rio_harness.Vista_experiment.run ~fault:Fault_type.Kernel_text ~protection:true ~crashes:4
-      ~seed_base:300 ()
+    Rio_harness.Vista_experiment.run ~fault:Fault_type.Kernel_text ~protection:true
+      { Run.default with Run.trials = 4; seed = 300 }
   in
   check Alcotest.int "four crashes collected" 4 s.Rio_harness.Vista_experiment.crashes;
   check Alcotest.bool "atomicity holds under text faults" true
     (s.Rio_harness.Vista_experiment.violations = 0)
+
+(* ---------------- deprecated Legacy wrappers ---------------- *)
+
+let test_legacy_wrappers_delegate () =
+  (* The spread-argument entry points kept for one release must produce
+     exactly what the Run.config path produces. *)
+  let cfg = { Run.default with Run.trials = 1; seed = 42 } in
+  let modern =
+    Reliability.run ~campaign:quick_config ~systems:[ Campaign.Rio_without_protection ]
+      ~faults:[ Fault_type.Kernel_text ] cfg
+  in
+  let legacy =
+    (Reliability.Legacy.run [@warning "-3"]) ~config:quick_config
+      ~systems:[ Campaign.Rio_without_protection ] ~faults:[ Fault_type.Kernel_text ]
+      ~crashes_per_cell:1 ~seed_base:42 ()
+  in
+  check Alcotest.bool "reliability legacy equals modern" true (legacy = modern);
+  let modern =
+    Performance.run ~only:[ "memory-fs" ] { Run.default with Run.scale = 0.03; seed = 6 }
+  in
+  let legacy =
+    (Performance.Legacy.run [@warning "-3"]) ~scale:0.03 ~only:[ "memory-fs" ] ~seed:6 ()
+  in
+  check Alcotest.bool "performance legacy equals modern" true (legacy = modern);
+  let modern =
+    Rio_harness.Vista_experiment.run ~fault:Fault_type.Kernel_text ~protection:true
+      { Run.default with Run.trials = 1; seed = 9 }
+  in
+  let legacy =
+    (Rio_harness.Vista_experiment.Legacy.run [@warning "-3"]) ~fault:Fault_type.Kernel_text
+      ~protection:true ~crashes:1 ~seed_base:9 ()
+  in
+  check Alcotest.bool "vista legacy equals modern" true (legacy = modern)
 
 let test_delay_sweep_shape () =
   let points = Ablation.delay_sweep ~steps:150 ~seed:2 () in
@@ -252,4 +292,6 @@ let () =
           Alcotest.test_case "vista under fault injection" `Slow
             test_vista_experiment_atomic_under_wild_stores;
         ] );
+      ( "legacy",
+        [ Alcotest.test_case "wrappers delegate" `Slow test_legacy_wrappers_delegate ] );
     ]

@@ -32,7 +32,7 @@ let make_world ?(seed = 1) ~protection () =
   ignore
     (Rio_cache.create ~mem:(Kernel.mem kernel) ~layout:(Kernel.layout kernel)
        ~mmu:(Kernel.mmu kernel) ~engine ~costs:Costs.default ~hooks:(Kernel.hooks kernel)
-       ~pool_alloc:(Kernel.pool_alloc kernel) ~protection ~dev:1);
+       ~pool_alloc:(Kernel.pool_alloc kernel) ~protection ~dev:1 ());
   let fs = Kernel.mount kernel ~policy:Fs.Rio_policy in
   { engine; kernel; fs; protection }
 
@@ -51,7 +51,7 @@ let crash_and_warm_reboot w =
           (Rio_cache.create ~mem:(Kernel.mem kernel2) ~layout:(Kernel.layout kernel2)
              ~mmu:(Kernel.mmu kernel2) ~engine:w.engine ~costs:Costs.default
              ~hooks:(Kernel.hooks kernel2) ~pool_alloc:(Kernel.pool_alloc kernel2)
-             ~protection:w.protection ~dev:1);
+             ~protection:w.protection ~dev:1 ());
         let fs2 = Kernel.mount kernel2 ~policy:Fs.Rio_policy in
         w.kernel <- kernel2;
         w.fs <- fs2;

@@ -229,10 +229,16 @@ let test_trace_dir_parallel_identical () =
     let d = Filename.temp_file "riotrace" "" in
     Sys.remove d;
     let _ =
-      Reliability.run ~config:quick_config
+      Reliability.run ~campaign:quick_config
         ~systems:[ Campaign.Rio_without_protection ]
         ~faults:[ Fault_type.Kernel_text; Fault_type.Pointer ]
-        ~domains:jobs ~trace_dir:d ~crashes_per_cell:1 ~seed_base:5 ()
+        {
+          Rio_harness.Run.default with
+          Rio_harness.Run.trials = 1;
+          seed = 5;
+          domains = jobs;
+          trace_dir = Some d;
+        }
     in
     let files = Array.to_list (Sys.readdir d) in
     let contents =

@@ -27,7 +27,7 @@ let rio_system ?(seed = 1) ~protection () =
   let rio =
     Rio_cache.create ~mem:(Kernel.mem kernel) ~layout:(Kernel.layout kernel)
       ~mmu:(Kernel.mmu kernel) ~engine ~costs:Costs.default ~hooks:(Kernel.hooks kernel)
-      ~pool_alloc:(Kernel.pool_alloc kernel) ~protection ~dev:1
+      ~pool_alloc:(Kernel.pool_alloc kernel) ~protection ~dev:1 ()
   in
   let fs = Kernel.mount kernel ~policy:Fs.Rio_policy in
   (engine, kernel, rio, fs)
@@ -280,7 +280,7 @@ let warm_reboot_cycle ~protection ~mutate_after_capture =
           (Rio_cache.create ~mem:(Kernel.mem kernel2) ~layout:(Kernel.layout kernel2)
              ~mmu:(Kernel.mmu kernel2) ~engine ~costs:Costs.default
              ~hooks:(Kernel.hooks kernel2) ~pool_alloc:(Kernel.pool_alloc kernel2) ~protection
-             ~dev:1);
+             ~dev:1 ());
         let fs2 = Kernel.mount kernel2 ~policy:Fs.Rio_policy in
         fs_ref := Some fs2;
         fs2)

@@ -25,7 +25,7 @@ let make_world ?(seed = 1) () =
   ignore
     (Rio_cache.create ~mem:(Kernel.mem kernel) ~layout:(Kernel.layout kernel)
        ~mmu:(Kernel.mmu kernel) ~engine ~costs:Costs.default ~hooks:(Kernel.hooks kernel)
-       ~pool_alloc:(Kernel.pool_alloc kernel) ~protection:true ~dev:1);
+       ~pool_alloc:(Kernel.pool_alloc kernel) ~protection:true ~dev:1 ());
   let fs = Kernel.mount kernel ~policy:Fs.Rio_policy in
   { engine; kernel; fs }
 
@@ -43,7 +43,7 @@ let crash_and_warm_reboot w =
            (Rio_cache.create ~mem:(Kernel.mem kernel2) ~layout:(Kernel.layout kernel2)
               ~mmu:(Kernel.mmu kernel2) ~engine:w.engine ~costs:Costs.default
               ~hooks:(Kernel.hooks kernel2) ~pool_alloc:(Kernel.pool_alloc kernel2)
-              ~protection:true ~dev:1);
+              ~protection:true ~dev:1 ());
          let fs2 = Kernel.mount kernel2 ~policy:Fs.Rio_policy in
          w.kernel <- kernel2;
          w.fs <- fs2;
@@ -227,6 +227,55 @@ let test_crash_atomicity_fuzz () =
         1000 (total store2))
     [ (1, 1); (2, 2); (3, 3); (4, 7); (5, 10); (6, 15); (7, 24); (8, 33) ]
 
+exception Simulated_crash
+
+let test_crash_in_write_ahead_window () =
+  (* Crash at Undo_append: the old image has reached the undo log but the
+     in-place data write has not happened yet. Recovery must replay the
+     surviving record and land exactly on the pre-transaction state. *)
+  let w = make_world () in
+  let store = Vista.create w.fs ~path:"/store" ~size:4096 in
+  let t0 = Vista.begin_txn store in
+  Vista.write t0 ~offset:0 (Bytes.of_string "old old old!");
+  Vista.commit t0;
+  Vista.set_observer store (function
+    | Vista.Undo_append _ -> raise Simulated_crash
+    | _ -> ());
+  let t = Vista.begin_txn store in
+  (try Vista.write t ~offset:0 (Bytes.of_string "new new new!") with Simulated_crash -> ());
+  crash_and_warm_reboot w;
+  let rolled = Vista.recover w.fs ~path:"/store" in
+  check Alcotest.int "the lone undo record replays" 1 rolled;
+  let store2 = Vista.open_existing w.fs ~path:"/store" in
+  check Alcotest.bytes "pre-transaction state restored" (Bytes.of_string "old old old!")
+    (Vista.read store2 ~offset:0 ~len:12);
+  check Alcotest.int "log truncated by recovery" 0 (Fs.stat w.fs "/store.undo").Fs.st_size
+
+let test_crash_mid_commit_rolls_back () =
+  (* Crash at Commit_start: every data write landed but the log was not yet
+     cleared, so the commit point was not reached — recovery rolls the whole
+     transaction back. *)
+  let w = make_world () in
+  let store = Vista.create w.fs ~path:"/store" ~size:4096 in
+  let t0 = Vista.begin_txn store in
+  Vista.write t0 ~offset:0 (Bytes.of_string "committed!");
+  Vista.commit t0;
+  Vista.set_observer store (function
+    | Vista.Commit_start -> raise Simulated_crash
+    | _ -> ());
+  let t = Vista.begin_txn store in
+  Vista.write t ~offset:0 (Bytes.of_string "doomed txn");
+  Vista.write t ~offset:100 (Bytes.of_string "more");
+  (try Vista.commit t with Simulated_crash -> ());
+  crash_and_warm_reboot w;
+  let rolled = Vista.recover w.fs ~path:"/store" in
+  check Alcotest.bool "both undo records replay" true (rolled >= 2);
+  let store2 = Vista.open_existing w.fs ~path:"/store" in
+  check Alcotest.bytes "first write rolled back" (Bytes.of_string "committed!")
+    (Vista.read store2 ~offset:0 ~len:10);
+  check Alcotest.bytes "second write rolled back" (Bytes.make 4 '\000')
+    (Vista.read store2 ~offset:100 ~len:4)
+
 let test_undo_log_is_the_only_cost () =
   (* "Free transactions": no fsync, no redo log — count the disk writes. *)
   let w = make_world () in
@@ -260,6 +309,8 @@ let () =
           Alcotest.test_case "uncommitted rolled back" `Quick test_uncommitted_txn_rolled_back;
           Alcotest.test_case "recover idempotent" `Quick test_recover_idempotent;
           Alcotest.test_case "atomicity fuzz" `Slow test_crash_atomicity_fuzz;
+          Alcotest.test_case "write-ahead window" `Quick test_crash_in_write_ahead_window;
+          Alcotest.test_case "mid-commit rollback" `Quick test_crash_mid_commit_rolls_back;
           Alcotest.test_case "free transactions" `Quick test_undo_log_is_the_only_cost;
         ] );
     ]
