@@ -47,6 +47,7 @@ let arm t ~trip_at =
   Hashtbl.reset t.copied
 
 let disarm t = t.armed <- false
+let emitted t = t.next
 let labels t = List.rev t.labels_rev
 let crash_image t = t.image
 let tripped_label t = t.tripped

@@ -40,6 +40,11 @@ val arm : t -> trip_at:int -> unit
 val disarm : t -> unit
 (** Stop emitting boundaries (recovery and checking run disarmed). *)
 
+val emitted : t -> int
+(** Boundaries numbered so far in this arming — read between operations to
+    attribute ordinal ranges to the operation that produced them (the
+    fuzzer's in-flight-operation map). *)
+
 val labels : t -> string list
 (** Labels of the boundaries seen while armed, in ordinal order. *)
 

@@ -1,0 +1,465 @@
+module Engine = Rio_sim.Engine
+module Costs = Rio_sim.Costs
+module Kernel = Rio_kernel.Kernel
+module Fs = Rio_fs.Fs
+module Fs_types = Rio_fs.Fs_types
+module Phys_mem = Rio_mem.Phys_mem
+module Rio_cache = Rio_core.Rio_cache
+module Warm_reboot = Rio_core.Warm_reboot
+module Vista = Rio_txn.Vista
+module Trace = Rio_obs.Trace
+module Forensics = Rio_obs.Forensics
+module Pool = Rio_parallel.Pool
+module Run = Rio_harness.Run
+module Boundary = Rio_check.Boundary
+module Explorer = Rio_check.Explorer
+module Prng = Rio_util.Prng
+module Gen = Rio_workload.Script.Gen
+
+exception Invalid_program
+
+(* ---------------- one attempt ---------------- *)
+
+(* One world build + program run, optionally crashing at boundary [trip]
+   and auditing the recovery. Everything the fuzzer and the shrinker do is
+   a pure function of (spec, seed, ops, trip) — that is what makes trials
+   shardable across domains and counterexamples replayable. *)
+
+type attempt = {
+  boundaries : int;  (** Boundaries emitted (all of them when not tripped). *)
+  labels : string list;  (** Their labels, in ordinal order. *)
+  op_starts : int array;
+      (** [op_starts.(k)] = first ordinal of op [k]; length ops+1, the last
+          entry closing the final op's range. *)
+  crashed_during : int option;  (** Index of the op the trip interrupted. *)
+  tripped : string option;  (** The tripped boundary's label. *)
+  problems : string list;  (** Contract violations found after recovery. *)
+}
+
+let make_rio ~(spec : Explorer.spec) kernel =
+  ignore
+    (Rio_cache.create ~shadow:spec.Explorer.shadow ~registry:spec.Explorer.registry
+       ~mem:(Kernel.mem kernel) ~layout:(Kernel.layout kernel) ~mmu:(Kernel.mmu kernel)
+       ~engine:(Kernel.engine kernel) ~costs:(Kernel.costs kernel) ~hooks:(Kernel.hooks kernel)
+       ~pool_alloc:(Kernel.pool_alloc kernel) ~protection:spec.Explorer.protection ~dev:1 ()
+      : Rio_cache.t)
+
+let run_attempt ?(obs = Trace.null) ~(spec : Explorer.spec) ~seed ~ops ~trip () =
+  let engine = Engine.create ~obs () in
+  let costs = Costs.default in
+  let kcfg = Kernel.config_with_seed seed in
+  let kernel = Kernel.boot ~engine ~costs kcfg in
+  Kernel.format kernel;
+  make_rio ~spec kernel;
+  let fs = Kernel.mount kernel ~policy:Fs.Rio_policy in
+  let probe = Boundary.create ~mem:(Kernel.mem kernel) ~obs in
+  Boundary.instrument_hooks probe (Kernel.hooks kernel);
+  Boundary.instrument_disk probe (Kernel.disk kernel);
+  let w = Program.setup fs in
+  Vista.set_observer w.Program.store (Boundary.vista_event probe);
+  let arr = Array.of_list ops in
+  let n = Array.length arr in
+  let op_starts = Array.make (n + 1) 0 in
+  Boundary.arm probe ~trip_at:trip;
+  let crashed = ref None in
+  (try
+     for k = 0 to n - 1 do
+       op_starts.(k) <- Boundary.emitted probe;
+       match Program.exec w arr.(k) with
+       | () -> ()
+       | exception Boundary.Crash_here ->
+         crashed := Some k;
+         raise Stdlib.Exit
+       | exception Fs_types.Fs_error _ ->
+         (* Only shrinker-made sub-programs can be invalid; generated
+            programs are valid by construction. *)
+         Boundary.disarm probe;
+         raise Invalid_program
+     done
+   with Stdlib.Exit -> ());
+  Boundary.disarm probe;
+  let total = Boundary.emitted probe in
+  let filled_from = match !crashed with Some k -> k + 1 | None -> n in
+  for i = filled_from to n do
+    op_starts.(i) <- total
+  done;
+  let labels = Boundary.labels probe in
+  match !crashed with
+  | None ->
+    { boundaries = total; labels; op_starts; crashed_during = None; tripped = None; problems = [] }
+  | Some k ->
+    let image = match Boundary.crash_image probe with Some i -> i | None -> assert false in
+    Fs.crash fs;
+    Phys_mem.restore_dump (Kernel.mem kernel) image;
+    let recovered = ref None in
+    ignore
+      (Warm_reboot.perform ~mem:(Kernel.mem kernel) ~disk:(Kernel.disk kernel)
+         ~layout:(Kernel.layout kernel) ~engine
+         ~reboot:(fun () ->
+           let kernel2 =
+             Kernel.boot_warm ~engine ~costs kcfg ~mem:(Kernel.mem kernel)
+               ~disk:(Kernel.disk kernel)
+           in
+           make_rio ~spec kernel2;
+           let fs2 = Kernel.mount kernel2 ~policy:Fs.Rio_policy in
+           recovered := Some fs2;
+           fs2)
+        : Warm_reboot.report);
+    let fs2 = match !recovered with Some f -> f | None -> assert false in
+    let problems =
+      try Program.check fs2 ~ops ~in_flight:k
+      with Fs_types.Fs_error m -> [ "recovery check raised: " ^ m ]
+    in
+    {
+      boundaries = total;
+      labels;
+      op_starts;
+      crashed_during = Some k;
+      tripped = Boundary.tripped_label probe;
+      problems;
+    }
+
+(* ---------------- one fuzz trial ---------------- *)
+
+type raw_violation = {
+  r_ops : Gen.op list;
+  r_boundaries : int;
+  r_ordinal : int;
+  r_in_flight : int;
+  r_problems : string list;
+}
+
+type outcome = Clean of int  (** boundaries enumerated *) | Bad of raw_violation
+
+(* Largest k with op_starts.(k) <= r: the op in flight at boundary r. *)
+let in_flight_of op_starts r =
+  let n = Array.length op_starts - 1 in
+  let k = ref 0 in
+  for i = 0 to n - 1 do
+    if op_starts.(i) <= r then k := i
+  done;
+  !k
+
+(* Stratified boundary choice: bucket the schedule by label class (the
+   text before the first space — "meta-torn", "registry-update",
+   "vista-commit-start", ...), pick a class uniformly, then an ordinal
+   within it. A uniform pick over ordinals would almost always land in
+   the data-store windows that dominate long schedules and starve the
+   rare metadata/registry boundaries where the atomicity protocol
+   actually lives. *)
+let pick_boundary prng labels =
+  let classes = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iteri
+    (fun i l ->
+      let cls =
+        match String.index_opt l ' ' with Some j -> String.sub l 0 j | None -> l
+      in
+      match Hashtbl.find_opt classes cls with
+      | Some ords -> Hashtbl.replace classes cls (i :: ords)
+      | None ->
+        order := cls :: !order;
+        Hashtbl.replace classes cls [ i ])
+    labels;
+  let order = Array.of_list (List.rev !order) in
+  let cls = order.(Prng.int prng (Array.length order)) in
+  let ords = Array.of_list (List.rev (Hashtbl.find classes cls)) in
+  ords.(Prng.int prng (Array.length ords))
+
+let fuzz_one ~spec ~world_seed ~max_ops ~prng_seed =
+  let prng = Prng.create ~seed:prng_seed in
+  let nops = 1 + Prng.int prng max_ops in
+  let ops = Gen.generate ~prng Program.gen_spec ~ops:nops in
+  let counting = run_attempt ~spec ~seed:world_seed ~ops ~trip:(-1) () in
+  if counting.boundaries = 0 then Clean 0
+  else begin
+    let r = pick_boundary prng counting.labels in
+    let a = run_attempt ~spec ~seed:world_seed ~ops ~trip:r () in
+    let in_flight = in_flight_of counting.op_starts r in
+    let problems =
+      match a.crashed_during with
+      | Some _ -> a.problems
+      | None -> [ Printf.sprintf "crash point %d was not reached on replay" r ]
+    in
+    if problems = [] then Clean counting.boundaries
+    else
+      Bad
+        {
+          r_ops = ops;
+          r_boundaries = counting.boundaries;
+          r_ordinal = r;
+          r_in_flight = in_flight;
+          r_problems = problems;
+        }
+  end
+
+(* ---------------- the shrinker ---------------- *)
+
+(* Delta-debugging over two axes: drop ops the failure does not need, then
+   walk the crash ordinal down. Everything after the in-flight op is dead
+   weight by construction (the crash preempts it), so each step
+   re-truncates there first. Every candidate is re-validated by actually
+   running it; invalid sub-programs (a removed creat orphans an append)
+   just fail validation. Deterministic: same inputs, same minimum. *)
+
+let shrink_budget = 400
+
+let truncate_after ops k = List.filteri (fun i _ -> i <= k) ops
+let remove_at i ops = List.filteri (fun j _ -> j <> i) ops
+
+let shrink ~spec ~world_seed ~ops ~ordinal =
+  let budget = ref shrink_budget in
+  let attempts = ref 0 in
+  let spend () =
+    incr attempts;
+    decr budget
+  in
+  let count ops =
+    spend ();
+    match run_attempt ~spec ~seed:world_seed ~ops ~trip:(-1) () with
+    | a -> Some a
+    | exception Invalid_program -> None
+  in
+  let fails ops r =
+    spend ();
+    match run_attempt ~spec ~seed:world_seed ~ops ~trip:r () with
+    | a -> a.crashed_during <> None && a.problems <> []
+    | exception Invalid_program -> false
+  in
+  (* Keep only ops.(0..k); the boundary stream up to [r] is untouched, so
+     the same ordinal still reproduces — no re-validation needed. *)
+  let slice starts k = Array.sub starts 0 (k + 2) in
+  (* One removal pass: try dropping each op before the in-flight one,
+     remapping the ordinal into the in-flight op's shifted boundary range
+     (same offset first, then the rest of the range). Restarts on every
+     success, so it ends at a local fixpoint. *)
+  let rec removal_pass ops starts r k =
+    let offset = r - starts.(k) in
+    let rec try_i i =
+      if i >= k || !budget <= 0 then (ops, starts, r, k)
+      else begin
+        let cand = remove_at i ops in
+        let ck = k - 1 in
+        match count cand with
+        | None -> try_i (i + 1)
+        | Some c ->
+          let lo = c.op_starts.(ck) and hi = c.op_starts.(ck + 1) in
+          let prefer = lo + offset in
+          let range = List.init (hi - lo) (fun j -> lo + j) in
+          let ordered =
+            if prefer >= lo && prefer < hi then
+              prefer :: List.filter (fun x -> x <> prefer) range
+            else range
+          in
+          (match List.find_opt (fun r' -> !budget > 0 && fails cand r') ordered with
+          | Some r' -> removal_pass cand (slice c.op_starts ck) r' ck
+          | None -> try_i (i + 1))
+      end
+    in
+    try_i 0
+  in
+  (* Smallest failing ordinal below r, if any (the boundary stream of a
+     fixed program is fixed, so this is a plain linear scan). *)
+  let scan_below ops r =
+    let rec go r' =
+      if r' >= r || !budget <= 0 then None else if fails ops r' then Some r' else go (r' + 1)
+    in
+    go 0
+  in
+  let rec outer ops starts r k =
+    let ops, starts, r, k = removal_pass ops starts r k in
+    match scan_below ops r with
+    | Some r' ->
+      let k' = in_flight_of starts r' in
+      outer (truncate_after ops k') (slice starts k') r' k'
+    | None -> (ops, r, k)
+  in
+  match count ops with
+  | None -> (ops, ordinal, in_flight_of [| 0 |] 0, !attempts) (* unreachable: ops ran once *)
+  | Some c ->
+    let k0 = in_flight_of c.op_starts ordinal in
+    let ops, r, k = outer (truncate_after ops k0) (slice c.op_starts k0) ordinal k0 in
+    (ops, r, k, !attempts)
+
+(* ---------------- reports ---------------- *)
+
+type counterexample = {
+  trial : int;
+  original_ops : int;
+  original_ordinal : int;
+  ops : Gen.op list;
+  ordinal : int;
+  in_flight : int;
+  label : string;
+  problems : string list;
+  narrative : string list;
+  shrink_attempts : int;
+}
+
+type report = {
+  spec : Explorer.spec;
+  seed : int;
+  trials : int;
+  max_ops : int;
+  boundaries : int;  (** Summed over trials (each trial's full schedule). *)
+  violations : int;  (** Trials whose crash broke a contract. *)
+  counterexamples : counterexample list;  (** Shrunk; at most [shrink_limit]. *)
+}
+
+let default_max_ops = 8
+
+let shrink_and_describe ~spec ~world_seed (t, v) =
+  let ops, ordinal, in_flight, shrink_attempts =
+    shrink ~spec ~world_seed ~ops:v.r_ops ~ordinal:v.r_ordinal
+  in
+  (* Replay the minimum with the flight recorder live: the narrative is
+     the counterexample's evidence. *)
+  let obs = Trace.create () in
+  let final = run_attempt ~obs ~spec ~seed:world_seed ~ops ~trip:ordinal () in
+  let problems = if final.problems = [] then v.r_problems else final.problems in
+  {
+    trial = t;
+    original_ops = List.length v.r_ops;
+    original_ordinal = v.r_ordinal;
+    ops;
+    ordinal;
+    in_flight;
+    label = Option.value final.tripped ~default:"?";
+    problems;
+    narrative = Forensics.narrative (Forensics.summarize obs);
+    shrink_attempts;
+  }
+
+let run ?(spec = Explorer.rio_prot) ?(max_ops = default_max_ops) ?(shrink_limit = 3)
+    (cfg : Run.config) =
+  let world_seed = cfg.Run.seed in
+  let report_done = Run.reporter cfg ~total:cfg.Run.trials in
+  let outcomes =
+    Pool.map_list ~domains:cfg.Run.domains
+      (fun t ->
+        let out =
+          fuzz_one ~spec ~world_seed ~max_ops ~prng_seed:((world_seed * 0x1000003) + t)
+        in
+        report_done ~label:spec.Explorer.label ~detail:(Printf.sprintf "trial %d" t);
+        (t, out))
+      (List.init cfg.Run.trials (fun t -> t))
+  in
+  let boundaries =
+    List.fold_left
+      (fun acc (_, o) -> acc + match o with Clean b -> b | Bad v -> v.r_boundaries)
+      0 outcomes
+  in
+  let bad = List.filter_map (fun (t, o) -> match o with Bad v -> Some (t, v) | _ -> None) outcomes in
+  let to_shrink = List.filteri (fun i _ -> i < shrink_limit) bad in
+  (* Shrinking re-runs many candidate trials per violation, so only the
+     first [shrink_limit] violations (in trial order: deterministic) get
+     the treatment; the rest are counted. *)
+  let counterexamples =
+    Pool.map_list ~domains:cfg.Run.domains (shrink_and_describe ~spec ~world_seed) to_shrink
+  in
+  {
+    spec;
+    seed = cfg.Run.seed;
+    trials = cfg.Run.trials;
+    max_ops;
+    boundaries;
+    violations = List.length bad;
+    counterexamples;
+  }
+
+(* ---------------- rendering ---------------- *)
+
+let spec_line (spec : Explorer.spec) =
+  Printf.sprintf "%s (protection %s, shadow %s, registry %s)" spec.Explorer.label
+    (if spec.Explorer.protection then "on" else "off")
+    (if spec.Explorer.shadow then "on" else "off")
+    (if spec.Explorer.registry then "on" else "off")
+
+let render_counterexample buf c =
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\ncounterexample (trial %d): shrunk %d ops @ boundary %d -> %d ops @ boundary %d (%d runs)\n"
+       c.trial c.original_ops c.original_ordinal (List.length c.ops) c.ordinal c.shrink_attempts);
+  Buffer.add_string buf "  program:\n";
+  List.iteri
+    (fun i op ->
+      Buffer.add_string buf
+        (Printf.sprintf "    %d. %s%s\n" (i + 1) (Gen.describe op)
+           (if i = c.in_flight then "   <- in flight at the crash" else "")))
+    c.ops;
+  Buffer.add_string buf (Printf.sprintf "  crash at boundary %d (%s)\n" c.ordinal c.label);
+  List.iter (fun p -> Buffer.add_string buf ("  problem: " ^ p ^ "\n")) c.problems;
+  if c.narrative <> [] then begin
+    Buffer.add_string buf "  trace:\n";
+    List.iter (fun l -> Buffer.add_string buf ("    | " ^ l ^ "\n")) c.narrative
+  end
+
+let render r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf ("crash-schedule fuzz: " ^ spec_line r.spec ^ "\n");
+  Buffer.add_string buf
+    (Printf.sprintf "  seed %d, %d trials of <= %d ops, %d boundaries enumerated\n" r.seed
+       r.trials r.max_ops r.boundaries);
+  Buffer.add_string buf
+    (if r.violations = 0 then "  violations: 0\n"
+     else
+       Printf.sprintf "  violations: %d (%d shrunk below)\n" r.violations
+         (List.length r.counterexamples));
+  List.iter (fun c -> render_counterexample buf c) r.counterexamples;
+  Buffer.contents buf
+
+(* ---------------- the ablation matrix ---------------- *)
+
+type matrix_entry = { entry_report : report; ok : bool }
+
+(* The acceptance bar for a caught ablation: at least one counterexample
+   shrunk to a handful of ops — a catch nobody can read is not evidence. *)
+let max_repro_ops = 6
+
+let run_matrix ?(specs = Explorer.matrix_specs) ?max_ops ?shrink_limit (cfg : Run.config) =
+  List.map
+    (fun (spec : Explorer.spec) ->
+      let entry_report = run ~spec ?max_ops ?shrink_limit cfg in
+      let ok =
+        if spec.Explorer.expect_safe then entry_report.violations = 0
+        else
+          entry_report.violations > 0
+          && List.exists
+               (fun c -> List.length c.ops <= max_repro_ops && c.problems <> [])
+               entry_report.counterexamples
+      in
+      { entry_report; ok })
+    specs
+
+let matrix_ok entries = List.for_all (fun e -> e.ok) entries
+
+let render_matrix entries =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "fuzz matrix: the fuzzer must catch the unsafe ablations\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  %-14s %8s %11s %11s  %-9s %s\n" "configuration" "trials" "boundaries"
+       "violations" "expected" "verdict");
+  List.iter
+    (fun e ->
+      let r = e.entry_report in
+      let expected = if r.spec.Explorer.expect_safe then "safe" else "unsafe" in
+      let verdict =
+        match (e.ok, r.spec.Explorer.expect_safe) with
+        | true, true -> "ok"
+        | true, false -> "ok (caught, shrunk)"
+        | false, true -> "MISMATCH: violations in a safe configuration"
+        | false, false -> "MISMATCH: unsafe configuration not caught (or repro too big)"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %-14s %8d %11d %11d  %-9s %s\n" r.spec.Explorer.label r.trials
+           r.boundaries r.violations expected verdict))
+    entries;
+  List.iter
+    (fun e ->
+      let r = e.entry_report in
+      if (not r.spec.Explorer.expect_safe) && r.counterexamples <> [] then begin
+        Buffer.add_string buf (Printf.sprintf "\n[%s]" r.spec.Explorer.label);
+        render_counterexample buf (List.hd r.counterexamples)
+      end)
+    entries;
+  Buffer.contents buf

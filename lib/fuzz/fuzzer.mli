@@ -1,0 +1,125 @@
+(** The randomized crash-schedule fuzzer, with counterexample shrinking.
+
+    The explorer proves the atomicity contracts over every boundary of a
+    few fixed scenarios; the fuzzer samples the space the scenarios cannot
+    reach — random op {e sequences} over a growing tree, with the crash at
+    a random boundary of a random op (stratified by boundary class, so the
+    rare metadata/registry/Vista boundaries get sampled as often as the
+    plentiful data-store windows). Each trial is a pure function of
+    (spec, seed, trial index): generate a program
+    ({!Rio_workload.Script.Gen}), count its boundaries with a disarmed
+    pass, pick one, re-run tripping there, warm-reboot, and audit
+    ({!Program.check}).
+
+    A violating trial is then {e shrunk} — delta debugging over both axes:
+    drop ops the failure does not need (re-validating every candidate by
+    running it, remapping the crash ordinal into the in-flight op's
+    shifted boundary range), and walk the crash ordinal down to the first
+    failing boundary. The result is a minimal program + boundary pair,
+    replayed once more with the flight recorder live so the report carries
+    a {!Rio_obs.Forensics} narrative.
+
+    Trials shard across domains via {!Rio_parallel.Pool} and merge in
+    trial order, so {!render} output is byte-identical at any [domains]. *)
+
+exception Invalid_program
+(** A (shrunk) sub-program referenced a file an earlier removed op would
+    have created. Never escapes {!run}; candidates that raise it are
+    simply not failures. *)
+
+(** {1 Single attempts (exposed for tests)} *)
+
+type attempt = {
+  boundaries : int;
+  labels : string list;  (** Boundary labels in ordinal order. *)
+  op_starts : int array;
+      (** [op_starts.(k)] = first boundary ordinal of op [k]; length
+          [ops + 1], the last entry closing the final op's range. *)
+  crashed_during : int option;
+  tripped : string option;
+  problems : string list;
+}
+
+val run_attempt :
+  ?obs:Rio_obs.Trace.t ->
+  spec:Rio_check.Explorer.spec ->
+  seed:int ->
+  ops:Rio_workload.Script.Gen.op list ->
+  trip:int ->
+  unit ->
+  attempt
+(** Build a fresh world, run [ops], crash at boundary [trip] ([-1] =
+    count only), recover and audit. Raises {!Invalid_program} if [ops] is
+    not executable in order. *)
+
+val shrink :
+  spec:Rio_check.Explorer.spec ->
+  world_seed:int ->
+  ops:Rio_workload.Script.Gen.op list ->
+  ordinal:int ->
+  Rio_workload.Script.Gen.op list * int * int * int
+(** [(ops', ordinal', in_flight', attempts)] — a locally minimal failing
+    (program, boundary) pair, starting from a known-failing one. Budgeted
+    (a few hundred candidate runs) and deterministic. *)
+
+(** {1 The fuzz run} *)
+
+type counterexample = {
+  trial : int;
+  original_ops : int;
+  original_ordinal : int;
+  ops : Rio_workload.Script.Gen.op list;  (** Shrunk program. *)
+  ordinal : int;  (** Shrunk crash boundary. *)
+  in_flight : int;  (** Index of the op the crash interrupts. *)
+  label : string;  (** The boundary's stable label. *)
+  problems : string list;
+  narrative : string list;  (** Forensics replay of the minimum. *)
+  shrink_attempts : int;  (** Candidate runs the shrinker spent. *)
+}
+
+type report = {
+  spec : Rio_check.Explorer.spec;
+  seed : int;
+  trials : int;
+  max_ops : int;
+  boundaries : int;  (** Summed over trials' full schedules. *)
+  violations : int;  (** Trials whose crash broke a contract. *)
+  counterexamples : counterexample list;
+      (** The first [shrink_limit] violations (trial order), shrunk. *)
+}
+
+val default_max_ops : int
+
+val run :
+  ?spec:Rio_check.Explorer.spec ->
+  ?max_ops:int ->
+  ?shrink_limit:int ->
+  Rio_harness.Run.config ->
+  report
+(** [config.trials] random programs of [1..max_ops] ops each, seeded from
+    [config.seed]; [scale] and [trace_dir] are unused. *)
+
+val render : report -> string
+(** Deterministic plain text: a summary head plus one block per shrunk
+    counterexample (program listing, crash boundary, problems, trace). *)
+
+(** {1 The ablation matrix} *)
+
+type matrix_entry = { entry_report : report; ok : bool }
+
+val max_repro_ops : int
+(** A caught ablation only counts if some counterexample shrank to at most
+    this many ops (6) — the catch must come with a readable repro. *)
+
+val run_matrix :
+  ?specs:Rio_check.Explorer.spec list ->
+  ?max_ops:int ->
+  ?shrink_limit:int ->
+  Rio_harness.Run.config ->
+  matrix_entry list
+(** Fuzz each spec with the same config. Safe specs must fuzz clean;
+    unsafe specs must be caught {e and} shrunk (see {!max_repro_ops}). *)
+
+val matrix_ok : matrix_entry list -> bool
+
+val render_matrix : matrix_entry list -> string

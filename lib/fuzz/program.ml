@@ -1,0 +1,217 @@
+module Fs = Rio_fs.Fs
+module Fs_types = Rio_fs.Fs_types
+module Vista = Rio_txn.Vista
+module Pattern = Rio_util.Pattern
+module Script = Rio_workload.Script
+module Gen = Rio_workload.Script.Gen
+module Model = Rio_workload.Script.Gen.Model
+
+let root = "/fuzz"
+let keep_path = "/fuzz/keep"
+let keep_seed = 0xbeef
+let keep_len = 2000
+let ledger_path = "/fuzz/ledger"
+let ledger_size = 1024
+let ledger_setup_seed = 0x1ed9e5
+
+let gen_spec = Gen.default_spec ~root
+
+let ledger_pattern seed = Pattern.fill ~seed ~len:ledger_size
+
+type world = { fs : Fs.t; store : Vista.t }
+
+let setup fs =
+  Fs.mkdir fs root;
+  Fs.write_file fs keep_path (Pattern.fill ~seed:keep_seed ~len:keep_len);
+  let store = Vista.create fs ~path:ledger_path ~size:ledger_size in
+  let txn = Vista.begin_txn store in
+  Vista.write txn ~offset:0 (ledger_pattern ledger_setup_seed);
+  Vista.commit txn;
+  { fs; store }
+
+(* Write [len] pattern bytes of stream [seed] through [fd], in the same
+   chunk windows real programs use, with the stream's origin at file
+   position [base] (so appends/overwrites continue the pattern from 0). *)
+let write_stream fs fd ~base ~seed ~len =
+  let rec go off =
+    if off < len then begin
+      let n = min Script.chunk_size (len - off) in
+      Fs.pwrite fs fd ~offset:(base + off) (Pattern.fill_at ~seed ~offset:off ~len:n);
+      go (off + n)
+    end
+  in
+  go 0
+
+let exec w (op : Gen.op) =
+  match op with
+  | Creat { path; seed; len } ->
+    let fd = Fs.create w.fs path in
+    write_stream w.fs fd ~base:0 ~seed ~len;
+    Fs.close w.fs fd
+  | Append { path; seed; len } ->
+    let fd = Fs.open_file w.fs path in
+    let base = Fs.fd_size w.fs fd in
+    write_stream w.fs fd ~base ~seed ~len;
+    Fs.close w.fs fd
+  | Overwrite { path; offset; seed; len } ->
+    let fd = Fs.open_file w.fs path in
+    write_stream w.fs fd ~base:offset ~seed ~len;
+    Fs.close w.fs fd
+  | Mkdir path -> Fs.mkdir w.fs path
+  | Unlink path -> Fs.unlink w.fs path
+  | Rename { src; dst } -> Fs.rename w.fs src dst
+  | Vista_txn { seed } ->
+    let txn = Vista.begin_txn w.store in
+    let half = ledger_size / 2 in
+    Vista.write txn ~offset:0 (Pattern.fill_at ~seed ~offset:0 ~len:half);
+    Vista.write txn ~offset:half (Pattern.fill_at ~seed ~offset:half ~len:(ledger_size - half));
+    Vista.commit txn
+
+(* ---------------- post-crash contracts ---------------- *)
+
+(* What recovery owes us, per op state:
+   - ops before the in-flight one: their whole effect, exactly;
+   - the in-flight op: atomic-or-absent for metadata, prefix-for-data
+     (unwritten tail bytes may read back as zero, never garbage);
+   - everything untouched (the keep file, other files, directories): exact.
+   The Vista store must hold exactly the last committed transaction —
+   old-or-new when the crash interrupted one. *)
+
+let problem fmt = Printf.ksprintf (fun s -> s) fmt
+
+let check_exact fs ~path ~expect acc =
+  if not (Fs.exists fs path) then problem "%s vanished" path :: acc
+  else
+    let b = Fs.read_file fs path in
+    if Bytes.equal b expect then acc
+    else if Bytes.length b <> Bytes.length expect then
+      problem "%s has size %d, expected %d" path (Bytes.length b) (Bytes.length expect) :: acc
+    else problem "%s contents corrupted" path :: acc
+
+(* In-flight data write into [\[base, base+len)] over [old] toward
+   [expect]: prefix of the file must be durable, bytes inside the window
+   must each be old, new, or zero (an open store window the crash caught
+   mid-copy), nothing outside the window may move. *)
+let check_inflight_write fs ~path ~old ~expect acc =
+  if not (Fs.exists fs path) then problem "%s vanished mid-write" path :: acc
+  else begin
+    let b = Fs.read_file fs path in
+    let blen = Bytes.length b in
+    if blen < Bytes.length old then
+      problem "%s shrank mid-write: %d of %d bytes" path blen (Bytes.length old) :: acc
+    else if blen > Bytes.length expect then
+      problem "%s has impossible size %d (writing toward %d)" path blen (Bytes.length expect)
+      :: acc
+    else begin
+      let bad = ref None in
+      for i = blen - 1 downto 0 do
+        let got = Bytes.get b i in
+        let was = if i < Bytes.length old then Some (Bytes.get old i) else None in
+        let target = Bytes.get expect i in
+        let ok =
+          got = target || Some got = was || (was = None && got = '\000')
+        in
+        if not ok then bad := Some i
+      done;
+      match !bad with
+      | Some i -> problem "%s byte %d is neither old nor new nor zero" path i :: acc
+      | None -> acc
+    end
+  end
+
+let check_dir fs ~path acc =
+  match Fs.readdir fs path with
+  | _ -> acc
+  | exception Fs_types.Fs_error m -> problem "directory %s unreadable: %s" path m :: acc
+
+let touched (op : Gen.op) =
+  match op with
+  | Creat { path; _ } | Append { path; _ } | Overwrite { path; _ } | Unlink path -> [ path ]
+  | Rename { src; dst } -> [ src; dst ]
+  | Mkdir _ | Vista_txn _ -> []
+
+let check_vista fs ~in_flight_seed ~committed acc =
+  if not (Fs.exists fs ledger_path) then problem "vista store %s vanished" ledger_path :: acc
+  else begin
+    let rolled_back = Vista.recover fs ~path:ledger_path in
+    ignore (rolled_back : int);
+    let store = Vista.open_existing fs ~path:ledger_path in
+    let b = Vista.read store ~offset:0 ~len:ledger_size in
+    let states =
+      committed :: (match in_flight_seed with Some s -> [ s ] | None -> [])
+    in
+    let acc =
+      if List.exists (fun s -> Bytes.equal b (ledger_pattern s)) states then acc
+      else
+        problem "vista store is neither the last committed state nor the in-flight one" :: acc
+    in
+    let undo = ledger_path ^ ".undo" in
+    if Fs.exists fs undo && (Fs.stat fs undo).Fs.st_size <> 0 then
+      problem "vista undo log not empty after recovery" :: acc
+    else acc
+  end
+
+(* Audit the recovered file system against the model. [ops] is the whole
+   program; [in_flight] the index of the op the crash interrupted. *)
+let check fs ~ops ~in_flight =
+  let arr = Array.of_list ops in
+  let before = Model.create ~root in
+  for i = 0 to in_flight - 1 do
+    Model.apply before arr.(i)
+  done;
+  let op = arr.(in_flight) in
+  let after = Model.copy before in
+  Model.apply after op;
+  let hot = touched op in
+  let acc = [] in
+  (* Bystander planted before the program ran: must never move. *)
+  let acc = check_exact fs ~path:keep_path ~expect:(Pattern.fill ~seed:keep_seed ~len:keep_len) acc in
+  (* Directories created by completed ops stay listable; an in-flight
+     mkdir is atomic: absent, or present and listable. *)
+  let acc = List.fold_left (fun acc d -> check_dir fs ~path:d acc) acc before.Model.dirs in
+  let acc =
+    match op with
+    | Mkdir d when Fs.exists fs d -> check_dir fs ~path:d acc
+    | _ -> acc
+  in
+  (* Files owned by completed ops and untouched by the in-flight one. *)
+  let acc =
+    List.fold_left
+      (fun acc (path, expect) ->
+        if List.mem path hot then acc else check_exact fs ~path ~expect acc)
+      acc
+      (Model.sorted_files before)
+  in
+  (* The in-flight op's own contract. *)
+  let acc =
+    match op with
+    | Creat { path; _ } ->
+      if not (Fs.exists fs path) then acc
+      else
+        check_inflight_write fs ~path ~old:Bytes.empty
+          ~expect:(Hashtbl.find after.Model.files path) acc
+    | Append { path; _ } | Overwrite { path; _ } ->
+      check_inflight_write fs ~path
+        ~old:(Hashtbl.find before.Model.files path)
+        ~expect:(Hashtbl.find after.Model.files path)
+        acc
+    | Unlink path ->
+      if not (Fs.exists fs path) then acc
+      else check_exact fs ~path ~expect:(Hashtbl.find before.Model.files path) acc
+    | Rename { src; dst } ->
+      let expect = Hashtbl.find before.Model.files src in
+      let s = Fs.exists fs src and d = Fs.exists fs dst in
+      if not (s || d) then problem "rename lost %s: neither name exists" src :: acc
+      else begin
+        (* Cross-directory renames legitimately pass through a both-names
+           state (insert before remove); whichever name exists must carry
+           the full old contents. *)
+        let acc = if s then check_exact fs ~path:src ~expect acc else acc in
+        if d then check_exact fs ~path:dst ~expect acc else acc
+      end
+    | Mkdir _ | Vista_txn _ -> acc
+  in
+  let in_flight_seed = match op with Gen.Vista_txn { seed } -> Some seed | _ -> None in
+  let committed = Option.value before.Model.vista ~default:ledger_setup_seed in
+  let acc = check_vista fs ~in_flight_seed ~committed acc in
+  List.rev acc

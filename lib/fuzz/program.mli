@@ -1,0 +1,48 @@
+(** Fuzz programs: executing generated op sequences and auditing their
+    post-crash contracts.
+
+    The explorer ({!Rio_check.Explorer}) checks a handful of hand-written
+    scenarios exhaustively; the fuzzer instead runs {e random} programs
+    ({!Rio_workload.Script.Gen}) against the same boundary probe. This
+    module is the program side of that: a fixed setup (a bystander file
+    and a Vista store planted under [/fuzz]), an executor that issues each
+    generated op the way real programs do (chunked store windows), and the
+    recovery audit that knows what each op owes after a crash:
+
+    - completed ops: their whole effect, exactly;
+    - the in-flight op: atomic-or-absent metadata, prefix-durable data
+      (unwritten tail bytes may read back zero, never garbage; overwritten
+      windows read old-or-new per byte);
+    - everything else (the bystander, other files, directories): exact;
+    - the Vista store: exactly the last committed transaction, or the
+      in-flight one (old-or-new), with an empty undo log after
+      {!Rio_txn.Vista.recover}. *)
+
+val root : string
+(** ["/fuzz"] — the directory every program grows under. *)
+
+val keep_path : string
+(** The bystander file planted by {!setup}; no generated op touches it. *)
+
+val ledger_path : string
+(** The Vista store {!setup} plants (undo log at [ledger_path ^ ".undo"]). *)
+
+val gen_spec : Rio_workload.Script.Gen.spec
+(** The generator spec the fuzzer uses (rooted at {!root}). *)
+
+type world = { fs : Rio_fs.Fs.t; store : Rio_txn.Vista.t }
+
+val setup : Rio_fs.Fs.t -> world
+(** Plant the root directory, the bystander file, and the Vista store
+    (one committed transaction). Run before arming the probe. *)
+
+val exec : world -> Rio_workload.Script.Gen.op -> unit
+(** Execute one op. Raises {!Rio_fs.Fs_types.Fs_error} when the op is
+    invalid against the current tree (shrunk sub-programs only; generated
+    programs are valid by construction). *)
+
+val check : Rio_fs.Fs.t -> ops:Rio_workload.Script.Gen.op list -> in_flight:int -> string list
+(** Audit a recovered file system against the model of [ops], where the
+    crash interrupted [ops.(in_flight)]. Returns human-readable problems;
+    [[]] means every contract held. Runs {!Rio_txn.Vista.recover} as part
+    of the audit (the store check needs a recovered store). *)

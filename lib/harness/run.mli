@@ -1,13 +1,15 @@
 (** The unified harness Run API.
 
     Every harness entry point ({!Reliability.run}, {!Performance.run},
-    {!Ablation.run}, {!Vista_experiment.run}, and {!Rio_check}'s explorer)
-    takes one {!config} record instead of a per-function spread of optional
-    arguments. The fields mean the same thing everywhere:
+    {!Ablation.run}, {!Vista_experiment.run}, {!Rio_check}'s explorer, and
+    {!Rio_fuzz}'s fuzzer) takes one {!config} record instead of a
+    per-function spread of optional arguments. The fields mean the same
+    thing everywhere:
 
     - [seed] — base seed; every run is a pure function of it.
     - [trials] — how many completed crash tests (or transactions, sweep
-      steps, ...) each cell needs. Exhaustive experiments ignore it.
+      steps, fuzz programs, ...) each cell needs. Exhaustive experiments
+      ignore it.
     - [scale] — workload scale factor (1.0 = the paper's sizes).
     - [domains] — worker domains for {!Rio_parallel.Pool}; results are
       merged in seed order, so any value yields byte-identical output.

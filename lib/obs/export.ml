@@ -35,6 +35,8 @@ let args_of_kind (kind : Trace.kind) =
     [ ("message", Json.Str message); ("during", Json.Str during) ]
   | Trace.Phase { name; start_us; end_us } ->
     [ ("name", Json.Str name); ("start_us", Json.Int start_us); ("end_us", Json.Int end_us) ]
+  | Trace.Swap_dump { dumped; truncated } ->
+    [ ("dumped", Json.Int dumped); ("truncated", Json.Int truncated) ]
   | Trace.Mark note -> [ ("note", Json.Str note) ]
 
 let event_json (e : Trace.event) =
@@ -143,6 +145,8 @@ let chrome_event (e : Trace.event) =
   | Trace.Activity { name; start_us; end_us } -> span name start_us end_us
   | Trace.Crash { message; _ } -> instant ("CRASH: " ^ message)
   | Trace.Phase { name; start_us; end_us } -> span name start_us end_us
+  | Trace.Swap_dump { truncated; _ } ->
+    instant (if truncated > 0 then "swap dump (truncated)" else "swap dump")
   | Trace.Mark note -> instant note
 
 let thread_metadata sub =

@@ -7,6 +7,7 @@ type t = {
   checksum_mismatches : int;
   crash : (int * string * string) option;
   phases : (string * int * int) list;
+  swap_dump : (int * int * int) option;
   snapshot : Trace.snapshot;
 }
 
@@ -19,6 +20,7 @@ let summarize recorder =
   let mismatches = ref 0 in
   let crash = ref None in
   let phases = ref [] in
+  let swap_dump = ref None in
   List.iter
     (fun (e : Trace.event) ->
       match e.Trace.kind with
@@ -34,6 +36,8 @@ let summarize recorder =
       | Trace.Crash { message; during } ->
         if !crash = None then crash := Some (e.Trace.ts_us, message, during)
       | Trace.Phase { name; start_us; end_us } -> phases := (name, start_us, end_us) :: !phases
+      | Trace.Swap_dump { dumped; truncated } ->
+        swap_dump := Some (e.Trace.ts_us, dumped, truncated)
       | Trace.Dispatch _ | Trace.Clock _ | Trace.Disk_request _ | Trace.Protection_toggle _
       | Trace.Registry_update _ | Trace.Shadow_flip _ | Trace.Activity _ | Trace.Mark _ -> ())
     (Trace.events recorder);
@@ -46,6 +50,7 @@ let summarize recorder =
     checksum_mismatches = !mismatches;
     crash = !crash;
     phases = List.rev !phases;
+    swap_dump = !swap_dump;
     snapshot = Trace.snapshot recorder;
   }
 
@@ -84,6 +89,12 @@ let narrative t =
     (fun (name, start_us, end_us) ->
       add "t=%s  recovery phase '%s' (%s)" (us start_us) name (us (end_us - start_us)))
     t.phases;
+  (match t.swap_dump with
+  | Some (ts, dumped, truncated) when truncated > 0 ->
+    add "t=%s  swap dump TRUNCATED: %s written, %s did not fit the swap partition" (us ts)
+      (Format.asprintf "%a" Rio_util.Units.pp_bytes dumped)
+      (Format.asprintf "%a" Rio_util.Units.pp_bytes truncated)
+  | Some _ | None -> ());
   if t.checksum_mismatches > 0 then
     add "checksums caught %d corrupted buffer(s) during verification" t.checksum_mismatches;
   List.rev !lines

@@ -15,6 +15,9 @@ type t = {
   checksum_mismatches : int;
   crash : (int * string * string) option;  (** (sim µs, message, during). *)
   phases : (string * int * int) list;  (** Warm-reboot spans (name, start, end). *)
+  swap_dump : (int * int * int) option;
+      (** (sim µs, dumped bytes, truncated bytes) of the warm reboot's
+          memory dump — [truncated > 0] explains a partial dump. *)
   snapshot : Trace.snapshot;
 }
 

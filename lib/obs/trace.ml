@@ -33,6 +33,7 @@ type kind =
   | Activity of { name : string; start_us : int; end_us : int }
   | Crash of { message : string; during : string }
   | Phase of { name : string; start_us : int; end_us : int }
+  | Swap_dump of { dumped : int; truncated : int }
   | Mark of string
 
 let kind_label = function
@@ -49,6 +50,7 @@ let kind_label = function
   | Activity _ -> "activity"
   | Crash _ -> "crash"
   | Phase _ -> "phase"
+  | Swap_dump _ -> "swap_dump"
   | Mark _ -> "mark"
 
 type event = { ts_us : int; sub : subsystem; kind : kind }

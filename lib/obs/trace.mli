@@ -57,6 +57,9 @@ type kind =
   | Crash of { message : string; during : string }
   | Phase of { name : string; start_us : int; end_us : int }
       (** A named span: warm-reboot steps (dump, registry, fsck, sweep). *)
+  | Swap_dump of { dumped : int; truncated : int }
+      (** The warm reboot's memory dump reached swap: [dumped] bytes
+          written, [truncated] bytes that did not fit the swap partition. *)
   | Mark of string  (** Free-form instant annotation. *)
 
 val kind_label : kind -> string

@@ -109,6 +109,11 @@ let find t ~home_paddr =
   | Some slot -> read_slot t slot
 
 let register t ~home_paddr ~dev ~ino ~offset ~size ~blkno ~kind ~checksum =
+  (* The slot stores dev in 16 bits; silently truncating a wider value
+     would register the buffer under the wrong device and make the
+     warm-reboot restore it to the wrong volume. *)
+  if dev < 0 || dev > 0xFFFF then
+    Rio_fs.Fs_types.err "registry: dev %d out of 16-bit range" dev;
   let entry =
     { paddr = home_paddr; home_paddr; dev; ino; offset; size; blkno; kind;
       changing = false; checksum }
@@ -172,6 +177,7 @@ let plausible ~mem_bytes e =
   page_ok e.home_paddr && page_ok e.paddr
   && e.size >= 0
   && e.size <= Phys_mem.page_size
+  && e.dev >= 0 && e.dev <= 0xFFFF
   && e.ino >= 0 && e.ino < 1 lsl 24
   && e.offset >= 0
   && e.offset < 1 lsl 30

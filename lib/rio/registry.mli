@@ -57,7 +57,9 @@ val register :
   kind:kind ->
   checksum:int ->
   unit
-(** Add or update the entry for a page. *)
+(** Add or update the entry for a page. Raises {!Rio_fs.Fs_types.Fs_error}
+    if [dev] does not fit the slot's 16-bit field — truncating it would
+    register the buffer under the wrong device. *)
 
 val unregister : t -> home_paddr:int -> unit
 (** Remove the entry for a page (no-op if absent). *)
@@ -82,6 +84,12 @@ type parse_result = {
       (** Slots that were neither free nor parseable — registry corruption. *)
 }
 
+val plausible : mem_bytes:int -> entry -> bool
+(** Field-by-field validation of a parsed entry against the machine's
+    geometry (page-aligned addresses in range, size within a page, [dev]
+    within its 16-bit encoding, bounded ino/offset/blkno). Entries that
+    fail are counted as corrupt slots by {!parse_image}. *)
+
 val parse_image : image:bytes -> region:Rio_mem.Layout.region -> mem_bytes:int -> parse_result
 (** Recover entries from a raw memory dump, validating every field against
-    the machine's geometry. *)
+    the machine's geometry with {!plausible}. *)

@@ -54,11 +54,18 @@ let install_hooks t (hooks : Hooks.t) =
         | Fs_types.Data { ino; offset } -> (Registry.Data_buffer, ino, offset)
       in
       let size = max 0 (min valid Phys_mem.page_size) in
-      (* Recompute the checksum only when the coverage changed; close_write
-         refreshes it after every content change anyway. *)
+      (* Reuse the cached checksum only when the mapping is unchanged: same
+         identity (ino, offset, blkno, kind) and same coverage, and not
+         mid-write. A recycled buffer page keeps its size but carries new
+         content for a new block — reusing the old checksum there would
+         brand the fresh content a corruption (or mask a real one). *)
       let checksum =
         match Registry.find t.registry ~home_paddr:paddr with
-        | Some e when e.Registry.size = size && not e.Registry.changing -> e.Registry.checksum
+        | Some e
+          when e.Registry.size = size && not e.Registry.changing
+               && e.Registry.ino = ino && e.Registry.offset = offset
+               && e.Registry.blkno = blkno && e.Registry.kind = kind ->
+          e.Registry.checksum
         | Some _ | None -> checksum_of t ~paddr ~size
       in
       Registry.register t.registry ~home_paddr:paddr ~dev:t.dev ~ino ~offset ~size ~blkno ~kind

@@ -15,6 +15,8 @@ type verify = {
 type report = {
   registry_entries : int;
   corrupt_registry_slots : int;
+  swap_dumped_bytes : int;
+  swap_truncated_bytes : int;
   meta_restored : int;
   meta_skipped : int;
   data_restored : int;
@@ -34,7 +36,7 @@ let read_superblock_opt disk =
 
 let dump_to_swap ~disk ~image =
   match read_superblock_opt disk with
-  | None -> ()
+  | None -> (0, Bytes.length image)
   | Some sb ->
     let swap_bytes = sb.Ondisk.swap_sectors * Disk.sector_bytes in
     let len = min (Bytes.length image) swap_bytes in
@@ -47,7 +49,8 @@ let dump_to_swap ~disk ~image =
         ~sector:(sb.Ondisk.swap_start + (!pos / Disk.sector_bytes))
         (Bytes.sub image !pos n);
       pos := !pos + n
-    done
+    done;
+    (len, Bytes.length image - len)
 
 let parse_registry ~image ~layout =
   Registry.parse_image ~image ~region:(Layout.region layout Layout.Registry)
@@ -127,7 +130,12 @@ let perform ~mem ~disk ~layout ~engine ~reboot =
   in
   let t0 = Engine.now engine in
   let image = phase "warm-reboot: capture" (fun () -> capture mem) in
-  phase "warm-reboot: dump to swap" (fun () -> dump_to_swap ~disk ~image);
+  let swap_dumped_bytes, swap_truncated_bytes =
+    phase "warm-reboot: dump to swap" (fun () -> dump_to_swap ~disk ~image)
+  in
+  if Trace.enabled obs then
+    Trace.emit obs Trace.Rio
+      (Trace.Swap_dump { dumped = swap_dumped_bytes; truncated = swap_truncated_bytes });
   let parsed = phase "warm-reboot: parse registry" (fun () -> parse_registry ~image ~layout) in
   let meta_entries, data_entries = split_entries parsed.Registry.entries in
   let meta_verify, data_verify =
@@ -147,6 +155,8 @@ let perform ~mem ~disk ~layout ~engine ~reboot =
   {
     registry_entries = List.length parsed.Registry.entries;
     corrupt_registry_slots = parsed.Registry.corrupt_slots;
+    swap_dumped_bytes;
+    swap_truncated_bytes;
     meta_restored;
     meta_skipped;
     data_restored;

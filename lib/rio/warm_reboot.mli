@@ -30,6 +30,11 @@ type verify = {
 type report = {
   registry_entries : int;
   corrupt_registry_slots : int;
+  swap_dumped_bytes : int;  (** Bytes of the memory image written to swap. *)
+  swap_truncated_bytes : int;
+      (** Bytes that did not fit the swap partition (0 = complete dump).
+          A partial dump is survivable — recovery proceeds from the
+          in-memory image — but it must be visible, not silent. *)
   meta_restored : int;
   meta_skipped : int;  (** Implausible disk address — not written. *)
   data_restored : int;
@@ -43,10 +48,12 @@ type report = {
 val capture : Rio_mem.Phys_mem.t -> bytes
 (** Snapshot all of physical memory. *)
 
-val dump_to_swap : disk:Rio_disk.Disk.t -> image:bytes -> unit
-(** Write the image to the swap partition (timed, synchronous). Best
-    effort: silently skipped if the superblock is unreadable (the volume is
-    lost anyway). *)
+val dump_to_swap : disk:Rio_disk.Disk.t -> image:bytes -> int * int
+(** Write the image to the swap partition (timed, synchronous). Returns
+    [(dumped, truncated)] byte counts: [truncated > 0] means the image did
+    not fit the swap partition and only a prefix was written. Best effort:
+    skipped entirely — [(0, length image)] — if the superblock is
+    unreadable (the volume is lost anyway). *)
 
 val parse_registry :
   image:bytes -> layout:Rio_mem.Layout.t -> Registry.parse_result

@@ -14,12 +14,14 @@ let percentile xs p =
   assert (Array.length xs > 0);
   assert (p >= 0. && p <= 100.);
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  (* Float.compare, not polymorphic compare: a total order even when NaN
+     slips in (NaN sorts first, so upper percentiles stay meaningful). *)
+  Array.sort Float.compare sorted;
   let n = Array.length sorted in
   if n = 1 then sorted.(0)
   else
     let rank = p /. 100. *. float_of_int (n - 1) in
-    let lo = int_of_float (Float.of_int (int_of_float rank)) in
+    let lo = int_of_float rank in
     let hi = min (lo + 1) (n - 1) in
     let frac = rank -. float_of_int lo in
     sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))

@@ -149,3 +149,136 @@ let pp_stats ppf s =
     s.operations s.opens_write s.opens_read Rio_util.Units.pp_bytes s.bytes_written
     s.whole_file_reads s.mkdirs s.unlinks s.rmdirs s.stats_calls s.renames
     Rio_util.Units.pp_usec s.cpu_us
+
+(* ---------------- random program generation ---------------- *)
+
+module Gen = struct
+  module Prng = Rio_util.Prng
+  module Pattern = Rio_util.Pattern
+
+  type op =
+    | Creat of { path : string; seed : int; len : int }
+    | Append of { path : string; seed : int; len : int }
+    | Overwrite of { path : string; offset : int; seed : int; len : int }
+    | Mkdir of string
+    | Unlink of string
+    | Rename of { src : string; dst : string }
+    | Vista_txn of { seed : int }
+
+  type spec = { root : string; max_len : int; max_dirs : int; vista : bool }
+
+  let default_spec ~root = { root; max_len = 6000; max_dirs = 4; vista = true }
+
+  let describe = function
+    | Creat { path; seed; len } -> Printf.sprintf "creat %s (%d B, seed %#x)" path len seed
+    | Append { path; seed; len } -> Printf.sprintf "append %s (+%d B, seed %#x)" path len seed
+    | Overwrite { path; offset; seed; len } ->
+      Printf.sprintf "overwrite %s [%d,%d) (seed %#x)" path offset (offset + len) seed
+    | Mkdir path -> "mkdir " ^ path
+    | Unlink path -> "unlink " ^ path
+    | Rename { src; dst } -> Printf.sprintf "rename %s -> %s" src dst
+    | Vista_txn { seed } -> Printf.sprintf "vista-txn (seed %#x)" seed
+
+  (* Generation walks the same growing tree the program will build, so
+     every emitted op is valid when executed in order from an empty root:
+     creat/rename targets are fresh names, append/overwrite/unlink/rename
+     sources exist, mkdir parents exist. *)
+  let generate ~prng spec ~ops =
+    let dirs = ref [ spec.root ] in
+    let files = ref [] (* (path, current length), newest first *) in
+    let next_file = ref 0 and next_dir = ref 0 in
+    let fresh_file_name () =
+      let n = !next_file in
+      incr next_file;
+      Printf.sprintf "f%d" n
+    in
+    let pick xs = List.nth xs (Prng.int prng (List.length xs)) in
+    let seed () = Prng.int prng 0x1000000 in
+    let gen_one () =
+      let writable = List.filter (fun (_, len) -> len > 0) !files in
+      let cands =
+        [ (`Creat, 3.0) ]
+        @ (if !files <> [] then [ (`Append, 1.5); (`Unlink, 1.0); (`Rename, 1.0) ] else [])
+        @ (if writable <> [] then [ (`Overwrite, 1.5) ] else [])
+        @ (if List.length !dirs < spec.max_dirs then [ (`Mkdir, 1.0) ] else [])
+        @ if spec.vista then [ (`Vista, 0.8) ] else []
+      in
+      match Prng.choose_weighted prng (Array.of_list cands) with
+      | `Creat ->
+        let path = Filename.concat (pick !dirs) (fresh_file_name ()) in
+        let len = 1 + Prng.int prng spec.max_len in
+        files := (path, len) :: !files;
+        Creat { path; seed = seed (); len }
+      | `Append ->
+        let path, old_len = pick !files in
+        let len = 1 + Prng.int prng spec.max_len in
+        files := (path, old_len + len) :: List.remove_assoc path !files;
+        Append { path; seed = seed (); len }
+      | `Overwrite ->
+        let path, flen = pick writable in
+        let offset = Prng.int prng flen in
+        let len = 1 + Prng.int prng (flen - offset) in
+        Overwrite { path; offset; seed = seed (); len }
+      | `Mkdir ->
+        let path = Filename.concat (pick !dirs) (Printf.sprintf "d%d" !next_dir) in
+        incr next_dir;
+        dirs := !dirs @ [ path ];
+        Mkdir path
+      | `Unlink ->
+        let path, _ = pick !files in
+        files := List.remove_assoc path !files;
+        Unlink path
+      | `Rename ->
+        let src, len = pick !files in
+        let dst = Filename.concat (pick !dirs) (fresh_file_name ()) in
+        files := (dst, len) :: List.remove_assoc src !files;
+        Rename { src; dst }
+      | `Vista -> Vista_txn { seed = seed () }
+    in
+    List.init ops (fun _ -> gen_one ())
+
+  (* The reference model: expected post-state of a program prefix. Raises
+     [Not_found] when the prefix is not self-contained (an op uses a file a
+     removed op would have created) — the shrinker treats that as an
+     invalid candidate. *)
+  module Model = struct
+    type t = {
+      files : (string, bytes) Hashtbl.t;
+      mutable dirs : string list;
+      mutable vista : int option;  (** Seed of the last committed transaction. *)
+    }
+
+    let create ~root = { files = Hashtbl.create 16; dirs = [ root ]; vista = None }
+
+    let copy t = { files = Hashtbl.copy t.files; dirs = t.dirs; vista = t.vista }
+
+    let find t path =
+      match Hashtbl.find_opt t.files path with Some b -> b | None -> raise Not_found
+
+    let apply t = function
+      | Creat { path; seed; len } -> Hashtbl.replace t.files path (Pattern.fill ~seed ~len)
+      | Append { path; seed; len } ->
+        Hashtbl.replace t.files path (Bytes.cat (find t path) (Pattern.fill ~seed ~len))
+      | Overwrite { path; offset; seed; len } ->
+        let b = Bytes.copy (find t path) in
+        Bytes.blit (Pattern.fill ~seed ~len) 0 b offset len;
+        Hashtbl.replace t.files path b
+      | Mkdir path -> t.dirs <- t.dirs @ [ path ]
+      | Unlink path ->
+        if not (Hashtbl.mem t.files path) then raise Not_found;
+        Hashtbl.remove t.files path
+      | Rename { src; dst } ->
+        let b = find t src in
+        Hashtbl.remove t.files src;
+        Hashtbl.replace t.files dst b
+      | Vista_txn { seed } -> t.vista <- Some seed
+
+    let after ~root ops =
+      let t = create ~root in
+      List.iter (apply t) ops;
+      t
+
+    let sorted_files t =
+      List.sort compare (Hashtbl.fold (fun path b acc -> (path, b) :: acc) t.files [])
+  end
+end

@@ -74,3 +74,67 @@ val describe : op list -> stats
     Andrew CPU-heavy is visible right here. *)
 
 val pp_stats : Format.formatter -> stats -> unit
+
+(** {1 Random program generation}
+
+    Higher-level, self-describing operations for the crash fuzzer: each
+    carries everything needed to recompute its expected effect (pattern
+    seeds and lengths), so a reference model of the file tree can be folded
+    from the op list alone. The fuzzer owns execution (including Vista
+    transactions); this module owns the shapes, the generator, and the
+    model. *)
+
+module Gen : sig
+  type op =
+    | Creat of { path : string; seed : int; len : int }
+        (** Create a fresh file and write [len] pattern bytes in
+            {!chunk_size} windows. *)
+    | Append of { path : string; seed : int; len : int }
+        (** Extend an existing file with a fresh pattern stream. *)
+    | Overwrite of { path : string; offset : int; seed : int; len : int }
+        (** Rewrite [\[offset, offset+len)] of an existing file in place. *)
+    | Mkdir of string
+    | Unlink of string
+    | Rename of { src : string; dst : string }  (** [dst] is always fresh. *)
+    | Vista_txn of { seed : int }
+        (** Transactionally rewrite the whole Vista store with pattern
+            [seed] (two writes, one commit). *)
+
+  type spec = {
+    root : string;  (** Existing directory the program grows under. *)
+    max_len : int;  (** Max bytes per creat/append/overwrite. *)
+    max_dirs : int;  (** Directory-count cap (root included). *)
+    vista : bool;  (** Whether to emit [Vista_txn] ops. *)
+  }
+
+  val default_spec : root:string -> spec
+
+  val generate : prng:Rio_util.Prng.t -> spec -> ops:int -> op list
+  (** [ops] weighted-random operations over a growing tree, every one valid
+      when executed in order starting from an empty [spec.root]. Pure in
+      the prng state: equal streams yield equal programs. *)
+
+  val describe : op -> string
+  (** One human-readable line, e.g. ["creat /fuzz/f0 (1234 B, seed 0x5a)"]. *)
+
+  (** The reference model: fold ops to the expected file tree. *)
+  module Model : sig
+    type t = {
+      files : (string, bytes) Hashtbl.t;  (** path -> expected contents *)
+      mutable dirs : string list;  (** in creation order, root first *)
+      mutable vista : int option;  (** last committed transaction seed *)
+    }
+
+    val create : root:string -> t
+    val copy : t -> t
+
+    val apply : t -> op -> unit
+    (** Raises [Not_found] when the op references a file the model does not
+        have — how the shrinker detects an invalid sub-program. *)
+
+    val after : root:string -> op list -> t
+
+    val sorted_files : t -> (string * bytes) list
+    (** Deterministic iteration order for checking. *)
+  end
+end

@@ -108,6 +108,49 @@ let test_registry_survives_in_memory () =
   check Alcotest.int "offset" 16384 e.Registry.offset;
   check Alcotest.int "checksum" 77 e.Registry.checksum
 
+let test_registry_dev_bounds () =
+  let _, _, reg = registry_fixture () in
+  (* The slot stores dev in 16 bits; widths the slot cannot hold must be
+     rejected at register time, not silently truncated onto the wrong
+     volume. *)
+  Registry.register reg ~home_paddr:8192 ~dev:0xFFFF ~ino:5 ~offset:0 ~size:8192 ~blkno:10
+    ~kind:Registry.Data_buffer ~checksum:1;
+  (match Registry.find reg ~home_paddr:8192 with
+  | Some e -> check Alcotest.int "widest 16-bit dev survives" 0xFFFF e.Registry.dev
+  | None -> Alcotest.fail "entry missing");
+  List.iter
+    (fun dev ->
+      match
+        Registry.register reg ~home_paddr:16384 ~dev ~ino:5 ~offset:0 ~size:8192 ~blkno:11
+          ~kind:Registry.Data_buffer ~checksum:1
+      with
+      | () -> Alcotest.failf "dev %d accepted" dev
+      | exception Rio_fs.Fs_types.Fs_error _ -> ())
+    [ 0x10000; -1 ];
+  check Alcotest.int "rejected registrations left no entry" 1 (Registry.live_entries reg)
+
+let test_registry_plausible_checks_dev () =
+  let mem_bytes = 4 * 1024 * 1024 in
+  let e =
+    {
+      Registry.paddr = 8192;
+      home_paddr = 8192;
+      dev = 1;
+      ino = 5;
+      offset = 0;
+      size = 100;
+      blkno = 10;
+      kind = Registry.Data_buffer;
+      changing = false;
+      checksum = 1;
+    }
+  in
+  check Alcotest.bool "sane entry plausible" true (Registry.plausible ~mem_bytes e);
+  check Alcotest.bool "dev past 16 bits is corrupt" false
+    (Registry.plausible ~mem_bytes { e with Registry.dev = 0x10000 });
+  check Alcotest.bool "negative dev is corrupt" false
+    (Registry.plausible ~mem_bytes { e with Registry.dev = -1 })
+
 let test_registry_parse_rejects_garbage () =
   let mem, layout, reg = registry_fixture () in
   Registry.register reg ~home_paddr:8192 ~dev:1 ~ino:5 ~offset:0 ~size:8192 ~blkno:10
@@ -249,6 +292,30 @@ let test_no_protection_wild_store_succeeds () =
   check Alcotest.bool "corruption happened and is detectable" true
     (Rio_cache.verify_all_checksums rio > 0)
 
+let test_note_map_remap_refreshes_checksum () =
+  let _, kernel, rio, fs = rio_system ~protection:false () in
+  Fs.write_file fs "/a" (Pattern.fill ~seed:9 ~len:16_384);
+  let entry = ref None in
+  Registry.iter (Rio_cache.registry rio) (fun e ->
+      if
+        !entry = None
+        && e.Registry.kind = Registry.Data_buffer
+        && e.Registry.size = Phys_mem.page_size
+      then entry := Some e);
+  let e = match !entry with Some e -> e | None -> Alcotest.fail "no full data page" in
+  check Alcotest.int "clean before the remap" 0 (Rio_cache.verify_all_checksums rio);
+  (* The cache recycles the buffer for a different block: same page, same
+     valid byte count, but new content under a new (ino, offset, blkno).
+     The registry must re-checksum the fresh content — reusing the cached
+     checksum (the size still matches and nothing is mid-write) would
+     brand the recycled page a corruption. *)
+  Phys_mem.fill (Kernel.mem kernel) e.Registry.home_paddr ~len:Phys_mem.page_size 'Q';
+  (Kernel.hooks kernel).Rio_fs.Hooks.note_map ~paddr:e.Registry.home_paddr
+    ~blkno:(e.Registry.blkno + 1000)
+    ~owner:(Rio_fs.Fs_types.Data { ino = e.Registry.ino + 7; offset = e.Registry.offset + 8192 })
+    ~valid:Phys_mem.page_size;
+  check Alcotest.int "remap refreshed the checksum" 0 (Rio_cache.verify_all_checksums rio)
+
 let test_shadow_update_counted () =
   let _, _, rio, fs = rio_system ~protection:true () in
   Fs.mkdir fs "/dir";
@@ -319,12 +386,28 @@ let test_warm_reboot_dump_written_to_swap () =
   (match Kernel.fs kernel with Some f -> Fs.crash f | None -> ());
   let image = Warm_reboot.capture (Kernel.mem kernel) in
   let t0 = Engine.now engine in
-  Warm_reboot.dump_to_swap ~disk:(Kernel.disk kernel) ~image;
+  let dumped, truncated = Warm_reboot.dump_to_swap ~disk:(Kernel.disk kernel) ~image in
   check Alcotest.bool "dump takes disk time" true (Engine.now engine > t0);
+  check Alcotest.int "whole image dumped" (Bytes.length image) dumped;
+  check Alcotest.int "nothing truncated" 0 truncated;
   (* Spot-check: the first swap sector holds the first bytes of memory. *)
   let sb = Rio_fs.Ondisk.read_superblock (Rio_disk.Disk.peek (Kernel.disk kernel) ~sector:0) in
   let sector = Rio_disk.Disk.peek (Kernel.disk kernel) ~sector:sb.Rio_fs.Ondisk.swap_start in
   check Alcotest.bytes "swap holds the image prefix" (Bytes.sub image 0 512) sector
+
+let test_warm_reboot_dump_truncation_reported () =
+  let _, kernel, _, fs = rio_system ~protection:false () in
+  Fs.write_file fs "/x" (Bytes.of_string "dumped");
+  (match Kernel.fs kernel with Some f -> Fs.crash f | None -> ());
+  (* An image bigger than the swap partition: the dump must say exactly
+     how much was written and how much fell off the end, not pretend the
+     crash dump is whole. *)
+  let sb = Rio_fs.Ondisk.read_superblock (Rio_disk.Disk.peek (Kernel.disk kernel) ~sector:0) in
+  let swap_bytes = sb.Rio_fs.Ondisk.swap_sectors * Rio_disk.Disk.sector_bytes in
+  let image = Bytes.make (swap_bytes + 4096) 'Z' in
+  let dumped, truncated = Warm_reboot.dump_to_swap ~disk:(Kernel.disk kernel) ~image in
+  check Alcotest.int "dump fills the swap" swap_bytes dumped;
+  check Alcotest.int "overflow accounted" 4096 truncated
 
 let () =
   Alcotest.run "rio_core"
@@ -336,6 +419,8 @@ let () =
           Alcotest.test_case "unregister" `Quick test_registry_unregister;
           Alcotest.test_case "changing + redirect" `Quick test_registry_changing_and_redirect;
           Alcotest.test_case "parse from image" `Quick test_registry_survives_in_memory;
+          Alcotest.test_case "dev bounds enforced" `Quick test_registry_dev_bounds;
+          Alcotest.test_case "plausible checks dev" `Quick test_registry_plausible_checks_dev;
           Alcotest.test_case "parse rejects garbage" `Quick test_registry_parse_rejects_garbage;
           QCheck_alcotest.to_alcotest prop_registry_parse_never_crashes;
         ] );
@@ -356,11 +441,15 @@ let () =
           Alcotest.test_case "no protection lets it through" `Quick
             test_no_protection_wild_store_succeeds;
           Alcotest.test_case "shadow updates counted" `Quick test_shadow_update_counted;
+          Alcotest.test_case "remap refreshes checksum" `Quick
+            test_note_map_remap_refreshes_checksum;
         ] );
       ( "warm_reboot",
         [
           Alcotest.test_case "recovers everything" `Quick test_warm_reboot_recovers_everything;
           Alcotest.test_case "detects corruption" `Quick test_warm_reboot_detects_corruption;
           Alcotest.test_case "dump to swap" `Quick test_warm_reboot_dump_written_to_swap;
+          Alcotest.test_case "dump truncation reported" `Quick
+            test_warm_reboot_dump_truncation_reported;
         ] );
     ]

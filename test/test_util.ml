@@ -132,6 +132,25 @@ let test_percentile_median () =
   check feq "p0 is min" 1. (Stats.percentile [| 3.; 1.; 2. |] 0.);
   check feq "p100 is max" 3. (Stats.percentile [| 3.; 1.; 2. |] 100.)
 
+let test_percentile_edges () =
+  check feq "singleton, any p" 7. (Stats.percentile [| 7. |] 33.);
+  check feq "interpolates" 1.5 (Stats.percentile [| 1.; 2. |] 50.);
+  check feq "p100 lands exactly on the last rank" 4. (Stats.percentile [| 4.; 2.; 1.; 3. |] 100.);
+  (* Already-sorted input must not be mutated. *)
+  let xs = [| 1.; 2.; 3. |] in
+  ignore (Stats.percentile xs 50.);
+  check (Alcotest.array feq) "input untouched" [| 1.; 2.; 3. |] xs
+
+let test_percentile_nan () =
+  (* Float.compare gives NaN a definite place (it sorts first), so a NaN
+     sample cannot scramble the order of the real values the way
+     polymorphic compare could: upper percentiles stay meaningful. *)
+  check feq "p100 ignores the NaN" 3. (Stats.percentile [| nan; 3.; 1.; 2. |] 100.);
+  (* Sorted: [nan; 1; 2; 3] — the median interpolates between 1 and 2. *)
+  check feq "median of 3 reals + NaN" 1.5 (Stats.percentile [| 2.; nan; 3.; 1. |] 50.);
+  check Alcotest.bool "p0 is the NaN itself" true
+    (Float.is_nan (Stats.percentile [| nan; 3.; 1.; 2. |] 0.))
+
 let test_wilson () =
   let lo, hi = Stats.wilson_interval 0 0 in
   check feq "empty lo" 0. lo;
@@ -222,6 +241,8 @@ let () =
           Alcotest.test_case "mean" `Quick test_mean;
           Alcotest.test_case "stddev" `Quick test_stddev;
           Alcotest.test_case "percentiles" `Quick test_percentile_median;
+          Alcotest.test_case "percentile edges" `Quick test_percentile_edges;
+          Alcotest.test_case "percentile with NaN" `Quick test_percentile_nan;
           Alcotest.test_case "wilson interval" `Quick test_wilson;
           Alcotest.test_case "summarize" `Quick test_summarize;
         ] );
