@@ -5,14 +5,27 @@ module Vista = Rio_txn.Vista
 
 exception Crash_here
 
+(* What the probe froze at the tripped boundary. The reference path keeps
+   the full 16 MB image; the fast path keeps a copy-on-write snapshot
+   (O(1) to take, O(pages dirtied afterwards) to restore) plus the
+   composed torn page, if the boundary was a torn variant. *)
+type capture =
+  | Image of bytes
+  | Snap of { snap : Phys_mem.snapshot; torn : (int * bytes) option }
+
+(* A torn boundary half-applies one page's pending stores; [None] is an
+   intact crash. *)
+type torn_spec = { ts_page : int; ts_pre : bytes; ts_keep_first : bool }
+
 type t = {
   mem : Phys_mem.t;
   obs : Trace.t;
+  fast : bool;
   mutable armed : bool;
   mutable next : int;
   mutable trip_at : int;
   mutable labels_rev : string list;
-  mutable image : bytes option;
+  mutable capture : capture option;
   mutable tripped : string option;
   (* Page pre-images captured at open_write, for torn-store composition. *)
   pre_images : (int, bytes) Hashtbl.t;
@@ -22,26 +35,33 @@ type t = {
   copied : (int, unit) Hashtbl.t;
 }
 
-let create ~mem ~obs =
+let create ?(fast = Rio_util.Fastpath.on ()) ~mem ~obs () =
   {
     mem;
     obs;
+    fast;
     armed = false;
     next = 0;
     trip_at = -1;
     labels_rev = [];
-    image = None;
+    capture = None;
     tripped = None;
     pre_images = Hashtbl.create 16;
     copied = Hashtbl.create 16;
   }
+
+let drop_capture t =
+  (match t.capture with
+  | Some (Snap { snap; _ }) -> Phys_mem.release t.mem snap
+  | Some (Image _) | None -> ());
+  t.capture <- None
 
 let arm t ~trip_at =
   t.armed <- true;
   t.next <- 0;
   t.trip_at <- trip_at;
   t.labels_rev <- [];
-  t.image <- None;
+  drop_capture t;
   t.tripped <- None;
   Hashtbl.reset t.pre_images;
   Hashtbl.reset t.copied
@@ -49,13 +69,29 @@ let arm t ~trip_at =
 let disarm t = t.armed <- false
 let emitted t = t.next
 let labels t = List.rev t.labels_rev
-let crash_image t = t.image
+let has_crash_image t = t.capture <> None
 let tripped_label t = t.tripped
 
-(* One boundary. [compose] edits the captured image (torn pages); the dump
-   happens before the raise so unwind-path cleanup (Rio's shadow
-   disengage) cannot launder the crash state. *)
-let emit t label compose =
+(* Half-apply the page's pending stores: of the bytes that differ between
+   the pre-image and the current content [cur], [/lo] keeps the first half
+   new (reverting the rest), [/hi] keeps the second half. Mutates [cur]
+   into the composed page. *)
+let compose_torn_page ~pre ~keep_first cur =
+  let changed = ref [] in
+  for i = Phys_mem.page_size - 1 downto 0 do
+    if Bytes.get pre i <> Bytes.get cur i then changed := i :: !changed
+  done;
+  let changed = Array.of_list !changed in
+  let half = (Array.length changed + 1) / 2 in
+  Array.iteri
+    (fun k idx ->
+      let revert = if keep_first then k >= half else k < half in
+      if revert then Bytes.set cur idx (Bytes.get pre idx))
+    changed
+
+(* One boundary. The capture happens before the raise so unwind-path
+   cleanup (Rio's shadow disengage) cannot launder the crash state. *)
+let emit t label torn =
   if t.armed then begin
     let i = t.next in
     t.next <- i + 1;
@@ -63,36 +99,53 @@ let emit t label compose =
     if Trace.enabled t.obs then
       Trace.emit t.obs Trace.Harness (Trace.Mark (Printf.sprintf "crashpoint %d %s" i label));
     if i = t.trip_at then begin
-      let image = Phys_mem.dump t.mem in
-      compose image;
-      t.image <- Some image;
+      (if t.fast then begin
+         (* Compose the torn page against live memory (the snapshot has
+            no writes yet, so live memory is the snapshot content). *)
+         let torn =
+           match torn with
+           | None -> None
+           | Some { ts_page; ts_pre; ts_keep_first } ->
+             let cur = Phys_mem.blit_out t.mem ts_page ~len:Phys_mem.page_size in
+             compose_torn_page ~pre:ts_pre ~keep_first:ts_keep_first cur;
+             Some (ts_page, cur)
+         in
+         t.capture <- Some (Snap { snap = Phys_mem.snapshot t.mem; torn })
+       end
+       else begin
+         let image = Phys_mem.dump t.mem in
+         (match torn with
+         | None -> ()
+         | Some { ts_page; ts_pre; ts_keep_first } ->
+           let cur = Bytes.sub image ts_page Phys_mem.page_size in
+           compose_torn_page ~pre:ts_pre ~keep_first:ts_keep_first cur;
+           Bytes.blit cur 0 image ts_page Phys_mem.page_size);
+         t.capture <- Some (Image image)
+       end);
       t.tripped <- Some label;
       raise Crash_here
     end
   end
 
-let intact _image = ()
-let hit t label = emit t label intact
-
-(* Half-apply the page's pending stores: of the bytes that differ between
-   the pre-image and the current content, [/lo] keeps the first half new
-   (reverting the rest), [/hi] keeps the second half. *)
-let torn_compose ~page ~pre ~keep_first image =
-  let changed = ref [] in
-  for i = Phys_mem.page_size - 1 downto 0 do
-    if Bytes.get pre i <> Bytes.get image (page + i) then changed := i :: !changed
-  done;
-  let changed = Array.of_list !changed in
-  let half = (Array.length changed + 1) / 2 in
-  Array.iteri
-    (fun k idx ->
-      let revert = if keep_first then k >= half else k < half in
-      if revert then Bytes.set image (page + idx) (Bytes.get pre idx))
-    changed
+let hit t label = emit t label None
 
 let hit_torn t label ~page ~pre =
-  emit t (label ^ "/lo") (torn_compose ~page ~pre ~keep_first:true);
-  emit t (label ^ "/hi") (torn_compose ~page ~pre ~keep_first:false)
+  emit t (label ^ "/lo") (Some { ts_page = page; ts_pre = pre; ts_keep_first = true });
+  emit t (label ^ "/hi") (Some { ts_page = page; ts_pre = pre; ts_keep_first = false })
+
+(* Put memory into the captured crash state (what the old full-image
+   restore_dump did, in O(pages dirtied since the trip) on the fast
+   path). Single-shot: the fast capture is consumed by restoring it. *)
+let restore_crash_image t =
+  match t.capture with
+  | None -> invalid_arg "Boundary.restore_crash_image: no boundary tripped"
+  | Some (Image image) -> Phys_mem.restore_dump t.mem image
+  | Some (Snap { snap; torn }) ->
+    Phys_mem.restore t.mem snap;
+    (match torn with
+    | Some (page, composed) -> Phys_mem.blit_in t.mem page composed
+    | None -> ());
+    t.capture <- None
 
 let page_of paddr = paddr - (paddr mod Phys_mem.page_size)
 

@@ -25,13 +25,19 @@
 
 exception Crash_here
 (** The modelled crash. Raised by an armed probe at its trip ordinal;
-    the machine state of record is {!crash_image}, not live memory. *)
+    the machine state of record is the capture ({!restore_crash_image}),
+    not live memory. *)
 
 type t
 
-val create : mem:Rio_mem.Phys_mem.t -> obs:Rio_obs.Trace.t -> t
+val create : ?fast:bool -> mem:Rio_mem.Phys_mem.t -> obs:Rio_obs.Trace.t -> unit -> t
 (** A disarmed probe. When [obs] is live, every boundary hit while armed
-    is also emitted as a [Mark] event (for counterexample narratives). *)
+    is also emitted as a [Mark] event (for counterexample narratives).
+
+    [fast] (default {!Rio_util.Fastpath.on}) selects the capture
+    representation: a copy-on-write {!Rio_mem.Phys_mem.snapshot} (O(1) at
+    the trip, O(pages dirtied afterwards) to restore) instead of a full
+    memory dump. Byte-for-byte the same restored state either way. *)
 
 val arm : t -> trip_at:int -> unit
 (** Start numbering boundaries from 0. [trip_at = -1] counts without ever
@@ -48,9 +54,16 @@ val emitted : t -> int
 val labels : t -> string list
 (** Labels of the boundaries seen while armed, in ordinal order. *)
 
-val crash_image : t -> bytes option
-(** The physical-memory image captured at the tripped boundary (with any
-    torn-page composition already applied); [None] if nothing tripped. *)
+val has_crash_image : t -> bool
+(** Whether a boundary tripped and its capture is still held. *)
+
+val restore_crash_image : t -> unit
+(** Put physical memory into the state captured at the tripped boundary
+    (with any torn-page composition already applied) — the moral
+    equivalent of [Phys_mem.restore_dump mem (dump-at-trip)], in O(pages
+    dirtied since the trip) on the fast path. Raises [Invalid_argument]
+    if nothing tripped. The fast capture is consumed: a second restore of
+    the same trip raises. *)
 
 val tripped_label : t -> string option
 

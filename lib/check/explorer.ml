@@ -82,7 +82,7 @@ let run_trial ?(obs = Trace.null) ~spec ~seed scenario ~trip =
   Kernel.format kernel;
   make_rio ~spec kernel;
   let fs = Kernel.mount kernel ~policy:Fs.Rio_policy in
-  let probe = Boundary.create ~mem:(Kernel.mem kernel) ~obs in
+  let probe = Boundary.create ~mem:(Kernel.mem kernel) ~obs () in
   Boundary.instrument_hooks probe (Kernel.hooks kernel);
   Boundary.instrument_disk probe (Kernel.disk kernel);
   scenario.Scenario.setup fs;
@@ -94,13 +94,17 @@ let run_trial ?(obs = Trace.null) ~spec ~seed scenario ~trip =
   in
   Boundary.disarm probe;
   let trial_labels = Boundary.labels probe in
-  if not crashed then { trial_labels; outcome = Completed }
+  (* The world dies with the trial record: recycle its memory (the warm
+     reboot reuses the same buffer, so one retire covers both kernels). *)
+  let finish tr =
+    Phys_mem.retire (Kernel.mem kernel);
+    tr
+  in
+  if not crashed then finish { trial_labels; outcome = Completed }
   else begin
-    let image =
-      match Boundary.crash_image probe with Some i -> i | None -> assert false
-    in
+    assert (Boundary.has_crash_image probe);
     Fs.crash fs;
-    Phys_mem.restore_dump (Kernel.mem kernel) image;
+    Boundary.restore_crash_image probe;
     let recovered = ref None in
     ignore
       (Warm_reboot.perform ~mem:(Kernel.mem kernel) ~disk:(Kernel.disk kernel)
@@ -120,7 +124,7 @@ let run_trial ?(obs = Trace.null) ~spec ~seed scenario ~trip =
       try scenario.Scenario.check fs2
       with Fs_types.Fs_error m -> [ "recovery check raised: " ^ m ]
     in
-    { trial_labels; outcome = Crashed problems }
+    finish { trial_labels; outcome = Crashed problems }
   end
 
 (* ---------------- the exhaustive run ---------------- *)

@@ -9,6 +9,19 @@ type trap =
 
 type state = Running | Halted | Trapped of trap
 
+(* One page's worth of pre-decoded instructions. [dver] is the Phys_mem
+   page version the decode is valid for: any store into the page bumps the
+   version, and the next fetch from it re-decodes — which is exactly the
+   semantics of fetching through the data bytes, just cached. *)
+type dslot = Empty | Ill | I of Isa.t
+
+type dpage = {
+  mutable dver : int;
+  dslots : dslot array;
+}
+
+let words_per_page = Phys_mem.page_size / Isa.word_bytes
+
 type t = {
   mem : Phys_mem.t;
   mmu : Mmu.t;
@@ -18,6 +31,8 @@ type t = {
   mutable instructions : int;
   mutable stores : int;
   mutable on_store : (paddr:int -> width:int -> unit) option;
+  fast : bool;
+  dcache : dpage option array; (* by pfn, filled lazily *)
 }
 
 let create ~mem ~mmu =
@@ -30,6 +45,8 @@ let create ~mem ~mmu =
     instructions = 0;
     stores = 0;
     on_store = None;
+    fast = Rio_util.Fastpath.on ();
+    dcache = Array.make (Phys_mem.page_count mem) None;
   }
 
 let mem t = t.mem
@@ -58,6 +75,13 @@ let clear_on_store t = t.on_store <- None
 let trap t trap_value =
   t.state <- Trapped trap_value;
   t.state
+
+(* ---------------- the reference interpreter ----------------
+
+   One instruction at a time, straightforwardly: decode the fetched word,
+   dispatch through small closures. [step] stays on this path — it is the
+   semantics of record; the fast loop below must be indistinguishable
+   from iterating it. *)
 
 (* Translate an access of [width] bytes starting at [vaddr]. Both end bytes
    must translate; identity mapping keeps the physical range contiguous. *)
@@ -183,7 +207,7 @@ let step t =
             if rr a = 0 then trap t (Consistency_panic msg) else continue_at next)
       end)
 
-let run t ~max_instructions =
+let run_slow t ~max_instructions =
   let budget = t.instructions + max_instructions in
   let rec loop () =
     match t.state with
@@ -193,6 +217,330 @@ let run t ~max_instructions =
     | s -> s
   in
   loop ()
+
+(* ---------------- the fast loop ----------------
+
+   The same semantics with the per-step costs hoisted out:
+
+   - fetches hit the pre-decoded page cache (decode each word once per
+     page version) instead of running [Isa.decode];
+   - fetch translation is cached per virtual page for the duration of one
+     [run] — nothing can change the page table mid-run (the page table is
+     a host structure no ISA instruction reaches, and the only mid-run
+     hook, [on_store], observes);
+   - loads and stores translate through [Mmu.translate_code], so the loop
+     allocates nothing: no closures, no [Ok]/[Error]/[Some] boxes.
+
+   Stores still translate on every access (a mid-run protection toggle
+   cannot exist, but a store's writability genuinely varies by page), and
+   the per-fetch page-version compare catches self-modifying (or
+   fault-flipped) text.
+
+   Rare shapes — an unaligned pc, an access or fetch spanning a page — are
+   delegated per-instruction to the reference [step]. *)
+
+let page_mask = Phys_mem.page_size - 1
+
+let page_shift = 13 (* log2 page_size *)
+
+let dpage_at t pfn =
+  match Array.unsafe_get t.dcache pfn with
+  | Some dp -> dp
+  | None ->
+    let dp = { dver = -1; dslots = Array.make words_per_page Empty } in
+    t.dcache.(pfn) <- Some dp;
+    dp
+
+let run_fast t ~max_instructions =
+  let budget = t.instructions + max_instructions in
+  let mem = t.mem and mmu = t.mmu and regs = t.regs in
+  let mem_size = Phys_mem.size mem in
+  let rr n = if n = 0 then 0 else Array.unsafe_get regs n in
+  let wr n v = if n <> 0 then Array.unsafe_set regs n v in
+  (* Per-run fetch-translation cache: virtual page -> physical base. *)
+  let fetch_vpn = ref (-1) in
+  let fetch_pbase = ref 0 in
+  let fetch_dp = ref (dpage_at t 0) in
+  let trap_code code vaddr =
+    if code = Mmu.code_write_protected then
+      t.state <- Trapped (Protection_violation (Mmu.fault_vaddr mmu vaddr))
+    else t.state <- Trapped (Illegal_address (Mmu.fault_vaddr mmu vaddr))
+  in
+  (* Memory helpers return [true] to continue; [false] means the access
+     trapped and [t.state] is set. They leave [t.pc] alone — the loop
+     below carries the pc (and the retired count) in its own arguments
+     and writes the fields back only when something can observe them:
+     a trap, a store (whose [on_store] callback is arbitrary code), a
+     delegated reference [step], or run exit. *)
+  let do_load d addr width =
+    let code = Mmu.translate_code mmu ~vaddr:addr ~access:Mmu.Read in
+    if code < 0 then begin
+      trap_code code addr;
+      false
+    end
+    else if width > 1 && (addr land page_mask) + width > Phys_mem.page_size then begin
+      let code2 = Mmu.translate_code mmu ~vaddr:(addr + width - 1) ~access:Mmu.Read in
+      if code2 < 0 then begin
+        trap_code code2 (addr + width - 1);
+        false
+      end
+      else if code + width > mem_size then begin
+        t.state <- Trapped (Illegal_address addr);
+        false
+      end
+      else begin
+        wr d
+          (match width with
+          | 4 -> Phys_mem.read_u32 mem code
+          | _ -> Phys_mem.read_u64 mem code);
+        true
+      end
+    end
+    else if code + width > mem_size then begin
+      t.state <- Trapped (Illegal_address addr);
+      false
+    end
+    else begin
+      wr d
+        (match width with
+        | 1 -> Phys_mem.read_u8 mem code
+        | 4 -> Phys_mem.read_u32 mem code
+        | _ -> Phys_mem.read_u64 mem code);
+      true
+    end
+  in
+  (* The decoded page is validated against the live page version lazily:
+     [fetch_ok] means the cached (dpage, version) pair is known fresh.  It
+     is cleared whenever memory can have changed under the loop — a store,
+     an [on_store] callback, or a delegated reference [step] — so straight
+     store-free runs skip the per-instruction version lookup entirely. *)
+  let fetch_ok = ref false in
+  let commit_store v paddr width =
+    (match width with
+    | 1 -> Phys_mem.write_u8 mem paddr v
+    | 4 -> Phys_mem.write_u32 mem paddr v
+    | _ -> Phys_mem.write_u64 mem paddr v);
+    t.stores <- t.stores + 1;
+    (match t.on_store with Some f -> f ~paddr ~width | None -> ());
+    fetch_ok := false;
+    true
+  in
+  let do_store v addr width =
+    let code = Mmu.translate_code mmu ~vaddr:addr ~access:Mmu.Write in
+    if code < 0 then begin
+      trap_code code addr;
+      false
+    end
+    else if width > 1 && (addr land page_mask) + width > Phys_mem.page_size then begin
+      let code2 = Mmu.translate_code mmu ~vaddr:(addr + width - 1) ~access:Mmu.Write in
+      if code2 < 0 then begin
+        trap_code code2 (addr + width - 1);
+        false
+      end
+      else if code + width > mem_size then begin
+        t.state <- Trapped (Illegal_address addr);
+        false
+      end
+      else commit_store v code width
+    end
+    else if code + width > mem_size then begin
+      t.state <- Trapped (Illegal_address addr);
+      false
+    end
+    else commit_store v code width
+  in
+  (* [pc] and [icount] live in loop arguments (registers), not in [t]:
+     straight-line execution touches no mutable field at all. Every exit
+     and every externally-observable point syncs them back first. *)
+  let rec loop pc icount =
+    if icount >= budget then begin
+      t.pc <- pc;
+      t.instructions <- icount;
+      Running
+    end
+    else begin
+      let off = pc land page_mask in
+      if off land 3 <> 0 || off > Phys_mem.page_size - 4 then begin
+        (* Unaligned or page-spanning fetch: reference semantics. *)
+        t.pc <- pc;
+        t.instructions <- icount;
+        ignore (step t);
+        fetch_ok := false;
+        match t.state with
+        | Running -> loop t.pc t.instructions
+        | s -> s
+      end
+      else begin
+        let vpn = pc lsr page_shift in
+        if vpn <> !fetch_vpn then begin
+          let code = Mmu.translate_code mmu ~vaddr:pc ~access:Mmu.Exec in
+          if code < 0 then trap_code code pc
+          else if code + 4 > mem_size then t.state <- Trapped (Illegal_address pc)
+          else begin
+            fetch_vpn := vpn;
+            fetch_pbase := code - off;
+            fetch_dp := dpage_at t (code lsr page_shift);
+            fetch_ok := false
+          end
+        end;
+        if !fetch_vpn <> vpn then begin
+          (* Fetch translation failed; [t.state] holds the trap. *)
+          t.pc <- pc;
+          t.instructions <- icount;
+          t.state
+        end
+        else begin
+          let paddr = !fetch_pbase + off in
+          let dp = !fetch_dp in
+          if not !fetch_ok then begin
+            let ver = Phys_mem.page_version mem (paddr lsr page_shift) in
+            if dp.dver <> ver then begin
+              Array.fill dp.dslots 0 words_per_page Empty;
+              dp.dver <- ver
+            end;
+            fetch_ok := true
+          end;
+          let widx = off lsr 2 in
+          let slot =
+            match Array.unsafe_get dp.dslots widx with
+            | Empty ->
+              let s =
+                match Isa.decode (Phys_mem.read_u32 mem paddr) with
+                | None -> Ill
+                | Some instr -> I instr
+              in
+              Array.unsafe_set dp.dslots widx s;
+              s
+            | s -> s
+          in
+          match slot with
+          | Empty -> assert false
+          | Ill ->
+            t.pc <- pc;
+            t.instructions <- icount;
+            trap t (Illegal_instruction (Phys_mem.read_u32 mem paddr))
+          | I instr ->
+            let icount = icount + 1 in
+            let next = pc + 4 in
+            (match instr with
+            | Isa.Nop -> loop next icount
+            | Isa.Halt ->
+              t.pc <- pc;
+              t.instructions <- icount;
+              t.state <- Halted;
+              Halted
+            | Isa.Add (d, a, b) ->
+              wr d (rr a + rr b);
+              loop next icount
+            | Isa.Sub (d, a, b) ->
+              wr d (rr a - rr b);
+              loop next icount
+            | Isa.And (d, a, b) ->
+              wr d (rr a land rr b);
+              loop next icount
+            | Isa.Or (d, a, b) ->
+              wr d (rr a lor rr b);
+              loop next icount
+            | Isa.Xor (d, a, b) ->
+              wr d (rr a lxor rr b);
+              loop next icount
+            | Isa.Sll (d, a, b) ->
+              wr d (rr a lsl (rr b land 0x3F));
+              loop next icount
+            | Isa.Srl (d, a, b) ->
+              wr d (rr a lsr (rr b land 0x3F));
+              loop next icount
+            | Isa.Mul (d, a, b) ->
+              wr d (rr a * rr b);
+              loop next icount
+            | Isa.Slt (d, a, b) ->
+              wr d (if rr a < rr b then 1 else 0);
+              loop next icount
+            | Isa.Addi (d, a, i) ->
+              wr d (rr a + i);
+              loop next icount
+            | Isa.Andi (d, a, i) ->
+              wr d (rr a land (i land 0xFFFF));
+              loop next icount
+            | Isa.Ori (d, a, i) ->
+              wr d (rr a lor (i land 0xFFFF));
+              loop next icount
+            | Isa.Xori (d, a, i) ->
+              wr d (rr a lxor (i land 0xFFFF));
+              loop next icount
+            | Isa.Slti (d, a, i) ->
+              wr d (if rr a < i then 1 else 0);
+              loop next icount
+            | Isa.Lui (d, i) ->
+              wr d ((i land 0xFFFF) lsl 16);
+              loop next icount
+            | Isa.Kseg (d, a) ->
+              wr d (Mmu.kseg_addr (rr a));
+              loop next icount
+            | Isa.Ld (d, a, i) ->
+              if do_load d (rr a + i) 8 then loop next icount
+              else begin
+                t.pc <- pc;
+                t.instructions <- icount;
+                t.state
+              end
+            | Isa.Ldw (d, a, i) ->
+              if do_load d (rr a + i) 4 then loop next icount
+              else begin
+                t.pc <- pc;
+                t.instructions <- icount;
+                t.state
+              end
+            | Isa.Ldb (d, a, i) ->
+              if do_load d (rr a + i) 1 then loop next icount
+              else begin
+                t.pc <- pc;
+                t.instructions <- icount;
+                t.state
+              end
+            | Isa.St (v, a, i) ->
+              (* Sync before the store: the [on_store] callback is arbitrary
+                 code and must observe the same [pc]/[instructions] as under
+                 the reference interpreter (pc of the store, count already
+                 bumped). *)
+              t.pc <- pc;
+              t.instructions <- icount;
+              if do_store (rr v) (rr a + i) 8 then loop next icount else t.state
+            | Isa.Stw (v, a, i) ->
+              t.pc <- pc;
+              t.instructions <- icount;
+              if do_store (rr v) (rr a + i) 4 then loop next icount else t.state
+            | Isa.Stb (v, a, i) ->
+              t.pc <- pc;
+              t.instructions <- icount;
+              if do_store (rr v) (rr a + i) 1 then loop next icount else t.state
+            | Isa.Beq (a, b, o) -> loop (if rr a = rr b then pc + (o * 4) else next) icount
+            | Isa.Bne (a, b, o) -> loop (if rr a <> rr b then pc + (o * 4) else next) icount
+            | Isa.Blt (a, b, o) -> loop (if rr a < rr b then pc + (o * 4) else next) icount
+            | Isa.Bge (a, b, o) -> loop (if rr a >= rr b then pc + (o * 4) else next) icount
+            | Isa.Jmp o -> loop (pc + (o * 4)) icount
+            | Isa.Jal (d, o) ->
+              wr d next;
+              loop (pc + (o * 4)) icount
+            | Isa.Jr a -> loop (rr a) icount
+            | Isa.Assert_nz (a, msg) ->
+              if rr a = 0 then begin
+                t.pc <- pc;
+                t.instructions <- icount;
+                t.state <- Trapped (Consistency_panic msg);
+                t.state
+              end
+              else loop next icount)
+        end
+      end
+    end
+  in
+  match t.state with
+  | (Halted | Trapped _) as s -> s
+  | Running -> loop t.pc t.instructions
+
+let run t ~max_instructions =
+  if t.fast then run_fast t ~max_instructions else run_slow t ~max_instructions
 
 let resume t = t.state <- Running
 

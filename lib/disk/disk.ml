@@ -84,9 +84,29 @@ let peek t ~sector =
   | Some b -> Bytes.copy b
   | None -> Bytes.make sector_bytes '\000'
 
+(* Absent sectors read as zeros, so an all-zero write to an absent sector
+   needs no entry — this keeps the 16 MB swap dump from materializing a
+   store entry per untouched memory page. *)
+let sector_is_zero src pos =
+  let rec go i = i >= sector_bytes || (Bytes.get_int64_le src (pos + i) = 0L && go (i + 8)) in
+  go 0
+
+(* Commit one sector from [src] at byte offset [pos], reusing the stored
+   buffer when the sector already exists (no one outside this module holds
+   a reference to stored bytes — peek/read_sync copy out). *)
+let commit_from t sector src pos =
+  match Hashtbl.find_opt t.store sector with
+  | Some dst -> Bytes.blit src pos dst 0 sector_bytes
+  | None ->
+    if not (sector_is_zero src pos) then begin
+      let b = Bytes.create sector_bytes in
+      Bytes.blit src pos b 0 sector_bytes;
+      Hashtbl.replace t.store sector b
+    end
+
 let commit_sector t sector (b : bytes) =
   assert (Bytes.length b = sector_bytes);
-  Hashtbl.replace t.store sector (Bytes.copy b)
+  commit_from t sector b 0
 
 let poke t ~sector b =
   check_range t sector 1;
@@ -123,7 +143,7 @@ let service_time t sector count =
 let commit_request t r =
   let count = Bytes.length r.data / sector_bytes in
   for i = 0 to count - 1 do
-    commit_sector t (r.req_sector + i) (Bytes.sub r.data (i * sector_bytes) sector_bytes)
+    commit_from t (r.req_sector + i) r.data (i * sector_bytes)
   done;
   t.pending <- List.filter (fun p -> p != r) t.pending;
   t.on_complete ~sector:r.req_sector ~count ~write:true
@@ -179,7 +199,7 @@ let write_sync t ~sector data =
   t.writes <- t.writes + 1;
   t.sectors_written <- t.sectors_written + count;
   for i = 0 to count - 1 do
-    commit_sector t (sector + i) (Bytes.sub data (i * sector_bytes) sector_bytes)
+    commit_from t (sector + i) data (i * sector_bytes)
   done;
   t.on_complete ~sector ~count ~write:true
 
@@ -239,7 +259,7 @@ let crash t =
         in
         let committed = int_of_float (frac *. float_of_int count) in
         for i = 0 to min committed count - 1 do
-          commit_sector t (r.req_sector + i) (Bytes.sub r.data (i * sector_bytes) sector_bytes)
+          commit_from t (r.req_sector + i) r.data (i * sector_bytes)
         done;
         if committed < count then
           commit_sector t (r.req_sector + committed)

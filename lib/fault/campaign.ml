@@ -105,10 +105,16 @@ let is_protection_trap = function
   | Some _ | None -> false
 
 let run_one ?(obs = Trace.null) cfg system fault ~seed =
+  (* Memories booted during the trial, recycled at the end (the Disk_based
+     recovery path boots a second one). Retiring is skipped when the trial
+     escapes with an exception — the GC reclaims as before. *)
+  let trial_mems = ref [] in
+  let outcome =
   let engine = Engine.create ~obs () in
   let costs = Costs.default in
   let kcfg = { cfg.kernel_config with Kernel.seed } in
   let kernel = Kernel.boot ~engine ~costs kcfg in
+  trial_mems := Kernel.mem kernel :: !trial_mems;
   Kernel.format kernel;
   let policy, protection, fsync_writes =
     match system with
@@ -163,13 +169,28 @@ let run_one ?(obs = Trace.null) cfg system fault ~seed =
     if Trace.enabled obs then
       Trace.emit obs Trace.Kernel (Trace.Wild_store { paddr; width; region })
   in
+  (* Memo for the pool-ownership test: interpreted copies hit the same
+     page store after store, and the owned-page list is rebuilt (new
+     cells) whenever it changes, so physical equality detects
+     staleness. *)
+  let owned_memo_list = ref [] and owned_memo_page = ref (-1) and owned_memo_ok = ref false in
   Rio_cpu.Machine.set_on_store (Kernel.machine kernel) (fun ~paddr ~width ->
       match Rio_mem.Layout.kind_of_addr layout paddr with
       | Some Rio_mem.Layout.Buffer_cache -> note_wild ~paddr ~width "buffer_cache"
       | Some Rio_mem.Layout.Page_pool ->
         let page = paddr - (paddr mod Rio_mem.Phys_mem.page_size) in
-        if not (List.mem page (Kernel.owned_pool_pages kernel)) then
-          note_wild ~paddr ~width "page_pool"
+        let owned = Kernel.owned_pool_pages kernel in
+        let ok =
+          if owned == !owned_memo_list && page = !owned_memo_page then !owned_memo_ok
+          else begin
+            let r = List.mem page owned in
+            owned_memo_list := owned;
+            owned_memo_page := page;
+            owned_memo_ok := r;
+            r
+          end
+        in
+        if not ok then note_wild ~paddr ~width "page_pool"
       | Some
           ( Rio_mem.Layout.Kernel_text | Rio_mem.Layout.Kernel_heap
           | Rio_mem.Layout.Kernel_stack | Rio_mem.Layout.Page_tables
@@ -228,6 +249,7 @@ let run_one ?(obs = Trace.null) cfg system fault ~seed =
       | Disk_based ->
         ignore (Fsck.run ~disk:(Kernel.disk kernel));
         let kernel2 = Kernel.boot_on_disk ~engine ~costs kcfg ~disk:(Kernel.disk kernel) in
+        trial_mems := Kernel.mem kernel2 :: !trial_mems;
         Kernel.mount kernel2 ~policy:Fs.Ufs_default
       | Rio_without_protection | Rio_with_protection ->
         let prot = system = Rio_with_protection in
@@ -286,6 +308,9 @@ let run_one ?(obs = Trace.null) cfg system fault ~seed =
       injected_at_us = injected_at;
       forensics = (if Trace.enabled obs then Some (Forensics.summarize obs) else None);
     }
+  in
+  List.iter Rio_mem.Phys_mem.retire !trial_mems;
+  outcome
 
 let pp_outcome ppf o =
   if o.discarded then Format.fprintf ppf "discarded (no crash, %d steps)" o.memtest_steps

@@ -129,6 +129,12 @@ type t = {
   data : Block_cache.t;
   journal : Journal.t option;
   icache : (int, Ondisk.inode) Hashtbl.t;
+  (* Parsed directory blocks, keyed by data blkno and validated against
+     the (paddr, page version) of the cached page — versions are
+     monotonic and never reset, so a hit can only mean byte-identical
+     content. Purely a host-side decode cache: simulated time and
+     on-page bytes are untouched. *)
+  dir_cache : (int, int * int * (string * int) list) Hashtbl.t;
   fds : (int, fd_state) Hashtbl.t;
   mutable next_fd : int;
   mutable ialloc_hint : int;
@@ -291,8 +297,15 @@ let dir_block_sector t blkno = Ondisk.data_sector t.sb blkno
 let dir_read_block t blkno =
   let sector = dir_block_sector t blkno in
   let entry = meta_get t ~sector ~pin:false in
-  let raw = Phys_mem.blit_out t.mem entry.Block_cache.paddr ~len:block_bytes in
-  Ondisk.dir_unpack raw ~pos:0 ~len:block_bytes
+  let paddr = entry.Block_cache.paddr in
+  let ver = Phys_mem.page_version t.mem (paddr / Phys_mem.page_size) in
+  match Hashtbl.find_opt t.dir_cache blkno with
+  | Some (p, v, entries) when p = paddr && v = ver -> entries
+  | _ ->
+    let raw = Phys_mem.blit_out t.mem paddr ~len:block_bytes in
+    let entries = Ondisk.dir_unpack raw ~pos:0 ~len:block_bytes in
+    Hashtbl.replace t.dir_cache blkno (paddr, ver, entries);
+    entries
 
 let dir_write_block t blkno entries =
   let sector = dir_block_sector t blkno in
@@ -539,6 +552,7 @@ let mount ~engine ~costs ~mem ~meta_alloc ~pool_alloc ~disk ~policy ~hooks =
       data;
       journal;
       icache = Hashtbl.create 64;
+      dir_cache = Hashtbl.create 64;
       fds = Hashtbl.create 16;
       next_fd = 3;
       ialloc_hint = 0;

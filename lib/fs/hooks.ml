@@ -18,9 +18,8 @@ let defaults ~mem =
     metadata_update = (fun ~paddr:_ f -> f ());
     copy_in =
       (fun src srcpos ~paddr ~len ->
-        Rio_mem.Phys_mem.blit_in mem paddr (Bytes.sub src srcpos len));
+        Rio_mem.Phys_mem.blit_from mem paddr src ~pos:srcpos ~len);
     copy_out =
       (fun ~paddr dst dstpos ~len ->
-        let b = Rio_mem.Phys_mem.blit_out mem paddr ~len in
-        Bytes.blit b 0 dst dstpos len);
+        Rio_mem.Phys_mem.blit_into mem paddr dst ~pos:dstpos ~len);
   }

@@ -52,7 +52,7 @@ let run_attempt ?(obs = Trace.null) ~(spec : Explorer.spec) ~seed ~ops ~trip () 
   Kernel.format kernel;
   make_rio ~spec kernel;
   let fs = Kernel.mount kernel ~policy:Fs.Rio_policy in
-  let probe = Boundary.create ~mem:(Kernel.mem kernel) ~obs in
+  let probe = Boundary.create ~mem:(Kernel.mem kernel) ~obs () in
   Boundary.instrument_hooks probe (Kernel.hooks kernel);
   Boundary.instrument_disk probe (Kernel.disk kernel);
   let w = Program.setup fs in
@@ -84,13 +84,21 @@ let run_attempt ?(obs = Trace.null) ~(spec : Explorer.spec) ~seed ~ops ~trip () 
     op_starts.(i) <- total
   done;
   let labels = Boundary.labels probe in
+  (* The world is dead once the attempt record exists: recycle its memory
+     (the warm reboot reuses the same buffer, so one retire covers both
+     kernels). *)
+  let finish a =
+    Phys_mem.retire (Kernel.mem kernel);
+    a
+  in
   match !crashed with
   | None ->
-    { boundaries = total; labels; op_starts; crashed_during = None; tripped = None; problems = [] }
+    finish
+      { boundaries = total; labels; op_starts; crashed_during = None; tripped = None; problems = [] }
   | Some k ->
-    let image = match Boundary.crash_image probe with Some i -> i | None -> assert false in
+    assert (Boundary.has_crash_image probe);
     Fs.crash fs;
-    Phys_mem.restore_dump (Kernel.mem kernel) image;
+    Boundary.restore_crash_image probe;
     let recovered = ref None in
     ignore
       (Warm_reboot.perform ~mem:(Kernel.mem kernel) ~disk:(Kernel.disk kernel)
@@ -110,14 +118,15 @@ let run_attempt ?(obs = Trace.null) ~(spec : Explorer.spec) ~seed ~ops ~trip () 
       try Program.check fs2 ~ops ~in_flight:k
       with Fs_types.Fs_error m -> [ "recovery check raised: " ^ m ]
     in
-    {
-      boundaries = total;
-      labels;
-      op_starts;
-      crashed_during = Some k;
-      tripped = Boundary.tripped_label probe;
-      problems;
-    }
+    finish
+      {
+        boundaries = total;
+        labels;
+        op_starts;
+        crashed_during = Some k;
+        tripped = Boundary.tripped_label probe;
+        problems;
+      }
 
 (* ---------------- one fuzz trial ---------------- *)
 

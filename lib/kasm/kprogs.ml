@@ -427,7 +427,7 @@ let emit_filler a ~index =
 
 let filler_count = 400
 
-let build ~origin =
+let build_fresh ~origin =
   let a = Asm.create () in
   (* The halt pad comes first so its address is stable across corpus edits. *)
   Asm.global a halt_pad_symbol;
@@ -458,6 +458,23 @@ let build ~origin =
     List.map (fun (name, spec) -> { name; entry = Asm.symbol program name; spec }) specs
   in
   { program; routines; halt_pad = Asm.symbol program halt_pad_symbol }
+
+(* Assembly is deterministic in [origin], and a campaign boots a fresh
+   kernel per trial at the same origin — cache the built image. The value
+   is immutable once constructed (loading blits [program.code] into
+   memory; nothing writes it back), so sharing one copy across domains is
+   safe under the mutex. *)
+let build_cache : (int, t) Hashtbl.t = Hashtbl.create 4
+let build_lock = Mutex.create ()
+
+let build ~origin =
+  Mutex.protect build_lock (fun () ->
+      match Hashtbl.find_opt build_cache origin with
+      | Some cached -> cached
+      | None ->
+        let fresh = build_fresh ~origin in
+        Hashtbl.add build_cache origin fresh;
+        fresh)
 
 let find t name =
   match List.find_opt (fun r -> r.name = name) t.routines with

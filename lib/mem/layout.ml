@@ -25,6 +25,10 @@ type config = {
 type t = {
   config : config;
   ordered : region list;
+  (* Per-page region kind (regions are page-aligned): [kind_of_addr] on
+     the interpreted-store path is one array read instead of a region
+     scan. The [Some kind] cells are shared per region. *)
+  by_page : region_kind option array;
 }
 
 let kb n = n * 1024
@@ -83,7 +87,16 @@ let create config =
   if pool_bytes < page_size then
     invalid_arg "Layout.create: fixed regions leave no room for the UBC";
   let pool = place Page_pool pool_bytes in
-  { config; ordered = [ text; heap; stack; page_tables; registry; buffer_cache; pool ] }
+  let ordered = [ text; heap; stack; page_tables; registry; buffer_cache; pool ] in
+  let by_page = Array.make ((config.total_bytes + page_size - 1) / page_size) None in
+  List.iter
+    (fun r ->
+      let some = Some r.kind in
+      for p = r.base / page_size to (r.base + r.bytes - 1) / page_size do
+        if p < Array.length by_page then by_page.(p) <- some
+      done)
+    ordered;
+  { config; ordered; by_page }
 
 let region t kind =
   match List.find_opt (fun r -> r.kind = kind) t.ordered with
@@ -95,9 +108,8 @@ let regions t = t.ordered
 let contains r addr = addr >= r.base && addr < r.base + r.bytes
 
 let kind_of_addr t addr =
-  match List.find_opt (fun r -> contains r addr) t.ordered with
-  | Some r -> Some r.kind
-  | None -> None
+  let p = addr / page_size in
+  if addr >= 0 && p < Array.length t.by_page then Array.unsafe_get t.by_page p else None
 
 let file_cache_pages t =
   ((region t Buffer_cache).bytes + (region t Page_pool).bytes) / page_size

@@ -29,6 +29,7 @@ type t = {
   index : (int, int) Hashtbl.t; (* home_paddr -> slot *)
   mutable free : int list;
   mutable live : int;
+  scratch : bytes; (* one slot, reused by read_slot's hot path *)
 }
 
 let create ~mem ~region =
@@ -41,6 +42,7 @@ let create ~mem ~region =
     index = Hashtbl.create 256;
     free = List.init capacity (fun i -> i);
     live = 0;
+    scratch = Bytes.create entry_bytes;
   }
 
 let capacity t = t.capacity
@@ -51,18 +53,21 @@ let slot_addr t slot = t.base + (slot * entry_bytes)
 let kind_tag = function Meta_buffer -> 1 | Data_buffer -> 2
 
 let write_slot t slot e =
-  let a = slot_addr t slot in
-  Phys_mem.write_u64 t.mem a e.paddr;
-  Phys_mem.write_u64 t.mem (a + 8) e.home_paddr;
-  Phys_mem.write_u32 t.mem (a + 16) e.ino;
-  Phys_mem.write_u32 t.mem (a + 20) e.offset;
-  Phys_mem.write_u32 t.mem (a + 24) e.size;
-  Phys_mem.write_u32 t.mem (a + 28) e.blkno;
-  Phys_mem.write_u8 t.mem (a + 32) (e.dev land 0xFF);
-  Phys_mem.write_u8 t.mem (a + 33) ((e.dev lsr 8) land 0xFF);
-  Phys_mem.write_u8 t.mem (a + 34) (kind_tag e.kind);
-  Phys_mem.write_u8 t.mem (a + 35) (if e.changing then 1 else 0);
-  Phys_mem.write_u32 t.mem (a + 36) e.checksum
+  (* Serialize into the scratch buffer and land the slot with one blit:
+     same final bytes as field-by-field stores, one write-path pass. *)
+  let img = t.scratch in
+  Bytes.set_int64_le img 0 (Int64.of_int e.paddr);
+  Bytes.set_int64_le img 8 (Int64.of_int e.home_paddr);
+  Bytes.set_int32_le img 16 (Int32.of_int e.ino);
+  Bytes.set_int32_le img 20 (Int32.of_int e.offset);
+  Bytes.set_int32_le img 24 (Int32.of_int e.size);
+  Bytes.set_int32_le img 28 (Int32.of_int e.blkno);
+  Bytes.set img 32 (Char.chr (e.dev land 0xFF));
+  Bytes.set img 33 (Char.chr ((e.dev lsr 8) land 0xFF));
+  Bytes.set img 34 (Char.chr (kind_tag e.kind));
+  Bytes.set img 35 (if e.changing then '\001' else '\000');
+  Bytes.set_int32_le img 36 (Int32.of_int e.checksum);
+  Phys_mem.blit_from t.mem (slot_addr t slot) img ~pos:0 ~len:entry_bytes
 
 let clear_slot t slot =
   Phys_mem.fill t.mem (slot_addr t slot) ~len:entry_bytes '\000'
@@ -98,8 +103,8 @@ let read_slot_image img base slot =
    because normal operation only reads slots it wrote). *)
 let read_slot t slot =
   let a = slot_addr t slot in
-  let img = Phys_mem.blit_out t.mem a ~len:entry_bytes in
-  match read_slot_image img 0 0 with
+  Phys_mem.blit_into t.mem a t.scratch ~pos:0 ~len:entry_bytes;
+  match read_slot_image t.scratch 0 0 with
   | `Entry e -> Some e
   | `Free | `Corrupt -> None
 
@@ -155,6 +160,11 @@ let set_changing t ~home_paddr changing =
 let set_checksum t ~home_paddr checksum =
   update_slot t ~home_paddr (fun e -> { e with checksum })
 
+(* The close-write pair (new checksum + changing:=false) as one slot
+   rewrite; final slot bytes identical to the two separate updates. *)
+let set_closed t ~home_paddr checksum =
+  update_slot t ~home_paddr (fun e -> { e with checksum; changing = false })
+
 let redirect t ~home_paddr ~paddr = update_slot t ~home_paddr (fun e -> { e with paddr })
 
 let iter t f =
@@ -184,14 +194,19 @@ let plausible ~mem_bytes e =
   && e.blkno >= 0
   && e.blkno < 1 lsl 28
 
-let parse_image ~image ~region ~mem_bytes =
+let parse_base ~buf ~base ~region ~mem_bytes =
   let capacity = region.Layout.bytes / entry_bytes in
   let entries = ref [] in
   let corrupt = ref 0 in
   for slot = 0 to capacity - 1 do
-    match read_slot_image image region.Layout.base slot with
+    match read_slot_image buf base slot with
     | `Free -> ()
     | `Corrupt -> incr corrupt
     | `Entry e -> if plausible ~mem_bytes e then entries := e :: !entries else incr corrupt
   done;
   { entries = List.rev !entries; corrupt_slots = !corrupt }
+
+let parse_image ~image ~region ~mem_bytes =
+  parse_base ~buf:image ~base:region.Layout.base ~region ~mem_bytes
+
+let parse_slice ~slice ~region ~mem_bytes = parse_base ~buf:slice ~base:0 ~region ~mem_bytes

@@ -70,6 +70,12 @@ val set_changing : t -> home_paddr:int -> bool -> unit
 
 val set_checksum : t -> home_paddr:int -> int -> unit
 
+val set_closed : t -> home_paddr:int -> int -> unit
+(** [set_closed t ~home_paddr c] records checksum [c] and clears the
+    changing flag in one slot rewrite — the close-write commit. Final
+    slot bytes are identical to [set_checksum] followed by
+    [set_changing _ false]. *)
+
 val redirect : t -> home_paddr:int -> paddr:int -> unit
 (** Point the entry at a shadow page (or back) — the atomic flip of §2.3. *)
 
@@ -93,3 +99,10 @@ val plausible : mem_bytes:int -> entry -> bool
 val parse_image : image:bytes -> region:Rio_mem.Layout.region -> mem_bytes:int -> parse_result
 (** Recover entries from a raw memory dump, validating every field against
     the machine's geometry with {!plausible}. *)
+
+val parse_slice : slice:bytes -> region:Rio_mem.Layout.region -> mem_bytes:int -> parse_result
+(** Like {!parse_image}, but [slice] holds just the registry region's
+    bytes (slot 0 at offset 0) rather than a full-memory image — so the
+    fast warm reboot can parse from a copy-on-write snapshot without
+    materializing the 16 MB dump. [mem_bytes] remains the machine's
+    memory size, for {!plausible}. *)

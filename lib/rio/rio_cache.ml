@@ -95,9 +95,8 @@ let install_hooks t (hooks : Hooks.t) =
       match Registry.find t.registry ~home_paddr:page with
       | None -> ()
       | Some e ->
-        Registry.set_checksum t.registry ~home_paddr:page
+        Registry.set_closed t.registry ~home_paddr:page
           (checksum_of t ~paddr:page ~size:e.Registry.size);
-        Registry.set_changing t.registry ~home_paddr:page false;
         Protect.protect_page t.protect ~paddr:page);
   hooks.Hooks.metadata_update <-
     (fun ~paddr f ->

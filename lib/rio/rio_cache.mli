@@ -60,3 +60,4 @@ val verify_all_checksums : t -> int
 (** Recompute and compare every registered buffer's checksum right now;
     returns the number of mismatches (0 in a healthy system — used by
     tests and the online scrubber example). *)
+

@@ -29,58 +29,114 @@ type report = {
 
 let capture mem = Phys_mem.dump mem
 
+(* The crash-time memory image the recovery reads from. The reference
+   path materializes the full dump; the fast path reads through a
+   copy-on-write snapshot — O(1) to take, and recovery's own writes
+   (registry scrub, buffer restores, the warm kernel boot) COW at most
+   the pages they touch. Both serve byte-identical contents. *)
+type view =
+  | Full_image of bytes
+  | Snap_view of { vmem : Phys_mem.t; snap : Phys_mem.snapshot }
+
+let view_size = function
+  | Full_image b -> Bytes.length b
+  | Snap_view { vmem; _ } -> Phys_mem.size vmem
+
+let view_sub v pos len =
+  match v with
+  | Full_image b -> Bytes.sub b pos len
+  | Snap_view { vmem; snap } -> Phys_mem.snap_blit_out vmem snap pos ~len
+
+let view_crc v pos ~len =
+  match v with
+  | Full_image b -> Rio_util.Checksum.crc32 b ~pos ~len
+  | Snap_view { vmem; snap } -> Phys_mem.snap_checksum_range vmem snap pos ~len
+
 let read_superblock_opt disk =
   match Ondisk.read_superblock (Disk.peek disk ~sector:Ondisk.superblock_sector) with
   | sb -> Some sb
   | exception Rio_fs.Fs_types.Fs_error _ -> None
 
-let dump_to_swap ~disk ~image =
+let dump_chunk = 128 * 1024
+
+(* Whether every page overlapping [pos, pos+n) was provably all-zero at
+   snapshot time (never written, not COW-saved) — such chunks can be
+   written from a shared zero buffer without reading the view. *)
+let chunk_is_zero vmem snap pos n =
+  let first = pos / Phys_mem.page_size and last = (pos + n - 1) / Phys_mem.page_size in
+  let rec go pfn = pfn > last || (Phys_mem.snap_page_is_zero vmem snap pfn && go (pfn + 1)) in
+  go first
+
+let dump_to_swap_view ~disk ~view =
   match read_superblock_opt disk with
-  | None -> (0, Bytes.length image)
+  | None -> (0, view_size view)
   | Some sb ->
     let swap_bytes = sb.Ondisk.swap_sectors * Disk.sector_bytes in
-    let len = min (Bytes.length image) swap_bytes in
-    (* Stream in 128 KB synchronous chunks — one long sequential write. *)
-    let chunk = 128 * 1024 in
+    let len = min (view_size view) swap_bytes in
+    (* Stream in 128 KB synchronous chunks — one long sequential write.
+       Every chunk's write_sync happens on both paths (same sectors, same
+       lengths, same simulated time); the fast path merely reuses one
+       scratch buffer and skips *reading* chunks it can prove are zero. *)
+    let buf = Bytes.create (min dump_chunk (max 1 len)) in
+    let zero = lazy (Bytes.make dump_chunk '\000') in
     let pos = ref 0 in
     while !pos < len do
-      let n = min chunk (len - !pos) in
-      Disk.write_sync disk
-        ~sector:(sb.Ondisk.swap_start + (!pos / Disk.sector_bytes))
-        (Bytes.sub image !pos n);
+      let n = min dump_chunk (len - !pos) in
+      let sector = sb.Ondisk.swap_start + (!pos / Disk.sector_bytes) in
+      let data =
+        match view with
+        | Snap_view { vmem; snap } when n = dump_chunk && chunk_is_zero vmem snap !pos n ->
+          Lazy.force zero
+        | _ ->
+          let b = if n = Bytes.length buf then buf else Bytes.create n in
+          (match view with
+          | Full_image image -> Bytes.blit image !pos b 0 n
+          | Snap_view { vmem; snap } -> Phys_mem.snap_blit_into vmem snap !pos b ~pos:0 ~len:n);
+          b
+      in
+      Disk.write_sync disk ~sector data;
       pos := !pos + n
     done;
-    (len, Bytes.length image - len)
+    (len, view_size view - len)
 
-let parse_registry ~image ~layout =
-  Registry.parse_image ~image ~region:(Layout.region layout Layout.Registry)
-    ~mem_bytes:(Bytes.length image)
+let dump_to_swap ~disk ~image = dump_to_swap_view ~disk ~view:(Full_image image)
 
-let entry_image image (e : Registry.entry) =
-  (* Read from the entry's current pointer: mid-shadow-update entries point
-     at the consistent pre-image (§2.3). *)
-  if e.Registry.paddr + e.Registry.size <= Bytes.length image then
-    Some (Bytes.sub image e.Registry.paddr e.Registry.size)
-  else None
+let parse_registry_view ~view ~layout =
+  let region = Layout.region layout Layout.Registry in
+  match view with
+  | Full_image image -> Registry.parse_image ~image ~region ~mem_bytes:(Bytes.length image)
+  | Snap_view { vmem; snap } ->
+    let slice = Phys_mem.snap_blit_out vmem snap region.Layout.base ~len:region.Layout.bytes in
+    Registry.parse_slice ~slice ~region ~mem_bytes:(Phys_mem.size vmem)
 
-let verify_entries ~image entries =
+let parse_registry ~image ~layout = parse_registry_view ~view:(Full_image image) ~layout
+
+(* Read from the entry's current pointer: mid-shadow-update entries point
+   at the consistent pre-image (§2.3). *)
+let entry_in_view view (e : Registry.entry) =
+  e.Registry.paddr + e.Registry.size <= view_size view
+
+let entry_image_view view (e : Registry.entry) =
+  if entry_in_view view e then Some (view_sub view e.Registry.paddr e.Registry.size) else None
+
+let verify_entries_view ~view entries =
   List.fold_left
     (fun acc (e : Registry.entry) ->
       if e.Registry.changing then { acc with changing = acc.changing + 1 }
+      else if not (entry_in_view view e) then { acc with mismatched = acc.mismatched + 1 }
       else
-        match entry_image image e with
-        | None -> { acc with mismatched = acc.mismatched + 1 }
-        | Some bytes ->
-          let actual = Rio_util.Checksum.crc32 bytes ~pos:0 ~len:(Bytes.length bytes) in
-          if actual = e.Registry.checksum then { acc with intact = acc.intact + 1 }
-          else { acc with mismatched = acc.mismatched + 1 })
+        let actual = view_crc view e.Registry.paddr ~len:e.Registry.size in
+        if actual = e.Registry.checksum then { acc with intact = acc.intact + 1 }
+        else { acc with mismatched = acc.mismatched + 1 })
     { intact = 0; mismatched = 0; changing = 0 }
     entries
+
+let verify_entries ~image entries = verify_entries_view ~view:(Full_image image) entries
 
 let split_entries entries =
   List.partition (fun (e : Registry.entry) -> e.Registry.kind = Registry.Meta_buffer) entries
 
-let restore_metadata ~disk ~image entries =
+let restore_metadata_view ~disk ~view entries =
   let sb = read_superblock_opt disk in
   let restored = ref 0 and skipped = ref 0 in
   List.iter
@@ -94,7 +150,7 @@ let restore_metadata ~disk ~image entries =
            | Some sb -> e.Registry.blkno >= sb.Ondisk.ibitmap_start
            | None -> true)
       in
-      match entry_image image e with
+      match entry_image_view view e with
       | Some bytes when plausible ->
         Disk.write_sync disk ~sector:e.Registry.blkno bytes;
         incr restored
@@ -102,11 +158,14 @@ let restore_metadata ~disk ~image entries =
     entries;
   (!restored, !skipped)
 
-let restore_data ~fs ~image entries =
+let restore_metadata ~disk ~image entries =
+  restore_metadata_view ~disk ~view:(Full_image image) entries
+
+let restore_data_view ~fs ~view entries =
   let restored = ref 0 and failed = ref 0 in
   List.iter
     (fun (e : Registry.entry) ->
-      match entry_image image e with
+      match entry_image_view view e with
       | None -> incr failed
       | Some bytes ->
         (match Fs.write_by_ino fs ~ino:e.Registry.ino ~offset:e.Registry.offset bytes with
@@ -115,7 +174,13 @@ let restore_data ~fs ~image entries =
     entries;
   (!restored, !failed)
 
+let restore_data ~fs ~image entries = restore_data_view ~fs ~view:(Full_image image) entries
+
 let perform ~mem ~disk ~layout ~engine ~reboot =
+  (* The fast/reference choice rides the global {!Rio_util.Fastpath} knob
+     (set once, before any domains spawn) so the nine call sites need no
+     plumbing; both paths produce byte-identical recoveries. *)
+  let fast = Rio_util.Fastpath.on () in
   let module Trace = Rio_obs.Trace in
   let obs = Engine.obs engine in
   let phase name f =
@@ -129,40 +194,53 @@ let perform ~mem ~disk ~layout ~engine ~reboot =
     else f ()
   in
   let t0 = Engine.now engine in
-  let image = phase "warm-reboot: capture" (fun () -> capture mem) in
-  let swap_dumped_bytes, swap_truncated_bytes =
-    phase "warm-reboot: dump to swap" (fun () -> dump_to_swap ~disk ~image)
+  let view =
+    phase "warm-reboot: capture" (fun () ->
+        if fast then Snap_view { vmem = mem; snap = Phys_mem.snapshot mem }
+        else Full_image (capture mem))
   in
-  if Trace.enabled obs then
-    Trace.emit obs Trace.Rio
-      (Trace.Swap_dump { dumped = swap_dumped_bytes; truncated = swap_truncated_bytes });
-  let parsed = phase "warm-reboot: parse registry" (fun () -> parse_registry ~image ~layout) in
-  let meta_entries, data_entries = split_entries parsed.Registry.entries in
-  let meta_verify, data_verify =
-    phase "warm-reboot: verify checksums" (fun () ->
-        (verify_entries ~image meta_entries, verify_entries ~image data_entries))
-  in
-  let meta_restored, meta_skipped =
-    phase "warm-reboot: restore metadata" (fun () -> restore_metadata ~disk ~image meta_entries)
-  in
-  let fsck = phase "warm-reboot: fsck" (fun () -> Fsck.run ~disk) in
-  let fs = phase "warm-reboot: reboot" (fun () -> reboot ()) in
-  let data_restored, data_failed =
-    phase "warm-reboot: restore data" (fun () ->
-        if fsck.Fsck.unrecoverable then (0, List.length data_entries)
-        else restore_data ~fs ~image data_entries)
-  in
-  {
-    registry_entries = List.length parsed.Registry.entries;
-    corrupt_registry_slots = parsed.Registry.corrupt_slots;
-    swap_dumped_bytes;
-    swap_truncated_bytes;
-    meta_restored;
-    meta_skipped;
-    data_restored;
-    data_failed;
-    meta_verify;
-    data_verify;
-    fsck;
-    duration_us = Engine.now engine - t0;
-  }
+  Fun.protect
+    ~finally:(fun () ->
+      match view with
+      | Snap_view { vmem; snap } -> Phys_mem.release vmem snap
+      | Full_image _ -> ())
+    (fun () ->
+      let swap_dumped_bytes, swap_truncated_bytes =
+        phase "warm-reboot: dump to swap" (fun () -> dump_to_swap_view ~disk ~view)
+      in
+      if Trace.enabled obs then
+        Trace.emit obs Trace.Rio
+          (Trace.Swap_dump { dumped = swap_dumped_bytes; truncated = swap_truncated_bytes });
+      let parsed =
+        phase "warm-reboot: parse registry" (fun () -> parse_registry_view ~view ~layout)
+      in
+      let meta_entries, data_entries = split_entries parsed.Registry.entries in
+      let meta_verify, data_verify =
+        phase "warm-reboot: verify checksums" (fun () ->
+            (verify_entries_view ~view meta_entries, verify_entries_view ~view data_entries))
+      in
+      let meta_restored, meta_skipped =
+        phase "warm-reboot: restore metadata" (fun () ->
+            restore_metadata_view ~disk ~view meta_entries)
+      in
+      let fsck = phase "warm-reboot: fsck" (fun () -> Fsck.run ~disk) in
+      let fs = phase "warm-reboot: reboot" (fun () -> reboot ()) in
+      let data_restored, data_failed =
+        phase "warm-reboot: restore data" (fun () ->
+            if fsck.Fsck.unrecoverable then (0, List.length data_entries)
+            else restore_data_view ~fs ~view data_entries)
+      in
+      {
+        registry_entries = List.length parsed.Registry.entries;
+        corrupt_registry_slots = parsed.Registry.corrupt_slots;
+        swap_dumped_bytes;
+        swap_truncated_bytes;
+        meta_restored;
+        meta_skipped;
+        data_restored;
+        data_failed;
+        meta_verify;
+        data_verify;
+        fsck;
+        duration_us = Engine.now engine - t0;
+      })

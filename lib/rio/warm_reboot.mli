@@ -46,7 +46,11 @@ type report = {
 }
 
 val capture : Rio_mem.Phys_mem.t -> bytes
-(** Snapshot all of physical memory. *)
+(** Snapshot all of physical memory as a flat image. The step-by-step
+    entry points below consume such an image; {!perform} itself uses a
+    copy-on-write {!Rio_mem.Phys_mem.snapshot} instead when
+    {!Rio_util.Fastpath} is on, which reads byte-identically but costs
+    O(pages dirtied) rather than O(memory). *)
 
 val dump_to_swap : disk:Rio_disk.Disk.t -> image:bytes -> int * int
 (** Write the image to the swap partition (timed, synchronous). Returns
@@ -79,4 +83,10 @@ val perform :
   report
 (** The full sequence. [reboot] is called after the metadata restore and
     fsck; it must warm-boot the kernel {e on the same physical memory} and
-    return a freshly mounted Rio file system. *)
+    return a freshly mounted Rio file system.
+
+    When {!Rio_util.Fastpath.on} (the default), the crash image is a
+    copy-on-write snapshot rather than a full dump, and the swap dump
+    streams through a reused buffer with an all-zero-page shortcut —
+    every simulated disk write (and hence simulated time, disk state and
+    the report) is identical to the reference path. *)

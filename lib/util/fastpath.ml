@@ -1,0 +1,9 @@
+(* One global knob, set once by the CLI before any worlds (or domains) are
+   built. The fast and reference paths are byte-identical by construction;
+   the knob exists so the harness can prove it. *)
+
+let enabled = ref true
+
+let set b = enabled := b
+
+let on () = !enabled

@@ -1,0 +1,15 @@
+(** The fast-data-path knob.
+
+    The simulator has two implementations of its hottest paths: the fast
+    one (pre-decoded dispatch, dirty-page sweeps, copy-on-write crash
+    snapshots) and the straightforward reference one. Both must produce
+    byte-identical tables, traces, and verdicts; this knob lets the
+    harness run either side of that equation ([riobench --reference]).
+
+    Set it once, before building any simulated worlds — the CPU and the
+    crash probes consult it at creation time. *)
+
+val set : bool -> unit
+
+val on : unit -> bool
+(** Defaults to [true]. *)

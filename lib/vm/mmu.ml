@@ -41,45 +41,80 @@ let tlb t = t.tlb
 let kseg_through_tlb t = t.kseg_through_tlb
 let set_kseg_through_tlb t b = t.kseg_through_tlb <- b
 
-let fault_unmapped t vaddr =
-  t.unmapped_faults <- t.unmapped_faults + 1;
-  Fault (Unmapped vaddr)
+let note_unmapped t = t.unmapped_faults <- t.unmapped_faults + 1
 
-let fault_protected t vaddr =
+let note_protected t vaddr =
   t.protection_faults <- t.protection_faults + 1;
   if Trace.enabled t.obs then begin
     Trace.incr t.c_traps;
     (* In the mapped (and KSEG-through-TLB) identity layout, the faulting
        virtual address is the physical address. *)
     Trace.emit t.obs Trace.Vm (Trace.Protection_trap { paddr = vaddr })
-  end;
-  Fault (Write_protected vaddr)
+  end
 
-let translate_mapped t ~vaddr ~access =
-  if vaddr < 0 then fault_unmapped t vaddr
+(* The allocation-free translation core used by the CPU's inner loop:
+   a non-negative return is the physical address; the negative codes name
+   the fault. The fault's payload address is reconstructed by the caller
+   (or by the boxing [translate] wrapper below) from the input [vaddr],
+   which is exactly what the boxed constructors carried. *)
+
+let code_unmapped = -1
+let code_write_protected = -2
+
+let translate_mapped_code t ~vaddr ~access =
+  if vaddr < 0 then begin
+    note_unmapped t;
+    code_unmapped
+  end
   else begin
     let vpn = vaddr / Phys_mem.page_size in
-    match Page_table.lookup t.page_table ~vpn with
-    | None -> fault_unmapped t vaddr
-    | Some pte ->
-      if not pte.Pte.valid then fault_unmapped t vaddr
+    let entries = Page_table.entries t.page_table in
+    if vpn >= Array.length entries then begin
+      note_unmapped t;
+      code_unmapped
+    end
+    else begin
+      let pte = Array.unsafe_get entries vpn in
+      if not pte.Pte.valid then begin
+        note_unmapped t;
+        code_unmapped
+      end
       else begin
         Tlb.access t.tlb ~vpn pte;
         match access with
-        | Write when not pte.Pte.writable -> fault_protected t vaddr
+        | Write when not pte.Pte.writable ->
+          note_protected t vaddr;
+          code_write_protected
         | Read | Write | Exec ->
-          Ok (Phys_mem.page_base pte.Pte.pfn + (vaddr mod Phys_mem.page_size))
+          Phys_mem.page_base pte.Pte.pfn + (vaddr mod Phys_mem.page_size)
       end
+    end
   end
 
-let translate t ~vaddr ~access =
+let translate_code t ~vaddr ~access =
   if is_kseg vaddr then begin
     let paddr = vaddr - kseg_base in
-    if t.kseg_through_tlb then translate_mapped t ~vaddr:paddr ~access
-    else if paddr / Phys_mem.page_size < Page_table.pages t.page_table then Ok paddr
-    else fault_unmapped t vaddr
+    if t.kseg_through_tlb then translate_mapped_code t ~vaddr:paddr ~access
+    else if paddr / Phys_mem.page_size < Page_table.pages t.page_table then paddr
+    else begin
+      note_unmapped t;
+      code_unmapped
+    end
   end
-  else translate_mapped t ~vaddr ~access
+  else translate_mapped_code t ~vaddr ~access
+
+(* The fault payload [translate] would have boxed for [vaddr]: mapped
+   accesses fault on the virtual address itself; KSEG accesses routed
+   through the TLB fault on the stripped (physical) address, while
+   out-of-range KSEG bypasses fault on the full KSEG address. *)
+let fault_vaddr t vaddr =
+  if is_kseg vaddr && t.kseg_through_tlb then vaddr - kseg_base else vaddr
+
+let translate t ~vaddr ~access =
+  let code = translate_code t ~vaddr ~access in
+  if code >= 0 then Ok code
+  else if code = code_write_protected then Fault (Write_protected (fault_vaddr t vaddr))
+  else Fault (Unmapped (fault_vaddr t vaddr))
 
 let protection_faults t = t.protection_faults
 let unmapped_faults t = t.unmapped_faults

@@ -50,6 +50,29 @@ val translate : t -> vaddr:int -> access:access -> result
 (** Translate one byte address. Accesses that span pages must be translated
     per page by the caller (the CPU splits them). *)
 
+(** {2 Allocation-free translation}
+
+    [translate] boxes its result; the CPU's inner loop runs millions of
+    translations per simulated routine, so it uses the unboxed variant:
+    a non-negative return is the physical address, and the negative codes
+    below name the fault. Side effects (fault counters, the protection
+    trap trace event, TLB accounting) are identical — [translate] is a
+    wrapper over [translate_code]. *)
+
+val code_unmapped : int
+(** -1 *)
+
+val code_write_protected : int
+(** -2 *)
+
+val translate_code : t -> vaddr:int -> access:access -> int
+
+val fault_vaddr : t -> int -> int
+(** [fault_vaddr t vaddr] is the address a fault on [vaddr] reports (the
+    payload [translate] would box): KSEG addresses routed through the TLB
+    fault on the stripped physical address, everything else on the input
+    address. *)
+
 val protection_faults : t -> int
 (** Count of [Write_protected] faults returned so far. *)
 

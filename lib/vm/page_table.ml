@@ -5,6 +5,8 @@ let create ~pages =
 
 let pages t = Array.length t.entries
 
+let entries t = t.entries
+
 let lookup t ~vpn =
   if vpn >= 0 && vpn < Array.length t.entries then Some t.entries.(vpn) else None
 

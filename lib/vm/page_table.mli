@@ -13,6 +13,10 @@ val create : pages:int -> t
 
 val pages : t -> int
 
+val entries : t -> Pte.t array
+(** The backing entry array, indexed by vpn — exposed so the translation
+    fast path can skip the option boxing of {!lookup}. Do not resize. *)
+
 val lookup : t -> vpn:int -> Pte.t option
 (** [None] when [vpn] is outside the table — an illegal address. *)
 

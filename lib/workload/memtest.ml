@@ -22,6 +22,9 @@ type t = {
   mutable counter : int;
   mutable steps : int;
   mutable live_mismatches : int;
+  (* Memo of [file_list] (the sorted paths), dropped whenever the file
+     set changes — the sort is per-step hot otherwise. *)
+  mutable sorted : string list option;
 }
 
 let create config =
@@ -33,6 +36,7 @@ let create config =
     counter = 0;
     steps = 0;
     live_mismatches = 0;
+    sorted = None;
   }
 
 let steps_done t = t.steps
@@ -40,7 +44,13 @@ let live_mismatches t = t.live_mismatches
 let file_count t = Hashtbl.length t.files
 let total_model_bytes t = Hashtbl.fold (fun _ b acc -> acc + Bytes.length !b) t.files 0
 
-let file_list t = List.sort compare (Hashtbl.fold (fun p _ acc -> p :: acc) t.files [])
+let file_list t =
+  match t.sorted with
+  | Some l -> l
+  | None ->
+    let l = List.sort compare (Hashtbl.fold (fun p _ acc -> p :: acc) t.files []) in
+    t.sorted <- Some l;
+    l
 
 let pick_file t =
   match file_list t with
@@ -149,7 +159,9 @@ let plan_touches = function
 
 (* Apply a plan to the model. *)
 let apply_model t = function
-  | P_create (path, seed, len) -> Hashtbl.replace t.files path (ref (Pattern.fill ~seed ~len))
+  | P_create (path, seed, len) ->
+    t.sorted <- None;
+    Hashtbl.replace t.files path (ref (Pattern.fill ~seed ~len))
   | P_overwrite (path, offset, seed, len) ->
     let content = Hashtbl.find t.files path in
     Bytes.blit (Pattern.fill ~seed ~len) 0 !content offset len
@@ -159,11 +171,14 @@ let apply_model t = function
     Bytes.blit !content 0 grown 0 (Bytes.length !content);
     Bytes.blit (Pattern.fill ~seed ~len) 0 grown (Bytes.length !content) len;
     content := grown
-  | P_delete path -> Hashtbl.remove t.files path
+  | P_delete path ->
+    t.sorted <- None;
+    Hashtbl.remove t.files path
   | P_mkdir d -> t.dirs <- t.dirs @ [ d ]
   | P_rmdir d -> t.dirs <- List.filter (fun x -> x <> d) t.dirs
   | P_verify (_, _, _) | P_noop -> ()
   | P_rename (src, dst) ->
+    t.sorted <- None;
     let content = Hashtbl.find t.files src in
     Hashtbl.remove t.files src;
     Hashtbl.replace t.files dst content

@@ -76,3 +76,4 @@ val discrepancy_to_string : discrepancy -> string
 val file_count : t -> int
 
 val total_model_bytes : t -> int
+
