@@ -18,6 +18,8 @@ module Pool = Rio_parallel.Pool
 module Trace = Rio_obs.Trace
 module Export = Rio_obs.Export
 module Forensics = Rio_obs.Forensics
+module Cov = Rio_cov.Cov
+module Heatmap = Rio_cov.Heatmap
 open Cmdliner
 
 (* Per-cell progress with an ETA extrapolated from completed cells. *)
@@ -76,7 +78,37 @@ let reference_arg =
    every run_* entry point calls this first. *)
 let set_fastpath ~reference = Rio_util.Fastpath.set (not reference)
 
-let write_table1_json (file, oc) ~crashes ~seed ~jobs ~wall_s results =
+let ring_capacity_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "ring-capacity" ] ~docv:"N"
+        ~doc:
+          "Trace-ring capacity for the recorders the campaign creates \
+           (default 65536; 0 = metrics only). Out-of-range values are \
+           clamped and the clamp reported on stderr.")
+
+let hist_buckets_arg =
+  Arg.(
+    value
+    & opt (some (list int)) None
+    & info [ "hist-buckets" ] ~docv:"E1,E2,.."
+        ~doc:
+          "Histogram bucket edges (microseconds) for metric rollups in \
+           --json output. Sanitized: sorted, deduplicated, negatives \
+           dropped, truncated to 64 edges — every adjustment reported on \
+           stderr.")
+
+(* Fold the CLI observability knobs into the config and surface every
+   clamp the sanitizer applied. *)
+let with_obs cfg ~ring ~buckets =
+  let cfg =
+    { cfg with Run.obs_capacity = ring; obs_buckets = Option.map Array.of_list buckets }
+  in
+  List.iter (fun w -> Printf.eprintf "riobench: %s\n%!" w) (Run.obs_warnings cfg);
+  cfg
+
+let write_table1_json (file, oc) ~crashes ~seed ~jobs ~wall_s ~bucket_edges results =
   let cell_json (system, fault, c) =
     Json.Obj
       [
@@ -105,7 +137,7 @@ let write_table1_json (file, oc) ~crashes ~seed ~jobs ~wall_s results =
        ]
       @
       match results.Reliability.metrics with
-      | Some snap -> [ ("metrics", Trace.snapshot_json snap) ]
+      | Some snap -> [ ("metrics", Trace.snapshot_json ?bucket_edges snap) ]
       | None -> [])
   in
   output_string oc (Json.pretty doc);
@@ -125,7 +157,7 @@ let trace_dir_arg =
            trial into $(docv) (created if missing) and aggregate per-trial \
            metrics into --json output. Off by default (zero overhead).")
 
-let run_table1 crashes seed jobs json trace_dir reference verbose =
+let run_table1 crashes seed jobs json trace_dir coverage ring buckets reference verbose =
   set_fastpath ~reference;
   (* Open the JSON sink before the campaign: a bad path must fail in
      milliseconds, not after a 30-minute run. *)
@@ -139,24 +171,46 @@ let run_table1 crashes seed jobs json trace_dir reference verbose =
       json
   in
   Printf.printf "Table 1: corruption per fault type (%d crash tests per cell)\n\n%!" crashes;
-  let t0 = Unix.gettimeofday () in
-  let results =
-    Reliability.run
+  let cfg =
+    with_obs ~ring ~buckets
       {
         Run.default with
         Run.seed = seed;
         trials = crashes;
         domains = jobs;
         trace_dir;
+        coverage;
         progress = progress verbose;
       }
   in
+  let t0 = Unix.gettimeofday () in
+  let results = Reliability.run cfg in
   let wall_s = Unix.gettimeofday () -. t0 in
   print_string (Table.render (Reliability.to_table results));
   print_newline ();
   print_string (Table.render (Reliability.comparison_table results));
+  (* --coverage without --trace-dir rolls metrics up through ring-less
+     recorders; either way, show the campaign telemetry when we have it. *)
+  (match results.Reliability.metrics with
+  | Some snap when coverage ->
+    Printf.printf "\ncampaign telemetry (%d counters, %d histograms):\n"
+      (List.length snap.Trace.counters)
+      (List.length snap.Trace.histograms);
+    List.iter (fun (name, v) -> Printf.printf "  %-32s %12d\n" name v) snap.Trace.counters;
+    List.iter
+      (fun (name, values) ->
+        if Array.length values > 0 then
+          Printf.printf "  %-32s n=%d p50=%.0f p99=%.0f max=%d us\n" name
+            (Array.length values)
+            (Trace.percentile values 50.0)
+            (Trace.percentile values 99.0)
+            (Array.fold_left max min_int values))
+      snap.Trace.histograms
+  | _ -> ());
   match json_out with
-  | Some out -> write_table1_json out ~crashes ~seed ~jobs ~wall_s results
+  | Some out ->
+    write_table1_json out ~crashes ~seed ~jobs ~wall_s ~bucket_edges:(Run.obs_buckets cfg)
+      results
   | None -> ()
 
 let crashes_arg =
@@ -166,13 +220,22 @@ let crashes_arg =
     & info [ "crashes" ] ~docv:"N"
         ~doc:"Crash tests per (system, fault type) cell. The paper used 50.")
 
+let coverage_arg =
+  Arg.(
+    value & flag
+    & info [ "coverage" ]
+        ~doc:
+          "Account campaign coverage/telemetry: check and fuzz runs append a \
+           crash-space heatmap (and carry a coverage map in --json output); \
+           table1 rolls per-trial metrics up even with tracing off.")
+
 let table1_cmd =
   let doc = "Reproduce Table 1: how often crashes corrupt file data." in
   Cmd.v
     (Cmd.info "table1" ~doc)
     Term.(
       const run_table1 $ crashes_arg $ seed_arg $ jobs_arg $ json_arg $ trace_dir_arg
-      $ reference_arg $ verbose_arg)
+      $ coverage_arg $ ring_capacity_arg $ hist_buckets_arg $ reference_arg $ verbose_arg)
 
 (* ---------------- table2 ---------------- *)
 
@@ -457,24 +520,82 @@ let matrix_arg =
            ablations must be flagged. Exit status reflects whether every \
            verdict matched.")
 
-let run_check seed jobs scenarios matrix reference verbose =
+(* Shared --json sink for check/fuzz/cov: open early (fail fast on a bad
+   path), wrap the library document with the invocation header, write on
+   completion. Wall-clock and job counts stay OUT of the cov document —
+   they are telemetry, not results — so those wrappers pass [header]
+   without them. *)
+let open_json_sink json =
+  Option.map
+    (fun file ->
+      try (file, open_out file)
+      with Sys_error msg ->
+        Printf.eprintf "riobench: cannot open --json output: %s\n%!" msg;
+        exit 1)
+    json
+
+let write_json_doc (file, oc) ~header body =
+  let doc = Json.Obj (header @ body) in
+  output_string oc (Json.pretty doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.eprintf "wrote %s\n%!" file
+
+let print_heatmap = function
+  | Some cov ->
+    print_newline ();
+    print_string (Heatmap.render cov)
+  | None -> ()
+
+let run_check seed jobs scenarios matrix json coverage ring buckets reference verbose =
   set_fastpath ~reference;
   let only = match scenarios with [] -> None | slugs -> Some slugs in
+  let json_out = open_json_sink json in
   let cfg =
-    { Run.default with Run.seed; domains = jobs; progress = progress verbose }
+    with_obs ~ring ~buckets
+      { Run.default with Run.seed; domains = jobs; coverage; progress = progress verbose }
+  in
+  let header wall_s =
+    [
+      ("benchmark", Json.Str "check");
+      ("seed", Json.Int seed);
+      ("jobs", Json.Int jobs);
+      ("wall_s", Json.Float wall_s);
+    ]
   in
   match
+    let t0 = Unix.gettimeofday () in
     if matrix then begin
       Printf.printf "Exhaustive crash-schedule check, configuration matrix (seed %d)\n\n%!"
         seed;
       let entries = Explorer.run_matrix ?only cfg in
+      let wall_s = Unix.gettimeofday () -. t0 in
       print_string (Explorer.render_matrix entries);
+      if coverage then
+        print_heatmap
+          (Some
+             (Cov.merge_list
+                (List.filter_map
+                   (fun e -> e.Explorer.entry_report.Explorer.coverage)
+                   entries)));
+      Option.iter
+        (fun out ->
+          write_json_doc out ~header:(header wall_s)
+            [ ("matrix", Explorer.matrix_json entries) ])
+        json_out;
       if Explorer.matrix_ok entries then `Ok else `Violations
     end
     else begin
       Printf.printf "Exhaustive crash-schedule check (seed %d)\n\n%!" seed;
       let report = Explorer.run ?only cfg in
+      let wall_s = Unix.gettimeofday () -. t0 in
       print_string (Explorer.render report);
+      if coverage then print_heatmap report.Explorer.coverage;
+      Option.iter
+        (fun out ->
+          write_json_doc out ~header:(header wall_s)
+            [ ("report", Explorer.report_json report) ])
+        json_out;
       if Explorer.violation_count report = 0 then `Ok else `Violations
     end
   with
@@ -494,8 +615,8 @@ let check_cmd =
   in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
-      const run_check $ seed_arg $ jobs_arg $ scenario_arg $ matrix_arg $ reference_arg
-      $ verbose_arg)
+      const run_check $ seed_arg $ jobs_arg $ scenario_arg $ matrix_arg $ json_arg
+      $ coverage_arg $ ring_capacity_arg $ hist_buckets_arg $ reference_arg $ verbose_arg)
 
 (* ---------------- fuzz ---------------- *)
 
@@ -531,37 +652,71 @@ let fuzz_matrix_arg =
            be caught $(i,and) shrunk to a readable repro. Exit status reflects \
            whether every verdict matched.")
 
-let run_fuzz trials max_ops seed jobs config matrix reference verbose =
+let find_spec config ~cmd =
+  match
+    List.find_opt (fun (s : Explorer.spec) -> s.Explorer.label = config) Explorer.matrix_specs
+  with
+  | Some s -> s
+  | None ->
+    Printf.eprintf "riobench: unknown --config %S (see riobench %s --help)\n%!" config cmd;
+    exit 2
+
+let run_fuzz trials max_ops seed jobs config matrix json coverage ring buckets reference
+    verbose =
   set_fastpath ~reference;
   let module Fuzzer = Rio_fuzz.Fuzzer in
   if trials <= 0 || max_ops <= 0 then begin
     Printf.eprintf "riobench: --trials and --max-ops must be positive\n%!";
     exit 2
   end;
+  let json_out = open_json_sink json in
   let cfg =
-    { Run.default with Run.seed; trials; domains = jobs; progress = progress verbose }
+    with_obs ~ring ~buckets
+      {
+        Run.default with
+        Run.seed;
+        trials;
+        domains = jobs;
+        coverage;
+        progress = progress verbose;
+      }
   in
+  let header wall_s =
+    [
+      ("benchmark", Json.Str "fuzz");
+      ("seed", Json.Int seed);
+      ("jobs", Json.Int jobs);
+      ("wall_s", Json.Float wall_s);
+    ]
+  in
+  let t0 = Unix.gettimeofday () in
   if matrix then begin
     Printf.printf "Randomized crash-schedule fuzz, configuration matrix (seed %d)\n\n%!" seed;
     let entries = Fuzzer.run_matrix ~max_ops cfg in
+    let wall_s = Unix.gettimeofday () -. t0 in
     print_string (Fuzzer.render_matrix entries);
+    if coverage then
+      print_heatmap
+        (Some
+           (Cov.merge_list
+              (List.filter_map (fun e -> e.Fuzzer.entry_report.Fuzzer.coverage) entries)));
+    Option.iter
+      (fun out ->
+        write_json_doc out ~header:(header wall_s) [ ("matrix", Fuzzer.matrix_json entries) ])
+      json_out;
     if not (Fuzzer.matrix_ok entries) then exit 1
   end
   else begin
-    let spec =
-      match
-        List.find_opt
-          (fun (s : Explorer.spec) -> s.Explorer.label = config)
-          Explorer.matrix_specs
-      with
-      | Some s -> s
-      | None ->
-        Printf.eprintf "riobench: unknown --config %S (see riobench fuzz --help)\n%!" config;
-        exit 2
-    in
+    let spec = find_spec config ~cmd:"fuzz" in
     Printf.printf "Randomized crash-schedule fuzz (seed %d)\n\n%!" seed;
     let report = Fuzzer.run ~spec ~max_ops cfg in
+    let wall_s = Unix.gettimeofday () -. t0 in
     print_string (Fuzzer.render report);
+    if coverage then print_heatmap report.Fuzzer.coverage;
+    Option.iter
+      (fun out ->
+        write_json_doc out ~header:(header wall_s) [ ("report", Fuzzer.report_json report) ])
+      json_out;
     if report.Fuzzer.violations > 0 then exit 1
   end
 
@@ -577,7 +732,156 @@ let fuzz_cmd =
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
       const run_fuzz $ trials_arg $ max_ops_arg $ seed_arg $ jobs_arg $ config_arg
-      $ fuzz_matrix_arg $ reference_arg $ verbose_arg)
+      $ fuzz_matrix_arg $ json_arg $ coverage_arg $ ring_capacity_arg $ hist_buckets_arg
+      $ reference_arg $ verbose_arg)
+
+(* ---------------- cov ---------------- *)
+
+let cov_only_arg =
+  Arg.(
+    value
+    & opt (enum [ ("check", `Check); ("fuzz", `Fuzz); ("all", `All) ]) `All
+    & info [ "only" ] ~docv:"WHICH"
+        ~doc:"Which campaigns feed the map: $(b,check), $(b,fuzz), or $(b,all).")
+
+let require_full_arg =
+  Arg.(
+    value & flag
+    & info [ "require-full" ]
+        ~doc:
+          "Exit 3 if any enumerated boundary label class was never crashed \
+           into — the CI coverage gate.")
+
+let cov_json_arg =
+  Arg.(
+    value
+    & opt string "BENCH_cov.json"
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "Machine-readable coverage map (default $(b,BENCH_cov.json)). \
+           Contains no wall-clock or job-count fields: equal campaigns \
+           write byte-identical documents at any -j.")
+
+let run_cov only require_full json config trials max_ops seed jobs ring buckets reference
+    verbose =
+  set_fastpath ~reference;
+  if trials <= 0 || max_ops <= 0 then begin
+    Printf.eprintf "riobench: --trials and --max-ops must be positive\n%!";
+    exit 2
+  end;
+  let module Fuzzer = Rio_fuzz.Fuzzer in
+  let spec = find_spec config ~cmd:"cov" in
+  let json_out = open_json_sink (Some json) in
+  let cfg =
+    with_obs ~ring ~buckets
+      {
+        Run.default with
+        Run.seed = seed;
+        trials;
+        domains = jobs;
+        coverage = true;
+        progress = progress verbose;
+      }
+  in
+  Printf.printf "Crash-space coverage, %s (seed %d)\n\n%!" config seed;
+  let t0 = Unix.gettimeofday () in
+  let check_report =
+    match only with
+    | `Fuzz -> None
+    | `Check | `All ->
+      let r = Explorer.run ~spec cfg in
+      Printf.printf "[check] %d scenarios, %d crash points, %d violations\n%!"
+        (List.length r.Explorer.scenarios)
+        (Explorer.crash_points r) (Explorer.violation_count r);
+      Some r
+  in
+  let fuzz_report =
+    match only with
+    | `Check -> None
+    | `Fuzz | `All ->
+      let r = Fuzzer.run ~spec ~max_ops cfg in
+      Printf.printf "[fuzz] %d trials of <= %d ops, %d boundaries, %d violations\n%!"
+        r.Fuzzer.trials r.Fuzzer.max_ops r.Fuzzer.boundaries r.Fuzzer.violations;
+      Some r
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let covs =
+    List.filter_map Fun.id
+      [
+        Option.bind check_report (fun r -> r.Explorer.coverage);
+        Option.bind fuzz_report (fun r -> r.Fuzzer.coverage);
+      ]
+  in
+  let merged = Cov.merge_list covs in
+  print_newline ();
+  print_string (Heatmap.render merged);
+  (* Wall-clock telemetry goes to stderr only: stdout and the JSON stay
+     byte-identical at any -j. *)
+  Printf.eprintf "cov: %d crash trials in %.1f s (%.0f trials/s, -j %d)\n%!"
+    (Cov.crash_trials merged) wall_s
+    (float_of_int (Cov.crash_trials merged) /. Float.max wall_s 1e-9)
+    jobs;
+  let campaign_json =
+    List.filter_map Fun.id
+      [
+        Option.map
+          (fun r ->
+            ( "check",
+              Json.Obj
+                [
+                  ("crash_points", Json.Int (Explorer.crash_points r));
+                  ("violations", Json.Int (Explorer.violation_count r));
+                ] ))
+          check_report;
+        Option.map
+          (fun (r : Fuzzer.report) ->
+            ( "fuzz",
+              Json.Obj
+                [
+                  ("trials", Json.Int r.Fuzzer.trials);
+                  ("max_ops", Json.Int r.Fuzzer.max_ops);
+                  ("boundaries", Json.Int r.Fuzzer.boundaries);
+                  ("violations", Json.Int r.Fuzzer.violations);
+                ] ))
+          fuzz_report;
+      ]
+  in
+  Option.iter
+    (fun out ->
+      write_json_doc out
+        ~header:
+          [
+            ("benchmark", Json.Str "cov");
+            ("config", Json.Str config);
+            ("seed", Json.Int seed);
+          ]
+        (campaign_json @ [ ("coverage", Cov.to_json merged) ]))
+    json_out;
+  let violations =
+    (match check_report with Some r -> Explorer.violation_count r | None -> 0)
+    + match fuzz_report with Some r -> r.Fuzzer.violations | None -> 0
+  in
+  if violations > 0 then exit 1;
+  if require_full && Cov.unhit_classes merged <> [] then begin
+    Printf.eprintf "riobench: coverage gate failed: unhit label classes: %s\n%!"
+      (String.concat ", " (Cov.unhit_classes merged));
+    exit 3
+  end
+
+let cov_cmd =
+  let doc =
+    "Map what the crash campaigns actually covered: run the exhaustive \
+     checker and/or the fuzzer with coverage accounting on, merge the \
+     per-trial signatures deterministically, and print the crash-space \
+     heatmap (boundary label class x crash-ordinal bucket, and x operation \
+     kind). Writes BENCH_cov.json; stdout and the JSON are byte-identical \
+     at any -j. --require-full turns the map into a CI gate."
+  in
+  Cmd.v (Cmd.info "cov" ~doc)
+    Term.(
+      const run_cov $ cov_only_arg $ require_full_arg $ cov_json_arg $ config_arg
+      $ trials_arg $ max_ops_arg $ seed_arg $ jobs_arg $ ring_capacity_arg
+      $ hist_buckets_arg $ reference_arg $ verbose_arg)
 
 (* ---------------- microbench ---------------- *)
 
@@ -881,7 +1185,7 @@ let microbench_cmd =
 (* ---------------- all ---------------- *)
 
 let run_all crashes scale seed jobs verbose =
-  run_table1 crashes seed jobs None None false verbose;
+  run_table1 crashes seed jobs None None false None None false verbose;
   print_newline ();
   run_table2 scale seed jobs verbose;
   print_newline ();
@@ -899,7 +1203,7 @@ let main_cmd =
   Cmd.group info
     [
       table1_cmd; table2_cmd; mttf_cmd; ablation_cmd; messages_cmd; trace_cmd;
-      workloads_cmd; vista_cmd; check_cmd; fuzz_cmd; microbench_cmd; all_cmd;
+      workloads_cmd; vista_cmd; check_cmd; fuzz_cmd; cov_cmd; microbench_cmd; all_cmd;
     ]
 
 let () =

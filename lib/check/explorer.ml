@@ -10,6 +10,8 @@ module Trace = Rio_obs.Trace
 module Forensics = Rio_obs.Forensics
 module Pool = Rio_parallel.Pool
 module Run = Rio_harness.Run
+module Cov = Rio_cov.Cov
+module Json = Rio_util.Json
 
 type spec = {
   label : string;
@@ -53,7 +55,11 @@ type scenario_result = {
   violations : violation list;
 }
 
-type report = { spec : spec; scenarios : scenario_result list }
+type report = {
+  spec : spec;
+  scenarios : scenario_result list;
+  coverage : Cov.t option;
+}
 
 (* ---------------- one trial ---------------- *)
 
@@ -157,25 +163,43 @@ let run ?(spec = rio_prot) ?only (cfg : Run.config) =
     Pool.map_list ~domains:cfg.Run.domains
       (fun (sc, trip, label) ->
         let t = run_trial ~spec ~seed:cfg.Run.seed sc ~trip in
-        let problems =
+        let cov_outcome, problems =
           match t.outcome with
-          | Crashed problems -> problems
+          | Crashed [] -> (Cov.Survived, [])
+          | Crashed problems -> (Cov.Violated, problems)
           | Completed ->
-            [ Printf.sprintf "crash point %d (%s) was not reached on replay" trip label ]
+            ( Cov.Unreached,
+              [ Printf.sprintf "crash point %d (%s) was not reached on replay" trip label ]
+            )
         in
         let narrative =
           if problems = [] then []
           else begin
             (* Counterexample: replay the identical trial with the flight
                recorder live and distill the narrative. *)
-            let obs = Trace.create () in
+            let obs = Run.recorder cfg () in
             ignore (run_trial ~obs ~spec ~seed:cfg.Run.seed sc ~trip : trial);
             Forensics.narrative (Forensics.summarize obs)
           end
         in
         report_done ~label:sc.Scenario.slug ~detail:label;
-        (sc.Scenario.slug, { ordinal = trip; label; problems; narrative }))
+        (sc.Scenario.slug, { ordinal = trip; label; problems; narrative }, cov_outcome))
       tasks
+  in
+  let coverage =
+    if not cfg.Run.coverage then None
+    else begin
+      (* Results arrive in task (schedule) order at any [-j], so this fold
+         is deterministic: the map renders byte-identically. *)
+      let cov = Cov.create () in
+      List.iter (fun (_, labels) -> Cov.note_schedule cov ~labels) counted;
+      List.iter
+        (fun (slug, v, outcome) ->
+          Cov.record cov ~cls:(Cov.label_class v.label) ~op:slug ~ordinal:v.ordinal
+            outcome)
+        results;
+      Some cov
+    end
   in
   let scenarios =
     List.map
@@ -186,13 +210,13 @@ let run ?(spec = rio_prot) ?only (cfg : Run.config) =
           crash_points = List.length labels;
           violations =
             List.filter_map
-              (fun (slug, v) ->
+              (fun (slug, v, _) ->
                 if slug = sc.Scenario.slug && v.problems <> [] then Some v else None)
               results;
         })
       counted
   in
-  { spec; scenarios }
+  { spec; scenarios; coverage }
 
 let crash_points r = List.fold_left (fun acc s -> acc + s.crash_points) 0 r.scenarios
 
@@ -232,6 +256,50 @@ let render r =
     r.scenarios;
   Buffer.contents buf
 
+(* ---------------- machine-readable reports ---------------- *)
+
+let spec_json (spec : spec) =
+  Json.Obj
+    [
+      ("label", Json.Str spec.label);
+      ("protection", Json.Bool spec.protection);
+      ("shadow", Json.Bool spec.shadow);
+      ("registry", Json.Bool spec.registry);
+      ("expect_safe", Json.Bool spec.expect_safe);
+    ]
+
+let violation_json v =
+  Json.Obj
+    [
+      ("ordinal", Json.Int v.ordinal);
+      ("label", Json.Str v.label);
+      ("problems", Json.Arr (List.map (fun p -> Json.Str p) v.problems));
+    ]
+
+let report_json r =
+  Json.Obj
+    ([
+       ("spec", spec_json r.spec);
+       ( "scenarios",
+         Json.Arr
+           (List.map
+              (fun s ->
+                Json.Obj
+                  [
+                    ("slug", Json.Str s.slug);
+                    ("crash_points", Json.Int s.crash_points);
+                    ("violations", Json.Int (List.length s.violations));
+                    ("counterexamples", Json.Arr (List.map violation_json s.violations));
+                  ])
+              r.scenarios) );
+       ("crash_points", Json.Int (crash_points r));
+       ("violations", Json.Int (violation_count r));
+     ]
+    @
+    match r.coverage with
+    | Some cov -> [ ("coverage", Cov.to_json cov) ]
+    | None -> [])
+
 (* ---------------- the ablation matrix ---------------- *)
 
 type matrix_entry = { entry_report : report; ok : bool }
@@ -245,6 +313,13 @@ let run_matrix ?(specs = matrix_specs) ?only (cfg : Run.config) =
     specs
 
 let matrix_ok entries = List.for_all (fun e -> e.ok) entries
+
+let matrix_json entries =
+  Json.Arr
+    (List.map
+       (fun e ->
+         Json.Obj [ ("ok", Json.Bool e.ok); ("report", report_json e.entry_report) ])
+       entries)
 
 let render_matrix entries =
   let buf = Buffer.create 1024 in

@@ -48,13 +48,21 @@ type scenario_result = {
   violations : violation list;
 }
 
-type report = { spec : spec; scenarios : scenario_result list }
+type report = {
+  spec : spec;
+  scenarios : scenario_result list;
+  coverage : Rio_cov.Cov.t option;
+      (** The campaign's crash-space coverage map ([config.coverage]):
+          every schedule noted, every trip recorded as a
+          (class, scenario, ordinal-bucket) cell. Deterministic at any
+          [domains]. *)
+}
 
 val run : ?spec:spec -> ?only:string list -> Rio_harness.Run.config -> report
 (** Explore every crash point of every scenario (or just the [only]
-    slugs). Uses [config.seed] and [config.domains]; [trials] and [scale]
-    are ignored — the schedule is exhaustive, not sampled. Raises
-    [Invalid_argument] on an unknown slug. *)
+    slugs). Uses [config.seed], [config.domains], and [config.coverage];
+    [trials] and [scale] are ignored — the schedule is exhaustive, not
+    sampled. Raises [Invalid_argument] on an unknown slug. *)
 
 val crash_points : report -> int
 val violation_count : report -> int
@@ -62,6 +70,14 @@ val violation_count : report -> int
 val render : report -> string
 (** Deterministic plain-text report: per-scenario table plus one
     counterexample block per violation. *)
+
+val spec_json : spec -> Rio_util.Json.t
+(** The configuration under test, as JSON (shared with the fuzzer). *)
+
+val report_json : report -> Rio_util.Json.t
+(** Machine-readable verdicts (spec, per-scenario crash points and
+    counterexamples, totals, coverage when collected). Deterministic:
+    byte-identical at any [domains]. *)
 
 type matrix_entry = {
   entry_report : report;
@@ -72,6 +88,9 @@ val run_matrix :
   ?specs:spec list -> ?only:string list -> Rio_harness.Run.config -> matrix_entry list
 
 val matrix_ok : matrix_entry list -> bool
+
+val matrix_json : matrix_entry list -> Rio_util.Json.t
+(** One entry per configuration: its verdict plus {!report_json}. *)
 
 val render_matrix : matrix_entry list -> string
 (** Verdict table plus, for each unsafe configuration that was caught,

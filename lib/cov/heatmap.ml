@@ -1,0 +1,73 @@
+let summary t =
+  Printf.sprintf
+    "crash-space coverage: %d crash trials over %d schedules, %d boundaries enumerated, %d violations"
+    (Cov.crash_trials t) (Cov.schedules t)
+    (Cov.boundaries_enumerated t)
+    (Cov.violations t)
+
+(* One grid: rows = label classes, columns from [cols], cell count from
+   [count]. Every row carries the per-class totals; the column widths fit
+   the widest entry so the grid stays aligned at any count magnitude. *)
+let render_grid buf t ~title ~cols ~col_name ~count =
+  let classes = Cov.classes t in
+  let col_names = List.map col_name cols in
+  let cells =
+    List.map
+      (fun cls -> (cls, List.map (fun c -> count ~cls c) cols))
+      classes
+  in
+  let widths =
+    List.map2
+      (fun name col_idx ->
+        List.fold_left
+          (fun w (_, counts) ->
+            let v = List.nth counts col_idx in
+            max w (String.length (if v = 0 then "." else string_of_int v)))
+          (String.length name) cells)
+      col_names
+      (List.init (List.length cols) Fun.id)
+  in
+  let class_w =
+    List.fold_left (fun w cls -> max w (String.length cls)) (String.length "class") classes
+  in
+  Buffer.add_string buf (Printf.sprintf "  %s\n" title);
+  Buffer.add_string buf (Printf.sprintf "  %-*s" class_w "class");
+  List.iter2
+    (fun name w -> Buffer.add_string buf (Printf.sprintf "  %*s" w name))
+    col_names widths;
+  Buffer.add_string buf "  | enumerated crashed violated\n";
+  List.iter
+    (fun (cls, counts) ->
+      Buffer.add_string buf (Printf.sprintf "  %-*s" class_w cls);
+      List.iter2
+        (fun v w ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %*s" w (if v = 0 then "." else string_of_int v)))
+        counts widths;
+      let enumerated = Cov.enumerated_of_class t cls in
+      let crashed = Cov.crashed_of_class t cls in
+      let violated = Cov.violated_of_class t cls in
+      Buffer.add_string buf
+        (Printf.sprintf "  | %10d %7d %8d%s\n" enumerated crashed violated
+           (if crashed = 0 then "  UNHIT" else "")))
+    cells
+
+let render t =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf (summary t);
+  Buffer.add_char buf '\n';
+  let buckets = List.init Cov.buckets Fun.id in
+  render_grid buf t ~title:"boundary class x crash-ordinal bucket (crash trials; '.' = none)"
+    ~cols:buckets ~col_name:Cov.bucket_name
+    ~count:(fun ~cls bucket -> Cov.cell_by_bucket t ~cls ~bucket);
+  Buffer.add_char buf '\n';
+  render_grid buf t ~title:"boundary class x operation kind in flight"
+    ~cols:(Cov.ops t) ~col_name:Fun.id
+    ~count:(fun ~cls op -> Cov.cell_by_op t ~cls ~op);
+  let unhit = Cov.unhit_classes t in
+  Buffer.add_string buf
+    (match unhit with
+    | [] -> "  unhit label classes: none\n"
+    | classes ->
+      Printf.sprintf "  unhit label classes: %s\n" (String.concat ", " classes));
+  Buffer.contents buf

@@ -15,6 +15,8 @@ module Boundary = Rio_check.Boundary
 module Explorer = Rio_check.Explorer
 module Prng = Rio_util.Prng
 module Gen = Rio_workload.Script.Gen
+module Cov = Rio_cov.Cov
+module Json = Rio_util.Json
 
 exception Invalid_program
 
@@ -149,21 +151,22 @@ let in_flight_of op_starts r =
   done;
   !k
 
-(* Stratified boundary choice: bucket the schedule by label class (the
-   text before the first space — "meta-torn", "registry-update",
+(* Stratified boundary choice: bucket the schedule by label class
+   ({!Rio_cov.Cov.label_class} — "meta-torn", "registry-update",
    "vista-commit-start", ...), pick a class uniformly, then an ordinal
    within it. A uniform pick over ordinals would almost always land in
    the data-store windows that dominate long schedules and starve the
    rare metadata/registry boundaries where the atomicity protocol
-   actually lives. *)
-let pick_boundary prng labels =
+   actually lives. [prefer] is the coverage feedback hook: when any of
+   the named classes appear in this schedule, the class pick is
+   restricted to those — campaigns steer later trials into the cells
+   earlier trials never crashed in. Deterministic in (prng, prefer). *)
+let pick_boundary prng ~prefer labels =
   let classes = Hashtbl.create 16 in
   let order = ref [] in
   List.iteri
     (fun i l ->
-      let cls =
-        match String.index_opt l ' ' with Some j -> String.sub l 0 j | None -> l
-      in
+      let cls = Cov.label_class l in
       match Hashtbl.find_opt classes cls with
       | Some ords -> Hashtbl.replace classes cls (i :: ords)
       | None ->
@@ -171,18 +174,24 @@ let pick_boundary prng labels =
         Hashtbl.replace classes cls [ i ])
     labels;
   let order = Array.of_list (List.rev !order) in
-  let cls = order.(Prng.int prng (Array.length order)) in
+  let wanted =
+    Array.of_list (List.filter (fun c -> Array.exists (String.equal c) order) prefer)
+  in
+  let pool = if Array.length wanted > 0 then wanted else order in
+  let cls = pool.(Prng.int prng (Array.length pool)) in
   let ords = Array.of_list (List.rev (Hashtbl.find classes cls)) in
   ords.(Prng.int prng (Array.length ords))
 
-let fuzz_one ~spec ~world_seed ~max_ops ~prng_seed =
+let fuzz_one ?(prefer = []) ?(with_cov = false) ~spec ~world_seed ~max_ops ~prng_seed () =
   let prng = Prng.create ~seed:prng_seed in
   let nops = 1 + Prng.int prng max_ops in
   let ops = Gen.generate ~prng Program.gen_spec ~ops:nops in
   let counting = run_attempt ~spec ~seed:world_seed ~ops ~trip:(-1) () in
-  if counting.boundaries = 0 then Clean 0
+  let cov = if with_cov then Some (Cov.create ()) else None in
+  Option.iter (fun c -> Cov.note_schedule c ~labels:counting.labels) cov;
+  if counting.boundaries = 0 then (Clean 0, cov)
   else begin
-    let r = pick_boundary prng counting.labels in
+    let r = pick_boundary prng ~prefer counting.labels in
     let a = run_attempt ~spec ~seed:world_seed ~ops ~trip:r () in
     let in_flight = in_flight_of counting.op_starts r in
     let problems =
@@ -190,16 +199,29 @@ let fuzz_one ~spec ~world_seed ~max_ops ~prng_seed =
       | Some _ -> a.problems
       | None -> [ Printf.sprintf "crash point %d was not reached on replay" r ]
     in
-    if problems = [] then Clean counting.boundaries
+    Option.iter
+      (fun c ->
+        let outcome =
+          if a.crashed_during = None then Cov.Unreached
+          else if problems = [] then Cov.Survived
+          else Cov.Violated
+        in
+        Cov.record c
+          ~cls:(Cov.label_class (List.nth counting.labels r))
+          ~op:(Gen.kind (List.nth ops in_flight))
+          ~ordinal:r outcome)
+      cov;
+    if problems = [] then (Clean counting.boundaries, cov)
     else
-      Bad
-        {
-          r_ops = ops;
-          r_boundaries = counting.boundaries;
-          r_ordinal = r;
-          r_in_flight = in_flight;
-          r_problems = problems;
-        }
+      ( Bad
+          {
+            r_ops = ops;
+            r_boundaries = counting.boundaries;
+            r_ordinal = r;
+            r_in_flight = in_flight;
+            r_problems = problems;
+          },
+        cov )
   end
 
 (* ---------------- the shrinker ---------------- *)
@@ -313,17 +335,18 @@ type report = {
   boundaries : int;  (** Summed over trials (each trial's full schedule). *)
   violations : int;  (** Trials whose crash broke a contract. *)
   counterexamples : counterexample list;  (** Shrunk; at most [shrink_limit]. *)
+  coverage : Cov.t option;  (** The campaign's coverage map ([config.coverage]). *)
 }
 
 let default_max_ops = 8
 
-let shrink_and_describe ~spec ~world_seed (t, v) =
+let shrink_and_describe ~recorder ~spec ~world_seed (t, v) =
   let ops, ordinal, in_flight, shrink_attempts =
     shrink ~spec ~world_seed ~ops:v.r_ops ~ordinal:v.r_ordinal
   in
   (* Replay the minimum with the flight recorder live: the narrative is
      the counterexample's evidence. *)
-  let obs = Trace.create () in
+  let obs = recorder () in
   let final = run_attempt ~obs ~spec ~seed:world_seed ~ops ~trip:ordinal () in
   let problems = if final.problems = [] then v.r_problems else final.problems in
   {
@@ -339,19 +362,51 @@ let shrink_and_describe ~spec ~world_seed (t, v) =
     shrink_attempts;
   }
 
+(* With coverage on, trials run in fixed-size rounds: between rounds the
+   per-trial maps collected so far merge (in trial order) and the
+   still-unhit boundary classes become the next round's [prefer] set for
+   {!pick_boundary}. The round boundaries and the merge order are both
+   pure functions of the trial indices, so the feedback — and therefore
+   the whole campaign — stays byte-identical at any [domains]. *)
+let coverage_round = 32
+
 let run ?(spec = Explorer.rio_prot) ?(max_ops = default_max_ops) ?(shrink_limit = 3)
     (cfg : Run.config) =
   let world_seed = cfg.Run.seed in
   let report_done = Run.reporter cfg ~total:cfg.Run.trials in
-  let outcomes =
+  let with_cov = cfg.Run.coverage in
+  let run_round ~prefer ts =
     Pool.map_list ~domains:cfg.Run.domains
       (fun t ->
-        let out =
-          fuzz_one ~spec ~world_seed ~max_ops ~prng_seed:((world_seed * 0x1000003) + t)
+        let out, tcov =
+          fuzz_one ~prefer ~with_cov ~spec ~world_seed ~max_ops
+            ~prng_seed:((world_seed * 0x1000003) + t) ()
         in
         report_done ~label:spec.Explorer.label ~detail:(Printf.sprintf "trial %d" t);
-        (t, out))
-      (List.init cfg.Run.trials (fun t -> t))
+        (t, out, tcov))
+      ts
+  in
+  let cov = if with_cov then Some (Cov.create ()) else None in
+  let outcomes =
+    match cov with
+    | None ->
+      List.map (fun (t, o, _) -> (t, o)) (run_round ~prefer:[] (List.init cfg.Run.trials Fun.id))
+    | Some c ->
+      let acc = ref [] in
+      let rec rounds start =
+        if start < cfg.Run.trials then begin
+          let stop = min cfg.Run.trials (start + coverage_round) in
+          let res =
+            run_round ~prefer:(Cov.unhit_classes c)
+              (List.init (stop - start) (fun i -> start + i))
+          in
+          List.iter (fun (_, _, tcov) -> Option.iter (fun s -> Cov.merge ~into:c s) tcov) res;
+          acc := List.rev_append (List.map (fun (t, o, _) -> (t, o)) res) !acc;
+          rounds stop
+        end
+      in
+      rounds 0;
+      List.rev !acc
   in
   let boundaries =
     List.fold_left
@@ -363,9 +418,15 @@ let run ?(spec = Explorer.rio_prot) ?(max_ops = default_max_ops) ?(shrink_limit 
   (* Shrinking re-runs many candidate trials per violation, so only the
      first [shrink_limit] violations (in trial order: deterministic) get
      the treatment; the rest are counted. *)
+  let recorder = Run.recorder cfg in
   let counterexamples =
-    Pool.map_list ~domains:cfg.Run.domains (shrink_and_describe ~spec ~world_seed) to_shrink
+    Pool.map_list ~domains:cfg.Run.domains
+      (shrink_and_describe ~recorder ~spec ~world_seed)
+      to_shrink
   in
+  Option.iter
+    (fun c -> List.iter (fun cx -> Cov.add_shrink c cx.shrink_attempts) counterexamples)
+    cov;
   {
     spec;
     seed = cfg.Run.seed;
@@ -374,6 +435,7 @@ let run ?(spec = Explorer.rio_prot) ?(max_ops = default_max_ops) ?(shrink_limit 
     boundaries;
     violations = List.length bad;
     counterexamples;
+    coverage = cov;
   }
 
 (* ---------------- rendering ---------------- *)
@@ -417,6 +479,33 @@ let render r =
   List.iter (fun c -> render_counterexample buf c) r.counterexamples;
   Buffer.contents buf
 
+let counterexample_json c =
+  Json.Obj
+    [
+      ("trial", Json.Int c.trial);
+      ("original_ops", Json.Int c.original_ops);
+      ("original_ordinal", Json.Int c.original_ordinal);
+      ("ops", Json.Arr (List.map (fun op -> Json.Str (Gen.describe op)) c.ops));
+      ("ordinal", Json.Int c.ordinal);
+      ("in_flight", Json.Int c.in_flight);
+      ("label", Json.Str c.label);
+      ("problems", Json.Arr (List.map (fun p -> Json.Str p) c.problems));
+      ("shrink_attempts", Json.Int c.shrink_attempts);
+    ]
+
+let report_json r =
+  Json.Obj
+    ([
+       ("spec", Explorer.spec_json r.spec);
+       ("seed", Json.Int r.seed);
+       ("trials", Json.Int r.trials);
+       ("max_ops", Json.Int r.max_ops);
+       ("boundaries", Json.Int r.boundaries);
+       ("violations", Json.Int r.violations);
+       ("counterexamples", Json.Arr (List.map counterexample_json r.counterexamples));
+     ]
+    @ match r.coverage with Some cov -> [ ("coverage", Cov.to_json cov) ] | None -> [])
+
 (* ---------------- the ablation matrix ---------------- *)
 
 type matrix_entry = { entry_report : report; ok : bool }
@@ -441,6 +530,13 @@ let run_matrix ?(specs = Explorer.matrix_specs) ?max_ops ?shrink_limit (cfg : Ru
     specs
 
 let matrix_ok entries = List.for_all (fun e -> e.ok) entries
+
+let matrix_json entries =
+  Json.Arr
+    (List.map
+       (fun e ->
+         Json.Obj [ ("ok", Json.Bool e.ok); ("report", report_json e.entry_report) ])
+       entries)
 
 let render_matrix entries =
   let buf = Buffer.create 1024 in

@@ -86,6 +86,11 @@ type report = {
   violations : int;  (** Trials whose crash broke a contract. *)
   counterexamples : counterexample list;
       (** The first [shrink_limit] violations (trial order), shrunk. *)
+  coverage : Rio_cov.Cov.t option;
+      (** The campaign's crash-space coverage map ([config.coverage]).
+          With coverage on, trials run in fixed rounds and the still-unhit
+          boundary classes steer the next round's stratified crash pick —
+          deterministic feedback, byte-identical at any [domains]. *)
 }
 
 val default_max_ops : int
@@ -97,11 +102,17 @@ val run :
   Rio_harness.Run.config ->
   report
 (** [config.trials] random programs of [1..max_ops] ops each, seeded from
-    [config.seed]; [scale] and [trace_dir] are unused. *)
+    [config.seed]; [scale] and [trace_dir] are unused. [config.coverage]
+    turns on the coverage map and the unhit-class feedback loop. *)
 
 val render : report -> string
 (** Deterministic plain text: a summary head plus one block per shrunk
     counterexample (program listing, crash boundary, problems, trace). *)
+
+val report_json : report -> Rio_util.Json.t
+(** Machine-readable report (spec, totals, shrunk counterexamples,
+    coverage when collected). Deterministic: byte-identical at any
+    [domains]. *)
 
 (** {1 The ablation matrix} *)
 
@@ -121,5 +132,8 @@ val run_matrix :
     unsafe specs must be caught {e and} shrunk (see {!max_repro_ops}). *)
 
 val matrix_ok : matrix_entry list -> bool
+
+val matrix_json : matrix_entry list -> Rio_util.Json.t
+(** One entry per configuration: its verdict plus {!report_json}. *)
 
 val render_matrix : matrix_entry list -> string

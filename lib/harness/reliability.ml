@@ -50,7 +50,7 @@ let trial_header system fault ~seed =
       ("seed", Json.Int seed);
     ]
 
-let run_cell config ~crashes_per_cell ~seed_base ~trace_dir ~report (system, fault) =
+let run_cell config ~crashes_per_cell ~seed_base ~trace_dir ~mk_obs ~report (system, fault) =
   let crashes = ref 0
   and attempts = ref 0
   and corruptions = ref 0
@@ -66,12 +66,13 @@ let run_cell config ~crashes_per_cell ~seed_base ~trace_dir ~report (system, fau
     incr attempts;
     let seed = base + !attempts in
     (* One recorder per trial: trials stay isolated, so traces and metric
-       snapshots are identical at any [-j]. *)
-    let obs = match trace_dir with None -> Trace.null | Some _ -> Trace.create () in
+       snapshots are identical at any [-j]. With coverage on but tracing
+       off, [mk_obs] yields a metrics-only recorder (capacity 0). *)
+    let obs = mk_obs () in
     let o = Campaign.run_one ~obs config system fault ~seed in
+    if Trace.enabled obs then snapshots := Trace.snapshot obs :: !snapshots;
     (match trace_dir with
     | Some dir ->
-      snapshots := Trace.snapshot obs :: !snapshots;
       if not o.Campaign.discarded then
         Export.write_jsonl
           ~file:
@@ -108,9 +109,9 @@ let run_cell config ~crashes_per_cell ~seed_base ~trace_dir ~report (system, fau
       checksum_detections = !cksum;
     },
     List.rev !messages,
-    (match trace_dir with
-    | None -> None
-    | Some _ -> Some (Trace.merge_snapshots (List.rev !snapshots))) )
+    (match !snapshots with
+    | [] -> None
+    | snaps -> Some (Trace.merge_snapshots (List.rev snaps))) )
 
 let run ?(campaign = Campaign.default_config) ?(systems = Campaign.all_systems)
     ?(faults = Fault_type.all) (cfg : Run.config) =
@@ -123,10 +124,18 @@ let run ?(campaign = Campaign.default_config) ?(systems = Campaign.all_systems)
   (match trace_dir with
   | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
   | Some _ | None -> ());
+  (* With [trace_dir] every trial gets a full ring (sized by the config's
+     observability knobs); with only [coverage] on, a metrics-only
+     recorder — counters and histograms roll up, no events retained. *)
+  let mk_obs =
+    if trace_dir <> None then Run.recorder cfg
+    else if cfg.Run.coverage then fun () -> Trace.create ~capacity:0 ()
+    else fun () -> Trace.null
+  in
   let report = Run.reporter cfg ~total:(List.length tasks) in
   let with_messages =
     Pool.map_list ~domains:cfg.Run.domains
-      (run_cell campaign ~crashes_per_cell ~seed_base ~trace_dir ~report)
+      (run_cell campaign ~crashes_per_cell ~seed_base ~trace_dir ~mk_obs ~report)
       tasks
   in
   (* Merge per-cell message lists in seed order; the table is a set, so
@@ -142,9 +151,8 @@ let run ?(campaign = Campaign.default_config) ?(systems = Campaign.all_systems)
       messages 0
   in
   let metrics =
-    match trace_dir with
-    | None -> None
-    | Some _ ->
+    if trace_dir = None && not cfg.Run.coverage then None
+    else
       (* Cell snapshots merge in task (seed) order, so the aggregate is
          deterministic at any [-j]. *)
       Some

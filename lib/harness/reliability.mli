@@ -22,8 +22,9 @@ type results = {
       (** Distinct kernel consistency-check messages among them. *)
   metrics : Rio_obs.Trace.snapshot option;
       (** Aggregated per-trial metrics (counters summed, histogram
-          observations concatenated, in seed order); [Some] only when the
-          run traced ([trace_dir]). *)
+          observations concatenated, in seed order); [Some] when the run
+          traced ([trace_dir]) or collected coverage telemetry
+          ([coverage]). *)
 }
 
 val run :
@@ -45,7 +46,10 @@ val run :
     [sys__fault__seedN.jsonl] trace into the directory (created if
     missing), and [results.metrics] carries the aggregated metric
     snapshot. Trace files and metrics are byte-identical at any
-    [domains]. Without it, tracing is fully off — no overhead. *)
+    [domains]. Without it, tracing is fully off — no overhead — unless
+    [coverage] is set, in which case each trial gets a metrics-only
+    recorder (capacity 0: counters and histograms, no event ring) so the
+    campaign still rolls telemetry up into [results.metrics]. *)
 
 (** The previous spread-argument signature; delegates to {!run}. Kept for
     one release. *)

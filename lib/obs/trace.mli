@@ -74,9 +74,23 @@ val null : t
 (** The shared disabled recorder. {!emit} and every metric update on it
     are no-ops; {!enabled} is [false] only for this value. *)
 
+val default_capacity : int
+(** 65536 — what {!create} uses when no capacity is given. *)
+
+val max_capacity : int
+(** The largest ring a recorder will allocate (2^22 events); campaign
+    config layers ({!Rio_harness.Run}) clamp requests into
+    [\[0, max_capacity\]] and report the clamp. *)
+
+val max_bucket_edges : int
+(** The most histogram bucket edges {!snapshot_json} accepts (64);
+    config layers truncate longer edge lists and report it. *)
+
 val create : ?capacity:int -> unit -> t
-(** A live recorder holding the most recent [capacity] (default 65536)
-    events. [capacity = 0] records no events (metrics only). *)
+(** A live recorder holding the most recent [capacity] (default
+    {!default_capacity}) events. [capacity = 0] records no events
+    (metrics only — the cheap way to roll campaign counters up without
+    paying for a ring). *)
 
 val enabled : t -> bool
 
@@ -141,6 +155,9 @@ val merge_snapshots : snapshot list -> snapshot
     first-seen name order — merge per-trial snapshots in seed order for a
     deterministic campaign aggregate. *)
 
-val snapshot_json : snapshot -> Rio_util.Json.t
+val snapshot_json : ?bucket_edges:int array -> snapshot -> Rio_util.Json.t
 (** Counters verbatim; histograms summarized (n, min, mean, p50, p90,
-    p99, max). *)
+    p99, max). With [bucket_edges] (sorted ascending), each histogram
+    additionally carries cumulative-style bucket counts: observations
+    [<= e1], [(e1, e2]], ..., [> ek] — the campaign-configurable
+    replacement for the summary-only compile-time default. *)

@@ -169,6 +169,15 @@ module Gen = struct
 
   let default_spec ~root = { root; max_len = 6000; max_dirs = 4; vista = true }
 
+  let kind = function
+    | Creat _ -> "creat"
+    | Append _ -> "append"
+    | Overwrite _ -> "overwrite"
+    | Mkdir _ -> "mkdir"
+    | Unlink _ -> "unlink"
+    | Rename _ -> "rename"
+    | Vista_txn _ -> "vista-txn"
+
   let describe = function
     | Creat { path; seed; len } -> Printf.sprintf "creat %s (%d B, seed %#x)" path len seed
     | Append { path; seed; len } -> Printf.sprintf "append %s (+%d B, seed %#x)" path len seed

@@ -114,6 +114,11 @@ module Gen : sig
       when executed in order starting from an empty [spec.root]. Pure in
       the prng state: equal streams yield equal programs. *)
 
+  val kind : op -> string
+  (** The op's stable kind name ("creat", "append", "overwrite", "mkdir",
+      "unlink", "rename", "vista-txn") — the operation axis of crash-space
+      coverage maps. *)
+
   val describe : op -> string
   (** One human-readable line, e.g. ["creat /fuzz/f0 (1234 B, seed 0x5a)"]. *)
 
