@@ -547,7 +547,20 @@ let print_heatmap = function
     print_string (Heatmap.render cov)
   | None -> ()
 
-let run_check seed jobs scenarios matrix json coverage ring buckets reference verbose =
+let interleave_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "interleave" ] ~docv:"N"
+        ~doc:
+          "Also explore $(docv) deterministic task interleavings of each \
+           multi-task scenario: every crash point of every interleaving is \
+           enumerated, reported under the slug <scenario>#i<j>. 0 (the \
+           default) keeps the single-task campaign unchanged. Ignored with \
+           --matrix.")
+
+let run_check seed jobs scenarios matrix interleave json coverage ring buckets reference
+    verbose =
   set_fastpath ~reference;
   let only = match scenarios with [] -> None | slugs -> Some slugs in
   let json_out = open_json_sink json in
@@ -587,7 +600,7 @@ let run_check seed jobs scenarios matrix json coverage ring buckets reference ve
     end
     else begin
       Printf.printf "Exhaustive crash-schedule check (seed %d)\n\n%!" seed;
-      let report = Explorer.run ?only cfg in
+      let report = Explorer.run ?only ~interleave cfg in
       let wall_s = Unix.gettimeofday () -. t0 in
       print_string (Explorer.render report);
       if coverage then print_heatmap report.Explorer.coverage;
@@ -615,8 +628,9 @@ let check_cmd =
   in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
-      const run_check $ seed_arg $ jobs_arg $ scenario_arg $ matrix_arg $ json_arg
-      $ coverage_arg $ ring_capacity_arg $ hist_buckets_arg $ reference_arg $ verbose_arg)
+      const run_check $ seed_arg $ jobs_arg $ scenario_arg $ matrix_arg $ interleave_arg
+      $ json_arg $ coverage_arg $ ring_capacity_arg $ hist_buckets_arg $ reference_arg
+      $ verbose_arg)
 
 (* ---------------- fuzz ---------------- *)
 
@@ -640,7 +654,22 @@ let config_arg =
     & info [ "config" ] ~docv:"SLUG"
         ~doc:
           "Configuration to fuzz (without --matrix): one of rio-prot, \
-           rio-noprot, shadow-off, registry-off.")
+           rio-noprot, shadow-off, registry-off; with --tasks, also \
+           lock-off (rio-prot with block-ownership locking disabled — the \
+           planted lost-update ablation).")
+
+let tasks_fuzz_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "tasks" ] ~docv:"T"
+        ~doc:
+          "Interleaving fuzz: run $(docv) concurrent tasks per trial under \
+           the deterministic scheduler, crossing task interleavings with \
+           crash points. --config rio-prot must fuzz clean (exit 1 on a \
+           violation); --config lock-off is the ablation the fuzzer must \
+           catch $(i,and) shrink (exit 2 when caught, 1 when missed). \
+           Default 1: the single-task fuzzer. Incompatible with --matrix.")
 
 let fuzz_matrix_arg =
   Arg.(
@@ -661,12 +690,24 @@ let find_spec config ~cmd =
     Printf.eprintf "riobench: unknown --config %S (see riobench %s --help)\n%!" config cmd;
     exit 2
 
-let run_fuzz trials max_ops seed jobs config matrix json coverage ring buckets reference
-    verbose =
+let run_fuzz trials max_ops seed jobs config tasks matrix json coverage ring buckets
+    reference verbose =
   set_fastpath ~reference;
   let module Fuzzer = Rio_fuzz.Fuzzer in
   if trials <= 0 || max_ops <= 0 then begin
     Printf.eprintf "riobench: --trials and --max-ops must be positive\n%!";
+    exit 2
+  end;
+  if tasks < 1 then begin
+    Printf.eprintf "riobench: --tasks must be >= 1\n%!";
+    exit 2
+  end;
+  if tasks > 1 && matrix then begin
+    Printf.eprintf "riobench: --tasks and --matrix are incompatible\n%!";
+    exit 2
+  end;
+  if config = "lock-off" && tasks < 2 then begin
+    Printf.eprintf "riobench: --config lock-off needs --tasks >= 2\n%!";
     exit 2
   end;
   let json_out = open_json_sink json in
@@ -690,7 +731,49 @@ let run_fuzz trials max_ops seed jobs config matrix json coverage ring buckets r
     ]
   in
   let t0 = Unix.gettimeofday () in
-  if matrix then begin
+  if tasks > 1 then begin
+    (* Interleaving mode: T concurrent tasks per trial. "lock-off" is
+       rio-prot with the ownership lock disabled — the planted
+       lost-update ablation the fuzzer must catch and shrink. *)
+    let locking = config <> "lock-off" in
+    let spec = if locking then find_spec config ~cmd:"fuzz" else Explorer.rio_prot in
+    Printf.printf "Interleaving crash-schedule fuzz (seed %d, %d tasks, %s)\n\n%!" seed
+      tasks config;
+    let report = Fuzzer.run_tasks ~spec ~locking ~max_ops ~tasks cfg in
+    let wall_s = Unix.gettimeofday () -. t0 in
+    print_string (Fuzzer.render_tasks report);
+    if coverage then print_heatmap report.Fuzzer.tr_coverage;
+    (* Wall-clock and job count stay out of the document (stderr only):
+       CI cmp's the -j 1 and -j 2 JSONs byte for byte. *)
+    Printf.eprintf "fuzz: %d interleaved trials in %.1f s (-j %d)\n%!" trials wall_s jobs;
+    Option.iter
+      (fun out ->
+        write_json_doc out
+          ~header:
+            [
+              ("benchmark", Json.Str "fuzz-tasks");
+              ("config", Json.Str config);
+              ("seed", Json.Int seed);
+            ]
+          [ ("report", Fuzzer.treport_json report) ])
+      json_out;
+    if locking then begin
+      if report.Fuzzer.tr_violations > 0 then exit 1
+    end
+    else if Fuzzer.tasks_caught report then begin
+      (* The ablation run is SUPPOSED to find violations; exit 2 is the
+         caught-and-shrunk verdict CI asserts on. *)
+      Printf.eprintf "riobench: lock-off ablation caught and shrunk\n%!";
+      exit 2
+    end
+    else begin
+      Printf.eprintf
+        "riobench: lock-off ablation was NOT caught (or the repro did not \
+         shrink) — checker hole\n%!";
+      exit 1
+    end
+  end
+  else if matrix then begin
     Printf.printf "Randomized crash-schedule fuzz, configuration matrix (seed %d)\n\n%!" seed;
     let entries = Fuzzer.run_matrix ~max_ops cfg in
     let wall_s = Unix.gettimeofday () -. t0 in
@@ -732,8 +815,8 @@ let fuzz_cmd =
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
       const run_fuzz $ trials_arg $ max_ops_arg $ seed_arg $ jobs_arg $ config_arg
-      $ fuzz_matrix_arg $ json_arg $ coverage_arg $ ring_capacity_arg $ hist_buckets_arg
-      $ reference_arg $ verbose_arg)
+      $ tasks_fuzz_arg $ fuzz_matrix_arg $ json_arg $ coverage_arg $ ring_capacity_arg
+      $ hist_buckets_arg $ reference_arg $ verbose_arg)
 
 (* ---------------- cov ---------------- *)
 

@@ -27,6 +27,9 @@ type t = {
   mutable labels_rev : string list;
   mutable capture : capture option;
   mutable tripped : string option;
+  (* Fired after every counted, non-tripping boundary: the task
+     scheduler's preemption hook (boundaries are the preemption points). *)
+  mutable on_emit : string -> unit;
   (* Page pre-images captured at open_write, for torn-store composition. *)
   pre_images : (int, bytes) Hashtbl.t;
   (* Pages written through copy_in since their open_write (data pages;
@@ -46,6 +49,7 @@ let create ?(fast = Rio_util.Fastpath.on ()) ~mem ~obs () =
     labels_rev = [];
     capture = None;
     tripped = None;
+    on_emit = ignore;
     pre_images = Hashtbl.create 16;
     copied = Hashtbl.create 16;
   }
@@ -67,6 +71,7 @@ let arm t ~trip_at =
   Hashtbl.reset t.copied
 
 let disarm t = t.armed <- false
+let set_on_emit t f = t.on_emit <- f
 let emitted t = t.next
 let labels t = List.rev t.labels_rev
 let has_crash_image t = t.capture <> None
@@ -125,9 +130,11 @@ let emit t label torn =
       t.tripped <- Some label;
       raise Crash_here
     end
+    else t.on_emit label
   end
 
 let hit t label = emit t label None
+let point t label = hit t label
 
 let hit_torn t label ~page ~pre =
   emit t (label ^ "/lo") (Some { ts_page = page; ts_pre = pre; ts_keep_first = true });

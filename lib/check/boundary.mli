@@ -67,6 +67,20 @@ val restore_crash_image : t -> unit
 
 val tripped_label : t -> string option
 
+val point : t -> string -> unit
+(** Emit one externally-defined boundary: it joins the ordinal stream
+    exactly like a hook-emitted one (counted, labelled, crashable). The
+    task scheduler uses this for its lock-protocol events
+    ("task-acquire", "task-wait", "task-release", "task-call" labels),
+    which makes lock hand-offs both preemption points and crash points. *)
+
+val set_on_emit : t -> (string -> unit) -> unit
+(** Install a callback fired after every {e counted, non-tripping}
+    boundary while armed (never at the trip: {!Crash_here} is raised
+    first). The scheduler's preemption hook: with
+    [set_on_emit probe (fun _ -> Sched.preempt sched)] every protocol
+    boundary becomes a deterministic interleaving point. *)
+
 val instrument_hooks : t -> Rio_fs.Hooks.t -> unit
 (** Wrap the (already Rio-installed) file-system hooks so that store
     windows, registry updates, and shadow-wrapped metadata mutations emit

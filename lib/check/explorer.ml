@@ -12,6 +12,8 @@ module Pool = Rio_parallel.Pool
 module Run = Rio_harness.Run
 module Cov = Rio_cov.Cov
 module Json = Rio_util.Json
+module Sched = Rio_task.Sched
+module Task = Rio_task.Task
 
 type spec = {
   label : string;
@@ -73,7 +75,11 @@ let make_rio ~spec kernel =
 
 type outcome = Completed | Crashed of string list
 
-type trial = { trial_labels : string list; outcome : outcome }
+type trial = {
+  trial_labels : string list;
+  outcome : outcome;
+  crasher : string option;  (** Which task's boundary tripped (multi only). *)
+}
 
 (* Build a fresh world from the seed, run [scenario] with the probe armed
    at [trip] ([-1] = count only), and — if the probe fired — restore the
@@ -106,7 +112,7 @@ let run_trial ?(obs = Trace.null) ~spec ~seed scenario ~trip =
     Phys_mem.retire (Kernel.mem kernel);
     tr
   in
-  if not crashed then finish { trial_labels; outcome = Completed }
+  if not crashed then finish { trial_labels; outcome = Completed; crasher = None }
   else begin
     assert (Boundary.has_crash_image probe);
     Fs.crash fs;
@@ -130,7 +136,72 @@ let run_trial ?(obs = Trace.null) ~spec ~seed scenario ~trip =
       try scenario.Scenario.check fs2
       with Fs_types.Fs_error m -> [ "recovery check raised: " ^ m ]
     in
-    finish { trial_labels; outcome = Crashed problems }
+    finish { trial_labels; outcome = Crashed problems; crasher = None }
+  end
+
+(* The multi-task trial: same cycle, but the scenario's task bodies run
+   as scheduler fibers under a seeded interleaving, with every boundary
+   a preemption point and every scheduler event a boundary. The trial is
+   a pure function of (spec, seed, scenario, sched_seed, trip): the trip
+   replay follows the identical interleaving up to the crash. *)
+let run_trial_multi ?(obs = Trace.null) ~spec ~seed ~sched_seed (m : Scenario.multi) ~trip =
+  let engine = Engine.create ~obs () in
+  let costs = Costs.default in
+  let kcfg = Kernel.config_with_seed seed in
+  let kernel = Kernel.boot ~engine ~costs kcfg in
+  Kernel.format kernel;
+  make_rio ~spec kernel;
+  let fs = Kernel.mount kernel ~policy:Fs.Rio_policy in
+  let probe = Boundary.create ~mem:(Kernel.mem kernel) ~obs () in
+  Boundary.instrument_hooks probe (Kernel.hooks kernel);
+  Boundary.instrument_disk probe (Kernel.disk kernel);
+  m.Scenario.m_setup fs;
+  let sched = Sched.create ~seed:sched_seed in
+  Sched.set_on_point sched (Boundary.point probe);
+  Boundary.set_on_emit probe (fun _ -> Sched.preempt sched);
+  List.iteri
+    (fun i body ->
+      let th = Task.make ~id:i ~name:(Printf.sprintf "t%d" i) in
+      Sched.spawn sched th (fun task -> body sched task fs))
+    m.Scenario.m_tasks;
+  Boundary.arm probe ~trip_at:trip;
+  let crashed =
+    match Sched.run sched with
+    | () -> false
+    | exception Boundary.Crash_here -> true
+  in
+  Boundary.disarm probe;
+  let crasher = Option.map Task.name (Sched.crashed sched) in
+  let trial_labels = Boundary.labels probe in
+  let finish tr =
+    Phys_mem.retire (Kernel.mem kernel);
+    tr
+  in
+  if not crashed then finish { trial_labels; outcome = Completed; crasher = None }
+  else begin
+    assert (Boundary.has_crash_image probe);
+    Fs.crash fs;
+    Boundary.restore_crash_image probe;
+    let recovered = ref None in
+    ignore
+      (Warm_reboot.perform ~mem:(Kernel.mem kernel) ~disk:(Kernel.disk kernel)
+         ~layout:(Kernel.layout kernel) ~engine
+         ~reboot:(fun () ->
+           let kernel2 =
+             Kernel.boot_warm ~engine ~costs kcfg ~mem:(Kernel.mem kernel)
+               ~disk:(Kernel.disk kernel)
+           in
+           make_rio ~spec kernel2;
+           let fs2 = Kernel.mount kernel2 ~policy:Fs.Rio_policy in
+           recovered := Some fs2;
+           fs2)
+        : Warm_reboot.report);
+    let fs2 = match !recovered with Some f -> f | None -> assert false in
+    let problems =
+      try m.Scenario.m_check fs2
+      with Fs_types.Fs_error m -> [ "recovery check raised: " ^ m ]
+    in
+    finish { trial_labels; outcome = Crashed problems; crasher }
   end
 
 (* ---------------- the exhaustive run ---------------- *)
@@ -146,23 +217,54 @@ let resolve_scenarios only =
         | None -> invalid_arg ("rio_check: unknown scenario slug " ^ slug))
       slugs
 
-let run ?(spec = rio_prot) ?only (cfg : Run.config) =
+(* A schedule job: one boundary enumeration to explore. Single-task
+   scenarios contribute one job each; with [interleave = n] every
+   multi-task scenario contributes n jobs, one per scheduler seed, the
+   slug suffixed "#i<j>" so each interleaving reports separately. *)
+type job =
+  | Single of Scenario.t
+  | Multi of Scenario.multi * int * int  (* scenario, index, sched seed *)
+
+let job_slug = function
+  | Single sc -> sc.Scenario.slug
+  | Multi (m, j, _) -> Printf.sprintf "%s#i%d" m.Scenario.m_slug j
+
+let job_name = function
+  | Single sc -> sc.Scenario.name
+  | Multi (m, j, _) -> Printf.sprintf "%s (interleaving %d)" m.Scenario.m_name j
+
+let run_job ?obs ~spec ~seed job ~trip =
+  match job with
+  | Single sc -> run_trial ?obs ~spec ~seed sc ~trip
+  | Multi (m, _, sched_seed) -> run_trial_multi ?obs ~spec ~seed ~sched_seed m ~trip
+
+let run ?(spec = rio_prot) ?only ?(interleave = 0) (cfg : Run.config) =
   let scenarios = resolve_scenarios only in
-  (* Counting pass: same seed, never trips — yields the boundary order the
-     trip passes then replay point by point. *)
+  let jobs =
+    List.map (fun sc -> Single sc) scenarios
+    @
+    if interleave <= 0 then []
+    else
+      List.concat_map
+        (fun m ->
+          List.init interleave (fun j -> Multi (m, j, (cfg.Run.seed * 0x10001) + j)))
+        Scenario.multis
+  in
+  (* Counting pass: same seed(s), never trips — yields the boundary order
+     the trip passes then replay point by point. *)
   let counted =
     List.map
-      (fun sc -> (sc, (run_trial ~spec ~seed:cfg.Run.seed sc ~trip:(-1)).trial_labels))
-      scenarios
+      (fun job -> (job, (run_job ~spec ~seed:cfg.Run.seed job ~trip:(-1)).trial_labels))
+      jobs
   in
   let tasks =
-    List.concat_map (fun (sc, labels) -> List.mapi (fun i l -> (sc, i, l)) labels) counted
+    List.concat_map (fun (job, labels) -> List.mapi (fun i l -> (job, i, l)) labels) counted
   in
   let report_done = Run.reporter cfg ~total:(List.length tasks) in
   let results =
     Pool.map_list ~domains:cfg.Run.domains
-      (fun (sc, trip, label) ->
-        let t = run_trial ~spec ~seed:cfg.Run.seed sc ~trip in
+      (fun (job, trip, label) ->
+        let t = run_job ~spec ~seed:cfg.Run.seed job ~trip in
         let cov_outcome, problems =
           match t.outcome with
           | Crashed [] -> (Cov.Survived, [])
@@ -178,12 +280,17 @@ let run ?(spec = rio_prot) ?only (cfg : Run.config) =
             (* Counterexample: replay the identical trial with the flight
                recorder live and distill the narrative. *)
             let obs = Run.recorder cfg () in
-            ignore (run_trial ~obs ~spec ~seed:cfg.Run.seed sc ~trip : trial);
+            ignore (run_job ~obs ~spec ~seed:cfg.Run.seed job ~trip : trial);
             Forensics.narrative (Forensics.summarize obs)
           end
         in
-        report_done ~label:sc.Scenario.slug ~detail:label;
-        (sc.Scenario.slug, { ordinal = trip; label; problems; narrative }, cov_outcome))
+        report_done ~label:(job_slug job) ~detail:label;
+        let role =
+          match job with
+          | Single _ -> "solo"
+          | Multi _ -> ( match t.crasher with Some _ -> "crasher" | None -> "solo")
+        in
+        (job_slug job, { ordinal = trip; label; problems; narrative }, cov_outcome, role))
       tasks
   in
   let coverage =
@@ -194,24 +301,24 @@ let run ?(spec = rio_prot) ?only (cfg : Run.config) =
       let cov = Cov.create () in
       List.iter (fun (_, labels) -> Cov.note_schedule cov ~labels) counted;
       List.iter
-        (fun (slug, v, outcome) ->
-          Cov.record cov ~cls:(Cov.label_class v.label) ~op:slug ~ordinal:v.ordinal
-            outcome)
+        (fun (slug, v, outcome, role) ->
+          Cov.record cov ~task:role ~cls:(Cov.label_class v.label) ~op:slug
+            ~ordinal:v.ordinal outcome)
         results;
       Some cov
     end
   in
   let scenarios =
     List.map
-      (fun (sc, labels) ->
+      (fun (job, labels) ->
         {
-          slug = sc.Scenario.slug;
-          name = sc.Scenario.name;
+          slug = job_slug job;
+          name = job_name job;
           crash_points = List.length labels;
           violations =
             List.filter_map
-              (fun (slug, v, _) ->
-                if slug = sc.Scenario.slug && v.problems <> [] then Some v else None)
+              (fun (slug, v, _, _) ->
+                if slug = job_slug job && v.problems <> [] then Some v else None)
               results;
         })
       counted

@@ -58,11 +58,22 @@ type report = {
           [domains]. *)
 }
 
-val run : ?spec:spec -> ?only:string list -> Rio_harness.Run.config -> report
+val run :
+  ?spec:spec -> ?only:string list -> ?interleave:int -> Rio_harness.Run.config -> report
 (** Explore every crash point of every scenario (or just the [only]
     slugs). Uses [config.seed], [config.domains], and [config.coverage];
     [trials] and [scale] are ignored — the schedule is exhaustive, not
-    sampled. Raises [Invalid_argument] on an unknown slug. *)
+    sampled. Raises [Invalid_argument] on an unknown slug.
+
+    With [interleave = n > 0], each multi-task scenario
+    ({!Scenario.multis}) additionally contributes [n] jobs — one per
+    deterministic scheduler seed, reported under the slug
+    ["<slug>#i<j>"] — exploring the cross product of task interleavings
+    and crash points. Crash-point enumeration within a job is exhaustive
+    as always; the interleavings are sampled by seed. Coverage cells from
+    multi jobs carry the ["crasher"] task role when the crash landed
+    inside a task's syscall ([solo] otherwise), feeding the task axis of
+    {!Rio_cov.Heatmap}. Default [0]: no multi jobs, output unchanged. *)
 
 val crash_points : report -> int
 val violation_count : report -> int

@@ -217,3 +217,98 @@ let vista =
 
 let all = [ creat; write; rename; vista ]
 let find slug = List.find_opt (fun s -> s.slug = slug) all
+
+(* ---------------- multi-task scenarios ---------------- *)
+
+module Sched = Rio_task.Sched
+module Syscall = Fs.Syscall
+
+(* A multi-task scenario: one body per task, each issuing its steps
+   through the task-scoped syscall entry (locking on — these scripts
+   assert the SAFE protocol under interleaving). The check must be
+   interleaving-independent: it may assume nothing about which task got
+   how far, only the per-op atomicity contracts. *)
+type multi = {
+  m_name : string;
+  m_slug : string;
+  m_setup : Rio_fs.Fs.t -> unit;
+  m_tasks : (Rio_task.Sched.t -> Rio_task.Task.t -> Rio_fs.Fs.t -> unit) list;
+  m_check : Rio_fs.Fs.t -> string list;
+}
+
+let tt_seed = 0x77aa
+let tt_len = 12000 (* two blocks, so per-block store windows interleave *)
+
+let two_task =
+  let sys sched task fs call = ignore (Sched.syscall sched ~locking:true task fs call) in
+  {
+    m_name = "two tasks: chunked create vs rename + mkdir";
+    m_slug = "two-task";
+    m_setup =
+      (fun fs ->
+        setup_base fs;
+        Fs.mkdir fs "/check/ta";
+        Fs.mkdir fs "/check/tb";
+        Fs.write_file fs "/check/tb/g" (Pattern.fill ~seed:rename_seed ~len:rename_len));
+    m_tasks =
+      [
+        (fun sched task fs ->
+          let fd =
+            Syscall.fd_exn (Sched.syscall sched ~locking:true task fs (Syscall.Creat "/check/ta/f"))
+          in
+          let half = tt_len / 2 in
+          sys sched task fs
+            (Syscall.Pwrite
+               { fd; offset = 0; data = Pattern.fill_at ~seed:tt_seed ~offset:0 ~len:half });
+          sys sched task fs
+            (Syscall.Pwrite
+               {
+                 fd;
+                 offset = half;
+                 data = Pattern.fill_at ~seed:tt_seed ~offset:half ~len:(tt_len - half);
+               });
+          sys sched task fs (Syscall.Close fd));
+        (fun sched task fs ->
+          sys sched task fs (Syscall.Rename { src = "/check/tb/g"; dst = "/check/tb/h" });
+          sys sched task fs (Syscall.Mkdir "/check/tb/d"));
+      ];
+    m_check =
+      (fun fs ->
+        let acc = check_keep fs (check_listable fs []) in
+        (* Task t0's file: absent, or a prefix-or-zero of its stream. *)
+        let acc =
+          if not (Fs.exists fs "/check/ta/f") then acc
+          else
+            check_prefix_or_zero fs "/check/ta/f"
+              ~expect:(Pattern.fill ~seed:tt_seed ~len:tt_len)
+              acc
+        in
+        (* Task t1's rename: exactly one name, intact contents. *)
+        let s = Fs.exists fs "/check/tb/g" and d = Fs.exists fs "/check/tb/h" in
+        let acc =
+          if (not s) && not d then
+            "rename victim lost: neither /check/tb/g nor /check/tb/h resolves" :: acc
+          else if s && d then
+            "rename intermediate state exposed: both /check/tb/g and /check/tb/h exist" :: acc
+          else acc
+        in
+        let expect = Pattern.fill ~seed:rename_seed ~len:rename_len in
+        let content path acc =
+          if not (Fs.exists fs path) then acc
+          else if Bytes.equal (Fs.read_file fs path) expect then acc
+          else (path ^ " contents corrupted") :: acc
+        in
+        let acc = content "/check/tb/h" (content "/check/tb/g" acc) in
+        (* Task t1's mkdir: absent, or present and listable. *)
+        let acc =
+          if not (Fs.exists fs "/check/tb/d") then acc
+          else
+            match Fs.readdir fs "/check/tb/d" with
+            | (_ : string list) -> acc
+            | exception Fs_types.Fs_error m -> ("/check/tb/d unreadable: " ^ m) :: acc
+        in
+        List.rev acc);
+  }
+
+let multis = [ two_task ]
+let find_multi slug = List.find_opt (fun m -> m.m_slug = slug) multis

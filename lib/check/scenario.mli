@@ -28,3 +28,27 @@ val all : t list
 
 val find : string -> t option
 (** Look up by slug. *)
+
+(** {1 Multi-task scenarios}
+
+    Scripted interleaving checks: one body per task, each issuing its
+    steps through {!Rio_task.Sched.syscall} with locking on (the safe
+    protocol). The explorer runs them under several seeded schedules and
+    crashes at every boundary of each; [m_check] must therefore be
+    interleaving-independent — per-op atomicity contracts only, no
+    assumptions about which task got how far. Kept out of {!all} so
+    single-task campaigns are untouched; enabled by the explorer's
+    [interleave] parameter. *)
+
+type multi = {
+  m_name : string;
+  m_slug : string;
+  m_setup : Rio_fs.Fs.t -> unit;
+  m_tasks : (Rio_task.Sched.t -> Rio_task.Task.t -> Rio_fs.Fs.t -> unit) list;
+  m_check : Rio_fs.Fs.t -> string list;
+}
+
+val multis : multi list
+(** Currently just [two_task]: a chunked create racing a rename + mkdir. *)
+
+val find_multi : string -> multi option

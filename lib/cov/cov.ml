@@ -43,7 +43,11 @@ type t = {
   mutable trials : int;  (* crash trials recorded *)
   mutable shrink : int;
   enumerated : (string, int) Hashtbl.t;  (* class -> boundaries enumerated *)
-  cells : (string * string * int, tally) Hashtbl.t;
+  (* Keyed (class, op kind, task role, ordinal bucket). The task axis
+     says who the crash happened to: "solo" (single-task campaigns),
+     "crasher" (the task whose op tripped the boundary), "bystander"
+     (another task with an op in flight at someone else's crash). *)
+  cells : (string * string * string * int, tally) Hashtbl.t;
 }
 
 let create () =
@@ -75,9 +79,9 @@ let cell_tally t key =
     Hashtbl.replace t.cells key y;
     y
 
-let record t ~cls ~op ~ordinal outcome =
+let record t ?(task = "solo") ~cls ~op ~ordinal outcome =
   t.trials <- t.trials + 1;
-  let y = cell_tally t (cls, op, bucket_of_ordinal ordinal) in
+  let y = cell_tally t (cls, op, task, bucket_of_ordinal ordinal) in
   match outcome with
   | Survived -> y.survived <- y.survived + 1
   | Violated -> y.violated <- y.violated + 1
@@ -119,36 +123,47 @@ let unreached t = fold_cells t (fun _ y acc -> acc + y.unreached) 0
 let classes t =
   let seen = Hashtbl.create 32 in
   Hashtbl.iter (fun cls _ -> Hashtbl.replace seen cls ()) t.enumerated;
-  Hashtbl.iter (fun (cls, _, _) _ -> Hashtbl.replace seen cls ()) t.cells;
+  Hashtbl.iter (fun (cls, _, _, _) _ -> Hashtbl.replace seen cls ()) t.cells;
   List.sort compare (Hashtbl.fold (fun cls () acc -> cls :: acc) seen [])
 
 let ops t =
   let seen = Hashtbl.create 16 in
-  Hashtbl.iter (fun (_, op, _) _ -> Hashtbl.replace seen op ()) t.cells;
+  Hashtbl.iter (fun (_, op, _, _) _ -> Hashtbl.replace seen op ()) t.cells;
   List.sort compare (Hashtbl.fold (fun op () acc -> op :: acc) seen [])
+
+let tasks t =
+  let seen = Hashtbl.create 4 in
+  Hashtbl.iter (fun (_, _, task, _) _ -> Hashtbl.replace seen task ()) t.cells;
+  List.sort compare (Hashtbl.fold (fun task () acc -> task :: acc) seen [])
 
 let enumerated_of_class t cls =
   Option.value ~default:0 (Hashtbl.find_opt t.enumerated cls)
 
 let crashed_of_class t cls =
-  fold_cells t (fun (c, _, _) y acc -> if c = cls then acc + tally_total y else acc) 0
+  fold_cells t (fun (c, _, _, _) y acc -> if c = cls then acc + tally_total y else acc) 0
 
 let violated_of_class t cls =
-  fold_cells t (fun (c, _, _) y acc -> if c = cls then acc + y.violated else acc) 0
+  fold_cells t (fun (c, _, _, _) y acc -> if c = cls then acc + y.violated else acc) 0
 
 let cell_count t ~cls ~op ~bucket =
-  match Hashtbl.find_opt t.cells (cls, op, bucket) with
-  | Some y -> tally_total y
-  | None -> 0
+  fold_cells t
+    (fun (c, o, _, b) y acc ->
+      if c = cls && o = op && b = bucket then acc + tally_total y else acc)
+    0
 
 let cell_by_op t ~cls ~op =
   fold_cells t
-    (fun (c, o, _) y acc -> if c = cls && o = op then acc + tally_total y else acc)
+    (fun (c, o, _, _) y acc -> if c = cls && o = op then acc + tally_total y else acc)
     0
 
 let cell_by_bucket t ~cls ~bucket =
   fold_cells t
-    (fun (c, _, b) y acc -> if c = cls && b = bucket then acc + tally_total y else acc)
+    (fun (c, _, _, b) y acc -> if c = cls && b = bucket then acc + tally_total y else acc)
+    0
+
+let cell_by_task t ~cls ~task =
+  fold_cells t
+    (fun (c, _, k, _) y acc -> if c = cls && k = task then acc + tally_total y else acc)
     0
 
 let unhit_classes t =
@@ -158,7 +173,7 @@ let unhit_classes t =
 
 let sorted_cells t =
   List.sort
-    (fun ((a : string * string * int), _) (b, _) -> compare a b)
+    (fun ((a : string * string * string * int), _) (b, _) -> compare a b)
     (fold_cells t (fun key y acc -> (key, y) :: acc) [])
 
 let to_json t =
@@ -171,11 +186,12 @@ let to_json t =
         ("violated", Json.Int (violated_of_class t cls));
       ]
   in
-  let cell_json ((cls, op, bucket), y) =
+  let cell_json ((cls, op, task, bucket), y) =
     Json.Obj
       [
         ("class", Json.Str cls);
         ("op", Json.Str op);
+        ("task", Json.Str task);
         ("bucket", Json.Str (bucket_name bucket));
         ("survived", Json.Int y.survived);
         ("violated", Json.Int y.violated);

@@ -11,13 +11,15 @@
     the merged map renders as a heatmap ({!Heatmap}) and as machine
     JSON.
 
-    A {e cell} of the crash space is the triple
+    A {e cell} of the crash space is the tuple
 
     - boundary {e label class} — the stable prefix of a
       {!Rio_check.Boundary} label before its first space ("store-torn",
       "registry-update", "vista-commit-start", ...);
     - {e operation kind} — what was in flight at the crash (a fuzz op
       kind like "rename" or a checker scenario slug like "vista");
+    - {e task role} — whose crash it was in a multi-task schedule:
+      ["solo"], ["crasher"], or ["bystander"];
     - {e crash-ordinal bucket} — the boundary's ordinal in its schedule,
       power-of-two bucketed, so "early in the op" and "deep inside a
       long store sequence" are distinguishable without unbounded axes.
@@ -64,9 +66,12 @@ val note_schedule : t -> labels:string list -> unit
     tallies every label's class as enumerated. The denominator of
     coverage. *)
 
-val record : t -> cls:string -> op:string -> ordinal:int -> outcome -> unit
-(** Credit one crash trial: the cell [(cls, op, bucket ordinal)] gains
-    one tally of [outcome]. The numerator of coverage. *)
+val record : t -> ?task:string -> cls:string -> op:string -> ordinal:int -> outcome -> unit
+(** Credit one crash trial: the cell [(cls, op, task, bucket ordinal)]
+    gains one tally of [outcome]. The numerator of coverage. [task]
+    (default ["solo"]) is the task role axis: ["solo"] for single-task
+    campaigns, ["crasher"] for the task whose op tripped the boundary,
+    ["bystander"] for another task caught with an op in flight. *)
 
 val add_shrink : t -> int -> unit
 (** Credit shrink-budget usage (candidate replays one counterexample
@@ -96,6 +101,10 @@ val classes : t -> string list
 val ops : t -> string list
 (** Every operation kind recorded, sorted. *)
 
+val tasks : t -> string list
+(** Every task role recorded, sorted (["solo"], or
+    ["bystander"]/["crasher"] in multi-task campaigns). *)
+
 val enumerated_of_class : t -> string -> int
 (** Boundaries of this class enumerated across all schedules. *)
 
@@ -110,6 +119,9 @@ val cell_by_op : t -> cls:string -> op:string -> int
 
 val cell_by_bucket : t -> cls:string -> bucket:int -> int
 (** Crash trials for a (class, bucket) pair, summed over op kinds. *)
+
+val cell_by_task : t -> cls:string -> task:string -> int
+(** Crash trials for a (class, task role) pair. *)
 
 val unhit_classes : t -> string list
 (** Classes that were enumerated in some schedule but never crashed

@@ -64,6 +64,15 @@ let render t =
   render_grid buf t ~title:"boundary class x operation kind in flight"
     ~cols:(Cov.ops t) ~col_name:Fun.id
     ~count:(fun ~cls op -> Cov.cell_by_op t ~cls ~op);
+  (* The task-role axis only says something once a multi-task campaign
+     recorded crasher/bystander cells; single-task maps stay as before. *)
+  let task_roles = Cov.tasks t in
+  if task_roles <> [] && task_roles <> [ "solo" ] then begin
+    Buffer.add_char buf '\n';
+    render_grid buf t ~title:"boundary class x task role at the crash"
+      ~cols:task_roles ~col_name:Fun.id
+      ~count:(fun ~cls task -> Cov.cell_by_task t ~cls ~task)
+  end;
   let unhit = Cov.unhit_classes t in
   Buffer.add_string buf
     (match unhit with

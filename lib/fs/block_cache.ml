@@ -32,6 +32,7 @@ type t = {
   sector_of_blkno : int -> int;
   backed : bool;
   table : (int, entry) Hashtbl.t;
+  mutable ndirty : int;  (* dirty entries in [table]: flush_dirty's early-out *)
   mutable clock : int;
   mutable hits : int;
   mutable misses : int;
@@ -50,6 +51,7 @@ let create ~name ~mem ~disk ~alloc ~hooks ~sector_of_blkno ~backed =
     sector_of_blkno;
     backed;
     table = Hashtbl.create 256;
+    ndirty = 0;
     clock = 0;
     hits = 0;
     misses = 0;
@@ -69,9 +71,12 @@ let write_back t entry ~sync =
     if sync then Disk.write_sync t.disk ~sector data else Disk.write_async t.disk ~sector data;
     t.writebacks <- t.writebacks + 1
   end;
+  if entry.dirty then t.ndirty <- t.ndirty - 1;
   entry.dirty <- false
 
 let remove_entry t entry =
+  if entry.dirty then t.ndirty <- t.ndirty - 1;
+  entry.dirty <- false;
   Hashtbl.remove t.table entry.blkno;
   t.hooks.Hooks.note_unmap ~paddr:entry.paddr;
   Page_alloc.free t.alloc entry.paddr
@@ -165,6 +170,7 @@ let lookup t ~blkno = Hashtbl.find_opt t.table blkno
 
 let mark_dirty t entry =
   touch t entry;
+  if not entry.dirty then t.ndirty <- t.ndirty + 1;
   entry.dirty <- true
 
 let set_valid t entry valid =
@@ -172,17 +178,25 @@ let set_valid t entry valid =
   announce t entry
 
 let flush_dirty t ~sync ?(only = fun _ -> true) () =
-  let flushed = ref 0 in
-  let dirty = ref [] in
-  Hashtbl.iter (fun _ e -> if e.dirty && only e then dirty := e :: !dirty) t.table;
-  (* Deterministic order: by block number. *)
-  let sorted = List.sort (fun a b -> compare a.blkno b.blkno) !dirty in
-  List.iter
-    (fun e ->
-      write_back t e ~sync;
-      incr flushed)
-    sorted;
-  !flushed
+  (* Nothing dirty, nothing to scan: the update daemon calls this on every
+     pass, so a clean cache must not pay a full-table walk. *)
+  if t.ndirty = 0 then 0
+  else begin
+    let before = t.ndirty in
+    let flushed = ref 0 in
+    let dirty = ref [] in
+    Hashtbl.iter (fun _ e -> if e.dirty && only e then dirty := e :: !dirty) t.table;
+    (* Deterministic order: by block number. *)
+    let sorted = List.sort (fun a b -> compare a.blkno b.blkno) !dirty in
+    List.iter
+      (fun e ->
+        write_back t e ~sync;
+        incr flushed)
+      sorted;
+    (* Each write_back retired exactly one dirty entry from the count. *)
+    assert (t.ndirty = before - !flushed);
+    !flushed
+  end
 
 let invalidate t ~blkno =
   match Hashtbl.find_opt t.table blkno with
@@ -198,7 +212,7 @@ let iter t f =
   let sorted = List.sort (fun a b -> compare a.blkno b.blkno) entries in
   List.iter f sorted
 
-let dirty_count t = Hashtbl.fold (fun _ e acc -> if e.dirty then acc + 1 else acc) t.table 0
+let dirty_count t = t.ndirty
 
 let stats t =
   { hits = t.hits; misses = t.misses; evictions = t.evictions; writebacks = t.writebacks;

@@ -62,7 +62,8 @@ val write_back : t -> entry -> sync:bool -> unit
     completion; async queues it). Clears [dirty]. No-op when unbacked. *)
 
 val flush_dirty : t -> sync:bool -> ?only:(entry -> bool) -> unit -> int
-(** Write back all dirty (matching) entries; returns how many. *)
+(** Write back all dirty (matching) entries; returns how many. Returns
+    without scanning the table when {!dirty_count} is zero. *)
 
 val invalidate : t -> blkno:int -> unit
 (** Drop a block (deleted file), freeing its page without write-back. *)
@@ -73,6 +74,8 @@ val drop_all : t -> unit
 val iter : t -> (entry -> unit) -> unit
 
 val dirty_count : t -> int
+(** Dirty entries currently in the table. O(1): maintained as entries are
+    dirtied, written back, and removed. *)
 
 val stats : t -> stats
 

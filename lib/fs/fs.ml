@@ -1116,3 +1116,179 @@ let write_by_ino t ~ino ~offset data =
       pos := !pos + chunk
     done
   end
+
+(* ---------------- the uniform syscall entry ---------------- *)
+
+(* One decoded representation of the whole syscall surface. The checker,
+   the fuzzer, and the task scheduler all dispatch through [Syscall.run],
+   so "what operation is this, does it mutate, what is it called" is
+   answered in exactly one place; the per-op functions below the module
+   are kept as thin compatibility wrappers over it. *)
+
+module Syscall = struct
+  type call =
+    | Creat of string
+    | Open of string
+    | Close of fd
+    | Read of { fd : fd; len : int }
+    | Write of { fd : fd; data : bytes }
+    | Pread of { fd : fd; offset : int; len : int }
+    | Pwrite of { fd : fd; offset : int; data : bytes }
+    | Seek of fd * int
+    | Fsync of fd
+    | Mkdir of string
+    | Rmdir of string
+    | Link of { existing : string; path : string }
+    | Unlink of string
+    | Rename of { src : string; dst : string }
+    | Readdir of string
+    | Stat of string
+    | Lstat of string
+    | Exists of string
+    | Symlink of { target : string; path : string }
+    | Readlink of string
+    | Truncate of string * int
+    | Read_file of string
+    | Write_file of { path : string; data : bytes }
+    | Sync
+
+  type result =
+    | Unit
+    | Fd of fd
+    | Data of bytes
+    | Names of string list
+    | Stat_r of stat
+    | Bool of bool
+    | Path of string
+
+  let name = function
+    | Creat _ -> "creat"
+    | Open _ -> "open"
+    | Close _ -> "close"
+    | Read _ -> "read"
+    | Write _ -> "write"
+    | Pread _ -> "pread"
+    | Pwrite _ -> "pwrite"
+    | Seek _ -> "seek"
+    | Fsync _ -> "fsync"
+    | Mkdir _ -> "mkdir"
+    | Rmdir _ -> "rmdir"
+    | Link _ -> "link"
+    | Unlink _ -> "unlink"
+    | Rename _ -> "rename"
+    | Readdir _ -> "readdir"
+    | Stat _ -> "stat"
+    | Lstat _ -> "lstat"
+    | Exists _ -> "exists"
+    | Symlink _ -> "symlink"
+    | Readlink _ -> "readlink"
+    | Truncate _ -> "truncate"
+    | Read_file _ -> "read-file"
+    | Write_file _ -> "write-file"
+    | Sync -> "sync"
+
+  (* Whether the call can mutate shared file-system state (cache pages,
+     inodes, directories, bitmaps). Seek only moves the caller's own
+     cursor; Close and Fsync can flush under the write-through policies,
+     so they count as mutating. *)
+  let mutates = function
+    | Read _ | Pread _ | Seek _ | Readdir _ | Stat _ | Lstat _ | Exists _ | Readlink _
+    | Read_file _ ->
+      false
+    | Creat _ | Open _ | Close _ | Write _ | Pwrite _ | Fsync _ | Mkdir _ | Rmdir _ | Link _
+    | Unlink _ | Rename _ | Symlink _ | Truncate _ | Write_file _ | Sync ->
+      true
+
+  (* [Open] allocates an fd and can trigger cache fills (registry-visible
+     page mappings), so it is conservatively mutating. *)
+
+  let run t call =
+    match call with
+    | Creat path -> Fd (create t path)
+    | Open path -> Fd (open_file t path)
+    | Close fd ->
+      close t fd;
+      Unit
+    | Read { fd; len } -> Data (read t fd ~len)
+    | Write { fd; data } ->
+      write t fd data;
+      Unit
+    | Pread { fd; offset; len } -> Data (pread t fd ~offset ~len)
+    | Pwrite { fd; offset; data } ->
+      pwrite t fd ~offset data;
+      Unit
+    | Seek (fd, pos) ->
+      seek t fd pos;
+      Unit
+    | Fsync fd ->
+      fsync t fd;
+      Unit
+    | Mkdir path ->
+      mkdir t path;
+      Unit
+    | Rmdir path ->
+      rmdir t path;
+      Unit
+    | Link { existing; path } ->
+      link t existing path;
+      Unit
+    | Unlink path ->
+      unlink t path;
+      Unit
+    | Rename { src; dst } ->
+      rename t src dst;
+      Unit
+    | Readdir path -> Names (readdir t path)
+    | Stat path -> Stat_r (stat t path)
+    | Lstat path -> Stat_r (lstat t path)
+    | Exists path -> Bool (exists t path)
+    | Symlink { target; path } ->
+      symlink t ~target path;
+      Unit
+    | Readlink path -> Path (readlink t path)
+    | Truncate (path, size) ->
+      truncate t path size;
+      Unit
+    | Read_file path -> Data (read_file t path)
+    | Write_file { path; data } ->
+      write_file t path data;
+      Unit
+    | Sync ->
+      sync t;
+      Unit
+
+  let fd_exn = function Fd fd -> fd | _ -> err "Syscall: expected an fd result"
+  let data_exn = function Data b -> b | _ -> err "Syscall: expected a data result"
+  let names_exn = function Names l -> l | _ -> err "Syscall: expected a name-list result"
+  let stat_exn = function Stat_r s -> s | _ -> err "Syscall: expected a stat result"
+  let bool_exn = function Bool b -> b | _ -> err "Syscall: expected a bool result"
+  let path_exn = function Path p -> p | _ -> err "Syscall: expected a path result"
+end
+
+(* Compatibility wrappers: the historical per-op surface, now one decoded
+   dispatch away from [Syscall.run]. *)
+
+let create t path = Syscall.(fd_exn (run t (Creat path)))
+let open_file t path = Syscall.(fd_exn (run t (Open path)))
+let close t fd = ignore (Syscall.run t (Syscall.Close fd))
+let read t fd ~len = Syscall.(data_exn (run t (Read { fd; len })))
+let write t fd data = ignore (Syscall.run t (Syscall.Write { fd; data }))
+let pread t fd ~offset ~len = Syscall.(data_exn (run t (Pread { fd; offset; len })))
+let pwrite t fd ~offset data = ignore (Syscall.run t (Syscall.Pwrite { fd; offset; data }))
+let seek t fd pos = ignore (Syscall.run t (Syscall.Seek (fd, pos)))
+let fsync t fd = ignore (Syscall.run t (Syscall.Fsync fd))
+let mkdir t path = ignore (Syscall.run t (Syscall.Mkdir path))
+let rmdir t path = ignore (Syscall.run t (Syscall.Rmdir path))
+let link t existing path = ignore (Syscall.run t (Syscall.Link { existing; path }))
+let unlink t path = ignore (Syscall.run t (Syscall.Unlink path))
+let rename t src dst = ignore (Syscall.run t (Syscall.Rename { src; dst }))
+let readdir t path = Syscall.(names_exn (run t (Readdir path)))
+let stat t path = Syscall.(stat_exn (run t (Stat path)))
+let lstat t path = Syscall.(stat_exn (run t (Lstat path)))
+let exists t path = Syscall.(bool_exn (run t (Exists path)))
+let symlink t ~target path = ignore (Syscall.run t (Syscall.Symlink { target; path }))
+let readlink t path = Syscall.(path_exn (run t (Readlink path)))
+let truncate t path new_size = ignore (Syscall.run t (Syscall.Truncate (path, new_size)))
+let read_file t path = Syscall.(data_exn (run t (Read_file path)))
+let write_file t path data = ignore (Syscall.run t (Syscall.Write_file { path; data }))
+let sync t = ignore (Syscall.run t Syscall.Sync)

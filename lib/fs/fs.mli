@@ -198,3 +198,66 @@ val update_daemon_flush : t -> int
 val remount_cold : t -> unit
 (** Flush everything and drop both caches — equivalent to unmount + mount.
     Used to measure cold-cache workloads. *)
+
+(** {1 The uniform syscall entry}
+
+    One decoded representation of the syscall surface. The crash-schedule
+    checker, the fuzzer, and the task scheduler all dispatch through
+    {!Syscall.run}; the per-op functions above are thin compatibility
+    wrappers over it. *)
+
+module Syscall : sig
+  type call =
+    | Creat of string
+    | Open of string
+    | Close of fd
+    | Read of { fd : fd; len : int }
+    | Write of { fd : fd; data : bytes }
+    | Pread of { fd : fd; offset : int; len : int }
+    | Pwrite of { fd : fd; offset : int; data : bytes }
+    | Seek of fd * int
+    | Fsync of fd
+    | Mkdir of string
+    | Rmdir of string
+    | Link of { existing : string; path : string }
+    | Unlink of string
+    | Rename of { src : string; dst : string }
+    | Readdir of string
+    | Stat of string
+    | Lstat of string
+    | Exists of string
+    | Symlink of { target : string; path : string }
+    | Readlink of string
+    | Truncate of string * int
+    | Read_file of string
+    | Write_file of { path : string; data : bytes }
+    | Sync
+
+  type result =
+    | Unit
+    | Fd of fd
+    | Data of bytes
+    | Names of string list
+    | Stat_r of stat
+    | Bool of bool
+    | Path of string
+
+  val name : call -> string
+  (** Stable short name ("creat", "pwrite", ...) for attribution. *)
+
+  val mutates : call -> bool
+  (** Whether the call can mutate shared file-system state. The task
+      layer takes the ownership lock exactly for mutating calls. *)
+
+  val run : t -> call -> result
+  (** Decode and execute. Raises {!Fs_types.Fs_error} like the wrappers. *)
+
+  (** Result projections; raise {!Fs_types.Fs_error} on a shape mismatch. *)
+
+  val fd_exn : result -> fd
+  val data_exn : result -> bytes
+  val names_exn : result -> string list
+  val stat_exn : result -> stat
+  val bool_exn : result -> bool
+  val path_exn : result -> string
+end

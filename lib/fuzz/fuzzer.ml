@@ -568,3 +568,660 @@ let render_matrix entries =
       end)
     entries;
   Buffer.contents buf
+
+(* ---------------- multi-task fuzzing ---------------- *)
+
+module Task = Rio_task.Task
+module Sched = Rio_task.Sched
+
+(* One multi-task attempt: the same build/run/crash/audit cycle as
+   [run_attempt], but the programs run as scheduled task fibers, every
+   boundary is a preemption point, and the audit is per task. Pure in
+   (spec, locking, seed, sched_seed, progs, trip). *)
+
+type tattempt = {
+  t_boundaries : int;
+  t_labels : string list;
+  t_bounds : (int * int) array array;
+      (** [t_bounds.(i).(k)] = boundary-ordinal range [\[start, stop)] of
+          task [i]'s op [k]; [-1] where the op never started/finished. *)
+  t_progress : Program.progress array;  (** Per task, when the run ended. *)
+  t_crasher : (int * int) option;  (** [(task, op)] whose boundary tripped. *)
+  t_raised : (int * int * string) option;
+      (** A fiber raised [Fs_error] mid-run (ablation symptom). *)
+  t_tripped : string option;
+  t_problems : string list;
+}
+
+let run_attempt_tasks ?(obs = Trace.null) ~(spec : Explorer.spec) ~locking ~seed ~sched_seed
+    ~(progs : Gen.op list array) ~trip () =
+  (* Pre-validate against the model: sub-programs the shrinker builds can
+     be self-inconsistent, and catching that here costs no world build. *)
+  Array.iteri
+    (fun i ops ->
+      match Gen.Model.after ~root:(Program.task_root i) ops with
+      | (_ : Gen.Model.t) -> ()
+      | exception Not_found -> raise Invalid_program)
+    progs;
+  let engine = Engine.create ~obs () in
+  let costs = Costs.default in
+  let kcfg = Kernel.config_with_seed seed in
+  let kernel = Kernel.boot ~engine ~costs kcfg in
+  Kernel.format kernel;
+  make_rio ~spec kernel;
+  let fs = Kernel.mount kernel ~policy:Fs.Rio_policy in
+  let probe = Boundary.create ~mem:(Kernel.mem kernel) ~obs () in
+  Boundary.instrument_hooks probe (Kernel.hooks kernel);
+  Boundary.instrument_disk probe (Kernel.disk kernel);
+  let nt = Array.length progs in
+  let tw = Program.setup_tasks fs ~tasks:nt in
+  Array.iter (fun s -> Vista.set_observer s (Boundary.vista_event probe)) tw.Program.stores;
+  let oparr = Array.map Array.of_list progs in
+  let starts = Array.map (fun ops -> Array.make (Array.length ops) (-1)) oparr in
+  let stops = Array.map (fun ops -> Array.make (Array.length ops) (-1)) oparr in
+  let cur = Array.make nt (-1) in
+  let sched = Sched.create ~seed:sched_seed in
+  (* The wiring that makes interleaving x crash-point one schedule space:
+     scheduler events become boundaries (crashable), boundaries become
+     preemption points (interleavable). *)
+  Sched.set_on_point sched (Boundary.point probe);
+  Boundary.set_on_emit probe (fun _ -> Sched.preempt sched);
+  for i = 0 to nt - 1 do
+    let th = Task.make ~id:i ~name:(Printf.sprintf "t%d" i) in
+    Sched.spawn sched th (fun task ->
+        Task.chdir task (Program.task_root i);
+        Array.iteri
+          (fun k op ->
+            cur.(i) <- k;
+            starts.(i).(k) <- Boundary.emitted probe;
+            Program.exec_task sched ~locking ~task tw ~store:tw.Program.stores.(i) op;
+            stops.(i).(k) <- Boundary.emitted probe;
+            cur.(i) <- -1)
+          oparr.(i))
+  done;
+  Boundary.arm probe ~trip_at:trip;
+  let crashed = ref false in
+  let raised = ref None in
+  (try Sched.run sched with
+  | Boundary.Crash_here -> crashed := true
+  | Fs_types.Fs_error m -> (
+    match Sched.crashed sched with
+    | Some task ->
+      let i = Task.id task in
+      raised := Some (i, cur.(i), m)
+    | None ->
+      Phys_mem.retire (Kernel.mem kernel);
+      raise (Fs_types.Fs_error m)));
+  Boundary.disarm probe;
+  let total = Boundary.emitted probe in
+  let labels = Boundary.labels probe in
+  let t_bounds =
+    Array.init nt (fun i ->
+        Array.init (Array.length oparr.(i)) (fun k -> (starts.(i).(k), stops.(i).(k))))
+  in
+  (* Where each task stood when the run ended: ops execute in order, so
+     the first op with a start but no stop is the in-flight one. *)
+  let progress_of i =
+    let n = Array.length oparr.(i) in
+    let rec go k =
+      if k >= n then Program.Completed n
+      else if stops.(i).(k) >= 0 then go (k + 1)
+      else if starts.(i).(k) >= 0 then Program.Interrupted k
+      else Program.Completed k
+    in
+    go 0
+  in
+  let t_progress = Array.init nt progress_of in
+  let t_crasher =
+    if !crashed then
+      match Sched.crashed sched with
+      | Some task ->
+        let i = Task.id task in
+        if cur.(i) >= 0 then Some (i, cur.(i)) else None
+      | None -> None
+    else None
+  in
+  let finish a =
+    Phys_mem.retire (Kernel.mem kernel);
+    a
+  in
+  let base =
+    {
+      t_boundaries = total;
+      t_labels = labels;
+      t_bounds;
+      t_progress;
+      t_crasher;
+      t_raised = !raised;
+      t_tripped = Boundary.tripped_label probe;
+      t_problems = [];
+    }
+  in
+  if not !crashed then begin
+    match !raised with
+    | Some (i, k, m) ->
+      (* No crash was injected: the interleaving alone broke an op. *)
+      let opdesc =
+        if k >= 0 && k < Array.length oparr.(i) then Gen.describe oparr.(i).(k) else "?"
+      in
+      finish { base with t_problems = [ Printf.sprintf "t%d: %s raised: %s" i opdesc m ] }
+    | None ->
+      if trip >= 0 then finish base (* trip unreached; the caller flags it *)
+      else begin
+        (* Counting pass: audit the final state too — a lost update that
+           never crashes anything is still a violation. *)
+        let problems =
+          try Program.check_tasks fs ~progs ~progress:t_progress
+          with Fs_types.Fs_error m -> [ "final audit raised: " ^ m ]
+        in
+        finish { base with t_problems = problems }
+      end
+  end
+  else begin
+    assert (Boundary.has_crash_image probe);
+    Fs.crash fs;
+    Boundary.restore_crash_image probe;
+    let recovered = ref None in
+    ignore
+      (Warm_reboot.perform ~mem:(Kernel.mem kernel) ~disk:(Kernel.disk kernel)
+         ~layout:(Kernel.layout kernel) ~engine
+         ~reboot:(fun () ->
+           let kernel2 =
+             Kernel.boot_warm ~engine ~costs kcfg ~mem:(Kernel.mem kernel)
+               ~disk:(Kernel.disk kernel)
+           in
+           make_rio ~spec kernel2;
+           let fs2 = Kernel.mount kernel2 ~policy:Fs.Rio_policy in
+           recovered := Some fs2;
+           fs2)
+        : Warm_reboot.report);
+    let fs2 = match !recovered with Some f -> f | None -> assert false in
+    let problems =
+      try Program.check_tasks fs2 ~progs ~progress:t_progress
+      with Fs_types.Fs_error m -> [ "recovery check raised: " ^ m ]
+    in
+    finish { base with t_problems = problems }
+  end
+
+(* ---------------- one multi-task trial ---------------- *)
+
+type traw = {
+  tb_progs : Gen.op list array;
+  tb_sched_seed : int;
+  tb_boundaries : int;
+  tb_ordinal : int option;  (** [None]: the interleaving alone failed. *)
+  tb_crasher : (int * int) option;
+  tb_problems : string list;
+}
+
+type toutcome = TClean of int | TBad of traw
+
+let fuzz_one_tasks ?(prefer = []) ?(with_cov = false) ~spec ~locking ~tasks ~world_seed ~max_ops
+    ~prng_seed () =
+  let prng = Prng.create ~seed:prng_seed in
+  let progs =
+    Array.of_list
+      (Gen.generate_tasks ~prng ~spec_of:Program.task_gen_spec ~ops_per_task:max_ops tasks)
+  in
+  let sched_seed = Prng.int prng 0x40000000 in
+  let counting =
+    run_attempt_tasks ~spec ~locking ~seed:world_seed ~sched_seed ~progs ~trip:(-1) ()
+  in
+  let cov = if with_cov then Some (Cov.create ()) else None in
+  Option.iter (fun c -> Cov.note_schedule c ~labels:counting.t_labels) cov;
+  if counting.t_problems <> [] then
+    ( TBad
+        {
+          tb_progs = progs;
+          tb_sched_seed = sched_seed;
+          tb_boundaries = counting.t_boundaries;
+          tb_ordinal = None;
+          tb_crasher = None;
+          tb_problems = counting.t_problems;
+        },
+      cov )
+  else if counting.t_boundaries = 0 then (TClean 0, cov)
+  else begin
+    let r = pick_boundary prng ~prefer counting.t_labels in
+    let a = run_attempt_tasks ~spec ~locking ~seed:world_seed ~sched_seed ~progs ~trip:r () in
+    let reached = a.t_crasher <> None || a.t_raised <> None in
+    let problems =
+      if not reached then [ Printf.sprintf "crash point %d was not reached on replay" r ]
+      else a.t_problems
+    in
+    Option.iter
+      (fun c ->
+        let outcome =
+          if not reached then Cov.Unreached
+          else if problems = [] then Cov.Survived
+          else Cov.Violated
+        in
+        let cls = Cov.label_class (List.nth counting.t_labels r) in
+        match a.t_crasher with
+        | Some (ci, ck) ->
+          Cov.record c ~task:"crasher" ~cls ~op:(Gen.kind (List.nth progs.(ci) ck)) ~ordinal:r
+            outcome;
+          Array.iteri
+            (fun i p ->
+              if i <> ci then
+                match p with
+                | Program.Interrupted k ->
+                  Cov.record c ~task:"bystander" ~cls
+                    ~op:(Gen.kind (List.nth progs.(i) k))
+                    ~ordinal:r outcome
+                | Program.Completed _ -> ())
+            a.t_progress
+        | None -> ())
+      cov;
+    if problems = [] then (TClean counting.t_boundaries, cov)
+    else
+      ( TBad
+          {
+            tb_progs = progs;
+            tb_sched_seed = sched_seed;
+            tb_boundaries = counting.t_boundaries;
+            tb_ordinal = Some r;
+            tb_crasher = a.t_crasher;
+            tb_problems = problems;
+          },
+        cov )
+  end
+
+(* ---------------- the multi-task shrinker ---------------- *)
+
+(* Delta-debugging over three axes now: empty out whole bystander tasks,
+   drop single ops, walk the crash ordinal down. Removing ANY op changes
+   the scheduler's candidate sets and therefore the whole interleaving,
+   so — unlike the single-task shrinker — every candidate is re-counted
+   and the ordinal remapped into the crasher's in-flight op's new
+   boundary window (same offset first). Two failure flavors:
+   - crash flavor ([ordinal = Some r]): candidate fails if tripping at a
+     remapped ordinal still crashes and still breaks a contract;
+   - no-crash flavor ([ordinal = None]): candidate fails if the counting
+     run alone still raises or fails its final audit. *)
+
+let total_ops progs = Array.fold_left (fun a ops -> a + List.length ops) 0 progs
+let nonempty_tasks progs = Array.fold_left (fun a ops -> a + if ops = [] then 0 else 1) 0 progs
+
+let shrink_tasks ~spec ~locking ~world_seed ~sched_seed ~progs ~ordinal ~crasher =
+  let budget = ref shrink_budget in
+  let attempts = ref 0 in
+  let spend () =
+    incr attempts;
+    decr budget
+  in
+  let count progs =
+    spend ();
+    match run_attempt_tasks ~spec ~locking ~seed:world_seed ~sched_seed ~progs ~trip:(-1) () with
+    | a -> Some a
+    | exception Invalid_program -> None
+  in
+  let fails_at progs r =
+    spend ();
+    match run_attempt_tasks ~spec ~locking ~seed:world_seed ~sched_seed ~progs ~trip:r () with
+    | a -> (a.t_crasher <> None || a.t_raised <> None) && a.t_problems <> []
+    | exception Invalid_program -> false
+  in
+  let fails_nocrash progs =
+    match count progs with None -> false | Some a -> a.t_problems <> []
+  in
+  let nt = Array.length progs in
+  match (ordinal, crasher) with
+  | None, _ ->
+    (* No-crash flavor: the predicate is one counting run. *)
+    let cur = ref progs in
+    let changed = ref true in
+    while !changed && !budget > 0 do
+      changed := false;
+      for i = 0 to nt - 1 do
+        if !cur.(i) <> [] && !budget > 0 then begin
+          let cand = Array.copy !cur in
+          cand.(i) <- [];
+          if fails_nocrash cand then begin
+            cur := cand;
+            changed := true
+          end
+        end
+      done;
+      let rec drop_at i j =
+        if !budget > 0 && j < List.length !cur.(i) then begin
+          let cand = Array.copy !cur in
+          cand.(i) <- remove_at j !cur.(i);
+          if fails_nocrash cand then begin
+            cur := cand;
+            changed := true;
+            drop_at i j
+          end
+          else drop_at i (j + 1)
+        end
+      in
+      for i = 0 to nt - 1 do
+        drop_at i 0
+      done
+    done;
+    (!cur, None, !attempts)
+  | Some r0, None ->
+    (* Crashed but unattributed (should not happen): nothing safe to do. *)
+    (progs, Some r0, !attempts)
+  | Some r0, Some (c, k0) ->
+    let cur = ref progs and r = ref r0 and k = ref k0 in
+    let off = ref 0 in
+    (match count !cur with
+    | Some a0 ->
+      let lo, _ = a0.t_bounds.(c).(k0) in
+      if lo >= 0 then off := r0 - lo
+    | None -> ());
+    (* Re-count a candidate and look for a failing ordinal inside the
+       crasher op's new boundary window, preferring the same offset. *)
+    let try_remap cand ~k:k' =
+      if !budget <= 0 then None
+      else
+        match count cand with
+        | None -> None
+        | Some a ->
+          if k' < 0 || k' >= Array.length a.t_bounds.(c) then None
+          else begin
+            let lo, hi = a.t_bounds.(c).(k') in
+            if lo < 0 || hi <= lo then None
+            else begin
+              let prefer = lo + !off in
+              let range = List.init (hi - lo) (fun j -> lo + j) in
+              let ordered =
+                if prefer >= lo && prefer < hi then
+                  prefer :: List.filter (fun x -> x <> prefer) range
+                else range
+              in
+              match List.find_opt (fun r' -> !budget > 0 && fails_at cand r') ordered with
+              | Some r' -> Some (r', lo)
+              | None -> None
+            end
+          end
+    in
+    let adopt cand k' (r', lo) =
+      cur := cand;
+      k := k';
+      r := r';
+      off := r' - lo
+    in
+    (* Initial truncation: drop every op no task had started at the crash
+       (one trip run tells us where each task stood). *)
+    (spend ();
+     match
+       run_attempt_tasks ~spec ~locking ~seed:world_seed ~sched_seed ~progs:!cur ~trip:!r ()
+     with
+     | a ->
+       let cand =
+         Array.mapi
+           (fun i ops ->
+             let keep =
+               match a.t_progress.(i) with
+               | Program.Completed n -> n
+               | Program.Interrupted kk -> kk + 1
+             in
+             List.filteri (fun j _ -> j < keep) ops)
+           !cur
+       in
+       if cand <> !cur then (
+         match try_remap cand ~k:!k with
+         | Some hit -> adopt cand !k hit
+         | None -> ())
+     | exception Invalid_program -> ());
+    let changed = ref true in
+    while !changed && !budget > 0 do
+      changed := false;
+      for i = 0 to nt - 1 do
+        if i <> c && !cur.(i) <> [] && !budget > 0 then begin
+          let cand = Array.copy !cur in
+          cand.(i) <- [];
+          match try_remap cand ~k:!k with
+          | Some hit ->
+            adopt cand !k hit;
+            changed := true
+          | None -> ()
+        end
+      done;
+      let rec drop_at i j =
+        if !budget > 0 && j < List.length !cur.(i) then begin
+          if i = c && j = !k then drop_at i (j + 1)
+          else begin
+            let cand = Array.copy !cur in
+            cand.(i) <- remove_at j !cur.(i);
+            let k' = if i = c && j < !k then !k - 1 else !k in
+            match try_remap cand ~k:k' with
+            | Some hit ->
+              adopt cand k' hit;
+              changed := true;
+              drop_at i j
+            | None -> drop_at i (j + 1)
+          end
+        end
+      in
+      for i = 0 to nt - 1 do
+        drop_at i 0
+      done
+    done;
+    (* Finally walk the ordinal down within the fixed program. *)
+    let rec scan r' =
+      if r' < !r && !budget > 0 then
+        if fails_at !cur r' then r := r' else scan (r' + 1)
+    in
+    scan 0;
+    (!cur, Some !r, !attempts)
+
+(* ---------------- multi-task reports ---------------- *)
+
+type tcounterexample = {
+  tc_trial : int;
+  tc_original_ops : int;  (** Total ops across tasks before shrinking. *)
+  tc_progs : Gen.op list array;  (** Shrunk; empty lists = shrunk-away tasks. *)
+  tc_sched_seed : int;
+  tc_ordinal : int option;  (** [None]: no crash needed (interleaving alone). *)
+  tc_crasher : (int * int) option;
+  tc_label : string option;
+  tc_problems : string list;
+  tc_shrink_attempts : int;
+}
+
+type treport = {
+  tr_spec : Explorer.spec;
+  tr_locking : bool;
+  tr_seed : int;
+  tr_tasks : int;
+  tr_trials : int;
+  tr_max_ops : int;
+  tr_boundaries : int;
+  tr_violations : int;
+  tr_counterexamples : tcounterexample list;
+  tr_coverage : Cov.t option;
+}
+
+let tshrink_and_describe ~spec ~locking ~world_seed (t, v) =
+  let progs, ordinal, shrink_attempts =
+    shrink_tasks ~spec ~locking ~world_seed ~sched_seed:v.tb_sched_seed ~progs:v.tb_progs
+      ~ordinal:v.tb_ordinal ~crasher:v.tb_crasher
+  in
+  (* Replay the minimum once for the final attribution. *)
+  let final =
+    match
+      run_attempt_tasks ~spec ~locking ~seed:world_seed ~sched_seed:v.tb_sched_seed ~progs
+        ~trip:(match ordinal with Some r -> r | None -> -1) ()
+    with
+    | a -> Some a
+    | exception Invalid_program -> None
+  in
+  let problems =
+    match final with Some a when a.t_problems <> [] -> a.t_problems | _ -> v.tb_problems
+  in
+  {
+    tc_trial = t;
+    tc_original_ops = total_ops v.tb_progs;
+    tc_progs = progs;
+    tc_sched_seed = v.tb_sched_seed;
+    tc_ordinal = ordinal;
+    tc_crasher = (match final with Some a when ordinal <> None -> a.t_crasher | _ -> None);
+    tc_label = (match final with Some a -> a.t_tripped | None -> None);
+    tc_problems = problems;
+    tc_shrink_attempts = shrink_attempts;
+  }
+
+let run_tasks ?(spec = Explorer.rio_prot) ?(locking = true) ?(max_ops = default_max_ops)
+    ?(shrink_limit = 3) ~tasks (cfg : Run.config) =
+  let world_seed = cfg.Run.seed in
+  let report_done = Run.reporter cfg ~total:cfg.Run.trials in
+  let with_cov = cfg.Run.coverage in
+  let run_round ~prefer ts =
+    Pool.map_list ~domains:cfg.Run.domains
+      (fun t ->
+        let out, tcov =
+          fuzz_one_tasks ~prefer ~with_cov ~spec ~locking ~tasks ~world_seed ~max_ops
+            ~prng_seed:((world_seed * 0x1000003) + t) ()
+        in
+        report_done ~label:spec.Explorer.label ~detail:(Printf.sprintf "trial %d" t);
+        (t, out, tcov))
+      ts
+  in
+  let cov = if with_cov then Some (Cov.create ()) else None in
+  let outcomes =
+    match cov with
+    | None ->
+      List.map (fun (t, o, _) -> (t, o)) (run_round ~prefer:[] (List.init cfg.Run.trials Fun.id))
+    | Some c ->
+      let acc = ref [] in
+      let rec rounds start =
+        if start < cfg.Run.trials then begin
+          let stop = min cfg.Run.trials (start + coverage_round) in
+          let res =
+            run_round ~prefer:(Cov.unhit_classes c) (List.init (stop - start) (fun i -> start + i))
+          in
+          List.iter (fun (_, _, tcov) -> Option.iter (fun s -> Cov.merge ~into:c s) tcov) res;
+          acc := List.rev_append (List.map (fun (t, o, _) -> (t, o)) res) !acc;
+          rounds stop
+        end
+      in
+      rounds 0;
+      List.rev !acc
+  in
+  let boundaries =
+    List.fold_left
+      (fun acc (_, o) -> acc + match o with TClean b -> b | TBad v -> v.tb_boundaries)
+      0 outcomes
+  in
+  let bad =
+    List.filter_map (fun (t, o) -> match o with TBad v -> Some (t, v) | _ -> None) outcomes
+  in
+  let to_shrink = List.filteri (fun i _ -> i < shrink_limit) bad in
+  let counterexamples =
+    Pool.map_list ~domains:cfg.Run.domains (tshrink_and_describe ~spec ~locking ~world_seed)
+      to_shrink
+  in
+  Option.iter
+    (fun c -> List.iter (fun cx -> Cov.add_shrink c cx.tc_shrink_attempts) counterexamples)
+    cov;
+  {
+    tr_spec = spec;
+    tr_locking = locking;
+    tr_seed = cfg.Run.seed;
+    tr_tasks = tasks;
+    tr_trials = cfg.Run.trials;
+    tr_max_ops = max_ops;
+    tr_boundaries = boundaries;
+    tr_violations = List.length bad;
+    tr_counterexamples = counterexamples;
+    tr_coverage = cov;
+  }
+
+let render_tcounterexample buf c =
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\ncounterexample (trial %d): shrunk %d ops -> %d ops over %d tasks (sched seed %d, %d runs)\n"
+       c.tc_trial c.tc_original_ops (total_ops c.tc_progs) (nonempty_tasks c.tc_progs)
+       c.tc_sched_seed c.tc_shrink_attempts);
+  Array.iteri
+    (fun i ops ->
+      if ops <> [] then begin
+        Buffer.add_string buf (Printf.sprintf "  task t%d:\n" i);
+        List.iteri
+          (fun j op ->
+            let mark =
+              match c.tc_crasher with
+              | Some (ci, ck) when ci = i && ck = j -> "   <- in flight at the crash"
+              | _ -> ""
+            in
+            Buffer.add_string buf (Printf.sprintf "    %d. %s%s\n" (j + 1) (Gen.describe op) mark))
+          ops
+      end)
+    c.tc_progs;
+  (match c.tc_ordinal with
+  | Some r ->
+    Buffer.add_string buf
+      (Printf.sprintf "  crash at boundary %d (%s)\n" r
+         (Option.value c.tc_label ~default:"?"))
+  | None -> Buffer.add_string buf "  no crash injected: the interleaving alone fails\n");
+  List.iter (fun p -> Buffer.add_string buf ("  problem: " ^ p ^ "\n")) c.tc_problems
+
+let render_tasks r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "interleaving fuzz: %s, %d tasks, locking %s\n" (spec_line r.tr_spec)
+       r.tr_tasks
+       (if r.tr_locking then "on" else "off"));
+  Buffer.add_string buf
+    (Printf.sprintf "  seed %d, %d trials of <= %d ops per task, %d boundaries enumerated\n"
+       r.tr_seed r.tr_trials r.tr_max_ops r.tr_boundaries);
+  Buffer.add_string buf
+    (if r.tr_violations = 0 then "  violations: 0\n"
+     else
+       Printf.sprintf "  violations: %d (%d shrunk below)\n" r.tr_violations
+         (List.length r.tr_counterexamples));
+  List.iter (fun c -> render_tcounterexample buf c) r.tr_counterexamples;
+  Buffer.contents buf
+
+let tcounterexample_json c =
+  Json.Obj
+    [
+      ("trial", Json.Int c.tc_trial);
+      ("original_ops", Json.Int c.tc_original_ops);
+      ( "tasks",
+        Json.Arr
+          (Array.to_list
+             (Array.map
+                (fun ops -> Json.Arr (List.map (fun op -> Json.Str (Gen.describe op)) ops))
+                c.tc_progs)) );
+      ("sched_seed", Json.Int c.tc_sched_seed);
+      ("ordinal", match c.tc_ordinal with Some r -> Json.Int r | None -> Json.Null);
+      ( "crasher",
+        match c.tc_crasher with
+        | Some (i, k) -> Json.Arr [ Json.Int i; Json.Int k ]
+        | None -> Json.Null );
+      ("label", match c.tc_label with Some l -> Json.Str l | None -> Json.Null);
+      ("problems", Json.Arr (List.map (fun p -> Json.Str p) c.tc_problems));
+      ("shrink_attempts", Json.Int c.tc_shrink_attempts);
+    ]
+
+let treport_json r =
+  Json.Obj
+    ([
+       ("spec", Explorer.spec_json r.tr_spec);
+       ("locking", Json.Bool r.tr_locking);
+       ("seed", Json.Int r.tr_seed);
+       ("tasks", Json.Int r.tr_tasks);
+       ("trials", Json.Int r.tr_trials);
+       ("max_ops", Json.Int r.tr_max_ops);
+       ("boundaries", Json.Int r.tr_boundaries);
+       ("violations", Json.Int r.tr_violations);
+       ("counterexamples", Json.Arr (List.map tcounterexample_json r.tr_counterexamples));
+     ]
+    @ match r.tr_coverage with Some cov -> [ ("coverage", Cov.to_json cov) ] | None -> [])
+
+(* The multi-task acceptance bar, mirroring [run_matrix]: with locking the
+   campaign must be clean; without it (the lost-update ablation) it must
+   be caught with a readable repro — at most [max_repro_ops] total ops
+   over at most two non-empty tasks. *)
+let tasks_caught r =
+  r.tr_violations > 0
+  && List.exists
+       (fun c ->
+         total_ops c.tc_progs <= max_repro_ops
+         && nonempty_tasks c.tc_progs <= 2
+         && c.tc_problems <> [])
+       r.tr_counterexamples

@@ -137,3 +137,112 @@ val matrix_json : matrix_entry list -> Rio_util.Json.t
 (** One entry per configuration: its verdict plus {!report_json}. *)
 
 val render_matrix : matrix_entry list -> string
+
+(** {1 Multi-task fuzzing: interleaving x crash-point schedules}
+
+    The same trial cycle, with the programs run as {!Rio_task.Sched}
+    fibers: one program per task over a disjoint subtree, every boundary
+    a preemption point (and every scheduler lock event a boundary), the
+    crash tripped at a stratified pick over the {e interleaved} schedule,
+    and the audit per task ({!Program.check_tasks} — completed ops exact,
+    the in-flight op under its atomicity contract, bystanders exact).
+    Trials are pure functions of (spec, locking, seed, trial index), so
+    reports stay byte-identical at any [domains]. [locking:false] is the
+    planted lost-update ablation: mutating syscalls skip the ownership
+    lock, and the interleaving fuzzer must catch the torn metadata it
+    produces. *)
+
+type tattempt = {
+  t_boundaries : int;
+  t_labels : string list;
+  t_bounds : (int * int) array array;
+      (** [t_bounds.(i).(k)] = boundary-ordinal range [\[start, stop)] of
+          task [i]'s op [k]; [-1] where the op never started/finished. *)
+  t_progress : Program.progress array;
+  t_crasher : (int * int) option;  (** [(task, op)] whose boundary tripped. *)
+  t_raised : (int * int * string) option;
+      (** A fiber raised [Fs_error] mid-run (an ablation symptom). *)
+  t_tripped : string option;
+  t_problems : string list;
+}
+
+val run_attempt_tasks :
+  ?obs:Rio_obs.Trace.t ->
+  spec:Rio_check.Explorer.spec ->
+  locking:bool ->
+  seed:int ->
+  sched_seed:int ->
+  progs:Rio_workload.Script.Gen.op list array ->
+  trip:int ->
+  unit ->
+  tattempt
+(** Build a fresh world, run one program per task under the seeded
+    scheduler, crash at boundary [trip] ([-1] = count only, with a
+    final-state audit), recover and audit per task. Raises
+    {!Invalid_program} when some program is not self-contained. *)
+
+val total_ops : Rio_workload.Script.Gen.op list array -> int
+val nonempty_tasks : Rio_workload.Script.Gen.op list array -> int
+
+val shrink_tasks :
+  spec:Rio_check.Explorer.spec ->
+  locking:bool ->
+  world_seed:int ->
+  sched_seed:int ->
+  progs:Rio_workload.Script.Gen.op list array ->
+  ordinal:int option ->
+  crasher:(int * int) option ->
+  Rio_workload.Script.Gen.op list array * int option * int
+(** [(progs', ordinal', attempts)] — a locally minimal failing multi-task
+    (programs, boundary) pair: whole bystander tasks emptied, single ops
+    dropped, the ordinal walked down. Every candidate re-counts the
+    schedule (removing ops changes the interleaving) and remaps the
+    ordinal into the crasher op's new boundary window. [ordinal = None]
+    is the no-crash flavor (the interleaving alone fails the audit). *)
+
+type tcounterexample = {
+  tc_trial : int;
+  tc_original_ops : int;
+  tc_progs : Rio_workload.Script.Gen.op list array;
+  tc_sched_seed : int;
+  tc_ordinal : int option;
+  tc_crasher : (int * int) option;
+  tc_label : string option;
+  tc_problems : string list;
+  tc_shrink_attempts : int;
+}
+
+type treport = {
+  tr_spec : Rio_check.Explorer.spec;
+  tr_locking : bool;
+  tr_seed : int;
+  tr_tasks : int;
+  tr_trials : int;
+  tr_max_ops : int;
+  tr_boundaries : int;
+  tr_violations : int;
+  tr_counterexamples : tcounterexample list;
+  tr_coverage : Rio_cov.Cov.t option;
+}
+
+val run_tasks :
+  ?spec:Rio_check.Explorer.spec ->
+  ?locking:bool ->
+  ?max_ops:int ->
+  ?shrink_limit:int ->
+  tasks:int ->
+  Rio_harness.Run.config ->
+  treport
+(** [config.trials] multi-task trials ([tasks] programs of
+    [1..max_ops] ops each), seeded from [config.seed]. [config.coverage]
+    turns on the coverage map — now with the task-role axis
+    (crasher/bystander) — and the unhit-class feedback loop. *)
+
+val render_tasks : treport -> string
+(** Deterministic plain text, byte-identical at any [domains]. *)
+
+val treport_json : treport -> Rio_util.Json.t
+
+val tasks_caught : treport -> bool
+(** The ablation acceptance bar: some counterexample shrank to at most
+    {!max_repro_ops} total ops over at most two non-empty tasks. *)

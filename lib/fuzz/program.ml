@@ -5,6 +5,8 @@ module Pattern = Rio_util.Pattern
 module Script = Rio_workload.Script
 module Gen = Rio_workload.Script.Gen
 module Model = Rio_workload.Script.Gen.Model
+module Task = Rio_task.Task
+module Sched = Rio_task.Sched
 
 let root = "/fuzz"
 let keep_path = "/fuzz/keep"
@@ -66,6 +68,97 @@ let exec w (op : Gen.op) =
     Vista.write txn ~offset:0 (Pattern.fill_at ~seed ~offset:0 ~len:half);
     Vista.write txn ~offset:half (Pattern.fill_at ~seed ~offset:half ~len:(ledger_size - half));
     Vista.commit txn
+
+(* ---------------- the multi-task world ---------------- *)
+
+(* Each task owns a disjoint subtree /fuzz/t<i> with its own Vista
+   ledger, so every task's expected state stays exact under any
+   interleaving; what the tasks share — and what the interleaving
+   fuzzer stresses — is the machinery underneath the namespace: the
+   block caches, allocation bitmaps, shared inode sectors, the Rio
+   registry, and the single shadow page. *)
+
+let task_root i = Printf.sprintf "%s/t%d" root i
+let task_ledger i = task_root i ^ "/ledger"
+let task_gen_spec i = Gen.default_spec ~root:(task_root i)
+
+type tworld = { tfs : Fs.t; stores : Vista.t array }
+
+let setup_tasks fs ~tasks =
+  Fs.mkdir fs root;
+  Fs.write_file fs keep_path (Pattern.fill ~seed:keep_seed ~len:keep_len);
+  let stores =
+    Array.init tasks (fun i ->
+        Fs.mkdir fs (task_root i);
+        let store = Vista.create fs ~path:(task_ledger i) ~size:ledger_size in
+        let txn = Vista.begin_txn store in
+        Vista.write txn ~offset:0 (ledger_pattern ledger_setup_seed);
+        Vista.commit txn;
+        store)
+  in
+  { tfs = fs; stores }
+
+(* One op, issued as [task] through the task-scoped syscall entry:
+   paths are made cwd-relative (the fiber chdirs to its subtree), fds
+   go through the task's local descriptor table, and — when [locking]
+   — mutating calls hold the ownership lock. A Vista transaction holds
+   it across the whole transaction: the undo-log protocol is one
+   logical metadata update. *)
+let exec_task sched ~locking ~task tw ~store (op : Gen.op) =
+  let fs = tw.tfs in
+  let sys call = Sched.syscall sched ~locking task fs call in
+  let rel p =
+    let cw = Task.cwd task ^ "/" in
+    let n = String.length cw in
+    if String.length p > n && String.sub p 0 n = cw then String.sub p n (String.length p - n)
+    else p
+  in
+  let write_stream_sys gfd ~base ~seed ~len =
+    let rec go off =
+      if off < len then begin
+        let n = min Script.chunk_size (len - off) in
+        ignore
+          (sys
+             (Fs.Syscall.Pwrite
+                { fd = gfd; offset = base + off; data = Pattern.fill_at ~seed ~offset:off ~len:n }));
+        go (off + n)
+      end
+    in
+    go 0
+  in
+  match op with
+  | Creat { path; seed; len } ->
+    let lfd = Task.install_fd task (Fs.Syscall.fd_exn (sys (Fs.Syscall.Creat (rel path)))) in
+    let gfd = Task.global_fd task lfd in
+    write_stream_sys gfd ~base:0 ~seed ~len;
+    ignore (sys (Fs.Syscall.Close gfd));
+    Task.release_fd task lfd
+  | Append { path; seed; len } ->
+    let lfd = Task.install_fd task (Fs.Syscall.fd_exn (sys (Fs.Syscall.Open (rel path)))) in
+    let gfd = Task.global_fd task lfd in
+    let base = Fs.fd_size fs gfd in
+    write_stream_sys gfd ~base ~seed ~len;
+    ignore (sys (Fs.Syscall.Close gfd));
+    Task.release_fd task lfd
+  | Overwrite { path; offset; seed; len } ->
+    let lfd = Task.install_fd task (Fs.Syscall.fd_exn (sys (Fs.Syscall.Open (rel path)))) in
+    let gfd = Task.global_fd task lfd in
+    write_stream_sys gfd ~base:offset ~seed ~len;
+    ignore (sys (Fs.Syscall.Close gfd));
+    Task.release_fd task lfd
+  | Mkdir path -> ignore (sys (Fs.Syscall.Mkdir (rel path)))
+  | Unlink path -> ignore (sys (Fs.Syscall.Unlink (rel path)))
+  | Rename { src; dst } -> ignore (sys (Fs.Syscall.Rename { src = rel src; dst = rel dst }))
+  | Vista_txn { seed } ->
+    let body () =
+      let txn = Vista.begin_txn store in
+      let half = ledger_size / 2 in
+      Vista.write txn ~offset:0 (Pattern.fill_at ~seed ~offset:0 ~len:half);
+      Vista.write txn ~offset:half
+        (Pattern.fill_at ~seed ~offset:half ~len:(ledger_size - half));
+      Vista.commit txn
+    in
+    if locking then Sched.with_lock sched ~key:Sched.fs_lock body else body ()
 
 (* ---------------- post-crash contracts ---------------- *)
 
@@ -130,12 +223,12 @@ let touched (op : Gen.op) =
   | Rename { src; dst } -> [ src; dst ]
   | Mkdir _ | Vista_txn _ -> []
 
-let check_vista fs ~in_flight_seed ~committed acc =
-  if not (Fs.exists fs ledger_path) then problem "vista store %s vanished" ledger_path :: acc
+let check_vista fs ~ledger ~in_flight_seed ~committed acc =
+  if not (Fs.exists fs ledger) then problem "vista store %s vanished" ledger :: acc
   else begin
-    let rolled_back = Vista.recover fs ~path:ledger_path in
+    let rolled_back = Vista.recover fs ~path:ledger in
     ignore (rolled_back : int);
-    let store = Vista.open_existing fs ~path:ledger_path in
+    let store = Vista.open_existing fs ~path:ledger in
     let b = Vista.read store ~offset:0 ~len:ledger_size in
     let states =
       committed :: (match in_flight_seed with Some s -> [ s ] | None -> [])
@@ -145,33 +238,40 @@ let check_vista fs ~in_flight_seed ~committed acc =
       else
         problem "vista store is neither the last committed state nor the in-flight one" :: acc
     in
-    let undo = ledger_path ^ ".undo" in
+    let undo = ledger ^ ".undo" in
     if Fs.exists fs undo && (Fs.stat fs undo).Fs.st_size <> 0 then
       problem "vista undo log not empty after recovery" :: acc
     else acc
   end
 
-(* Audit the recovered file system against the model. [ops] is the whole
-   program; [in_flight] the index of the op the crash interrupted. *)
-let check fs ~ops ~in_flight =
+(* How far one program got when the crash hit. *)
+type progress =
+  | Completed of int  (** the first [n] ops ran to completion; the rest never started *)
+  | Interrupted of int  (** ops [0..k-1] completed; op [k] was in flight *)
+
+(* Audit one program's subtree against its model. Shared by the
+   single-task [check] and the per-task legs of [check_tasks]; problems
+   accumulate onto [acc] (reversed, like every checker here). *)
+let check_core fs ~root:rt ~ledger ~ops ~progress acc =
   let arr = Array.of_list ops in
-  let before = Model.create ~root in
-  for i = 0 to in_flight - 1 do
+  let ncompleted, inflight =
+    match progress with
+    | Completed n -> (n, None)
+    | Interrupted k -> (k, Some arr.(k))
+  in
+  let before = Model.create ~root:rt in
+  for i = 0 to ncompleted - 1 do
     Model.apply before arr.(i)
   done;
-  let op = arr.(in_flight) in
   let after = Model.copy before in
-  Model.apply after op;
-  let hot = touched op in
-  let acc = [] in
-  (* Bystander planted before the program ran: must never move. *)
-  let acc = check_exact fs ~path:keep_path ~expect:(Pattern.fill ~seed:keep_seed ~len:keep_len) acc in
+  Option.iter (Model.apply after) inflight;
+  let hot = match inflight with Some op -> touched op | None -> [] in
   (* Directories created by completed ops stay listable; an in-flight
      mkdir is atomic: absent, or present and listable. *)
   let acc = List.fold_left (fun acc d -> check_dir fs ~path:d acc) acc before.Model.dirs in
   let acc =
-    match op with
-    | Mkdir d when Fs.exists fs d -> check_dir fs ~path:d acc
+    match inflight with
+    | Some (Gen.Mkdir d) when Fs.exists fs d -> check_dir fs ~path:d acc
     | _ -> acc
   in
   (* Files owned by completed ops and untouched by the in-flight one. *)
@@ -184,34 +284,65 @@ let check fs ~ops ~in_flight =
   in
   (* The in-flight op's own contract. *)
   let acc =
-    match op with
-    | Creat { path; _ } ->
-      if not (Fs.exists fs path) then acc
-      else
-        check_inflight_write fs ~path ~old:Bytes.empty
-          ~expect:(Hashtbl.find after.Model.files path) acc
-    | Append { path; _ } | Overwrite { path; _ } ->
-      check_inflight_write fs ~path
-        ~old:(Hashtbl.find before.Model.files path)
-        ~expect:(Hashtbl.find after.Model.files path)
-        acc
-    | Unlink path ->
-      if not (Fs.exists fs path) then acc
-      else check_exact fs ~path ~expect:(Hashtbl.find before.Model.files path) acc
-    | Rename { src; dst } ->
-      let expect = Hashtbl.find before.Model.files src in
-      let s = Fs.exists fs src and d = Fs.exists fs dst in
-      if not (s || d) then problem "rename lost %s: neither name exists" src :: acc
-      else begin
-        (* Cross-directory renames legitimately pass through a both-names
-           state (insert before remove); whichever name exists must carry
-           the full old contents. *)
-        let acc = if s then check_exact fs ~path:src ~expect acc else acc in
-        if d then check_exact fs ~path:dst ~expect acc else acc
-      end
-    | Mkdir _ | Vista_txn _ -> acc
+    match inflight with
+    | None -> acc
+    | Some op -> (
+      match op with
+      | Gen.Creat { path; _ } ->
+        if not (Fs.exists fs path) then acc
+        else
+          check_inflight_write fs ~path ~old:Bytes.empty
+            ~expect:(Hashtbl.find after.Model.files path) acc
+      | Gen.Append { path; _ } | Gen.Overwrite { path; _ } ->
+        check_inflight_write fs ~path
+          ~old:(Hashtbl.find before.Model.files path)
+          ~expect:(Hashtbl.find after.Model.files path)
+          acc
+      | Gen.Unlink path ->
+        if not (Fs.exists fs path) then acc
+        else check_exact fs ~path ~expect:(Hashtbl.find before.Model.files path) acc
+      | Gen.Rename { src; dst } ->
+        let expect = Hashtbl.find before.Model.files src in
+        let s = Fs.exists fs src and d = Fs.exists fs dst in
+        if not (s || d) then problem "rename lost %s: neither name exists" src :: acc
+        else begin
+          (* Cross-directory renames legitimately pass through a both-names
+             state (insert before remove); whichever name exists must carry
+             the full old contents. *)
+          let acc = if s then check_exact fs ~path:src ~expect acc else acc in
+          if d then check_exact fs ~path:dst ~expect acc else acc
+        end
+      | Gen.Mkdir _ | Gen.Vista_txn _ -> acc)
   in
-  let in_flight_seed = match op with Gen.Vista_txn { seed } -> Some seed | _ -> None in
+  let in_flight_seed =
+    match inflight with Some (Gen.Vista_txn { seed }) -> Some seed | _ -> None
+  in
   let committed = Option.value before.Model.vista ~default:ledger_setup_seed in
-  let acc = check_vista fs ~in_flight_seed ~committed acc in
-  List.rev acc
+  check_vista fs ~ledger ~in_flight_seed ~committed acc
+
+(* Audit the recovered file system against the model. [ops] is the whole
+   program; [in_flight] the index of the op the crash interrupted. *)
+let check fs ~ops ~in_flight =
+  (* Bystander planted before the program ran: must never move. *)
+  let acc =
+    check_exact fs ~path:keep_path ~expect:(Pattern.fill ~seed:keep_seed ~len:keep_len) []
+  in
+  List.rev (check_core fs ~root ~ledger:ledger_path ~ops ~progress:(Interrupted in_flight) acc)
+
+(* The multi-task audit: the shared bystander once, then each task's
+   subtree against its own model and progress. Problems are tagged with
+   the owning task ("t0: ...") so a report attributes every violation. *)
+let check_tasks fs ~progs ~progress =
+  let acc =
+    ref
+      (check_exact fs ~path:keep_path ~expect:(Pattern.fill ~seed:keep_seed ~len:keep_len) [])
+  in
+  Array.iteri
+    (fun i ops ->
+      let sub =
+        check_core fs ~root:(task_root i) ~ledger:(task_ledger i) ~ops ~progress:progress.(i) []
+      in
+      let tag = Printf.sprintf "t%d: " i in
+      List.iter (fun p -> acc := (tag ^ p) :: !acc) (List.rev sub))
+    progs;
+  List.rev !acc

@@ -46,3 +46,58 @@ val check : Rio_fs.Fs.t -> ops:Rio_workload.Script.Gen.op list -> in_flight:int 
     crash interrupted [ops.(in_flight)]. Returns human-readable problems;
     [[]] means every contract held. Runs {!Rio_txn.Vista.recover} as part
     of the audit (the store check needs a recovered store). *)
+
+(** {1 The multi-task world}
+
+    Each task owns a disjoint subtree [/fuzz/t<i>] with its own Vista
+    ledger, so every task's expected state stays exact under any
+    interleaving; what the tasks share — and what the interleaving
+    fuzzer stresses — is the machinery underneath the namespace: block
+    caches, allocation bitmaps, shared inode sectors, the Rio registry,
+    and the shadow page. *)
+
+val task_root : int -> string
+(** [/fuzz/t<i>] — task [i]'s subtree. *)
+
+val task_ledger : int -> string
+(** Task [i]'s Vista store path. *)
+
+val task_gen_spec : int -> Rio_workload.Script.Gen.spec
+(** Generator spec for task [i] (rooted at {!task_root}[ i]). *)
+
+type tworld = { tfs : Rio_fs.Fs.t; stores : Rio_txn.Vista.t array }
+
+val setup_tasks : Rio_fs.Fs.t -> tasks:int -> tworld
+(** Plant the root, the shared bystander file, and one subtree + Vista
+    store per task. Run before arming the probe. *)
+
+val exec_task :
+  Rio_task.Sched.t ->
+  locking:bool ->
+  task:Rio_task.Task.t ->
+  tworld ->
+  store:Rio_txn.Vista.t ->
+  Rio_workload.Script.Gen.op ->
+  unit
+(** Execute one op as [task] through {!Rio_task.Sched.syscall}: paths
+    made cwd-relative (the fiber chdirs into its subtree), fds routed
+    through the task's descriptor table, and — when [locking] — mutating
+    calls hold the ownership lock (a Vista transaction holds it across
+    the whole transaction). [locking:false] is the lost-update ablation. *)
+
+(** How far one task's program got when the crash hit. *)
+type progress =
+  | Completed of int
+      (** the first [n] ops ran to completion; the rest never started *)
+  | Interrupted of int  (** ops [0..k-1] completed; op [k] was in flight *)
+
+val check_tasks :
+  Rio_fs.Fs.t ->
+  progs:Rio_workload.Script.Gen.op list array ->
+  progress:progress array ->
+  string list
+(** Audit a recovered multi-task file system: the shared bystander once,
+    then each task's subtree against its own model and {!progress}. Any
+    task caught mid-op is [Interrupted] (the crasher, and bystanders whose
+    op the scheduler had suspended); tasks between ops are [Completed].
+    Problems are tagged ["t<i>: "] with the owning task. *)

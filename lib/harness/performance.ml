@@ -121,13 +121,6 @@ let run ?only (cfg : Run.config) =
       { config_label = config.label; cp_s; rm_s; sdet_s; andrew_s })
     selected
 
-(* Deprecated spread-argument entry point, kept one release. *)
-module Legacy = struct
-  let run ?(scale = 1.0) ?only ?(progress = fun (_ : Progress.t) -> ()) ?(domains = 1) ~seed
-      () =
-    run ?only { Run.default with Run.seed = seed; scale; domains; progress }
-end
-
 let to_table measurements =
   let table =
     Table.create

@@ -32,20 +32,6 @@ val run : ?only:string list -> Run.config -> measurement list
     filters configuration labels. Results stay in Table 2 row order and
     are byte-identical to the serial run at any [domains]. *)
 
-(** The previous spread-argument signature; delegates to {!run}. Kept for
-    one release. *)
-module Legacy : sig
-  val run :
-    ?scale:float ->
-    ?only:string list ->
-    ?progress:(Progress.t -> unit) ->
-    ?domains:int ->
-    seed:int ->
-    unit ->
-    measurement list
-  [@@ocaml.deprecated "Use Performance.run with a Run.config record."]
-end
-
 val measure_workload :
   configuration -> scale:float -> seed:int -> [ `Cp_rm | `Sdet | `Andrew ] -> float * float
 (** One (configuration, workload) cell; returns (primary seconds, secondary

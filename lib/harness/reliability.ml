@@ -313,18 +313,3 @@ let comparison_table results =
         results.unique_consistency_messages;
     ];
   table
-
-(* Deprecated spread-argument entry point, kept one release. *)
-module Legacy = struct
-  let run ?config ?systems ?faults ?(progress = fun (_ : Progress.t) -> ()) ?(domains = 1)
-      ?trace_dir ~crashes_per_cell ~seed_base () =
-    run ?campaign:config ?systems ?faults
-      {
-        Run.default with
-        Run.seed = seed_base;
-        trials = crashes_per_cell;
-        domains;
-        trace_dir;
-        progress;
-      }
-end

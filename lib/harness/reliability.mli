@@ -51,23 +51,6 @@ val run :
     recorder (capacity 0: counters and histograms, no event ring) so the
     campaign still rolls telemetry up into [results.metrics]. *)
 
-(** The previous spread-argument signature; delegates to {!run}. Kept for
-    one release. *)
-module Legacy : sig
-  val run :
-    ?config:Rio_fault.Campaign.config ->
-    ?systems:Rio_fault.Campaign.system list ->
-    ?faults:Rio_fault.Fault_type.t list ->
-    ?progress:(Progress.t -> unit) ->
-    ?domains:int ->
-    ?trace_dir:string ->
-    crashes_per_cell:int ->
-    seed_base:int ->
-    unit ->
-    results
-  [@@ocaml.deprecated "Use Reliability.run with a Run.config record."]
-end
-
 val message_census :
   ?config:Rio_fault.Campaign.config ->
   crashes:int ->

@@ -28,10 +28,7 @@
       ({!Rio_obs.Trace.snapshot_json}); sanitized (sorted, deduplicated,
       truncated) with the clamps reported.
     - [progress] — per-cell progress callback (wrapped in a mutex sink
-      when [domains > 1]).
-
-    The previous per-function signatures survive one release as thin
-    deprecated wrappers in each module's [Legacy] submodule. *)
+      when [domains > 1]). *)
 
 type config = {
   seed : int;

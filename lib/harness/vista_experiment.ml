@@ -168,12 +168,6 @@ let run ?(fault = Fault_type.Copy_overrun) ~protection (cfg : Run.config) =
   { crashes = !done_; attempts = !attempts; violations = !violations;
     recovered_transactions = !recovered }
 
-(* Deprecated spread-argument entry point, kept one release. *)
-module Legacy = struct
-  let run ?fault ~protection ~crashes ~seed_base () =
-    run ?fault ~protection { Run.default with Run.seed = seed_base; trials = crashes }
-end
-
 let summary_table rows =
   let t =
     Rio_util.Table.create

@@ -48,18 +48,5 @@ val run : ?fault:Rio_fault.Fault_type.t -> protection:bool -> Run.config -> summ
     unused; parallelize across (fault, protection) combinations
     instead. *)
 
-(** The previous spread-argument signature; delegates to {!run}. Kept for
-    one release. *)
-module Legacy : sig
-  val run :
-    ?fault:Rio_fault.Fault_type.t ->
-    protection:bool ->
-    crashes:int ->
-    seed_base:int ->
-    unit ->
-    summary
-  [@@ocaml.deprecated "Use Vista_experiment.run with a Run.config record."]
-end
-
 val summary_table : (string * summary) list -> Rio_util.Table.t
 (** Render labelled summaries (e.g. per fault type and protection mode). *)

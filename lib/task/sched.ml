@@ -1,0 +1,255 @@
+module Fs = Rio_fs.Fs
+module Fs_types = Rio_fs.Fs_types
+module Prng = Rio_util.Prng
+
+(* The deterministic task scheduler.
+
+   Tasks run as effect fibers. The scheduler never preempts on its own
+   clock: the only context switches happen at [preempt] (wired by the
+   checker/fuzzer to every Rio_check.Boundary emission) and at the lock
+   protocol's wait points. Between two boundaries a task therefore runs
+   atomically — which is exactly the memory model the crash checker
+   already assumes, since every boundary is a protocol-consistent point.
+   Interleaving schedules are a pure function of the seed: at each
+   preemption point exactly one PRNG draw picks uniformly among the
+   runnable tasks. *)
+
+type _ Effect.t += Yield : unit Effect.t
+type _ Effect.t += Block : string -> unit Effect.t
+
+type tstate =
+  | Fresh of (Task.t -> unit)
+  | Ready of (unit, unit) Effect.Deep.continuation
+  | Blocked of string * (unit, unit) Effect.Deep.continuation
+  | Running
+  | Finished
+
+type tcb = { task : Task.t; mutable state : tstate }
+
+(* One ownership lock: conservative block-cache-granularity ownership,
+   modelled as a single reentrant lock over the shared metadata paths
+   (registry, bitmaps, inode sectors, the shadow page). *)
+type lock = { mutable holder : int; mutable depth : int }
+
+type t = {
+  prng : Prng.t;
+  mutable spawned : tcb list;  (* reverse spawn order, until [run] *)
+  mutable tcbs : tcb array;
+  mutable current : int;  (* running tcb index; -1 outside any fiber *)
+  mutable active : bool;
+  mutable on_point : string -> unit;
+  locks : (string, lock) Hashtbl.t;
+  mutable switches : int;
+  mutable trace_rev : string list;
+  mutable crashed : Task.t option;  (* the task whose fiber raised *)
+}
+
+let create ~seed =
+  {
+    prng = Prng.create ~seed;
+    spawned = [];
+    tcbs = [||];
+    current = -1;
+    active = false;
+    on_point = ignore;
+    locks = Hashtbl.create 4;
+    switches = 0;
+    trace_rev = [];
+    crashed = None;
+  }
+
+let set_on_point t f = t.on_point <- f
+
+let spawn t task body =
+  if t.active then invalid_arg "Rio_task.Sched.spawn: scheduler is running";
+  t.spawned <- { task; state = Fresh body } :: t.spawned
+
+let current t =
+  if t.active && t.current >= 0 then Some t.tcbs.(t.current).task else None
+
+let switches t = t.switches
+let trace t = List.rev t.trace_rev
+let crashed t = t.crashed
+
+(* Suspend the running fiber and let the scheduler pick again. A no-op
+   outside a running fiber (setup, recovery, and the scheduler's own
+   bookkeeping all run on the main stack). *)
+let preempt t = if t.active && t.current >= 0 then Effect.perform Yield
+
+(* ---------------- the run loop ----------------
+
+   Handler shape: when a fiber suspends (Yield/Block) the handler body
+   runs on the scheduler's stack and tail-calls into the next runnable
+   fiber; each such entry stays on the native stack until everything
+   scheduled after it completes, so depth is bounded by the number of
+   context switches in one run — fine for boundary-driven schedules.
+   A fiber exception (Crash_here, Fs_error) records the crashing task
+   and propagates out of [run]; suspended sibling fibers are dropped,
+   which is sound because the crash capture happened before unwind and
+   recovery restores memory from the capture. *)
+
+let run t =
+  if t.active then invalid_arg "Rio_task.Sched.run: already running";
+  let tcbs = Array.of_list (List.rev t.spawned) in
+  t.spawned <- [];
+  t.tcbs <- tcbs;
+  let n = Array.length tcbs in
+  let finished = ref 0 in
+  t.active <- true;
+  let cleanup () =
+    t.active <- false;
+    t.current <- -1
+  in
+  let rec enter i =
+    let tcb = tcbs.(i) in
+    t.switches <- t.switches + 1;
+    t.trace_rev <- Task.name tcb.task :: t.trace_rev;
+    t.current <- i;
+    match tcb.state with
+    | Fresh body ->
+      tcb.state <- Running;
+      Effect.Deep.match_with
+        (fun () -> body tcb.task)
+        ()
+        {
+          retc =
+            (fun () ->
+              tcb.state <- Finished;
+              incr finished;
+              t.current <- -1;
+              schedule ());
+          exnc =
+            (fun e ->
+              tcb.state <- Finished;
+              if t.crashed = None then t.crashed <- Some tcb.task;
+              raise e);
+          effc =
+            (fun (type a) (eff : a Effect.t) ->
+              match eff with
+              | Yield ->
+                Some
+                  (fun (k : (a, unit) Effect.Deep.continuation) ->
+                    tcb.state <- Ready k;
+                    t.current <- -1;
+                    schedule ())
+              | Block key ->
+                Some
+                  (fun (k : (a, unit) Effect.Deep.continuation) ->
+                    tcb.state <- Blocked (key, k);
+                    t.current <- -1;
+                    schedule ())
+              | _ -> None);
+        }
+    | Ready k ->
+      tcb.state <- Running;
+      Effect.Deep.continue k ()
+    | Running | Blocked _ | Finished -> assert false
+  and schedule () =
+    if !finished < n then begin
+      let cands = ref [] in
+      for i = n - 1 downto 0 do
+        match tcbs.(i).state with
+        | Fresh _ | Ready _ -> cands := i :: !cands
+        | Running | Blocked _ | Finished -> ()
+      done;
+      match !cands with
+      | [] ->
+        cleanup ();
+        Fs_types.err "Rio_task.Sched: deadlock (every live task is blocked)"
+      | cands -> enter (List.nth cands (Prng.int t.prng (List.length cands)))
+    end
+  in
+  (try if n > 0 then schedule () with e -> cleanup (); raise e);
+  cleanup ()
+
+(* ---------------- the ownership lock ---------------- *)
+
+let lock_of t key =
+  match Hashtbl.find_opt t.locks key with
+  | Some l -> l
+  | None ->
+    let l = { holder = -1; depth = 0 } in
+    Hashtbl.replace t.locks key l;
+    l
+
+let point t label =
+  t.on_point label;
+  preempt t
+
+let task_label t verb key =
+  let who = match current t with Some task -> Task.name task | None -> "?" in
+  Printf.sprintf "%s %s %s" verb key who
+
+(* Lock events are boundaries ([point]): acquisition and release are
+   both crash points and preemption points, so the explored schedules
+   cover "crash while holding" and "hand-off races" alike. Reentrant
+   per task; waiters block on the scheduler and are woken in task order
+   at release. Outside a scheduled run locking is moot (single caller)
+   and these are no-ops. *)
+let rec acquire t ~key =
+  if t.active && t.current >= 0 then begin
+    let l = lock_of t key in
+    if l.holder = t.current then l.depth <- l.depth + 1
+    else if l.holder < 0 then begin
+      l.holder <- t.current;
+      l.depth <- 1;
+      point t (task_label t "task-acquire" key)
+    end
+    else begin
+      point t (task_label t "task-wait" key);
+      (* The wait boundary yielded: the holder may have released (and
+         even finished) meanwhile, and release's wake-up scan only sees
+         tasks already Blocked — blocking now would sleep forever. Only
+         block if the lock is still held; either way re-contend. *)
+      if l.holder >= 0 && l.holder <> t.current then Effect.perform (Block key);
+      acquire t ~key
+    end
+  end
+
+let release t ~key =
+  if t.active && t.current >= 0 then begin
+    let l = lock_of t key in
+    if l.holder <> t.current then
+      Fs_types.err "Rio_task.Sched: release of %s by a non-holder" key;
+    l.depth <- l.depth - 1;
+    if l.depth = 0 then begin
+      l.holder <- -1;
+      Array.iter
+        (fun tcb ->
+          match tcb.state with
+          | Blocked (k, cont) when k = key -> tcb.state <- Ready cont
+          | _ -> ())
+        t.tcbs;
+      point t (task_label t "task-release" key)
+    end
+  end
+
+let holder t ~key =
+  match Hashtbl.find_opt t.locks key with
+  | Some l when l.holder >= 0 && t.active -> Some t.tcbs.(l.holder).task
+  | _ -> None
+
+(* No release-on-unwind: an exception inside the critical section is a
+   modelled crash (or an interleaving bug under ablation) and the run is
+   abandoned — releasing would emit boundaries during unwind and let
+   bystander fibers run after the crash capture. *)
+let with_lock t ~key f =
+  acquire t ~key;
+  let r = f () in
+  release t ~key;
+  r
+
+(* ---------------- the task-scoped syscall entry ---------------- *)
+
+let fs_lock = "fs"
+
+let syscall t ~locking task fs call =
+  let call = Task.resolve_call task call in
+  point t (Printf.sprintf "task-call %s %s" (Fs.Syscall.name call) (Task.name task));
+  if locking && Fs.Syscall.mutates call then
+    with_lock t ~key:fs_lock (fun () -> Fs.Syscall.run fs call)
+  else begin
+    let r = Fs.Syscall.run fs call in
+    preempt t;
+    r
+  end

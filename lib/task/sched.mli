@@ -1,0 +1,81 @@
+(** The deterministic, seeded task scheduler.
+
+    Tasks are cooperative effect fibers; the scheduler switches between
+    them only at {e protocol boundaries} — the same points
+    [Rio_check.Boundary] enumerates as crash points (registry updates,
+    store windows, shadow flips, disk completions, Vista steps), plus
+    the lock events below. At each preemption point one PRNG draw picks
+    uniformly among the runnable tasks, so the whole interleaving is a
+    pure function of the seed: same seed, same schedule, byte-identical
+    campaigns at any [-j N].
+
+    Wiring with a probe (what the fuzzer/explorer do):
+    {[
+      Sched.set_on_point sched (Boundary.point probe);
+      Boundary.set_on_emit probe (fun _ -> Sched.preempt sched)
+    ]}
+    makes every boundary a preemption point and every lock event a crash
+    point. *)
+
+type t
+
+val create : seed:int -> t
+
+val set_on_point : t -> (string -> unit) -> unit
+(** Where the scheduler publishes its own boundaries (lock protocol,
+    syscall attribution). Wire to [Rio_check.Boundary.point]. *)
+
+val spawn : t -> Task.t -> (Task.t -> unit) -> unit
+(** Queue a task body. Only before {!run}. *)
+
+val run : t -> unit
+(** Run every spawned task to completion under seeded interleaving.
+    A fiber exception (the checker's [Crash_here], an [Fs_error] under
+    an unsafe ablation) records {!crashed} and propagates; suspended
+    sibling fibers are dropped — sound, because the crash capture
+    happens before the unwind and recovery restores memory from it.
+    Raises [Fs_error] on deadlock (impossible with the single built-in
+    lock). *)
+
+val preempt : t -> unit
+(** Offer a context switch at the current point. No-op outside a
+    running fiber, so probe wiring stays safe during setup/recovery. *)
+
+val current : t -> Task.t option
+val switches : t -> int
+(** Context-switch count (scheduling decisions taken). *)
+
+val trace : t -> string list
+(** Task names in the order they were scheduled — the interleaving
+    fingerprint the determinism tests compare. *)
+
+val crashed : t -> Task.t option
+(** The task whose fiber raised during {!run}, if any. *)
+
+(** {1 The ownership lock}
+
+    A single reentrant lock ([key = "fs"]) models conservative
+    block-level ownership of the shared metadata paths: registry
+    updates, allocation bitmaps, shared inode sectors, and the Rio
+    shadow page are only mutated while holding it. Acquire, contended
+    wait, and release each emit a boundary ("task-acquire fs t0", ...),
+    so lock hand-offs are both crash points and preemption points. *)
+
+val acquire : t -> key:string -> unit
+val release : t -> key:string -> unit
+val with_lock : t -> key:string -> (unit -> 'a) -> 'a
+val holder : t -> key:string -> Task.t option
+
+val fs_lock : string
+(** The well-known key serializing mutating file-system syscalls. *)
+
+(** {1 The task-scoped syscall entry} *)
+
+val syscall :
+  t -> locking:bool -> Task.t -> Rio_fs.Fs.t -> Rio_fs.Fs.Syscall.call -> Rio_fs.Fs.Syscall.result
+(** Execute one decoded syscall as [task]: resolves paths against the
+    task's cwd, emits a "task-call <name> <task>" attribution boundary,
+    and — for mutating calls, when [locking] — holds {!fs_lock} across
+    the call. [locking:false] is the planted lost-update ablation
+    (registry/metadata updates without block ownership) the interleaving
+    fuzzer must catch. *)

@@ -1,0 +1,68 @@
+module Fs = Rio_fs.Fs
+module Fs_types = Rio_fs.Fs_types
+
+type t = {
+  id : int;
+  name : string;
+  mutable cwd : string;
+  (* Task-local descriptor table: small integers private to this task,
+     mapped onto the kernel's fds. Two tasks can both hold "fd 3" and
+     mean different files. *)
+  fds : (int, Fs.fd) Hashtbl.t;
+  mutable next_fd : int;
+}
+
+let make ~id ~name = { id; name; cwd = "/"; fds = Hashtbl.create 8; next_fd = 3 }
+
+let id t = t.id
+let name t = t.name
+let cwd t = t.cwd
+
+(* Minimal path resolution: absolute paths pass through; relative paths
+   are joined to the task's cwd. No "."/".." handling — the harness
+   never generates them. *)
+let resolve t path =
+  if path = "" then Fs_types.err "task %s: empty path" t.name
+  else if path.[0] = '/' then path
+  else if t.cwd = "/" then "/" ^ path
+  else t.cwd ^ "/" ^ path
+
+let chdir t path = t.cwd <- resolve t path
+
+let install_fd t gfd =
+  let n = t.next_fd in
+  t.next_fd <- n + 1;
+  Hashtbl.replace t.fds n gfd;
+  n
+
+let global_fd t n =
+  match Hashtbl.find_opt t.fds n with
+  | Some gfd -> gfd
+  | None -> Fs_types.err "task %s: fd %d is not open in this task" t.name n
+
+let release_fd t n = Hashtbl.remove t.fds n
+let open_fds t = List.sort compare (Hashtbl.fold (fun n _ acc -> n :: acc) t.fds [])
+
+(* Rewrite a decoded syscall's paths through the task's cwd. Fd-carrying
+   calls pass through untouched: their fds are already kernel fds (the
+   task-local indirection is [install_fd]/[global_fd] at the call site). *)
+let resolve_call t (call : Fs.Syscall.call) : Fs.Syscall.call =
+  let r p = resolve t p in
+  match call with
+  | Creat p -> Creat (r p)
+  | Open p -> Open (r p)
+  | Mkdir p -> Mkdir (r p)
+  | Rmdir p -> Rmdir (r p)
+  | Link { existing; path } -> Link { existing = r existing; path = r path }
+  | Unlink p -> Unlink (r p)
+  | Rename { src; dst } -> Rename { src = r src; dst = r dst }
+  | Readdir p -> Readdir (r p)
+  | Stat p -> Stat (r p)
+  | Lstat p -> Lstat (r p)
+  | Exists p -> Exists (r p)
+  | Symlink { target; path } -> Symlink { target; path = r path }
+  | Readlink p -> Readlink (r p)
+  | Truncate (p, n) -> Truncate (r p, n)
+  | Read_file p -> Read_file (r p)
+  | Write_file { path; data } -> Write_file { path = r path; data }
+  | Close _ | Read _ | Write _ | Pread _ | Pwrite _ | Seek _ | Fsync _ | Sync -> call

@@ -1,0 +1,37 @@
+(** A task: one client of the file system, with its own identity,
+    working directory, and descriptor table.
+
+    The paper's reliability runs model a multi-user machine (Sdet, §3);
+    a task is our unit of "user". Tasks own no kernel state — the
+    kernel's fd table stays global — but every syscall issued through
+    {!Sched.syscall} is attributed to a task, resolves relative paths
+    against the task's cwd, and maps task-local descriptors to kernel
+    fds, so two tasks can both hold "fd 3" and mean different files. *)
+
+type t
+
+val make : id:int -> name:string -> t
+(** A fresh task rooted at ["/"], descriptor numbering starting at 3. *)
+
+val id : t -> int
+val name : t -> string
+val cwd : t -> string
+
+val resolve : t -> string -> string
+(** Absolute paths pass through; relative paths join the task's cwd. *)
+
+val chdir : t -> string -> unit
+
+val install_fd : t -> Rio_fs.Fs.fd -> int
+(** Bind a kernel fd into the task's table; returns the task-local
+    descriptor. *)
+
+val global_fd : t -> int -> Rio_fs.Fs.fd
+(** Raises {!Rio_fs.Fs_types.Fs_error} when the task never opened it. *)
+
+val release_fd : t -> int -> unit
+val open_fds : t -> int list
+
+val resolve_call : t -> Rio_fs.Fs.Syscall.call -> Rio_fs.Fs.Syscall.call
+(** Rewrite the call's paths through {!resolve}. Fd-carrying calls pass
+    through (the fd indirection happens at the call site). *)

@@ -46,22 +46,25 @@ let current_fd r =
   | Some fd -> fd
   | None -> Rio_fs.Fs_types.err "script: no open file"
 
+(* Script steps decode to the uniform syscall representation: one
+   dispatch point shared with the checker, fuzzer, and task scheduler. *)
 let exec r fs op =
+  let sys call = Fs.Syscall.run fs call in
   match op with
-  | Mkdir path -> Fs.mkdir fs path
-  | Open_write path -> r.fd <- Some (Fs.create fs path)
-  | Open_read path -> r.fd <- Some (Fs.open_file fs path)
-  | Write_chunk data -> Fs.write fs (current_fd r) data
-  | Read_chunk len -> ignore (Fs.read fs (current_fd r) ~len)
+  | Mkdir path -> ignore (sys (Fs.Syscall.Mkdir path))
+  | Open_write path -> r.fd <- Some (Fs.Syscall.fd_exn (sys (Fs.Syscall.Creat path)))
+  | Open_read path -> r.fd <- Some (Fs.Syscall.fd_exn (sys (Fs.Syscall.Open path)))
+  | Write_chunk data -> ignore (sys (Fs.Syscall.Write { fd = current_fd r; data }))
+  | Read_chunk len -> ignore (sys (Fs.Syscall.Read { fd = current_fd r; len }))
   | Close ->
-    Fs.close fs (current_fd r);
+    ignore (sys (Fs.Syscall.Close (current_fd r)));
     r.fd <- None
-  | Fsync -> Fs.fsync fs (current_fd r)
-  | Unlink path -> Fs.unlink fs path
-  | Rmdir path -> Fs.rmdir fs path
-  | Stat path -> ignore (Fs.stat fs path)
-  | Rename (src, dst) -> Fs.rename fs src dst
-  | Read_whole path -> ignore (Fs.read_file fs path)
+  | Fsync -> ignore (sys (Fs.Syscall.Fsync (current_fd r)))
+  | Unlink path -> ignore (sys (Fs.Syscall.Unlink path))
+  | Rmdir path -> ignore (sys (Fs.Syscall.Rmdir path))
+  | Stat path -> ignore (sys (Fs.Syscall.Stat path))
+  | Rename (src, dst) -> ignore (sys (Fs.Syscall.Rename { src; dst }))
+  | Read_whole path -> ignore (sys (Fs.Syscall.Read_file path))
   | Cpu us -> Engine.advance_by (Fs.engine fs) us
 
 let step r fs =
@@ -245,6 +248,18 @@ module Gen = struct
       | `Vista -> Vista_txn { seed = seed () }
     in
     List.init ops (fun _ -> gen_one ())
+
+  (* A multi-task program: one independent op list per task, each over
+     its own subtree ([spec_of i] names disjoint roots), sized and
+     seeded by draws from the master prng. Disjoint subtrees keep every
+     task's expected state exact under any interleaving — the sharing
+     under test is the cache/registry/shadow machinery underneath the
+     namespace, not the namespace itself. *)
+  let generate_tasks ~prng ~spec_of ~ops_per_task tasks =
+    List.init tasks (fun i ->
+        let sub_seed = Prng.int prng 0x40000000 in
+        let n = 1 + Prng.int prng ops_per_task in
+        generate ~prng:(Prng.create ~seed:sub_seed) (spec_of i) ~ops:n)
 
   (* The reference model: expected post-state of a program prefix. Raises
      [Not_found] when the prefix is not self-contained (an op uses a file a

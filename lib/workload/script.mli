@@ -114,6 +114,13 @@ module Gen : sig
       when executed in order starting from an empty [spec.root]. Pure in
       the prng state: equal streams yield equal programs. *)
 
+  val generate_tasks :
+    prng:Rio_util.Prng.t -> spec_of:(int -> spec) -> ops_per_task:int -> int -> op list list
+  (** [generate_tasks ~prng ~spec_of ~ops_per_task n]: one program per
+      task, task [i] over [spec_of i] (disjoint roots, so every task's
+      expected state stays exact under any interleaving), each with
+      [1..ops_per_task] ops. Pure in the prng state. *)
+
   val kind : op -> string
   (** The op's stable kind name ("creat", "append", "overwrite", "mkdir",
       "unlink", "rename", "vista-txn") — the operation axis of crash-space

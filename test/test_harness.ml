@@ -210,39 +210,6 @@ let test_vista_experiment_atomic_under_wild_stores () =
   check Alcotest.bool "atomicity holds under text faults" true
     (s.Rio_harness.Vista_experiment.violations = 0)
 
-(* ---------------- deprecated Legacy wrappers ---------------- *)
-
-let test_legacy_wrappers_delegate () =
-  (* The spread-argument entry points kept for one release must produce
-     exactly what the Run.config path produces. *)
-  let cfg = { Run.default with Run.trials = 1; seed = 42 } in
-  let modern =
-    Reliability.run ~campaign:quick_config ~systems:[ Campaign.Rio_without_protection ]
-      ~faults:[ Fault_type.Kernel_text ] cfg
-  in
-  let legacy =
-    (Reliability.Legacy.run [@warning "-3"]) ~config:quick_config
-      ~systems:[ Campaign.Rio_without_protection ] ~faults:[ Fault_type.Kernel_text ]
-      ~crashes_per_cell:1 ~seed_base:42 ()
-  in
-  check Alcotest.bool "reliability legacy equals modern" true (legacy = modern);
-  let modern =
-    Performance.run ~only:[ "memory-fs" ] { Run.default with Run.scale = 0.03; seed = 6 }
-  in
-  let legacy =
-    (Performance.Legacy.run [@warning "-3"]) ~scale:0.03 ~only:[ "memory-fs" ] ~seed:6 ()
-  in
-  check Alcotest.bool "performance legacy equals modern" true (legacy = modern);
-  let modern =
-    Rio_harness.Vista_experiment.run ~fault:Fault_type.Kernel_text ~protection:true
-      { Run.default with Run.trials = 1; seed = 9 }
-  in
-  let legacy =
-    (Rio_harness.Vista_experiment.Legacy.run [@warning "-3"]) ~fault:Fault_type.Kernel_text
-      ~protection:true ~crashes:1 ~seed_base:9 ()
-  in
-  check Alcotest.bool "vista legacy equals modern" true (legacy = modern)
-
 let test_delay_sweep_shape () =
   let points = Ablation.delay_sweep ~steps:150 ~seed:2 () in
   let lost_of label =
@@ -292,6 +259,4 @@ let () =
           Alcotest.test_case "vista under fault injection" `Slow
             test_vista_experiment_atomic_under_wild_stores;
         ] );
-      ( "legacy",
-        [ Alcotest.test_case "wrappers delegate" `Slow test_legacy_wrappers_delegate ] );
     ]

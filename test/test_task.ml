@@ -1,0 +1,275 @@
+(* Tests for Rio_task and the interleaving campaigns built on it. The key
+   properties are (a) the scheduler is a pure function of its seed — same
+   seed, same interleaving, byte-identical multi-task reports at any
+   domain count, (b) the ownership lock actually serializes critical
+   sections (and its absence visibly does not), (c) tasks isolate cwd and
+   descriptor tables, and (d) the interleaving fuzzer catches the planted
+   lock-off lost-update ablation AND shrinks it to a tiny repro, while
+   rio-prot with locking fuzzes clean. *)
+
+module Engine = Rio_sim.Engine
+module Costs = Rio_sim.Costs
+module Phys_mem = Rio_mem.Phys_mem
+module Layout = Rio_mem.Layout
+module Page_alloc = Rio_mem.Page_alloc
+module Disk = Rio_disk.Disk
+module Fs = Rio_fs.Fs
+module Fs_types = Rio_fs.Fs_types
+module Hooks = Rio_fs.Hooks
+module Block_cache = Rio_fs.Block_cache
+module Syscall = Rio_fs.Fs.Syscall
+module Task = Rio_task.Task
+module Sched = Rio_task.Sched
+module Fuzzer = Rio_fuzz.Fuzzer
+module Explorer = Rio_check.Explorer
+module Run = Rio_harness.Run
+
+let check = Alcotest.check
+
+(* A small mounted file system (same fixture shape as test_fs). *)
+let make_fs () =
+  let engine = Engine.create () in
+  let layout = Layout.create Layout.default_config in
+  let mem = Phys_mem.create ~bytes_total:Layout.default_config.Layout.total_bytes in
+  let disk = Disk.create ~engine ~costs:Costs.default ~sectors:(64 * 1024) ~seed:3 in
+  let geom = Fs.default_geometry ~disk_sectors:(64 * 1024) ~mem_bytes:(Phys_mem.size mem) in
+  Fs.mkfs ~disk geom;
+  Fs.mount ~engine ~costs:Costs.default ~mem
+    ~meta_alloc:(Page_alloc.create ~region:(Layout.region layout Layout.Buffer_cache))
+    ~pool_alloc:(Page_alloc.create ~region:(Layout.region layout Layout.Page_pool))
+    ~disk ~policy:Fs.Ufs_default ~hooks:(Hooks.defaults ~mem)
+
+(* ---------------- the scheduler ---------------- *)
+
+let trace_for ~seed =
+  let sched = Sched.create ~seed in
+  for i = 0 to 2 do
+    Sched.spawn sched
+      (Task.make ~id:i ~name:(Printf.sprintf "t%d" i))
+      (fun _ ->
+        for _ = 1 to 5 do
+          Sched.preempt sched
+        done)
+  done;
+  Sched.run sched;
+  (Sched.trace sched, Sched.switches sched)
+
+let test_sched_deterministic () =
+  let t1, s1 = trace_for ~seed:42 in
+  let t2, s2 = trace_for ~seed:42 in
+  check (Alcotest.list Alcotest.string) "same seed, same interleaving" t1 t2;
+  check Alcotest.int "same switch count" s1 s2;
+  check Alcotest.bool "switches happened" true (s1 > 3);
+  let t3, _ = trace_for ~seed:43 in
+  check Alcotest.bool "different seed, different interleaving" true (t1 <> t3)
+
+let test_lock_serializes_rmw () =
+  (* Three tasks doing read-yield-write increments: the lock must make
+     the interleaved sum exact, and dropping it must visibly lose
+     updates (this is the ablation the fuzzer hunts, in miniature). *)
+  let rmw ~locked ~seed =
+    let sched = Sched.create ~seed in
+    let cell = ref 0 in
+    for i = 0 to 2 do
+      Sched.spawn sched
+        (Task.make ~id:i ~name:(Printf.sprintf "t%d" i))
+        (fun _ ->
+          for _ = 1 to 8 do
+            let step () =
+              let v = !cell in
+              Sched.preempt sched;
+              cell := v + 1
+            in
+            if locked then Sched.with_lock sched ~key:Sched.fs_lock step else step ()
+          done)
+    done;
+    Sched.run sched;
+    !cell
+  in
+  check Alcotest.int "locked RMW is exact" 24 (rmw ~locked:true ~seed:5);
+  check Alcotest.bool "unlocked RMW loses updates" true (rmw ~locked:false ~seed:5 < 24)
+
+let test_lock_holder_visible () =
+  let sched = Sched.create ~seed:1 in
+  let saw = ref None in
+  Sched.spawn sched (Task.make ~id:0 ~name:"t0") (fun _ ->
+      Sched.with_lock sched ~key:Sched.fs_lock (fun () ->
+          saw := Sched.holder sched ~key:Sched.fs_lock));
+  Sched.run sched;
+  match !saw with
+  | Some t -> check Alcotest.string "holder is the caller" "t0" (Task.name t)
+  | None -> Alcotest.fail "holder not visible inside the critical section"
+
+(* ---------------- per-task cwd and descriptors ---------------- *)
+
+let test_task_cwd_and_fd_isolation () =
+  let fs = make_fs () in
+  ignore (Syscall.run fs (Syscall.Mkdir "/a"));
+  ignore (Syscall.run fs (Syscall.Mkdir "/b"));
+  let ta = Task.make ~id:0 ~name:"ta" and tb = Task.make ~id:1 ~name:"tb" in
+  Task.chdir ta "/a";
+  Task.chdir tb "/b";
+  check Alcotest.string "relative paths resolve through cwd" "/a/f" (Task.resolve ta "f");
+  check Alcotest.string "absolute paths pass through" "/x" (Task.resolve tb "/x");
+  let sched = Sched.create ~seed:2 in
+  let local = Array.make 2 (-1) in
+  let body text task =
+    let fd =
+      Syscall.fd_exn (Sched.syscall sched ~locking:true task fs (Syscall.Creat "f"))
+    in
+    let d = Task.install_fd task fd in
+    local.(Task.id task) <- d;
+    ignore
+      (Sched.syscall sched ~locking:true task fs
+         (Syscall.Pwrite
+            { fd = Task.global_fd task d; offset = 0; data = Bytes.of_string text }));
+    ignore (Sched.syscall sched ~locking:true task fs (Syscall.Close (Task.global_fd task d)));
+    Task.release_fd task d
+  in
+  Sched.spawn sched ta (body "alpha");
+  Sched.spawn sched tb (body "bravo");
+  Sched.run sched;
+  check Alcotest.int "both tasks hold the same local descriptor number" local.(0) local.(1);
+  check Alcotest.string "ta wrote its own subtree" "alpha"
+    (Bytes.to_string (Fs.read_file fs "/a/f"));
+  check Alcotest.string "tb wrote its own subtree" "bravo"
+    (Bytes.to_string (Fs.read_file fs "/b/f"));
+  check (Alcotest.list Alcotest.int) "descriptor tables drained" [] (Task.open_fds ta)
+
+(* ---------------- syscall entry vs the wrappers ---------------- *)
+
+let test_syscall_entry_matches_wrappers () =
+  (* The decoded Fs.Syscall entry must be observationally identical to
+     the per-op wrappers it subsumed. *)
+  let fs = make_fs () in
+  let fd = Syscall.fd_exn (Syscall.run fs (Syscall.Creat "/a")) in
+  ignore (Syscall.run fs (Syscall.Pwrite { fd; offset = 0; data = Bytes.of_string "hello" }));
+  ignore (Syscall.run fs (Syscall.Close fd));
+  check Alcotest.string "wrapper read sees syscall write" "hello"
+    (Bytes.to_string (Fs.read_file fs "/a"));
+  Fs.write_file fs "/b" (Bytes.of_string "world");
+  check Alcotest.string "syscall read sees wrapper write" "world"
+    (Bytes.to_string (Syscall.data_exn (Syscall.run fs (Syscall.Read_file "/b"))));
+  ignore (Syscall.run fs (Syscall.Mkdir "/d"));
+  ignore (Syscall.run fs (Syscall.Rename { src = "/b"; dst = "/d/b" }));
+  check Alcotest.bool "rename via syscall visible" true
+    (Syscall.bool_exn (Syscall.run fs (Syscall.Exists "/d/b")));
+  check Alcotest.int "stat agrees with the wrapper"
+    (Fs.stat fs "/a").Fs.st_size
+    (Syscall.stat_exn (Syscall.run fs (Syscall.Stat "/a"))).Fs.st_size;
+  check Alcotest.bool "mutates classifies reads as shared-safe" false
+    (Syscall.mutates (Syscall.Read_file "/a"));
+  check Alcotest.bool "mutates classifies writes as exclusive" true
+    (Syscall.mutates (Syscall.Unlink "/a"))
+
+(* ---------------- block cache flush early-out ---------------- *)
+
+let test_flush_dirty_early_out () =
+  let engine = Engine.create () in
+  let layout = Layout.create Layout.default_config in
+  let mem = Phys_mem.create ~bytes_total:Layout.default_config.Layout.total_bytes in
+  let disk = Disk.create ~engine ~costs:Costs.default ~sectors:(64 * 1024) ~seed:3 in
+  let cache =
+    Block_cache.create ~name:"flush-test" ~mem ~disk
+      ~alloc:(Page_alloc.create ~region:(Layout.region layout Layout.Page_pool))
+      ~hooks:(Hooks.defaults ~mem)
+      ~sector_of_blkno:(fun b -> 2048 + (b * Fs_types.sectors_per_block))
+      ~backed:true
+  in
+  (* Populate with clean entries: the early-out must not depend on the
+     table being empty, only on nothing being dirty. *)
+  for b = 0 to 7 do
+    ignore (Block_cache.get cache ~blkno:b ~owner:Fs_types.Meta ~fill:Block_cache.Zero)
+  done;
+  check Alcotest.int "clean cache" 0 (Block_cache.dirty_count cache);
+  let before = Block_cache.stats cache in
+  check Alcotest.int "flush of a clean cache flushes nothing" 0
+    (Block_cache.flush_dirty cache ~sync:true ());
+  let after = Block_cache.stats cache in
+  check Alcotest.int "early-out does no write-backs" before.Block_cache.writebacks
+    after.Block_cache.writebacks;
+  for b = 2 to 4 do
+    let e = Block_cache.get cache ~blkno:b ~owner:Fs_types.Meta ~fill:Block_cache.Zero in
+    Block_cache.mark_dirty cache e
+  done;
+  check Alcotest.int "dirty blocks counted" 3 (Block_cache.dirty_count cache);
+  check Alcotest.int "dirty blocks flushed" 3 (Block_cache.flush_dirty cache ~sync:true ());
+  check Alcotest.int "count retired exactly" 0 (Block_cache.dirty_count cache)
+
+(* ---------------- the interleaving campaigns ---------------- *)
+
+let tcfg ?(seed = 1) ?(trials = 5) ~domains () = { Run.default with Run.seed; trials; domains }
+
+let test_run_tasks_parallel_determinism () =
+  (* lock-off so the pipeline exercises the multi-task shrinker and the
+     final-state audit, not just clean trials. *)
+  let r1 = Fuzzer.run_tasks ~locking:false ~tasks:2 (tcfg ~domains:1 ()) in
+  let r4 = Fuzzer.run_tasks ~locking:false ~tasks:2 (tcfg ~domains:4 ()) in
+  check Alcotest.string "byte-identical render at -j 1 and -j 4"
+    (Fuzzer.render_tasks r1) (Fuzzer.render_tasks r4);
+  check Alcotest.string "byte-identical json at -j 1 and -j 4"
+    (Rio_util.Json.pretty (Fuzzer.treport_json r1))
+    (Rio_util.Json.pretty (Fuzzer.treport_json r4))
+
+let test_rio_prot_tasks_fuzz_clean () =
+  let r = Fuzzer.run_tasks ~tasks:3 (tcfg ~domains:2 ()) in
+  (match r.Fuzzer.tr_counterexamples with
+  | [] -> ()
+  | c :: _ ->
+    Alcotest.failf "rio-prot violated under interleaving: %s"
+      (String.concat "; " c.Fuzzer.tc_problems));
+  check Alcotest.int "zero violations with locking on" 0 r.Fuzzer.tr_violations
+
+let test_lock_off_caught_and_shrunk () =
+  let r = Fuzzer.run_tasks ~locking:false ~tasks:2 (tcfg ~trials:6 ~domains:2 ()) in
+  if r.Fuzzer.tr_violations = 0 then
+    Alcotest.fail "lock-off produced no violations: the ablation is invisible";
+  check Alcotest.bool "caught and shrunk to a small repro" true (Fuzzer.tasks_caught r);
+  match r.Fuzzer.tr_counterexamples with
+  | [] -> Alcotest.fail "violations were not shrunk"
+  | c :: _ ->
+    check Alcotest.bool "repro fits the readability bar" true
+      (Fuzzer.total_ops c.Fuzzer.tc_progs <= Fuzzer.max_repro_ops);
+    check Alcotest.bool "at most two tasks left" true
+      (Fuzzer.nonempty_tasks c.Fuzzer.tc_progs <= 2);
+    check Alcotest.bool "shrunk repro keeps its problems" true (c.Fuzzer.tc_problems <> [])
+
+let test_explorer_interleave_determinism () =
+  let cfg domains = { Run.default with Run.seed = 2; domains } in
+  let r1 = Explorer.run ~only:[ "creat" ] ~interleave:2 (cfg 1) in
+  let r4 = Explorer.run ~only:[ "creat" ] ~interleave:2 (cfg 4) in
+  check Alcotest.string "byte-identical render at -j 1 and -j 4" (Explorer.render r1)
+    (Explorer.render r4);
+  check Alcotest.int "rio-prot survives every interleaved crash point" 0
+    (Explorer.violation_count r1);
+  check Alcotest.bool "interleaving jobs reported under #i<j> slugs" true
+    (List.exists
+       (fun s -> s.Explorer.slug = "two-task#i1" && s.Explorer.crash_points > 0)
+       r1.Explorer.scenarios)
+
+let () =
+  Alcotest.run "rio_task"
+    [
+      ( "sched",
+        [
+          Alcotest.test_case "seeded determinism" `Quick test_sched_deterministic;
+          Alcotest.test_case "lock serializes RMW" `Quick test_lock_serializes_rmw;
+          Alcotest.test_case "lock holder visible" `Quick test_lock_holder_visible;
+        ] );
+      ( "task",
+        [
+          Alcotest.test_case "cwd and fd isolation" `Quick test_task_cwd_and_fd_isolation;
+          Alcotest.test_case "syscall entry = wrappers" `Quick
+            test_syscall_entry_matches_wrappers;
+          Alcotest.test_case "flush_dirty early-out" `Quick test_flush_dirty_early_out;
+        ] );
+      ( "campaigns",
+        [
+          Alcotest.test_case "fuzz -j determinism" `Slow test_run_tasks_parallel_determinism;
+          Alcotest.test_case "rio-prot fuzzes clean" `Slow test_rio_prot_tasks_fuzz_clean;
+          Alcotest.test_case "lock-off caught and shrunk" `Slow
+            test_lock_off_caught_and_shrunk;
+          Alcotest.test_case "explorer interleave determinism" `Slow
+            test_explorer_interleave_determinism;
+        ] );
+    ]
