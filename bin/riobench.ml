@@ -74,9 +74,13 @@ let reference_arg =
            full-copy swap dumps. Results are byte-identical to the fast \
            path; only wall-clock time differs. For cross-validation.")
 
-(* The knob is global and must be set before any worker domains spawn —
-   every run_* entry point calls this first. *)
-let set_fastpath ~reference = Rio_util.Fastpath.set (not reference)
+(* Both knobs are global and must be set before any worker domains spawn —
+   every run_* entry point calls this first. Reference mode also rebuilds
+   every trial world from scratch instead of restoring a frozen template,
+   so it cross-validates the snapshot/restore path end to end. *)
+let set_fastpath ~reference =
+  Rio_util.Fastpath.set (not reference);
+  Rio_world.World.set_use_templates (not reference)
 
 let ring_capacity_arg =
   Arg.(
@@ -1017,15 +1021,15 @@ let cpu_probe ~fast =
 
 (* Boot + format + Rio + mount + a little file population — the fixed
    cost every campaign trial pays before any fault goes in. Sub-phase
-   timings accumulate into [world_detail] for the breakdown report. *)
-let world_detail = Array.make 4 0.0
-
-let build_world ~seed =
+   timings accumulate into the caller's [detail] array (boot / format /
+   mount / seed-files), which stays local to one probe run so concurrent
+   runs never share an accumulator. *)
+let build_world ?(detail = Array.make 4 0.0) ~seed () =
   let module Kernel = Rio_kernel.Kernel in
   let module Fs = Rio_fs.Fs in
   let sub i f =
     let r, s = time f in
-    world_detail.(i) <- world_detail.(i) +. s;
+    detail.(i) <- detail.(i) +. s;
     r
   in
   let engine = Rio_sim.Engine.create () in
@@ -1052,7 +1056,7 @@ let build_world ~seed =
 let reboot_probe ~seed =
   let module Kernel = Rio_kernel.Kernel in
   let module Fs = Rio_fs.Fs in
-  let engine, costs, kcfg, kernel, _fs = build_world ~seed in
+  let engine, costs, kcfg, kernel, _fs = build_world ~seed () in
   time (fun () ->
       ignore
         (Rio_core.Warm_reboot.perform ~mem:(Kernel.mem kernel) ~disk:(Kernel.disk kernel)
@@ -1070,6 +1074,35 @@ let reboot_probe ~seed =
              Kernel.mount kernel2 ~policy:Fs.Rio_policy)
           : Rio_core.Warm_reboot.report))
 
+(* Snapshot-restore cost: freeze a populated world once, then repeatedly
+   dirty it the way an attempt would (file writes plus a directory op)
+   and rewind. Reports ms/restore and dirty pages blitted back per
+   restore — what the template path pays instead of a full rebuild. *)
+let restore_probe ~seed ~iters =
+  let module World = Rio_world.World in
+  let module Fs = Rio_fs.Fs in
+  let w = World.create ~seed () in
+  let fs = World.fs w in
+  for i = 0 to 7 do
+    Fs.write_file fs
+      (Printf.sprintf "/f%d" i)
+      (Rio_util.Pattern.fill ~seed:(seed + i) ~len:6000)
+  done;
+  World.freeze w;
+  let (), wall =
+    time (fun () ->
+        for i = 1 to iters do
+          Fs.write_file fs "/scratch"
+            (Rio_util.Pattern.fill ~seed:(seed lxor i) ~len:24_000);
+          Fs.mkdir fs "/dir";
+          Fs.unlink fs "/scratch";
+          ignore (World.restore w : int)
+        done)
+  in
+  let pages = World.pages_restored w in
+  World.dispose w;
+  (wall, pages)
+
 (* One campaign workload step, split into its three ingredients — where a
    table1 trial actually spends its time. *)
 let step_probe ~seed ~steps =
@@ -1077,7 +1110,7 @@ let step_probe ~seed ~steps =
   let module Memtest = Rio_workload.Memtest in
   let module Andrew = Rio_workload.Andrew in
   let module Script = Rio_workload.Script in
-  let _engine, _costs, _kcfg, kernel, fs = build_world ~seed in
+  let _engine, _costs, _kcfg, kernel, fs = build_world ~seed () in
   let mt =
     Memtest.create
       { Memtest.default_config with Memtest.seed = seed lxor 0x77; max_files = 24 }
@@ -1128,17 +1161,17 @@ let run_microbench seed json reference _verbose =
   let cpu_fast_instrs, cpu_fast_s = cpu_probe ~fast:true in
   let cpu_ref_instrs, cpu_ref_s = cpu_probe ~fast:false in
   let world_iters = 3 in
-  Array.fill world_detail 0 4 0.0;
+  let detail = Array.make 4 0.0 in
   let (), world_s =
     time (fun () ->
         for i = 1 to world_iters do
-          let _, _, _, kernel, _ = build_world ~seed:(seed + i) in
+          let _, _, _, kernel, _ = build_world ~detail ~seed:(seed + i) () in
           (* Recycle as a campaign trial would — steady-state boot cost. *)
           Rio_mem.Phys_mem.retire (Rio_kernel.Kernel.mem kernel)
         done)
   in
-  (* Later probes also build worlds; keep only this probe's sub-timings. *)
-  let detail = Array.copy world_detail in
+  let restore_iters = 50 in
+  let restore_s, restore_pages = restore_probe ~seed ~iters:restore_iters in
   let reboot_iters = 3 in
   let reboot_s = ref 0.0 in
   for i = 1 to reboot_iters do
@@ -1176,6 +1209,9 @@ let run_microbench seed json reference _verbose =
     (per world_iters detail.(1) *. 1e3)
     (per world_iters detail.(2) *. 1e3)
     (per world_iters detail.(3) *. 1e3);
+  Printf.printf "world restore     %10.3f ms  (%.1f dirty pages/restore)\n"
+    (per restore_iters restore_s *. 1e3)
+    (per restore_iters (float_of_int restore_pages));
   Printf.printf "warm reboot       %10.1f ms\n" (per reboot_iters !reboot_s *. 1e3);
   Printf.printf "memtest step      %10.3f ms\n" (per probe_steps memtest_s *. 1e3);
   Printf.printf "andrew step (x2)  %10.3f ms\n" (per probe_steps andrew_s *. 1e3);
@@ -1223,6 +1259,16 @@ let run_microbench seed json reference _verbose =
             [ ("iters", Json.Int world_iters);
               ("ms_per_build", Json.Float (per world_iters world_s *. 1e3)) ]
             world_s;
+          probe "world_restore"
+            [
+              ("iters", Json.Int restore_iters);
+              ("ms_per_restore", Json.Float (per restore_iters restore_s *. 1e3));
+              ( "pages_per_restore",
+                Json.Float (per restore_iters (float_of_int restore_pages)) );
+              ( "restores_per_s",
+                Json.Float (float_of_int restore_iters /. restore_s) );
+            ]
+            restore_s;
           probe "warm_reboot"
             [ ("iters", Json.Int reboot_iters);
               ("ms_per_reboot", Json.Float (per reboot_iters !reboot_s *. 1e3)) ]
@@ -1258,9 +1304,9 @@ let run_microbench seed json reference _verbose =
 let microbench_cmd =
   let doc =
     "Time the simulator's hot phases: the interpreted CPU loop (fast vs \
-     reference decode), a world build, a warm reboot, and an end-to-end \
-     fuzz crash trial. Reports instr/s and ns/trial; --json writes the \
-     numbers for the perf-smoke CI gate."
+     reference decode), a world build, a template snapshot restore, a warm \
+     reboot, and an end-to-end fuzz crash trial. Reports instr/s and \
+     ns/trial; --json writes the numbers for the perf-smoke CI gate."
   in
   Cmd.v (Cmd.info "microbench" ~doc)
     Term.(const run_microbench $ seed_arg $ json_arg $ reference_arg $ verbose_arg)

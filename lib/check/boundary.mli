@@ -67,6 +67,12 @@ val restore_crash_image : t -> unit
 
 val tripped_label : t -> string option
 
+val drop_capture : t -> unit
+(** Release an unconsumed trip capture (its copy-on-write snapshot pins
+    pre-images in the page table until released). {!arm} does this
+    implicitly; call it when disposing of a world whose last attempt
+    tripped but never restored — e.g. on the [Invalid_program] unwind. *)
+
 val point : t -> string -> unit
 (** Emit one externally-defined boundary: it joins the ordinal stream
     exactly like a hook-emitted one (counted, labelled, crashable). The

@@ -10,6 +10,7 @@ module Trace = Rio_obs.Trace
 module Forensics = Rio_obs.Forensics
 module Pool = Rio_parallel.Pool
 module Run = Rio_harness.Run
+module World = Rio_world.World
 module Cov = Rio_cov.Cov
 module Json = Rio_util.Json
 module Sched = Rio_task.Sched
@@ -81,81 +82,133 @@ type trial = {
   crasher : string option;  (** Which task's boundary tripped (multi only). *)
 }
 
-(* Build a fresh world from the seed, run [scenario] with the probe armed
-   at [trip] ([-1] = count only), and — if the probe fired — restore the
-   captured crash image over memory, warm-reboot, and audit. Every trial
-   is a pure function of (spec, seed, scenario, trip), which is what lets
-   the schedule shard across domains. *)
-let run_trial ?(obs = Trace.null) ~spec ~seed scenario ~trip =
-  let engine = Engine.create ~obs () in
-  let costs = Costs.default in
-  let kcfg = Kernel.config_with_seed seed in
-  let kernel = Kernel.boot ~engine ~costs kcfg in
-  Kernel.format kernel;
-  make_rio ~spec kernel;
-  let fs = Kernel.mount kernel ~policy:Fs.Rio_policy in
-  let probe = Boundary.create ~mem:(Kernel.mem kernel) ~obs () in
-  Boundary.instrument_hooks probe (Kernel.hooks kernel);
-  Boundary.instrument_disk probe (Kernel.disk kernel);
-  scenario.Scenario.setup fs;
+(* ---------------- world templates ---------------- *)
+
+(* Trials rent a frozen {!World} per (spec, seed, scenario) and rewind it
+   in O(dirty pages) instead of rebooting; see the fuzzer's cache for the
+   full rationale. The scenario's [setup] is part of the template (it is
+   trip-independent), so a trip pass costs only the armed [op] plus the
+   restore. Traced replays and [--reference] build from scratch. *)
+
+let build_world ~obs ~spec ~seed =
+  World.create ~obs ~protection:spec.protection ~shadow:spec.shadow ~registry:spec.registry
+    ~seed ()
+
+let attach_probe ~obs w =
+  let probe = Boundary.create ~mem:(World.mem w) ~obs () in
+  Boundary.instrument_hooks probe (World.hooks w);
+  Boundary.instrument_disk probe (World.disk w);
+  probe
+
+type tpl = { tw : World.t; tprobe : Boundary.t }
+
+(* One run touches every scenario of one (spec, seed): all of
+   [Scenario.all] plus the multis must fit, or the counting pass evicts
+   the template every job needs right back. *)
+let cache_cap = 8
+
+let caches = Domain.DLS.new_key (fun () : (string, tpl) Hashtbl.t -> Hashtbl.create 8)
+
+let template ~(spec : spec) ~seed ~slug ~setup =
+  let c = Domain.DLS.get caches in
+  let key = Printf.sprintf "%s/%d/%s" spec.label seed slug in
+  let e =
+    match Hashtbl.find_opt c key with
+    | Some e -> e
+    | None ->
+      if Hashtbl.length c >= cache_cap then begin
+        Hashtbl.iter
+          (fun _ e ->
+            Boundary.drop_capture e.tprobe;
+            World.dispose e.tw)
+          c;
+        Hashtbl.reset c
+      end;
+      let w = build_world ~obs:Trace.null ~spec ~seed in
+      let probe = attach_probe ~obs:Trace.null w in
+      setup (World.fs w);
+      World.on_restore w (fun () -> Boundary.drop_capture probe);
+      World.freeze w;
+      let e = { tw = w; tprobe = probe } in
+      Hashtbl.replace c key e;
+      e
+  in
+  (* Restore at trial START: an exception escaping one trial can never
+     poison the next renter. *)
+  ignore (World.restore e.tw : int);
+  e
+
+(* Restore the captured crash image over memory, warm-reboot on the
+   surviving DRAM, and run [check] against the remounted file system. *)
+let crash_audit ~spec w probe ~check =
+  let engine = World.engine w in
+  let kernel = World.kernel w in
+  assert (Boundary.has_crash_image probe);
+  Fs.crash (World.fs w);
+  Boundary.restore_crash_image probe;
+  let recovered = ref None in
+  ignore
+    (Warm_reboot.perform ~mem:(World.mem w) ~disk:(World.disk w) ~layout:(World.layout w)
+       ~engine
+       ~reboot:(fun () ->
+         let kernel2 =
+           Kernel.boot_warm ~engine ~costs:(World.costs w) (World.config w)
+             ~mem:(Kernel.mem kernel) ~disk:(Kernel.disk kernel)
+         in
+         make_rio ~spec kernel2;
+         let fs2 = Kernel.mount kernel2 ~policy:Fs.Rio_policy in
+         recovered := Some fs2;
+         fs2)
+      : Warm_reboot.report);
+  let fs2 = match !recovered with Some f -> f | None -> assert false in
+  try check fs2 with Fs_types.Fs_error m -> [ "recovery check raised: " ^ m ]
+
+(* Run [scenario] on an already-set-up world with the probe armed at
+   [trip] ([-1] = count only), and — if the probe fired — audit the
+   recovery. Every trial is a pure function of (spec, seed, scenario,
+   trip), which is what lets the schedule shard across domains. *)
+let trial_body ~spec w probe (scenario : Scenario.t) ~trip =
   Boundary.arm probe ~trip_at:trip;
   let crashed =
-    match scenario.Scenario.op ~vista_hook:(Boundary.vista_event probe) fs with
+    match scenario.Scenario.op ~vista_hook:(Boundary.vista_event probe) (World.fs w) with
     | () -> false
     | exception Boundary.Crash_here -> true
   in
   Boundary.disarm probe;
   let trial_labels = Boundary.labels probe in
-  (* The world dies with the trial record: recycle its memory (the warm
-     reboot reuses the same buffer, so one retire covers both kernels). *)
-  let finish tr =
-    Phys_mem.retire (Kernel.mem kernel);
-    tr
-  in
-  if not crashed then finish { trial_labels; outcome = Completed; crasher = None }
+  if not crashed then { trial_labels; outcome = Completed; crasher = None }
   else begin
-    assert (Boundary.has_crash_image probe);
-    Fs.crash fs;
-    Boundary.restore_crash_image probe;
-    let recovered = ref None in
-    ignore
-      (Warm_reboot.perform ~mem:(Kernel.mem kernel) ~disk:(Kernel.disk kernel)
-         ~layout:(Kernel.layout kernel) ~engine
-         ~reboot:(fun () ->
-           let kernel2 =
-             Kernel.boot_warm ~engine ~costs kcfg ~mem:(Kernel.mem kernel)
-               ~disk:(Kernel.disk kernel)
-           in
-           make_rio ~spec kernel2;
-           let fs2 = Kernel.mount kernel2 ~policy:Fs.Rio_policy in
-           recovered := Some fs2;
-           fs2)
-        : Warm_reboot.report);
-    let fs2 = match !recovered with Some f -> f | None -> assert false in
-    let problems =
-      try scenario.Scenario.check fs2
-      with Fs_types.Fs_error m -> [ "recovery check raised: " ^ m ]
+    let problems = crash_audit ~spec w probe ~check:scenario.Scenario.check in
+    { trial_labels; outcome = Crashed problems; crasher = None }
+  end
+
+let run_trial ?(obs = Trace.null) ~spec ~seed scenario ~trip =
+  if (not (Trace.enabled obs)) && World.templates_on () then begin
+    let e =
+      template ~spec ~seed ~slug:scenario.Scenario.slug ~setup:scenario.Scenario.setup
     in
-    finish { trial_labels; outcome = Crashed problems; crasher = None }
+    trial_body ~spec e.tw e.tprobe scenario ~trip
+  end
+  else begin
+    let w = build_world ~obs ~spec ~seed in
+    let probe = attach_probe ~obs w in
+    scenario.Scenario.setup (World.fs w);
+    Fun.protect
+      ~finally:(fun () ->
+        Boundary.drop_capture probe;
+        World.dispose w)
+      (fun () -> trial_body ~spec w probe scenario ~trip)
   end
 
 (* The multi-task trial: same cycle, but the scenario's task bodies run
    as scheduler fibers under a seeded interleaving, with every boundary
    a preemption point and every scheduler event a boundary. The trial is
    a pure function of (spec, seed, scenario, sched_seed, trip): the trip
-   replay follows the identical interleaving up to the crash. *)
-let run_trial_multi ?(obs = Trace.null) ~spec ~seed ~sched_seed (m : Scenario.multi) ~trip =
-  let engine = Engine.create ~obs () in
-  let costs = Costs.default in
-  let kcfg = Kernel.config_with_seed seed in
-  let kernel = Kernel.boot ~engine ~costs kcfg in
-  Kernel.format kernel;
-  make_rio ~spec kernel;
-  let fs = Kernel.mount kernel ~policy:Fs.Rio_policy in
-  let probe = Boundary.create ~mem:(Kernel.mem kernel) ~obs () in
-  Boundary.instrument_hooks probe (Kernel.hooks kernel);
-  Boundary.instrument_disk probe (Kernel.disk kernel);
-  m.Scenario.m_setup fs;
+   replay follows the identical interleaving up to the crash. One
+   template serves every (sched_seed, trip) of a multi scenario — the
+   interleaving is attempt state, not world state. *)
+let trial_multi_body ~spec w probe (m : Scenario.multi) ~sched_seed ~trip =
+  let fs = World.fs w in
   let sched = Sched.create ~seed:sched_seed in
   Sched.set_on_point sched (Boundary.point probe);
   Boundary.set_on_emit probe (fun _ -> Sched.preempt sched);
@@ -173,35 +226,26 @@ let run_trial_multi ?(obs = Trace.null) ~spec ~seed ~sched_seed (m : Scenario.mu
   Boundary.disarm probe;
   let crasher = Option.map Task.name (Sched.crashed sched) in
   let trial_labels = Boundary.labels probe in
-  let finish tr =
-    Phys_mem.retire (Kernel.mem kernel);
-    tr
-  in
-  if not crashed then finish { trial_labels; outcome = Completed; crasher = None }
+  if not crashed then { trial_labels; outcome = Completed; crasher = None }
   else begin
-    assert (Boundary.has_crash_image probe);
-    Fs.crash fs;
-    Boundary.restore_crash_image probe;
-    let recovered = ref None in
-    ignore
-      (Warm_reboot.perform ~mem:(Kernel.mem kernel) ~disk:(Kernel.disk kernel)
-         ~layout:(Kernel.layout kernel) ~engine
-         ~reboot:(fun () ->
-           let kernel2 =
-             Kernel.boot_warm ~engine ~costs kcfg ~mem:(Kernel.mem kernel)
-               ~disk:(Kernel.disk kernel)
-           in
-           make_rio ~spec kernel2;
-           let fs2 = Kernel.mount kernel2 ~policy:Fs.Rio_policy in
-           recovered := Some fs2;
-           fs2)
-        : Warm_reboot.report);
-    let fs2 = match !recovered with Some f -> f | None -> assert false in
-    let problems =
-      try m.Scenario.m_check fs2
-      with Fs_types.Fs_error m -> [ "recovery check raised: " ^ m ]
-    in
-    finish { trial_labels; outcome = Crashed problems; crasher }
+    let problems = crash_audit ~spec w probe ~check:m.Scenario.m_check in
+    { trial_labels; outcome = Crashed problems; crasher }
+  end
+
+let run_trial_multi ?(obs = Trace.null) ~spec ~seed ~sched_seed (m : Scenario.multi) ~trip =
+  if (not (Trace.enabled obs)) && World.templates_on () then begin
+    let e = template ~spec ~seed ~slug:m.Scenario.m_slug ~setup:m.Scenario.m_setup in
+    trial_multi_body ~spec e.tw e.tprobe m ~sched_seed ~trip
+  end
+  else begin
+    let w = build_world ~obs ~spec ~seed in
+    let probe = attach_probe ~obs w in
+    m.Scenario.m_setup (World.fs w);
+    Fun.protect
+      ~finally:(fun () ->
+        Boundary.drop_capture probe;
+        World.dispose w)
+      (fun () -> trial_multi_body ~spec w probe m ~sched_seed ~trip)
   end
 
 (* ---------------- the exhaustive run ---------------- *)

@@ -76,6 +76,17 @@ let trap t trap_value =
   t.state <- Trapped trap_value;
   t.state
 
+(* ---- world-template rewind ---- *)
+
+type checkpoint = { ck_regs : int array; ck_pc : int; ck_state : state }
+
+let checkpoint t = { ck_regs = Array.copy t.regs; ck_pc = t.pc; ck_state = t.state }
+
+let restore t ck =
+  Array.blit ck.ck_regs 0 t.regs 0 (Array.length t.regs);
+  t.pc <- ck.ck_pc;
+  t.state <- ck.ck_state
+
 (* ---------------- the reference interpreter ----------------
 
    One instruction at a time, straightforwardly: decode the fetched word,

@@ -72,6 +72,17 @@ val resume : t -> unit
 val reset : t -> unit
 (** Zero registers and pc, clear state to [Running], reset counters. *)
 
+(** {1 World-template rewind} *)
+
+type checkpoint
+
+val checkpoint : t -> checkpoint
+(** Capture the register file, pc, and run state. The retired-instruction
+    counters are monotonic (all callers take deltas) and the decode cache
+    is page-version-keyed, so neither needs rewinding. *)
+
+val restore : t -> checkpoint -> unit
+
 val pp_trap : Format.formatter -> trap -> unit
 
 val trap_to_string : trap -> string

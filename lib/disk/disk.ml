@@ -29,6 +29,11 @@ type t = {
   costs : Costs.t;
   sectors : int;
   store : (int, bytes) Hashtbl.t;
+  nonzero : Bytes.t;
+      (* Bit per sector, a conservative superset of the store's keys: set
+         when a sector gains an entry, cleared only when a zero-write
+         drops it. Lets {!write_zeros_sync} prove whole ranges already
+         read as zeros in O(count/8) instead of a probe per sector. *)
   prng : Rio_util.Prng.t;
   mutable head : int; (* next sector position of the head *)
   mutable busy_until : int;
@@ -54,6 +59,7 @@ let create ~engine ~costs ~sectors ~seed =
     costs;
     sectors;
     store = Hashtbl.create 4096;
+    nonzero = Bytes.make ((sectors + 7) / 8) '\000';
     prng = Rio_util.Prng.create ~seed;
     head = 0;
     busy_until = 0;
@@ -91,6 +97,16 @@ let sector_is_zero src pos =
   let rec go i = i >= sector_bytes || (Bytes.get_int64_le src (pos + i) = 0L && go (i + 8)) in
   go 0
 
+let mark_nonzero t sector =
+  let i = sector lsr 3 in
+  Bytes.unsafe_set t.nonzero i
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get t.nonzero i) lor (1 lsl (sector land 7))))
+
+let clear_nonzero t sector =
+  let i = sector lsr 3 in
+  Bytes.unsafe_set t.nonzero i
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get t.nonzero i) land lnot (1 lsl (sector land 7))))
+
 (* Commit one sector from [src] at byte offset [pos], reusing the stored
    buffer when the sector already exists (no one outside this module holds
    a reference to stored bytes — peek/read_sync copy out). *)
@@ -101,8 +117,28 @@ let commit_from t sector src pos =
     if not (sector_is_zero src pos) then begin
       let b = Bytes.create sector_bytes in
       Bytes.blit src pos b 0 sector_bytes;
-      Hashtbl.replace t.store sector b
+      Hashtbl.replace t.store sector b;
+      mark_nonzero t sector
     end
+
+(* Make [count] sectors read as zeros: drop any store entries in the
+   range. The bitmap turns the common case — a range with no entries at
+   all — into a walk over [count/8] bytes, no hashing. *)
+let commit_zeros t sector count =
+  let last = sector + count - 1 in
+  for i = sector lsr 3 to last lsr 3 do
+    let byte = Char.code (Bytes.unsafe_get t.nonzero i) in
+    if byte <> 0 then
+      for bit = 0 to 7 do
+        if byte land (1 lsl bit) <> 0 then begin
+          let s = (i lsl 3) lor bit in
+          if s >= sector && s <= last then begin
+            Hashtbl.remove t.store s;
+            clear_nonzero t s
+          end
+        end
+      done
+  done
 
 let commit_sector t sector (b : bytes) =
   assert (Bytes.length b = sector_bytes);
@@ -203,6 +239,25 @@ let write_sync t ~sector data =
   done;
   t.on_complete ~sector ~count ~write:true
 
+(* Write [count] sectors of zeros without materializing a payload buffer.
+   Simulated behaviour is identical to [write_sync] with an all-zero
+   buffer of the same length — same schedule, same trace events, same
+   counters, same completion callback — only the host-side commit
+   differs: instead of probing the store per sector it sweeps the
+   [nonzero] bitmap and drops whatever entries the range still holds.
+   The swap dump uses this for the (typically vast) all-zero stretches
+   of the memory image. *)
+let write_zeros_sync t ~sector ~count =
+  check_range t sector count;
+  let issued = Engine.now t.engine in
+  let _, completion = schedule_request t sector count in
+  note_request t ~sector ~count ~write:true ~sync:true ~issued ~completion;
+  Engine.advance_to t.engine completion;
+  t.writes <- t.writes + 1;
+  t.sectors_written <- t.sectors_written + count;
+  commit_zeros t sector count;
+  t.on_complete ~sector ~count ~write:true
+
 let max_queue_depth = 32
 
 let write_async t ~sector data =
@@ -278,6 +333,55 @@ let stats t =
     seeks = t.seeks;
     busy_us = t.busy_us;
   }
+
+(* ---- world-template rewind ----
+
+   The checkpoint deep-copies the store (taken post-mount it holds only a
+   handful of sectors) and remembers the head/geometry markers, the
+   statistics, and the tear-pattern PRNG state — [crash] draws torn-sector
+   bytes from that stream, so a restored world must replay the identical
+   tears. Pending requests cannot be checkpointed (their completion events
+   live in the engine queue, which the world restore clears); freeze only
+   with the queue drained. *)
+
+type checkpoint = {
+  ck_store : (int, bytes) Hashtbl.t;
+  ck_prng : int64;
+  ck_head : int;
+  ck_busy_until : int;
+  ck_stats : stats;
+}
+
+let checkpoint t =
+  assert (t.pending = []);
+  let ck_store = Hashtbl.create (max 16 (Hashtbl.length t.store * 2)) in
+  Hashtbl.iter (fun s b -> Hashtbl.replace ck_store s (Bytes.copy b)) t.store;
+  {
+    ck_store;
+    ck_prng = Rio_util.Prng.state t.prng;
+    ck_head = t.head;
+    ck_busy_until = t.busy_until;
+    ck_stats = stats t;
+  }
+
+let restore t ck =
+  Hashtbl.reset t.store;
+  Bytes.fill t.nonzero 0 (Bytes.length t.nonzero) '\000';
+  Hashtbl.iter
+    (fun s b ->
+      Hashtbl.replace t.store s (Bytes.copy b);
+      mark_nonzero t s)
+    ck.ck_store;
+  Rio_util.Prng.set_state t.prng ck.ck_prng;
+  t.head <- ck.ck_head;
+  t.busy_until <- ck.ck_busy_until;
+  t.pending <- [];
+  t.reads <- ck.ck_stats.reads;
+  t.writes <- ck.ck_stats.writes;
+  t.sectors_read <- ck.ck_stats.sectors_read;
+  t.sectors_written <- ck.ck_stats.sectors_written;
+  t.seeks <- ck.ck_stats.seeks;
+  t.busy_us <- ck.ck_stats.busy_us
 
 let reset_stats t =
   t.reads <- 0;

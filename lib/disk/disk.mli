@@ -64,6 +64,13 @@ val write_sync : t -> sector:int -> bytes -> unit
     of sectors); the clock advances to completion — data is then
     crash-safe. *)
 
+val write_zeros_sync : t -> sector:int -> count:int -> unit
+(** [write_sync] of [count] sectors of zeros, without the buffer:
+    identical simulated timing, trace events, statistics, and completion
+    callback; the host-side commit just drops any stored entries in the
+    range (absent sectors read as zeros). The warm-reboot swap dump uses
+    this for chunks the memory snapshot proves are all-zero. *)
+
 val write_async : t -> sector:int -> bytes -> unit
 (** Queue a write and return immediately. The data commits to the platter
     when the disk gets to it; until then a crash discards it. *)
@@ -81,5 +88,17 @@ val crash : t -> unit
 val stats : t -> stats
 
 val reset_stats : t -> unit
+
+(** {1 World-template rewind} *)
+
+type checkpoint
+
+val checkpoint : t -> checkpoint
+(** Deep-copy the platter contents and remember head position, statistics,
+    and tear-pattern PRNG state. The request queue must be empty. *)
+
+val restore : t -> checkpoint -> unit
+(** Rewind the disk to a checkpoint, dropping any queued requests (their
+    completion events are assumed cleared with the engine queue). *)
 
 val pp_stats : Format.formatter -> stats -> unit

@@ -14,6 +14,7 @@ module Prng = Rio_util.Prng
 module Pattern = Rio_util.Pattern
 module Trace = Rio_obs.Trace
 module Forensics = Rio_obs.Forensics
+module World = Rio_world.World
 
 type system =
   | Disk_based
@@ -105,27 +106,32 @@ let is_protection_trap = function
   | Some _ | None -> false
 
 let run_one ?(obs = Trace.null) cfg system fault ~seed =
-  (* Memories booted during the trial, recycled at the end (the Disk_based
-     recovery path boots a second one). Retiring is skipped when the trial
-     escapes with an exception — the GC reclaims as before. *)
+  (* Extra memories booted during the trial (the Disk_based recovery path
+     boots a second one), recycled at the end alongside the world itself.
+     Retiring is skipped when the trial escapes with an exception — the GC
+     reclaims as before. *)
   let trial_mems = ref [] in
-  let outcome =
-  let engine = Engine.create ~obs () in
-  let costs = Costs.default in
-  let kcfg = { cfg.kernel_config with Kernel.seed } in
-  let kernel = Kernel.boot ~engine ~costs kcfg in
-  trial_mems := Kernel.mem kernel :: !trial_mems;
-  Kernel.format kernel;
   let policy, protection, fsync_writes =
     match system with
     | Disk_based -> (Fs.Ufs_default, None, true)
     | Rio_without_protection -> (Fs.Rio_policy, Some false, false)
     | Rio_with_protection -> (Fs.Rio_policy, Some true, false)
   in
-  (match protection with
-  | Some p -> ignore (make_rio kernel ~protection:p)
-  | None -> ());
-  let fs = Kernel.mount kernel ~policy in
+  (* The pristine post-mount world, via the same construction path the
+     campaign engines template. No freeze here: every attempt's seed feeds
+     the kernel PRNG at boot, so reliability trials never share a
+     template — the win is the single world-building code path (and the
+     retire-pooled memory). *)
+  let w =
+    World.create ~obs ~config:cfg.kernel_config ~rio:(protection <> None)
+      ~protection:(protection = Some true) ~policy ~seed ()
+  in
+  let outcome =
+  let engine = World.engine w in
+  let costs = World.costs w in
+  let kcfg = World.config w in
+  let kernel = World.kernel w in
+  let fs = World.fs w in
   make_static_files fs;
   let mt_config =
     {
@@ -310,6 +316,7 @@ let run_one ?(obs = Trace.null) cfg system fault ~seed =
     }
   in
   List.iter Rio_mem.Phys_mem.retire !trial_mems;
+  World.dispose w;
   outcome
 
 let pp_outcome ppf o =

@@ -218,6 +218,39 @@ let stats t =
   { hits = t.hits; misses = t.misses; evictions = t.evictions; writebacks = t.writebacks;
     fills = t.fills }
 
+(* ---- world-template rewind ----
+
+   Entries point at simulated pages whose contents rewind with the
+   memory snapshot; the host-side table (which blocks are cached, where,
+   dirty bits, LRU ticks, statistics) is deep-copied here so a restored
+   world sees the identical cache population and eviction order. *)
+
+type checkpoint = {
+  ck_entries : entry list; (* copies, one per table entry *)
+  ck_ndirty : int;
+  ck_clock : int;
+  ck_stats : stats;
+}
+
+let checkpoint t =
+  {
+    ck_entries = Hashtbl.fold (fun _ e acc -> { e with blkno = e.blkno } :: acc) t.table [];
+    ck_ndirty = t.ndirty;
+    ck_clock = t.clock;
+    ck_stats = stats t;
+  }
+
+let restore t ck =
+  Hashtbl.reset t.table;
+  List.iter (fun e -> Hashtbl.replace t.table e.blkno { e with blkno = e.blkno }) ck.ck_entries;
+  t.ndirty <- ck.ck_ndirty;
+  t.clock <- ck.ck_clock;
+  t.hits <- ck.ck_stats.hits;
+  t.misses <- ck.ck_stats.misses;
+  t.evictions <- ck.ck_stats.evictions;
+  t.writebacks <- ck.ck_stats.writebacks;
+  t.fills <- ck.ck_stats.fills
+
 let pp_stats ppf (s : stats) =
   Format.fprintf ppf "hits=%d misses=%d evictions=%d writebacks=%d fills=%d" s.hits s.misses
     s.evictions s.writebacks s.fills

@@ -80,3 +80,14 @@ val dirty_count : t -> int
 val stats : t -> stats
 
 val pp_stats : Format.formatter -> stats -> unit
+
+(** {1 World-template rewind} *)
+
+type checkpoint
+
+val checkpoint : t -> checkpoint
+(** Deep-copy the host-side cache state (population, dirty bits, LRU
+    ticks, statistics). Page contents rewind with the memory snapshot. *)
+
+val restore : t -> checkpoint -> unit
+(** Rewind the cache to a checkpoint of the same instance. *)

@@ -117,6 +117,20 @@ type stat = {
 
 type meta_class = Class_inode | Class_dir | Class_bitmap | Class_super
 
+(* One decoded directory block: the entries in on-disk order, the bytes
+   they occupy (the append offset for new entries), and a name→inode
+   index over them. Validated against the (paddr, page version) of the
+   cached page — versions are monotonic and never reset, so a hit can
+   only mean byte-identical content. Purely a host-side decode cache:
+   simulated time and on-page bytes are untouched. *)
+type dir_block = {
+  db_paddr : int;
+  db_ver : int;
+  db_entries : (string * int) list;
+  db_used : int;
+  db_index : (string, int) Hashtbl.t;
+}
+
 type t = {
   engine : Engine.t;
   costs : Costs.t;
@@ -129,17 +143,18 @@ type t = {
   data : Block_cache.t;
   journal : Journal.t option;
   icache : (int, Ondisk.inode) Hashtbl.t;
-  (* Parsed directory blocks, keyed by data blkno and validated against
-     the (paddr, page version) of the cached page — versions are
-     monotonic and never reset, so a hit can only mean byte-identical
-     content. Purely a host-side decode cache: simulated time and
-     on-page bytes are untouched. *)
-  dir_cache : (int, int * int * (string * int) list) Hashtbl.t;
+  dir_cache : (int, dir_block) Hashtbl.t;
   fds : (int, fd_state) Hashtbl.t;
   mutable next_fd : int;
   mutable ialloc_hint : int;
   mutable balloc_hint : int;
+  (* Free-slot counters shadowing the allocation bitmaps: exhaustion
+     errors fire before any bitmap scan, and the scans themselves are
+     guaranteed to terminate on a free slot. *)
+  mutable free_inodes : int;
+  mutable free_blocks : int;
   mutable daemon : Engine.handle option;
+  mutable daemon_due : int; (* absolute due time of the pending daemon pass *)
   mutable alive : bool;
 }
 
@@ -225,35 +240,47 @@ let bitmap_set t ~start idx v =
       let mask = 1 lsl (idx mod 8) in
       Phys_mem.write_u8 t.mem pos (if v then byte lor mask else byte land lnot mask))
 
+(* The free counter fails the exhausted case immediately; with at least
+   one free slot the wrapped scan from the hint must terminate, so the
+   [tried] guard of the old code is no longer load-bearing (kept as a
+   defensive stop against a counter/bitmap mismatch). *)
 let ialloc t =
+  if t.free_inodes = 0 then err "out of inodes";
   let n = t.sb.Ondisk.inode_count in
   let rec scan tried idx =
     if tried >= n then err "out of inodes"
     else if not (bitmap_get t ~start:t.sb.Ondisk.ibitmap_start idx) then begin
       bitmap_set t ~start:t.sb.Ondisk.ibitmap_start idx true;
       t.ialloc_hint <- (idx + 1) mod n;
+      t.free_inodes <- t.free_inodes - 1;
       idx + 1
     end
     else scan (tried + 1) ((idx + 1) mod n)
   in
   scan 0 t.ialloc_hint
 
-let ifree t ino = bitmap_set t ~start:t.sb.Ondisk.ibitmap_start (ino - 1) false
+let ifree t ino =
+  bitmap_set t ~start:t.sb.Ondisk.ibitmap_start (ino - 1) false;
+  t.free_inodes <- t.free_inodes + 1
 
 let balloc t =
+  if t.free_blocks = 0 then err "disk full: no free data blocks";
   let n = t.sb.Ondisk.data_blocks in
   let rec scan tried idx =
     if tried >= n then err "disk full: no free data blocks"
     else if not (bitmap_get t ~start:t.sb.Ondisk.bbitmap_start idx) then begin
       bitmap_set t ~start:t.sb.Ondisk.bbitmap_start idx true;
       t.balloc_hint <- (idx + 1) mod n;
+      t.free_blocks <- t.free_blocks - 1;
       idx
     end
     else scan (tried + 1) ((idx + 1) mod n)
   in
   scan 0 t.balloc_hint
 
-let bfree t blkno = bitmap_set t ~start:t.sb.Ondisk.bbitmap_start blkno false
+let bfree t blkno =
+  bitmap_set t ~start:t.sb.Ondisk.bbitmap_start blkno false;
+  t.free_blocks <- t.free_blocks + 1
 
 (* ---------------- inodes ---------------- *)
 
@@ -294,23 +321,87 @@ let iclear t ino =
    cache (keyed by absolute sector base), as on the paper's platform. *)
 let dir_block_sector t blkno = Ondisk.data_sector t.sb blkno
 
+let dir_index_of entries =
+  let tbl = Hashtbl.create (max 16 (List.length entries * 2)) in
+  List.iter (fun (name, ino) -> Hashtbl.replace tbl name ino) entries;
+  tbl
+
+let dir_used_of entries =
+  List.fold_left (fun acc (n, _) -> acc + Ondisk.dir_entry_bytes n) 0 entries
+
+(* Install decoded block state in the cache against the page's current
+   version — called right after a mutation so the next read pays neither
+   an 8 KB decode nor an index rebuild beyond the one done here. *)
+let dir_cache_put t blkno ~paddr entries =
+  let ver = Phys_mem.page_version t.mem (paddr / Phys_mem.page_size) in
+  Hashtbl.replace t.dir_cache blkno
+    {
+      db_paddr = paddr;
+      db_ver = ver;
+      db_entries = entries;
+      db_used = dir_used_of entries;
+      db_index = dir_index_of entries;
+    }
+
 let dir_read_block t blkno =
   let sector = dir_block_sector t blkno in
   let entry = meta_get t ~sector ~pin:false in
   let paddr = entry.Block_cache.paddr in
   let ver = Phys_mem.page_version t.mem (paddr / Phys_mem.page_size) in
   match Hashtbl.find_opt t.dir_cache blkno with
-  | Some (p, v, entries) when p = paddr && v = ver -> entries
+  | Some db when db.db_paddr = paddr && db.db_ver = ver -> db
   | _ ->
     let raw = Phys_mem.blit_out t.mem paddr ~len:block_bytes in
     let entries = Ondisk.dir_unpack raw ~pos:0 ~len:block_bytes in
-    Hashtbl.replace t.dir_cache blkno (paddr, ver, entries);
-    entries
+    let db =
+      {
+        db_paddr = paddr;
+        db_ver = ver;
+        db_entries = entries;
+        db_used = dir_used_of entries;
+        db_index = dir_index_of entries;
+      }
+    in
+    Hashtbl.replace t.dir_cache blkno db;
+    db
 
+(* Full repack: the removal/compaction path. The insert path appends in
+   place instead (see [dir_append_block]). *)
 let dir_write_block t blkno entries =
   let sector = dir_block_sector t blkno in
+  let paddr = ref 0 in
   meta_update t ~cls:Class_dir ~sector ~len:block_bytes (fun addr ->
-      Phys_mem.blit_in t.mem addr (Ondisk.dir_pack entries))
+      paddr := addr;
+      Phys_mem.blit_in t.mem addr (Ondisk.dir_pack entries));
+  dir_cache_put t blkno ~paddr:!paddr entries
+
+(* Append one entry at the block's current end offset: [u32 ino][u8 len]
+   [name]. The bytes past the last entry are zero (freshly allocated
+   blocks are zero-filled and the repack path zeroes the tail), so the
+   zero-inode terminator after the appended entry is already in place —
+   one small write instead of a full read-decode-append-rewrite cycle. *)
+let dir_append_block t blkno db name ino =
+  let sector = dir_block_sector t blkno in
+  let elen = Ondisk.dir_entry_bytes name in
+  let img = Bytes.make elen '\000' in
+  Bytes.set_int32_le img 0 (Int32.of_int ino);
+  Bytes.set img 4 (Char.chr (String.length name));
+  Bytes.blit_string name 0 img 5 (String.length name);
+  let paddr = ref 0 in
+  meta_update t ~cls:Class_dir ~sector ~len:block_bytes (fun addr ->
+      paddr := addr;
+      Phys_mem.blit_in t.mem (addr + db.db_used) img);
+  (* Incremental cache refresh: extend the existing index in place. *)
+  Hashtbl.replace db.db_index name ino;
+  let ver = Phys_mem.page_version t.mem (!paddr / Phys_mem.page_size) in
+  Hashtbl.replace t.dir_cache blkno
+    {
+      db_paddr = !paddr;
+      db_ver = ver;
+      db_entries = db.db_entries @ [ (name, ino) ];
+      db_used = db.db_used + elen;
+      db_index = db.db_index;
+    }
 
 let dir_blocks inode =
   let nblocks = (inode.Ondisk.size + block_bytes - 1) / block_bytes in
@@ -324,13 +415,13 @@ let dir_blocks inode =
   collect 0 []
 
 let dir_entries t inode =
-  List.concat_map (fun (_, blkno) -> dir_read_block t blkno) (dir_blocks inode)
+  List.concat_map (fun (_, blkno) -> (dir_read_block t blkno).db_entries) (dir_blocks inode)
 
 let dir_find t inode name =
   let rec scan = function
     | [] -> None
     | (_, blkno) :: rest ->
-      (match List.assoc_opt name (dir_read_block t blkno) with
+      (match Hashtbl.find_opt (dir_read_block t blkno).db_index name with
       | Some ino -> Some ino
       | None -> scan rest)
   in
@@ -338,15 +429,13 @@ let dir_find t inode name =
 
 let dir_add t dirino name ino =
   let dir = iget t dirino in
-  let fits entries =
-    List.fold_left (fun acc (n, _) -> acc + Ondisk.dir_entry_bytes n) 0 entries
-    + Ondisk.dir_entry_bytes name
-    <= Ondisk.dir_block_capacity
-  in
+  let elen = Ondisk.dir_entry_bytes name in
   let rec place = function
     | (_, blkno) :: rest ->
-      let entries = dir_read_block t blkno in
-      if fits entries then dir_write_block t blkno (entries @ [ (name, ino) ]) else place rest
+      let db = dir_read_block t blkno in
+      if db.db_used + elen <= Ondisk.dir_block_capacity then
+        dir_append_block t blkno db name ino
+      else place rest
     | [] ->
       (* Grow the directory by one block. *)
       let bi = dir.Ondisk.size / block_bytes in
@@ -365,9 +454,9 @@ let dir_remove t dirino name =
   let rec scan = function
     | [] -> err "no such directory entry %S" name
     | (_, blkno) :: rest ->
-      let entries = dir_read_block t blkno in
-      if List.mem_assoc name entries then
-        dir_write_block t blkno (List.remove_assoc name entries)
+      let db = dir_read_block t blkno in
+      if Hashtbl.mem db.db_index name then
+        dir_write_block t blkno (List.remove_assoc name db.db_entries)
       else scan rest
   in
   scan (dir_blocks dir)
@@ -505,14 +594,18 @@ let update_daemon_flush t =
     (match t.journal with Some j -> Journal.checkpoint j | None -> ()));
   !flushed
 
-let rec schedule_daemon t =
+let rec schedule_daemon_at t ~time =
+  t.daemon_due <- time;
   t.daemon <-
     Some
-      (Engine.schedule_after t.engine ~delay:t.costs.Costs.update_interval (fun _ ->
+      (Engine.schedule_at t.engine ~time (fun _ ->
            if t.alive then begin
              ignore (update_daemon_flush t);
              schedule_daemon t
            end))
+
+and schedule_daemon t =
+  schedule_daemon_at t ~time:(Engine.now t.engine + t.costs.Costs.update_interval)
 
 (* ---------------- mount / unmount / crash ---------------- *)
 
@@ -557,7 +650,10 @@ let mount ~engine ~costs ~mem ~meta_alloc ~pool_alloc ~disk ~policy ~hooks =
       next_fd = 3;
       ialloc_hint = 0;
       balloc_hint = 0;
+      free_inodes = 0;
+      free_blocks = 0;
       daemon = None;
+      daemon_due = 0;
       alive = true;
     }
   in
@@ -574,6 +670,17 @@ let mount ~engine ~costs ~mem ~meta_alloc ~pool_alloc ~disk ~policy ~hooks =
     Hashtbl.replace t.icache root_ino root;
     iupdate t root_ino root ~structural:true
   end;
+  (* Seed the free counters from the allocation bitmaps (a sector or two,
+     already faulted into the pinned buffer-cache pages). *)
+  let count_free ~start n =
+    let free = ref 0 in
+    for i = 0 to n - 1 do
+      if not (bitmap_get t ~start i) then incr free
+    done;
+    !free
+  in
+  t.free_inodes <- count_free ~start:sb.Ondisk.ibitmap_start sb.Ondisk.inode_count;
+  t.free_blocks <- count_free ~start:sb.Ondisk.bbitmap_start sb.Ondisk.data_blocks;
   (match policy with
   | Mfs | Rio_policy -> ()
   | Ufs_default | Ufs_delayed | Wt_close | Wt_write | Advfs | Rio_idle -> schedule_daemon t);
@@ -910,13 +1017,11 @@ let rename t src dst =
     let rec try_blocks = function
       | [] -> false
       | (_, blkno) :: rest ->
-        let entries = dir_read_block t blkno in
-        if not (List.mem_assoc sbase entries) then try_blocks rest
+        let db = dir_read_block t blkno in
+        if not (Hashtbl.mem db.db_index sbase) then try_blocks rest
         else begin
-          let kept = List.remove_assoc sbase entries in
-          let used =
-            List.fold_left (fun acc (n, _) -> acc + Ondisk.dir_entry_bytes n) 0 kept
-          in
+          let kept = List.remove_assoc sbase db.db_entries in
+          let used = db.db_used - Ondisk.dir_entry_bytes sbase in
           used + Ondisk.dir_entry_bytes dbase <= Ondisk.dir_block_capacity
           && begin
                dir_write_block t blkno (kept @ [ (dbase, ino) ]);
@@ -1116,6 +1221,71 @@ let write_by_ino t ~ino ~offset data =
       pos := !pos + chunk
     done
   end
+
+(* ---------------- world-template rewind ---------------- *)
+
+(* Host-side file-system state frozen with the world template. Simulated
+   state (cache pages, on-disk metadata bytes) rewinds with the memory
+   snapshot and the disk checkpoint; this captures everything the Fs
+   record keeps outside simulated memory: the block-cache population,
+   the in-core inode and descriptor tables, allocator hints and free
+   counters, and the update daemon's next due time. The directory decode
+   cache is NOT captured — it is version-keyed and simply refills. *)
+type checkpoint = {
+  ck_meta : Block_cache.checkpoint;
+  ck_data : Block_cache.checkpoint;
+  ck_journal : Journal.state option;
+  ck_icache : (int * Ondisk.inode) list;
+  ck_fds : (int * fd_state) list;
+  ck_next_fd : int;
+  ck_ialloc_hint : int;
+  ck_balloc_hint : int;
+  ck_free_inodes : int;
+  ck_free_blocks : int;
+  ck_daemon : bool;
+  ck_daemon_due : int;
+}
+
+let copy_inode (i : Ondisk.inode) = { i with Ondisk.blocks = Array.copy i.Ondisk.blocks }
+
+let checkpoint t =
+  {
+    ck_meta = Block_cache.checkpoint t.meta;
+    ck_data = Block_cache.checkpoint t.data;
+    ck_journal = Option.map Journal.save t.journal;
+    ck_icache = Hashtbl.fold (fun ino i acc -> (ino, copy_inode i) :: acc) t.icache [];
+    ck_fds = Hashtbl.fold (fun fd st acc -> (fd, { st with pos = st.pos }) :: acc) t.fds [];
+    ck_next_fd = t.next_fd;
+    ck_ialloc_hint = t.ialloc_hint;
+    ck_balloc_hint = t.balloc_hint;
+    ck_free_inodes = t.free_inodes;
+    ck_free_blocks = t.free_blocks;
+    ck_daemon = t.daemon <> None;
+    ck_daemon_due = t.daemon_due;
+  }
+
+(* Call after the engine queue has been cleared and rewound: a live
+   daemon is re-scheduled at its checkpointed absolute due time. *)
+let restore t ck =
+  Block_cache.restore t.meta ck.ck_meta;
+  Block_cache.restore t.data ck.ck_data;
+  (match (t.journal, ck.ck_journal) with
+  | Some j, Some s -> Journal.restore j s
+  | None, None -> ()
+  | _ -> invalid_arg "Fs.restore: journal presence mismatch");
+  Hashtbl.reset t.icache;
+  List.iter (fun (ino, i) -> Hashtbl.replace t.icache ino (copy_inode i)) ck.ck_icache;
+  Hashtbl.reset t.dir_cache;
+  Hashtbl.reset t.fds;
+  List.iter (fun (fd, st) -> Hashtbl.replace t.fds fd { st with pos = st.pos }) ck.ck_fds;
+  t.next_fd <- ck.ck_next_fd;
+  t.ialloc_hint <- ck.ck_ialloc_hint;
+  t.balloc_hint <- ck.ck_balloc_hint;
+  t.free_inodes <- ck.ck_free_inodes;
+  t.free_blocks <- ck.ck_free_blocks;
+  t.alive <- true;
+  t.daemon <- None;
+  if ck.ck_daemon then schedule_daemon_at t ~time:ck.ck_daemon_due
 
 (* ---------------- the uniform syscall entry ---------------- *)
 

@@ -199,6 +199,21 @@ val remount_cold : t -> unit
 (** Flush everything and drop both caches — equivalent to unmount + mount.
     Used to measure cold-cache workloads. *)
 
+(** {1 World-template rewind} *)
+
+type checkpoint
+
+val checkpoint : t -> checkpoint
+(** Capture the host-side file-system state: block-cache population,
+    in-core inodes, descriptor table, allocator hints/counters, journal
+    cursor, and update-daemon due time. Page and disk contents are
+    covered by the memory snapshot and disk checkpoint. *)
+
+val restore : t -> checkpoint -> unit
+(** Rewind to a checkpoint of the same mount. Call after the engine
+    queue has been cleared and its clock rewound — a live update daemon
+    is re-scheduled at its checkpointed absolute due time. *)
+
 (** {1 The uniform syscall entry}
 
     One decoded representation of the syscall surface. The crash-schedule

@@ -74,6 +74,22 @@ let append t ~sector payload =
 let records_logged t = t.records
 let bytes_logged t = t.bytes
 
+(* ---- world-template rewind ---- *)
+
+type state = { ck_head : int; ck_seq : int; ck_records : int; ck_bytes : int; ck_buf : string }
+
+let save t =
+  { ck_head = t.head; ck_seq = t.seq; ck_records = t.records; ck_bytes = t.bytes;
+    ck_buf = Buffer.contents t.buffer }
+
+let restore t ck =
+  t.head <- ck.ck_head;
+  t.seq <- ck.ck_seq;
+  t.records <- ck.ck_records;
+  t.bytes <- ck.ck_bytes;
+  Buffer.clear t.buffer;
+  Buffer.add_string t.buffer ck.ck_buf
+
 let replay ~disk ~start_sector ~sectors =
   let applied = ref 0 in
   let pos = ref 0 in

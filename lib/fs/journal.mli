@@ -34,3 +34,13 @@ val replay : disk:Rio_disk.Disk.t -> start_sector:int -> sectors:int -> int
 (** Scan the log on the (post-crash) disk and apply every complete,
     checksummed record to its home sector. Returns the number of records
     applied. *)
+
+(** {1 World-template rewind} *)
+
+type state
+
+val save : t -> state
+(** Capture the log cursor, counters, and staged group-commit bytes. *)
+
+val restore : t -> state -> unit
+(** Rewind to a captured {!save} of the same journal. *)

@@ -11,6 +11,7 @@ module Trace = Rio_obs.Trace
 module Forensics = Rio_obs.Forensics
 module Pool = Rio_parallel.Pool
 module Run = Rio_harness.Run
+module World = Rio_world.World
 module Boundary = Rio_check.Boundary
 module Explorer = Rio_check.Explorer
 module Prng = Rio_util.Prng
@@ -46,19 +47,86 @@ let make_rio ~(spec : Explorer.spec) kernel =
        ~pool_alloc:(Kernel.pool_alloc kernel) ~protection:spec.Explorer.protection ~dev:1 ()
       : Rio_cache.t)
 
-let run_attempt ?(obs = Trace.null) ~(spec : Explorer.spec) ~seed ~ops ~trip () =
-  let engine = Engine.create ~obs () in
-  let costs = Costs.default in
-  let kcfg = Kernel.config_with_seed seed in
-  let kernel = Kernel.boot ~engine ~costs kcfg in
-  Kernel.format kernel;
-  make_rio ~spec kernel;
-  let fs = Kernel.mount kernel ~policy:Fs.Rio_policy in
-  let probe = Boundary.create ~mem:(Kernel.mem kernel) ~obs () in
-  Boundary.instrument_hooks probe (Kernel.hooks kernel);
-  Boundary.instrument_disk probe (Kernel.disk kernel);
-  let w = Program.setup fs in
-  Vista.set_observer w.Program.store (Boundary.vista_event probe);
+(* ---------------- world templates ---------------- *)
+
+(* The expensive part of an attempt used to be the world build (boot +
+   format + mount + payload setup, ~ms each); every attempt now rents a
+   frozen {!World} template and rewinds it in O(dirty pages). Templates
+   are per-domain (worker domains are spawned fresh by each
+   [Pool.map_list], so the cache amortizes within one fan-out; the main
+   domain keeps its cache for the whole process at [-j 1]) and keyed by
+   everything the build depends on, so a restored world is byte-for-byte
+   the world a fresh build would produce. The [--reference] mode
+   ({!World.set_use_templates}[ false]) and any traced replay skip the
+   cache and build from scratch — same [attempt_body] either way. *)
+
+let build_world ~obs ~(spec : Explorer.spec) ~seed =
+  World.create ~obs ~protection:spec.Explorer.protection ~shadow:spec.Explorer.shadow
+    ~registry:spec.Explorer.registry ~seed ()
+
+let attach_probe ~obs w =
+  let probe = Boundary.create ~mem:(World.mem w) ~obs () in
+  Boundary.instrument_hooks probe (World.hooks w);
+  Boundary.instrument_disk probe (World.disk w);
+  probe
+
+type single_tpl = { sw : World.t; sprobe : Boundary.t; spay : Program.world }
+type tasks_tpl = { tw : World.t; tprobe : Boundary.t; tpay : Program.tworld }
+
+type cache = {
+  singles : (string, single_tpl) Hashtbl.t;
+  multis : (string, tasks_tpl) Hashtbl.t;
+}
+
+(* A campaign touches one (spec, seed) per worker at a time; the matrix
+   walks four specs. Blow the whole cache on overflow — eviction order
+   would otherwise be hash-table order, and nothing here needs LRU. *)
+let cache_cap = 4
+
+let caches =
+  Domain.DLS.new_key (fun () -> { singles = Hashtbl.create 8; multis = Hashtbl.create 8 })
+
+let evict_if_full tbl dispose =
+  if Hashtbl.length tbl >= cache_cap then begin
+    Hashtbl.iter (fun _ e -> dispose e) tbl;
+    Hashtbl.reset tbl
+  end
+
+let single_template ~(spec : Explorer.spec) ~seed =
+  let c = Domain.DLS.get caches in
+  let key = Printf.sprintf "%s/%d" spec.Explorer.label seed in
+  let e =
+    match Hashtbl.find_opt c.singles key with
+    | Some e -> e
+    | None ->
+      evict_if_full c.singles (fun e ->
+          Boundary.drop_capture e.sprobe;
+          World.dispose e.sw);
+      let w = build_world ~obs:Trace.null ~spec ~seed in
+      let probe = attach_probe ~obs:Trace.null w in
+      let pay = Program.setup (World.fs w) in
+      let vst = Vista.save pay.Program.store in
+      World.on_restore w (fun () ->
+          Boundary.drop_capture probe;
+          Vista.restore pay.Program.store vst);
+      World.freeze w;
+      let e = { sw = w; sprobe = probe; spay = pay } in
+      Hashtbl.replace c.singles key e;
+      e
+  in
+  (* Restore at attempt START, not end: an exception escaping one attempt
+     (Invalid_program, most commonly) can never poison the next. *)
+  ignore (World.restore e.sw : int);
+  e
+
+(* The attempt proper, over an already-built world. Owns no lifecycle:
+   the template path rewinds before the next rental, the fresh path
+   disposes in its [Fun.protect]. *)
+let attempt_body ~(spec : Explorer.spec) w probe (pay : Program.world) ~ops ~trip =
+  let engine = World.engine w in
+  let kernel = World.kernel w in
+  let fs = World.fs w in
+  Vista.set_observer pay.Program.store (Boundary.vista_event probe);
   let arr = Array.of_list ops in
   let n = Array.length arr in
   let op_starts = Array.make (n + 1) 0 in
@@ -67,7 +135,7 @@ let run_attempt ?(obs = Trace.null) ~(spec : Explorer.spec) ~seed ~ops ~trip () 
   (try
      for k = 0 to n - 1 do
        op_starts.(k) <- Boundary.emitted probe;
-       match Program.exec w arr.(k) with
+       match Program.exec pay arr.(k) with
        | () -> ()
        | exception Boundary.Crash_here ->
          crashed := Some k;
@@ -86,29 +154,21 @@ let run_attempt ?(obs = Trace.null) ~(spec : Explorer.spec) ~seed ~ops ~trip () 
     op_starts.(i) <- total
   done;
   let labels = Boundary.labels probe in
-  (* The world is dead once the attempt record exists: recycle its memory
-     (the warm reboot reuses the same buffer, so one retire covers both
-     kernels). *)
-  let finish a =
-    Phys_mem.retire (Kernel.mem kernel);
-    a
-  in
   match !crashed with
   | None ->
-    finish
-      { boundaries = total; labels; op_starts; crashed_during = None; tripped = None; problems = [] }
+    { boundaries = total; labels; op_starts; crashed_during = None; tripped = None; problems = [] }
   | Some k ->
     assert (Boundary.has_crash_image probe);
     Fs.crash fs;
     Boundary.restore_crash_image probe;
     let recovered = ref None in
     ignore
-      (Warm_reboot.perform ~mem:(Kernel.mem kernel) ~disk:(Kernel.disk kernel)
-         ~layout:(Kernel.layout kernel) ~engine
+      (Warm_reboot.perform ~mem:(World.mem w) ~disk:(World.disk w) ~layout:(World.layout w)
+         ~engine
          ~reboot:(fun () ->
            let kernel2 =
-             Kernel.boot_warm ~engine ~costs kcfg ~mem:(Kernel.mem kernel)
-               ~disk:(Kernel.disk kernel)
+             Kernel.boot_warm ~engine ~costs:(World.costs w) (World.config w)
+               ~mem:(Kernel.mem kernel) ~disk:(Kernel.disk kernel)
            in
            make_rio ~spec kernel2;
            let fs2 = Kernel.mount kernel2 ~policy:Fs.Rio_policy in
@@ -120,15 +180,31 @@ let run_attempt ?(obs = Trace.null) ~(spec : Explorer.spec) ~seed ~ops ~trip () 
       try Program.check fs2 ~ops ~in_flight:k
       with Fs_types.Fs_error m -> [ "recovery check raised: " ^ m ]
     in
-    finish
-      {
-        boundaries = total;
-        labels;
-        op_starts;
-        crashed_during = Some k;
-        tripped = Boundary.tripped_label probe;
-        problems;
-      }
+    {
+      boundaries = total;
+      labels;
+      op_starts;
+      crashed_during = Some k;
+      tripped = Boundary.tripped_label probe;
+      problems;
+    }
+
+let run_attempt ?(obs = Trace.null) ~(spec : Explorer.spec) ~seed ~ops ~trip () =
+  if (not (Trace.enabled obs)) && World.templates_on () then begin
+    let e = single_template ~spec ~seed in
+    attempt_body ~spec e.sw e.sprobe e.spay ~ops ~trip
+  end
+  else begin
+    (* Reference / traced path: build from scratch, run, throw away. *)
+    let w = build_world ~obs ~spec ~seed in
+    let probe = attach_probe ~obs w in
+    let pay = Program.setup (World.fs w) in
+    Fun.protect
+      ~finally:(fun () ->
+        Boundary.drop_capture probe;
+        World.dispose w)
+      (fun () -> attempt_body ~spec w probe pay ~ops ~trip)
+  end
 
 (* ---------------- one fuzz trial ---------------- *)
 
@@ -593,28 +669,37 @@ type tattempt = {
   t_problems : string list;
 }
 
-let run_attempt_tasks ?(obs = Trace.null) ~(spec : Explorer.spec) ~locking ~seed ~sched_seed
-    ~(progs : Gen.op list array) ~trip () =
-  (* Pre-validate against the model: sub-programs the shrinker builds can
-     be self-inconsistent, and catching that here costs no world build. *)
-  Array.iteri
-    (fun i ops ->
-      match Gen.Model.after ~root:(Program.task_root i) ops with
-      | (_ : Gen.Model.t) -> ()
-      | exception Not_found -> raise Invalid_program)
-    progs;
-  let engine = Engine.create ~obs () in
-  let costs = Costs.default in
-  let kcfg = Kernel.config_with_seed seed in
-  let kernel = Kernel.boot ~engine ~costs kcfg in
-  Kernel.format kernel;
-  make_rio ~spec kernel;
-  let fs = Kernel.mount kernel ~policy:Fs.Rio_policy in
-  let probe = Boundary.create ~mem:(Kernel.mem kernel) ~obs () in
-  Boundary.instrument_hooks probe (Kernel.hooks kernel);
-  Boundary.instrument_disk probe (Kernel.disk kernel);
+let tasks_template ~(spec : Explorer.spec) ~seed ~tasks =
+  let c = Domain.DLS.get caches in
+  let key = Printf.sprintf "%s/%d/%d" spec.Explorer.label seed tasks in
+  let e =
+    match Hashtbl.find_opt c.multis key with
+    | Some e -> e
+    | None ->
+      evict_if_full c.multis (fun e ->
+          Boundary.drop_capture e.tprobe;
+          World.dispose e.tw);
+      let w = build_world ~obs:Trace.null ~spec ~seed in
+      let probe = attach_probe ~obs:Trace.null w in
+      let pay = Program.setup_tasks (World.fs w) ~tasks in
+      let vsts = Array.map Vista.save pay.Program.stores in
+      World.on_restore w (fun () ->
+          Boundary.drop_capture probe;
+          Array.iteri (fun i s -> Vista.restore s vsts.(i)) pay.Program.stores);
+      World.freeze w;
+      let e = { tw = w; tprobe = probe; tpay = pay } in
+      Hashtbl.replace c.multis key e;
+      e
+  in
+  ignore (World.restore e.tw : int);
+  e
+
+let attempt_tasks_body ~(spec : Explorer.spec) ~locking w probe (tw : Program.tworld)
+    ~sched_seed ~(progs : Gen.op list array) ~trip =
+  let engine = World.engine w in
+  let kernel = World.kernel w in
+  let fs = World.fs w in
   let nt = Array.length progs in
-  let tw = Program.setup_tasks fs ~tasks:nt in
   Array.iter (fun s -> Vista.set_observer s (Boundary.vista_event probe)) tw.Program.stores;
   let oparr = Array.map Array.of_list progs in
   let starts = Array.map (fun ops -> Array.make (Array.length ops) (-1)) oparr in
@@ -649,9 +734,7 @@ let run_attempt_tasks ?(obs = Trace.null) ~(spec : Explorer.spec) ~locking ~seed
     | Some task ->
       let i = Task.id task in
       raised := Some (i, cur.(i), m)
-    | None ->
-      Phys_mem.retire (Kernel.mem kernel);
-      raise (Fs_types.Fs_error m)));
+    | None -> raise (Fs_types.Fs_error m)));
   Boundary.disarm probe;
   let total = Boundary.emitted probe in
   let labels = Boundary.labels probe in
@@ -681,10 +764,6 @@ let run_attempt_tasks ?(obs = Trace.null) ~(spec : Explorer.spec) ~locking ~seed
       | None -> None
     else None
   in
-  let finish a =
-    Phys_mem.retire (Kernel.mem kernel);
-    a
-  in
   let base =
     {
       t_boundaries = total;
@@ -704,9 +783,9 @@ let run_attempt_tasks ?(obs = Trace.null) ~(spec : Explorer.spec) ~locking ~seed
       let opdesc =
         if k >= 0 && k < Array.length oparr.(i) then Gen.describe oparr.(i).(k) else "?"
       in
-      finish { base with t_problems = [ Printf.sprintf "t%d: %s raised: %s" i opdesc m ] }
+      { base with t_problems = [ Printf.sprintf "t%d: %s raised: %s" i opdesc m ] }
     | None ->
-      if trip >= 0 then finish base (* trip unreached; the caller flags it *)
+      if trip >= 0 then base (* trip unreached; the caller flags it *)
       else begin
         (* Counting pass: audit the final state too — a lost update that
            never crashes anything is still a violation. *)
@@ -714,7 +793,7 @@ let run_attempt_tasks ?(obs = Trace.null) ~(spec : Explorer.spec) ~locking ~seed
           try Program.check_tasks fs ~progs ~progress:t_progress
           with Fs_types.Fs_error m -> [ "final audit raised: " ^ m ]
         in
-        finish { base with t_problems = problems }
+        { base with t_problems = problems }
       end
   end
   else begin
@@ -727,8 +806,8 @@ let run_attempt_tasks ?(obs = Trace.null) ~(spec : Explorer.spec) ~locking ~seed
          ~layout:(Kernel.layout kernel) ~engine
          ~reboot:(fun () ->
            let kernel2 =
-             Kernel.boot_warm ~engine ~costs kcfg ~mem:(Kernel.mem kernel)
-               ~disk:(Kernel.disk kernel)
+             Kernel.boot_warm ~engine ~costs:(World.costs w) (World.config w)
+               ~mem:(Kernel.mem kernel) ~disk:(Kernel.disk kernel)
            in
            make_rio ~spec kernel2;
            let fs2 = Kernel.mount kernel2 ~policy:Fs.Rio_policy in
@@ -740,7 +819,32 @@ let run_attempt_tasks ?(obs = Trace.null) ~(spec : Explorer.spec) ~locking ~seed
       try Program.check_tasks fs2 ~progs ~progress:t_progress
       with Fs_types.Fs_error m -> [ "recovery check raised: " ^ m ]
     in
-    finish { base with t_problems = problems }
+    { base with t_problems = problems }
+  end
+
+let run_attempt_tasks ?(obs = Trace.null) ~(spec : Explorer.spec) ~locking ~seed ~sched_seed
+    ~(progs : Gen.op list array) ~trip () =
+  (* Pre-validate against the model: sub-programs the shrinker builds can
+     be self-inconsistent, and catching that here costs no world rental. *)
+  Array.iteri
+    (fun i ops ->
+      match Gen.Model.after ~root:(Program.task_root i) ops with
+      | (_ : Gen.Model.t) -> ()
+      | exception Not_found -> raise Invalid_program)
+    progs;
+  if (not (Trace.enabled obs)) && World.templates_on () then begin
+    let e = tasks_template ~spec ~seed ~tasks:(Array.length progs) in
+    attempt_tasks_body ~spec ~locking e.tw e.tprobe e.tpay ~sched_seed ~progs ~trip
+  end
+  else begin
+    let w = build_world ~obs ~spec ~seed in
+    let probe = attach_probe ~obs w in
+    let pay = Program.setup_tasks (World.fs w) ~tasks:(Array.length progs) in
+    Fun.protect
+      ~finally:(fun () ->
+        Boundary.drop_capture probe;
+        World.dispose w)
+      (fun () -> attempt_tasks_body ~spec ~locking w probe pay ~sched_seed ~progs ~trip)
   end
 
 (* ---------------- one multi-task trial ---------------- *)

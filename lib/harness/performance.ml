@@ -10,6 +10,7 @@ module Andrew = Rio_workload.Andrew
 module Table = Rio_util.Table
 module Units = Rio_util.Units
 module Pool = Rio_parallel.Pool
+module World = Rio_world.World
 
 type configuration = {
   label : string;
@@ -38,10 +39,11 @@ type measurement = {
 }
 
 (* A fresh paper-scale machine: 128 MB of memory, a disk big enough for the
-   40 MB tree twice plus swap covering memory. *)
+   40 MB tree twice plus swap covering memory. Built through the same
+   [World] path the campaign engines template; these cells measure
+   *simulated* time over minutes-long workloads, so there is nothing to
+   amortize — each one is a fresh build, recycled after the run. *)
 let fresh_system config ~seed =
-  let engine = Engine.create () in
-  let costs = Costs.default in
   let kcfg =
     {
       Kernel.default_config with
@@ -50,22 +52,17 @@ let fresh_system config ~seed =
       seed;
     }
   in
-  let kernel = Kernel.boot ~engine ~costs kcfg in
-  Kernel.format kernel;
-  (match config.rio_protection with
-  | Some protection ->
-    ignore
-      (Rio_cache.create ~mem:(Kernel.mem kernel) ~layout:(Kernel.layout kernel)
-         ~mmu:(Kernel.mmu kernel) ~engine ~costs ~hooks:(Kernel.hooks kernel)
-         ~pool_alloc:(Kernel.pool_alloc kernel) ~protection ~dev:1 ())
-  | None -> ());
-  let fs = Kernel.mount kernel ~policy:config.policy in
-  (engine, fs)
+  World.create ~config:kcfg
+    ~rio:(config.rio_protection <> None)
+    ~protection:(config.rio_protection = Some true)
+    ~policy:config.policy ~seed ()
 
 let seconds engine t0 = Units.sec_of_usec (Engine.now engine - t0)
 
 let measure_workload config ~scale ~seed workload =
-  let engine, fs = fresh_system config ~seed in
+  let w = fresh_system config ~seed in
+  let engine = World.engine w and fs = World.fs w in
+  Fun.protect ~finally:(fun () -> World.dispose w) @@ fun () ->
   match workload with
   | `Cp_rm ->
     let w = Cp_rm.create ~total_bytes:(int_of_float (scale *. 40e6)) () in

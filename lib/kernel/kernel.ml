@@ -585,6 +585,66 @@ let run_activity t =
   let action = Prng.choose_weighted t.prng activity_actions in
   action t
 
+(* ---------------- world-template rewind ---------------- *)
+
+type checkpoint = {
+  ck_prng : int64;
+  ck_mmu : Mmu.checkpoint;
+  ck_machine : Machine.checkpoint;
+  ck_pool_alloc : Page_alloc.checkpoint;
+  ck_meta_alloc : Page_alloc.checkpoint;
+  ck_fs : Fs.t option;
+  ck_bursts : int;
+  ck_owned_pages : int list;
+  ck_in_use : int list;
+  ck_overrun : (int * int) option;
+  ck_alloc_fault : (int * int) option;
+  ck_sync_fault : (int * int) option;
+  ck_overrun_bytes : int;
+  ck_dlist_next : int;
+  ck_hash_next : int;
+}
+
+let save_armed = function None -> None | Some a -> Some (a.period, a.countdown)
+let load_armed = function None -> None | Some (p, c) -> Some { period = p; countdown = c }
+
+let checkpoint t =
+  {
+    ck_prng = Prng.state t.prng;
+    ck_mmu = Mmu.checkpoint t.mmu;
+    ck_machine = Machine.checkpoint t.machine;
+    ck_pool_alloc = Page_alloc.checkpoint t.pool_alloc;
+    ck_meta_alloc = Page_alloc.checkpoint t.meta_alloc;
+    ck_fs = t.fs;
+    ck_bursts = t.bursts;
+    ck_owned_pages = t.owned_pages;
+    ck_in_use = t.in_use;
+    ck_overrun = save_armed t.overrun;
+    ck_alloc_fault = save_armed t.alloc_fault;
+    ck_sync_fault = save_armed t.sync_fault;
+    ck_overrun_bytes = t.overrun_filecache_bytes;
+    ck_dlist_next = t.dlist_next;
+    ck_hash_next = t.hash_next;
+  }
+
+let restore t ck =
+  Prng.set_state t.prng ck.ck_prng;
+  Mmu.restore t.mmu ck.ck_mmu;
+  Machine.restore t.machine ck.ck_machine;
+  Page_alloc.restore t.pool_alloc ck.ck_pool_alloc;
+  Page_alloc.restore t.meta_alloc ck.ck_meta_alloc;
+  t.fs <- ck.ck_fs;
+  t.crash <- None;
+  t.bursts <- ck.ck_bursts;
+  t.owned_pages <- ck.ck_owned_pages;
+  t.in_use <- ck.ck_in_use;
+  t.overrun <- load_armed ck.ck_overrun;
+  t.alloc_fault <- load_armed ck.ck_alloc_fault;
+  t.sync_fault <- load_armed ck.ck_sync_fault;
+  t.overrun_filecache_bytes <- ck.ck_overrun_bytes;
+  t.dlist_next <- ck.ck_dlist_next;
+  t.hash_next <- ck.ck_hash_next
+
 (* ---------------- crash handling ---------------- *)
 
 let crash_system t info =

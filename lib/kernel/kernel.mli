@@ -129,3 +129,19 @@ val crash_system : t -> Kcrash.info -> unit
     request. The kernel is dead afterwards. *)
 
 val crash_info : t -> Kcrash.info option
+
+(** {1 World-template rewind} *)
+
+type checkpoint
+
+val checkpoint : t -> checkpoint
+(** Capture everything kernel-side a trial mutates: the kernel PRNG, the
+    MMU (PTE bits, TLB, ABOX), the CPU register file, both page
+    allocators, the mounted-fs handle, the activity/fault bookkeeping.
+    The heap, stack frame, and descriptor live in simulated memory and
+    rewind with the memory snapshot; the file system and disk have their
+    own checkpoints. *)
+
+val restore : t -> checkpoint -> unit
+(** Rewind to a checkpoint of the same boot, clearing any recorded
+    crash. *)

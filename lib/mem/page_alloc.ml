@@ -59,3 +59,12 @@ let reset t =
   Bytes.fill t.used 0 t.pages '\000';
   t.free_count <- t.pages;
   t.hint <- 0
+
+type checkpoint = { ck_used : Bytes.t; ck_free : int; ck_hint : int }
+
+let checkpoint t = { ck_used = Bytes.copy t.used; ck_free = t.free_count; ck_hint = t.hint }
+
+let restore t ck =
+  Bytes.blit ck.ck_used 0 t.used 0 t.pages;
+  t.free_count <- ck.ck_free;
+  t.hint <- ck.ck_hint

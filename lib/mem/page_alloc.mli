@@ -28,3 +28,13 @@ val iter_allocated : t -> (Phys_mem.paddr -> unit) -> unit
 
 val reset : t -> unit
 (** Free everything (reboot of the owning subsystem). *)
+
+(** {1 World-template rewind} *)
+
+type checkpoint
+
+val checkpoint : t -> checkpoint
+(** Copy the allocation bitmap and counters. *)
+
+val restore : t -> checkpoint -> unit
+(** Rewind allocations to a checkpoint of the same allocator. *)

@@ -353,6 +353,26 @@ let restore t s =
       Bytes.blit pre 0 t.data addr page_size)
     s.saved
 
+(* Rewind to the snapshot's contents WITHOUT consuming it: write the
+   pre-images back, clear the snapshot's saved table so it begins
+   accumulating dirt afresh, and leave it active — the world-template
+   restore that runs between trials. The snapshot is deactivated while
+   the pre-images blit back so the writes do not COW into the table being
+   drained (other overlapping active snapshots still get their saves).
+   Returns the number of pages restored. *)
+let restore_keep t s =
+  check_owner t s "restore_keep";
+  s.active <- false;
+  let n = Hashtbl.length s.saved in
+  Hashtbl.iter
+    (fun pfn pre ->
+      touch_page t pfn;
+      Bytes.blit pre 0 t.data (pfn * page_size) page_size)
+    s.saved;
+  Hashtbl.reset s.saved;
+  s.active <- true;
+  n
+
 let snap_saved_pages s = Hashtbl.length s.saved
 
 (* Read [len] bytes at [addr] as they were at snapshot time: saved pages

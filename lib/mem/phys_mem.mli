@@ -157,6 +157,12 @@ val restore : t -> snapshot -> unit
 (** Write the pre-images back: memory returns to its snapshot-time
     contents. The snapshot is released in the process. *)
 
+val restore_keep : t -> snapshot -> int
+(** Write the pre-images back like {!restore}, but keep the snapshot
+    active with an emptied save table — the same frozen contents can be
+    restored again and again (the world-template trial loop). Returns
+    the number of pages restored (the dirt since the last restore). *)
+
 val snap_saved_pages : snapshot -> int
 (** How many pages the copy-on-write machinery has saved so far. *)
 

@@ -60,4 +60,8 @@ let protect_region t ~region =
 
 let toggles t = t.toggles
 
+(* World-template rewind: the only mutable state is the toggle counter
+   (the ABOX bit and PTE bits belong to the MMU checkpoint). *)
+let restore_toggles t n = t.toggles <- n
+
 let code_patching_overhead ~costs ~stores = stores * costs.Costs.code_patch_check_ns / 1000

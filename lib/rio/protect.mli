@@ -36,6 +36,10 @@ val protect_region : t -> region:Rio_mem.Layout.region -> unit
 val toggles : t -> int
 (** Number of protect/unprotect operations performed. *)
 
+val restore_toggles : t -> int -> unit
+(** World-template rewind of the toggle counter (the PTE/ABOX state
+    rewinds with the MMU checkpoint). *)
+
 val code_patching_overhead : costs:Rio_sim.Costs.t -> stores:int -> Rio_util.Units.usec
 (** CPU time the code-patching alternative would add for a run that
     executed [stores] kernel store instructions: one inserted check per

@@ -177,6 +177,23 @@ let iter t f =
       | None -> ())
     (List.sort compare slots)
 
+(* ---- world-template rewind ---- *)
+
+type checkpoint = { ck_index : (int * int) list; ck_free : int list; ck_live : int }
+
+(* Slot bytes in simulated memory rewind with the memory snapshot; only the
+   host-side index needs capturing. *)
+let checkpoint t =
+  { ck_index = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.index [];
+    ck_free = t.free;
+    ck_live = t.live }
+
+let restore t ck =
+  Hashtbl.reset t.index;
+  List.iter (fun (k, v) -> Hashtbl.replace t.index k v) ck.ck_index;
+  t.free <- ck.ck_free;
+  t.live <- ck.ck_live
+
 type parse_result = {
   entries : entry list;
   corrupt_slots : int;

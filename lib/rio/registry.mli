@@ -82,6 +82,16 @@ val redirect : t -> home_paddr:int -> paddr:int -> unit
 val iter : t -> (entry -> unit) -> unit
 (** Live entries, in slot order. *)
 
+(** {1 World-template rewind} *)
+
+type checkpoint
+
+val checkpoint : t -> checkpoint
+(** Capture the host-side slot index and free list. The slot bytes live in
+    simulated memory and rewind with the memory snapshot. *)
+
+val restore : t -> checkpoint -> unit
+
 (** {1 Warm-reboot parsing} *)
 
 type parse_result = {

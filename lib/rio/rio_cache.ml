@@ -171,6 +171,36 @@ let stats t =
     checksum_mismatches = t.checksum_mismatches;
   }
 
+(* ---- world-template rewind ---- *)
+
+type checkpoint = {
+  ck_registry : Registry.checkpoint;
+  ck_toggles : int;
+  ck_shadow_busy : bool;
+  ck_checksum_updates : int;
+  ck_shadow_updates : int;
+  ck_registry_updates : int;
+  ck_checksum_mismatches : int;
+}
+
+let checkpoint t =
+  { ck_registry = Registry.checkpoint t.registry;
+    ck_toggles = Protect.toggles t.protect;
+    ck_shadow_busy = t.shadow_busy;
+    ck_checksum_updates = t.checksum_updates;
+    ck_shadow_updates = t.shadow_updates;
+    ck_registry_updates = t.registry_updates;
+    ck_checksum_mismatches = t.checksum_mismatches }
+
+let restore t ck =
+  Registry.restore t.registry ck.ck_registry;
+  Protect.restore_toggles t.protect ck.ck_toggles;
+  t.shadow_busy <- ck.ck_shadow_busy;
+  t.checksum_updates <- ck.ck_checksum_updates;
+  t.shadow_updates <- ck.ck_shadow_updates;
+  t.registry_updates <- ck.ck_registry_updates;
+  t.checksum_mismatches <- ck.ck_checksum_mismatches
+
 let verify_all_checksums t =
   let mismatches = ref 0 in
   Registry.iter t.registry (fun e ->

@@ -61,3 +61,14 @@ val verify_all_checksums : t -> int
     returns the number of mismatches (0 in a healthy system — used by
     tests and the online scrubber example). *)
 
+(** {1 World-template rewind} *)
+
+type checkpoint
+
+val checkpoint : t -> checkpoint
+(** Capture the registry index, protection-toggle counter, shadow state,
+    and the cost counters. Registry slot bytes rewind with the memory
+    snapshot; PTE bits with the MMU checkpoint. *)
+
+val restore : t -> checkpoint -> unit
+

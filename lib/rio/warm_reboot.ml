@@ -74,27 +74,25 @@ let dump_to_swap_view ~disk ~view =
     let swap_bytes = sb.Ondisk.swap_sectors * Disk.sector_bytes in
     let len = min (view_size view) swap_bytes in
     (* Stream in 128 KB synchronous chunks — one long sequential write.
-       Every chunk's write_sync happens on both paths (same sectors, same
-       lengths, same simulated time); the fast path merely reuses one
-       scratch buffer and skips *reading* chunks it can prove are zero. *)
+       Every chunk is written on both paths (same sectors, same lengths,
+       same simulated time); the fast path reuses one scratch buffer, and
+       chunks the snapshot proves are all-zero skip both the read and the
+       payload entirely ({!Disk.write_zeros_sync} has identical timing,
+       events, and statistics to a zero-buffer [write_sync]). *)
     let buf = Bytes.create (min dump_chunk (max 1 len)) in
-    let zero = lazy (Bytes.make dump_chunk '\000') in
     let pos = ref 0 in
     while !pos < len do
       let n = min dump_chunk (len - !pos) in
       let sector = sb.Ondisk.swap_start + (!pos / Disk.sector_bytes) in
-      let data =
-        match view with
-        | Snap_view { vmem; snap } when n = dump_chunk && chunk_is_zero vmem snap !pos n ->
-          Lazy.force zero
-        | _ ->
-          let b = if n = Bytes.length buf then buf else Bytes.create n in
-          (match view with
-          | Full_image image -> Bytes.blit image !pos b 0 n
-          | Snap_view { vmem; snap } -> Phys_mem.snap_blit_into vmem snap !pos b ~pos:0 ~len:n);
-          b
-      in
-      Disk.write_sync disk ~sector data;
+      (match view with
+      | Snap_view { vmem; snap } when n = dump_chunk && chunk_is_zero vmem snap !pos n ->
+        Disk.write_zeros_sync disk ~sector ~count:(n / Disk.sector_bytes)
+      | _ ->
+        let b = if n = Bytes.length buf then buf else Bytes.create n in
+        (match view with
+        | Full_image image -> Bytes.blit image !pos b 0 n
+        | Snap_view { vmem; snap } -> Phys_mem.snap_blit_into vmem snap !pos b ~pos:0 ~len:n);
+        Disk.write_sync disk ~sector b);
       pos := !pos + n
     done;
     (len, view_size view - len)

@@ -95,3 +95,20 @@ let run_next t =
 let run_until_idle t = while run_next t do () done
 
 let pending t = Event_queue.length t.queue
+
+(* ---- world-template rewind ----
+
+   A checkpoint remembers the clock; restoring rewinds it and drops every
+   pending event. Callbacks cannot be replayed (their closures capture
+   state from the old timeline), so template freezes are taken when the
+   queue is empty and the restore simply clears whatever the discarded
+   timeline had scheduled. *)
+
+type checkpoint = { ck_clock : int; ck_advances : int }
+
+let checkpoint t = { ck_clock = t.clock; ck_advances = t.advances }
+
+let restore t ck =
+  Event_queue.clear t.queue;
+  t.clock <- ck.ck_clock;
+  t.advances <- ck.ck_advances

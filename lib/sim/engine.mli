@@ -46,3 +46,14 @@ val run_until_idle : t -> unit
 
 val pending : t -> int
 (** Number of live scheduled events. *)
+
+(** {1 World-template rewind} *)
+
+type checkpoint
+
+val checkpoint : t -> checkpoint
+(** Remember the current clock (take it with an empty event queue — the
+    restore cannot replay discarded callbacks, only drop them). *)
+
+val restore : t -> checkpoint -> unit
+(** Rewind the clock to the checkpoint and cancel every pending event. *)

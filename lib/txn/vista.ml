@@ -169,6 +169,19 @@ let abort txn =
   txn.live <- false;
   t.open_txn <- false
 
+(* ---------------- world-template rewind ---------------- *)
+
+type state = { v_log_pos : int; v_open_txn : bool; v_records : int }
+
+let save t = { v_log_pos = t.log_pos; v_open_txn = t.open_txn; v_records = t.records_logged }
+
+let restore t s =
+  t.log_pos <- s.v_log_pos;
+  t.open_txn <- s.v_open_txn;
+  t.records_logged <- s.v_records;
+  (* Observers are installed per attempt; never leak one across a rewind. *)
+  t.observer <- (fun (_ : event) -> ())
+
 (* ---------------- recovery ---------------- *)
 
 let recover fs ~path =

@@ -94,3 +94,16 @@ val in_txn : t -> bool
 val undo_records_logged : t -> int
 (** Total undo records appended over the store's lifetime (cost metric:
     this is ALL the logging a Rio transaction needs). *)
+
+(** {1 World-template rewind} *)
+
+type state
+
+val save : t -> state
+(** Capture the log cursor and transaction flag. The store's file contents
+    rewind with the file-system checkpoint; the fds stay valid because the
+    descriptor table is rewound, not rebuilt. *)
+
+val restore : t -> state -> unit
+(** Rewind to a {!save} of the same store. Drops any installed observer
+    (they are installed per attempt). *)

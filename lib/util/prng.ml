@@ -74,3 +74,6 @@ let bytes t n =
 let split t =
   let seed = next t in
   { state = mix (Int64.of_int seed) }
+
+let state t = t.state
+let set_state t s = t.state <- s

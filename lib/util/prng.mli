@@ -53,3 +53,9 @@ val split : t -> t
 (** [split t] derives a statistically independent generator from [t],
     advancing [t]. Used to give each subsystem its own stream so adding
     draws in one subsystem does not shift another's. *)
+
+val state : t -> int64
+(** The raw generator state, for checkpoint/rewind. *)
+
+val set_state : t -> int64 -> unit
+(** Rewind the generator to a previously captured {!state}. *)

@@ -124,6 +124,41 @@ let reset_stats t =
   t.unmapped_faults <- 0;
   Tlb.reset_stats t.tlb
 
+(* ---- world-template rewind ---- *)
+
+type checkpoint = {
+  ck_valid : Bytes.t; (* one byte per pte *)
+  ck_writable : Bytes.t;
+  ck_tlb : Tlb.checkpoint;
+  ck_kseg : bool;
+  ck_prot_faults : int;
+  ck_unmapped_faults : int;
+}
+
+let checkpoint t =
+  let entries = Page_table.entries t.page_table in
+  let n = Array.length entries in
+  let ck_valid = Bytes.create n and ck_writable = Bytes.create n in
+  Array.iteri
+    (fun i (p : Pte.t) ->
+      Bytes.unsafe_set ck_valid i (if p.Pte.valid then '\001' else '\000');
+      Bytes.unsafe_set ck_writable i (if p.Pte.writable then '\001' else '\000'))
+    entries;
+  { ck_valid; ck_writable; ck_tlb = Tlb.checkpoint t.tlb; ck_kseg = t.kseg_through_tlb;
+    ck_prot_faults = t.protection_faults; ck_unmapped_faults = t.unmapped_faults }
+
+let restore t ck =
+  let entries = Page_table.entries t.page_table in
+  Array.iteri
+    (fun i (p : Pte.t) ->
+      p.Pte.valid <- Bytes.unsafe_get ck.ck_valid i <> '\000';
+      p.Pte.writable <- Bytes.unsafe_get ck.ck_writable i <> '\000')
+    entries;
+  Tlb.restore t.tlb ck.ck_tlb;
+  t.kseg_through_tlb <- ck.ck_kseg;
+  t.protection_faults <- ck.ck_prot_faults;
+  t.unmapped_faults <- ck.ck_unmapped_faults
+
 let pp_fault ppf = function
   | Unmapped a -> Format.fprintf ppf "unmapped address %#x" a
   | Write_protected a -> Format.fprintf ppf "write to protected address %#x" a

@@ -80,4 +80,14 @@ val unmapped_faults : t -> int
 
 val reset_stats : t -> unit
 
+(** {1 World-template rewind} *)
+
+type checkpoint
+
+val checkpoint : t -> checkpoint
+(** Capture per-page valid/writable bits, the TLB, the ABOX bit, and the
+    fault counters. *)
+
+val restore : t -> checkpoint -> unit
+
 val pp_fault : Format.formatter -> fault -> unit

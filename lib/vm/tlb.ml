@@ -44,3 +44,22 @@ let reset_stats t =
   t.hits <- 0;
   t.misses <- 0;
   t.shootdowns <- 0
+
+(* ---- world-template rewind ---- *)
+
+type checkpoint = {
+  ck_vpns : int array;
+  ck_hits : int;
+  ck_misses : int;
+  ck_shootdowns : int;
+}
+
+let checkpoint t =
+  { ck_vpns = Array.map (fun s -> s.vpn) t.slots;
+    ck_hits = t.hits; ck_misses = t.misses; ck_shootdowns = t.shootdowns }
+
+let restore t ck =
+  Array.iteri (fun i s -> s.vpn <- ck.ck_vpns.(i)) t.slots;
+  t.hits <- ck.ck_hits;
+  t.misses <- ck.ck_misses;
+  t.shootdowns <- ck.ck_shootdowns

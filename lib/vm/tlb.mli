@@ -27,3 +27,12 @@ val misses : t -> int
 val shootdowns : t -> int
 
 val reset_stats : t -> unit
+
+(** {1 World-template rewind} *)
+
+type checkpoint
+
+val checkpoint : t -> checkpoint
+(** Capture slot contents and hit/miss/shootdown counters. *)
+
+val restore : t -> checkpoint -> unit

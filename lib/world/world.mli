@@ -1,0 +1,97 @@
+(** World templates: snapshot/restore trial setup.
+
+    Every crash trial needs the same pristine post-mount world — engine,
+    booted kernel, formatted disk, Rio cache, mounted file system. The
+    campaign used to rebuild it from scratch for every attempt (~ms of
+    mkfs + mount each time). A {e template} builds it once per
+    [(spec, seed)] per domain, freezes it with the O(1) copy-on-write
+    {!Rio_mem.Phys_mem.snapshot}, and between attempts rewinds in
+    O(dirty pages): the memory snapshot covers every byte of simulated
+    RAM, and per-module checkpoints cover the host-side mutable state
+    (PRNG cursors, event queue, caches, fd tables, fault bookkeeping).
+
+    Restores happen at attempt {e start}, not end — an exception escaping
+    one attempt can never poison the next. Nothing leaks across attempts:
+    not PRNG state, not trace rings, not probe captures (clients register
+    {!on_restore} hooks for host state the world cannot see, e.g. Vista
+    log cursors).
+
+    A restored world is byte-for-byte the world a fresh build produces —
+    the [--reference] mode ({!set_use_templates}[ false]) exists to prove
+    it on demand. *)
+
+type t
+
+val create :
+  ?obs:Rio_obs.Trace.t ->
+  ?config:Rio_kernel.Kernel.config ->
+  ?rio:bool ->
+  ?protection:bool ->
+  ?shadow:bool ->
+  ?registry:bool ->
+  ?policy:Rio_fs.Fs.policy ->
+  seed:int ->
+  unit ->
+  t
+(** Build the pristine world: engine, [Kernel.boot] with
+    [config_with_seed seed] (or [config] with [seed] spliced in — the
+    harness's paper-scale machines), format, [Rio_cache.create] (with the
+    given protection/shadow/registry toggles), mount. [~rio:false] skips
+    the Rio cache entirely — a disk-based world ({!rio} then raises).
+    Defaults: null trace, everything on, [Rio_policy]. *)
+
+(** {1 Accessors} *)
+
+val seed : t -> int
+val config : t -> Rio_kernel.Kernel.config
+val costs : t -> Rio_sim.Costs.t
+val engine : t -> Rio_sim.Engine.t
+val kernel : t -> Rio_kernel.Kernel.t
+
+val rio : t -> Rio_core.Rio_cache.t
+(** Raises [Invalid_argument] on a [~rio:false] world. *)
+
+val fs : t -> Rio_fs.Fs.t
+val mem : t -> Rio_mem.Phys_mem.t
+val disk : t -> Rio_disk.Disk.t
+val hooks : t -> Rio_fs.Hooks.t
+val layout : t -> Rio_mem.Layout.t
+
+(** {1 Template lifecycle} *)
+
+val freeze : t -> unit
+(** Take the memory snapshot and all host-side checkpoints. Call once,
+    after any client setup that should be part of the template (probe
+    installation, payload files). Raises [Invalid_argument] if already
+    frozen. *)
+
+val frozen : t -> bool
+
+val on_restore : t -> (unit -> unit) -> unit
+(** Register a host-side reset hook, run (in registration order) at the
+    {e start} of every {!restore}, before any state rewinds. For client
+    state the world cannot see: probe captures, Vista cursors. *)
+
+val restore : t -> int
+(** Rewind everything to the frozen template; returns the number of
+    dirty pages blitted back. The snapshot is kept — restore again as
+    many times as needed. Raises [Invalid_argument] if not frozen. *)
+
+val restores : t -> int
+(** Total {!restore} calls on this world (microbench bookkeeping). *)
+
+val pages_restored : t -> int
+(** Total dirty pages blitted back across all restores. *)
+
+val dispose : t -> unit
+(** Release the template snapshot (if any) and retire the world's
+    physical memory (asserts no leaked snapshots — a leak here means a
+    probe capture was never dropped). *)
+
+(** {1 Global template toggle} *)
+
+val set_use_templates : bool -> unit
+(** [false] = reference mode: clients build every trial world from
+    scratch. Set once, before any worker domain spawns. *)
+
+val templates_on : unit -> bool

@@ -1,0 +1,168 @@
+(* World templates: a restored world must be indistinguishable from a
+   freshly built one. The mechanics tests exercise freeze/restore
+   directly; the equivalence tests drive the real campaign engines down
+   both paths — template-restored attempts (the default) and from-scratch
+   builds (the --reference mode) — and demand identical attempt records
+   and explorer reports, crashes and warm reboots included. *)
+
+module World = Rio_world.World
+module Fs = Rio_fs.Fs
+module Engine = Rio_sim.Engine
+module Pattern = Rio_util.Pattern
+module Prng = Rio_util.Prng
+module Gen = Rio_workload.Script.Gen
+module Fuzzer = Rio_fuzz.Fuzzer
+module Program = Rio_fuzz.Program
+module Explorer = Rio_check.Explorer
+module Run = Rio_harness.Run
+
+let check = Alcotest.check
+
+(* Templates default to on; every test leaves the knob the way it found
+   it, even on failure. *)
+let with_templates b f =
+  World.set_use_templates b;
+  Fun.protect ~finally:(fun () -> World.set_use_templates true) f
+
+(* ---------------- freeze/restore mechanics ---------------- *)
+
+let test_freeze_restore_mechanics () =
+  let w = World.create ~seed:42 () in
+  let fs = World.fs w in
+  Fs.write_file fs "/keep" (Pattern.fill ~seed:1 ~len:9000);
+  World.freeze w;
+  let t0 = Engine.now (World.engine w) in
+  let keep = Fs.read_file fs "/keep" in
+  for round = 1 to 3 do
+    (* Dirty the file system, the clock, and the namespace... *)
+    Fs.write_file fs "/keep" (Pattern.fill ~seed:(100 + round) ~len:4000);
+    Fs.mkdir fs "/junk";
+    Fs.write_file fs "/junk/f" (Pattern.fill ~seed:round ~len:2000);
+    (* ...and rewind. *)
+    let pages = World.restore w in
+    check Alcotest.bool (Printf.sprintf "round %d blitted dirty pages" round) true
+      (pages > 0);
+    check Alcotest.int "clock rewound" t0 (Engine.now (World.engine w));
+    check Alcotest.bool "file content rewound" true
+      (Bytes.equal keep (Fs.read_file fs "/keep"));
+    check Alcotest.bool "created subtree gone" true
+      (match Fs.read_file fs "/junk/f" with
+      | _ -> false
+      | exception Rio_fs.Fs_types.Fs_error _ -> true)
+  done;
+  check Alcotest.int "restore counter" 3 (World.restores w);
+  check Alcotest.bool "pages accounted" true (World.pages_restored w > 0);
+  World.dispose w
+
+let test_on_restore_hooks () =
+  let w = World.create ~seed:7 () in
+  let log = ref [] in
+  World.on_restore w (fun () -> log := "a" :: !log);
+  World.on_restore w (fun () -> log := "b" :: !log);
+  World.freeze w;
+  ignore (World.restore w : int);
+  ignore (World.restore w : int);
+  check
+    (Alcotest.list Alcotest.string)
+    "hooks run in registration order, every restore" [ "a"; "b"; "a"; "b" ]
+    (List.rev !log);
+  World.dispose w
+
+let test_freeze_restore_guards () =
+  let w = World.create ~seed:9 () in
+  check Alcotest.bool "restore before freeze raises" true
+    (match World.restore w with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  World.freeze w;
+  check Alcotest.bool "double freeze raises" true
+    (match World.freeze w with
+    | () -> false
+    | exception Invalid_argument _ -> true);
+  World.dispose w
+
+(* ---------------- fuzz attempts: template = fresh ---------------- *)
+
+let gen_ops ~seed ~nops =
+  let prng = Prng.create ~seed in
+  Gen.generate ~prng Program.gen_spec ~ops:nops
+
+(* A counting pass plus crashes at the first, middle, and last boundary
+   of the schedule — each crash attempt runs the full trip + warm reboot
+   + audit pipeline. *)
+let pick_trips boundaries =
+  if boundaries = 0 then []
+  else List.sort_uniq compare [ 0; boundaries / 2; boundaries - 1 ]
+
+let check_attempt what (a : Fuzzer.attempt) (b : Fuzzer.attempt) =
+  if a <> b then
+    Alcotest.failf
+      "%s: attempt records differ (boundaries %d vs %d, %d vs %d problems, tripped %s vs %s)"
+      what a.Fuzzer.boundaries b.Fuzzer.boundaries
+      (List.length a.Fuzzer.problems)
+      (List.length b.Fuzzer.problems)
+      (Option.value ~default:"-" a.Fuzzer.tripped)
+      (Option.value ~default:"-" b.Fuzzer.tripped)
+
+let test_fuzz_attempts_match_fresh () =
+  List.iter
+    (fun (world_seed, prog_seed) ->
+      List.iter
+        (fun (spec : Explorer.spec) ->
+          let ops = gen_ops ~seed:prog_seed ~nops:6 in
+          let attempt trip = Fuzzer.run_attempt ~spec ~seed:world_seed ~ops ~trip () in
+          (* Reference records from scratch-built worlds. *)
+          let fresh_count, fresh_trips =
+            with_templates false @@ fun () ->
+            let c = attempt (-1) in
+            (c, List.map (fun t -> (t, attempt t)) (pick_trips c.Fuzzer.boundaries))
+          in
+          (* Template path, two rounds: round 1 builds and freezes the
+             template (first use of this (spec, seed)), round 2 runs
+             entirely on restores of it. Both must reproduce the fresh
+             records exactly. *)
+          with_templates true @@ fun () ->
+          for round = 1 to 2 do
+            let tag trip =
+              Printf.sprintf "%s seed %d/%d trip %d round %d" spec.Explorer.label
+                world_seed prog_seed trip round
+            in
+            check_attempt (tag (-1)) fresh_count (attempt (-1));
+            List.iter (fun (t, fresh) -> check_attempt (tag t) fresh (attempt t)) fresh_trips
+          done)
+        [ Explorer.rio_prot; Explorer.rio_noprot ])
+    [ (3, 103); (11, 211) ]
+
+(* ---------------- explorer reports: template = fresh ---------------- *)
+
+let test_explorer_report_matches_fresh () =
+  let cfg = { Run.default with Run.seed = 5; domains = 1 } in
+  let go () =
+    Explorer.run ~spec:Explorer.rio_prot ~only:[ "creat"; "rename" ] ~interleave:1 cfg
+  in
+  let fresh = with_templates false go in
+  let tpl1 = with_templates true go in
+  let tpl2 = with_templates true go in
+  check Alcotest.bool "template report = fresh report" true (tpl1 = fresh);
+  check Alcotest.bool "second template report identical (pure restores)" true (tpl2 = fresh);
+  check Alcotest.string "rendered text identical" (Explorer.render fresh)
+    (Explorer.render tpl1)
+
+let () =
+  Alcotest.run "world"
+    [
+      ( "mechanics",
+        [
+          Alcotest.test_case "freeze/restore rewinds fs, clock, namespace" `Quick
+            test_freeze_restore_mechanics;
+          Alcotest.test_case "on_restore hooks" `Quick test_on_restore_hooks;
+          Alcotest.test_case "freeze/restore guards" `Quick test_freeze_restore_guards;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "fuzz attempts: template = fresh (incl. crashes)" `Slow
+            test_fuzz_attempts_match_fresh;
+          Alcotest.test_case "explorer report: template = fresh" `Slow
+            test_explorer_report_matches_fresh;
+        ] );
+    ]
