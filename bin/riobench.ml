@@ -64,6 +64,20 @@ let json_arg =
     & info [ "json" ] ~docv:"FILE"
         ~doc:"Also write machine-readable timings and results to $(docv).")
 
+let backend_arg =
+  Arg.(
+    value
+    & opt
+        (enum (List.map (fun b -> (Rio_disk.Backend.to_string b, b)) Rio_disk.Backend.all))
+        Rio_disk.Backend.Scsi
+    & info [ "backend" ] ~docv:"TIER"
+        ~doc:
+          "Persistence backend the worlds are built on: $(b,scsi) (the \
+           paper's seek+rotation disk, garbage tears) or $(b,nvmm) (a \
+           battery-backed append-log tier: near-zero latency, cache-line \
+           tears). The check/fuzz configuration matrices fix their own \
+           backends per spec and ignore this flag.")
+
 let reference_arg =
   Arg.(
     value & flag
@@ -243,11 +257,20 @@ let table1_cmd =
 
 (* ---------------- table2 ---------------- *)
 
-let run_table2 scale seed jobs verbose =
-  Printf.printf "Table 2: running time by file-system configuration (scale %.2f)\n\n%!" scale;
+let run_table2 scale seed jobs backend verbose =
+  Printf.printf "Table 2: running time by file-system configuration (scale %.2f, backend %s)\n\n%!"
+    scale
+    (Rio_disk.Backend.to_string backend);
   let ms =
     Performance.run
-      { Run.default with Run.seed = seed; scale; domains = jobs; progress = progress verbose }
+      {
+        Run.default with
+        Run.seed = seed;
+        scale;
+        domains = jobs;
+        backend;
+        progress = progress verbose;
+      }
   in
   print_string (Table.render (Performance.to_table ms));
   print_newline ();
@@ -263,7 +286,7 @@ let scale_arg =
 let table2_cmd =
   let doc = "Reproduce Table 2: performance of the eight file-system configurations." in
   Cmd.v (Cmd.info "table2" ~doc)
-    Term.(const run_table2 $ scale_arg $ seed_arg $ jobs_arg $ verbose_arg)
+    Term.(const run_table2 $ scale_arg $ seed_arg $ jobs_arg $ backend_arg $ verbose_arg)
 
 (* ---------------- mttf ---------------- *)
 
@@ -563,8 +586,8 @@ let interleave_arg =
            default) keeps the single-task campaign unchanged. Ignored with \
            --matrix.")
 
-let run_check seed jobs scenarios matrix interleave json coverage ring buckets reference
-    verbose =
+let run_check seed jobs backend scenarios matrix interleave json coverage ring buckets
+    reference verbose =
   set_fastpath ~reference;
   let only = match scenarios with [] -> None | slugs -> Some slugs in
   let json_out = open_json_sink json in
@@ -603,8 +626,11 @@ let run_check seed jobs scenarios matrix interleave json coverage ring buckets r
       if Explorer.matrix_ok entries then `Ok else `Violations
     end
     else begin
-      Printf.printf "Exhaustive crash-schedule check (seed %d)\n\n%!" seed;
-      let report = Explorer.run ?only ~interleave cfg in
+      Printf.printf "Exhaustive crash-schedule check (seed %d, backend %s)\n\n%!" seed
+        (Rio_disk.Backend.to_string backend);
+      let report =
+        Explorer.run ~spec:{ Explorer.rio_prot with Explorer.backend } ?only ~interleave cfg
+      in
       let wall_s = Unix.gettimeofday () -. t0 in
       print_string (Explorer.render report);
       if coverage then print_heatmap report.Explorer.coverage;
@@ -632,9 +658,9 @@ let check_cmd =
   in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
-      const run_check $ seed_arg $ jobs_arg $ scenario_arg $ matrix_arg $ interleave_arg
-      $ json_arg $ coverage_arg $ ring_capacity_arg $ hist_buckets_arg $ reference_arg
-      $ verbose_arg)
+      const run_check $ seed_arg $ jobs_arg $ backend_arg $ scenario_arg $ matrix_arg
+      $ interleave_arg $ json_arg $ coverage_arg $ ring_capacity_arg $ hist_buckets_arg
+      $ reference_arg $ verbose_arg)
 
 (* ---------------- fuzz ---------------- *)
 
@@ -658,9 +684,11 @@ let config_arg =
     & info [ "config" ] ~docv:"SLUG"
         ~doc:
           "Configuration to fuzz (without --matrix): one of rio-prot, \
-           rio-noprot, shadow-off, registry-off; with --tasks, also \
-           lock-off (rio-prot with block-ownership locking disabled — the \
-           planted lost-update ablation).")
+           rio-noprot, shadow-off, registry-off, rio-idle, wb-cold, \
+           wb-order; with --tasks, also lock-off (rio-prot with \
+           block-ownership locking disabled — the planted lost-update \
+           ablation). Known-unsafe configurations (wb-order) must be \
+           caught $(i,and) shrunk: exit 2 when caught, 1 when missed.")
 
 let tasks_fuzz_arg =
   Arg.(
@@ -687,14 +715,14 @@ let fuzz_matrix_arg =
 
 let find_spec config ~cmd =
   match
-    List.find_opt (fun (s : Explorer.spec) -> s.Explorer.label = config) Explorer.matrix_specs
+    List.find_opt (fun (s : Explorer.spec) -> s.Explorer.label = config) Explorer.fuzz_specs
   with
   | Some s -> s
   | None ->
     Printf.eprintf "riobench: unknown --config %S (see riobench %s --help)\n%!" config cmd;
     exit 2
 
-let run_fuzz trials max_ops seed jobs config tasks matrix json coverage ring buckets
+let run_fuzz trials max_ops seed jobs backend config tasks matrix json coverage ring buckets
     reference verbose =
   set_fastpath ~reference;
   let module Fuzzer = Rio_fuzz.Fuzzer in
@@ -741,6 +769,11 @@ let run_fuzz trials max_ops seed jobs config tasks matrix json coverage ring buc
        lost-update ablation the fuzzer must catch and shrink. *)
     let locking = config <> "lock-off" in
     let spec = if locking then find_spec config ~cmd:"fuzz" else Explorer.rio_prot in
+    if spec.Explorer.cold then begin
+      Printf.eprintf "riobench: cold-recovery configs (%s) are single-task only\n%!" config;
+      exit 2
+    end;
+    let spec = { spec with Explorer.backend } in
     Printf.printf "Interleaving crash-schedule fuzz (seed %d, %d tasks, %s)\n\n%!" seed
       tasks config;
     let report = Fuzzer.run_tasks ~spec ~locking ~max_ops ~tasks cfg in
@@ -794,8 +827,8 @@ let run_fuzz trials max_ops seed jobs config tasks matrix json coverage ring buc
     if not (Fuzzer.matrix_ok entries) then exit 1
   end
   else begin
-    let spec = find_spec config ~cmd:"fuzz" in
-    Printf.printf "Randomized crash-schedule fuzz (seed %d)\n\n%!" seed;
+    let spec = { (find_spec config ~cmd:"fuzz") with Explorer.backend } in
+    Printf.printf "Randomized crash-schedule fuzz (seed %d, %s)\n\n%!" seed config;
     let report = Fuzzer.run ~spec ~max_ops cfg in
     let wall_s = Unix.gettimeofday () -. t0 in
     print_string (Fuzzer.render report);
@@ -804,7 +837,27 @@ let run_fuzz trials max_ops seed jobs config tasks matrix json coverage ring buc
       (fun out ->
         write_json_doc out ~header:(header wall_s) [ ("report", Fuzzer.report_json report) ])
       json_out;
-    if report.Fuzzer.violations > 0 then exit 1
+    if spec.Explorer.expect_safe then begin
+      if report.Fuzzer.violations > 0 then exit 1
+    end
+    else if
+      report.Fuzzer.violations > 0
+      && List.exists
+           (fun (c : Fuzzer.counterexample) ->
+             List.length c.Fuzzer.ops <= Fuzzer.max_repro_ops && c.Fuzzer.problems <> [])
+           report.Fuzzer.counterexamples
+    then begin
+      (* A known-unsafe config is SUPPOSED to find violations; exit 2 is
+         the caught-and-shrunk verdict CI asserts on. *)
+      Printf.eprintf "riobench: %s ablation caught and shrunk\n%!" config;
+      exit 2
+    end
+    else begin
+      Printf.eprintf
+        "riobench: %s ablation was NOT caught (or the repro did not shrink) — checker hole\n%!"
+        config;
+      exit 1
+    end
   end
 
 let fuzz_cmd =
@@ -818,9 +871,9 @@ let fuzz_cmd =
   in
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
-      const run_fuzz $ trials_arg $ max_ops_arg $ seed_arg $ jobs_arg $ config_arg
-      $ tasks_fuzz_arg $ fuzz_matrix_arg $ json_arg $ coverage_arg $ ring_capacity_arg
-      $ hist_buckets_arg $ reference_arg $ verbose_arg)
+      const run_fuzz $ trials_arg $ max_ops_arg $ seed_arg $ jobs_arg $ backend_arg
+      $ config_arg $ tasks_fuzz_arg $ fuzz_matrix_arg $ json_arg $ coverage_arg
+      $ ring_capacity_arg $ hist_buckets_arg $ reference_arg $ verbose_arg)
 
 (* ---------------- cov ---------------- *)
 
@@ -849,15 +902,15 @@ let cov_json_arg =
            Contains no wall-clock or job-count fields: equal campaigns \
            write byte-identical documents at any -j.")
 
-let run_cov only require_full json config trials max_ops seed jobs ring buckets reference
-    verbose =
+let run_cov only require_full json config trials max_ops seed jobs backend ring buckets
+    reference verbose =
   set_fastpath ~reference;
   if trials <= 0 || max_ops <= 0 then begin
     Printf.eprintf "riobench: --trials and --max-ops must be positive\n%!";
     exit 2
   end;
   let module Fuzzer = Rio_fuzz.Fuzzer in
-  let spec = find_spec config ~cmd:"cov" in
+  let spec = { (find_spec config ~cmd:"cov") with Explorer.backend } in
   let json_out = open_json_sink (Some json) in
   let cfg =
     with_obs ~ring ~buckets
@@ -967,7 +1020,7 @@ let cov_cmd =
   Cmd.v (Cmd.info "cov" ~doc)
     Term.(
       const run_cov $ cov_only_arg $ require_full_arg $ cov_json_arg $ config_arg
-      $ trials_arg $ max_ops_arg $ seed_arg $ jobs_arg $ ring_capacity_arg
+      $ trials_arg $ max_ops_arg $ seed_arg $ jobs_arg $ backend_arg $ ring_capacity_arg
       $ hist_buckets_arg $ reference_arg $ verbose_arg)
 
 (* ---------------- microbench ---------------- *)
@@ -1316,7 +1369,7 @@ let microbench_cmd =
 let run_all crashes scale seed jobs verbose =
   run_table1 crashes seed jobs None None false None None false verbose;
   print_newline ();
-  run_table2 scale seed jobs verbose;
+  run_table2 scale seed jobs Rio_disk.Backend.Scsi verbose;
   print_newline ();
   run_ablation seed jobs verbose
 

@@ -162,6 +162,14 @@ let instrument_hooks t (hooks : Hooks.t) =
   let rio_close = hooks.Hooks.close_write in
   let rio_meta = hooks.Hooks.metadata_update in
   let kernel_copy_in = hooks.Hooks.copy_in in
+  let fs_wb_event = hooks.Hooks.wb_event in
+  (* Write-behind pipeline orderings (wb-queue / wb-flush / wb-commit
+     labels) become crash points: the explorer and fuzzer crash between
+     staging, issue, and commit of the asynchronous write-back batches. *)
+  hooks.Hooks.wb_event <-
+    (fun ~label ->
+      fs_wb_event ~label;
+      hit t label);
   hooks.Hooks.note_map <-
     (fun ~paddr ~blkno ~owner ~valid ->
       rio_note_map ~paddr ~blkno ~owner ~valid;

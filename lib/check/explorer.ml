@@ -21,28 +21,48 @@ type spec = {
   protection : bool;
   shadow : bool;
   registry : bool;
+  policy : Fs.policy;
+  backend : Rio_disk.Backend.kind;
+  wb_unordered : bool;
+  cold : bool;
   expect_safe : bool;
 }
 
 let rio_prot =
-  { label = "rio-prot"; protection = true; shadow = true; registry = true; expect_safe = true }
-
-let rio_noprot =
-  { label = "rio-noprot"; protection = false; shadow = true; registry = true; expect_safe = true }
-
-let shadow_off =
-  { label = "shadow-off"; protection = true; shadow = false; registry = true; expect_safe = false }
-
-let registry_off =
   {
-    label = "registry-off";
+    label = "rio-prot";
     protection = true;
     shadow = true;
-    registry = false;
+    registry = true;
+    policy = Fs.Rio_policy;
+    backend = Rio_disk.Backend.Scsi;
+    wb_unordered = false;
+    cold = false;
+    expect_safe = true;
+  }
+
+let rio_noprot = { rio_prot with label = "rio-noprot"; protection = false }
+let shadow_off = { rio_prot with label = "shadow-off"; shadow = false; expect_safe = false }
+
+let registry_off =
+  { rio_prot with label = "registry-off"; registry = false; expect_safe = false }
+
+let rio_idle = { rio_prot with label = "rio-idle"; policy = Fs.Rio_idle }
+
+let wb_cold = { rio_prot with label = "wb-cold"; policy = Fs.Rio_idle; cold = true }
+
+let wb_order =
+  {
+    rio_prot with
+    label = "wb-order";
+    policy = Fs.Rio_idle;
+    cold = true;
+    wb_unordered = true;
     expect_safe = false;
   }
 
-let matrix_specs = [ rio_prot; rio_noprot; shadow_off; registry_off ]
+let matrix_specs = [ rio_prot; rio_noprot; shadow_off; registry_off; rio_idle ]
+let fuzz_specs = matrix_specs @ [ wb_cold; wb_order ]
 
 type violation = {
   ordinal : int;
@@ -92,7 +112,7 @@ type trial = {
 
 let build_world ~obs ~spec ~seed =
   World.create ~obs ~protection:spec.protection ~shadow:spec.shadow ~registry:spec.registry
-    ~seed ()
+    ~policy:spec.policy ~backend:spec.backend ~wb_unordered:spec.wb_unordered ~seed ()
 
 let attach_probe ~obs w =
   let probe = Boundary.create ~mem:(World.mem w) ~obs () in
@@ -111,7 +131,9 @@ let caches = Domain.DLS.new_key (fun () : (string, tpl) Hashtbl.t -> Hashtbl.cre
 
 let template ~(spec : spec) ~seed ~slug ~setup =
   let c = Domain.DLS.get caches in
-  let key = Printf.sprintf "%s/%d/%s" spec.label seed slug in
+  let key =
+    Printf.sprintf "%s@%s/%d/%s" spec.label (Rio_disk.Backend.to_string spec.backend) seed slug
+  in
   let e =
     match Hashtbl.find_opt c key with
     | Some e -> e
@@ -156,7 +178,7 @@ let crash_audit ~spec w probe ~check =
              ~mem:(Kernel.mem kernel) ~disk:(Kernel.disk kernel)
          in
          make_rio ~spec kernel2;
-         let fs2 = Kernel.mount kernel2 ~policy:Fs.Rio_policy in
+         let fs2 = Kernel.mount kernel2 ~policy:spec.policy in
          recovered := Some fs2;
          fs2)
       : Warm_reboot.report);
@@ -377,10 +399,11 @@ let violation_count r =
 (* ---------------- rendering ---------------- *)
 
 let spec_line (spec : spec) =
-  Printf.sprintf "%s (protection %s, shadow %s, registry %s)" spec.label
+  Printf.sprintf "%s (protection %s, shadow %s, registry %s, backend %s)" spec.label
     (if spec.protection then "on" else "off")
     (if spec.shadow then "on" else "off")
     (if spec.registry then "on" else "off")
+    (Rio_disk.Backend.to_string spec.backend)
 
 let render_violation buf ~slug v =
   Buffer.add_string buf
@@ -416,6 +439,10 @@ let spec_json (spec : spec) =
       ("protection", Json.Bool spec.protection);
       ("shadow", Json.Bool spec.shadow);
       ("registry", Json.Bool spec.registry);
+      ("policy", Json.Str (Fs.policy_name spec.policy));
+      ("backend", Json.Str (Rio_disk.Backend.to_string spec.backend));
+      ("wb_unordered", Json.Bool spec.wb_unordered);
+      ("cold", Json.Bool spec.cold);
       ("expect_safe", Json.Bool spec.expect_safe);
     ]
 

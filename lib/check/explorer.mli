@@ -23,6 +23,13 @@ type spec = {
   protection : bool;  (** MMU write protection (orthogonal to atomicity). *)
   shadow : bool;  (** §2.3 shadow-paged metadata updates. *)
   registry : bool;  (** §2.2 registry maintenance. *)
+  policy : Rio_fs.Fs.policy;  (** Mount policy (default [Rio_policy]). *)
+  backend : Rio_disk.Backend.kind;  (** Persistence backend under the world. *)
+  wb_unordered : bool;  (** Plant the write-behind ordering bug. *)
+  cold : bool;
+      (** Audit crashes with {e cold} recovery (fsck + remount, no warm
+          reboot) against the sync-durability contract. Fuzzer only; the
+          explorer's scenario checks assume the warm path. *)
   expect_safe : bool;  (** What the matrix asserts about this config. *)
 }
 
@@ -31,8 +38,25 @@ val rio_noprot : spec
 val shadow_off : spec
 val registry_off : spec
 
+val rio_idle : spec
+(** Rio with idle write-back ([Fs.Rio_idle]): the update daemon and sync
+    route through the write-behind pipeline, so its wb-queue/wb-flush/
+    wb-commit orderings become crash points. Safe under warm reboot. *)
+
+val wb_cold : spec
+(** [rio_idle] audited with cold recovery: synced data must survive on
+    disk alone. Safe — the ordered pipeline honors the barrier. *)
+
+val wb_order : spec
+(** [wb_cold] with the planted write-behind ordering bug
+    ([wb_unordered]): known-unsafe, the fuzz matrix must catch it. *)
+
 val matrix_specs : spec list
-(** The four above, in report order. *)
+(** The four classic ablations plus {!rio_idle}, in report order. *)
+
+val fuzz_specs : spec list
+(** {!matrix_specs} plus the cold-recovery pair ({!wb_cold},
+    {!wb_order}) — the fuzzer's default matrix. *)
 
 type violation = {
   ordinal : int;  (** Which crash point (index into the boundary order). *)

@@ -215,7 +215,40 @@ let vista =
         List.rev acc);
   }
 
-let all = [ creat; write; rename; vista ]
+(* ---------------- sync (write-behind barrier) ---------------- *)
+
+let sync_seed = 0x59c5
+let sync_len = 9000 (* two blocks: the barrier stages a multi-segment batch *)
+
+(* The op is the durability barrier itself: under a policy whose sync
+   flushes (Rio_idle and the disk-based ones), the crash points are the
+   write-behind pipeline's wb-queue/wb-flush/wb-commit windows; under
+   plain Rio sync returns immediately and the scenario contributes no
+   points. The file was fully written before arming, so recovery owes its
+   exact contents whatever the pipeline was doing. *)
+let sync_barrier =
+  {
+    name = "sync an already-written file through the write-behind pipeline";
+    slug = "sync";
+    setup =
+      (fun fs ->
+        setup_base fs;
+        Fs.write_file fs "/check/s" (Pattern.fill ~seed:sync_seed ~len:sync_len));
+    op = (fun ~vista_hook:_ fs -> Fs.sync fs);
+    check =
+      (fun fs ->
+        let acc = check_keep fs (check_listable fs []) in
+        let acc =
+          if not (Fs.exists fs "/check/s") then "/check/s vanished across sync" :: acc
+          else if
+            Bytes.equal (Fs.read_file fs "/check/s") (Pattern.fill ~seed:sync_seed ~len:sync_len)
+          then acc
+          else "/check/s corrupted across sync" :: acc
+        in
+        List.rev acc);
+  }
+
+let all = [ creat; write; rename; vista; sync_barrier ]
 let find slug = List.find_opt (fun s -> s.slug = slug) all
 
 (* ---------------- multi-task scenarios ---------------- *)

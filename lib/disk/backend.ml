@@ -1,0 +1,16 @@
+type kind =
+  | Scsi
+  | Nvmm
+
+let all = [ Scsi; Nvmm ]
+
+let to_string = function
+  | Scsi -> "scsi"
+  | Nvmm -> "nvmm"
+
+let of_string = function
+  | "scsi" -> Some Scsi
+  | "nvmm" -> Some Nvmm
+  | _ -> None
+
+let pp ppf k = Format.pp_print_string ppf (to_string k)

@@ -1,0 +1,22 @@
+(** Persistence-backend selection.
+
+    A backend bundles a timing model and a crash/tear model behind the one
+    {!Disk} front-end: requests, queueing, statistics, completion callbacks
+    and the sector store are shared; only service times and what a torn
+    sector looks like differ. *)
+
+type kind =
+  | Scsi  (** The early-90s SCSI model: seek + rotation + transfer, torn sectors filled with garbage. *)
+  | Nvmm
+      (** A battery-backed / NVMM-style append-log tier: near-zero flat latency,
+          no seeks, and a cache-line tear model — a torn sector keeps its old
+          contents except for the first 64-byte line of the new data. *)
+
+val all : kind list
+
+val to_string : kind -> string
+(** ["scsi"] / ["nvmm"] — stable CLI and JSON names. *)
+
+val of_string : string -> kind option
+
+val pp : Format.formatter -> kind -> unit

@@ -2,7 +2,7 @@ module Engine = Rio_sim.Engine
 module Costs = Rio_sim.Costs
 module Trace = Rio_obs.Trace
 
-let sector_bytes = 512
+let sector_bytes = Store.sector_bytes
 
 type stats = {
   reads : int;
@@ -21,21 +21,22 @@ type request = {
   handle : Engine.handle;
 }
 
+(* The backend mechanism: timing + tear semantics. Everything else — the
+   sector store, the FIFO queue, statistics, trace events, completion
+   callbacks, checkpoint/restore — is shared by this front-end, so the two
+   models stay comparable request-for-request. *)
+type mech =
+  | Scsi_m of Scsi.t
+  | Nvmm_m of Nvmm.t
+
 type t = {
   engine : Engine.t;
   obs : Trace.t;
   c_requests : Trace.counter;
   h_latency : Trace.histogram;
   costs : Costs.t;
-  sectors : int;
-  store : (int, bytes) Hashtbl.t;
-  nonzero : Bytes.t;
-      (* Bit per sector, a conservative superset of the store's keys: set
-         when a sector gains an entry, cleared only when a zero-write
-         drops it. Lets {!write_zeros_sync} prove whole ranges already
-         read as zeros in O(count/8) instead of a probe per sector. *)
-  prng : Rio_util.Prng.t;
-  mutable head : int; (* next sector position of the head *)
+  store : Store.t;
+  mech : mech;
   mutable busy_until : int;
   mutable pending : request list; (* FIFO order: oldest first *)
   mutable reads : int;
@@ -49,7 +50,7 @@ type t = {
 
 let no_complete ~sector:(_ : int) ~count:(_ : int) ~write:(_ : bool) = ()
 
-let create ~engine ~costs ~sectors ~seed =
+let create ?(backend = Backend.Scsi) ~engine ~costs ~sectors ~seed () =
   let obs = Engine.obs engine in
   {
     engine;
@@ -57,11 +58,11 @@ let create ~engine ~costs ~sectors ~seed =
     c_requests = Trace.counter obs "disk.requests";
     h_latency = Trace.histogram obs "disk.request_latency_us";
     costs;
-    sectors;
-    store = Hashtbl.create 4096;
-    nonzero = Bytes.make ((sectors + 7) / 8) '\000';
-    prng = Rio_util.Prng.create ~seed;
-    head = 0;
+    store = Store.create ~sectors;
+    mech =
+      (match backend with
+      | Backend.Scsi -> Scsi_m (Scsi.create ~seed)
+      | Backend.Nvmm -> Nvmm_m (Nvmm.create ()));
     busy_until = 0;
     pending = [];
     reads = 0;
@@ -73,76 +74,32 @@ let create ~engine ~costs ~sectors ~seed =
     on_complete = no_complete;
   }
 
+let backend t =
+  match t.mech with
+  | Scsi_m _ -> Backend.Scsi
+  | Nvmm_m _ -> Backend.Nvmm
+
 let set_on_complete t f = t.on_complete <- f
 
-let capacity_sectors t = t.sectors
+let capacity_sectors t = Store.capacity t.store
 
 let engine t = t.engine
 
 let check_range t sector count =
-  if sector < 0 || count < 0 || sector + count > t.sectors then
+  if sector < 0 || count < 0 || sector + count > Store.capacity t.store then
     invalid_arg
-      (Printf.sprintf "Disk: sectors [%d,+%d) outside capacity %d" sector count t.sectors)
+      (Printf.sprintf "Disk: sectors [%d,+%d) outside capacity %d" sector count
+         (Store.capacity t.store))
 
 let peek t ~sector =
   check_range t sector 1;
-  match Hashtbl.find_opt t.store sector with
-  | Some b -> Bytes.copy b
-  | None -> Bytes.make sector_bytes '\000'
+  Store.peek t.store ~sector
 
-(* Absent sectors read as zeros, so an all-zero write to an absent sector
-   needs no entry — this keeps the 16 MB swap dump from materializing a
-   store entry per untouched memory page. *)
-let sector_is_zero src pos =
-  let rec go i = i >= sector_bytes || (Bytes.get_int64_le src (pos + i) = 0L && go (i + 8)) in
-  go 0
-
-let mark_nonzero t sector =
-  let i = sector lsr 3 in
-  Bytes.unsafe_set t.nonzero i
-    (Char.unsafe_chr (Char.code (Bytes.unsafe_get t.nonzero i) lor (1 lsl (sector land 7))))
-
-let clear_nonzero t sector =
-  let i = sector lsr 3 in
-  Bytes.unsafe_set t.nonzero i
-    (Char.unsafe_chr (Char.code (Bytes.unsafe_get t.nonzero i) land lnot (1 lsl (sector land 7))))
-
-(* Commit one sector from [src] at byte offset [pos], reusing the stored
-   buffer when the sector already exists (no one outside this module holds
-   a reference to stored bytes — peek/read_sync copy out). *)
-let commit_from t sector src pos =
-  match Hashtbl.find_opt t.store sector with
-  | Some dst -> Bytes.blit src pos dst 0 sector_bytes
-  | None ->
-    if not (sector_is_zero src pos) then begin
-      let b = Bytes.create sector_bytes in
-      Bytes.blit src pos b 0 sector_bytes;
-      Hashtbl.replace t.store sector b;
-      mark_nonzero t sector
-    end
-
-(* Make [count] sectors read as zeros: drop any store entries in the
-   range. The bitmap turns the common case — a range with no entries at
-   all — into a walk over [count/8] bytes, no hashing. *)
-let commit_zeros t sector count =
-  let last = sector + count - 1 in
-  for i = sector lsr 3 to last lsr 3 do
-    let byte = Char.code (Bytes.unsafe_get t.nonzero i) in
-    if byte <> 0 then
-      for bit = 0 to 7 do
-        if byte land (1 lsl bit) <> 0 then begin
-          let s = (i lsl 3) lor bit in
-          if s >= sector && s <= last then begin
-            Hashtbl.remove t.store s;
-            clear_nonzero t s
-          end
-        end
-      done
-  done
+let check_invariant t = Store.check_invariant t.store
 
 let commit_sector t sector (b : bytes) =
   assert (Bytes.length b = sector_bytes);
-  commit_from t sector b 0
+  Store.commit_from t.store ~sector b ~pos:0
 
 let poke t ~sector b =
   check_range t sector 1;
@@ -160,38 +117,37 @@ let pad_to_sectors data =
     (padded, n)
   end
 
-(* Service time for a request at [sector] given the head position: seek plus
-   rotation unless the request continues where the head stopped. *)
 let service_time t sector count =
-  let positioning =
-    if sector = t.head then 0 (* sequential: the head is already there *)
-    else if sector >= t.head - count && sector < t.head then begin
-      (* Rewriting a sector just written: wait one full revolution. *)
-      2 * t.costs.Costs.disk_rotation_us
-    end
-    else begin
-      t.seeks <- t.seeks + 1;
-      t.costs.Costs.disk_seek_us + t.costs.Costs.disk_rotation_us
-    end
-  in
-  positioning + Costs.transfer_time t.costs (count * sector_bytes)
+  match t.mech with
+  | Scsi_m m ->
+    let service, seeked = Scsi.service m ~costs:t.costs ~sector ~count in
+    if seeked then t.seeks <- t.seeks + 1;
+    service
+  | Nvmm_m m -> Nvmm.service m ~sector ~count
+
+(* The torn sector's contents when a crash catches a request mid-write:
+   each backend documents its own model. *)
+let torn_sector t ~sector ~data ~pos =
+  let old_sector = Store.peek t.store ~sector in
+  match t.mech with
+  | Scsi_m m -> Scsi.tear m ~old_sector ~data ~pos
+  | Nvmm_m m -> Nvmm.tear m ~old_sector ~data ~pos
 
 let commit_request t r =
   let count = Bytes.length r.data / sector_bytes in
   for i = 0 to count - 1 do
-    commit_from t (r.req_sector + i) r.data (i * sector_bytes)
+    Store.commit_from t.store ~sector:(r.req_sector + i) r.data ~pos:(i * sector_bytes)
   done;
   t.pending <- List.filter (fun p -> p != r) t.pending;
   t.on_complete ~sector:r.req_sector ~count ~write:true
 
-(* Begin a request: compute its service window and move the head/busy
-   markers. Returns (start, completion). *)
+(* Begin a request: compute its service window and move the busy marker.
+   Returns (start, completion). *)
 let schedule_request t sector count =
   let start = max (Engine.now t.engine) t.busy_until in
   let service = service_time t sector count in
   let completion = start + service in
   t.busy_until <- completion;
-  t.head <- sector + count;
   t.busy_us <- t.busy_us + service;
   (start, completion)
 
@@ -216,12 +172,7 @@ let read_sync t ~sector ~count =
   t.on_complete ~sector ~count ~write:false;
   let out = Bytes.create (count * sector_bytes) in
   for i = 0 to count - 1 do
-    let b =
-      match Hashtbl.find_opt t.store (sector + i) with
-      | Some b -> b
-      | None -> Bytes.make sector_bytes '\000'
-    in
-    Bytes.blit b 0 out (i * sector_bytes) sector_bytes
+    Store.blit_to t.store ~sector:(sector + i) out ~pos:(i * sector_bytes)
   done;
   out
 
@@ -235,7 +186,7 @@ let write_sync t ~sector data =
   t.writes <- t.writes + 1;
   t.sectors_written <- t.sectors_written + count;
   for i = 0 to count - 1 do
-    commit_from t (sector + i) data (i * sector_bytes)
+    Store.commit_from t.store ~sector:(sector + i) data ~pos:(i * sector_bytes)
   done;
   t.on_complete ~sector ~count ~write:true
 
@@ -255,7 +206,7 @@ let write_zeros_sync t ~sector ~count =
   Engine.advance_to t.engine completion;
   t.writes <- t.writes + 1;
   t.sectors_written <- t.sectors_written + count;
-  commit_zeros t sector count;
+  Store.commit_zeros t.store ~sector ~count;
   t.on_complete ~sector ~count ~write:true
 
 let max_queue_depth = 32
@@ -304,8 +255,8 @@ let crash t =
     (fun r ->
       Engine.cancel t.engine r.handle;
       if r.start_time <= now then begin
-        (* In-flight: commit the sectors already behind the head, tear the
-           one under it. *)
+        (* In-flight: commit the sectors already behind the write point,
+           tear the one being written. *)
         let count = Bytes.length r.data / sector_bytes in
         let window = r.completion_time - r.start_time in
         let frac =
@@ -314,11 +265,13 @@ let crash t =
         in
         let committed = int_of_float (frac *. float_of_int count) in
         for i = 0 to min committed count - 1 do
-          commit_from t (r.req_sector + i) r.data (i * sector_bytes)
+          Store.commit_from t.store ~sector:(r.req_sector + i) r.data ~pos:(i * sector_bytes)
         done;
-        if committed < count then
-          commit_sector t (r.req_sector + committed)
-            (Rio_util.Prng.bytes t.prng sector_bytes)
+        if committed < count then begin
+          let sector = r.req_sector + committed in
+          commit_sector t sector
+            (torn_sector t ~sector ~data:r.data ~pos:(committed * sector_bytes))
+        end
       end)
     t.pending;
   t.pending <- [];
@@ -337,43 +290,49 @@ let stats t =
 (* ---- world-template rewind ----
 
    The checkpoint deep-copies the store (taken post-mount it holds only a
-   handful of sectors) and remembers the head/geometry markers, the
-   statistics, and the tear-pattern PRNG state — [crash] draws torn-sector
-   bytes from that stream, so a restored world must replay the identical
-   tears. Pending requests cannot be checkpointed (their completion events
-   live in the engine queue, which the world restore clears); freeze only
-   with the queue drained. *)
+   handful of sectors) and remembers the backend mechanism state (head
+   position and tear-pattern PRNG for SCSI, log tail for NVMM — [crash]
+   draws torn-sector bytes from the SCSI stream, so a restored world must
+   replay the identical tears) plus the statistics. Pending requests
+   cannot be checkpointed (their completion events live in the engine
+   queue, which the world restore clears); freeze only with the queue
+   drained — a non-empty queue here is a caller bug, not a condition to
+   paper over. *)
+
+type mech_state =
+  | Scsi_s of Scsi.state
+  | Nvmm_s of Nvmm.state
 
 type checkpoint = {
-  ck_store : (int, bytes) Hashtbl.t;
-  ck_prng : int64;
-  ck_head : int;
+  ck_store : Store.state;
+  ck_mech : mech_state;
   ck_busy_until : int;
   ck_stats : stats;
 }
 
 let checkpoint t =
-  assert (t.pending = []);
-  let ck_store = Hashtbl.create (max 16 (Hashtbl.length t.store * 2)) in
-  Hashtbl.iter (fun s b -> Hashtbl.replace ck_store s (Bytes.copy b)) t.store;
+  if t.pending <> [] then
+    invalid_arg
+      (Printf.sprintf
+         "Disk.checkpoint: request queue not empty (%d async write(s) still queued); drain first"
+         (List.length t.pending));
   {
-    ck_store;
-    ck_prng = Rio_util.Prng.state t.prng;
-    ck_head = t.head;
+    ck_store = Store.checkpoint t.store;
+    ck_mech =
+      (match t.mech with
+      | Scsi_m m -> Scsi_s (Scsi.state m)
+      | Nvmm_m m -> Nvmm_s (Nvmm.state m));
     ck_busy_until = t.busy_until;
     ck_stats = stats t;
   }
 
 let restore t ck =
-  Hashtbl.reset t.store;
-  Bytes.fill t.nonzero 0 (Bytes.length t.nonzero) '\000';
-  Hashtbl.iter
-    (fun s b ->
-      Hashtbl.replace t.store s (Bytes.copy b);
-      mark_nonzero t s)
-    ck.ck_store;
-  Rio_util.Prng.set_state t.prng ck.ck_prng;
-  t.head <- ck.ck_head;
+  Store.restore t.store ck.ck_store;
+  (match (t.mech, ck.ck_mech) with
+  | Scsi_m m, Scsi_s s -> Scsi.set_state m s
+  | Nvmm_m m, Nvmm_s s -> Nvmm.set_state m s
+  | (Scsi_m _ | Nvmm_m _), _ ->
+    invalid_arg "Disk.restore: checkpoint was taken on a different backend");
   t.busy_until <- ck.ck_busy_until;
   t.pending <- [];
   t.reads <- ck.ck_stats.reads;

@@ -23,13 +23,19 @@ val sector_bytes : int
 (** 512. *)
 
 val create :
+  ?backend:Backend.kind ->
   engine:Rio_sim.Engine.t ->
   costs:Rio_sim.Costs.t ->
   sectors:int ->
   seed:int ->
+  unit ->
   t
-(** A zero-filled disk of [sectors] sectors. The seed drives torn-write
-    garbage so crash tests replay deterministically. *)
+(** A zero-filled disk of [sectors] sectors, [?backend] defaulting to
+    {!Backend.Scsi}. The seed drives SCSI torn-write garbage so crash
+    tests replay deterministically (the NVMM tear model draws no
+    randomness). *)
+
+val backend : t -> Backend.kind
 
 val capacity_sectors : t -> int
 
@@ -89,16 +95,26 @@ val stats : t -> stats
 
 val reset_stats : t -> unit
 
+val check_invariant : t -> unit
+(** Audit that the per-sector [nonzero] bitmap exactly matches the platter
+    entries (see {!Store.check_invariant}).
+    @raise Failure describing the first drifted sector found. *)
+
 (** {1 World-template rewind} *)
 
 type checkpoint
 
 val checkpoint : t -> checkpoint
-(** Deep-copy the platter contents and remember head position, statistics,
-    and tear-pattern PRNG state. The request queue must be empty. *)
+(** Deep-copy the platter contents and remember the backend mechanism
+    state (SCSI head position + tear-pattern PRNG, NVMM log tail) and
+    statistics. The request queue must be empty: an async write still
+    queued at freeze time would be silently lost by the rewind, so
+    @raise Invalid_argument on a non-empty queue — callers drain first. *)
 
 val restore : t -> checkpoint -> unit
 (** Rewind the disk to a checkpoint, dropping any queued requests (their
-    completion events are assumed cleared with the engine queue). *)
+    completion events are assumed cleared with the engine queue).
+    @raise Invalid_argument if the checkpoint was taken on a different
+    backend. *)
 
 val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,46 @@
+(* A battery-backed / NVMM-style persistence tier with append-log
+   semantics (NVCache-style): writes land in a persistent log at memory
+   speed, so service time is flat — a fixed setup cost plus a byte-rate
+   transfer — with no seeks and no rotation. The timing constants are
+   deliberately local to this backend; they are not part of the shared
+   {!Rio_sim.Costs} vocabulary, which describes the mechanical disk.
+
+   Tear model: an interrupted log append is torn at cache-line
+   granularity. The store-buffer line (64 B) holding the front of the
+   in-flight data reaches the log; the rest of the sector keeps its old
+   contents. No garbage is ever invented — battery-backed SRAM fails
+   clean, it does not scribble. *)
+
+let sector_bytes = Store.sector_bytes
+
+let setup_us = 1 (* per-request controller/doorbell overhead *)
+
+let bytes_per_us = 2048 (* sustained append bandwidth: ~2 GB/s *)
+
+let cache_line = 64
+
+type t = {
+  mutable log_tail : int; (* sectors ever appended — the log write pointer *)
+}
+
+let create () = { log_tail = 0 }
+
+(* Flat latency: position-independent, so the front-end's seek counter
+   never moves for this backend. *)
+let service t ~sector:(_ : int) ~count =
+  t.log_tail <- t.log_tail + count;
+  setup_us + ((count * sector_bytes) + bytes_per_us - 1) / bytes_per_us
+
+let log_tail t = t.log_tail
+
+(* First cache line of the new data is durable, the old suffix survives. *)
+let tear (_ : t) ~old_sector ~data ~pos =
+  let b = Bytes.copy old_sector in
+  Bytes.blit data pos b 0 cache_line;
+  b
+
+type state = { s_log_tail : int }
+
+let state t = { s_log_tail = t.log_tail }
+
+let set_state t s = t.log_tail <- s.s_log_tail

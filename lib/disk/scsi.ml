@@ -1,0 +1,45 @@
+(* The early-90s SCSI mechanism: a head position, seek + rotation + transfer
+   service times, and a garbage tear model — a sector caught mid-write by a
+   crash ends up holding PRNG garbage (paper §2.1: disks share the
+   being-written vulnerability, and a half-written sector fails its ECC). *)
+
+module Costs = Rio_sim.Costs
+
+let sector_bytes = Store.sector_bytes
+
+type t = {
+  mutable head : int; (* next sector position of the head *)
+  prng : Rio_util.Prng.t; (* torn-sector garbage stream *)
+}
+
+let create ~seed = { head = 0; prng = Rio_util.Prng.create ~seed }
+
+(* Service time for a request at [sector] given the head position: seek plus
+   rotation unless the request continues where the head stopped. Returns the
+   time and whether the arm seeked (for the front-end's statistics). *)
+let service t ~costs ~sector ~count =
+  let positioning, seeked =
+    if sector = t.head then (0, false) (* sequential: the head is already there *)
+    else if sector >= t.head - count && sector < t.head then
+      (* Rewriting a sector just written: wait one full revolution. *)
+      (2 * costs.Costs.disk_rotation_us, false)
+    else (costs.Costs.disk_seek_us + costs.Costs.disk_rotation_us, true)
+  in
+  t.head <- sector + count;
+  (positioning + Costs.transfer_time costs (count * sector_bytes), seeked)
+
+(* The torn sector's contents: ECC-failed garbage, independent of both the
+   old contents and the in-flight data. *)
+let tear t ~old_sector:(_ : bytes) ~data:(_ : bytes) ~pos:(_ : int) =
+  Rio_util.Prng.bytes t.prng sector_bytes
+
+type state = {
+  s_head : int;
+  s_prng : int64;
+}
+
+let state t = { s_head = t.head; s_prng = Rio_util.Prng.state t.prng }
+
+let set_state t s =
+  t.head <- s.s_head;
+  Rio_util.Prng.set_state t.prng s.s_prng

@@ -1,0 +1,46 @@
+(** The platter: committed sector contents, shared by every backend.
+
+    Absent sectors read as zeros. The per-sector [nonzero] bitmap is kept
+    {e exact}: a bit is set iff the store holds an entry for that sector,
+    and an entry is only ever present for non-zero contents. This is what
+    lets {!commit_zeros} prove whole ranges already read as zeros in
+    O(count/8), and what {!check_invariant} audits. *)
+
+type t
+
+val sector_bytes : int
+(** 512. *)
+
+val create : sectors:int -> t
+
+val capacity : t -> int
+
+val entries : t -> int
+(** Number of sectors currently holding an entry. *)
+
+val peek : t -> sector:int -> bytes
+(** Copy of one sector's committed contents (zeros when absent). *)
+
+val blit_to : t -> sector:int -> bytes -> pos:int -> unit
+(** Copy one sector's committed contents into [bytes] at [pos]. *)
+
+val commit_from : t -> sector:int -> bytes -> pos:int -> unit
+(** Commit one sector from the source buffer at byte offset [pos]. An
+    all-zero sector drops the entry (and its bitmap bit) instead of
+    storing zeros — committing never leaves a stale [nonzero] bit. *)
+
+val commit_zeros : t -> sector:int -> count:int -> unit
+(** Make [count] sectors read as zeros by dropping any entries in the
+    range; sweeps the bitmap rather than probing the table per sector. *)
+
+val check_invariant : t -> unit
+(** Audit that the bitmap exactly matches the entries: every set bit has
+    an entry, every entry has its bit, and no entry is all-zero.
+    @raise Failure describing the first drifted sector found. *)
+
+type state
+
+val checkpoint : t -> state
+(** Deep copy of the committed contents. *)
+
+val restore : t -> state -> unit

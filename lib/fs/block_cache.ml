@@ -64,11 +64,14 @@ let touch t entry =
   t.clock <- t.clock + 1;
   entry.tick <- t.clock
 
-let write_back t entry ~sync =
+let write_back ?via t entry ~sync =
   if t.backed then begin
     let data = Phys_mem.blit_out t.mem entry.paddr ~len:block_bytes in
     let sector = t.sector_of_blkno entry.blkno in
-    if sync then Disk.write_sync t.disk ~sector data else Disk.write_async t.disk ~sector data;
+    (match (via, sync) with
+    | _, true -> Disk.write_sync t.disk ~sector data
+    | Some stage, false -> stage ~sector data
+    | None, false -> Disk.write_async t.disk ~sector data);
     t.writebacks <- t.writebacks + 1
   end;
   if entry.dirty then t.ndirty <- t.ndirty - 1;
@@ -177,7 +180,7 @@ let set_valid t entry valid =
   entry.valid <- valid;
   announce t entry
 
-let flush_dirty t ~sync ?(only = fun _ -> true) () =
+let flush_dirty ?via t ~sync ?(only = fun _ -> true) () =
   (* Nothing dirty, nothing to scan: the update daemon calls this on every
      pass, so a clean cache must not pay a full-table walk. *)
   if t.ndirty = 0 then 0
@@ -190,7 +193,7 @@ let flush_dirty t ~sync ?(only = fun _ -> true) () =
     let sorted = List.sort (fun a b -> compare a.blkno b.blkno) !dirty in
     List.iter
       (fun e ->
-        write_back t e ~sync;
+        write_back ?via t e ~sync;
         incr flushed)
       sorted;
     (* Each write_back retired exactly one dirty entry from the count. *)

@@ -57,13 +57,19 @@ val mark_dirty : t -> entry -> unit
 val set_valid : t -> entry -> int -> unit
 (** Update the meaningful-byte count (re-announces the mapping). *)
 
-val write_back : t -> entry -> sync:bool -> unit
+val write_back : ?via:(sector:int -> bytes -> unit) -> t -> entry -> sync:bool -> unit
 (** Write the page to its disk block ([sync] advances the clock to
-    completion; async queues it). Clears [dirty]. No-op when unbacked. *)
+    completion; async queues it). Clears [dirty]. No-op when unbacked.
+    When [via] is given and [sync] is false the payload is handed to it
+    instead of {!Rio_disk.Disk.write_async} — the write-behind pipeline's
+    staging entry point. *)
 
-val flush_dirty : t -> sync:bool -> ?only:(entry -> bool) -> unit -> int
-(** Write back all dirty (matching) entries; returns how many. Returns
-    without scanning the table when {!dirty_count} is zero. *)
+val flush_dirty :
+  ?via:(sector:int -> bytes -> unit) -> t -> sync:bool -> ?only:(entry -> bool) -> unit -> int
+(** Write back all dirty (matching) entries in block order; returns how
+    many. Returns without scanning the table when {!dirty_count} is zero.
+    [via] as in {!write_back}: asynchronous write-backs are staged into
+    the write-behind pipeline instead of issued directly. *)
 
 val invalidate : t -> blkno:int -> unit
 (** Drop a block (deleted file), freeing its page without write-back. *)

@@ -142,6 +142,7 @@ type t = {
   meta : Block_cache.t;
   data : Block_cache.t;
   journal : Journal.t option;
+  wb : Write_behind.t option;
   icache : (int, Ondisk.inode) Hashtbl.t;
   dir_cache : (int, dir_block) Hashtbl.t;
   fds : (int, fd_state) Hashtbl.t;
@@ -165,6 +166,7 @@ let superblock t = t.sb
 let disk t = t.disk
 let meta_cache t = t.meta
 let data_cache t = t.data
+let write_behind t = t.wb
 
 let charge t us = Engine.advance_by t.engine us
 let charge_syscall t = charge t t.costs.Costs.syscall_overhead
@@ -579,20 +581,38 @@ let fresh_fd t ino =
 
 (* ---------------- update daemon ---------------- *)
 
+(* Flush the caches' dirty blocks through the write-behind pipeline when
+   one is mounted — staging, adjacent-sector coalescing, group commit,
+   with every ordering point announced via [Hooks.wb_event] — and fall
+   back to direct asynchronous write-backs otherwise. Returns the number
+   of blocks written back. *)
+let wb_flush_caches ?(meta = true) t =
+  match t.wb with
+  | Some wb ->
+    let via = Write_behind.stage wb in
+    let n = Block_cache.flush_dirty ~via t.data ~sync:false () in
+    let n = if meta then n + Block_cache.flush_dirty ~via t.meta ~sync:false () else n in
+    ignore (Write_behind.flush wb);
+    n
+  | None ->
+    let n = Block_cache.flush_dirty t.data ~sync:false () in
+    if meta then n + Block_cache.flush_dirty t.meta ~sync:false () else n
+
 let update_daemon_flush t =
-  let flushed = ref 0 in
-  (match t.policy with
-  | Mfs | Rio_policy -> ()
+  match t.policy with
+  | Mfs | Rio_policy -> 0
   | Ufs_default | Ufs_delayed | Wt_close | Wt_write | Rio_idle ->
     (* Rio_idle: the paper's future-work variant — reliability does not
        need these writes (memory is safe), but trickling dirty blocks out
        during idle periods keeps later evictions from stalling. *)
-    flushed := Block_cache.flush_dirty t.data ~sync:false ();
-    flushed := !flushed + Block_cache.flush_dirty t.meta ~sync:false ()
+    wb_flush_caches t
   | Advfs ->
-    flushed := Block_cache.flush_dirty t.data ~sync:false ();
-    (match t.journal with Some j -> Journal.checkpoint j | None -> ()));
-  !flushed
+    (* Metadata goes through the journal; only file data rides the
+       write-behind pipeline. The journal checkpoint's own metadata flush
+       stays direct (it must land at the blocks' home sectors). *)
+    let n = wb_flush_caches ~meta:false t in
+    (match t.journal with Some j -> Journal.checkpoint j | None -> ());
+    n
 
 let rec schedule_daemon_at t ~time =
   t.daemon_due <- time;
@@ -609,7 +629,7 @@ and schedule_daemon t =
 
 (* ---------------- mount / unmount / crash ---------------- *)
 
-let mount ~engine ~costs ~mem ~meta_alloc ~pool_alloc ~disk ~policy ~hooks =
+let mount ~engine ~costs ~mem ~meta_alloc ~pool_alloc ~disk ~policy ~hooks ~wb_unordered =
   let sb =
     let raw = Disk.read_sync disk ~sector:Ondisk.superblock_sector ~count:1 in
     Ondisk.read_superblock raw
@@ -632,6 +652,7 @@ let mount ~engine ~costs ~mem ~meta_alloc ~pool_alloc ~disk ~policy ~hooks =
            ~sectors:sb.Ondisk.journal_sectors)
     else None
   in
+  let wb = if backed then Some (Write_behind.create ~disk ~hooks ~unordered:wb_unordered) else None in
   let t =
     {
       engine;
@@ -644,6 +665,7 @@ let mount ~engine ~costs ~mem ~meta_alloc ~pool_alloc ~disk ~policy ~hooks =
       meta;
       data;
       journal;
+      wb;
       icache = Hashtbl.create 64;
       dir_cache = Hashtbl.create 64;
       fds = Hashtbl.create 16;
@@ -659,7 +681,8 @@ let mount ~engine ~costs ~mem ~meta_alloc ~pool_alloc ~disk ~policy ~hooks =
   in
   (match journal with
   | Some j ->
-    Journal.set_on_checkpoint j (fun () -> ignore (Block_cache.flush_dirty t.meta ~sync:false ()))
+    Journal.set_on_checkpoint j (fun () -> ignore (Block_cache.flush_dirty t.meta ~sync:false ()));
+    Journal.set_on_event j (fun ~label -> t.hooks.Hooks.wb_event ~label)
   | None -> ());
   if policy = Mfs then begin
     (* A memory file system starts empty: materialize the inode bitmap and
@@ -713,10 +736,13 @@ let remount_cold t =
 let sync t =
   charge_syscall t;
   match t.policy with
-  | Rio_policy | Rio_idle | Mfs -> () (* Rio: sync returns immediately (§2.3). *)
-  | Ufs_default | Ufs_delayed | Wt_close | Wt_write | Advfs ->
-    ignore (Block_cache.flush_dirty t.data ~sync:false ());
-    ignore (Block_cache.flush_dirty t.meta ~sync:false ());
+  | Rio_policy | Mfs -> () (* Rio: sync returns immediately (§2.3). *)
+  | Rio_idle | Ufs_default | Ufs_delayed | Wt_close | Wt_write | Advfs ->
+    (* Rio_idle honors sync as a durability barrier: idle-trickled blocks
+       ride the write-behind pipeline and the barrier drains it, so the
+       cold-recovery contract ("synced data survives without warm reboot")
+       is checkable against the pipeline's orderings. *)
+    ignore (wb_flush_caches t);
     Disk.drain t.disk
 
 let unmount t =
@@ -1235,6 +1261,7 @@ type checkpoint = {
   ck_meta : Block_cache.checkpoint;
   ck_data : Block_cache.checkpoint;
   ck_journal : Journal.state option;
+  ck_wb : Write_behind.state option;
   ck_icache : (int * Ondisk.inode) list;
   ck_fds : (int * fd_state) list;
   ck_next_fd : int;
@@ -1253,6 +1280,7 @@ let checkpoint t =
     ck_meta = Block_cache.checkpoint t.meta;
     ck_data = Block_cache.checkpoint t.data;
     ck_journal = Option.map Journal.save t.journal;
+    ck_wb = Option.map Write_behind.save t.wb;
     ck_icache = Hashtbl.fold (fun ino i acc -> (ino, copy_inode i) :: acc) t.icache [];
     ck_fds = Hashtbl.fold (fun fd st acc -> (fd, { st with pos = st.pos }) :: acc) t.fds [];
     ck_next_fd = t.next_fd;
@@ -1273,6 +1301,10 @@ let restore t ck =
   | Some j, Some s -> Journal.restore j s
   | None, None -> ()
   | _ -> invalid_arg "Fs.restore: journal presence mismatch");
+  (match (t.wb, ck.ck_wb) with
+  | Some wb, Some s -> Write_behind.restore wb s
+  | None, None -> ()
+  | _ -> invalid_arg "Fs.restore: write-behind presence mismatch");
   Hashtbl.reset t.icache;
   List.iter (fun (ino, i) -> Hashtbl.replace t.icache ino (copy_inode i)) ck.ck_icache;
   Hashtbl.reset t.dir_cache;

@@ -63,9 +63,17 @@ val mount :
   disk:Rio_disk.Disk.t ->
   policy:policy ->
   hooks:Hooks.t ->
+  wb_unordered:bool ->
   t
 (** Read the superblock and start the update daemon (for the policies that
-    have one). Raises {!Fs_types.Fs_error} on a bad superblock. *)
+    have one). Raises {!Fs_types.Fs_error} on a bad superblock.
+
+    Every disk-backed policy routes the daemon's and [sync]'s asynchronous
+    write-backs through a {!Write_behind} pipeline (batching, coalescing,
+    group commit), whose ordering points fire {!Hooks.t.wb_event}.
+    [wb_unordered:true] plants the pipeline's ordering bug — see
+    {!Write_behind.create}; pass [false] everywhere outside the fuzzer's
+    ablation matrix. *)
 
 val unmount : t -> unit
 (** Flush everything, drain the disk, mark the volume clean, stop the
@@ -86,6 +94,10 @@ val superblock : t -> Ondisk.superblock
 val disk : t -> Rio_disk.Disk.t
 val meta_cache : t -> Block_cache.t
 val data_cache : t -> Block_cache.t
+
+val write_behind : t -> Write_behind.t option
+(** The asynchronous write-behind pipeline ([None] for the disk-less
+    Memory File System). *)
 
 (** {1 Files} *)
 
@@ -156,7 +168,11 @@ val lstat : t -> string -> stat
 (** Does not follow a final symbolic link. *)
 
 val exists : t -> string -> bool
+
 val sync : t -> unit
+(** Durability barrier: flush both caches through the write-behind
+    pipeline and drain the disk. Immediate no-op under Rio (§2.3) and
+    MFS; Rio_idle honors it so idle-trickled write-behind is checkable. *)
 
 val symlink : t -> target:string -> string -> unit
 (** Create a symbolic link at the path pointing at [target] (absolute or

@@ -7,6 +7,7 @@ type t = {
   mutable metadata_update : paddr:int -> (unit -> unit) -> unit;
   mutable copy_in : bytes -> int -> paddr:int -> len:int -> unit;
   mutable copy_out : paddr:int -> bytes -> int -> len:int -> unit;
+  mutable wb_event : label:string -> unit;
 }
 
 let defaults ~mem =
@@ -22,4 +23,5 @@ let defaults ~mem =
     copy_out =
       (fun ~paddr dst dstpos ~len ->
         Rio_mem.Phys_mem.blit_into mem paddr dst ~pos:dstpos ~len);
+    wb_event = (fun ~label:_ -> ());
   }

@@ -28,6 +28,12 @@ type t = {
       (** Kernel bcopy: user buffer slice into physical memory. *)
   mutable copy_out : paddr:int -> bytes -> int -> len:int -> unit;
       (** Kernel bcopy: physical memory into a user buffer prefix. *)
+  mutable wb_event : label:string -> unit;
+      (** An ordering point inside the write-behind pipeline fired:
+          "wb-queue ..." (a dirty block staged), "wb-flush ..." (a
+          coalesced segment issued to the backend), "wb-commit ..." (a
+          batch or journal group commit handed off). The crash-schedule
+          checker turns each into a crash point. *)
 }
 
 val defaults : mem:Rio_mem.Phys_mem.t -> t

@@ -14,6 +14,7 @@ type t = {
   mutable records : int;
   mutable bytes : int;
   mutable on_checkpoint : unit -> unit;
+  mutable on_event : label:string -> unit;
   buffer : Buffer.t; (* group-commit staging *)
 }
 
@@ -21,11 +22,17 @@ let group_commit_bytes = 64 * 1024
 
 let create ~disk ~start_sector ~sectors =
   { disk; start_sector; sectors; head = 0; seq = 0; records = 0; bytes = 0;
-    on_checkpoint = (fun () -> ()); buffer = Buffer.create 4096 }
+    on_checkpoint = (fun () -> ()); on_event = (fun ~label:_ -> ());
+    buffer = Buffer.create 4096 }
 
 let set_on_checkpoint t f = t.on_checkpoint <- f
 
-(* Group commit: push the staged records as one sequential write. *)
+let set_on_event t f = t.on_event <- f
+
+(* Group commit: push the staged records as one sequential write. The
+   hand-off to the backend is an ordering point — a crash between staging
+   and this write loses the whole group, so it is announced as a
+   write-behind commit boundary. *)
 let flush_group t =
   if Buffer.length t.buffer > 0 then begin
     let data = Buffer.to_bytes t.buffer in
@@ -35,6 +42,9 @@ let flush_group t =
       t.on_checkpoint ();
       t.head <- 0
     end;
+    t.on_event
+      ~label:
+        (Printf.sprintf "wb-commit journal s%d x%d" (t.start_sector + t.head) record_sectors);
     Disk.write_async t.disk ~sector:(t.start_sector + t.head) data;
     t.head <- t.head + record_sectors
   end

@@ -22,6 +22,13 @@ val flush_group : t -> unit
 
 val set_on_checkpoint : t -> (unit -> unit) -> unit
 
+val set_on_event : t -> (label:string -> unit) -> unit
+(** Observer for group-commit ordering points: each {!flush_group} that
+    actually writes announces a ["wb-commit journal s<sector> x<count>"]
+    label just before handing the group to the backend. The crash-schedule
+    checker wires this into {!Hooks.t.wb_event} to crash inside the
+    window. *)
+
 val checkpoint : t -> unit
 (** Flush callback + reset the log head (also called by the update
     daemon). *)

@@ -3,6 +3,7 @@ module Costs = Rio_sim.Costs
 module Kernel = Rio_kernel.Kernel
 module Fs = Rio_fs.Fs
 module Fs_types = Rio_fs.Fs_types
+module Fsck = Rio_fs.Fsck
 module Phys_mem = Rio_mem.Phys_mem
 module Rio_cache = Rio_core.Rio_cache
 module Warm_reboot = Rio_core.Warm_reboot
@@ -62,7 +63,8 @@ let make_rio ~(spec : Explorer.spec) kernel =
 
 let build_world ~obs ~(spec : Explorer.spec) ~seed =
   World.create ~obs ~protection:spec.Explorer.protection ~shadow:spec.Explorer.shadow
-    ~registry:spec.Explorer.registry ~seed ()
+    ~registry:spec.Explorer.registry ~policy:spec.Explorer.policy ~backend:spec.Explorer.backend
+    ~wb_unordered:spec.Explorer.wb_unordered ~seed ()
 
 let attach_probe ~obs w =
   let probe = Boundary.create ~mem:(World.mem w) ~obs () in
@@ -94,7 +96,11 @@ let evict_if_full tbl dispose =
 
 let single_template ~(spec : Explorer.spec) ~seed =
   let c = Domain.DLS.get caches in
-  let key = Printf.sprintf "%s/%d" spec.Explorer.label seed in
+  let key =
+    Printf.sprintf "%s@%s/%d" spec.Explorer.label
+      (Rio_disk.Backend.to_string spec.Explorer.backend)
+      seed
+  in
   let e =
     match Hashtbl.find_opt c.singles key with
     | Some e -> e
@@ -160,32 +166,64 @@ let attempt_body ~(spec : Explorer.spec) w probe (pay : Program.world) ~ops ~tri
   | Some k ->
     assert (Boundary.has_crash_image probe);
     Fs.crash fs;
-    Boundary.restore_crash_image probe;
-    let recovered = ref None in
-    ignore
-      (Warm_reboot.perform ~mem:(World.mem w) ~disk:(World.disk w) ~layout:(World.layout w)
-         ~engine
-         ~reboot:(fun () ->
-           let kernel2 =
-             Kernel.boot_warm ~engine ~costs:(World.costs w) (World.config w)
-               ~mem:(Kernel.mem kernel) ~disk:(Kernel.disk kernel)
-           in
-           make_rio ~spec kernel2;
-           let fs2 = Kernel.mount kernel2 ~policy:Fs.Rio_policy in
-           recovered := Some fs2;
-           fs2)
-        : Warm_reboot.report);
-    let fs2 = match !recovered with Some f -> f | None -> assert false in
+    let tripped = Boundary.tripped_label probe in
     let problems =
-      try Program.check fs2 ~ops ~in_flight:k
-      with Fs_types.Fs_error m -> [ "recovery check raised: " ^ m ]
+      if spec.Explorer.cold then begin
+        (* Cold recovery: the memory image is LOST — drop the capture
+           instead of restoring it. Only the committed disk survives;
+           fsck repairs it and a fresh kernel boots on it. The audit is
+           the sync-durability contract ({!Program.check_cold}): data a
+           completed [Sync] pushed out must read back exact. *)
+        Boundary.drop_capture probe;
+        let report = Fsck.run ~disk:(World.disk w) in
+        if report.Fsck.unrecoverable then []
+        else begin
+          let kernel2 =
+            Kernel.boot_on_disk ~engine ~costs:(World.costs w) (World.config w)
+              ~disk:(Kernel.disk kernel)
+          in
+          make_rio ~spec kernel2;
+          let problems =
+            match Kernel.mount kernel2 ~policy:spec.Explorer.policy with
+            | fs2 -> (
+              try Program.check_cold fs2 ~ops ~in_flight:k
+              with Fs_types.Fs_error m -> [ "cold recovery check raised: " ^ m ])
+            | exception Fs_types.Fs_error _ ->
+              (* A torn superblock/root can leave the image unmountable;
+                 the cold contract forgives structural loss. *)
+              []
+          in
+          Phys_mem.retire (Kernel.mem kernel2);
+          problems
+        end
+      end
+      else begin
+        Boundary.restore_crash_image probe;
+        let recovered = ref None in
+        ignore
+          (Warm_reboot.perform ~mem:(World.mem w) ~disk:(World.disk w) ~layout:(World.layout w)
+             ~engine
+             ~reboot:(fun () ->
+               let kernel2 =
+                 Kernel.boot_warm ~engine ~costs:(World.costs w) (World.config w)
+                   ~mem:(Kernel.mem kernel) ~disk:(Kernel.disk kernel)
+               in
+               make_rio ~spec kernel2;
+               let fs2 = Kernel.mount kernel2 ~policy:spec.Explorer.policy in
+               recovered := Some fs2;
+               fs2)
+            : Warm_reboot.report);
+        let fs2 = match !recovered with Some f -> f | None -> assert false in
+        try Program.check fs2 ~ops ~in_flight:k
+        with Fs_types.Fs_error m -> [ "recovery check raised: " ^ m ]
+      end
     in
     {
       boundaries = total;
       labels;
       op_starts;
       crashed_during = Some k;
-      tripped = Boundary.tripped_label probe;
+      tripped;
       problems;
     }
 
@@ -261,7 +299,15 @@ let pick_boundary prng ~prefer labels =
 let fuzz_one ?(prefer = []) ?(with_cov = false) ~spec ~world_seed ~max_ops ~prng_seed () =
   let prng = Prng.create ~seed:prng_seed in
   let nops = 1 + Prng.int prng max_ops in
-  let ops = Gen.generate ~prng Program.gen_spec ~ops:nops in
+  (* Under the idle write-back policy the [Sync] barrier is meaningful
+     (it drains the write-behind pipeline), and the cold-recovery specs
+     need it in programs — it is what they owe anything to. Elsewhere it
+     stays off so fixed-seed programs are unchanged. *)
+  let gspec =
+    if spec.Explorer.policy = Fs.Rio_idle then { Program.gen_spec with Gen.sync = true }
+    else Program.gen_spec
+  in
+  let ops = Gen.generate ~prng gspec ~ops:nops in
   let counting = run_attempt ~spec ~seed:world_seed ~ops ~trip:(-1) () in
   let cov = if with_cov then Some (Cov.create ()) else None in
   Option.iter (fun c -> Cov.note_schedule c ~labels:counting.labels) cov;
@@ -517,10 +563,12 @@ let run ?(spec = Explorer.rio_prot) ?(max_ops = default_max_ops) ?(shrink_limit 
 (* ---------------- rendering ---------------- *)
 
 let spec_line (spec : Explorer.spec) =
-  Printf.sprintf "%s (protection %s, shadow %s, registry %s)" spec.Explorer.label
+  Printf.sprintf "%s (protection %s, shadow %s, registry %s, backend %s%s)" spec.Explorer.label
     (if spec.Explorer.protection then "on" else "off")
     (if spec.Explorer.shadow then "on" else "off")
     (if spec.Explorer.registry then "on" else "off")
+    (Rio_disk.Backend.to_string spec.Explorer.backend)
+    (if spec.Explorer.cold then ", cold recovery" else "")
 
 let render_counterexample buf c =
   Buffer.add_string buf
@@ -590,7 +638,7 @@ type matrix_entry = { entry_report : report; ok : bool }
    shrunk to a handful of ops — a catch nobody can read is not evidence. *)
 let max_repro_ops = 6
 
-let run_matrix ?(specs = Explorer.matrix_specs) ?max_ops ?shrink_limit (cfg : Run.config) =
+let run_matrix ?(specs = Explorer.fuzz_specs) ?max_ops ?shrink_limit (cfg : Run.config) =
   List.map
     (fun (spec : Explorer.spec) ->
       let entry_report = run ~spec ?max_ops ?shrink_limit cfg in
@@ -671,7 +719,11 @@ type tattempt = {
 
 let tasks_template ~(spec : Explorer.spec) ~seed ~tasks =
   let c = Domain.DLS.get caches in
-  let key = Printf.sprintf "%s/%d/%d" spec.Explorer.label seed tasks in
+  let key =
+    Printf.sprintf "%s@%s/%d/%d" spec.Explorer.label
+      (Rio_disk.Backend.to_string spec.Explorer.backend)
+      seed tasks
+  in
   let e =
     match Hashtbl.find_opt c.multis key with
     | Some e -> e
@@ -810,7 +862,7 @@ let attempt_tasks_body ~(spec : Explorer.spec) ~locking w probe (tw : Program.tw
                ~mem:(Kernel.mem kernel) ~disk:(Kernel.disk kernel)
            in
            make_rio ~spec kernel2;
-           let fs2 = Kernel.mount kernel2 ~policy:Fs.Rio_policy in
+           let fs2 = Kernel.mount kernel2 ~policy:spec.Explorer.policy in
            recovered := Some fs2;
            fs2)
         : Warm_reboot.report);

@@ -68,6 +68,7 @@ let exec w (op : Gen.op) =
     Vista.write txn ~offset:0 (Pattern.fill_at ~seed ~offset:0 ~len:half);
     Vista.write txn ~offset:half (Pattern.fill_at ~seed ~offset:half ~len:(ledger_size - half));
     Vista.commit txn
+  | Sync -> Fs.sync w.fs
 
 (* ---------------- the multi-task world ---------------- *)
 
@@ -159,6 +160,7 @@ let exec_task sched ~locking ~task tw ~store (op : Gen.op) =
       Vista.commit txn
     in
     if locking then Sched.with_lock sched ~key:Sched.fs_lock body else body ()
+  | Sync -> ignore (sys Fs.Syscall.Sync)
 
 (* ---------------- post-crash contracts ---------------- *)
 
@@ -221,7 +223,7 @@ let touched (op : Gen.op) =
   match op with
   | Creat { path; _ } | Append { path; _ } | Overwrite { path; _ } | Unlink path -> [ path ]
   | Rename { src; dst } -> [ src; dst ]
-  | Mkdir _ | Vista_txn _ -> []
+  | Mkdir _ | Vista_txn _ | Sync -> []
 
 let check_vista fs ~ledger ~in_flight_seed ~committed acc =
   if not (Fs.exists fs ledger) then problem "vista store %s vanished" ledger :: acc
@@ -312,7 +314,7 @@ let check_core fs ~root:rt ~ledger ~ops ~progress acc =
           let acc = if s then check_exact fs ~path:src ~expect acc else acc in
           if d then check_exact fs ~path:dst ~expect acc else acc
         end
-      | Gen.Mkdir _ | Gen.Vista_txn _ -> acc)
+      | Gen.Mkdir _ | Gen.Vista_txn _ | Gen.Sync -> acc)
   in
   let in_flight_seed =
     match inflight with Some (Gen.Vista_txn { seed }) -> Some seed | _ -> None
@@ -328,6 +330,53 @@ let check fs ~ops ~in_flight =
     check_exact fs ~path:keep_path ~expect:(Pattern.fill ~seed:keep_seed ~len:keep_len) []
   in
   List.rev (check_core fs ~root ~ledger:ledger_path ~ops ~progress:(Interrupted in_flight) acc)
+
+(* The cold-recovery contract: the crash is recovered WITHOUT a warm
+   reboot — the memory image is lost, fsck repairs the committed disk
+   state, and only what a durability barrier pushed out is owed. Find
+   the last completed Sync; files fully established before it and
+   untouched by any later (completed or in-flight) op must read back
+   with their exact contents. Leniency everywhere the disk's tear model
+   can legitimately bite: a torn metadata sector can make fsck free an
+   inode or truncate a directory, so a missing file or a size mismatch
+   is forgiven. What is NEVER forgiven is a size-correct file with wrong
+   bytes — metadata durable, data not — which is exactly how a
+   write-behind pipeline that reorders around the sync barrier fails. *)
+let check_cold fs ~ops ~in_flight =
+  let arr = Array.of_list ops in
+  let last_sync = ref (-1) in
+  for i = 0 to min (in_flight - 1) (Array.length arr - 1) do
+    if arr.(i) = Gen.Sync then last_sync := i
+  done;
+  if !last_sync < 0 then []
+  else begin
+    let model = Model.create ~root in
+    for i = 0 to !last_sync - 1 do
+      Model.apply model arr.(i)
+    done;
+    let dirty = Hashtbl.create 16 in
+    for i = !last_sync + 1 to min in_flight (Array.length arr - 1) do
+      List.iter (fun p -> Hashtbl.replace dirty p ()) (touched arr.(i))
+    done;
+    let audit acc path expect =
+      if Hashtbl.mem dirty path then acc
+      else
+        match Fs.read_file fs path with
+        | b ->
+          if Bytes.length b <> Bytes.length expect || Bytes.equal b expect then acc
+          else problem "%s: synced contents corrupted after cold recovery" path :: acc
+        | exception Fs_types.Fs_error _ -> acc
+    in
+    (* The bystander predates every op and no generated op touches it, so
+       a completed sync owes its bytes too — and its setup-time blocks are
+       exactly what an out-of-order pipeline tends to hold back (they are
+       the oldest staged segments). *)
+    let acc = audit [] keep_path (Pattern.fill ~seed:keep_seed ~len:keep_len) in
+    List.fold_left
+      (fun acc (path, expect) -> audit acc path expect)
+      acc (Model.sorted_files model)
+    |> List.rev
+  end
 
 (* The multi-task audit: the shared bystander once, then each task's
    subtree against its own model and progress. Problems are tagged with

@@ -47,6 +47,16 @@ val check : Rio_fs.Fs.t -> ops:Rio_workload.Script.Gen.op list -> in_flight:int 
     [[]] means every contract held. Runs {!Rio_txn.Vista.recover} as part
     of the audit (the store check needs a recovered store). *)
 
+val check_cold :
+  Rio_fs.Fs.t -> ops:Rio_workload.Script.Gen.op list -> in_flight:int -> string list
+(** The cold-recovery contract: the crash was recovered {e without} a warm
+    reboot (memory lost, fsck + remount only), so only data a completed
+    [Sync] barrier pushed out is owed. Files fully established before the
+    last completed sync and untouched by later ops must read back exact.
+    Lenient where the backend's tear model can legitimately bite (missing
+    file, size mismatch); a size-correct file with wrong bytes — metadata
+    durable, data not — is a violation. [[]] when no sync completed. *)
+
 (** {1 The multi-task world}
 
     Each task owns a disjoint subtree [/fuzz/t<i>] with its own Vista

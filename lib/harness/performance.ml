@@ -43,7 +43,7 @@ type measurement = {
    [World] path the campaign engines template; these cells measure
    *simulated* time over minutes-long workloads, so there is nothing to
    amortize — each one is a fresh build, recycled after the run. *)
-let fresh_system config ~seed =
+let fresh_system ?(backend = Rio_disk.Backend.Scsi) config ~seed =
   let kcfg =
     {
       Kernel.default_config with
@@ -55,12 +55,12 @@ let fresh_system config ~seed =
   World.create ~config:kcfg
     ~rio:(config.rio_protection <> None)
     ~protection:(config.rio_protection = Some true)
-    ~policy:config.policy ~seed ()
+    ~policy:config.policy ~backend ~seed ()
 
 let seconds engine t0 = Units.sec_of_usec (Engine.now engine - t0)
 
-let measure_workload config ~scale ~seed workload =
-  let w = fresh_system config ~seed in
+let measure_workload ?backend config ~scale ~seed workload =
+  let w = fresh_system ?backend config ~seed in
   let engine = World.engine w and fs = World.fs w in
   Fun.protect ~finally:(fun () -> World.dispose w) @@ fun () ->
   match workload with
@@ -108,9 +108,10 @@ let run ?only (cfg : Run.config) =
      task; results come back in Table 2 row order either way. *)
   Pool.map_list ~domains:cfg.Run.domains
     (fun config ->
-      let cp_s, rm_s = measure_workload config ~scale ~seed `Cp_rm in
-      let sdet_s, _ = measure_workload config ~scale ~seed `Sdet in
-      let andrew_s, _ = measure_workload config ~scale ~seed `Andrew in
+      let backend = cfg.Run.backend in
+      let cp_s, rm_s = measure_workload ~backend config ~scale ~seed `Cp_rm in
+      let sdet_s, _ = measure_workload ~backend config ~scale ~seed `Sdet in
+      let andrew_s, _ = measure_workload ~backend config ~scale ~seed `Andrew in
       report ~label:config.label
         ~detail:
           (Printf.sprintf "cp+rm %.0fs (%.0f+%.0f)  sdet %.0fs  andrew %.0fs" (cp_s +. rm_s)

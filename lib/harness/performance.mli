@@ -27,13 +27,19 @@ type measurement = {
 val run : ?only:string list -> Run.config -> measurement list
 (** The {!Run.config} fields map as: [scale] shrinks the workloads (1.0 =
     the paper's 40 MB cp+rm tree, 5 Sdet scripts, full Andrew), [seed]
-    seeds every machine, and [domains]/[progress] as documented on
+    seeds every machine, [backend] picks the persistence tier every
+    machine is built on, and [domains]/[progress] as documented on
     {!Run.config} ([trials] and [trace_dir] are unused here). [only]
     filters configuration labels. Results stay in Table 2 row order and
     are byte-identical to the serial run at any [domains]. *)
 
 val measure_workload :
-  configuration -> scale:float -> seed:int -> [ `Cp_rm | `Sdet | `Andrew ] -> float * float
+  ?backend:Rio_disk.Backend.kind ->
+  configuration ->
+  scale:float ->
+  seed:int ->
+  [ `Cp_rm | `Sdet | `Andrew ] ->
+  float * float
 (** One (configuration, workload) cell; returns (primary seconds, secondary
     seconds) — (cp, rm) for cp+rm, (total, 0) otherwise. *)
 

@@ -5,6 +5,7 @@ type config = {
   trials : int;
   scale : float;
   domains : int;
+  backend : Rio_disk.Backend.kind;
   trace_dir : string option;
   coverage : bool;
   obs_capacity : int option;
@@ -18,6 +19,7 @@ let default =
     trials = 50;
     scale = 1.0;
     domains = 1;
+    backend = Rio_disk.Backend.Scsi;
     trace_dir = None;
     coverage = false;
     obs_capacity = None;

@@ -13,6 +13,10 @@
     - [scale] — workload scale factor (1.0 = the paper's sizes).
     - [domains] — worker domains for {!Rio_parallel.Pool}; results are
       merged in seed order, so any value yields byte-identical output.
+    - [backend] — the persistence backend worlds are built on
+      ({!Rio_disk.Backend.Scsi} by default, or [Nvmm] for the
+      battery-backed append-log tier). Campaigns that fix their own
+      backends per spec (the check/fuzz matrices) ignore it.
     - [trace_dir] — when set, the flight recorder is on and per-trial
       traces land here; [None] means zero-overhead tracing-off.
     - [coverage] — when true, the campaign also accounts which slices of
@@ -35,6 +39,7 @@ type config = {
   trials : int;
   scale : float;
   domains : int;
+  backend : Rio_disk.Backend.kind;
   trace_dir : string option;
   coverage : bool;
   obs_capacity : int option;
@@ -43,8 +48,8 @@ type config = {
 }
 
 val default : config
-(** [seed 1; trials 50; scale 1.0; domains 1; trace_dir None;
-    coverage false; obs_capacity None; obs_buckets None;
+(** [seed 1; trials 50; scale 1.0; domains 1; backend Scsi;
+    trace_dir None; coverage false; obs_capacity None; obs_buckets None;
     progress ignore]. Build variations with functional update:
     [{ Run.default with seed = 7; domains = 4 }]. *)
 

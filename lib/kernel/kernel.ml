@@ -17,6 +17,7 @@ type config = {
   layout_config : Layout.config;
   tlb_entries : int;
   disk_sectors : int;
+  disk_backend : Rio_disk.Backend.kind;
   seed : int;
   instr_ns : int;
   activity_budget : int;
@@ -27,6 +28,7 @@ let default_config =
     layout_config = Layout.default_config;
     tlb_entries = 64;
     disk_sectors = 64 * 1024;
+    disk_backend = Rio_disk.Backend.Scsi;
     seed = 1;
     instr_ns = 6;
     activity_budget = 50_000;
@@ -72,6 +74,11 @@ type t = {
   mutable overrun_filecache_bytes : int;
   mutable dlist_next : int;
   mutable hash_next : int;
+  (* Buffers the panic path pushed to disk before the crash finished —
+     the channel through which memory corruption propagates (§3.2).
+     Forensics uses these to attribute propagated corruption. *)
+  mutable crash_flushed_data : int;
+  mutable crash_flushed_meta : int;
 }
 
 let engine t = t.engine
@@ -93,6 +100,7 @@ let overrun_filecache_bytes t = t.overrun_filecache_bytes
 let fs t = t.fs
 let crash_info t = t.crash
 let activity_bursts t = t.bursts
+let crash_flushed t = (t.crash_flushed_data, t.crash_flushed_meta)
 
 let crash_now t cause ~during = Kcrash.crash cause ~during ~at_us:(Engine.now t.engine)
 
@@ -223,6 +231,8 @@ let boot_with_mem ~engine ~costs config ~disk ~mem =
       overrun_filecache_bytes = 0;
       dlist_next = 0;
       hash_next = 0;
+      crash_flushed_data = 0;
+      crash_flushed_meta = 0;
     }
   in
   (* The request descriptor normally targets the heap scratch buffer; only
@@ -253,7 +263,10 @@ let boot_warm ~engine ~costs config ~mem ~disk =
   boot_with_mem ~engine ~costs config ~disk ~mem
 
 let boot ~engine ~costs config =
-  let disk = Disk.create ~engine ~costs ~sectors:config.disk_sectors ~seed:(config.seed lxor 0x5EED) in
+  let disk =
+    Disk.create ~backend:config.disk_backend ~engine ~costs ~sectors:config.disk_sectors
+      ~seed:(config.seed lxor 0x5EED) ()
+  in
   boot_on_disk ~engine ~costs config ~disk
 
 let format t =
@@ -263,10 +276,10 @@ let format t =
   in
   Fs.mkfs ~disk:t.disk geom
 
-let mount t ~policy =
+let mount ?(wb_unordered = false) t ~policy =
   let fs =
     Fs.mount ~engine:t.engine ~costs:t.costs ~mem:t.mem ~meta_alloc:t.meta_alloc
-      ~pool_alloc:t.pool_alloc ~disk:t.disk ~policy ~hooks:t.hooks
+      ~pool_alloc:t.pool_alloc ~disk:t.disk ~policy ~hooks:t.hooks ~wb_unordered
   in
   t.fs <- Some fs;
   fs
@@ -603,6 +616,7 @@ type checkpoint = {
   ck_overrun_bytes : int;
   ck_dlist_next : int;
   ck_hash_next : int;
+  ck_crash_flushed : int * int;
 }
 
 let save_armed = function None -> None | Some a -> Some (a.period, a.countdown)
@@ -625,6 +639,7 @@ let checkpoint t =
     ck_overrun_bytes = t.overrun_filecache_bytes;
     ck_dlist_next = t.dlist_next;
     ck_hash_next = t.hash_next;
+    ck_crash_flushed = (t.crash_flushed_data, t.crash_flushed_meta);
   }
 
 let restore t ck =
@@ -643,7 +658,10 @@ let restore t ck =
   t.sync_fault <- load_armed ck.ck_sync_fault;
   t.overrun_filecache_bytes <- ck.ck_overrun_bytes;
   t.dlist_next <- ck.ck_dlist_next;
-  t.hash_next <- ck.ck_hash_next
+  t.hash_next <- ck.ck_hash_next;
+  let fd, fm = ck.ck_crash_flushed in
+  t.crash_flushed_data <- fd;
+  t.crash_flushed_meta <- fm
 
 (* ---------------- crash handling ---------------- *)
 
@@ -662,10 +680,17 @@ let crash_system t info =
     | Fs.Ufs_default | Fs.Ufs_delayed | Fs.Wt_close | Fs.Wt_write | Fs.Advfs ->
       (* The default panic tries to push dirty buffers out — including any
          corrupted ones, which is how memory corruption reaches disk. Give
-         the queue a moment, then cut the power to the I/O subsystem. *)
+         the queue a moment, then cut the power to the I/O subsystem.
+         Record how much each flush actually pushed: these counts are what
+         lets forensics attribute corruption that PROPAGATED through the
+         panic path rather than preceding it. *)
       (try
-         ignore (Rio_fs.Block_cache.flush_dirty (Fs.data_cache fs) ~sync:false ());
-         ignore (Rio_fs.Block_cache.flush_dirty (Fs.meta_cache fs) ~sync:false ());
+         let data = Rio_fs.Block_cache.flush_dirty (Fs.data_cache fs) ~sync:false () in
+         let meta = Rio_fs.Block_cache.flush_dirty (Fs.meta_cache fs) ~sync:false () in
+         t.crash_flushed_data <- t.crash_flushed_data + data;
+         t.crash_flushed_meta <- t.crash_flushed_meta + meta;
+         if Trace.enabled t.obs then
+           Trace.emit t.obs Trace.Kernel (Trace.Crash_flush { data; meta });
          Engine.advance_by t.engine (Rio_util.Units.msec 200)
        with _ -> ()));
     Fs.crash fs

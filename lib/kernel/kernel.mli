@@ -25,6 +25,8 @@ type config = {
   layout_config : Rio_mem.Layout.config;
   tlb_entries : int;
   disk_sectors : int;
+  disk_backend : Rio_disk.Backend.kind;
+      (** Which persistence backend {!boot} creates (default SCSI). *)
   seed : int;
   instr_ns : int;  (** Simulated cost of one interpreted instruction. *)
   activity_budget : int;
@@ -32,7 +34,7 @@ type config = {
 }
 
 val default_config : config
-(** 16 MB machine, 64-entry TLB, 64K-sector (32 MB) disk, 6 ns/instr. *)
+(** 16 MB machine, 64-entry TLB, 64K-sector (32 MB) SCSI disk, 6 ns/instr. *)
 
 val config_with_seed : int -> config
 
@@ -88,9 +90,11 @@ val overrun_filecache_bytes : t -> int
 val format : t -> unit
 (** mkfs with a geometry derived from the machine (swap covers memory). *)
 
-val mount : t -> policy:Rio_fs.Fs.policy -> Rio_fs.Fs.t
+val mount : ?wb_unordered:bool -> t -> policy:Rio_fs.Fs.policy -> Rio_fs.Fs.t
 (** Mount through the kernel's hooks (so the bcopy fault envelope applies);
-    remembers the fs for the panic path. *)
+    remembers the fs for the panic path. [wb_unordered] (default false)
+    plants the write-behind ordering bug for the fuzzer's ablation matrix
+    — see {!Rio_fs.Fs.mount}. *)
 
 val fs : t -> Rio_fs.Fs.t option
 
@@ -129,6 +133,13 @@ val crash_system : t -> Kcrash.info -> unit
     request. The kernel is dead afterwards. *)
 
 val crash_info : t -> Kcrash.info option
+
+val crash_flushed : t -> int * int
+(** [(data, meta)]: buffers the panic path pushed to disk across every
+    {!crash_system} this kernel has handled — the crash-propagation
+    channel. Each crash also emits a {!Rio_obs.Trace.Crash_flush} event
+    with the per-crash counts so forensics can attribute propagated
+    corruption. *)
 
 (** {1 World-template rewind} *)
 

@@ -33,6 +33,8 @@ let args_of_kind (kind : Trace.kind) =
     [ ("name", Json.Str name); ("start_us", Json.Int start_us); ("end_us", Json.Int end_us) ]
   | Trace.Crash { message; during } ->
     [ ("message", Json.Str message); ("during", Json.Str during) ]
+  | Trace.Crash_flush { data; meta } ->
+    [ ("data", Json.Int data); ("meta", Json.Int meta) ]
   | Trace.Phase { name; start_us; end_us } ->
     [ ("name", Json.Str name); ("start_us", Json.Int start_us); ("end_us", Json.Int end_us) ]
   | Trace.Swap_dump { dumped; truncated } ->
@@ -144,6 +146,8 @@ let chrome_event (e : Trace.event) =
     instant (if engaged then "shadow engage" else "shadow flip back")
   | Trace.Activity { name; start_us; end_us } -> span name start_us end_us
   | Trace.Crash { message; _ } -> instant ("CRASH: " ^ message)
+  | Trace.Crash_flush { data; meta } ->
+    instant (Printf.sprintf "panic flush: %d data + %d meta" data meta)
   | Trace.Phase { name; start_us; end_us } -> span name start_us end_us
   | Trace.Swap_dump { truncated; _ } ->
     instant (if truncated > 0 then "swap dump (truncated)" else "swap dump")

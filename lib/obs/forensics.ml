@@ -6,6 +6,7 @@ type t = {
   protection_traps : int;
   checksum_mismatches : int;
   crash : (int * string * string) option;
+  crash_flush : (int * int * int) option;
   phases : (string * int * int) list;
   swap_dump : (int * int * int) option;
   snapshot : Trace.snapshot;
@@ -19,6 +20,7 @@ let summarize recorder =
   let traps = ref 0 in
   let mismatches = ref 0 in
   let crash = ref None in
+  let crash_flush = ref None in
   let phases = ref [] in
   let swap_dump = ref None in
   List.iter
@@ -35,6 +37,8 @@ let summarize recorder =
       | Trace.Checksum_mismatch _ -> incr mismatches
       | Trace.Crash { message; during } ->
         if !crash = None then crash := Some (e.Trace.ts_us, message, during)
+      | Trace.Crash_flush { data; meta } ->
+        if !crash_flush = None then crash_flush := Some (e.Trace.ts_us, data, meta)
       | Trace.Phase { name; start_us; end_us } -> phases := (name, start_us, end_us) :: !phases
       | Trace.Swap_dump { dumped; truncated } ->
         swap_dump := Some (e.Trace.ts_us, dumped, truncated)
@@ -49,6 +53,7 @@ let summarize recorder =
     protection_traps = !traps;
     checksum_mismatches = !mismatches;
     crash = !crash;
+    crash_flush = !crash_flush;
     phases = List.rev !phases;
     swap_dump = !swap_dump;
     snapshot = Trace.snapshot recorder;
@@ -85,6 +90,11 @@ let narrative t =
   (match t.crash with
   | Some (ts, message, during) -> add "t=%s  CRASH during %s: %s" (us ts) during message
   | None -> add "no crash recorded (run discarded)");
+  (match t.crash_flush with
+  | Some (ts, data, meta) when data + meta > 0 ->
+    add "t=%s  panic path PUSHED %d data + %d meta dirty buffer(s) to disk while crashing" (us ts)
+      data meta
+  | Some _ | None -> ());
   List.iter
     (fun (name, start_us, end_us) ->
       add "t=%s  recovery phase '%s' (%s)" (us start_us) name (us (end_us - start_us)))

@@ -14,6 +14,10 @@ type t = {
   protection_traps : int;
   checksum_mismatches : int;
   crash : (int * string * string) option;  (** (sim µs, message, during). *)
+  crash_flush : (int * int * int) option;
+      (** (sim µs, data buffers, meta buffers) the panic path flushed to
+          disk while crashing — attributes corruption that propagated
+          through the crash rather than preceding it. *)
   phases : (string * int * int) list;  (** Warm-reboot spans (name, start, end). *)
   swap_dump : (int * int * int) option;
       (** (sim µs, dumped bytes, truncated bytes) of the warm reboot's

@@ -32,6 +32,7 @@ type kind =
   | Shadow_flip of { paddr : int; engaged : bool }
   | Activity of { name : string; start_us : int; end_us : int }
   | Crash of { message : string; during : string }
+  | Crash_flush of { data : int; meta : int }
   | Phase of { name : string; start_us : int; end_us : int }
   | Swap_dump of { dumped : int; truncated : int }
   | Mark of string
@@ -49,6 +50,7 @@ let kind_label = function
   | Shadow_flip _ -> "shadow_flip"
   | Activity _ -> "activity"
   | Crash _ -> "crash"
+  | Crash_flush _ -> "crash_flush"
   | Phase _ -> "phase"
   | Swap_dump _ -> "swap_dump"
   | Mark _ -> "mark"

@@ -55,6 +55,10 @@ type kind =
   | Activity of { name : string; start_us : int; end_us : int }
       (** One interpreted kernel routine ran (span). *)
   | Crash of { message : string; during : string }
+  | Crash_flush of { data : int; meta : int }
+      (** The non-Rio panic path pushed [data] + [meta] dirty buffers to
+          disk while crashing — the propagation channel forensics uses to
+          attribute corruption that reached the platter during the panic. *)
   | Phase of { name : string; start_us : int; end_us : int }
       (** A named span: warm-reboot steps (dump, registry, fsck, sweep). *)
   | Swap_dump of { dumped : int; truncated : int }

@@ -167,10 +167,11 @@ module Gen = struct
     | Unlink of string
     | Rename of { src : string; dst : string }
     | Vista_txn of { seed : int }
+    | Sync
 
-  type spec = { root : string; max_len : int; max_dirs : int; vista : bool }
+  type spec = { root : string; max_len : int; max_dirs : int; vista : bool; sync : bool }
 
-  let default_spec ~root = { root; max_len = 6000; max_dirs = 4; vista = true }
+  let default_spec ~root = { root; max_len = 6000; max_dirs = 4; vista = true; sync = false }
 
   let kind = function
     | Creat _ -> "creat"
@@ -180,6 +181,7 @@ module Gen = struct
     | Unlink _ -> "unlink"
     | Rename _ -> "rename"
     | Vista_txn _ -> "vista-txn"
+    | Sync -> "sync"
 
   let describe = function
     | Creat { path; seed; len } -> Printf.sprintf "creat %s (%d B, seed %#x)" path len seed
@@ -190,6 +192,7 @@ module Gen = struct
     | Unlink path -> "unlink " ^ path
     | Rename { src; dst } -> Printf.sprintf "rename %s -> %s" src dst
     | Vista_txn { seed } -> Printf.sprintf "vista-txn (seed %#x)" seed
+    | Sync -> "sync"
 
   (* Generation walks the same growing tree the program will build, so
      every emitted op is valid when executed in order from an empty root:
@@ -213,7 +216,8 @@ module Gen = struct
         @ (if !files <> [] then [ (`Append, 1.5); (`Unlink, 1.0); (`Rename, 1.0) ] else [])
         @ (if writable <> [] then [ (`Overwrite, 1.5) ] else [])
         @ (if List.length !dirs < spec.max_dirs then [ (`Mkdir, 1.0) ] else [])
-        @ if spec.vista then [ (`Vista, 0.8) ] else []
+        @ (if spec.vista then [ (`Vista, 0.8) ] else [])
+        @ if spec.sync && !files <> [] then [ (`Sync, 1.5) ] else []
       in
       match Prng.choose_weighted prng (Array.of_list cands) with
       | `Creat ->
@@ -246,6 +250,7 @@ module Gen = struct
         files := (dst, len) :: List.remove_assoc src !files;
         Rename { src; dst }
       | `Vista -> Vista_txn { seed = seed () }
+      | `Sync -> Sync
     in
     List.init ops (fun _ -> gen_one ())
 
@@ -296,6 +301,7 @@ module Gen = struct
         Hashtbl.remove t.files src;
         Hashtbl.replace t.files dst b
       | Vista_txn { seed } -> t.vista <- Some seed
+      | Sync -> ()
 
     let after ~root ops =
       let t = create ~root in

@@ -99,12 +99,17 @@ module Gen : sig
     | Vista_txn of { seed : int }
         (** Transactionally rewrite the whole Vista store with pattern
             [seed] (two writes, one commit). *)
+    | Sync
+        (** A [Fs.sync] durability barrier — everything written before it
+            must survive even a cold (no-warm-reboot) recovery. *)
 
   type spec = {
     root : string;  (** Existing directory the program grows under. *)
     max_len : int;  (** Max bytes per creat/append/overwrite. *)
     max_dirs : int;  (** Directory-count cap (root included). *)
     vista : bool;  (** Whether to emit [Vista_txn] ops. *)
+    sync : bool;  (** Whether to emit [Sync] ops (default spec: off, so
+                      fixed-seed programs elsewhere stay stable). *)
   }
 
   val default_spec : root:string -> spec
@@ -123,8 +128,8 @@ module Gen : sig
 
   val kind : op -> string
   (** The op's stable kind name ("creat", "append", "overwrite", "mkdir",
-      "unlink", "rename", "vista-txn") — the operation axis of crash-space
-      coverage maps. *)
+      "unlink", "rename", "vista-txn", "sync") — the operation axis of
+      crash-space coverage maps. *)
 
   val describe : op -> string
   (** One human-readable line, e.g. ["creat /fuzz/f0 (1234 B, seed 0x5a)"]. *)

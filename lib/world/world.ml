@@ -43,13 +43,18 @@ let set_use_templates b = Atomic.set templates b
 let templates_on () = Atomic.get templates
 
 let create ?(obs = Trace.null) ?config ?(rio = true) ?(protection = true) ?(shadow = true)
-    ?(registry = true) ?(policy = Fs.Rio_policy) ~seed () =
+    ?(registry = true) ?(policy = Fs.Rio_policy) ?backend ?(wb_unordered = false) ~seed () =
   let engine = Engine.create ~obs () in
   let costs = Costs.default in
   let config =
     match config with
     | Some c -> { c with Kernel.seed }
     | None -> Kernel.config_with_seed seed
+  in
+  let config =
+    match backend with
+    | Some b -> { config with Kernel.disk_backend = b }
+    | None -> config
   in
   let kernel = Kernel.boot ~engine ~costs config in
   Kernel.format kernel;
@@ -62,7 +67,7 @@ let create ?(obs = Trace.null) ?config ?(rio = true) ?(protection = true) ?(shad
            ~dev:1 ())
     else None
   in
-  let fs = Kernel.mount kernel ~policy in
+  let fs = Kernel.mount ~wb_unordered kernel ~policy in
   {
     seed;
     config;
@@ -98,6 +103,12 @@ let frozen t = t.template <> None
 
 let freeze t =
   if t.template <> None then invalid_arg "World.freeze: already frozen";
+  (* Disk.checkpoint refuses a non-empty request queue (an async write
+     between issue and completion has no well-defined rewind point), so
+     retire anything still in flight from the setup workload first. The
+     drain advances the simulated clock, which is fine: the template IS
+     the post-setup instant, and every restore rewinds to it exactly. *)
+  Disk.drain (Kernel.disk t.kernel);
   t.template <-
     Some
       {

@@ -30,6 +30,8 @@ val create :
   ?shadow:bool ->
   ?registry:bool ->
   ?policy:Rio_fs.Fs.policy ->
+  ?backend:Rio_disk.Backend.kind ->
+  ?wb_unordered:bool ->
   seed:int ->
   unit ->
   t
@@ -38,7 +40,10 @@ val create :
     harness's paper-scale machines), format, [Rio_cache.create] (with the
     given protection/shadow/registry toggles), mount. [~rio:false] skips
     the Rio cache entirely — a disk-based world ({!rio} then raises).
-    Defaults: null trace, everything on, [Rio_policy]. *)
+    [backend] selects the persistence backend (spliced into the kernel
+    config over whatever [config] says); [wb_unordered] plants the
+    write-behind ordering bug (see {!Rio_fs.Fs.mount}). Defaults: null
+    trace, everything on, [Rio_policy], SCSI backend, ordered. *)
 
 (** {1 Accessors} *)
 

@@ -1,0 +1,286 @@
+(* Backend-parametric tests: every test group below runs once per
+   persistence backend ([Rio_disk.Backend.all]), so a third tier added
+   later is covered the day it compiles. Shared properties (checkpoint
+   byte-identity, deterministic tears, nonzero-bitmap invariant, FS
+   parity) are asserted for each backend; the tear and timing models —
+   the only places the backends are *allowed* to differ — get
+   per-backend assertions, plus cross-backend comparisons that pin the
+   differences down (NVMM is flat and seekless, SCSI pays mechanics). *)
+
+module Backend = Rio_disk.Backend
+module Disk = Rio_disk.Disk
+module Engine = Rio_sim.Engine
+module Costs = Rio_sim.Costs
+module World = Rio_world.World
+module Fs = Rio_fs.Fs
+module Pattern = Rio_util.Pattern
+module Explorer = Rio_check.Explorer
+module Fuzzer = Rio_fuzz.Fuzzer
+module Run = Rio_harness.Run
+
+let check = Alcotest.check
+
+let fresh ?(seed = 5) backend =
+  let engine = Engine.create () in
+  (engine, Disk.create ~backend ~engine ~costs:Costs.default ~sectors:4096 ~seed ())
+
+let sector_of_char c = Bytes.make Disk.sector_bytes c
+
+(* Plant old contents, start an 8-sector async write of 'N', crash while
+   the request is in flight, and return (old, new, torn) for the sector
+   under the head. The committed prefix and untouched suffix are checked
+   here so the per-backend tests only reason about the torn sector. *)
+let crash_mid_write backend ~advance_us =
+  let engine, d = fresh backend in
+  let old_of i = sector_of_char (Char.chr (Char.code 'a' + i)) in
+  for i = 0 to 7 do
+    Disk.poke d ~sector:(100 + i) (old_of i)
+  done;
+  Disk.write_async d ~sector:100 (Bytes.make (8 * Disk.sector_bytes) 'N');
+  Engine.advance_by engine advance_us;
+  Disk.crash d;
+  Disk.check_invariant d;
+  (* Find the tear: the first sector that is neither fully-new nor the
+     old contents is the one the head was on. *)
+  let torn = ref None in
+  for i = 0 to 7 do
+    let got = Disk.peek d ~sector:(100 + i) in
+    let is_new = Bytes.equal got (sector_of_char 'N') in
+    let is_old = Bytes.equal got (old_of i) in
+    match !torn with
+    | None ->
+      if not (is_new || is_old) then torn := Some (i, got)
+      else if is_old then
+        (* Old before any tear means the write never reached here and
+           never will: everything after must be old too. *)
+        torn := Some (-1, got)
+    | Some (t, _) when t >= 0 ->
+      check Alcotest.bool
+        (Printf.sprintf "%s: sector %d after the tear keeps old contents"
+           (Backend.to_string backend) i)
+        true is_old
+    | Some _ -> ()
+  done;
+  match !torn with
+  | Some (i, got) when i >= 0 -> (old_of i, sector_of_char 'N', got)
+  | _ ->
+    Alcotest.failf "%s: crash at +%dus produced no torn sector"
+      (Backend.to_string backend) advance_us
+
+(* In-flight window: SCSI needs a seek + some transfer time to be mid-
+   request; NVMM completes 8 sectors in 3us, so crash 1us in. *)
+let mid_write_advance = function
+  | Backend.Scsi -> Costs.default.Costs.disk_seek_us + 2_000
+  | Backend.Nvmm -> 1
+
+(* ---------------- shared properties, per backend ---------------- *)
+
+let test_tear_deterministic backend () =
+  let run () =
+    let _, _, torn = crash_mid_write backend ~advance_us:(mid_write_advance backend) in
+    torn
+  in
+  check Alcotest.bytes "same seed, same crash point, same torn bytes" (run ()) (run ())
+
+let test_checkpoint_restore backend () =
+  let engine, d = fresh backend in
+  Disk.write_sync d ~sector:8 (sector_of_char 'k');
+  Disk.write_sync d ~sector:2000 (sector_of_char 'k');
+  let ck = Disk.checkpoint d in
+  let frozen = List.map (fun s -> Disk.peek d ~sector:s) [ 0; 8; 9; 2000 ] in
+  (* Dirty the platter every way we can: overwrite, extend, tear. *)
+  Disk.write_sync d ~sector:8 (sector_of_char 'x');
+  Disk.write_sync d ~sector:9 (sector_of_char 'x');
+  Disk.write_async d ~sector:2000 (Bytes.make (4 * Disk.sector_bytes) 'x');
+  Engine.advance_by engine (mid_write_advance backend);
+  Disk.crash d;
+  Disk.restore d ck;
+  Disk.check_invariant d;
+  List.iter2
+    (fun s before ->
+      check Alcotest.bytes
+        (Printf.sprintf "sector %d byte-identical after restore" s)
+        before
+        (Disk.peek d ~sector:s))
+    [ 0; 8; 9; 2000 ] frozen;
+  (* The mechanism state rewound too: a replayed crash tears identically. *)
+  let replay () =
+    Disk.write_async d ~sector:2000 (Bytes.make (4 * Disk.sector_bytes) 'x');
+    Engine.advance_by engine (mid_write_advance backend);
+    Disk.crash d;
+    let got = Disk.peek d ~sector:2000 in
+    Disk.restore d ck;
+    got
+  in
+  check Alcotest.bytes "restored mechanism replays the same tear" (replay ()) (replay ())
+
+let test_fs_workload backend () =
+  (* The file system neither knows nor cares which tier is underneath:
+     the same workload must produce the same contents. The cross-backend
+     comparison is below; here each backend must at least round-trip. *)
+  let w = World.create ~backend ~seed:11 () in
+  let fs = World.fs w in
+  let payload = Pattern.fill ~seed:0x5eed ~len:9000 in
+  Fs.mkdir fs "/d";
+  Fs.write_file fs "/d/a" payload;
+  Fs.write_file fs "/d/b" (Pattern.fill ~seed:2 ~len:300);
+  Fs.rename fs "/d/b" "/d/c";
+  Fs.sync fs;
+  check Alcotest.bytes "payload round-trips" payload (Fs.read_file fs "/d/a");
+  check Alcotest.bool "rename visible" true (Fs.exists fs "/d/c");
+  Disk.check_invariant (World.disk w);
+  World.dispose w
+
+(* ---------------- the tear models ---------------- *)
+
+let test_scsi_tear_is_garbage () =
+  let old_s, new_s, torn = crash_mid_write Backend.Scsi ~advance_us:(mid_write_advance Backend.Scsi) in
+  check Alcotest.bool "torn sector is not the old contents" false (Bytes.equal torn old_s);
+  check Alcotest.bool "torn sector is not the new contents" false (Bytes.equal torn new_s);
+  (* Garbage, not a clean splice: no 64-byte-aligned prefix of new data. *)
+  check Alcotest.bool "not a cache-line splice either" false
+    (Bytes.equal (Bytes.sub torn 0 64) (Bytes.sub new_s 0 64)
+    && Bytes.equal (Bytes.sub torn 64 (Disk.sector_bytes - 64))
+         (Bytes.sub old_s 64 (Disk.sector_bytes - 64)))
+
+let test_nvmm_tear_is_cache_line () =
+  let old_s, new_s, torn = crash_mid_write Backend.Nvmm ~advance_us:(mid_write_advance Backend.Nvmm) in
+  check Alcotest.bytes "first 64 B line holds the new data" (Bytes.sub new_s 0 64)
+    (Bytes.sub torn 0 64);
+  check Alcotest.bytes "old suffix survives — no invented garbage"
+    (Bytes.sub old_s 64 (Disk.sector_bytes - 64))
+    (Bytes.sub torn 64 (Disk.sector_bytes - 64))
+
+(* ---------------- the timing models ---------------- *)
+
+let test_nvmm_flat_and_fast () =
+  let timed backend writes =
+    let engine, d = fresh backend in
+    List.map
+      (fun s ->
+        let t0 = Engine.now engine in
+        Disk.write_sync d ~sector:s (sector_of_char 'w');
+        (Engine.now engine - t0, d))
+      writes
+  in
+  (* Same far-seeking write pattern on both tiers. *)
+  let pattern = [ 0; 2000; 100; 3900 ] in
+  let scsi = timed Backend.Scsi pattern and nvmm = timed Backend.Nvmm pattern in
+  let total l = List.fold_left (fun a (t, _) -> a + t) 0 l in
+  check Alcotest.bool "NVMM is at least 100x faster on a seeky pattern" true
+    (100 * total nvmm < total scsi);
+  (* Flat: position-independent service time, and the seek counter never
+     moves. *)
+  (match nvmm with
+  | (t0, d) :: rest ->
+    List.iter
+      (fun (t, _) -> check Alcotest.int "every NVMM write costs the same" t0 t)
+      rest;
+    check Alcotest.int "NVMM never seeks" 0 (Disk.stats d).Disk.seeks
+  | [] -> assert false);
+  (* SCSI is position-dependent: the same list of writes does *not* cost
+     a constant amount. *)
+  (match scsi with
+  | (t0, d) :: rest ->
+    check Alcotest.bool "SCSI cost varies with position" true
+      (List.exists (fun (t, _) -> t <> t0) rest);
+    check Alcotest.bool "SCSI seeks" true ((Disk.stats d).Disk.seeks > 0)
+  | [] -> assert false)
+
+(* ---------------- FS-visible parity across backends ---------------- *)
+
+let test_cross_backend_parity () =
+  (* Identical workload on each tier: byte-identical file contents and
+     directory listings. Timing differs wildly (that is the point of the
+     tier); data must not. *)
+  let run backend =
+    let w = World.create ~backend ~seed:23 () in
+    let fs = World.fs w in
+    Fs.mkdir fs "/p";
+    Fs.write_file fs "/p/big" (Pattern.fill ~seed:7 ~len:30_000);
+    Fs.write_file fs "/p/small" (Pattern.fill ~seed:8 ~len:100);
+    Fs.write_file fs "/p/gone" (Pattern.fill ~seed:9 ~len:512);
+    Fs.unlink fs "/p/gone";
+    Fs.sync fs;
+    let files = List.sort compare (Fs.readdir fs "/p") in
+    let contents = List.map (fun f -> Fs.read_file fs ("/p/" ^ f)) files in
+    let now = Engine.now (World.engine w) in
+    World.dispose w;
+    (files, contents, now)
+  in
+  let results = List.map (fun b -> (b, run b)) Backend.all in
+  match results with
+  | (_, (files0, contents0, now0)) :: rest ->
+    List.iter
+      (fun (b, (files, contents, now)) ->
+        check (Alcotest.list Alcotest.string)
+          (Backend.to_string b ^ ": same namespace")
+          files0 files;
+        List.iter2
+          (fun c0 c ->
+            check Alcotest.bytes (Backend.to_string b ^ ": same contents") c0 c)
+          contents0 contents;
+        if b <> Backend.Scsi then
+          check Alcotest.bool
+            (Backend.to_string b ^ ": finished earlier than SCSI")
+            true (now < now0))
+      rest
+  | [] -> assert false
+
+(* ---------------- the fuzzer across backends ---------------- *)
+
+let cfg ?(trials = 4) () = { Run.default with Run.seed = 1; trials; domains = 2 }
+
+let test_rio_prot_clean_on backend () =
+  let r = Fuzzer.run ~spec:{ Explorer.rio_prot with Explorer.backend } (cfg ()) in
+  check Alcotest.int
+    (Backend.to_string backend ^ ": rio-prot fuzzes clean")
+    0 r.Fuzzer.violations
+
+let test_wb_order_caught_and_shrunk () =
+  (* The planted write-behind ordering bug (wb-order ablation) rides the
+     NVMM-backed update daemon; seed 1 trips it on trial 0. The fuzzer
+     must both catch it and shrink the repro below the readability cap. *)
+  let r = Fuzzer.run ~spec:Explorer.wb_order (cfg ~trials:2 ()) in
+  if r.Fuzzer.violations = 0 then
+    Alcotest.fail "wb-order planted ablation was not caught";
+  match r.Fuzzer.counterexamples with
+  | [] -> Alcotest.fail "wb-order violations were not shrunk"
+  | c :: _ ->
+    check Alcotest.bool "repro within the readability cap" true
+      (List.length c.Fuzzer.ops <= Fuzzer.max_repro_ops);
+    check Alcotest.bool "shrunk repro keeps its problems" true (c.Fuzzer.problems <> [])
+
+let () =
+  let per_backend name f =
+    List.map
+      (fun b ->
+        Alcotest.test_case (Printf.sprintf "%s (%s)" name (Backend.to_string b)) `Quick (f b))
+      Backend.all
+  in
+  Alcotest.run "rio_backend"
+    [
+      ( "shared",
+        per_backend "deterministic tear" test_tear_deterministic
+        @ per_backend "checkpoint/restore byte-identity" test_checkpoint_restore
+        @ per_backend "fs workload round-trips" test_fs_workload );
+      ( "tear models",
+        [
+          Alcotest.test_case "scsi: torn sector is garbage" `Quick test_scsi_tear_is_garbage;
+          Alcotest.test_case "nvmm: cache-line splice, no garbage" `Quick
+            test_nvmm_tear_is_cache_line;
+        ] );
+      ("timing models", [ Alcotest.test_case "nvmm flat and fast" `Quick test_nvmm_flat_and_fast ]);
+      ("parity", [ Alcotest.test_case "same workload, same bytes" `Quick test_cross_backend_parity ]);
+      ( "fuzz",
+        List.map
+          (fun b ->
+            Alcotest.test_case
+              (Printf.sprintf "rio-prot clean (%s)" (Backend.to_string b))
+              `Slow (test_rio_prot_clean_on b))
+          Backend.all
+        @ [
+            Alcotest.test_case "wb-order planted ablation caught and shrunk" `Slow
+              test_wb_order_caught_and_shrunk;
+          ] );
+    ]

@@ -17,16 +17,32 @@ let cfg ~domains = { Run.default with Run.seed = 7; domains }
 
 let test_enumeration_classes () =
   let scenarios = Scenario.all in
-  check Alcotest.int "four scenarios" 4 (List.length scenarios);
+  check Alcotest.int "five scenarios" 5 (List.length scenarios);
   let r = Explorer.run ~spec:Explorer.rio_prot (cfg ~domains:1) in
   List.iter
     (fun (s : Explorer.scenario_result) ->
-      (* The same-directory rename collapses to one atomic metadata update,
-         so its schedule is short — but never trivial. *)
-      if s.Explorer.crash_points < 5 then
+      if s.Explorer.slug = "sync" then
+        (* Rio's sync returns immediately (§2.3): nothing to crash inside. *)
+        check Alcotest.int "sync is boundary-free under rio" 0 s.Explorer.crash_points
+      else if
+        (* The same-directory rename collapses to one atomic metadata update,
+           so its schedule is short — but never trivial. *)
+        s.Explorer.crash_points < 5
+      then
         Alcotest.failf "scenario %s enumerated only %d crash points" s.Explorer.slug
           s.Explorer.crash_points)
-    r.Explorer.scenarios
+    r.Explorer.scenarios;
+  (* Under idle write-back the same barrier routes through the write-behind
+     pipeline, so the sync scenario contributes wb-queue/wb-flush/wb-commit
+     crash points of its own — and survives all of them. *)
+  let r = Explorer.run ~spec:Explorer.rio_idle ~only:[ "sync" ] (cfg ~domains:1) in
+  (match r.Explorer.scenarios with
+  | [ s ] ->
+    if s.Explorer.crash_points < 3 then
+      Alcotest.failf "sync under rio-idle enumerated only %d crash points"
+        s.Explorer.crash_points
+  | _ -> Alcotest.fail "expected exactly the sync scenario");
+  check Alcotest.int "sync survives under rio-idle" 0 (Explorer.violation_count r)
 
 let test_rio_prot_safe () =
   let r = Explorer.run ~spec:Explorer.rio_prot (cfg ~domains:1) in
@@ -74,7 +90,7 @@ let test_matrix_verdicts () =
   let entries =
     Explorer.run_matrix ~only:[ "rename" ] (cfg ~domains:1)
   in
-  check Alcotest.int "four configurations" 4 (List.length entries);
+  check Alcotest.int "five configurations" 5 (List.length entries);
   List.iter
     (fun (e : Explorer.matrix_entry) ->
       let spec = e.Explorer.entry_report.Explorer.spec in

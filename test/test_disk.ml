@@ -9,7 +9,7 @@ let check = Alcotest.check
 
 let fresh () =
   let engine = Engine.create () in
-  (engine, Disk.create ~engine ~costs:Costs.default ~sectors:4096 ~seed:5)
+  (engine, Disk.create ~engine ~costs:Costs.default ~sectors:4096 ~seed:5 ())
 
 let sector_of_string s =
   let b = Bytes.make Disk.sector_bytes '\000' in
@@ -135,13 +135,67 @@ let test_deterministic_tear () =
   (* Same seed, same crash point -> identical torn bytes. *)
   let run () =
     let engine = Engine.create () in
-    let d = Disk.create ~engine ~costs:Costs.default ~sectors:4096 ~seed:99 in
+    let d = Disk.create ~engine ~costs:Costs.default ~sectors:4096 ~seed:99 () in
     Disk.write_async d ~sector:5 (sector_of_string "x");
     Engine.advance_by engine 1_000;
     Disk.crash d;
     Disk.peek d ~sector:5
   in
   check Alcotest.bytes "deterministic" (run ()) (run ())
+
+(* ---------------- nonzero-bitmap invariant + checkpoint guards ---------------- *)
+
+let test_invariant_after_poke () =
+  let _, d = fresh () in
+  Disk.poke d ~sector:3 (sector_of_string "abc");
+  Disk.check_invariant d;
+  (* Poking an all-zero buffer must clear the entry, not leave an all-zero
+     platter entry behind the set bit. *)
+  Disk.poke d ~sector:3 (Bytes.make Disk.sector_bytes '\000');
+  Disk.check_invariant d;
+  check Alcotest.bytes "reads back zero" (Bytes.make Disk.sector_bytes '\000')
+    (Disk.peek d ~sector:3)
+
+let test_invariant_after_crash () =
+  let engine, d = fresh () in
+  Disk.poke d ~sector:100 (sector_of_string "old");
+  Disk.write_async d ~sector:100 (Bytes.make (8 * Disk.sector_bytes) 'W');
+  Engine.advance_by engine 1_000;
+  Disk.crash d;
+  (* Whatever the tear left (garbage, prefix, or zeros), the bitmap must
+     still match the entries exactly. *)
+  Disk.check_invariant d
+
+let test_invariant_after_zeros () =
+  let _, d = fresh () in
+  Disk.write_sync d ~sector:60 (sector_of_string "full");
+  Disk.write_zeros_sync d ~sector:60 ~count:4;
+  Disk.check_invariant d;
+  check Alcotest.bytes "zeroed" (Bytes.make Disk.sector_bytes '\000') (Disk.peek d ~sector:60)
+
+let test_invariant_after_restore () =
+  let engine, d = fresh () in
+  Disk.write_sync d ~sector:8 (sector_of_string "kept");
+  let ck = Disk.checkpoint d in
+  Disk.write_sync d ~sector:8 (sector_of_string "overwritten");
+  Disk.write_sync d ~sector:9 (sector_of_string "new");
+  Disk.restore d ck;
+  Disk.check_invariant d;
+  check Alcotest.string "restored" "kept" (Bytes.sub_string (Disk.peek d ~sector:8) 0 4);
+  check Alcotest.bytes "sector 9 back to zero" (Bytes.make Disk.sector_bytes '\000')
+    (Disk.peek d ~sector:9);
+  ignore engine
+
+let test_checkpoint_refuses_queued () =
+  let _, d = fresh () in
+  Disk.write_async d ~sector:12 (sector_of_string "queued");
+  (match Disk.checkpoint d with
+  | (_ : Disk.checkpoint) ->
+    Alcotest.fail "checkpoint accepted a non-empty queue (the rewind would lose the write)"
+  | exception Invalid_argument _ -> ());
+  (* After a drain the same checkpoint succeeds. *)
+  Disk.drain d;
+  ignore (Disk.checkpoint d : Disk.checkpoint)
 
 let () =
   Alcotest.run "rio_disk"
@@ -168,5 +222,14 @@ let () =
           Alcotest.test_case "read sees queued write" `Quick test_read_after_queued_write;
           Alcotest.test_case "stats" `Quick test_stats;
           Alcotest.test_case "deterministic tear" `Quick test_deterministic_tear;
+        ] );
+      ( "invariant",
+        [
+          Alcotest.test_case "after poke (incl. all-zero)" `Quick test_invariant_after_poke;
+          Alcotest.test_case "after crash tear" `Quick test_invariant_after_crash;
+          Alcotest.test_case "after write_zeros_sync" `Quick test_invariant_after_zeros;
+          Alcotest.test_case "after checkpoint/restore" `Quick test_invariant_after_restore;
+          Alcotest.test_case "checkpoint refuses queued writes" `Quick
+            test_checkpoint_refuses_queued;
         ] );
     ]

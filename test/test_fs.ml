@@ -32,7 +32,7 @@ let make_env () =
   let engine = Engine.create () in
   let layout = Layout.create Layout.default_config in
   let mem = Phys_mem.create ~bytes_total:Layout.default_config.Layout.total_bytes in
-  let disk = Disk.create ~engine ~costs:Costs.default ~sectors:(64 * 1024) ~seed:3 in
+  let disk = Disk.create ~engine ~costs:Costs.default ~sectors:(64 * 1024) ~seed:3 () in
   let geom = Fs.default_geometry ~disk_sectors:(64 * 1024) ~mem_bytes:(Phys_mem.size mem) in
   Fs.mkfs ~disk geom;
   {
@@ -46,7 +46,7 @@ let make_env () =
 
 let mount env policy =
   Fs.mount ~engine:env.engine ~costs:Costs.default ~mem:env.mem ~meta_alloc:env.meta_alloc
-    ~pool_alloc:env.pool_alloc ~disk:env.disk ~policy ~hooks:env.hooks
+    ~pool_alloc:env.pool_alloc ~disk:env.disk ~policy ~hooks:env.hooks ~wb_unordered:false
 
 let with_fs policy f =
   let env = make_env () in
@@ -541,13 +541,17 @@ let test_rio_idle_daemon_trickles () =
   let fs = mount env Fs.Rio_idle in
   Disk.reset_stats env.disk;
   Fs.write_file fs "/i" (Pattern.fill ~seed:5 ~len:40_000);
-  (* fsync/sync still return immediately... *)
-  Fs.sync fs;
-  check Alcotest.int "sync writes nothing" 0 (Disk.stats env.disk).Disk.writes;
-  (* ...but the idle daemon pushes dirty blocks out in the background. *)
+  (* The idle daemon pushes dirty blocks out in the background... *)
   Engine.advance_by env.engine (Rio_util.Units.sec 31);
   Disk.drain env.disk;
-  check Alcotest.bool "idle write-back happened" true ((Disk.stats env.disk).Disk.writes > 0)
+  check Alcotest.bool "idle write-back happened" true ((Disk.stats env.disk).Disk.writes > 0);
+  (* ...and sync is a durability barrier: dirty blocks ride the
+     write-behind pipeline and the barrier drains it. *)
+  Fs.write_file fs "/j" (Pattern.fill ~seed:6 ~len:40_000);
+  let before = (Disk.stats env.disk).Disk.writes in
+  Fs.sync fs;
+  check Alcotest.bool "sync flushed through write-behind" true
+    ((Disk.stats env.disk).Disk.writes > before)
 
 let test_eviction_under_pressure () =
   (* A tiny pool forces eviction write-back and re-read. *)
@@ -688,7 +692,7 @@ let test_cache_note_map_hook () =
 
 let test_journal_replay () =
   let engine = Engine.create () in
-  let disk = Disk.create ~engine ~costs:Costs.default ~sectors:4096 ~seed:1 in
+  let disk = Disk.create ~engine ~costs:Costs.default ~sectors:4096 ~seed:1 () in
   let j = Journal.create ~disk ~start_sector:100 ~sectors:200 in
   Journal.append j ~sector:1000 (Bytes.of_string "metadata-update-1");
   Journal.append j ~sector:1001 (Bytes.of_string "metadata-update-2");
@@ -701,13 +705,13 @@ let test_journal_replay () =
 
 let test_journal_ignores_garbage () =
   let engine = Engine.create () in
-  let disk = Disk.create ~engine ~costs:Costs.default ~sectors:4096 ~seed:1 in
+  let disk = Disk.create ~engine ~costs:Costs.default ~sectors:4096 ~seed:1 () in
   Disk.poke disk ~sector:100 (Bytes.of_string "not a journal record");
   check Alcotest.int "no records" 0 (Journal.replay ~disk ~start_sector:100 ~sectors:200)
 
 let test_journal_crc_guards () =
   let engine = Engine.create () in
-  let disk = Disk.create ~engine ~costs:Costs.default ~sectors:4096 ~seed:1 in
+  let disk = Disk.create ~engine ~costs:Costs.default ~sectors:4096 ~seed:1 () in
   let j = Journal.create ~disk ~start_sector:100 ~sectors:200 in
   Journal.append j ~sector:1000 (Bytes.of_string "will be torn");
   Journal.flush_group j;

@@ -31,10 +31,10 @@ let make_fs () =
   let engine = Engine.create () in
   let layout = Layout.create Layout.default_config in
   let mem = Phys_mem.create ~bytes_total:Layout.default_config.Layout.total_bytes in
-  let disk = Disk.create ~engine ~costs:Costs.default ~sectors:(64 * 1024) ~seed:3 in
+  let disk = Disk.create ~engine ~costs:Costs.default ~sectors:(64 * 1024) ~seed:3 () in
   let geom = Fs.default_geometry ~disk_sectors:(64 * 1024) ~mem_bytes:(Phys_mem.size mem) in
   Fs.mkfs ~disk geom;
-  Fs.mount ~engine ~costs:Costs.default ~mem
+  Fs.mount ~engine ~costs:Costs.default ~mem ~wb_unordered:false
     ~meta_alloc:(Page_alloc.create ~region:(Layout.region layout Layout.Buffer_cache))
     ~pool_alloc:(Page_alloc.create ~region:(Layout.region layout Layout.Page_pool))
     ~disk ~policy:Fs.Ufs_default ~hooks:(Hooks.defaults ~mem)
@@ -168,7 +168,7 @@ let test_flush_dirty_early_out () =
   let engine = Engine.create () in
   let layout = Layout.create Layout.default_config in
   let mem = Phys_mem.create ~bytes_total:Layout.default_config.Layout.total_bytes in
-  let disk = Disk.create ~engine ~costs:Costs.default ~sectors:(64 * 1024) ~seed:3 in
+  let disk = Disk.create ~engine ~costs:Costs.default ~sectors:(64 * 1024) ~seed:3 () in
   let cache =
     Block_cache.create ~name:"flush-test" ~mem ~disk
       ~alloc:(Page_alloc.create ~region:(Layout.region layout Layout.Page_pool))
